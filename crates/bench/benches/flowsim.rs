@@ -1,0 +1,107 @@
+//! Criterion benchmarks of the simulator core: the max-min allocator and
+//! full event-driven transfer runs under background load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::background::{BackgroundProfile, BackgroundTraffic};
+use netsim::flow::{max_min_allocate, AllocEntry};
+use netsim::prelude::*;
+use netsim::units::MB;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random allocation problem with `flows` flows over `links` links.
+fn problem(flows: usize, links: usize, seed: u64) -> (Vec<f64>, Vec<AllocEntry>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let caps: Vec<f64> = (0..links).map(|_| rng.gen_range(10.0..1000.0)).collect();
+    let entries = (0..flows)
+        .map(|_| {
+            let n = rng.gen_range(1..=4.min(links));
+            let mut resources: Vec<u32> = (0..n).map(|_| rng.gen_range(0..links as u32)).collect();
+            resources.sort_unstable();
+            resources.dedup();
+            let cap =
+                if rng.gen_bool(0.3) { rng.gen_range(1.0..200.0) } else { f64::INFINITY };
+            AllocEntry::new(resources, cap)
+        })
+        .collect();
+    (caps, entries)
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("max-min-allocator");
+    for (flows, links) in [(10, 8), (100, 32), (1000, 64)] {
+        let (caps, entries) = problem(flows, links, 7);
+        g.throughput(Throughput::Elements(flows as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{flows}f-{links}l")),
+            &(caps, entries),
+            |b, (caps, entries)| b.iter(|| max_min_allocate(caps, entries)),
+        );
+    }
+    g.finish();
+}
+
+fn contended_world() -> (Topology, NodeId, NodeId, NodeId, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let a = b.host("a", GeoPoint::new(49.0, -123.0));
+    let r1 = b.router("r1", GeoPoint::new(45.0, -110.0));
+    let r2 = b.router("r2", GeoPoint::new(42.0, -100.0));
+    let c = b.host("c", GeoPoint::new(37.0, -122.0));
+    let bs = b.host("bs", GeoPoint::new(45.1, -110.1));
+    let bd = b.host("bd", GeoPoint::new(37.1, -122.1));
+    let fat = LinkParams::new(Bandwidth::from_mbps(1000.0), SimTime::from_millis(3));
+    let thin = LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(10));
+    b.duplex(a, r1, fat);
+    b.duplex(r1, r2, thin);
+    b.duplex(r2, c, fat);
+    b.duplex(bs, r1, fat);
+    b.duplex(r2, bd, fat);
+    (b.build(), a, c, bs, bd)
+}
+
+fn bench_transfer_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim-transfer");
+    let (topo, a, dst, bs, bd) = contended_world();
+    for mb in [10u64, 100] {
+        g.throughput(Throughput::Bytes(mb * MB));
+        g.bench_with_input(BenchmarkId::new("idle", mb), &topo, |b, topo| {
+            b.iter(|| {
+                Sim::new(topo.clone(), 1)
+                    .run_transfer(TransferRequest::new(a, dst, mb * MB))
+                    .unwrap()
+                    .elapsed
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("contended", mb), &topo, |b, topo| {
+            b.iter(|| {
+                let mut sim = Sim::new(topo.clone(), 1);
+                sim.spawn_detached(Box::new(BackgroundTraffic::new(BackgroundProfile::heavy(
+                    bs, bd,
+                ))));
+                sim.run_transfer(TransferRequest::new(a, dst, mb * MB)).unwrap().elapsed
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scenario_build(c: &mut Criterion) {
+    c.bench_function("northamerica-build-sim", |b| {
+        let world = scenarios::NorthAmerica::new();
+        b.iter(|| world.build_sim(std::hint::black_box(7)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_allocator, bench_transfer_run, bench_scenario_build
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! `cargo bench --bench paper_tables` — regenerates every table and figure
+//! of the paper with the full 7-run protocol and prints them, paper values
+//! interleaved. This is the headline artifact of the reproduction.
+//!
+//! Honors `REPRO_QUICK=1` for a fast smoke run.
+
+use bench::repro;
+use scenarios::{ExperimentSet, NorthAmerica};
+
+fn main() {
+    let quick = std::env::var("REPRO_QUICK").map(|v| v == "1").unwrap_or(false)
+        || std::env::args().any(|a| a == "--test"); // `cargo test --benches` smoke
+    let world = NorthAmerica::new();
+    let set = if quick { ExperimentSet::quick(&world) } else { ExperimentSet::paper(&world) };
+    let started = std::time::Instant::now();
+    match repro::render_all(&set) {
+        Ok(text) => {
+            println!("{text}");
+            match repro::check_headline_claims(&set) {
+                Ok(v) if v.is_empty() => {
+                    println!("headline claims: all preserved");
+                }
+                Ok(v) => {
+                    eprintln!("HEADLINE CLAIM VIOLATIONS:\n{v:#?}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("claim check failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            eprintln!("(regenerated in {:.1?})", started.elapsed());
+        }
+        Err(e) => {
+            eprintln!("reproduction failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the transfer substrate: MD5, the rolling
+//! checksum, signature generation, delta computation and patching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use transfer::{apply_delta, compute_delta, FileGen, Md5, RollingChecksum, Signature};
+
+fn bench_md5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md5");
+    for size in [4 * 1024, 64 * 1024, 1024 * 1024] {
+        let data = FileGen::new(1).random_file(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Md5::digest(std::hint::black_box(data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rolling(c: &mut Criterion) {
+    let data = FileGen::new(2).random_file(1024 * 1024);
+    let window = 2048;
+    let mut g = c.benchmark_group("rolling-checksum");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("slide-1MiB", |b| {
+        b.iter(|| {
+            let mut rc = RollingChecksum::from_window(&data[..window]);
+            let mut acc = 0u64;
+            for k in 1..=(data.len() - window) {
+                rc.roll(data[k - 1], data[k + window - 1]);
+                acc = acc.wrapping_add(rc.value() as u64);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let mut g = c.benchmark_group("signature");
+    for mb in [1usize, 8] {
+        let data = FileGen::new(3).random_file(mb * 1000 * 1000);
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new("compute", mb), &data, |b, data| {
+            b.iter(|| Signature::compute(std::hint::black_box(data), 2048))
+        });
+    }
+    g.finish();
+}
+
+fn bench_delta_patch(c: &mut Criterion) {
+    let gen = FileGen::new(4);
+    let basis = gen.random_file(4 * 1000 * 1000);
+    let similar = gen.similar_file(&basis, 8, 0);
+    let sig = Signature::compute(&basis, 2048);
+    let empty_sig = Signature::empty(2048);
+
+    let mut g = c.benchmark_group("delta");
+    g.throughput(Throughput::Bytes(basis.len() as u64));
+    g.bench_function("similar-4MB", |b| {
+        b.iter(|| compute_delta(std::hint::black_box(&sig), std::hint::black_box(&similar)))
+    });
+    g.bench_function("fresh-4MB", |b| {
+        b.iter(|| compute_delta(std::hint::black_box(&empty_sig), std::hint::black_box(&similar)))
+    });
+    let delta = compute_delta(&sig, &similar);
+    g.bench_function("patch-4MB", |b| {
+        b.iter(|| apply_delta(std::hint::black_box(&basis), 2048, std::hint::black_box(&delta)).unwrap())
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_md5, bench_rolling, bench_signature, bench_delta_patch
+}
+criterion_main!(benches);

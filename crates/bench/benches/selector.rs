@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the detour-selection strategies: how much does
+//! each decision cost?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use detour_core::{AdaptiveSelector, OracleSelector, ProbeSelector, Route};
+use measure::RunProtocol;
+use netsim::units::MB;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use scenarios::{Client, NorthAmerica};
+
+fn routes(world: &NorthAmerica) -> Vec<Route> {
+    vec![Route::Direct, Route::via(world.hop_ualberta()), Route::via(world.hop_umich())]
+}
+
+fn bench_probe_selector(c: &mut Criterion) {
+    let world = NorthAmerica::new();
+    let client = world.client(Client::Ubc);
+    let provider = world.provider(cloudstore::ProviderKind::GoogleDrive);
+    let routes = routes(&world);
+    c.bench_function("selector-probe", |b| {
+        b.iter(|| {
+            let mut sim = world.build_sim(3);
+            ProbeSelector::default()
+                .choose(&mut sim, client.node, client.class, &provider, &routes, 60 * MB)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_oracle_selector(c: &mut Criterion) {
+    let world = NorthAmerica::new();
+    let client = world.client(Client::Ubc);
+    let provider = world.provider(cloudstore::ProviderKind::GoogleDrive);
+    let routes = routes(&world);
+    c.bench_function("selector-oracle-quick", |b| {
+        b.iter(|| {
+            OracleSelector { protocol: RunProtocol::quick() }
+                .choose(&world, &client, &provider, &routes, 30 * MB, "bench", 0)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_adaptive_selector(c: &mut Criterion) {
+    c.bench_function("selector-adaptive-1000-steps", |b| {
+        b.iter(|| {
+            let mut sel = AdaptiveSelector::new(3, 0.1, 0.3);
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut acc = 0usize;
+            for i in 0..1000 {
+                let r = sel.next_route(&mut rng);
+                sel.record(r, (i % 17) as f64 + r as f64);
+                acc += r;
+            }
+            acc
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_probe_selector, bench_oracle_selector, bench_adaptive_selector
+}
+criterion_main!(benches);

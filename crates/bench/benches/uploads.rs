@@ -1,0 +1,102 @@
+//! Criterion benchmarks of end-to-end simulated uploads on the calibrated
+//! scenario: simulator cost per run for direct and detoured uploads (this
+//! measures the *harness*, not the modeled network — wall-clock per
+//! simulated campaign run).
+
+use cloudstore::{ProviderKind, UploadOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detour_core::{run_job, Route};
+use netsim::flow::FlowClass;
+use netsim::units::MB;
+use scenarios::{Client, NorthAmerica};
+
+fn bench_direct_uploads(c: &mut Criterion) {
+    let world = NorthAmerica::new();
+    let mut g = c.benchmark_group("sim-upload-direct");
+    for kind in ProviderKind::all() {
+        let provider = world.provider(kind);
+        let client = world.client(Client::Ubc);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.display_name().replace(' ', "-")),
+            &provider,
+            |b, provider| {
+                b.iter(|| {
+                    let mut sim = world.build_sim(11);
+                    run_job(
+                        &mut sim,
+                        client.node,
+                        client.class,
+                        provider,
+                        30 * MB,
+                        &Route::Direct,
+                        UploadOptions::warm(FlowClass::PlanetLab),
+                    )
+                    .unwrap()
+                    .elapsed
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_detour_uploads(c: &mut Criterion) {
+    let world = NorthAmerica::new();
+    let provider = world.provider(ProviderKind::GoogleDrive);
+    let client = world.client(Client::Ubc);
+    let route = Route::via(world.hop_ualberta());
+    c.bench_function("sim-upload-detour-ualberta", |b| {
+        b.iter(|| {
+            let mut sim = world.build_sim(13);
+            run_job(
+                &mut sim,
+                client.node,
+                client.class,
+                &provider,
+                30 * MB,
+                &route,
+                UploadOptions::warm(FlowClass::Research),
+            )
+            .unwrap()
+            .elapsed
+        })
+    });
+}
+
+fn bench_pathological_run(c: &mut Criterion) {
+    // Purdue→Google under heavy background: the most event-dense run in the
+    // whole reproduction (hundreds of simulated seconds of MMPP flows).
+    let world = NorthAmerica::new();
+    let provider = world.provider(ProviderKind::GoogleDrive);
+    let client = world.client(Client::Purdue);
+    c.bench_function("sim-upload-purdue-congested", |b| {
+        b.iter(|| {
+            let mut sim = world.build_sim(17);
+            run_job(
+                &mut sim,
+                client.node,
+                client.class,
+                &provider,
+                100 * MB,
+                &Route::Direct,
+                UploadOptions::warm(FlowClass::PlanetLab),
+            )
+            .unwrap()
+            .elapsed
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_direct_uploads, bench_detour_uploads, bench_pathological_run
+}
+criterion_main!(benches);

@@ -1,0 +1,260 @@
+//! Chunked downloads (ranged GETs).
+//!
+//! The paper's APIs support downloads through the same session machinery;
+//! the paper only reports upload measurements, so this path is our
+//! extension (exercised by tests and the `download` example scenario).
+
+use crate::oauth::{TokenPolicy, TokenState};
+use crate::provider::Provider;
+use crate::report::TransferStats;
+use crate::session::UploadOptions;
+use netsim::engine::{Ctx, Event, Process, ProcessId, Value};
+use netsim::error::NetError;
+use netsim::rpc::{Rpc, RpcSpec};
+use netsim::time::SimTime;
+use netsim::topology::NodeId;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Idle,
+    Auth,
+    Metadata,
+    Fetching,
+}
+
+/// Download one file from a provider; finishes with packed
+/// [`TransferStats`].
+pub struct DownloadSession {
+    client: NodeId,
+    provider: Provider,
+    bytes: u64,
+    opts: UploadOptions,
+
+    state: State,
+    frontend: NodeId,
+    parts: Vec<u64>,
+    next_part: usize,
+    token: Option<TokenState>,
+    pending_child: Option<ProcessId>,
+    first_exchange: bool,
+    started: SimTime,
+    rpcs: u64,
+    wire_bytes: u64,
+}
+
+impl DownloadSession {
+    /// Build a download session.
+    pub fn new(client: NodeId, provider: Provider, bytes: u64, opts: UploadOptions) -> Self {
+        DownloadSession {
+            client,
+            provider,
+            bytes,
+            opts,
+            state: State::Idle,
+            frontend: NodeId(u32::MAX),
+            parts: Vec::new(),
+            next_part: 0,
+            token: None,
+            pending_child: None,
+            first_exchange: true,
+            started: SimTime::ZERO,
+            rpcs: 0,
+            wire_bytes: 0,
+        }
+    }
+
+    fn rpc(&mut self, ctx: &mut Ctx<'_>, req: u64, resp: u64, think: SimTime) {
+        let mut spec = RpcSpec::control(self.client, self.frontend, self.opts.class)
+            .with_payload(req, resp)
+            .with_server_time(think);
+        if self.first_exchange {
+            spec = spec.fresh();
+            self.first_exchange = false;
+        }
+        self.rpcs += 1;
+        self.wire_bytes += resp;
+        self.pending_child = Some(ctx.spawn(Box::new(Rpc::new(spec))));
+    }
+
+    fn fetch_next(&mut self, ctx: &mut Ctx<'_>) {
+        if self.next_part >= self.parts.len() {
+            let stats = TransferStats {
+                bytes: self.bytes,
+                elapsed: ctx.now().saturating_sub(self.started),
+                rpcs: self.rpcs,
+                retries: 0,
+                throttles: 0,
+                token_refreshes: 0,
+                wire_bytes: self.wire_bytes,
+            };
+            ctx.finish(stats.to_value());
+            return;
+        }
+        let part = self.parts[self.next_part];
+        let p = &self.provider.protocol;
+        self.state = State::Fetching;
+        // Ranged GET: small request, part-sized response.
+        self.rpc(ctx, 500, part + p.per_chunk_response, p.per_chunk_server_time);
+    }
+}
+
+impl Process for DownloadSession {
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started => {
+                self.started = ctx.now();
+                self.frontend = self.provider.frontend_for(ctx.topology(), self.client);
+                self.parts = self.provider.protocol.parts(self.bytes);
+                if self.parts.is_empty() {
+                    ctx.finish(Value::Error(NetError::EmptyTransfer));
+                    return;
+                }
+                match self.opts.token {
+                    TokenPolicy::Cached => {
+                        self.token = Some(TokenState::issued(ctx.now(), &self.provider.auth));
+                        self.state = State::Metadata;
+                        let (req, resp) = self.provider.protocol.init_bytes;
+                        let think = self.provider.protocol.init_server_time;
+                        self.rpc(ctx, req, resp, think);
+                    }
+                    _ => {
+                        self.state = State::Auth;
+                        let (req, resp) = self.provider.auth.grant_bytes;
+                        let think = self.provider.auth.grant_server_time;
+                        let server = self.provider.auth.server;
+                        // Auth goes to the auth endpoint, not the POP.
+                        let mut spec = RpcSpec::control(self.client, server, self.opts.class)
+                            .with_payload(req, resp)
+                            .with_server_time(think);
+                        if self.first_exchange {
+                            spec = spec.fresh();
+                            self.first_exchange = false;
+                        }
+                        self.rpcs += 1;
+                        self.pending_child = Some(ctx.spawn(Box::new(Rpc::new(spec))));
+                    }
+                }
+            }
+            Event::ChildDone { child, value } => {
+                if Some(child) != self.pending_child {
+                    return;
+                }
+                self.pending_child = None;
+                if let Value::Error(e) = value {
+                    ctx.finish(Value::Error(e));
+                    return;
+                }
+                match self.state {
+                    State::Auth => {
+                        self.token = Some(TokenState::issued(ctx.now(), &self.provider.auth));
+                        self.state = State::Metadata;
+                        let (req, resp) = self.provider.protocol.init_bytes;
+                        let think = self.provider.protocol.init_server_time;
+                        self.rpc(ctx, req, resp, think);
+                    }
+                    State::Metadata => self.fetch_next(ctx),
+                    State::Fetching => {
+                        self.next_part += 1;
+                        self.fetch_next(ctx);
+                    }
+                    State::Idle => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "download-session"
+    }
+}
+
+/// Run a complete download on a simulator and return its stats.
+pub fn download(
+    sim: &mut netsim::engine::Sim,
+    client: NodeId,
+    provider: &Provider,
+    bytes: u64,
+    opts: UploadOptions,
+) -> Result<TransferStats, NetError> {
+    let session = DownloadSession::new(client, provider.clone(), bytes, opts);
+    match sim.run_process(Box::new(session))? {
+        Value::Error(e) => Err(e),
+        v => Ok(TransferStats::from_value(&v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ProviderKind;
+    use netsim::flow::FlowClass;
+    use netsim::geo::GeoPoint;
+    use netsim::prelude::*;
+    use netsim::units::MB;
+
+    fn setup(up_mbps: f64, down_mbps: f64) -> (Sim, NodeId, Provider) {
+        let mut b = TopologyBuilder::new();
+        let client = b.host("client", GeoPoint::new(49.0, -123.0));
+        let pop = b.datacenter("pop", GeoPoint::new(37.0, -122.0));
+        b.duplex_asym(
+            client,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(up_mbps), SimTime::from_millis(15)),
+            LinkParams::new(Bandwidth::from_mbps(down_mbps), SimTime::from_millis(15)),
+        );
+        let provider = Provider::new(ProviderKind::GoogleDrive, pop);
+        (Sim::new(b.build(), 1), client, provider)
+    }
+
+    #[test]
+    fn download_completes() {
+        let (mut sim, client, provider) = setup(10.0, 80.0);
+        let stats = download(
+            &mut sim,
+            client,
+            &provider,
+            10 * MB,
+            UploadOptions::warm(FlowClass::Commodity),
+        )
+        .unwrap();
+        let s = stats.elapsed.as_secs_f64();
+        assert!((1.0..3.0).contains(&s), "elapsed {s}");
+    }
+
+    #[test]
+    fn download_uses_downlink_not_uplink() {
+        // Uplink is a trickle; a fast download proves parts flow downstream.
+        let (mut sim, client, provider) = setup(2.0, 160.0);
+        let stats = download(
+            &mut sim,
+            client,
+            &provider,
+            20 * MB,
+            UploadOptions::warm(FlowClass::Commodity),
+        )
+        .unwrap();
+        assert!(
+            stats.elapsed < SimTime::from_secs(4),
+            "download throttled by uplink: {}",
+            stats.elapsed
+        );
+    }
+
+    #[test]
+    fn cold_download_pays_auth() {
+        let (mut sim, client, provider) = setup(10.0, 80.0);
+        let warm = download(&mut sim, client, &provider, 10 * MB, UploadOptions::warm(FlowClass::Commodity)).unwrap();
+        let (mut sim2, c2, p2) = setup(10.0, 80.0);
+        let cold = download(&mut sim2, c2, &p2, 10 * MB, UploadOptions::cold(FlowClass::Commodity)).unwrap();
+        assert_eq!(cold.rpcs, warm.rpcs + 1);
+        assert!(cold.elapsed > warm.elapsed);
+    }
+
+    #[test]
+    fn zero_byte_download_rejected() {
+        let (mut sim, client, provider) = setup(10.0, 10.0);
+        let err = download(&mut sim, client, &provider, 0, UploadOptions::default()).unwrap_err();
+        assert_eq!(err, NetError::EmptyTransfer);
+    }
+}

@@ -1,0 +1,104 @@
+//! OAuth2 authorization (RFC 6749), as the three providers use it.
+//!
+//! The simulation models the parts that cost wall-clock time: the initial
+//! grant exchange (two round trips to the auth endpoint: authorization +
+//! token), bearer-token expiry, and the refresh exchange (one round trip).
+//! Campaigns that reuse a process-wide token cache skip the grant on warm
+//! runs — one reason the paper's protocol discards the first runs.
+
+use netsim::time::SimTime;
+use netsim::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Authorization-endpoint configuration for one provider.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AuthConfig {
+    /// Node hosting the token endpoint (usually the provider frontend).
+    pub server: NodeId,
+    /// Lifetime of issued access tokens (3600 s for all three providers).
+    pub token_lifetime: SimTime,
+    /// Server processing time for a grant.
+    pub grant_server_time: SimTime,
+    /// Server processing time for a refresh.
+    pub refresh_server_time: SimTime,
+    /// Request/response sizes of the grant exchange.
+    pub grant_bytes: (u64, u64),
+    /// Request/response sizes of the refresh exchange.
+    pub refresh_bytes: (u64, u64),
+}
+
+impl AuthConfig {
+    /// Standard configuration pointing at `server`.
+    pub fn standard(server: NodeId) -> Self {
+        AuthConfig {
+            server,
+            token_lifetime: SimTime::from_secs(3600),
+            grant_server_time: SimTime::from_millis(120),
+            refresh_server_time: SimTime::from_millis(60),
+            grant_bytes: (900, 1200),
+            refresh_bytes: (600, 900),
+        }
+    }
+}
+
+/// How a session obtains its bearer token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TokenPolicy {
+    /// No cached token: perform the full grant (cold first run).
+    Fresh,
+    /// A previously-issued token is cached and still valid: no auth traffic.
+    Cached,
+    /// A cached token that has expired: perform a refresh exchange.
+    Expired,
+}
+
+/// Bearer-token state tracked by a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenState {
+    /// When the token stops being accepted.
+    pub expires_at: SimTime,
+}
+
+impl TokenState {
+    /// A token issued at `now` under `cfg`.
+    pub fn issued(now: SimTime, cfg: &AuthConfig) -> Self {
+        TokenState { expires_at: now + cfg.token_lifetime }
+    }
+
+    /// Is the token still valid at `now`, with a safety margin so that a
+    /// request signed now does not expire in flight?
+    pub fn valid_at(&self, now: SimTime) -> bool {
+        now + SimTime::from_secs(5) < self.expires_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_lifecycle() {
+        let cfg = AuthConfig::standard(NodeId(3));
+        let t = TokenState::issued(SimTime::from_secs(10), &cfg);
+        assert!(t.valid_at(SimTime::from_secs(10)));
+        assert!(t.valid_at(SimTime::from_secs(3000)));
+        assert!(!t.valid_at(SimTime::from_secs(3606)));
+        assert!(!t.valid_at(SimTime::from_secs(5000)));
+    }
+
+    #[test]
+    fn safety_margin() {
+        let cfg = AuthConfig::standard(NodeId(0));
+        let t = TokenState::issued(SimTime::ZERO, &cfg);
+        // Valid at lifetime - 6s, invalid at lifetime - 4s (5s margin).
+        assert!(t.valid_at(SimTime::from_secs(3600 - 6)));
+        assert!(!t.valid_at(SimTime::from_secs(3600 - 4)));
+    }
+
+    #[test]
+    fn grant_is_heavier_than_refresh() {
+        let cfg = AuthConfig::standard(NodeId(0));
+        assert!(cfg.grant_server_time > cfg.refresh_server_time);
+        assert!(cfg.grant_bytes.0 > cfg.refresh_bytes.0);
+    }
+}

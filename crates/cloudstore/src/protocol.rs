@@ -1,0 +1,243 @@
+//! Chunked-upload protocols, parameterized per provider.
+//!
+//! All three services split large uploads into serially-acknowledged parts;
+//! what differs is the part size, alignment rule, framing overhead and the
+//! number of control round trips. Those differences — multiplied by path
+//! RTT — are what make small-file transfer latency-bound and large-file
+//! transfer bandwidth-bound, producing the file-size-dependent crossovers in
+//! the paper's Figures 8 and 9.
+
+use netsim::time::SimTime;
+use netsim::units::{Bandwidth, KIB, MIB};
+use serde::{Deserialize, Serialize};
+
+/// Which cloud-storage service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProviderKind {
+    /// Google Drive (`www.googleapis.com` resumable uploads).
+    GoogleDrive,
+    /// Dropbox (`upload_session` API).
+    Dropbox,
+    /// Microsoft OneDrive (`createUploadSession` fragments).
+    OneDrive,
+}
+
+impl ProviderKind {
+    /// Display name as used in the paper's tables.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            ProviderKind::GoogleDrive => "Google Drive",
+            ProviderKind::Dropbox => "Dropbox",
+            ProviderKind::OneDrive => "OneDrive",
+        }
+    }
+
+    /// All three providers, in the paper's column order.
+    pub fn all() -> [ProviderKind; 3] {
+        [ProviderKind::GoogleDrive, ProviderKind::Dropbox, ProviderKind::OneDrive]
+    }
+}
+
+impl std::fmt::Display for ProviderKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// Wire-level parameters of one provider's upload protocol.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ChunkProtocol {
+    /// Preferred part size in bytes.
+    pub chunk_bytes: u64,
+    /// Parts (except the last) must be a multiple of this.
+    pub alignment: u64,
+    /// HTTP framing per part upload (request headers etc.).
+    pub per_chunk_header: u64,
+    /// Server response per part.
+    pub per_chunk_response: u64,
+    /// Fixed server-side processing per part, in addition to ingest time.
+    pub per_chunk_server_time: SimTime,
+    /// Session-initiation request/response bytes.
+    pub init_bytes: (u64, u64),
+    /// Session-initiation server time.
+    pub init_server_time: SimTime,
+    /// Finalization request/response bytes (0,0 when finalize is implicit in
+    /// the last part, as for Drive and OneDrive).
+    pub finish_bytes: (u64, u64),
+    /// Finalization server time (commit).
+    pub finish_server_time: SimTime,
+    /// Server-side ingest rate: each part also costs `part/ingest` of server
+    /// time (storage pipeline, replication ack).
+    pub ingest: Bandwidth,
+}
+
+impl ChunkProtocol {
+    /// Google Drive resumable upload, 2015-era client defaults.
+    pub fn google_drive() -> Self {
+        ChunkProtocol {
+            chunk_bytes: 8 * MIB,
+            alignment: 256 * KIB,
+            per_chunk_header: 700,
+            per_chunk_response: 350,
+            per_chunk_server_time: SimTime::from_millis(25),
+            init_bytes: (850, 500),
+            init_server_time: SimTime::from_millis(60),
+            finish_bytes: (0, 0),
+            finish_server_time: SimTime::ZERO,
+            ingest: Bandwidth::from_mbps(480.0),
+        }
+    }
+
+    /// Dropbox `upload_session` start/append/finish.
+    pub fn dropbox() -> Self {
+        ChunkProtocol {
+            chunk_bytes: 4 * MIB,
+            alignment: 4 * MIB,
+            per_chunk_header: 600,
+            per_chunk_response: 300,
+            per_chunk_server_time: SimTime::from_millis(30),
+            init_bytes: (450, 350),
+            init_server_time: SimTime::from_millis(40),
+            finish_bytes: (550, 450),
+            finish_server_time: SimTime::from_millis(120),
+            ingest: Bandwidth::from_mbps(400.0),
+        }
+    }
+
+    /// OneDrive `createUploadSession` fragments.
+    pub fn onedrive() -> Self {
+        ChunkProtocol {
+            chunk_bytes: 10 * MIB,
+            alignment: 320 * KIB,
+            per_chunk_header: 800,
+            per_chunk_response: 450,
+            per_chunk_server_time: SimTime::from_millis(45),
+            init_bytes: (650, 750),
+            init_server_time: SimTime::from_millis(80),
+            finish_bytes: (0, 0),
+            finish_server_time: SimTime::ZERO,
+            ingest: Bandwidth::from_mbps(300.0),
+        }
+    }
+
+    /// The protocol for a provider kind.
+    pub fn for_kind(kind: ProviderKind) -> Self {
+        match kind {
+            ProviderKind::GoogleDrive => Self::google_drive(),
+            ProviderKind::Dropbox => Self::dropbox(),
+            ProviderKind::OneDrive => Self::onedrive(),
+        }
+    }
+
+    /// Split a file into aligned part sizes (the last part may be any size).
+    ///
+    /// ```
+    /// use cloudstore::ChunkProtocol;
+    /// let parts = ChunkProtocol::dropbox().parts(10_000_000);
+    /// assert_eq!(parts.len(), 3); // 2 × 4 MiB + remainder
+    /// assert_eq!(parts.iter().sum::<u64>(), 10_000_000);
+    /// ```
+    pub fn parts(&self, file_bytes: u64) -> Vec<u64> {
+        assert!(self.chunk_bytes > 0 && self.alignment > 0);
+        debug_assert_eq!(
+            self.chunk_bytes % self.alignment,
+            0,
+            "chunk size must respect alignment"
+        );
+        if file_bytes == 0 {
+            return Vec::new();
+        }
+        let mut parts = Vec::with_capacity((file_bytes / self.chunk_bytes + 1) as usize);
+        let mut left = file_bytes;
+        while left > self.chunk_bytes {
+            parts.push(self.chunk_bytes);
+            left -= self.chunk_bytes;
+        }
+        parts.push(left);
+        parts
+    }
+
+    /// Server think time for one part: fixed overhead plus ingest.
+    pub fn server_time_for_part(&self, part_bytes: u64) -> SimTime {
+        self.per_chunk_server_time + self.ingest.time_for(part_bytes)
+    }
+
+    /// Whether finalization is a separate RPC.
+    pub fn has_finish_rpc(&self) -> bool {
+        self.finish_bytes != (0, 0)
+    }
+
+    /// Total control-plane round trips for a file of this size (init +
+    /// finish, not counting per-part exchanges).
+    pub fn control_rpcs(&self) -> u32 {
+        1 + u32::from(self.has_finish_rpc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::units::MB;
+
+    #[test]
+    fn parts_cover_file_exactly() {
+        for kind in ProviderKind::all() {
+            let p = ChunkProtocol::for_kind(kind);
+            for size in [1u64, 100, 10 * MB, 100 * MB, p.chunk_bytes, p.chunk_bytes + 1] {
+                let parts = p.parts(size);
+                assert_eq!(parts.iter().sum::<u64>(), size, "{kind}: size {size}");
+                assert!(!parts.is_empty());
+                // All but the last are exactly chunk_bytes.
+                for &part in &parts[..parts.len() - 1] {
+                    assert_eq!(part, p.chunk_bytes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_file_has_no_parts() {
+        assert!(ChunkProtocol::dropbox().parts(0).is_empty());
+    }
+
+    #[test]
+    fn alignment_invariants() {
+        let g = ChunkProtocol::google_drive();
+        assert_eq!(g.chunk_bytes % g.alignment, 0);
+        let o = ChunkProtocol::onedrive();
+        assert_eq!(o.chunk_bytes % o.alignment, 0);
+        let d = ChunkProtocol::dropbox();
+        assert_eq!(d.chunk_bytes % d.alignment, 0);
+    }
+
+    #[test]
+    fn protocol_shapes_match_providers() {
+        assert!(ChunkProtocol::dropbox().has_finish_rpc());
+        assert!(!ChunkProtocol::google_drive().has_finish_rpc());
+        assert!(!ChunkProtocol::onedrive().has_finish_rpc());
+        assert_eq!(ChunkProtocol::dropbox().control_rpcs(), 2);
+        assert_eq!(ChunkProtocol::google_drive().control_rpcs(), 1);
+    }
+
+    #[test]
+    fn server_time_grows_with_part_size() {
+        let p = ChunkProtocol::onedrive();
+        assert!(p.server_time_for_part(10 * MB) > p.server_time_for_part(MB));
+        assert!(p.server_time_for_part(1) >= p.per_chunk_server_time);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProviderKind::GoogleDrive.to_string(), "Google Drive");
+        assert_eq!(ProviderKind::all().len(), 3);
+    }
+
+    #[test]
+    fn chunk_counts_for_paper_sizes() {
+        // 100 MB: Drive 8 MiB parts -> 12 parts; Dropbox 4 MiB -> 24;
+        // OneDrive 10 MiB -> 10.
+        assert_eq!(ChunkProtocol::google_drive().parts(100 * MB).len(), 12);
+        assert_eq!(ChunkProtocol::dropbox().parts(100 * MB).len(), 24);
+        assert_eq!(ChunkProtocol::onedrive().parts(100 * MB).len(), 10);
+    }
+}

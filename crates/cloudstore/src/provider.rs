@@ -1,0 +1,128 @@
+//! A provider instance: kind, points of presence, auth endpoint and faults.
+//!
+//! The paper notes that "many cloud-storage providers have multiple
+//! points-of-presence (POPs) ... to improve throughput for their clients",
+//! and geolocates the POPs its traffic actually reached (Drive: Mountain
+//! View; Dropbox: Ashburn; OneDrive: Seattle). A [`Provider`] carries one or
+//! more POP nodes and selects the geographically nearest one per client,
+//! which is how the 2015 DNS-based steering behaved to a first
+//! approximation.
+
+use crate::faults::FaultPlan;
+use crate::oauth::AuthConfig;
+use crate::protocol::{ChunkProtocol, ProviderKind};
+use netsim::topology::{NodeId, Topology};
+
+/// One cloud-storage service as visible to clients.
+#[derive(Debug, Clone)]
+pub struct Provider {
+    /// Which service.
+    pub kind: ProviderKind,
+    /// Frontend points of presence (at least one).
+    pub pops: Vec<NodeId>,
+    /// Upload protocol parameters.
+    pub protocol: ChunkProtocol,
+    /// OAuth2 endpoint configuration.
+    pub auth: AuthConfig,
+    /// Fault model applied to part uploads.
+    pub faults: FaultPlan,
+}
+
+impl Provider {
+    /// A provider with a single POP, standard protocol and no faults.
+    pub fn new(kind: ProviderKind, pop: NodeId) -> Self {
+        Provider {
+            kind,
+            pops: vec![pop],
+            protocol: ChunkProtocol::for_kind(kind),
+            auth: AuthConfig::standard(pop),
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Add another POP.
+    pub fn with_pop(mut self, pop: NodeId) -> Self {
+        self.pops.push(pop);
+        self
+    }
+
+    /// Replace the fault model.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The POP a client is steered to: geographically nearest, ties broken
+    /// by node id (deterministic).
+    pub fn frontend_for(&self, topo: &Topology, client: NodeId) -> NodeId {
+        assert!(!self.pops.is_empty(), "provider has no POPs");
+        let from = topo.node(client).location;
+        *self
+            .pops
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da = from.distance_km(&topo.node(a).location);
+                let db = from.distance_km(&topo.node(b).location);
+                da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+            })
+            .expect("nonempty pops")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::geo::{places, GeoPoint};
+    use netsim::prelude::*;
+
+    fn topo_with_pops() -> (Topology, NodeId, NodeId, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let client_west = b.host("client-west", places::UBC);
+        let client_east = b.host("client-east", places::PURDUE);
+        let pop_west = b.datacenter("pop-west", places::SEATTLE);
+        let pop_east = b.datacenter("pop-east", places::ASHBURN);
+        // Links irrelevant for POP selection.
+        let p = LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(1));
+        b.duplex(client_west, pop_west, p);
+        b.duplex(client_east, pop_east, p);
+        (b.build(), client_west, client_east, pop_west, pop_east)
+    }
+
+    #[test]
+    fn nearest_pop_selected() {
+        let (t, cw, ce, pw, pe) = topo_with_pops();
+        let p = Provider::new(ProviderKind::OneDrive, pw).with_pop(pe);
+        assert_eq!(p.frontend_for(&t, cw), pw);
+        assert_eq!(p.frontend_for(&t, ce), pe);
+    }
+
+    #[test]
+    fn single_pop_always_wins() {
+        let (t, cw, ce, pw, _) = topo_with_pops();
+        let p = Provider::new(ProviderKind::Dropbox, pw);
+        assert_eq!(p.frontend_for(&t, cw), pw);
+        assert_eq!(p.frontend_for(&t, ce), pw);
+    }
+
+    #[test]
+    fn tie_broken_by_node_id() {
+        let mut b = TopologyBuilder::new();
+        let c = b.host("c", GeoPoint::new(0.0, 0.0));
+        let p1 = b.datacenter("p1", GeoPoint::new(1.0, 0.0));
+        let p2 = b.datacenter("p2", GeoPoint::new(-1.0, 0.0)); // same distance
+        let link = LinkParams::new(Bandwidth::from_mbps(1.0), SimTime::from_millis(1));
+        b.duplex(c, p1, link);
+        b.duplex(c, p2, link);
+        let t = b.build();
+        let p = Provider::new(ProviderKind::GoogleDrive, p2).with_pop(p1);
+        assert_eq!(p.frontend_for(&t, c), p1.min(p2));
+    }
+
+    #[test]
+    fn defaults_are_faultless() {
+        let (_, _, _, pw, _) = topo_with_pops();
+        let p = Provider::new(ProviderKind::GoogleDrive, pw);
+        assert_eq!(p.faults.throttle_prob, 0.0);
+        assert_eq!(p.auth.server, pw);
+    }
+}

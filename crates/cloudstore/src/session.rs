@@ -1,0 +1,619 @@
+//! The upload session state machine.
+//!
+//! Token (grant/refresh as needed) → session init → part uploads →
+//! finalize. Exactly the sequence the providers' 2015 client libraries
+//! perform, including:
+//!
+//! * per-part fault handling (`429` waits don't count as retries; `5xx`
+//!   retries back off exponentially and re-query the session offset before
+//!   resending),
+//! * mid-session token refresh when a long transfer outlives its bearer
+//!   token,
+//! * connection reuse: only the very first exchange pays TCP/TLS setup,
+//! * **optional part parallelism** (our extension; the 2015 clients were
+//!   strictly serial, which [`UploadOptions::parallelism`] = 1 reproduces):
+//!   up to `k` part RPCs are kept in flight, which hides per-part round
+//!   trips on long paths.
+
+use crate::faults::FaultOutcome;
+use crate::oauth::{TokenPolicy, TokenState};
+use crate::provider::Provider;
+use crate::report::TransferStats;
+use netsim::engine::{Ctx, Event, Process, ProcessId, Value};
+use netsim::error::NetError;
+use netsim::flow::FlowClass;
+use netsim::rpc::{Rpc, RpcSpec};
+use netsim::time::SimTime;
+use netsim::topology::NodeId;
+use std::collections::{HashMap, VecDeque};
+
+/// Options for one upload.
+#[derive(Debug, Clone, Copy)]
+pub struct UploadOptions {
+    /// Token situation at session start.
+    pub token: TokenPolicy,
+    /// Traffic class of all session flows (matches source-host policy).
+    pub class: FlowClass,
+    /// Maximum concurrent part uploads. The paper-era clients use 1; larger
+    /// values are our pipelining extension.
+    pub parallelism: u32,
+}
+
+impl Default for UploadOptions {
+    fn default() -> Self {
+        UploadOptions { token: TokenPolicy::Cached, class: FlowClass::Commodity, parallelism: 1 }
+    }
+}
+
+impl UploadOptions {
+    /// Cold-start options: full OAuth grant before the first byte.
+    pub fn cold(class: FlowClass) -> Self {
+        UploadOptions { token: TokenPolicy::Fresh, class, parallelism: 1 }
+    }
+
+    /// Warm options: token cached and valid.
+    pub fn warm(class: FlowClass) -> Self {
+        UploadOptions { token: TokenPolicy::Cached, class, parallelism: 1 }
+    }
+
+    /// Allow up to `k` concurrent part uploads (k ≥ 1).
+    pub fn with_parallelism(mut self, k: u32) -> Self {
+        assert!(k >= 1, "parallelism must be at least 1");
+        self.parallelism = k;
+        self
+    }
+}
+
+/// What a control-plane child RPC was for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ControlKind {
+    Auth,
+    Refresh,
+    Init,
+    Finish,
+}
+
+/// A part waiting to be (re)sent.
+#[derive(Debug, Clone, Copy)]
+struct PartTask {
+    idx: usize,
+    attempts: u32,
+}
+
+/// An in-flight part RPC.
+#[derive(Debug, Clone, Copy)]
+struct PartAttempt {
+    task: PartTask,
+    outcome: FaultOutcome,
+}
+
+const TIMER_THROTTLE: u64 = 1;
+/// Per-part backoff timers: tag = TIMER_BACKOFF_BASE + part index.
+const TIMER_BACKOFF_BASE: u64 = 0x1000;
+
+/// Upload one file to a provider. Finishes with a packed
+/// [`TransferStats`] value, or [`Value::Error`] on unrecoverable failure.
+pub struct UploadSession {
+    client: NodeId,
+    provider: Provider,
+    bytes: u64,
+    opts: UploadOptions,
+
+    frontend: NodeId,
+    parts: Vec<u64>,
+    queue: VecDeque<PartTask>,
+    inflight: HashMap<ProcessId, PartAttempt>,
+    offset_queries: HashMap<ProcessId, PartTask>,
+    /// Per-part attempt counters awaiting their backoff timer.
+    queue_retry_attempts: HashMap<usize, u32>,
+    control: Option<(ProcessId, ControlKind)>,
+    completed: usize,
+    token: Option<TokenState>,
+    initialized: bool,
+    finishing: bool,
+    waiting_throttle: bool,
+    first_exchange: bool,
+
+    started: SimTime,
+    rpcs: u64,
+    retries: u64,
+    throttles: u64,
+    token_refreshes: u64,
+    wire_bytes: u64,
+}
+
+impl UploadSession {
+    /// Build a session (spawn it or run it via [`upload`]).
+    pub fn new(client: NodeId, provider: Provider, bytes: u64, opts: UploadOptions) -> Self {
+        assert!(opts.parallelism >= 1);
+        UploadSession {
+            client,
+            provider,
+            bytes,
+            opts,
+            frontend: NodeId(u32::MAX),
+            parts: Vec::new(),
+            queue: VecDeque::new(),
+            inflight: HashMap::new(),
+            offset_queries: HashMap::new(),
+            queue_retry_attempts: HashMap::new(),
+            control: None,
+            completed: 0,
+            token: None,
+            initialized: false,
+            finishing: false,
+            waiting_throttle: false,
+            first_exchange: true,
+            started: SimTime::ZERO,
+            rpcs: 0,
+            retries: 0,
+            throttles: 0,
+            token_refreshes: 0,
+            wire_bytes: 0,
+        }
+    }
+
+    fn spawn_rpc(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        server: NodeId,
+        req: u64,
+        resp: u64,
+        think: SimTime,
+    ) -> ProcessId {
+        let mut spec = RpcSpec::control(self.client, server, self.opts.class)
+            .with_payload(req, resp)
+            .with_server_time(think);
+        if self.first_exchange {
+            spec = spec.fresh();
+            self.first_exchange = false;
+        }
+        self.rpcs += 1;
+        self.wire_bytes += req;
+        ctx.spawn(Box::new(Rpc::new(spec)))
+    }
+
+    fn begin_control(&mut self, ctx: &mut Ctx<'_>, kind: ControlKind) {
+        debug_assert!(self.control.is_none(), "one control exchange at a time");
+        let (server, (req, resp), think) = match kind {
+            ControlKind::Auth => (
+                self.provider.auth.server,
+                self.provider.auth.grant_bytes,
+                self.provider.auth.grant_server_time,
+            ),
+            ControlKind::Refresh => {
+                self.token_refreshes += 1;
+                (
+                    self.provider.auth.server,
+                    self.provider.auth.refresh_bytes,
+                    self.provider.auth.refresh_server_time,
+                )
+            }
+            ControlKind::Init => (
+                self.frontend,
+                self.provider.protocol.init_bytes,
+                self.provider.protocol.init_server_time,
+            ),
+            ControlKind::Finish => (
+                self.frontend,
+                self.provider.protocol.finish_bytes,
+                self.provider.protocol.finish_server_time,
+            ),
+        };
+        let pid = self.spawn_rpc(ctx, server, req, resp, think);
+        self.control = Some((pid, kind));
+    }
+
+    fn token_ok(&self, now: SimTime) -> bool {
+        self.token.map(|t| t.valid_at(now)).unwrap_or(false)
+    }
+
+    fn refresh_in_flight(&self) -> bool {
+        matches!(self.control, Some((_, ControlKind::Refresh | ControlKind::Auth)))
+    }
+
+    /// Launch parts while there is budget; handle token expiry and
+    /// throttling along the way.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        if self.waiting_throttle || !self.initialized {
+            return;
+        }
+        while (self.inflight.len() as u32) < self.opts.parallelism && !self.queue.is_empty() {
+            if !self.token_ok(ctx.now()) {
+                if !self.refresh_in_flight() && self.control.is_none() {
+                    self.begin_control(ctx, ControlKind::Refresh);
+                }
+                return;
+            }
+            let task = self.queue.pop_front().expect("queue nonempty");
+            let outcome = self.provider.faults.roll(ctx.rng());
+            if let FaultOutcome::Throttled { wait } = outcome {
+                self.throttles += 1;
+                self.waiting_throttle = true;
+                self.queue.push_front(task);
+                ctx.set_timer(wait, TIMER_THROTTLE);
+                return;
+            }
+            let part = self.parts[task.idx];
+            let p = &self.provider.protocol;
+            let think = p.server_time_for_part(part);
+            let req = part + p.per_chunk_header;
+            let resp = p.per_chunk_response;
+            let pid = self.spawn_rpc(ctx, self.frontend, req, resp, think);
+            self.inflight.insert(pid, PartAttempt { task, outcome });
+        }
+        self.maybe_finish(ctx);
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut Ctx<'_>) {
+        if self.finishing
+            || self.completed < self.parts.len()
+            || !self.inflight.is_empty()
+            || !self.offset_queries.is_empty()
+        {
+            return;
+        }
+        self.finishing = true;
+        if self.provider.protocol.has_finish_rpc() {
+            self.begin_control(ctx, ControlKind::Finish);
+        } else {
+            self.finish_ok(ctx);
+        }
+    }
+
+    fn finish_ok(&mut self, ctx: &mut Ctx<'_>) {
+        let stats = TransferStats {
+            bytes: self.bytes,
+            elapsed: ctx.now().saturating_sub(self.started),
+            rpcs: self.rpcs,
+            retries: self.retries,
+            throttles: self.throttles,
+            token_refreshes: self.token_refreshes,
+            wire_bytes: self.wire_bytes,
+        };
+        ctx.finish(stats.to_value());
+    }
+
+    fn on_part_done(&mut self, ctx: &mut Ctx<'_>, attempt: PartAttempt) {
+        match attempt.outcome {
+            FaultOutcome::Ok => {
+                self.completed += 1;
+                self.pump(ctx);
+            }
+            FaultOutcome::TransientError => {
+                self.retries += 1;
+                let attempts = attempt.task.attempts + 1;
+                if attempts > self.provider.faults.max_retries {
+                    ctx.finish(Value::Error(NetError::Blocked {
+                        at: self.frontend,
+                        reason: "part upload exceeded max retries",
+                    }));
+                    return;
+                }
+                let backoff = self.provider.faults.backoff(attempts);
+                ctx.set_timer(backoff, TIMER_BACKOFF_BASE + attempt.task.idx as u64);
+                // The task is re-queued after the backoff + offset query;
+                // remember its attempt count keyed by part index.
+                self.queue_retry_attempts.insert(attempt.task.idx, attempts);
+                self.pump(ctx);
+            }
+            FaultOutcome::Throttled { .. } => {
+                unreachable!("throttled attempts never reach the wire")
+            }
+        }
+    }
+
+    fn begin_offset_query(&mut self, ctx: &mut Ctx<'_>, task: PartTask) {
+        // Resumable protocols ask the server how much it holds before
+        // resending (Drive: PUT with Content-Range */N; Dropbox/OneDrive
+        // have equivalent status calls).
+        let pid = self.spawn_rpc(ctx, self.frontend, 400, 300, SimTime::from_millis(15));
+        self.offset_queries.insert(pid, task);
+    }
+}
+
+impl Process for UploadSession {
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started => {
+                self.started = ctx.now();
+                self.frontend = self.provider.frontend_for(ctx.topology(), self.client);
+                self.parts = self.provider.protocol.parts(self.bytes);
+                if self.parts.is_empty() {
+                    ctx.finish(Value::Error(NetError::EmptyTransfer));
+                    return;
+                }
+                self.queue =
+                    (0..self.parts.len()).map(|idx| PartTask { idx, attempts: 0 }).collect();
+                match self.opts.token {
+                    TokenPolicy::Fresh => self.begin_control(ctx, ControlKind::Auth),
+                    TokenPolicy::Expired => self.begin_control(ctx, ControlKind::Refresh),
+                    TokenPolicy::Cached => {
+                        self.token = Some(TokenState::issued(ctx.now(), &self.provider.auth));
+                        self.begin_control(ctx, ControlKind::Init);
+                    }
+                }
+            }
+            Event::ChildDone { child, value } => {
+                if let Value::Error(e) = value {
+                    ctx.finish(Value::Error(e));
+                    return;
+                }
+                if let Some((pid, kind)) = self.control {
+                    if pid == child {
+                        self.control = None;
+                        match kind {
+                            ControlKind::Auth | ControlKind::Refresh => {
+                                self.token =
+                                    Some(TokenState::issued(ctx.now(), &self.provider.auth));
+                                if self.initialized {
+                                    self.pump(ctx);
+                                } else {
+                                    self.begin_control(ctx, ControlKind::Init);
+                                }
+                            }
+                            ControlKind::Init => {
+                                self.initialized = true;
+                                self.pump(ctx);
+                            }
+                            ControlKind::Finish => self.finish_ok(ctx),
+                        }
+                        return;
+                    }
+                }
+                if let Some(attempt) = self.inflight.remove(&child) {
+                    self.on_part_done(ctx, attempt);
+                    return;
+                }
+                if let Some(task) = self.offset_queries.remove(&child) {
+                    self.queue.push_front(task);
+                    self.pump(ctx);
+                }
+            }
+            Event::Timer { tag: TIMER_THROTTLE } => {
+                self.waiting_throttle = false;
+                self.pump(ctx);
+            }
+            Event::Timer { tag } if tag >= TIMER_BACKOFF_BASE => {
+                let idx = (tag - TIMER_BACKOFF_BASE) as usize;
+                let attempts = self.queue_retry_attempts.remove(&idx).unwrap_or(1);
+                self.begin_offset_query(ctx, PartTask { idx, attempts });
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "upload-session"
+    }
+}
+
+/// Run a complete upload on a simulator and return its stats.
+pub fn upload(
+    sim: &mut netsim::engine::Sim,
+    client: NodeId,
+    provider: &Provider,
+    bytes: u64,
+    opts: UploadOptions,
+) -> Result<TransferStats, NetError> {
+    let session = UploadSession::new(client, provider.clone(), bytes, opts);
+    match sim.run_process(Box::new(session))? {
+        Value::Error(e) => Err(e),
+        v => Ok(TransferStats::from_value(&v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::protocol::ProviderKind;
+    use netsim::geo::GeoPoint;
+    use netsim::prelude::*;
+    use netsim::units::MB;
+
+    fn setup(mbps: f64) -> (Sim, NodeId, Provider) {
+        let mut b = TopologyBuilder::new();
+        let client = b.host("client", GeoPoint::new(49.0, -123.0));
+        let pop = b.datacenter("pop", GeoPoint::new(37.0, -122.0));
+        b.duplex(client, pop, LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(15)));
+        let provider = Provider::new(ProviderKind::GoogleDrive, pop);
+        (Sim::new(b.build(), 1), client, provider)
+    }
+
+    #[test]
+    fn upload_completes_with_sane_time() {
+        let (mut sim, client, provider) = setup(80.0); // 10 MB/s
+        let stats =
+            upload(&mut sim, client, &provider, 10 * MB, UploadOptions::warm(FlowClass::Commodity))
+                .unwrap();
+        let s = stats.elapsed.as_secs_f64();
+        // Fluid bound is 1 s; chunking and think time add some.
+        assert!((1.0..3.0).contains(&s), "elapsed {s}");
+        assert_eq!(stats.bytes, 10 * MB);
+        // 10 MB / 8 MiB chunks = 2 parts + init.
+        assert_eq!(stats.rpcs, 3);
+        assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn cold_start_pays_oauth() {
+        let (mut sim, client, provider) = setup(80.0);
+        let warm =
+            upload(&mut sim, client, &provider, 10 * MB, UploadOptions::warm(FlowClass::Commodity))
+                .unwrap();
+        let (mut sim2, client2, provider2) = setup(80.0);
+        let cold = upload(
+            &mut sim2,
+            client2,
+            &provider2,
+            10 * MB,
+            UploadOptions::cold(FlowClass::Commodity),
+        )
+        .unwrap();
+        assert!(cold.elapsed > warm.elapsed, "cold {} warm {}", cold.elapsed, warm.elapsed);
+        assert_eq!(cold.rpcs, warm.rpcs + 1);
+    }
+
+    #[test]
+    fn small_files_dominated_by_round_trips() {
+        let (mut sim, client, provider) = setup(800.0); // very fast link
+        let stats =
+            upload(&mut sim, client, &provider, MB, UploadOptions::warm(FlowClass::Commodity))
+                .unwrap();
+        assert!(stats.elapsed > SimTime::from_millis(100), "elapsed {}", stats.elapsed);
+    }
+
+    #[test]
+    fn flaky_provider_retries_and_succeeds() {
+        let (mut sim, client, provider) = setup(80.0);
+        let provider = provider.with_faults(FaultPlan::flaky());
+        let stats = upload(
+            &mut sim,
+            client,
+            &provider,
+            100 * MB,
+            UploadOptions::warm(FlowClass::Commodity),
+        )
+        .unwrap();
+        assert_eq!(stats.bytes, 100 * MB);
+        assert!(stats.retries + stats.throttles > 0, "no faults at all?");
+        assert!(stats.wire_bytes > 100 * MB);
+    }
+
+    #[test]
+    fn hopeless_provider_gives_up() {
+        let (mut sim, client, provider) = setup(80.0);
+        let mut faults = FaultPlan::flaky();
+        faults.transient_prob = 1.0; // every part fails
+        faults.throttle_prob = 0.0;
+        let provider = provider.with_faults(faults);
+        let err = upload(
+            &mut sim,
+            client,
+            &provider,
+            10 * MB,
+            UploadOptions::warm(FlowClass::Commodity),
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetError::Blocked { .. }));
+    }
+
+    #[test]
+    fn long_upload_refreshes_token() {
+        // Slow link: 100 MB at 0.2 Mbps (25 KB/s) ≈ 4000 s > 3600 s token
+        // lifetime, so the session must refresh mid-transfer.
+        let (mut sim, client, provider) = setup(0.2);
+        let stats = upload(
+            &mut sim,
+            client,
+            &provider,
+            100 * MB,
+            UploadOptions::warm(FlowClass::Commodity),
+        )
+        .unwrap();
+        assert!(stats.token_refreshes >= 1, "token never refreshed");
+        assert_eq!(stats.bytes, 100 * MB);
+    }
+
+    #[test]
+    fn zero_byte_upload_rejected() {
+        let (mut sim, client, provider) = setup(10.0);
+        let err = upload(&mut sim, client, &provider, 0, UploadOptions::default()).unwrap_err();
+        assert_eq!(err, NetError::EmptyTransfer);
+    }
+
+    #[test]
+    fn dropbox_finish_rpc_counted() {
+        let mut b = TopologyBuilder::new();
+        let client = b.host("client", GeoPoint::new(49.0, -123.0));
+        let pop = b.datacenter("pop", GeoPoint::new(39.0, -77.0));
+        b.duplex(client, pop, LinkParams::new(Bandwidth::from_mbps(80.0), SimTime::from_millis(30)));
+        let provider = Provider::new(ProviderKind::Dropbox, pop);
+        let mut sim = Sim::new(b.build(), 1);
+        let stats =
+            upload(&mut sim, client, &provider, 10 * MB, UploadOptions::warm(FlowClass::Commodity))
+                .unwrap();
+        // 10 MB / 4 MiB = 3 parts + init + finish.
+        assert_eq!(stats.rpcs, 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut b = TopologyBuilder::new();
+            let client = b.host("client", GeoPoint::new(49.0, -123.0));
+            let pop = b.datacenter("pop", GeoPoint::new(37.0, -122.0));
+            b.duplex(client, pop, LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(20)));
+            // Dropbox's 4 MiB parts give 100 MB ≈ 24 fault rolls per run.
+            let provider =
+                Provider::new(ProviderKind::Dropbox, pop).with_faults(FaultPlan::flaky());
+            let mut sim = Sim::new(b.build(), seed);
+            upload(&mut sim, client, &provider, 100 * MB, UploadOptions::warm(FlowClass::Commodity))
+                .unwrap()
+        };
+        assert_eq!(run(5), run(5));
+        let distinct: std::collections::HashSet<_> =
+            [run(5), run(6), run(7)].iter().map(|s| s.elapsed.as_nanos()).collect();
+        assert!(distinct.len() > 1, "all seeds produced identical timings");
+    }
+
+    #[test]
+    fn parallel_parts_hide_round_trips() {
+        // High-RTT, high-bandwidth path: serial parts idle the pipe during
+        // per-part think time + RTT; parallelism fills it.
+        let mut b = TopologyBuilder::new();
+        let client = b.host("client", GeoPoint::new(49.0, -123.0));
+        let pop = b.datacenter("pop", GeoPoint::new(39.0, -77.0));
+        b.duplex(client, pop, LinkParams::new(Bandwidth::from_mbps(400.0), SimTime::from_millis(60)));
+        let provider = Provider::new(ProviderKind::Dropbox, pop);
+        let topo = b.build();
+        let serial = upload(
+            &mut Sim::new(topo.clone(), 1),
+            client,
+            &provider,
+            100 * MB,
+            UploadOptions::warm(FlowClass::Commodity),
+        )
+        .unwrap();
+        let parallel = upload(
+            &mut Sim::new(topo, 1),
+            client,
+            &provider,
+            100 * MB,
+            UploadOptions::warm(FlowClass::Commodity).with_parallelism(4),
+        )
+        .unwrap();
+        assert!(
+            parallel.elapsed < serial.elapsed,
+            "parallel {} !< serial {}",
+            parallel.elapsed,
+            serial.elapsed
+        );
+        // Same parts, same control RPCs — only the overlap differs.
+        assert_eq!(parallel.rpcs, serial.rpcs);
+        assert_eq!(parallel.bytes, serial.bytes);
+    }
+
+    #[test]
+    fn parallel_parts_with_faults_complete() {
+        let (mut sim, client, provider) = setup(80.0);
+        let provider = provider.with_faults(FaultPlan::flaky());
+        let stats = upload(
+            &mut sim,
+            client,
+            &provider,
+            100 * MB,
+            UploadOptions::warm(FlowClass::Commodity).with_parallelism(3),
+        )
+        .unwrap();
+        assert_eq!(stats.bytes, 100 * MB);
+        assert!(stats.retries + stats.throttles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_parallelism_rejected() {
+        UploadOptions::default().with_parallelism(0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Route failover: try routes in preference order, fall back on failure.
+//!
+//! A deployed detour service cannot assume its DTN is reachable (campus
+//! firewalls, PlanetLab slice expiry, maintenance). `upload_with_fallback`
+//! executes the first route that works, charging the failed attempts'
+//! wall-clock time to the same simulation — failure is not free.
+
+use crate::job::{run_job, JobReport};
+use crate::route::Route;
+use cloudstore::{Provider, UploadOptions};
+use netsim::engine::Sim;
+use netsim::error::NetError;
+use netsim::flow::FlowClass;
+use netsim::topology::NodeId;
+
+/// Outcome of a fallback upload.
+#[derive(Debug, Clone)]
+pub struct FallbackReport {
+    /// The report of the route that eventually succeeded.
+    pub report: JobReport,
+    /// Index (into the candidate list) of the successful route.
+    pub route_used: usize,
+    /// Errors from the routes tried before it, in order.
+    pub failures: Vec<NetError>,
+}
+
+/// Try `routes` in order until one completes.
+///
+/// All attempts run in the same simulation, so simulated time (and any
+/// server-side throttling state) accumulates across failures, exactly as it
+/// would for a real client retrying.
+pub fn upload_with_fallback(
+    sim: &mut Sim,
+    client: NodeId,
+    client_class: FlowClass,
+    provider: &Provider,
+    bytes: u64,
+    routes: &[Route],
+    opts: UploadOptions,
+) -> Result<FallbackReport, NetError> {
+    assert!(!routes.is_empty(), "no candidate routes");
+    let mut failures = Vec::new();
+    for (idx, route) in routes.iter().enumerate() {
+        match run_job(sim, client, client_class, provider, bytes, route, opts) {
+            Ok(report) => {
+                return Ok(FallbackReport { report, route_used: idx, failures });
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    Err(failures.pop().expect("at least one attempt failed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::Hop;
+    use cloudstore::ProviderKind;
+    use netsim::geo::GeoPoint;
+    use netsim::middlebox::FirewallRule;
+    use netsim::prelude::*;
+    use netsim::units::MB;
+
+    /// user—pop works; user—dtn is firewalled for research-class traffic.
+    fn world() -> (Sim, NodeId, NodeId, Provider) {
+        let mut b = TopologyBuilder::new();
+        let user = b.host("user", GeoPoint::new(49.0, -123.0));
+        let dtn = b.host("dtn", GeoPoint::new(53.5, -113.5));
+        let pop = b.datacenter("pop", GeoPoint::new(37.4, -122.1));
+        let (fw_link, _) =
+            b.duplex(user, dtn, LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(8)));
+        b.duplex(user, pop, LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(12)));
+        b.duplex(dtn, pop, LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(14)));
+        let mut sim = Sim::new(b.build(), 1);
+        sim.add_firewall(FirewallRule::drop_class("campus-fw", fw_link, FlowClass::Research));
+        (sim, user, dtn, Provider::new(ProviderKind::GoogleDrive, pop))
+    }
+
+    #[test]
+    fn falls_back_to_direct_when_dtn_unreachable() {
+        let (mut sim, user, dtn, provider) = world();
+        let routes = vec![
+            Route::via(Hop::new(dtn, FlowClass::Research, "DTN")),
+            Route::Direct,
+        ];
+        let out = upload_with_fallback(
+            &mut sim,
+            user,
+            FlowClass::Research,
+            &provider,
+            10 * MB,
+            &routes,
+            UploadOptions::warm(FlowClass::Research),
+        )
+        .expect("fallback works");
+        assert_eq!(out.route_used, 1);
+        assert_eq!(out.failures.len(), 1);
+        assert!(matches!(out.failures[0], NetError::Blocked { .. }));
+    }
+
+    #[test]
+    fn first_route_used_when_healthy() {
+        let (mut sim, user, dtn, provider) = world();
+        // Commodity-class traffic passes the firewall.
+        let routes = vec![
+            Route::via(Hop::new(dtn, FlowClass::Commodity, "DTN")),
+            Route::Direct,
+        ];
+        let out = upload_with_fallback(
+            &mut sim,
+            user,
+            FlowClass::Commodity,
+            &provider,
+            10 * MB,
+            &routes,
+            UploadOptions::warm(FlowClass::Commodity),
+        )
+        .expect("detour works");
+        assert_eq!(out.route_used, 0);
+        assert!(out.failures.is_empty());
+    }
+
+    #[test]
+    fn all_routes_failing_reports_last_error() {
+        let (mut sim, user, dtn, provider) = world();
+        let routes = vec![Route::via(Hop::new(dtn, FlowClass::Research, "DTN"))];
+        let err = upload_with_fallback(
+            &mut sim,
+            user,
+            FlowClass::Research,
+            &provider,
+            MB,
+            &routes,
+            UploadOptions::warm(FlowClass::Research),
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetError::Blocked { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate routes")]
+    fn empty_route_list_rejected() {
+        let (mut sim, user, _, provider) = world();
+        let _ = upload_with_fallback(
+            &mut sim,
+            user,
+            FlowClass::Commodity,
+            &provider,
+            MB,
+            &[],
+            UploadOptions::default(),
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Execute one transfer over one route.
+
+use crate::route::Route;
+use cloudstore::{Provider, TransferStats, UploadOptions};
+use netsim::engine::Sim;
+use netsim::error::NetError;
+use netsim::flow::FlowClass;
+use netsim::time::SimTime;
+use netsim::topology::NodeId;
+use relay::{detour_upload, RelayReport};
+
+/// Per-mechanism detail of a completed job.
+#[derive(Debug, Clone)]
+pub enum JobDetail {
+    /// Direct API upload.
+    Direct(TransferStats),
+    /// Store-and-forward detour.
+    Detour(RelayReport),
+}
+
+/// Result of one transfer job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The route used.
+    pub route: Route,
+    /// Payload size.
+    pub bytes: u64,
+    /// End-to-end duration.
+    pub elapsed: SimTime,
+    /// Mechanism-specific breakdown.
+    pub detail: JobDetail,
+}
+
+impl JobReport {
+    /// Elapsed seconds (the paper's unit).
+    pub fn secs(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+}
+
+/// Run one upload job on a fresh simulator.
+///
+/// `client` is the user machine; `client_class` its traffic class;
+/// `opts.token` selects cold/warm OAuth state (warm-up runs are cold).
+pub fn run_job(
+    sim: &mut Sim,
+    client: NodeId,
+    client_class: FlowClass,
+    provider: &Provider,
+    bytes: u64,
+    route: &Route,
+    opts: UploadOptions,
+) -> Result<JobReport, NetError> {
+    match route {
+        Route::Direct => {
+            let mut o = opts;
+            o.class = client_class;
+            let stats = cloudstore::upload(sim, client, provider, bytes, o)?;
+            Ok(JobReport {
+                route: route.clone(),
+                bytes,
+                elapsed: stats.elapsed,
+                detail: JobDetail::Direct(stats),
+            })
+        }
+        Route::Via(hops) => {
+            let mut nodes = Vec::with_capacity(hops.len() + 1);
+            let mut classes = Vec::with_capacity(hops.len() + 1);
+            nodes.push(client);
+            classes.push(client_class);
+            for h in hops {
+                nodes.push(h.node);
+                classes.push(h.class);
+            }
+            let report = detour_upload(sim, nodes, classes, provider, bytes, opts)?;
+            Ok(JobReport {
+                route: route.clone(),
+                bytes,
+                elapsed: report.total,
+                detail: JobDetail::Detour(report),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::Hop;
+    use cloudstore::ProviderKind;
+    use netsim::geo::GeoPoint;
+    use netsim::prelude::*;
+    use netsim::units::MB;
+
+    fn world() -> (Sim, NodeId, NodeId, Provider) {
+        let mut b = TopologyBuilder::new();
+        let user = b.host("user", GeoPoint::new(49.26, -123.25));
+        let dtn = b.host("dtn", GeoPoint::new(53.52, -113.53));
+        let pop = b.datacenter("pop", GeoPoint::new(37.39, -122.08));
+        b.duplex(user, pop, LinkParams::new(Bandwidth::from_mbps(8.0), SimTime::from_millis(15)));
+        b.duplex(user, dtn, LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(8)));
+        b.duplex(dtn, pop, LinkParams::new(Bandwidth::from_mbps(48.0), SimTime::from_millis(14)));
+        (Sim::new(b.build(), 1), user, dtn, Provider::new(ProviderKind::GoogleDrive, pop))
+    }
+
+    #[test]
+    fn direct_job() {
+        let (mut sim, user, _, provider) = world();
+        let r = run_job(
+            &mut sim,
+            user,
+            FlowClass::PlanetLab,
+            &provider,
+            10 * MB,
+            &Route::Direct,
+            UploadOptions::warm(FlowClass::PlanetLab),
+        )
+        .unwrap();
+        assert!(matches!(r.detail, JobDetail::Direct(_)));
+        assert!(r.secs() > 0.0);
+        assert_eq!(r.bytes, 10 * MB);
+    }
+
+    #[test]
+    fn detour_job_beats_direct_here() {
+        let (mut sim, user, dtn, provider) = world();
+        let direct = run_job(
+            &mut sim,
+            user,
+            FlowClass::PlanetLab,
+            &provider,
+            30 * MB,
+            &Route::Direct,
+            UploadOptions::warm(FlowClass::PlanetLab),
+        )
+        .unwrap();
+        let (mut sim2, user2, _, provider2) = world();
+        let route = Route::via(Hop::new(dtn, FlowClass::Research, "DTN"));
+        let detour = run_job(
+            &mut sim2,
+            user2,
+            FlowClass::PlanetLab,
+            &provider2,
+            30 * MB,
+            &route,
+            UploadOptions::warm(FlowClass::Research),
+        )
+        .unwrap();
+        assert!(detour.elapsed < direct.elapsed);
+        match detour.detail {
+            JobDetail::Detour(ref rr) => assert_eq!(rr.leg_times.len(), 1),
+            _ => panic!("expected detour detail"),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Routes: direct uploads and detours.
+
+use netsim::flow::FlowClass;
+use netsim::topology::NodeId;
+use std::fmt;
+
+/// One intermediate node in a detour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// The DTN.
+    pub node: NodeId,
+    /// Traffic class of flows *sent by* this node (its network's policy
+    /// identity — UAlberta's cluster is research traffic, a PlanetLab slice
+    /// is PlanetLab traffic).
+    pub class: FlowClass,
+    /// Human-readable name for tables ("UAlberta").
+    pub name: String,
+}
+
+impl Hop {
+    /// Build a hop.
+    pub fn new(node: NodeId, class: FlowClass, name: &str) -> Self {
+        Hop { node, class, name: name.to_string() }
+    }
+}
+
+/// How a file reaches the provider.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// Straight to the provider's frontend with its API.
+    Direct,
+    /// rsync through the given intermediate node(s), then upload from the
+    /// last one. The paper evaluates exactly one hop; more are allowed.
+    Via(Vec<Hop>),
+}
+
+impl Route {
+    /// Single-detour convenience.
+    pub fn via(hop: Hop) -> Route {
+        Route::Via(vec![hop])
+    }
+
+    /// Table label: `"Direct"` or `"via UAlberta"` / `"via UAlberta+UMich"`.
+    ///
+    /// ```
+    /// use detour_core::{Hop, Route};
+    /// use netsim::{flow::FlowClass, topology::NodeId};
+    /// let r = Route::via(Hop::new(NodeId(3), FlowClass::Research, "UAlberta"));
+    /// assert_eq!(r.label(), "via UAlberta");
+    /// assert!(r.is_detour());
+    /// ```
+    pub fn label(&self) -> String {
+        match self {
+            Route::Direct => "Direct".to_string(),
+            Route::Via(hops) => {
+                let names: Vec<&str> = hops.iter().map(|h| h.name.as_str()).collect();
+                format!("via {}", names.join("+"))
+            }
+        }
+    }
+
+    /// Number of intermediate nodes.
+    pub fn hop_count(&self) -> usize {
+        match self {
+            Route::Direct => 0,
+            Route::Via(hops) => hops.len(),
+        }
+    }
+
+    /// Is this a detour?
+    pub fn is_detour(&self) -> bool {
+        self.hop_count() > 0
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Route::Direct.label(), "Direct");
+        let ua = Hop::new(NodeId(3), FlowClass::Research, "UAlberta");
+        assert_eq!(Route::via(ua.clone()).label(), "via UAlberta");
+        let two = Route::Via(vec![ua, Hop::new(NodeId(4), FlowClass::PlanetLab, "UMich")]);
+        assert_eq!(two.label(), "via UAlberta+UMich");
+        assert_eq!(two.to_string(), two.label());
+    }
+
+    #[test]
+    fn hop_counts() {
+        assert_eq!(Route::Direct.hop_count(), 0);
+        assert!(!Route::Direct.is_detour());
+        let r = Route::via(Hop::new(NodeId(1), FlowClass::Research, "X"));
+        assert_eq!(r.hop_count(), 1);
+        assert!(r.is_detour());
+    }
+}

@@ -1,0 +1,198 @@
+//! ASCII bar charts, so the paper's *figures* render as figures in a
+//! terminal, not just as tables of numbers.
+//!
+//! The figure shape matches the paper's plots: grouped bars per file size,
+//! one bar per route, with a `±σ` whisker rendered numerically.
+
+use std::fmt::Write as _;
+
+/// One bar: label, value, standard deviation.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Series label ("Direct", "via UAlberta").
+    pub label: String,
+    /// Bar value (seconds in our use).
+    pub value: f64,
+    /// One standard deviation, drawn numerically after the bar.
+    pub std_dev: f64,
+}
+
+/// A grouped bar chart: one group per x-value (file size), several bars per
+/// group (routes).
+#[derive(Debug, Clone, Default)]
+pub struct GroupedBarChart {
+    title: String,
+    unit: String,
+    groups: Vec<(String, Vec<Bar>)>,
+}
+
+impl GroupedBarChart {
+    /// New chart with a title and a value unit ("s").
+    pub fn new(title: &str, unit: &str) -> Self {
+        GroupedBarChart { title: title.to_string(), unit: unit.to_string(), groups: Vec::new() }
+    }
+
+    /// Append a group.
+    pub fn group(&mut self, x_label: &str, bars: Vec<Bar>) -> &mut Self {
+        assert!(!bars.is_empty(), "empty bar group");
+        self.groups.push((x_label.to_string(), bars));
+        self
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Is the chart empty?
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Render with bars scaled to `width` columns for the maximum value.
+    pub fn render(&self, width: usize) -> String {
+        assert!(width >= 8, "chart too narrow");
+        let max = self
+            .groups
+            .iter()
+            .flat_map(|(_, bars)| bars.iter())
+            .map(|b| b.value + b.std_dev)
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let label_w = self
+            .groups
+            .iter()
+            .flat_map(|(_, bars)| bars.iter())
+            .map(|b| b.label.len())
+            .max()
+            .unwrap_or(0);
+        let x_w = self.groups.iter().map(|(x, _)| x.len()).max().unwrap_or(0);
+
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        for (x, bars) in &self.groups {
+            for (i, bar) in bars.iter().enumerate() {
+                let x_cell = if i == 0 { x.as_str() } else { "" };
+                let filled = ((bar.value / max) * width as f64).round() as usize;
+                let _ = writeln!(
+                    out,
+                    "{x_cell:>x_w$}  {:<label_w$}  {}{} {:.2}{} ±{:.2}",
+                    bar.label,
+                    "█".repeat(filled),
+                    if filled == 0 { "▏" } else { "" },
+                    bar.value,
+                    self.unit,
+                    bar.std_dev,
+                );
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a series as a unicode sparkline (`▁▂▃▄▅▆▇█`), scaled to the
+/// series' own maximum. Useful for rate-over-time timelines.
+pub fn sparkline(values: &[f64]) -> String {
+    const TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return TICKS[0].to_string().repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            TICKS[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(s.chars().count(), 5);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_all_zero() {
+        assert_eq!(sparkline(&[0.0, 0.0, 0.0]), "▁▁▁");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    fn chart() -> GroupedBarChart {
+        let mut c = GroupedBarChart::new("demo", "s");
+        c.group(
+            "10MB",
+            vec![
+                Bar { label: "Direct".into(), value: 9.0, std_dev: 0.2 },
+                Bar { label: "via UAlberta".into(), value: 4.2, std_dev: 0.1 },
+            ],
+        );
+        c.group(
+            "100MB",
+            vec![
+                Bar { label: "Direct".into(), value: 88.0, std_dev: 2.3 },
+                Bar { label: "via UAlberta".into(), value: 38.0, std_dev: 0.8 },
+            ],
+        );
+        c
+    }
+
+    #[test]
+    fn renders_scaled_bars() {
+        let text = chart().render(40);
+        assert!(text.contains("== demo =="));
+        // The largest bar is the longest run of blocks.
+        let longest = text
+            .lines()
+            .map(|l| l.chars().filter(|&c| c == '█').count())
+            .max()
+            .unwrap();
+        assert_eq!(longest, 39); // 88 / 90.3 * 40 ≈ 39
+        // Values and sigmas are printed.
+        assert!(text.contains("88.00s ±2.30"));
+        assert!(text.contains("4.20s ±0.10"));
+    }
+
+    #[test]
+    fn group_labels_once() {
+        let text = chart().render(20);
+        assert_eq!(text.matches("10MB").count(), 1);
+        assert_eq!(text.matches("100MB").count(), 1);
+    }
+
+    #[test]
+    fn tiny_values_get_a_tick() {
+        let mut c = GroupedBarChart::new("", "s");
+        c.group(
+            "x",
+            vec![
+                Bar { label: "big".into(), value: 1000.0, std_dev: 0.0 },
+                Bar { label: "tiny".into(), value: 0.5, std_dev: 0.0 },
+            ],
+        );
+        let text = c.render(30);
+        assert!(text.contains('▏'), "zero-width bar needs a tick: {text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bar group")]
+    fn empty_group_rejected() {
+        GroupedBarChart::new("", "").group("x", vec![]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(GroupedBarChart::new("", "").is_empty());
+        assert_eq!(chart().len(), 2);
+    }
+}

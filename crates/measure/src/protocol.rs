@@ -1,0 +1,137 @@
+//! The paper's run protocol: seven runs, keep the last five.
+//!
+//! The first runs of a batch are systematically slower (cold TCP state,
+//! OAuth grants, DNS caches); the paper handles that by discarding them.
+//! [`RunProtocol`] encodes the batch shape and turns a per-run closure into
+//! [`Stats`] over the kept runs.
+
+use crate::stats::Stats;
+use serde::{Deserialize, Serialize};
+
+/// A measurement batch description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunProtocol {
+    /// Total runs performed.
+    pub total_runs: usize,
+    /// Leading runs discarded as warm-up.
+    pub discard: usize,
+}
+
+impl RunProtocol {
+    /// The paper's protocol: mean of the last five of seven runs.
+    pub fn paper() -> Self {
+        RunProtocol { total_runs: 7, discard: 2 }
+    }
+
+    /// A quicker protocol for smoke tests.
+    pub fn quick() -> Self {
+        RunProtocol { total_runs: 3, discard: 1 }
+    }
+
+    /// Runs kept for statistics.
+    pub fn kept(&self) -> usize {
+        self.total_runs - self.discard
+    }
+
+    /// Execute the batch. The closure receives the run index
+    /// (`0..total_runs`) and whether the run is a warm-up, and returns the
+    /// measured value (seconds, in the paper's usage).
+    ///
+    /// ```
+    /// use measure::RunProtocol;
+    /// // Warm-up runs are slow and discarded, exactly as in the paper.
+    /// let stats = RunProtocol::paper().run(|_, warmup| if warmup { 99.0 } else { 17.0 });
+    /// assert_eq!(stats.n, 5);
+    /// assert_eq!(stats.mean, 17.0);
+    /// ```
+    pub fn run<F>(&self, mut f: F) -> Stats
+    where
+        F: FnMut(usize, bool) -> f64,
+    {
+        assert!(self.discard < self.total_runs, "protocol discards everything");
+        let mut kept = Vec::with_capacity(self.kept());
+        for i in 0..self.total_runs {
+            let warmup = i < self.discard;
+            let v = f(i, warmup);
+            assert!(v.is_finite(), "run {i} produced a non-finite measurement");
+            if !warmup {
+                kept.push(v);
+            }
+        }
+        Stats::from_samples(&kept)
+    }
+
+    /// Derive a deterministic per-run seed from an experiment label and run
+    /// index (FNV-1a), so campaigns are reproducible yet runs differ.
+    pub fn run_seed(label: &str, run: usize) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in label.bytes().chain((run as u64).to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_last_five_of_seven() {
+        let p = RunProtocol::paper();
+        assert_eq!(p.kept(), 5);
+        // Warm-up runs return garbage; kept runs return 10.0.
+        let stats = p.run(|i, warmup| {
+            assert_eq!(warmup, i < 2);
+            if warmup {
+                1000.0
+            } else {
+                10.0
+            }
+        });
+        assert_eq!(stats.n, 5);
+        assert!((stats.mean - 10.0).abs() < 1e-12);
+        assert_eq!(stats.std_dev, 0.0);
+    }
+
+    #[test]
+    fn runs_in_order() {
+        let mut seen = Vec::new();
+        RunProtocol::paper().run(|i, _| {
+            seen.push(i);
+            1.0
+        });
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "discards everything")]
+    fn degenerate_protocol_panics() {
+        RunProtocol { total_runs: 2, discard: 2 }.run(|_, _| 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_measurement_panics() {
+        RunProtocol::quick().run(|_, _| f64::NAN);
+    }
+
+    #[test]
+    fn seeds_stable_and_distinct() {
+        let a = RunProtocol::run_seed("fig2/ubc/gdrive/10MB", 0);
+        let b = RunProtocol::run_seed("fig2/ubc/gdrive/10MB", 1);
+        let c = RunProtocol::run_seed("fig2/ubc/gdrive/20MB", 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, RunProtocol::run_seed("fig2/ubc/gdrive/10MB", 0));
+    }
+
+    #[test]
+    fn variance_computed_over_kept_runs() {
+        let values = [99.0, 99.0, 10.0, 12.0, 14.0, 16.0, 18.0];
+        let stats = RunProtocol::paper().run(|i, _| values[i]);
+        assert!((stats.mean - 14.0).abs() < 1e-12);
+        assert!(stats.std_dev > 2.0 && stats.std_dev < 4.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Summary statistics, the paper's overlap analysis, and Welch's t-test.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean / standard deviation / extremes of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator, as the paper's error
+    /// bars imply).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Stats {
+    /// Compute from samples. Panics on an empty slice.
+    ///
+    /// ```
+    /// use measure::Stats;
+    /// let s = Stats::from_samples(&[17.0, 18.0, 19.0, 18.0, 18.0]);
+    /// assert_eq!(s.mean, 18.0);
+    /// assert_eq!(s.n, 5);
+    /// assert!(s.std_dev > 0.0);
+    /// ```
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Stats { n, mean, std_dev: var.sqrt(), min, max }
+    }
+
+    /// Two-sided 95% confidence interval of the mean, `(lo, hi)`, using the
+    /// Student-t critical value for `n−1` degrees of freedom. For `n = 1`
+    /// the interval collapses to the point estimate.
+    pub fn ci95(&self) -> (f64, f64) {
+        if self.n < 2 {
+            return (self.mean, self.mean);
+        }
+        let crit = t_critical_5pct(self.n - 1);
+        let half = crit * self.std_dev / (self.n as f64).sqrt();
+        (self.mean - half, self.mean + half)
+    }
+
+    /// Coefficient of variation (σ/μ).
+    pub fn cv(&self) -> f64 {
+        if self.mean.abs() < 1e-12 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+
+    /// Relative difference of this mean versus a baseline mean, as the
+    /// paper's tables print it: negative = faster than baseline.
+    pub fn relative_to(&self, baseline: &Stats) -> f64 {
+        (self.mean - baseline.mean) / baseline.mean * 100.0
+    }
+
+    /// The paper's §III-B test: do the mean±1σ intervals of two routes
+    /// overlap? If they do, the paper declines to prefer the "faster" route.
+    pub fn overlap_1sigma(&self, other: &Stats) -> OverlapVerdict {
+        let self_hi = self.mean + self.std_dev;
+        let self_lo = self.mean - self.std_dev;
+        let other_hi = other.mean + other.std_dev;
+        let other_lo = other.mean - other.std_dev;
+        if self_lo <= other_hi && other_lo <= self_hi {
+            OverlapVerdict::Overlapping
+        } else {
+            OverlapVerdict::Separated
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ± {:.2} (n={})", self.mean, self.std_dev, self.n)
+    }
+}
+
+/// Result of the paper's ±1σ interval comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverlapVerdict {
+    /// Error bars overlap: "we may not choose to rely on any detours in
+    /// these types of scenarios" (paper, §III-B).
+    Overlapping,
+    /// Intervals are separated: the faster route is trustworthy.
+    Separated,
+}
+
+/// Welch's unequal-variance t-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WelchT {
+    /// The t statistic (sign: positive when `a` has the larger mean).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+}
+
+impl WelchT {
+    /// Compare two samples' means.
+    pub fn compare(a: &Stats, b: &Stats) -> WelchT {
+        assert!(a.n > 1 && b.n > 1, "need at least two samples per side");
+        let va = a.std_dev.powi(2) / a.n as f64;
+        let vb = b.std_dev.powi(2) / b.n as f64;
+        let se = (va + vb).sqrt();
+        let t = if se < 1e-12 { 0.0 } else { (a.mean - b.mean) / se };
+        let df = if va + vb < 1e-24 {
+            (a.n + b.n - 2) as f64
+        } else {
+            (va + vb).powi(2)
+                / (va.powi(2) / (a.n as f64 - 1.0) + vb.powi(2) / (b.n as f64 - 1.0))
+        };
+        WelchT { t, df }
+    }
+
+    /// Conservative significance check: |t| above the two-sided 5% critical
+    /// value for the (floored) degrees of freedom.
+    pub fn significant_at_5pct(&self) -> bool {
+        self.t.abs() > t_critical_5pct(self.df.floor() as usize)
+    }
+}
+
+/// Two-sided 5% Student-t critical value for `df` degrees of freedom
+/// (tabulated to 30, normal approximation beyond).
+pub fn t_critical_5pct(df: usize) -> f64 {
+    const CRIT: [f64; 31] = [
+        f64::INFINITY, // df 0: unusable
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df >= CRIT.len() {
+        1.96
+    } else {
+        CRIT[df]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = Stats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev with n-1: sqrt(32/7) ≈ 2.138
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Stats::from_samples(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_panics() {
+        Stats::from_samples(&[]);
+    }
+
+    #[test]
+    fn relative_to_matches_paper_table2() {
+        // Paper Table II, 10 MB row: direct 9.46 s, via UAlberta 6.47 s
+        // -> -31.52%.
+        let direct = Stats { n: 5, mean: 9.46, std_dev: 0.0, min: 9.46, max: 9.46 };
+        let detour = Stats { n: 5, mean: 6.47, std_dev: 0.0, min: 6.47, max: 6.47 };
+        let rel = detour.relative_to(&direct);
+        assert!((rel - -31.607).abs() < 0.2, "rel {rel}");
+    }
+
+    #[test]
+    fn overlap_analysis_matches_paper_table4() {
+        // Paper §III-B worked example: Dropbox 100 MB from Purdue.
+        // Direct 177.89 ± 36.03, via UAlberta 237.78 ± 56.1: intervals
+        // [141.86, 213.92] and [181.68, 293.88] overlap.
+        let direct = Stats { n: 5, mean: 177.89, std_dev: 36.03, min: 0.0, max: 0.0 };
+        let ua = Stats { n: 5, mean: 237.78, std_dev: 56.1, min: 0.0, max: 0.0 };
+        assert_eq!(direct.overlap_1sigma(&ua), OverlapVerdict::Overlapping);
+
+        // Clearly separated case: Purdue->Drive direct 748.03 vs detour
+        // 195.88 (Table III) with modest spreads.
+        let slow = Stats { n: 5, mean: 748.03, std_dev: 60.0, min: 0.0, max: 0.0 };
+        let fast = Stats { n: 5, mean: 195.88, std_dev: 30.0, min: 0.0, max: 0.0 };
+        assert_eq!(slow.overlap_1sigma(&fast), OverlapVerdict::Separated);
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let a = Stats { n: 5, mean: 10.0, std_dev: 2.0, min: 0.0, max: 0.0 };
+        let b = Stats { n: 5, mean: 13.0, std_dev: 2.0, min: 0.0, max: 0.0 };
+        assert_eq!(a.overlap_1sigma(&b), b.overlap_1sigma(&a));
+    }
+
+    #[test]
+    fn welch_t_separated_samples() {
+        let a = Stats::from_samples(&[10.0, 11.0, 9.0, 10.5, 9.5]);
+        let b = Stats::from_samples(&[20.0, 21.0, 19.0, 20.5, 19.5]);
+        let w = WelchT::compare(&b, &a);
+        assert!(w.t > 5.0, "t = {}", w.t);
+        assert!(w.significant_at_5pct());
+    }
+
+    #[test]
+    fn welch_t_identical_samples() {
+        let a = Stats::from_samples(&[5.0, 5.1, 4.9, 5.0]);
+        let w = WelchT::compare(&a, &a);
+        assert!(w.t.abs() < 1e-9);
+        assert!(!w.significant_at_5pct());
+    }
+
+    #[test]
+    fn welch_t_zero_variance() {
+        let a = Stats::from_samples(&[5.0, 5.0, 5.0]);
+        let b = Stats::from_samples(&[5.0, 5.0, 5.0]);
+        let w = WelchT::compare(&a, &b);
+        assert_eq!(w.t, 0.0);
+        assert!(!w.significant_at_5pct());
+    }
+
+    #[test]
+    fn ci95_behaviour() {
+        // n=5, σ=1: half-width = 2.776 / sqrt(5) ≈ 1.2415.
+        let s = Stats { n: 5, mean: 10.0, std_dev: 1.0, min: 0.0, max: 0.0 };
+        let (lo, hi) = s.ci95();
+        assert!((hi - 10.0 - 2.776 / 5.0f64.sqrt()).abs() < 1e-9);
+        assert!((10.0 - lo - 2.776 / 5.0f64.sqrt()).abs() < 1e-9);
+        // Degenerate cases.
+        let one = Stats { n: 1, mean: 7.0, std_dev: 0.0, min: 7.0, max: 7.0 };
+        assert_eq!(one.ci95(), (7.0, 7.0));
+        // More samples shrink the interval.
+        let s50 = Stats { n: 50, mean: 10.0, std_dev: 1.0, min: 0.0, max: 0.0 };
+        assert!(s50.ci95().1 - s50.ci95().0 < hi - lo);
+    }
+
+    #[test]
+    fn t_critical_table() {
+        assert_eq!(t_critical_5pct(0), f64::INFINITY);
+        assert!((t_critical_5pct(4) - 2.776).abs() < 1e-9);
+        assert_eq!(t_critical_5pct(1000), 1.96);
+    }
+
+    #[test]
+    fn cv() {
+        let s = Stats { n: 5, mean: 100.0, std_dev: 10.0, min: 0.0, max: 0.0 };
+        assert!((s.cv() - 0.1).abs() < 1e-12);
+        let z = Stats { n: 5, mean: 0.0, std_dev: 10.0, min: 0.0, max: 0.0 };
+        assert_eq!(z.cv(), 0.0);
+    }
+
+    #[test]
+    fn display() {
+        let s = Stats { n: 5, mean: 177.89, std_dev: 36.03, min: 0.0, max: 0.0 };
+        assert_eq!(s.to_string(), "177.89 ± 36.03 (n=5)");
+    }
+}

@@ -1,0 +1,179 @@
+//! Text and CSV table rendering for the `repro` harness.
+//!
+//! The tables printed by the benchmark harness mirror the paper's layout:
+//! a file-size column, then one column per route with the mean time and the
+//! percentage gain/loss relative to the direct route in brackets (the
+//! paper's Tables II and III).
+
+use crate::stats::Stats;
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Paper-style cell: `"17.40 [-52.8%]"` — a mean and its gain/loss
+    /// versus the direct route.
+    pub fn timing_cell(stats: &Stats, baseline: Option<&Stats>) -> String {
+        match baseline {
+            Some(b) => {
+                let rel = stats.relative_to(b);
+                format!("{:.2} [{}{:.2}%]", stats.mean, if rel >= 0.0 { "+" } else { "" }, rel)
+            }
+            None => format!("{:.2}", stats.mean),
+        }
+    }
+
+    /// Cell with mean and standard deviation (the paper's Table IV).
+    pub fn mean_std_cell(stats: &Stats) -> String {
+        format!("{:.2} ± {:.2}", stats.mean, stats.std_dev)
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (w, cell) in widths.iter().zip(cells) {
+                if !first {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+                first = false;
+            }
+            // Trim per-line trailing spaces from the last padded cell.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&mut out, &sep);
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (RFC 4180 quoting for cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(mean: f64, sd: f64) -> Stats {
+        Stats { n: 5, mean, std_dev: sd, min: mean, max: mean }
+    }
+
+    #[test]
+    fn timing_cell_matches_paper_format() {
+        // Paper Table II, 40 MB row: direct 36.86, via UAlberta 17.4 [-52.8%].
+        let direct = stats(36.86, 0.0);
+        let ua = stats(17.4, 0.0);
+        let cell = Table::timing_cell(&ua, Some(&direct));
+        assert!(cell.starts_with("17.40 [-52.7"), "cell {cell}");
+        assert_eq!(Table::timing_cell(&direct, None), "36.86");
+        // Slowdowns get an explicit plus sign.
+        let umich = stats(51.87, 0.0);
+        let cell = Table::timing_cell(&umich, Some(&direct));
+        assert!(cell.contains("[+40.7"), "cell {cell}");
+    }
+
+    #[test]
+    fn mean_std_cell() {
+        assert_eq!(Table::mean_std_cell(&stats(177.89, 36.03)), "177.89 ± 36.03");
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["size", "direct", "detour"]);
+        t.row(vec!["10".into(), "9.46".into(), "6.47".into()]);
+        t.row(vec!["100".into(), "86.92".into(), "35.79".into()]);
+        let text = t.render();
+        assert!(text.contains("== demo =="));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5); // title, header, sep, 2 rows
+        // Columns align: "direct" starts at the same offset on every line.
+        let off = lines[1].find("direct").unwrap();
+        assert_eq!(lines[3].find("9.46").unwrap(), off);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(vec!["1,5".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "\"1,5\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        Table::new("", &["a", "b"]).row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("empty", &["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.render().contains('x'));
+    }
+}

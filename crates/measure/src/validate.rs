@@ -1,0 +1,136 @@
+//! Quantitative reproduction validation: how close is a reproduced series
+//! to the paper's published one?
+//!
+//! Two complementary views:
+//! * **Pearson correlation** across the series (does the reproduction rise
+//!   and fall where the paper's does?), and
+//! * **ratio statistics** (geometric-mean and worst-case multiplicative
+//!   error), which are the right error measure for quantities spanning an
+//!   order of magnitude.
+
+use serde::{Deserialize, Serialize};
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns `None` for degenerate inputs (length < 2 or zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "series length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx < 1e-24 || syy < 1e-24 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Multiplicative-error summary of `reproduced` against `reference`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioStats {
+    /// Geometric mean of reproduced/reference (1.0 = unbiased).
+    pub geo_mean_ratio: f64,
+    /// Largest |log-ratio| as a factor (1.5 = within 1.5× everywhere).
+    pub worst_factor: f64,
+}
+
+impl RatioStats {
+    /// Compute over paired positive values.
+    pub fn compute(reproduced: &[f64], reference: &[f64]) -> Self {
+        assert_eq!(reproduced.len(), reference.len(), "series length mismatch");
+        assert!(!reproduced.is_empty(), "empty series");
+        let mut log_sum = 0.0;
+        let mut worst: f64 = 0.0;
+        for (&a, &b) in reproduced.iter().zip(reference) {
+            assert!(a > 0.0 && b > 0.0, "ratio stats need positive values");
+            let lr = (a / b).ln();
+            log_sum += lr;
+            worst = worst.max(lr.abs());
+        }
+        RatioStats {
+            geo_mean_ratio: (log_sum / reproduced.len() as f64).exp(),
+            worst_factor: worst.exp(),
+        }
+    }
+
+    /// "Within `f`× of the reference everywhere, with ≤`bias` mean bias."
+    pub fn within(&self, factor: f64, bias: f64) -> bool {
+        self.worst_factor <= factor
+            && self.geo_mean_ratio <= 1.0 + bias
+            && self.geo_mean_ratio >= 1.0 / (1.0 + bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let ys = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        // Exact value for this pairing is -4/sqrt(336) ≈ -0.218.
+        assert!(pearson(&xs, &ys).unwrap().abs() < 0.25);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn ratio_stats_identity() {
+        let r = RatioStats::compute(&[1.0, 10.0, 100.0], &[1.0, 10.0, 100.0]);
+        assert!((r.geo_mean_ratio - 1.0).abs() < 1e-12);
+        assert!((r.worst_factor - 1.0).abs() < 1e-12);
+        assert!(r.within(1.01, 0.01));
+    }
+
+    #[test]
+    fn ratio_stats_detect_bias_and_outliers() {
+        // Uniform 2x bias.
+        let r = RatioStats::compute(&[2.0, 20.0], &[1.0, 10.0]);
+        assert!((r.geo_mean_ratio - 2.0).abs() < 1e-12);
+        assert!(!r.within(3.0, 0.5));
+        // One bad cell.
+        let r = RatioStats::compute(&[1.0, 30.0], &[1.0, 10.0]);
+        assert!(r.worst_factor > 2.9);
+    }
+
+    #[test]
+    fn table2_reproduction_is_tight() {
+        // Our Table II means vs the paper's (direct route).
+        let ours = [9.01, 17.67, 27.02, 35.75, 43.95, 53.31, 87.65];
+        let paper = [9.46, 18.61, 28.66, 36.86, 42.26, 51.11, 86.92];
+        let corr = pearson(&ours, &paper).unwrap();
+        assert!(corr > 0.998, "corr {corr}");
+        let r = RatioStats::compute(&ours, &paper);
+        assert!(r.within(1.1, 0.06), "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

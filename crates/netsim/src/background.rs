@@ -1,0 +1,239 @@
+//! Stochastic background cross-traffic.
+//!
+//! The paper's error bars — one standard deviation over five timed runs —
+//! come from real cross traffic on shared peering links. We reproduce that
+//! with a two-state Markov-modulated ON/OFF generator per congested path:
+//! in the *calm* state the generator maintains a small number of concurrent
+//! bulk flows; in the *busy* state, a larger number. Dwell times are
+//! exponential, flow sizes log-normal-ish (exponential of a Gaussian), and
+//! everything draws from the simulation's seeded PRNG, so each measurement
+//! run (different seed) sees different congestion — exactly like back-to-back
+//! runs on a real WAN.
+
+use crate::engine::{Ctx, Event, Process};
+use crate::flow::{FlowClass, FlowSpec};
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use crate::units::MB;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one background generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BackgroundProfile {
+    /// Source of the cross traffic.
+    pub src: NodeId,
+    /// Sink of the cross traffic.
+    pub dst: NodeId,
+    /// Concurrent flows maintained in the calm state.
+    pub calm_flows: u32,
+    /// Concurrent flows maintained in the busy state.
+    pub busy_flows: u32,
+    /// Mean dwell time in the calm state.
+    pub calm_dwell: SimTime,
+    /// Mean dwell time in the busy state.
+    pub busy_dwell: SimTime,
+    /// Mean size of one cross-traffic flow, bytes.
+    pub mean_flow_bytes: u64,
+}
+
+impl BackgroundProfile {
+    /// A moderate profile: light steady load with occasional busy bursts.
+    pub fn moderate(src: NodeId, dst: NodeId) -> Self {
+        BackgroundProfile {
+            src,
+            dst,
+            calm_flows: 1,
+            busy_flows: 4,
+            calm_dwell: SimTime::from_secs(40),
+            busy_dwell: SimTime::from_secs(15),
+            mean_flow_bytes: 40 * MB,
+        }
+    }
+
+    /// A heavy profile: persistent competition with violent bursts — used on
+    /// the paper's pathological Purdue→Google peering.
+    pub fn heavy(src: NodeId, dst: NodeId) -> Self {
+        BackgroundProfile {
+            src,
+            dst,
+            calm_flows: 4,
+            busy_flows: 12,
+            calm_dwell: SimTime::from_secs(30),
+            busy_dwell: SimTime::from_secs(30),
+            mean_flow_bytes: 80 * MB,
+        }
+    }
+
+    /// Scale both flow counts by a factor (ablation A3 sweeps this).
+    pub fn scaled(mut self, k: f64) -> Self {
+        assert!(k >= 0.0 && k.is_finite());
+        self.calm_flows = ((self.calm_flows as f64) * k).round() as u32;
+        self.busy_flows = ((self.busy_flows as f64) * k).round().max(self.calm_flows as f64) as u32;
+        self
+    }
+}
+
+const STATE_TIMER: u64 = 0xB6_0001;
+
+/// The generator process. Spawn detached: it never finishes.
+pub struct BackgroundTraffic {
+    profile: BackgroundProfile,
+    busy: bool,
+    in_flight: u32,
+}
+
+impl BackgroundTraffic {
+    /// Build from a profile.
+    pub fn new(profile: BackgroundProfile) -> Self {
+        BackgroundTraffic { profile, busy: false, in_flight: 0 }
+    }
+
+    fn target(&self) -> u32 {
+        if self.busy {
+            self.profile.busy_flows
+        } else {
+            self.profile.calm_flows
+        }
+    }
+
+    fn sample_dwell(&self, ctx: &mut Ctx<'_>) -> SimTime {
+        let mean = if self.busy { self.profile.busy_dwell } else { self.profile.calm_dwell };
+        // Exponential via inverse CDF.
+        let u: f64 = ctx.rng().gen_range(1e-9..1.0);
+        mean.mul_f64(-u.ln())
+    }
+
+    fn sample_size(&self, ctx: &mut Ctx<'_>) -> u64 {
+        // exp(N(0, 0.75)) has mean ~exp(0.28); normalize to the mean.
+        let g: f64 = {
+            // Box-Muller from two uniforms, deterministic given the seed.
+            let u1: f64 = ctx.rng().gen_range(1e-12..1.0);
+            let u2: f64 = ctx.rng().gen_range(0.0..1.0);
+            (-2.0_f64 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let sigma = 0.75_f64;
+        let factor = (sigma * g - sigma * sigma / 2.0).exp();
+        ((self.profile.mean_flow_bytes as f64) * factor).max(64.0 * 1024.0) as u64
+    }
+
+    fn refill(&mut self, ctx: &mut Ctx<'_>) {
+        while self.in_flight < self.target() {
+            let bytes = self.sample_size(ctx);
+            let spec = FlowSpec::new(self.profile.src, self.profile.dst, bytes, FlowClass::Background)
+                .reuse_connection();
+            match ctx.start_flow(spec) {
+                Ok(_) => self.in_flight += 1,
+                Err(_) => break, // mis-scenario'd generator: stay silent
+            }
+        }
+    }
+}
+
+impl Process for BackgroundTraffic {
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started => {
+                // Randomize the initial state so concurrent generators are
+                // not phase-locked.
+                self.busy = ctx.rng().gen_bool(0.3);
+                self.refill(ctx);
+                let dwell = self.sample_dwell(ctx);
+                ctx.set_timer(dwell, STATE_TIMER);
+            }
+            Event::Timer { tag: STATE_TIMER } => {
+                self.busy = !self.busy;
+                self.refill(ctx);
+                let dwell = self.sample_dwell(ctx);
+                ctx.set_timer(dwell, STATE_TIMER);
+            }
+            Event::FlowCompleted { .. } | Event::FlowFailed { .. } => {
+                self.in_flight = self.in_flight.saturating_sub(1);
+                self.refill(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "background-traffic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Sim, TransferRequest};
+    use crate::geo::GeoPoint;
+    use crate::topology::{LinkParams, TopologyBuilder};
+    use crate::units::Bandwidth;
+
+    /// Topology: two hosts sharing a 40 Mbps link with a background pair.
+    fn contended() -> (crate::topology::Topology, NodeId, NodeId, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a", GeoPoint::new(0.0, 0.0));
+        let r1 = b.router("r1", GeoPoint::new(0.5, 0.5));
+        let r2 = b.router("r2", GeoPoint::new(0.6, 0.6));
+        let c = b.host("c", GeoPoint::new(1.0, 1.0));
+        let bg_src = b.host("bg-src", GeoPoint::new(0.4, 0.4));
+        let bg_dst = b.host("bg-dst", GeoPoint::new(1.1, 1.1));
+        let fat = LinkParams::new(Bandwidth::from_mbps(1000.0), SimTime::from_millis(2));
+        let thin = LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(10));
+        b.duplex(a, r1, fat);
+        b.duplex(r1, r2, thin); // shared bottleneck
+        b.duplex(r2, c, fat);
+        b.duplex(bg_src, r1, fat);
+        b.duplex(r2, bg_dst, fat);
+        (b.build(), a, c, bg_src, bg_dst)
+    }
+
+    #[test]
+    fn background_slows_foreground() {
+        let (t, a, c, bs, bd) = contended();
+        let clean = Sim::new(t.clone(), 1)
+            .run_transfer(TransferRequest::new(a, c, 50 * MB))
+            .unwrap()
+            .elapsed;
+        let mut sim = Sim::new(t, 1);
+        sim.spawn_detached(Box::new(BackgroundTraffic::new(BackgroundProfile::heavy(bs, bd))));
+        let contended = sim.run_transfer(TransferRequest::new(a, c, 50 * MB)).unwrap().elapsed;
+        assert!(
+            contended > clean.mul_f64(1.3),
+            "background had no effect: clean {clean}, contended {contended}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_times() {
+        let (t, a, c, bs, bd) = contended();
+        let mut times = Vec::new();
+        for seed in 0..5 {
+            let mut sim = Sim::new(t.clone(), seed);
+            sim.spawn_detached(Box::new(BackgroundTraffic::new(BackgroundProfile::heavy(bs, bd))));
+            times.push(sim.run_transfer(TransferRequest::new(a, c, 30 * MB)).unwrap().elapsed);
+        }
+        let distinct: std::collections::HashSet<_> = times.iter().map(|t| t.as_nanos()).collect();
+        assert!(distinct.len() >= 3, "times suspiciously identical: {times:?}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let (t, a, c, bs, bd) = contended();
+        let run = |seed| {
+            let mut sim = Sim::new(t.clone(), seed);
+            sim.spawn_detached(Box::new(BackgroundTraffic::new(BackgroundProfile::moderate(bs, bd))));
+            sim.run_transfer(TransferRequest::new(a, c, 30 * MB)).unwrap().elapsed
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn scaled_profile() {
+        let p = BackgroundProfile::moderate(NodeId(0), NodeId(1)).scaled(2.0);
+        assert_eq!(p.calm_flows, 2);
+        assert_eq!(p.busy_flows, 8);
+        let z = BackgroundProfile::moderate(NodeId(0), NodeId(1)).scaled(0.0);
+        assert_eq!(z.calm_flows, 0);
+        assert_eq!(z.busy_flows, 0);
+    }
+}

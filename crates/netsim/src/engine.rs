@@ -1,0 +1,1469 @@
+//! The discrete-event engine.
+//!
+//! A [`Sim`] owns a topology, a routing table, the set of active fluid flows
+//! and a queue of timestamped events. Protocol logic (cloud-storage upload
+//! sessions, rsync exchanges, relays, background generators) is written as
+//! [`Process`] state machines that react to events and issue commands through
+//! a [`Ctx`].
+//!
+//! Determinism: the event queue orders by `(time, sequence)`, all randomness
+//! flows from one seeded PRNG, and floating-point rate arithmetic is
+//! platform-independent — the same seed replays the same run bit-for-bit.
+
+use crate::error::{NetError, NetResult};
+use crate::flow::{max_min_allocate, AllocEntry, FlowClass, FlowProgress, FlowSpec};
+use crate::middlebox::{FirewallRule, Policer, PolicerScope};
+use crate::routing::RoutingTable;
+use crate::tcp::TcpParams;
+use crate::time::SimTime;
+use crate::topology::{NodeId, Topology};
+use crate::units::Bandwidth;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+/// Handle to an active (or completed) flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Handle to a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Result value a process can finish with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// No payload.
+    None,
+    /// A duration or instant.
+    Time(SimTime),
+    /// A count.
+    U64(u64),
+    /// A measurement.
+    F64(f64),
+    /// A short string.
+    Text(String),
+    /// A heterogeneous list.
+    List(Vec<Value>),
+    /// A propagated failure (lets processes surface [`NetError`]s as
+    /// results instead of panicking).
+    Error(NetError),
+}
+
+impl Value {
+    /// Interpret as a time; panics with context otherwise.
+    pub fn expect_time(&self) -> SimTime {
+        match self {
+            Value::Time(t) => *t,
+            other => panic!("expected Value::Time, got {other:?}"),
+        }
+    }
+
+    /// Interpret as a u64.
+    pub fn expect_u64(&self) -> u64 {
+        match self {
+            Value::U64(v) => *v,
+            other => panic!("expected Value::U64, got {other:?}"),
+        }
+    }
+
+    /// Interpret as a list.
+    pub fn expect_list(&self) -> &[Value] {
+        match self {
+            Value::List(v) => v,
+            other => panic!("expected Value::List, got {other:?}"),
+        }
+    }
+}
+
+/// Events delivered to a [`Process`].
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// First event after spawn; issue initial commands here.
+    Started,
+    /// A flow this process started has fully delivered.
+    FlowCompleted {
+        /// The completed flow.
+        flow: FlowId,
+        /// Payload size.
+        bytes: u64,
+        /// Wall-clock (simulated) duration from start to last-byte delivery.
+        elapsed: SimTime,
+    },
+    /// A flow this process started was cancelled or failed.
+    FlowFailed {
+        /// The failed flow.
+        flow: FlowId,
+        /// Why.
+        error: NetError,
+    },
+    /// A timer set via [`Ctx::set_timer`] fired.
+    Timer {
+        /// The tag passed to `set_timer`.
+        tag: u64,
+    },
+    /// A child process finished.
+    ChildDone {
+        /// The finished child.
+        child: ProcessId,
+        /// Its result.
+        value: Value,
+    },
+}
+
+/// A cooperative protocol state machine.
+///
+/// Processes never block: they receive an [`Event`] and issue commands via
+/// [`Ctx`]. A process signals completion by calling [`Ctx::finish`]; its
+/// parent (if any) then receives [`Event::ChildDone`].
+pub trait Process {
+    /// Handle one event.
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event);
+
+    /// Diagnostic name for error messages.
+    fn name(&self) -> &'static str {
+        "process"
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Activate { flow: u64 },
+    Drained { flow: u64, gen: u64 },
+    Delivered { flow: u64 },
+    Timer { pid: u32, tag: u64 },
+    /// Scheduled change of a link's effective capacity (bytes/sec) — a
+    /// "dynamic bottleneck" appearing or clearing mid-simulation.
+    SetLinkCap { link: u32, bytes_per_sec: f64 },
+}
+
+// EventKind carries an f64 (never NaN), so Eq is implemented manually for
+// Queued; ordering only ever uses (time, seq).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Queued {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Queued {}
+
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct ActiveFlow {
+    id: u64,
+    owner: Option<ProcessId>,
+    /// Kept for diagnostics (bottleneck attribution in error paths).
+    #[allow(dead_code)]
+    class: FlowClass,
+    /// Resource indices: real links are `0..links.len()`, aggregate policers
+    /// follow.
+    resources: Vec<u32>,
+    progress: FlowProgress,
+    gen: u64,
+    total_bytes: u64,
+    /// One-way propagation delay, charged after the fluid drains.
+    path_delay: SimTime,
+    started_at: SimTime,
+    active: bool,
+    /// Fairness weight (see [`FlowSpec::with_weight`]).
+    weight: f64,
+}
+
+/// Counters maintained by the engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Events processed.
+    pub events: u64,
+    /// Flows started.
+    pub flows_started: u64,
+    /// Flows fully delivered.
+    pub flows_completed: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Rate reallocations performed.
+    pub reallocations: u64,
+}
+
+/// Everything in the simulator except the process table (split so processes
+/// can be polled while holding `&mut Core`).
+pub struct Core {
+    topo: Topology,
+    routing: RoutingTable,
+    tcp: TcpParams,
+    policers: Vec<Policer>,
+    firewalls: Vec<FirewallRule>,
+    /// Per-run effective link capacities (bytes/sec). Equal to the nominal
+    /// topology capacities unless capacity jitter is enabled — real paths
+    /// never deliver the same rate twice, and the paper's error bars exist
+    /// even on uncontended routes.
+    link_caps: Vec<f64>,
+    /// Capacity-jitter fraction; also applied to policer rates as they are
+    /// attached (a token bucket's effective rate drifts too).
+    jitter: f64,
+    /// When true, every rate change of every flow is recorded.
+    tracing: bool,
+    /// flow id → (time, rate bytes/sec) change points.
+    traces: HashMap<u64, Vec<(SimTime, f64)>>,
+    flows: HashMap<u64, ActiveFlow>,
+    /// Per-flow rate caps (bytes/sec) used when rebuilding allocations.
+    flow_caps: HashMap<u64, f64>,
+    next_flow: u64,
+    queue: BinaryHeap<Reverse<Queued>>,
+    seq: u64,
+    now: SimTime,
+    rng: SmallRng,
+    stats: SimStats,
+    event_budget: u64,
+}
+
+impl Core {
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { time, seq, kind }));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Seeded PRNG shared by all stochastic components.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Resolve the node path a flow from `src` to `dst` would take.
+    pub fn resolve_path(&mut self, src: NodeId, dst: NodeId) -> NetResult<Vec<NodeId>> {
+        self.routing.path(&self.topo, src, dst)
+    }
+
+    /// Round-trip time along the routed path between two nodes.
+    pub fn rtt(&mut self, src: NodeId, dst: NodeId) -> NetResult<SimTime> {
+        let fwd = self.resolve_path(src, dst)?;
+        let back = self.resolve_path(dst, src)?;
+        Ok(self.topo.path_delay(&fwd) + self.topo.path_delay(&back))
+    }
+
+    /// The rate an isolated flow would get on the routed path (bottleneck
+    /// capacity further limited by policers and the TCP ceiling). This is
+    /// the simulator's ground truth that probe-based selectors try to
+    /// estimate. Uses *nominal* capacities — per-run capacity jitter is
+    /// deliberately invisible here, as it would be to a real probe's
+    /// long-run average.
+    pub fn idle_path_rate(&mut self, src: NodeId, dst: NodeId, class: FlowClass) -> NetResult<Bandwidth> {
+        let path = self.resolve_path(src, dst)?;
+        let links = self.topo.links_on_path(&path)?;
+        let mut rate = self.topo.path_capacity(&links);
+        for p in &self.policers {
+            if links.iter().any(|&l| p.applies(l, class)) {
+                rate = rate.min(p.rate);
+            }
+        }
+        let rtt = self.topo.path_delay(&path) * 2;
+        let loss = self.topo.path_loss(&links);
+        if let Some(ceiling) = self.tcp.mathis_ceiling(rtt, loss) {
+            rate = rate.min(ceiling);
+        }
+        Ok(rate)
+    }
+
+    /// Identify what limits an isolated flow on the routed path: the
+    /// binding constraint behind [`Core::idle_path_rate`]. This is the
+    /// automated version of the paper's manual traceroute-and-speculate
+    /// diagnosis.
+    pub fn bottleneck(&mut self, src: NodeId, dst: NodeId, class: FlowClass) -> NetResult<Bottleneck> {
+        let path = self.resolve_path(src, dst)?;
+        let links = self.topo.links_on_path(&path)?;
+        // Narrowest link.
+        let (mut best_rate, mut cause) = (f64::INFINITY, BottleneckCause::Unconstrained);
+        for &l in &links {
+            let link = self.topo.link(l);
+            let r = link.capacity.bytes_per_sec();
+            if r < best_rate {
+                best_rate = r;
+                cause = BottleneckCause::Link {
+                    from: self.topo.node(link.from).name.clone(),
+                    to: self.topo.node(link.to).name.clone(),
+                };
+            }
+        }
+        for p in &self.policers {
+            if links.iter().any(|&l| p.applies(l, class)) {
+                let r = p.rate.bytes_per_sec();
+                if r < best_rate {
+                    best_rate = r;
+                    cause = BottleneckCause::Policer { name: p.name.clone() };
+                }
+            }
+        }
+        let rtt = self.topo.path_delay(&path) * 2;
+        let loss = self.topo.path_loss(&links);
+        if let Some(ceiling) = self.tcp.mathis_ceiling(rtt, loss) {
+            if ceiling.bytes_per_sec() < best_rate {
+                best_rate = ceiling.bytes_per_sec();
+                cause = BottleneckCause::TcpCeiling { rtt, loss };
+            }
+        }
+        Ok(Bottleneck { rate: Bandwidth::from_bytes_per_sec(best_rate), cause })
+    }
+
+    fn start_flow_inner(&mut self, owner: Option<ProcessId>, spec: FlowSpec) -> NetResult<FlowId> {
+        if spec.bytes == 0 {
+            return Err(NetError::EmptyTransfer);
+        }
+        let path = match &spec.path {
+            Some(p) => {
+                self.topo.links_on_path(p)?; // validate adjacency
+                p.clone()
+            }
+            None => self.routing.path(&self.topo, spec.src, spec.dst)?,
+        };
+        let links = self.topo.links_on_path(&path)?;
+
+        // Firewalls drop the flow outright.
+        for fw in &self.firewalls {
+            for &l in &links {
+                if fw.blocks(l, spec.class) {
+                    return Err(NetError::Blocked { at: self.topo.link(l).from, reason: "firewall" });
+                }
+            }
+        }
+
+        // Resource list: real links plus any aggregate policers matched.
+        let mut resources: Vec<u32> = links.iter().map(|l| l.0).collect();
+        let mut cap = f64::INFINITY;
+        for (i, p) in self.policers.iter().enumerate() {
+            let matched = links.iter().any(|&l| p.applies(l, spec.class));
+            if matched {
+                match p.scope {
+                    PolicerScope::PerFlow => cap = cap.min(p.rate.bytes_per_sec()),
+                    PolicerScope::Aggregate => {
+                        resources.push((self.topo.links().len() + i) as u32)
+                    }
+                }
+            }
+        }
+        if let Some(c) = spec.cap {
+            cap = cap.min(c.bytes_per_sec());
+        }
+        let one_way = self.topo.path_delay(&path);
+        let rtt = one_way * 2;
+        let loss = self.topo.path_loss(&links);
+        if let Some(ceiling) = self.tcp.mathis_ceiling(rtt, loss) {
+            cap = cap.min(ceiling.bytes_per_sec());
+        }
+
+        let startup = if spec.slow_start {
+            let equilibrium = self
+                .topo
+                .path_capacity(&links)
+                .min(Bandwidth::from_bytes_per_sec(if cap.is_finite() { cap } else { 1e18 }));
+            self.tcp.slow_start_delay(rtt, equilibrium)
+        } else {
+            SimTime::ZERO
+        };
+
+        let id = self.next_flow;
+        self.next_flow += 1;
+        self.stats.flows_started += 1;
+        let flow = ActiveFlow {
+            id,
+            owner,
+            class: spec.class,
+            resources,
+            progress: FlowProgress { remaining: spec.bytes as f64, rate: 0.0, started: self.now },
+            gen: 0,
+            total_bytes: spec.bytes,
+            path_delay: one_way,
+            started_at: self.now,
+            active: false,
+            weight: spec.weight,
+        };
+        self.flows.insert(id, flow);
+        self.flow_caps.insert(id, cap);
+        self.push(self.now + startup, EventKind::Activate { flow: id });
+        Ok(FlowId(id))
+    }
+
+    fn reallocate(&mut self) {
+        self.stats.reallocations += 1;
+        let n_links = self.topo.links().len();
+        let mut capacities: Vec<f64> = Vec::with_capacity(n_links + self.policers.len());
+        capacities.extend_from_slice(&self.link_caps);
+        capacities.extend(self.policers.iter().map(|p| p.rate.bytes_per_sec()));
+
+        let mut ids: Vec<u64> = self.flows.values().filter(|f| f.active).map(|f| f.id).collect();
+        ids.sort_unstable(); // determinism: HashMap iteration order is not stable
+        let entries: Vec<AllocEntry> = ids
+            .iter()
+            .map(|id| {
+                let f = &self.flows[id];
+                AllocEntry {
+                    resources: f.resources.clone(),
+                    cap: *self.flow_caps.get(id).unwrap_or(&f64::INFINITY),
+                    weight: f.weight,
+                }
+            })
+            .collect();
+        let rates = max_min_allocate(&capacities, &entries);
+        let now = self.now;
+        for (id, rate) in ids.iter().zip(rates) {
+            let f = self.flows.get_mut(id).expect("flow exists");
+            let changed = (f.progress.rate - rate).abs() > 1e-9;
+            f.progress.rate = rate;
+            f.gen += 1;
+            if let Some(finish) = f.progress.projected_finish(now) {
+                let (fid, gen) = (f.id, f.gen);
+                self.push(finish, EventKind::Drained { flow: fid, gen });
+            }
+            if self.tracing && changed {
+                self.traces.entry(*id).or_default().push((now, rate));
+            }
+        }
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        debug_assert!(t >= self.now, "time went backwards");
+        let dt = t.saturating_sub(self.now);
+        if !dt.is_zero() {
+            for f in self.flows.values_mut() {
+                if f.active {
+                    f.progress.advance(dt);
+                }
+            }
+        }
+        self.now = t;
+    }
+}
+
+/// The simulator.
+pub struct Sim {
+    core: Core,
+    processes: Vec<ProcSlot>,
+    root_result: Option<Value>,
+}
+
+struct ProcSlot {
+    proc_: Option<Box<dyn Process>>,
+    parent: Option<ProcessId>,
+    alive: bool,
+}
+
+/// Deferred effects collected while a process handler runs.
+#[derive(Default)]
+struct Effects {
+    spawned: Vec<(ProcessId, Option<ProcessId>, Box<dyn Process>)>,
+    finished: Option<Value>,
+}
+
+/// The command surface available to a [`Process`] while handling an event.
+pub struct Ctx<'a> {
+    core: &'a mut Core,
+    pid: ProcessId,
+    next_pid: &'a mut u32,
+    effects: &'a mut Effects,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Seeded PRNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.core.rng()
+    }
+
+    /// Read-only topology access.
+    pub fn topology(&self) -> &Topology {
+        &self.core.topo
+    }
+
+    /// Start a flow owned by this process; completion arrives as
+    /// [`Event::FlowCompleted`].
+    pub fn start_flow(&mut self, spec: FlowSpec) -> NetResult<FlowId> {
+        self.core.start_flow_inner(Some(self.pid), spec)
+    }
+
+    /// Set a timer; fires as [`Event::Timer`] with the given tag.
+    pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        let t = self.core.now + delay;
+        self.core.push(t, EventKind::Timer { pid: self.pid.0, tag });
+    }
+
+    /// Spawn a child process; its completion arrives as [`Event::ChildDone`].
+    pub fn spawn(&mut self, p: Box<dyn Process>) -> ProcessId {
+        let pid = ProcessId(*self.next_pid);
+        *self.next_pid += 1;
+        self.effects.spawned.push((pid, Some(self.pid), p));
+        pid
+    }
+
+    /// Finish this process with a result; the parent is notified.
+    pub fn finish(&mut self, v: Value) {
+        self.effects.finished = Some(v);
+    }
+
+    /// Cancel a flow this process started. The flow's capacity is released
+    /// immediately; an [`Event::FlowFailed`] is *not* delivered (the caller
+    /// already knows).
+    pub fn cancel_flow(&mut self, id: FlowId) {
+        if let Some(f) = self.core.flows.remove(&id.0) {
+            self.core.flow_caps.remove(&id.0);
+            if f.active {
+                self.core.reallocate();
+            }
+        }
+    }
+
+    /// Resolve the routed path between two nodes (diagnostics).
+    pub fn resolve_path(&mut self, src: NodeId, dst: NodeId) -> NetResult<Vec<NodeId>> {
+        self.core.resolve_path(src, dst)
+    }
+
+    /// Round-trip time between two nodes along routed paths.
+    pub fn rtt(&mut self, src: NodeId, dst: NodeId) -> NetResult<SimTime> {
+        self.core.rtt(src, dst)
+    }
+}
+
+/// What limits a path's single-flow rate (see [`Core::bottleneck`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bottleneck {
+    /// The binding rate.
+    pub rate: Bandwidth,
+    /// Which constraint binds.
+    pub cause: BottleneckCause,
+}
+
+/// The binding constraint of a path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BottleneckCause {
+    /// A link's capacity (named by its endpoints).
+    Link {
+        /// Upstream node name.
+        from: String,
+        /// Downstream node name.
+        to: String,
+    },
+    /// A traffic policer.
+    Policer {
+        /// The policer's diagnostic name.
+        name: String,
+    },
+    /// The TCP loss/RTT ceiling.
+    TcpCeiling {
+        /// Path round-trip time.
+        rtt: SimTime,
+        /// End-to-end loss probability.
+        loss: f64,
+    },
+    /// Nothing binds (degenerate zero-hop path).
+    Unconstrained,
+}
+
+impl std::fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.cause {
+            BottleneckCause::Link { from, to } => {
+                write!(f, "{} (link {from} → {to})", self.rate)
+            }
+            BottleneckCause::Policer { name } => write!(f, "{} (policer {name})", self.rate),
+            BottleneckCause::TcpCeiling { rtt, loss } => {
+                write!(f, "{} (TCP ceiling: rtt {rtt}, loss {loss:.4})", self.rate)
+            }
+            BottleneckCause::Unconstrained => write!(f, "unconstrained"),
+        }
+    }
+}
+
+/// A flow's recorded rate timeline (see [`Sim::enable_flow_tracing`]).
+#[derive(Debug, Clone, Default)]
+pub struct FlowTrace {
+    /// `(time, rate bytes/sec)` change points, in time order.
+    pub points: Vec<(SimTime, f64)>,
+}
+
+impl FlowTrace {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Integrate the step function: total bytes moved.
+    pub fn total_bytes(&self) -> f64 {
+        let mut total = 0.0;
+        for w in self.points.windows(2) {
+            let dt = (w[1].0.saturating_sub(w[0].0)).as_secs_f64();
+            total += w[0].1 * dt;
+        }
+        total
+    }
+
+    /// Resample into `n` equal time buckets of *average rate* (bytes/sec)
+    /// between the first and last change points. Suitable for sparklines.
+    pub fn sample(&self, n: usize) -> Vec<f64> {
+        assert!(n > 0);
+        if self.points.len() < 2 {
+            return vec![0.0; n];
+        }
+        let t0 = self.points[0].0.as_secs_f64();
+        let t1 = self.points.last().expect("nonempty").0.as_secs_f64();
+        let span = (t1 - t0).max(1e-12);
+        let bucket = span / n as f64;
+        let mut out = vec![0.0f64; n];
+        for w in self.points.windows(2) {
+            let (mut a, rate) = (w[0].0.as_secs_f64(), w[0].1);
+            let b = w[1].0.as_secs_f64();
+            while a < b {
+                let idx = (((a - t0) / bucket) as usize).min(n - 1);
+                let bucket_end = t0 + (idx + 1) as f64 * bucket;
+                let step = (b.min(bucket_end) - a).max(0.0);
+                out[idx] += rate * step;
+                a += step.max(1e-12);
+            }
+        }
+        for v in &mut out {
+            *v /= bucket;
+        }
+        out
+    }
+}
+
+/// A request for a single bulk transfer (the simplest simulation driver).
+#[derive(Debug, Clone)]
+pub struct TransferRequest {
+    /// Underlying flow parameters.
+    pub spec: FlowSpec,
+}
+
+impl TransferRequest {
+    /// A transfer with default class [`FlowClass::Commodity`].
+    pub fn new(src: NodeId, dst: NodeId, bytes: u64) -> Self {
+        TransferRequest { spec: FlowSpec::new(src, dst, bytes, FlowClass::Commodity) }
+    }
+
+    /// A transfer with an explicit class.
+    pub fn with_class(src: NodeId, dst: NodeId, bytes: u64, class: FlowClass) -> Self {
+        TransferRequest { spec: FlowSpec::new(src, dst, bytes, class) }
+    }
+}
+
+/// Result of a completed transfer.
+#[derive(Debug, Clone)]
+pub struct TransferReport {
+    /// Payload size.
+    pub bytes: u64,
+    /// Total duration from request to last-byte delivery.
+    pub elapsed: SimTime,
+}
+
+impl TransferReport {
+    /// Achieved goodput.
+    pub fn throughput(&self) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.bytes as f64 / self.elapsed.as_secs_f64().max(1e-12))
+    }
+}
+
+struct OneShotTransfer {
+    spec: Option<FlowSpec>,
+    started: SimTime,
+}
+
+impl Process for OneShotTransfer {
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started => {
+                self.started = ctx.now();
+                let spec = self.spec.take().expect("started once");
+                if let Err(e) = ctx.start_flow(spec) {
+                    ctx.finish(Value::Error(e));
+                }
+            }
+            Event::FlowCompleted { elapsed, .. } => ctx.finish(Value::Time(elapsed)),
+            Event::FlowFailed { error, .. } => ctx.finish(Value::Error(error)),
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "one-shot-transfer"
+    }
+}
+
+impl Sim {
+    /// Build a simulator over a topology with a deterministic seed.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        let link_caps: Vec<f64> =
+            topo.links().iter().map(|l| l.capacity.bytes_per_sec()).collect();
+        Sim {
+            core: Core {
+                link_caps,
+                jitter: 0.0,
+                tracing: false,
+                traces: HashMap::new(),
+                topo,
+                routing: RoutingTable::new(),
+                tcp: TcpParams::default(),
+                policers: Vec::new(),
+                firewalls: Vec::new(),
+                flows: HashMap::new(),
+                flow_caps: HashMap::new(),
+                next_flow: 1,
+                queue: BinaryHeap::new(),
+                seq: 0,
+                now: SimTime::ZERO,
+                rng: SmallRng::seed_from_u64(seed),
+                stats: SimStats::default(),
+                event_budget: 50_000_000,
+            },
+            processes: Vec::new(),
+            root_result: None,
+        }
+    }
+
+    /// Override TCP model parameters.
+    pub fn set_tcp(&mut self, tcp: TcpParams) {
+        self.core.tcp = tcp;
+    }
+
+    /// Apply symmetric per-run capacity jitter: every link's effective
+    /// capacity for this simulation is drawn uniformly from
+    /// `nominal × [1-frac, 1+frac]` using the sim's seeded PRNG. Models the
+    /// run-to-run rate variability real WAN paths exhibit even when idle
+    /// (the paper's error bars never vanish). Call once, right after
+    /// construction.
+    pub fn set_capacity_jitter(&mut self, frac: f64) {
+        assert!((0.0..1.0).contains(&frac), "jitter fraction out of range: {frac}");
+        use rand::Rng;
+        self.core.jitter = frac;
+        for (cap, link) in self.core.link_caps.iter_mut().zip(self.core.topo.links()) {
+            let k: f64 = self.core.rng.gen_range(1.0 - frac..=1.0 + frac);
+            *cap = link.capacity.bytes_per_sec() * k;
+        }
+    }
+
+    /// Install a route override.
+    pub fn add_route_override(&mut self, ov: crate::routing::RouteOverride) {
+        self.core.routing.add_override(ov);
+    }
+
+    /// Attach a policer. If capacity jitter is enabled, the policer's
+    /// effective rate for this run is jittered by the same fraction.
+    pub fn add_policer(&mut self, mut p: Policer) {
+        if self.core.jitter > 0.0 {
+            use rand::Rng;
+            let j = self.core.jitter;
+            let k: f64 = self.core.rng.gen_range(1.0 - j..=1.0 + j);
+            p.rate = p.rate * k;
+        }
+        self.core.policers.push(p);
+    }
+
+    /// Attach a firewall rule.
+    pub fn add_firewall(&mut self, f: FirewallRule) {
+        self.core.firewalls.push(f);
+    }
+
+    /// Cap the number of processed events (livelock guard).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.core.event_budget = budget;
+    }
+
+    /// Record every flow's rate changes (for post-run timelines). Call
+    /// before starting transfers; modest memory cost per reallocation.
+    pub fn enable_flow_tracing(&mut self) {
+        self.core.tracing = true;
+    }
+
+    /// The recorded rate timeline of a flow: `(time, bytes/sec)` change
+    /// points, ending with a 0.0 entry when the flow drained. Empty unless
+    /// [`Sim::enable_flow_tracing`] was called before the flow ran.
+    pub fn flow_trace(&self, flow: FlowId) -> FlowTrace {
+        FlowTrace { points: self.core.traces.get(&flow.0).cloned().unwrap_or_default() }
+    }
+
+    /// Schedule a link-capacity change at a future simulated time: a
+    /// dynamic bottleneck appearing (rate drop) or clearing (rate rise).
+    /// Active flows re-share bandwidth at that instant. Used to exercise
+    /// the route monitor's "bypass dynamic bottlenecks" behaviour — the
+    /// paper's closing future-work item.
+    pub fn schedule_capacity_change(
+        &mut self,
+        link: crate::topology::LinkId,
+        at: SimTime,
+        capacity: Bandwidth,
+    ) {
+        assert!((link.0 as usize) < self.core.topo.links().len(), "unknown link {link}");
+        self.core.push(
+            at,
+            EventKind::SetLinkCap { link: link.0, bytes_per_sec: capacity.bytes_per_sec() },
+        );
+    }
+
+    /// Read-only core access (time, stats, topology, path resolution).
+    pub fn core(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> SimStats {
+        self.core.stats
+    }
+
+    /// Spawn a detached (parentless, result-discarded) process — used for
+    /// background traffic generators that run for the whole simulation.
+    pub fn spawn_detached(&mut self, p: Box<dyn Process>) -> ProcessId {
+        let pid = ProcessId(self.processes.len() as u32);
+        self.processes.push(ProcSlot { proc_: Some(p), parent: None, alive: true });
+        self.deliver(pid, Event::Started);
+        pid
+    }
+
+    /// Run a root process to completion and return its result.
+    pub fn run_process(&mut self, p: Box<dyn Process>) -> NetResult<Value> {
+        let root = ProcessId(self.processes.len() as u32);
+        self.processes.push(ProcSlot { proc_: Some(p), parent: None, alive: true });
+        self.root_result = None;
+        self.deliver_root(root, Event::Started);
+        if let Some(v) = self.root_result.take() {
+            return Ok(v);
+        }
+        let mut processed: u64 = 0;
+        while let Some(Reverse(q)) = self.core.queue.pop() {
+            processed += 1;
+            self.core.stats.events += 1;
+            if processed > self.core.event_budget {
+                return Err(NetError::EventBudgetExhausted { events: processed });
+            }
+            self.core.advance_to(q.time);
+            self.dispatch(q.kind, root);
+            if let Some(v) = self.root_result.take() {
+                return Ok(v);
+            }
+        }
+        Err(NetError::NoResult)
+    }
+
+    /// Convenience: run a single bulk transfer and report its timing.
+    pub fn run_transfer(&mut self, req: TransferRequest) -> NetResult<TransferReport> {
+        let bytes = req.spec.bytes;
+        let v = self.run_process(Box::new(OneShotTransfer { spec: Some(req.spec), started: SimTime::ZERO }))?;
+        match v {
+            Value::Time(t) => Ok(TransferReport { bytes, elapsed: t }),
+            Value::Error(e) => Err(e),
+            other => panic!("unexpected transfer result {other:?}"),
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind, root: ProcessId) {
+        match kind {
+            EventKind::Activate { flow } => {
+                if let Some(f) = self.core.flows.get_mut(&flow) {
+                    f.active = true;
+                    f.progress.started = self.core.now;
+                    self.core.reallocate();
+                }
+            }
+            EventKind::Drained { flow, gen } => {
+                let done = matches!(self.core.flows.get(&flow),
+                    Some(f) if f.active && f.gen == gen);
+                if done {
+                    let delay = {
+                        let f = self.core.flows.get_mut(&flow).expect("checked above");
+                        f.progress.remaining = 0.0;
+                        f.active = false;
+                        f.path_delay
+                    };
+                    if self.core.tracing {
+                        let now = self.core.now;
+                        self.core.traces.entry(flow).or_default().push((now, 0.0));
+                    }
+                    self.core.reallocate();
+                    self.core.push(self.core.now + delay, EventKind::Delivered { flow });
+                }
+            }
+            EventKind::Delivered { flow } => {
+                if let Some(f) = self.core.flows.remove(&flow) {
+                    self.core.flow_caps.remove(&flow);
+                    self.core.stats.flows_completed += 1;
+                    self.core.stats.bytes_delivered += f.total_bytes;
+                    if let Some(owner) = f.owner {
+                        let ev = Event::FlowCompleted {
+                            flow: FlowId(flow),
+                            bytes: f.total_bytes,
+                            elapsed: self.core.now.saturating_sub(f.started_at),
+                        };
+                        self.deliver_root_aware(owner, ev, root);
+                    }
+                }
+            }
+            EventKind::Timer { pid, tag } => {
+                self.deliver_root_aware(ProcessId(pid), Event::Timer { tag }, root);
+            }
+            EventKind::SetLinkCap { link, bytes_per_sec } => {
+                self.core.link_caps[link as usize] = bytes_per_sec;
+                self.core.reallocate();
+            }
+        }
+    }
+
+    fn deliver_root_aware(&mut self, pid: ProcessId, ev: Event, root: ProcessId) {
+        if let Some((finisher, v)) = self.deliver(pid, ev) {
+            if finisher == root {
+                self.root_result = Some(v);
+            }
+            // Otherwise a detached process finished; its result is discarded.
+        }
+    }
+
+    fn deliver_root(&mut self, pid: ProcessId, ev: Event) {
+        if let Some((finisher, v)) = self.deliver(pid, ev) {
+            if finisher == pid {
+                self.root_result = Some(v);
+            }
+        }
+    }
+
+    /// Deliver an event to a process. If the event causes some *parentless*
+    /// process (this one, or an ancestor reached through `ChildDone`
+    /// notifications) to finish, returns that process and its value.
+    fn deliver(&mut self, pid: ProcessId, ev: Event) -> Option<(ProcessId, Value)> {
+        let idx = pid.0 as usize;
+        if idx >= self.processes.len() || !self.processes[idx].alive {
+            return None; // late event for a dead process
+        }
+        let mut proc_ = self.processes[idx].proc_.take()?;
+        let mut effects = Effects::default();
+        let mut next_pid = self.processes.len() as u32;
+        {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                pid,
+                next_pid: &mut next_pid,
+                effects: &mut effects,
+            };
+            proc_.poll(&mut ctx, ev);
+        }
+        // Reserve slots for spawned children before re-inserting.
+        while self.processes.len() < next_pid as usize {
+            self.processes.push(ProcSlot { proc_: None, parent: None, alive: false });
+        }
+        let finished = effects.finished.take();
+        if finished.is_none() {
+            self.processes[idx].proc_ = Some(proc_);
+        } else {
+            self.processes[idx].alive = false;
+        }
+        // Start spawned children (may themselves spawn; recursion is bounded
+        // by protocol depth, which is small).
+        // A synchronous child start can itself finish an ancestor (e.g. a
+        // child that errors immediately); keep the first such result.
+        let mut bubbled: Option<(ProcessId, Value)> = None;
+        for (cpid, parent, child) in effects.spawned {
+            let cidx = cpid.0 as usize;
+            self.processes[cidx] = ProcSlot { proc_: Some(child), parent, alive: true };
+            if let Some(r) = self.deliver(cpid, Event::Started) {
+                bubbled.get_or_insert(r);
+            }
+        }
+        if let Some(v) = finished {
+            match self.processes[idx].parent {
+                Some(pp) => {
+                    if let Some(r) = self.deliver(pp, Event::ChildDone { child: pid, value: v }) {
+                        bubbled.get_or_insert(r);
+                    }
+                }
+                None => {
+                    bubbled.get_or_insert((pid, v));
+                }
+            }
+        }
+        bubbled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoPoint;
+    use crate::topology::{LinkId, LinkParams, TopologyBuilder};
+    use crate::units::{Bandwidth, MB};
+
+    fn line_topo(mbps: f64) -> (Topology, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a", GeoPoint::new(49.0, -123.0));
+        let c = b.host("c", GeoPoint::new(37.0, -122.0));
+        b.duplex(a, c, LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(10)));
+        (b.build(), a, c)
+    }
+
+    #[test]
+    fn single_transfer_time_close_to_ideal() {
+        let (t, a, c) = line_topo(80.0); // 10 MB/s
+        let mut sim = Sim::new(t, 1);
+        let rep = sim.run_transfer(TransferRequest::new(a, c, 10 * MB)).unwrap();
+        // Ideal fluid time is 1 s; slow start + propagation add a little.
+        let s = rep.elapsed.as_secs_f64();
+        assert!((1.0..1.5).contains(&s), "elapsed {s}");
+        assert!(rep.throughput().mbps() < 80.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (t, a, c) = line_topo(8.0);
+        let r1 = Sim::new(t.clone(), 7).run_transfer(TransferRequest::new(a, c, MB)).unwrap();
+        let r2 = Sim::new(t, 7).run_transfer(TransferRequest::new(a, c, MB)).unwrap();
+        assert_eq!(r1.elapsed, r2.elapsed);
+    }
+
+    #[test]
+    fn zero_byte_transfer_rejected() {
+        let (t, a, c) = line_topo(8.0);
+        let mut sim = Sim::new(t, 1);
+        let err = sim.core().start_flow_inner(None, FlowSpec::new(a, c, 0, FlowClass::Commodity));
+        assert_eq!(err.unwrap_err(), NetError::EmptyTransfer);
+    }
+
+    #[test]
+    fn per_flow_policer_caps_throughput() {
+        let (t, a, c) = line_topo(80.0);
+        let mut sim = Sim::new(t, 1);
+        sim.add_policer(Policer::per_flow(
+            "police",
+            LinkId(0),
+            FlowClass::PlanetLab,
+            Bandwidth::from_mbps(8.0), // 1 MB/s
+        ));
+        let rep = sim
+            .run_transfer(TransferRequest::with_class(a, c, 10 * MB, FlowClass::PlanetLab))
+            .unwrap();
+        let s = rep.elapsed.as_secs_f64();
+        assert!(s > 9.5, "policed transfer took only {s}s");
+        // An unmatched class is unaffected.
+        let mut sim2 = Sim::new(line_topo(80.0).0, 1);
+        sim2.add_policer(Policer::per_flow("police", LinkId(0), FlowClass::PlanetLab, Bandwidth::from_mbps(8.0)));
+        let rep2 = sim2.run_transfer(TransferRequest::with_class(NodeId(0), NodeId(1), 10 * MB, FlowClass::Research)).unwrap();
+        assert!(rep2.elapsed.as_secs_f64() < 2.0);
+    }
+
+    #[test]
+    fn firewall_blocks_flow() {
+        let (t, a, c) = line_topo(10.0);
+        let mut sim = Sim::new(t, 1);
+        sim.add_firewall(FirewallRule::drop_class("fw", LinkId(0), FlowClass::Probe));
+        let err = sim.core().start_flow_inner(None, FlowSpec::new(a, c, MB, FlowClass::Probe));
+        assert!(matches!(err, Err(NetError::Blocked { .. })));
+    }
+
+    #[test]
+    fn two_concurrent_flows_share_link() {
+        struct TwoFlows {
+            a: NodeId,
+            c: NodeId,
+            done: u32,
+            t0: SimTime,
+            times: Vec<SimTime>,
+        }
+        impl Process for TwoFlows {
+            fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Started => {
+                        self.t0 = ctx.now();
+                        for _ in 0..2 {
+                            ctx.start_flow(FlowSpec::new(self.a, self.c, 10 * MB, FlowClass::Commodity)).unwrap();
+                        }
+                    }
+                    Event::FlowCompleted { elapsed, .. } => {
+                        self.done += 1;
+                        self.times.push(elapsed);
+                        if self.done == 2 {
+                            let m = *self.times.iter().max().unwrap();
+                            ctx.finish(Value::Time(m));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let (t, a, c) = line_topo(80.0); // alone: ~1s each
+        let mut sim = Sim::new(t, 1);
+        let v = sim
+            .run_process(Box::new(TwoFlows { a, c, done: 0, t0: SimTime::ZERO, times: vec![] }))
+            .unwrap();
+        let total = v.expect_time().as_secs_f64();
+        // Sharing: both finish around 2s (not 1s).
+        assert!((1.9..2.6).contains(&total), "shared completion {total}");
+    }
+
+    #[test]
+    fn weighted_flows_share_proportionally_end_to_end() {
+        struct TwoWeighted {
+            a: NodeId,
+            c: NodeId,
+            heavy: Option<FlowId>,
+            heavy_time: Option<SimTime>,
+            light_time: Option<SimTime>,
+        }
+        impl Process for TwoWeighted {
+            fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Started => {
+                        self.heavy = Some(
+                            ctx.start_flow(
+                                FlowSpec::new(self.a, self.c, 30 * MB, FlowClass::Commodity)
+                                    .with_weight(3.0)
+                                    .reuse_connection(),
+                            )
+                            .unwrap(),
+                        );
+                        ctx.start_flow(
+                            FlowSpec::new(self.a, self.c, 30 * MB, FlowClass::Commodity)
+                                .with_weight(1.0)
+                                .reuse_connection(),
+                        )
+                        .unwrap();
+                    }
+                    Event::FlowCompleted { flow, elapsed, .. } => {
+                        if Some(flow) == self.heavy {
+                            self.heavy_time = Some(elapsed);
+                        } else {
+                            self.light_time = Some(elapsed);
+                        }
+                        if let (Some(h), Some(l)) = (self.heavy_time, self.light_time) {
+                            ctx.finish(Value::List(vec![Value::Time(h), Value::Time(l)]));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let (t, a, c) = line_topo(80.0); // 10 MB/s
+        let mut sim = Sim::new(t, 1);
+        let v = sim
+            .run_process(Box::new(TwoWeighted { a, c, heavy: None, heavy_time: None, light_time: None }))
+            .unwrap();
+        let items = v.expect_list();
+        let heavy = items[0].expect_time().as_secs_f64();
+        let light = items[1].expect_time().as_secs_f64();
+        // Shared 3:1 on a 10 MB/s link: heavy ≈ 30/7.5 = 4 s; the light flow
+        // gets 2.5 MB/s until then (10 MB done), then the full link:
+        // ≈ 4 + 20/10 = 6 s.
+        assert!((3.8..4.6).contains(&heavy), "heavy {heavy}");
+        assert!((5.6..6.8).contains(&light), "light {light}");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Timers {
+            fired: Vec<u64>,
+        }
+        impl Process for Timers {
+            fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Started => {
+                        ctx.set_timer(SimTime::from_millis(30), 3);
+                        ctx.set_timer(SimTime::from_millis(10), 1);
+                        ctx.set_timer(SimTime::from_millis(20), 2);
+                    }
+                    Event::Timer { tag } => {
+                        self.fired.push(tag);
+                        if self.fired.len() == 3 {
+                            ctx.finish(Value::List(
+                                self.fired.iter().map(|&t| Value::U64(t)).collect(),
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let (t, ..) = line_topo(10.0);
+        let v = Sim::new(t, 1).run_process(Box::new(Timers { fired: vec![] })).unwrap();
+        let tags: Vec<u64> = v.expect_list().iter().map(|v| v.expect_u64()).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn child_processes_report_to_parent() {
+        struct Child;
+        impl Process for Child {
+            fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                if let Event::Started = ev {
+                    ctx.set_timer(SimTime::from_millis(5), 0);
+                } else if let Event::Timer { .. } = ev {
+                    ctx.finish(Value::U64(99));
+                }
+            }
+        }
+        struct Parent {
+            child: Option<ProcessId>,
+        }
+        impl Process for Parent {
+            fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Started => {
+                        self.child = Some(ctx.spawn(Box::new(Child)));
+                    }
+                    Event::ChildDone { child, value } => {
+                        assert_eq!(Some(child), self.child);
+                        ctx.finish(value);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let (t, ..) = line_topo(10.0);
+        let v = Sim::new(t, 1).run_process(Box::new(Parent { child: None })).unwrap();
+        assert_eq!(v, Value::U64(99));
+    }
+
+    #[test]
+    fn event_budget_catches_livelock() {
+        struct Livelock;
+        impl Process for Livelock {
+            fn poll(&mut self, ctx: &mut Ctx<'_>, _ev: Event) {
+                ctx.set_timer(SimTime::from_nanos(1), 0);
+            }
+        }
+        let (t, ..) = line_topo(10.0);
+        let mut sim = Sim::new(t, 1);
+        sim.set_event_budget(1000);
+        let err = sim.run_process(Box::new(Livelock)).unwrap_err();
+        assert!(matches!(err, NetError::EventBudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn no_result_on_deadlock() {
+        struct Waits;
+        impl Process for Waits {
+            fn poll(&mut self, _ctx: &mut Ctx<'_>, _ev: Event) {}
+        }
+        let (t, ..) = line_topo(10.0);
+        let err = Sim::new(t, 1).run_process(Box::new(Waits)).unwrap_err();
+        assert_eq!(err, NetError::NoResult);
+    }
+
+    #[test]
+    fn capacity_jitter_perturbs_times_but_stays_deterministic() {
+        let (t, a, c) = line_topo(80.0);
+        let run = |seed: u64, jitter: f64| {
+            let mut sim = Sim::new(t.clone(), seed);
+            if jitter > 0.0 {
+                sim.set_capacity_jitter(jitter);
+            }
+            sim.run_transfer(TransferRequest::new(a, c, 10 * MB)).unwrap().elapsed
+        };
+        let crisp = run(1, 0.0);
+        // Jitter changes the time, differently per seed, reproducibly.
+        let j1 = run(1, 0.05);
+        let j2 = run(2, 0.05);
+        assert_ne!(crisp, j1);
+        assert_ne!(j1, j2);
+        assert_eq!(j1, run(1, 0.05));
+        // And stays within the jitter envelope (plus slow-start wiggle).
+        let ratio = j1.as_secs_f64() / crisp.as_secs_f64();
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter fraction")]
+    fn jitter_fraction_validated() {
+        let (t, ..) = line_topo(10.0);
+        Sim::new(t, 1).set_capacity_jitter(1.5);
+    }
+
+    #[test]
+    fn flow_trace_integral_matches_bytes() {
+        struct OneFlow {
+            a: NodeId,
+            c: NodeId,
+            id: Option<FlowId>,
+        }
+        impl Process for OneFlow {
+            fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Started => {
+                        self.id = Some(
+                            ctx.start_flow(FlowSpec::new(self.a, self.c, 10 * MB, FlowClass::Commodity))
+                                .unwrap(),
+                        );
+                    }
+                    Event::FlowCompleted { flow, .. } => {
+                        ctx.finish(Value::U64(flow.0));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let (t, a, c) = line_topo(80.0);
+        let mut sim = Sim::new(t, 1);
+        sim.enable_flow_tracing();
+        // Competing flow so the traced flow's rate actually changes.
+        sim.schedule_capacity_change(LinkId(0), SimTime::from_millis(400), Bandwidth::from_mbps(20.0));
+        let v = sim.run_process(Box::new(OneFlow { a, c, id: None })).unwrap();
+        let trace = sim.flow_trace(FlowId(v.expect_u64()));
+        assert!(!trace.is_empty());
+        assert!(trace.points.len() >= 3, "rate change + drain expected: {trace:?}");
+        let integral = trace.total_bytes();
+        let expected = (10 * MB) as f64;
+        assert!(
+            (integral - expected).abs() / expected < 0.01,
+            "integral {integral} vs bytes {expected}"
+        );
+        // Sampling produces the requested number of buckets, all finite.
+        let s = trace.sample(16);
+        assert_eq!(s.len(), 16);
+        assert!(s.iter().all(|v| v.is_finite() && *v >= 0.0));
+        // The rate dropped after the capacity change: early > late.
+        assert!(s[0] > *s.last().unwrap(), "samples {s:?}");
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let (t, a, c) = line_topo(10.0);
+        let mut sim = Sim::new(t, 1);
+        let _ = sim.run_transfer(TransferRequest::new(a, c, MB)).unwrap();
+        assert!(sim.flow_trace(FlowId(1)).is_empty());
+    }
+
+    #[test]
+    fn capacity_change_mid_flow() {
+        // 80 Mbps (10 MB/s) for the first second, then degraded to 8 Mbps:
+        // a 20 MB transfer moves ~10 MB in the first second and crawls
+        // through the remaining ~10 MB at 1 MB/s.
+        let (t, a, c) = line_topo(80.0);
+        let mut sim = Sim::new(t, 1);
+        sim.schedule_capacity_change(LinkId(0), SimTime::from_secs(1), Bandwidth::from_mbps(8.0));
+        let rep = sim.run_transfer(TransferRequest::new(a, c, 20 * MB)).unwrap();
+        let s = rep.elapsed.as_secs_f64();
+        assert!((9.0..13.0).contains(&s), "elapsed {s}");
+        // And the reverse: a slow link that heals.
+        let (t2, a2, c2) = line_topo(8.0);
+        let mut sim2 = Sim::new(t2, 1);
+        sim2.schedule_capacity_change(LinkId(0), SimTime::from_secs(1), Bandwidth::from_mbps(800.0));
+        let rep2 = sim2.run_transfer(TransferRequest::new(a2, c2, 20 * MB)).unwrap();
+        let s2 = rep2.elapsed.as_secs_f64();
+        assert!(s2 < 2.0, "healed link still slow: {s2}");
+    }
+
+    #[test]
+    fn idle_path_rate_reflects_policers() {
+        let (t, a, c) = line_topo(80.0);
+        let mut sim = Sim::new(t, 1);
+        sim.add_policer(Policer::per_flow("p", LinkId(0), FlowClass::PlanetLab, Bandwidth::from_mbps(9.5)));
+        let pl = sim.core().idle_path_rate(a, c, FlowClass::PlanetLab).unwrap();
+        let rs = sim.core().idle_path_rate(a, c, FlowClass::Research).unwrap();
+        assert!((pl.mbps() - 9.5).abs() < 1e-9);
+        assert!((rs.mbps() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_attribution() {
+        let (t, a, c) = line_topo(80.0);
+        let mut sim = Sim::new(t, 1);
+        sim.add_policer(Policer::per_flow("pw", LinkId(0), FlowClass::PlanetLab, Bandwidth::from_mbps(9.3)));
+        // PlanetLab: the policer binds.
+        let b = sim.core().bottleneck(a, c, FlowClass::PlanetLab).unwrap();
+        assert!(matches!(b.cause, BottleneckCause::Policer { ref name } if name == "pw"), "{b}");
+        assert!((b.rate.mbps() - 9.3).abs() < 1e-9);
+        // Research: the link binds.
+        let b = sim.core().bottleneck(a, c, FlowClass::Research).unwrap();
+        assert!(matches!(b.cause, BottleneckCause::Link { .. }), "{b}");
+        assert!(b.to_string().contains("link"));
+    }
+
+    #[test]
+    fn bottleneck_tcp_ceiling_on_lossy_path() {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a", GeoPoint::new(49.0, -123.0));
+        let c = b.host("c", GeoPoint::new(40.0, -75.0));
+        b.duplex(
+            a,
+            c,
+            LinkParams::new(Bandwidth::from_mbps(1000.0), SimTime::from_millis(40)).with_loss(0.01),
+        );
+        let mut sim = Sim::new(b.build(), 1);
+        let bn = sim.core().bottleneck(a, c, FlowClass::Commodity).unwrap();
+        assert!(matches!(bn.cause, BottleneckCause::TcpCeiling { .. }), "{bn}");
+        assert!(bn.rate.mbps() < 10.0, "ceiling should be low: {bn}");
+    }
+
+    #[test]
+    fn cancel_flow_releases_capacity() {
+        struct CancelOne {
+            a: NodeId,
+            c: NodeId,
+            victim: Option<FlowId>,
+        }
+        impl Process for CancelOne {
+            fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+                match ev {
+                    Event::Started => {
+                        self.victim =
+                            Some(ctx.start_flow(FlowSpec::new(self.a, self.c, 100 * MB, FlowClass::Commodity)).unwrap());
+                        ctx.start_flow(FlowSpec::new(self.a, self.c, 10 * MB, FlowClass::Commodity)).unwrap();
+                        ctx.set_timer(SimTime::from_millis(500), 7);
+                    }
+                    Event::Timer { tag: 7 } => {
+                        ctx.cancel_flow(self.victim.take().unwrap());
+                    }
+                    Event::FlowCompleted { elapsed, .. } => ctx.finish(Value::Time(elapsed)),
+                    _ => {}
+                }
+            }
+        }
+        let (t, a, c) = line_topo(80.0);
+        let mut sim = Sim::new(t, 1);
+        let v = sim.run_process(Box::new(CancelOne { a, c, victim: None })).unwrap();
+        // With the 100 MB victim cancelled at 0.5 s, the 10 MB flow gets the
+        // full link afterwards: finishes well under the 2 s a fair share
+        // would need.
+        let s = v.expect_time().as_secs_f64();
+        assert!(s < 1.9, "completion {s}");
+        assert_eq!(sim.stats().flows_completed, 1);
+    }
+}

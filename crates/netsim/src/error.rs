@@ -1,0 +1,71 @@
+//! Error types for the simulator.
+
+use crate::topology::NodeId;
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Everything that can go wrong while building or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No route exists between the two nodes (disconnected topology, or a
+    /// firewall dropped the traffic class).
+    NoRoute { src: NodeId, dst: NodeId },
+    /// An explicit path was supplied but two consecutive nodes in it are not
+    /// adjacent in the topology.
+    BrokenPath { from: NodeId, to: NodeId },
+    /// A node id referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// A transfer of zero bytes was requested.
+    EmptyTransfer,
+    /// A flow or process id was used after completion/cancellation.
+    StaleHandle(&'static str),
+    /// Traffic was administratively blocked by a firewall rule.
+    Blocked { at: NodeId, reason: &'static str },
+    /// The simulation reached its configured event budget — almost always a
+    /// protocol livelock in a process implementation.
+    EventBudgetExhausted { events: u64 },
+    /// The root process finished without producing a value.
+    NoResult,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoRoute { src, dst } => write!(f, "no route from {src} to {dst}"),
+            NetError::BrokenPath { from, to } => {
+                write!(f, "explicit path broken: {from} is not adjacent to {to}")
+            }
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::EmptyTransfer => write!(f, "transfer of zero bytes requested"),
+            NetError::StaleHandle(what) => write!(f, "stale {what} handle"),
+            NetError::Blocked { at, reason } => write!(f, "blocked at {at}: {reason}"),
+            NetError::EventBudgetExhausted { events } => {
+                write!(f, "event budget exhausted after {events} events (protocol livelock?)")
+            }
+            NetError::NoResult => write!(f, "root process finished without a result"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetError::NoRoute { src: NodeId(1), dst: NodeId(2) };
+        assert_eq!(e.to_string(), "no route from n1 to n2");
+        let e = NetError::EventBudgetExhausted { events: 10 };
+        assert!(e.to_string().contains("livelock"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&NetError::EmptyTransfer);
+    }
+}

@@ -1,0 +1,152 @@
+//! Geography: great-circle distances and propagation delays.
+//!
+//! The paper's Figure 3 plots clients, intermediate nodes and provider
+//! datacenters on a map of North America and argues that *geographic
+//! proximity does not predict throughput*. We keep real coordinates on every
+//! node so that (a) link propagation delays default to speed-of-light values
+//! and (b) the Figure 3 / Table V reproductions can print actual distances
+//! and detour "backtracking" factors.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6_371.0;
+
+/// Signal propagation speed in fibre, as a fraction of c (~0.67c), in km/s.
+pub const FIBRE_KM_PER_SEC: f64 = 200_000.0;
+
+/// A point on the Earth's surface (degrees).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point; panics on out-of-range coordinates.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        assert!((-180.0..=180.0).contains(&lon), "longitude out of range: {lon}");
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle (haversine) distance to another point, in kilometres.
+    ///
+    /// ```
+    /// use netsim::geo::places;
+    /// let km = places::UBC.distance_km(&places::SEATTLE);
+    /// assert!((150.0..250.0).contains(&km)); // Vancouver–Seattle ≈ 200 km
+    /// ```
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// One-way fibre propagation delay to another point.
+    ///
+    /// Real paths are never the geodesic; a route-inflation factor of 1.4 is
+    /// applied, consistent with published fibre-vs-geodesic measurements.
+    pub fn propagation_delay(&self, other: &GeoPoint) -> SimTime {
+        const ROUTE_INFLATION: f64 = 1.4;
+        let km = self.distance_km(other) * ROUTE_INFLATION;
+        SimTime::from_secs_f64(km / FIBRE_KM_PER_SEC)
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = if self.lat >= 0.0 { 'N' } else { 'S' };
+        let ew = if self.lon >= 0.0 { 'E' } else { 'W' };
+        write!(f, "{:.2}°{ns} {:.2}°{ew}", self.lat.abs(), self.lon.abs())
+    }
+}
+
+/// Well-known locations used by the paper (Figure 3).
+pub mod places {
+    use super::GeoPoint;
+
+    /// University of British Columbia, Vancouver BC (PlanetLab client).
+    pub const UBC: GeoPoint = GeoPoint { lat: 49.261, lon: -123.246 };
+    /// University of Alberta, Edmonton AB (non-PlanetLab DTN).
+    pub const UALBERTA: GeoPoint = GeoPoint { lat: 53.523, lon: -113.526 };
+    /// University of Michigan, Ann Arbor MI (PlanetLab DTN).
+    pub const UMICH: GeoPoint = GeoPoint { lat: 42.278, lon: -83.738 };
+    /// Purdue University, West Lafayette IN (PlanetLab client).
+    pub const PURDUE: GeoPoint = GeoPoint { lat: 40.424, lon: -86.929 };
+    /// UCLA, Los Angeles CA (PlanetLab client).
+    pub const UCLA: GeoPoint = GeoPoint { lat: 34.069, lon: -118.445 };
+    /// Google Drive datacenter, Mountain View CA.
+    pub const MOUNTAIN_VIEW: GeoPoint = GeoPoint { lat: 37.389, lon: -122.084 };
+    /// Dropbox datacenter, Ashburn VA.
+    pub const ASHBURN: GeoPoint = GeoPoint { lat: 39.044, lon: -77.488 };
+    /// Microsoft OneDrive datacenter, Seattle WA.
+    pub const SEATTLE: GeoPoint = GeoPoint { lat: 47.606, lon: -122.332 };
+    /// Vancouver exchange point (CANARIE `vncv1rtr2`, pacificwave).
+    pub const VANCOUVER_IX: GeoPoint = GeoPoint { lat: 49.283, lon: -123.117 };
+    /// Chicago exchange (Internet2/commodity peering for the midwest).
+    pub const CHICAGO_IX: GeoPoint = GeoPoint { lat: 41.879, lon: -87.636 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance() {
+        let p = GeoPoint::new(49.0, -123.0);
+        assert!(p.distance_km(&p) < 1e-9);
+        assert_eq!(p.propagation_delay(&p), SimTime::ZERO);
+    }
+
+    #[test]
+    fn known_distance_vancouver_edmonton() {
+        // UBC to UAlberta is ~820 km great-circle.
+        let d = places::UBC.distance_km(&places::UALBERTA);
+        assert!((750.0..900.0).contains(&d), "distance was {d}");
+    }
+
+    #[test]
+    fn detour_is_geographic_backtracking() {
+        // The paper's point: UBC -> UAlberta -> Mountain View is a large
+        // geographic detour versus UBC -> Mountain View.
+        let direct = places::UBC.distance_km(&places::MOUNTAIN_VIEW);
+        let detour = places::UBC.distance_km(&places::UALBERTA)
+            + places::UALBERTA.distance_km(&places::MOUNTAIN_VIEW);
+        assert!(detour > 1.5 * direct, "detour {detour} vs direct {direct}");
+    }
+
+    #[test]
+    fn propagation_delay_scales_with_distance() {
+        let short = places::UBC.propagation_delay(&places::SEATTLE);
+        let long = places::UBC.propagation_delay(&places::ASHBURN);
+        assert!(long > short * 5);
+        // Cross-continent one-way delay should be tens of milliseconds.
+        assert!(long > SimTime::from_millis(20) && long < SimTime::from_millis(50), "delay {long}");
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = places::PURDUE;
+        let b = places::SEATTLE;
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn bad_latitude_panics() {
+        GeoPoint::new(91.0, 0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(places::UBC.to_string(), "49.26°N 123.25°W");
+    }
+}

@@ -1,0 +1,270 @@
+//! Policy routing.
+//!
+//! Paths are shortest paths over link *costs* (not delays or capacities), so
+//! scenario authors can express peering policy: a research network can be
+//! made preferable to a commodity path by giving it lower cost, and a
+//! destination can be pushed through a specific exchange by cost shaping.
+//!
+//! On top of cost-based routing sit **route overrides**: explicit node paths
+//! pinned for a (source host, destination host) pair. The paper's central
+//! observation — UBC's PlanetLab traffic to Google reaches `vncv1rtr2` and is
+//! then handed to the `pacificwave` link, while UAlberta's traffic crosses
+//! the same router but takes a different egress — is exactly such an
+//! idiosyncrasy: it is not explainable by shortest-path metrics, so the
+//! scenario pins it explicitly, the same way the real network pinned it by
+//! BGP policy invisible to the authors.
+
+use crate::error::{NetError, NetResult};
+use crate::topology::{LinkId, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// An explicit route pinned for a source/destination pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteOverride {
+    /// Originating host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Full node path, beginning with `src` and ending with `dst`.
+    pub path: Vec<NodeId>,
+}
+
+impl RouteOverride {
+    /// Build an override, validating the endpoints.
+    pub fn new(src: NodeId, dst: NodeId, path: Vec<NodeId>) -> Self {
+        assert_eq!(path.first(), Some(&src), "override path must start at src");
+        assert_eq!(path.last(), Some(&dst), "override path must end at dst");
+        RouteOverride { src, dst, path }
+    }
+}
+
+/// Computes and caches paths over a topology.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    overrides: HashMap<(NodeId, NodeId), Vec<NodeId>>,
+    cache: HashMap<(NodeId, NodeId), Vec<NodeId>>,
+}
+
+impl RoutingTable {
+    /// Empty table (pure shortest-path routing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install an override; replaces any previous override for the pair.
+    pub fn add_override(&mut self, ov: RouteOverride) {
+        self.overrides.insert((ov.src, ov.dst), ov.path);
+    }
+
+    /// Number of installed overrides.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// The path from `src` to `dst`: the installed override if present,
+    /// otherwise the minimum-cost path (ties broken deterministically by
+    /// node id). Results are cached.
+    pub fn path(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> NetResult<Vec<NodeId>> {
+        if !topo.contains(src) {
+            return Err(NetError::UnknownNode(src));
+        }
+        if !topo.contains(dst) {
+            return Err(NetError::UnknownNode(dst));
+        }
+        if src == dst {
+            return Ok(vec![src]);
+        }
+        if let Some(p) = self.overrides.get(&(src, dst)) {
+            // Validate lazily so a bad override fails loudly at use.
+            topo.links_on_path(p)?;
+            return Ok(p.clone());
+        }
+        if let Some(p) = self.cache.get(&(src, dst)) {
+            return Ok(p.clone());
+        }
+        let p = dijkstra(topo, src, dst).ok_or(NetError::NoRoute { src, dst })?;
+        self.cache.insert((src, dst), p.clone());
+        Ok(p)
+    }
+
+    /// Resolve a path into its links.
+    pub fn links(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> NetResult<Vec<LinkId>> {
+        let p = self.path(topo, src, dst)?;
+        topo.links_on_path(&p)
+    }
+
+    /// Drop the shortest-path cache (call after mutating costs in tests).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+/// Deterministic Dijkstra over link costs. Ties are broken by preferring the
+/// lexicographically smaller predecessor node id so that repeated runs (and
+/// runs on different platforms) yield identical paths.
+fn dijkstra(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    let n = topo.nodes().len();
+    let mut dist = vec![u64::MAX; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[src.0 as usize] = 0;
+    heap.push(Reverse((0, src.0)));
+
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        if u == dst.0 {
+            break;
+        }
+        for &lid in topo.outgoing(NodeId(u)) {
+            let link = topo.link(lid);
+            let v = link.to.0 as usize;
+            let nd = d + link.cost as u64;
+            let better = nd < dist[v]
+                || (nd == dist[v] && prev[v].map(|p| u < p.0).unwrap_or(false));
+            if better {
+                dist[v] = nd;
+                prev[v] = Some(NodeId(u));
+                heap.push(Reverse((nd, v as u32)));
+            }
+        }
+    }
+
+    if dist[dst.0 as usize] == u64::MAX {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur.0 as usize]?;
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoPoint;
+    use crate::time::SimTime;
+    use crate::topology::{LinkParams, TopologyBuilder};
+    use crate::units::Bandwidth;
+
+    fn diamond() -> (Topology, NodeId, NodeId, NodeId, NodeId) {
+        // a -> {cheap: x, expensive: y} -> d
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a", GeoPoint::new(0.0, 0.0));
+        let x = b.router("x", GeoPoint::new(1.0, 0.0));
+        let y = b.router("y", GeoPoint::new(-1.0, 0.0));
+        let d = b.host("d", GeoPoint::new(0.0, 1.0));
+        let p = |cost| {
+            LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(1)).with_cost(cost)
+        };
+        b.duplex(a, x, p(5));
+        b.duplex(x, d, p(5));
+        b.duplex(a, y, p(50));
+        b.duplex(y, d, p(50));
+        (b.build(), a, x, y, d)
+    }
+
+    #[test]
+    fn picks_min_cost_path() {
+        let (t, a, x, _y, d) = diamond();
+        let mut rt = RoutingTable::new();
+        assert_eq!(rt.path(&t, a, d).unwrap(), vec![a, x, d]);
+    }
+
+    #[test]
+    fn override_wins_over_cost() {
+        let (t, a, _x, y, d) = diamond();
+        let mut rt = RoutingTable::new();
+        rt.add_override(RouteOverride::new(a, d, vec![a, y, d]));
+        assert_eq!(rt.path(&t, a, d).unwrap(), vec![a, y, d]);
+        assert_eq!(rt.override_count(), 1);
+        // Other directions are unaffected.
+        assert_eq!(rt.path(&t, d, a).unwrap(), vec![d, _x, a]);
+    }
+
+    #[test]
+    fn broken_override_errors() {
+        let (t, a, _x, _y, d) = diamond();
+        let mut rt = RoutingTable::new();
+        // a and d are not adjacent.
+        rt.overrides.insert((a, d), vec![a, d]);
+        assert!(matches!(rt.path(&t, a, d), Err(NetError::BrokenPath { .. })));
+    }
+
+    #[test]
+    fn no_route_is_detected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a", GeoPoint::new(0.0, 0.0));
+        let c = b.host("c", GeoPoint::new(1.0, 1.0));
+        // Link only c -> a, so a cannot reach c.
+        b.simplex(c, a, LinkParams::new(Bandwidth::from_mbps(1.0), SimTime::from_millis(1)));
+        let t = b.build();
+        let mut rt = RoutingTable::new();
+        assert_eq!(rt.path(&t, a, c), Err(NetError::NoRoute { src: a, dst: c }));
+        assert!(rt.path(&t, c, a).is_ok());
+    }
+
+    #[test]
+    fn self_path() {
+        let (t, a, ..) = diamond();
+        let mut rt = RoutingTable::new();
+        assert_eq!(rt.path(&t, a, a).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let (t, a, ..) = diamond();
+        let mut rt = RoutingTable::new();
+        let ghost = NodeId(99);
+        assert_eq!(rt.path(&t, a, ghost), Err(NetError::UnknownNode(ghost)));
+    }
+
+    #[test]
+    fn cache_consistency() {
+        let (t, a, x, _y, d) = diamond();
+        let mut rt = RoutingTable::new();
+        let p1 = rt.path(&t, a, d).unwrap();
+        let p2 = rt.path(&t, a, d).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1, vec![a, x, d]);
+        rt.clear_cache();
+        assert_eq!(rt.path(&t, a, d).unwrap(), p1);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equal-cost paths; the one through the smaller node id wins.
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a", GeoPoint::new(0.0, 0.0));
+        let m1 = b.router("m1", GeoPoint::new(1.0, 0.0));
+        let m2 = b.router("m2", GeoPoint::new(-1.0, 0.0));
+        let d = b.host("d", GeoPoint::new(0.0, 1.0));
+        let p = LinkParams::new(Bandwidth::from_mbps(1.0), SimTime::from_millis(1));
+        b.duplex(a, m2, p); // added first, but m2 has the larger id? No: m1 < m2 by id.
+        b.duplex(m2, d, p);
+        b.duplex(a, m1, p);
+        b.duplex(m1, d, p);
+        let t = b.build();
+        let mut rt = RoutingTable::new();
+        let path = rt.path(&t, a, d).unwrap();
+        // Both are cost 20; determinism demands the same answer every time.
+        for _ in 0..10 {
+            let mut rt2 = RoutingTable::new();
+            assert_eq!(rt2.path(&t, a, d).unwrap(), path);
+        }
+    }
+
+    #[test]
+    fn override_path_must_terminate_correctly() {
+        let (_, a, x, _y, d) = diamond();
+        let result = std::panic::catch_unwind(|| RouteOverride::new(a, d, vec![a, x]));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Request/response (RPC) sessions.
+//!
+//! Cloud-storage REST calls, OAuth2 token grants and rsync control exchanges
+//! are all request/response: the client pushes a request body, the server
+//! thinks, the server pushes a response body. [`Rpc`] is a [`Process`] that
+//! performs one such exchange and finishes with the elapsed time, so
+//! higher-level protocol state machines simply `spawn` it and wait for
+//! [`Event::ChildDone`].
+
+use crate::engine::{Ctx, Event, Process, Value};
+use crate::flow::{FlowClass, FlowSpec};
+use crate::time::SimTime;
+use crate::topology::NodeId;
+
+/// Parameters of a request/response exchange.
+#[derive(Debug, Clone)]
+pub struct RpcSpec {
+    /// Requesting host.
+    pub client: NodeId,
+    /// Responding host.
+    pub server: NodeId,
+    /// Request payload (headers + body), bytes.
+    pub request_bytes: u64,
+    /// Response payload, bytes.
+    pub response_bytes: u64,
+    /// Server-side processing time between request arrival and response.
+    pub server_time: SimTime,
+    /// Traffic class of both directions.
+    pub class: FlowClass,
+    /// Whether the underlying connection is new (pays TCP slow start) or
+    /// reused (no handshake). Upload sessions reuse one connection for all
+    /// chunks; the first call of a session pays the handshake.
+    pub fresh_connection: bool,
+}
+
+impl RpcSpec {
+    /// A small control RPC (512-byte request, 1 KiB response, 5 ms think).
+    pub fn control(client: NodeId, server: NodeId, class: FlowClass) -> Self {
+        RpcSpec {
+            client,
+            server,
+            request_bytes: 512,
+            response_bytes: 1024,
+            server_time: SimTime::from_millis(5),
+            class,
+            fresh_connection: false,
+        }
+    }
+
+    /// Set payload sizes.
+    pub fn with_payload(mut self, request: u64, response: u64) -> Self {
+        self.request_bytes = request.max(1);
+        self.response_bytes = response.max(1);
+        self
+    }
+
+    /// Set the server think time.
+    pub fn with_server_time(mut self, t: SimTime) -> Self {
+        self.server_time = t;
+        self
+    }
+
+    /// Mark the connection as fresh (pays slow start on the request leg).
+    pub fn fresh(mut self) -> Self {
+        self.fresh_connection = true;
+        self
+    }
+}
+
+enum RpcState {
+    Idle,
+    Requesting,
+    Thinking,
+    Responding,
+}
+
+/// A process performing one request/response exchange.
+///
+/// Finishes with `Value::Time(elapsed)`.
+pub struct Rpc {
+    spec: RpcSpec,
+    state: RpcState,
+    started: SimTime,
+}
+
+impl Rpc {
+    /// Build from a spec.
+    pub fn new(spec: RpcSpec) -> Self {
+        Rpc { spec, state: RpcState::Idle, started: SimTime::ZERO }
+    }
+}
+
+const THINK_TIMER: u64 = 0x5256_5043; // "RPC" think-phase tag
+
+impl Process for Rpc {
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match (&self.state, ev) {
+            (RpcState::Idle, Event::Started) => {
+                self.started = ctx.now();
+                let mut spec = FlowSpec::new(
+                    self.spec.client,
+                    self.spec.server,
+                    self.spec.request_bytes,
+                    self.spec.class,
+                );
+                if !self.spec.fresh_connection {
+                    spec = spec.reuse_connection();
+                }
+                match ctx.start_flow(spec) {
+                    Ok(_) => self.state = RpcState::Requesting,
+                    Err(e) => ctx.finish(Value::Error(e)),
+                }
+            }
+            (RpcState::Requesting, Event::FlowCompleted { .. }) => {
+                self.state = RpcState::Thinking;
+                ctx.set_timer(self.spec.server_time, THINK_TIMER);
+            }
+            (RpcState::Thinking, Event::Timer { tag: THINK_TIMER }) => {
+                let spec = FlowSpec::new(
+                    self.spec.server,
+                    self.spec.client,
+                    self.spec.response_bytes,
+                    self.spec.class,
+                )
+                .reuse_connection();
+                match ctx.start_flow(spec) {
+                    Ok(_) => self.state = RpcState::Responding,
+                    Err(e) => ctx.finish(Value::Error(e)),
+                }
+            }
+            (RpcState::Responding, Event::FlowCompleted { .. }) => {
+                ctx.finish(Value::Time(ctx.now().saturating_sub(self.started)));
+            }
+            (_, Event::FlowFailed { error, .. }) => ctx.finish(Value::Error(error)),
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "rpc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sim;
+    use crate::geo::GeoPoint;
+    use crate::topology::{LinkParams, TopologyBuilder};
+    use crate::units::Bandwidth;
+
+    fn pair() -> (crate::topology::Topology, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("client", GeoPoint::new(49.0, -123.0));
+        let s = b.host("server", GeoPoint::new(37.0, -122.0));
+        b.duplex(a, s, LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(20)));
+        (b.build(), a, s)
+    }
+
+    #[test]
+    fn rpc_elapsed_includes_rtt_and_think_time() {
+        let (t, a, s) = pair();
+        let mut sim = Sim::new(t, 1);
+        let spec = RpcSpec::control(a, s, FlowClass::Commodity)
+            .with_server_time(SimTime::from_millis(50));
+        let v = sim.run_process(Box::new(Rpc::new(spec))).unwrap();
+        let elapsed = v.expect_time();
+        // One-way delay 20 ms each way + 50 ms think = at least 90 ms.
+        assert!(elapsed >= SimTime::from_millis(90), "elapsed {elapsed}");
+        assert!(elapsed < SimTime::from_millis(200), "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn fresh_connection_is_slower() {
+        let (t, a, s) = pair();
+        let reused = Sim::new(t.clone(), 1)
+            .run_process(Box::new(Rpc::new(RpcSpec::control(a, s, FlowClass::Commodity))))
+            .unwrap()
+            .expect_time();
+        let fresh = Sim::new(t, 1)
+            .run_process(Box::new(Rpc::new(RpcSpec::control(a, s, FlowClass::Commodity).fresh())))
+            .unwrap()
+            .expect_time();
+        assert!(fresh > reused, "fresh {fresh} vs reused {reused}");
+    }
+
+    #[test]
+    fn payload_size_matters() {
+        let (t, a, s) = pair();
+        let small = Sim::new(t.clone(), 1)
+            .run_process(Box::new(Rpc::new(
+                RpcSpec::control(a, s, FlowClass::Commodity).with_payload(1024, 1024),
+            )))
+            .unwrap()
+            .expect_time();
+        let big = Sim::new(t, 1)
+            .run_process(Box::new(Rpc::new(
+                RpcSpec::control(a, s, FlowClass::Commodity).with_payload(10_000_000, 1024),
+            )))
+            .unwrap()
+            .expect_time();
+        assert!(big > small * 2, "big {big} vs small {small}");
+    }
+
+    #[test]
+    fn rpc_error_propagates() {
+        // Server unreachable: only a reverse link exists.
+        let mut b = TopologyBuilder::new();
+        let a = b.host("client", GeoPoint::new(0.0, 0.0));
+        let s = b.host("server", GeoPoint::new(1.0, 1.0));
+        b.simplex(s, a, LinkParams::new(Bandwidth::from_mbps(1.0), SimTime::from_millis(1)));
+        let mut sim = Sim::new(b.build(), 1);
+        let v = sim
+            .run_process(Box::new(Rpc::new(RpcSpec::control(a, s, FlowClass::Commodity))))
+            .unwrap();
+        assert!(matches!(v, Value::Error(crate::error::NetError::NoRoute { .. })));
+    }
+}

@@ -1,0 +1,189 @@
+//! Synthetic WAN generation, for stress tests and scaling benchmarks.
+//!
+//! The paper's scenario has ~30 nodes; the simulator itself handles far
+//! more. [`SynthWan`] builds a classic transit–stub hierarchy: a ring of
+//! transit routers with chords, stub routers multihomed to the transit
+//! core, and hosts with randomized access rates — all seeded and
+//! deterministic, so property tests over "any reasonable WAN" are
+//! reproducible.
+
+use crate::geo::GeoPoint;
+use crate::time::SimTime;
+use crate::topology::{LinkParams, NodeId, Topology, TopologyBuilder};
+use crate::units::Bandwidth;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a generated transit–stub WAN.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthWan {
+    /// Transit (core) routers, arranged in a ring with random chords.
+    pub transit: usize,
+    /// Stub routers, each homed to 1–2 transit routers.
+    pub stubs: usize,
+    /// Hosts, each attached to a random stub.
+    pub hosts: usize,
+    /// Core link capacity.
+    pub core_mbps: f64,
+    /// Host access capacity range (min, max).
+    pub access_mbps: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthWan {
+    fn default() -> Self {
+        SynthWan {
+            transit: 6,
+            stubs: 12,
+            hosts: 24,
+            core_mbps: 1000.0,
+            access_mbps: (5.0, 100.0),
+            seed: 1,
+        }
+    }
+}
+
+/// A generated WAN: the topology plus its host list.
+#[derive(Debug, Clone)]
+pub struct SynthWorld {
+    /// The built topology.
+    pub topo: Topology,
+    /// All end hosts (sources/sinks for traffic).
+    pub hosts: Vec<NodeId>,
+}
+
+impl SynthWan {
+    /// Generate the WAN.
+    pub fn build(&self) -> SynthWorld {
+        assert!(self.transit >= 2, "need at least two transit routers");
+        assert!(self.stubs >= 1 && self.hosts >= 1);
+        assert!(self.access_mbps.0 > 0.0 && self.access_mbps.0 <= self.access_mbps.1);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut b = TopologyBuilder::new();
+        let geo = |rng: &mut SmallRng| {
+            GeoPoint::new(rng.gen_range(25.0..55.0), rng.gen_range(-125.0..-65.0))
+        };
+
+        // Transit ring + chords.
+        let transit: Vec<NodeId> = (0..self.transit)
+            .map(|i| {
+                let loc = geo(&mut rng);
+                b.router(&format!("transit{i}"), loc)
+            })
+            .collect();
+        let core = LinkParams::new(
+            Bandwidth::from_mbps(self.core_mbps),
+            SimTime::from_millis(5),
+        );
+        for i in 0..self.transit {
+            b.duplex(transit[i], transit[(i + 1) % self.transit], core);
+        }
+        // Chords: ~one per two transit routers, skipping ring neighbours.
+        for _ in 0..(self.transit / 2) {
+            let a = rng.gen_range(0..self.transit);
+            let c = rng.gen_range(0..self.transit);
+            let ring_adjacent =
+                c == a || c == (a + 1) % self.transit || (c + 1) % self.transit == a;
+            if !ring_adjacent && !b.has_link(transit[a], transit[c]) {
+                b.duplex(transit[a], transit[c], core);
+            }
+        }
+
+        // Stubs, single- or dual-homed.
+        let stub_link = LinkParams::new(
+            Bandwidth::from_mbps(self.core_mbps / 2.0),
+            SimTime::from_millis(3),
+        );
+        let stubs: Vec<NodeId> = (0..self.stubs)
+            .map(|i| {
+                let loc = geo(&mut rng);
+                let s = b.router(&format!("stub{i}"), loc);
+                let home = transit[rng.gen_range(0..self.transit)];
+                b.duplex(s, home, stub_link);
+                if rng.gen_bool(0.4) {
+                    let second = transit[rng.gen_range(0..self.transit)];
+                    if second != home && !b.has_link(s, second) {
+                        b.duplex(s, second, stub_link);
+                    }
+                }
+                s
+            })
+            .collect();
+
+        // Hosts.
+        let hosts: Vec<NodeId> = (0..self.hosts)
+            .map(|i| {
+                let loc = geo(&mut rng);
+                let h = b.host(&format!("host{i}"), loc);
+                let stub = stubs[rng.gen_range(0..self.stubs)];
+                let mbps = rng.gen_range(self.access_mbps.0..=self.access_mbps.1);
+                b.duplex(h, stub, LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(1)));
+                h
+            })
+            .collect();
+
+        SynthWorld { topo: b.build(), hosts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Sim, TransferRequest};
+    use crate::routing::RoutingTable;
+    use crate::units::MB;
+
+    #[test]
+    fn generated_wan_is_fully_connected() {
+        let world = SynthWan::default().build();
+        let mut rt = RoutingTable::new();
+        for &a in &world.hosts {
+            for &b in &world.hosts {
+                if a != b {
+                    rt.path(&world.topo, a, b).unwrap_or_else(|e| {
+                        panic!("no route {a}->{b}: {e}");
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w1 = SynthWan::default().build();
+        let w2 = SynthWan::default().build();
+        assert_eq!(w1.topo.nodes().len(), w2.topo.nodes().len());
+        assert_eq!(w1.topo.links().len(), w2.topo.links().len());
+        let w3 = SynthWan { seed: 99, ..SynthWan::default() }.build();
+        // Different seed: (almost surely) different link structure.
+        let caps = |w: &SynthWorld| -> Vec<u64> {
+            w.topo.links().iter().map(|l| l.capacity.bytes_per_sec() as u64).collect()
+        };
+        assert_ne!(caps(&w1), caps(&w3));
+    }
+
+    #[test]
+    fn scales_to_hundreds_of_nodes() {
+        let world = SynthWan {
+            transit: 16,
+            stubs: 64,
+            hosts: 200,
+            ..SynthWan::default()
+        }
+        .build();
+        assert!(world.topo.nodes().len() >= 280);
+        // A transfer across the big WAN completes.
+        let mut sim = Sim::new(world.topo.clone(), 3);
+        let report = sim
+            .run_transfer(TransferRequest::new(world.hosts[0], world.hosts[199], 10 * MB))
+            .unwrap();
+        assert!(report.elapsed.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two transit")]
+    fn tiny_core_rejected() {
+        SynthWan { transit: 1, ..SynthWan::default() }.build();
+    }
+}

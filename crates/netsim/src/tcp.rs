@@ -1,0 +1,130 @@
+//! TCP throughput model.
+//!
+//! The fluid flow layer shares link capacity max-min fairly, which models a
+//! long-lived TCP flow *at equilibrium on a clean path*. Two corrections make
+//! the model honest for WAN paths like the paper's:
+//!
+//! 1. **The Mathis ceiling**: a loss-limited TCP flow cannot exceed
+//!    `MSS / (RTT * sqrt(p)) * C` regardless of link capacity. On the paper's
+//!    lossy commodity paths (Purdue's congested peering) this — not the link
+//!    rate — is the binding constraint.
+//! 2. **Slow-start ramp**: a flow does not reach equilibrium instantly; the
+//!    ramp costs roughly `RTT * log2(BDP / IW)`. For a 10 MB file on a
+//!    60 ms path this is noticeable; for 100 MB it is noise. This term (plus
+//!    per-request protocol overheads modelled in `cloudstore`) produces the
+//!    file-size dependence in the paper's Figures 8 and 9.
+
+use crate::time::SimTime;
+use crate::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// Constants of the TCP model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TcpParams {
+    /// Maximum segment size in bytes.
+    pub mss: u64,
+    /// Mathis constant (~0.93 for periodic loss and delayed ACKs off).
+    pub mathis_c: f64,
+    /// Initial congestion window in segments (RFC 6928: 10).
+    pub initial_window: u64,
+}
+
+impl Default for TcpParams {
+    fn default() -> Self {
+        TcpParams { mss: 1460, mathis_c: 0.93, initial_window: 10 }
+    }
+}
+
+impl TcpParams {
+    /// Loss-limited throughput ceiling for a path with round-trip time `rtt`
+    /// and end-to-end loss probability `loss`.
+    ///
+    /// Returns `None` when the path is lossless (no ceiling applies).
+    pub fn mathis_ceiling(&self, rtt: SimTime, loss: f64) -> Option<Bandwidth> {
+        assert!((0.0..1.0).contains(&loss), "loss out of range: {loss}");
+        if loss <= 0.0 || rtt.is_zero() {
+            return None;
+        }
+        let bytes_per_sec = self.mathis_c * self.mss as f64 / (rtt.as_secs_f64() * loss.sqrt());
+        Some(Bandwidth::from_bytes_per_sec(bytes_per_sec))
+    }
+
+    /// Approximate time spent in slow-start before the flow reaches rate
+    /// `equilibrium` on a path with round-trip time `rtt`.
+    ///
+    /// Doubling from the initial window until the window covers the
+    /// bandwidth-delay product takes `log2(BDP / IW)` round trips.
+    pub fn slow_start_delay(&self, rtt: SimTime, equilibrium: Bandwidth) -> SimTime {
+        if rtt.is_zero() || equilibrium.bytes_per_sec() <= 0.0 {
+            return SimTime::ZERO;
+        }
+        let bdp_segments = equilibrium.bytes_per_sec() * rtt.as_secs_f64() / self.mss as f64;
+        if bdp_segments <= self.initial_window as f64 {
+            // Window already covers the path after the handshake RTT.
+            return rtt;
+        }
+        let rounds = (bdp_segments / self.initial_window as f64).log2().ceil().max(1.0);
+        // +1 RTT for the connection handshake itself.
+        rtt.mul_f64(rounds + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_path_has_no_ceiling() {
+        let t = TcpParams::default();
+        assert!(t.mathis_ceiling(SimTime::from_millis(50), 0.0).is_none());
+        assert!(t.mathis_ceiling(SimTime::ZERO, 0.01).is_none());
+    }
+
+    #[test]
+    fn mathis_formula_value() {
+        let t = TcpParams::default();
+        // MSS 1460, RTT 100 ms, loss 1%: 0.93 * 1460 / (0.1 * 0.1) B/s = ~135.8 KB/s
+        let bw = t.mathis_ceiling(SimTime::from_millis(100), 0.01).unwrap();
+        let expected = 0.93 * 1460.0 / (0.1 * 0.1);
+        assert!((bw.bytes_per_sec() - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn ceiling_monotonic_in_loss_and_rtt() {
+        let t = TcpParams::default();
+        let rtt = SimTime::from_millis(50);
+        let low_loss = t.mathis_ceiling(rtt, 0.001).unwrap();
+        let high_loss = t.mathis_ceiling(rtt, 0.01).unwrap();
+        assert!(low_loss > high_loss);
+        let short = t.mathis_ceiling(SimTime::from_millis(10), 0.001).unwrap();
+        assert!(short > low_loss);
+    }
+
+    #[test]
+    fn slow_start_grows_with_bdp() {
+        let t = TcpParams::default();
+        let rtt = SimTime::from_millis(60);
+        let slow = t.slow_start_delay(rtt, Bandwidth::from_mbps(10.0));
+        let fast = t.slow_start_delay(rtt, Bandwidth::from_mbps(1000.0));
+        assert!(fast > slow, "fast {fast} vs slow {slow}");
+        // Should be a handful of RTTs, not seconds.
+        assert!(fast < SimTime::from_secs(2));
+        assert!(slow >= rtt);
+    }
+
+    #[test]
+    fn slow_start_degenerate_cases() {
+        let t = TcpParams::default();
+        assert_eq!(t.slow_start_delay(SimTime::ZERO, Bandwidth::from_mbps(1.0)), SimTime::ZERO);
+        assert_eq!(t.slow_start_delay(SimTime::from_millis(10), Bandwidth::ZERO), SimTime::ZERO);
+        // Tiny BDP: one RTT (handshake only).
+        let d = t.slow_start_delay(SimTime::from_millis(10), Bandwidth::from_kbps(64.0));
+        assert_eq!(d, SimTime::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss out of range")]
+    fn invalid_loss_panics() {
+        TcpParams::default().mathis_ceiling(SimTime::from_millis(10), 1.5);
+    }
+}

@@ -1,0 +1,175 @@
+//! Traceroute emulation.
+//!
+//! The paper's Figures 5 and 6 are raw `traceroute` output showing that UBC's
+//! and UAlberta's traffic to Google Drive cross the same CANARIE router but
+//! diverge at the pacificwave hand-off. We reproduce that diagnostic surface:
+//! a traceroute walks the routed path, reporting each hop's DNS name, IPv4
+//! address and cumulative round-trip time; anonymous hops render as `* * *`.
+
+use crate::engine::Core;
+use crate::error::NetResult;
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use rand::Rng;
+use std::fmt;
+
+/// One traceroute hop.
+#[derive(Debug, Clone)]
+pub struct Hop {
+    /// TTL / hop index, starting at 1.
+    pub index: usize,
+    /// Node at this hop.
+    pub node: NodeId,
+    /// DNS name (empty when the hop is anonymous).
+    pub name: String,
+    /// IPv4 string (empty when the hop is anonymous).
+    pub ip: String,
+    /// Measured round-trip time to this hop (None when anonymous).
+    pub rtt: Option<SimTime>,
+}
+
+/// A completed traceroute.
+#[derive(Debug, Clone)]
+pub struct Traceroute {
+    /// Destination name as resolved.
+    pub target_name: String,
+    /// Destination IP.
+    pub target_ip: String,
+    /// The hops, in order. The source host itself is not listed (matching
+    /// real traceroute output).
+    pub hops: Vec<Hop>,
+}
+
+impl Traceroute {
+    /// Run a traceroute over the routed path from `src` to `dst`.
+    ///
+    /// Per-hop RTTs are the cumulative two-way propagation delay plus small
+    /// seeded queueing jitter (±15%), matching the look of real output
+    /// without affecting any measured transfer.
+    pub fn run(core: &mut Core, src: NodeId, dst: NodeId) -> NetResult<Traceroute> {
+        let path = core.resolve_path(src, dst)?;
+        let topo_delay: Vec<SimTime> = {
+            let topo = core.topology();
+            let mut cum = SimTime::ZERO;
+            let mut delays = Vec::with_capacity(path.len().saturating_sub(1));
+            for w in path.windows(2) {
+                let link = topo
+                    .link_between(w[0], w[1])
+                    .expect("resolve_path returned adjacent nodes");
+                cum += topo.link(link).delay;
+                delays.push(cum);
+            }
+            delays
+        };
+        let mut hops = Vec::with_capacity(topo_delay.len());
+        for (i, node) in path.iter().skip(1).enumerate() {
+            let jitter: f64 = core.rng().gen_range(0.85..1.15);
+            let (name, ip, anonymous) = {
+                let n = core.topology().node(*node);
+                (n.name.clone(), n.ip_string(), n.anonymous)
+            };
+            if anonymous {
+                hops.push(Hop { index: i + 1, node: *node, name: String::new(), ip: String::new(), rtt: None });
+            } else {
+                let rtt = (topo_delay[i] * 2).mul_f64(jitter);
+                hops.push(Hop { index: i + 1, node: *node, name, ip, rtt: Some(rtt) });
+            }
+        }
+        let target = core.topology().node(dst);
+        Ok(Traceroute { target_name: target.name.clone(), target_ip: target.ip_string(), hops })
+    }
+
+    /// Does the path cross a node with this name? (The paper checks both
+    /// traces cross `vncv1rtr2.canarie.ca`.)
+    pub fn crosses(&self, name: &str) -> bool {
+        self.hops.iter().any(|h| h.name == name)
+    }
+
+    /// Names of all non-anonymous hops, in order.
+    pub fn hop_names(&self) -> Vec<&str> {
+        self.hops.iter().filter(|h| !h.name.is_empty()).map(|h| h.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Traceroute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "traceroute to {} ({})", self.target_name, self.target_ip)?;
+        for hop in &self.hops {
+            match hop.rtt {
+                Some(rtt) => writeln!(
+                    f,
+                    "{:2}  {} ({})  {:.3} ms",
+                    hop.index,
+                    hop.name,
+                    hop.ip,
+                    rtt.as_millis_f64()
+                )?,
+                None => writeln!(f, "{:2}  * * *", hop.index)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sim;
+    use crate::geo::GeoPoint;
+    use crate::topology::{LinkParams, TopologyBuilder};
+    use crate::units::Bandwidth;
+
+    fn chain() -> (Sim, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("src.example.net", GeoPoint::new(49.0, -123.0));
+        let r1 = b.router("vncv1rtr2.canarie.ca", GeoPoint::new(49.3, -123.1));
+        let r2 = b.router("hidden.core", GeoPoint::new(45.0, -110.0));
+        let d = b.host("target.example.com", GeoPoint::new(37.0, -122.0));
+        b.set_anonymous(r2);
+        b.set_ip(r1, [199, 212, 24, 1]);
+        let p = LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(5));
+        b.duplex(a, r1, p);
+        b.duplex(r1, r2, p);
+        b.duplex(r2, d, p);
+        (Sim::new(b.build(), 9), a, d)
+    }
+
+    #[test]
+    fn hops_in_order_with_rtts() {
+        let (mut sim, a, d) = chain();
+        let tr = Traceroute::run(sim.core(), a, d).unwrap();
+        assert_eq!(tr.hops.len(), 3);
+        assert_eq!(tr.hops[0].name, "vncv1rtr2.canarie.ca");
+        assert_eq!(tr.hops[0].ip, "199.212.24.1");
+        assert!(tr.hops[1].rtt.is_none(), "anonymous hop leaks rtt");
+        assert!(tr.hops[2].rtt.unwrap() > tr.hops[0].rtt.unwrap());
+        assert!(tr.crosses("vncv1rtr2.canarie.ca"));
+        assert!(!tr.crosses("pacificwave"));
+    }
+
+    #[test]
+    fn render_matches_traceroute_style() {
+        let (mut sim, a, d) = chain();
+        let tr = Traceroute::run(sim.core(), a, d).unwrap();
+        let text = tr.to_string();
+        assert!(text.starts_with("traceroute to target.example.com"));
+        assert!(text.contains("* * *"));
+        assert!(text.contains("vncv1rtr2.canarie.ca (199.212.24.1)"));
+        assert!(text.contains(" ms"));
+    }
+
+    #[test]
+    fn hop_names_skip_anonymous() {
+        let (mut sim, a, d) = chain();
+        let tr = Traceroute::run(sim.core(), a, d).unwrap();
+        assert_eq!(tr.hop_names(), vec!["vncv1rtr2.canarie.ca", "target.example.com"]);
+    }
+
+    #[test]
+    fn traceroute_does_not_disturb_time() {
+        let (mut sim, a, d) = chain();
+        let before = sim.now();
+        let _ = Traceroute::run(sim.core(), a, d).unwrap();
+        assert_eq!(sim.now(), before);
+    }
+}

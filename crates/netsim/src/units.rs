@@ -1,0 +1,206 @@
+//! Data-size and bandwidth units.
+//!
+//! All internal rate arithmetic is done in **bytes per second** (`f64`);
+//! [`Bandwidth`] exists so that public APIs and scenario definitions read in
+//! the units the paper uses (megabits per second) without unit confusion.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul};
+
+/// One kilobyte (10^3 bytes, matching `dd` and the paper's file sizes).
+pub const KB: u64 = 1_000;
+/// One megabyte (10^6 bytes).
+pub const MB: u64 = 1_000 * KB;
+/// One gigabyte (10^9 bytes).
+pub const GB: u64 = 1_000 * MB;
+
+/// One kibibyte, used by chunk-alignment rules in the cloud APIs.
+pub const KIB: u64 = 1_024;
+/// One mebibyte.
+pub const MIB: u64 = 1_024 * KIB;
+
+/// A transfer rate.
+///
+/// Stored as bytes/second; constructors and accessors exist for both
+/// bit-oriented (network) and byte-oriented (file) views.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// The zero rate.
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    /// From bits per second.
+    #[inline]
+    pub fn from_bps(bps: f64) -> Self {
+        assert!(bps.is_finite() && bps >= 0.0, "invalid bandwidth: {bps}");
+        Bandwidth(bps / 8.0)
+    }
+
+    /// From kilobits per second.
+    #[inline]
+    pub fn from_kbps(kbps: f64) -> Self {
+        Self::from_bps(kbps * 1e3)
+    }
+
+    /// From megabits per second — the unit used throughout the scenario
+    /// calibration tables.
+    #[inline]
+    pub fn from_mbps(mbps: f64) -> Self {
+        Self::from_bps(mbps * 1e6)
+    }
+
+    /// From gigabits per second.
+    #[inline]
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self::from_bps(gbps * 1e9)
+    }
+
+    /// From bytes per second.
+    #[inline]
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        assert!(bps.is_finite() && bps >= 0.0, "invalid bandwidth: {bps}");
+        Bandwidth(bps)
+    }
+
+    /// Bytes per second.
+    #[inline]
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Bits per second.
+    #[inline]
+    pub fn bps(self) -> f64 {
+        self.0 * 8.0
+    }
+
+    /// Megabits per second.
+    #[inline]
+    pub fn mbps(self) -> f64 {
+        self.bps() / 1e6
+    }
+
+    /// Time to move `bytes` at this rate. Panics if the rate is zero.
+    #[inline]
+    pub fn time_for(self, bytes: u64) -> crate::time::SimTime {
+        assert!(self.0 > 0.0, "cannot transfer over a zero-rate channel");
+        crate::time::SimTime::from_secs_f64(bytes as f64 / self.0)
+    }
+
+    /// The smaller of two rates.
+    #[inline]
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.min(other.0))
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn mul(self, rhs: f64) -> Bandwidth {
+        assert!(rhs.is_finite() && rhs >= 0.0);
+        Bandwidth(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn div(self, rhs: f64) -> Bandwidth {
+        assert!(rhs.is_finite() && rhs > 0.0);
+        Bandwidth(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bps = self.bps();
+        if bps >= 1e9 {
+            write!(f, "{:.2} Gbps", bps / 1e9)
+        } else if bps >= 1e6 {
+            write!(f, "{:.2} Mbps", bps / 1e6)
+        } else if bps >= 1e3 {
+            write!(f, "{:.2} Kbps", bps / 1e3)
+        } else {
+            write!(f, "{bps:.0} bps")
+        }
+    }
+}
+
+/// Human-readable byte count (for table rendering).
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes >= GB {
+        format!("{:.2} GB", bytes as f64 / GB as f64)
+    } else if bytes >= MB {
+        format!("{:.0} MB", bytes as f64 / MB as f64)
+    } else if bytes >= KB {
+        format!("{:.0} KB", bytes as f64 / KB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn unit_conversions() {
+        let b = Bandwidth::from_mbps(8.0);
+        assert!((b.bytes_per_sec() - 1e6).abs() < 1e-9);
+        assert!((b.bps() - 8e6).abs() < 1e-9);
+        assert!((b.mbps() - 8.0).abs() < 1e-12);
+        assert_eq!(Bandwidth::from_kbps(1000.0), Bandwidth::from_mbps(1.0));
+        assert_eq!(Bandwidth::from_gbps(1.0), Bandwidth::from_mbps(1000.0));
+    }
+
+    #[test]
+    fn time_for_bytes() {
+        // 1 MB over 8 Mbps (1 MB/s) takes one second.
+        let b = Bandwidth::from_mbps(8.0);
+        assert_eq!(b.time_for(MB), SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-rate")]
+    fn zero_rate_transfer_panics() {
+        Bandwidth::ZERO.time_for(1);
+    }
+
+    #[test]
+    fn arithmetic_and_min() {
+        let a = Bandwidth::from_mbps(10.0);
+        let b = Bandwidth::from_mbps(4.0);
+        assert_eq!(a.min(b), b);
+        assert_eq!((a + b).mbps().round(), 14.0);
+        assert_eq!((a * 0.5).mbps().round(), 5.0);
+        assert_eq!((a / 2.0).mbps().round(), 5.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Bandwidth::from_mbps(9.5).to_string(), "9.50 Mbps");
+        assert_eq!(Bandwidth::from_gbps(2.0).to_string(), "2.00 Gbps");
+        assert_eq!(format_bytes(10 * MB), "10 MB");
+        assert_eq!(format_bytes(1536), "2 KB");
+        assert_eq!(format_bytes(12), "12 B");
+    }
+
+    #[test]
+    fn kib_alignment_constants() {
+        assert_eq!(KIB, 1024);
+        assert_eq!(MIB, 1024 * 1024);
+        assert_eq!(320 * KIB, 327_680); // OneDrive fragment alignment
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the simulator's core invariants.
+
+use netsim::flow::{max_min_allocate, AllocEntry};
+use netsim::prelude::*;
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-6;
+
+/// Strategy: a random allocation problem with up to 8 resources and 12 flows.
+fn alloc_problem() -> impl Strategy<Value = (Vec<f64>, Vec<AllocEntry>)> {
+    let caps = prop::collection::vec(1.0f64..1000.0, 1..8);
+    caps.prop_flat_map(|caps| {
+        let n = caps.len();
+        let flow = (
+            prop::collection::btree_set(0..n as u32, 1..=n),
+            prop::option::of(0.5f64..500.0),
+            0.1f64..8.0,
+        )
+            .prop_map(|(resources, cap, weight)| AllocEntry {
+                resources: resources.into_iter().collect(),
+                cap: cap.unwrap_or(f64::INFINITY),
+                weight,
+            });
+        (Just(caps), prop::collection::vec(flow, 1..12))
+    })
+}
+
+proptest! {
+    /// No resource is ever oversubscribed and no flow exceeds its cap.
+    #[test]
+    fn allocator_feasibility((caps, flows) in alloc_problem()) {
+        let rates = max_min_allocate(&caps, &flows);
+        prop_assert_eq!(rates.len(), flows.len());
+        for (r, &cap) in caps.iter().enumerate() {
+            let used: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.resources.contains(&(r as u32)))
+                .map(|(_, &rate)| rate)
+                .sum();
+            prop_assert!(used <= cap + EPS, "resource {} oversubscribed: {} > {}", r, used, cap);
+        }
+        for (f, &rate) in flows.iter().zip(&rates) {
+            prop_assert!(rate <= f.cap + EPS);
+            prop_assert!(rate >= 0.0);
+            prop_assert!(rate.is_finite());
+        }
+    }
+
+    /// Every flow is *bottlenecked*: it either runs at its own cap, or it
+    /// crosses at least one saturated resource. (This is the defining
+    /// property of max-min fairness together with feasibility.)
+    #[test]
+    fn allocator_bottleneck_property((caps, flows) in alloc_problem()) {
+        let rates = max_min_allocate(&caps, &flows);
+        let used: Vec<f64> = (0..caps.len())
+            .map(|r| {
+                flows
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(f, _)| f.resources.contains(&(r as u32)))
+                    .map(|(_, &rate)| rate)
+                    .sum()
+            })
+            .collect();
+        for (f, &rate) in flows.iter().zip(&rates) {
+            let at_cap = rate >= f.cap - EPS;
+            let crosses_saturated = f
+                .resources
+                .iter()
+                .any(|&r| used[r as usize] >= caps[r as usize] - 1e-3);
+            prop_assert!(
+                at_cap || crosses_saturated,
+                "flow at {} is neither capped ({}) nor bottlenecked",
+                rate,
+                f.cap
+            );
+        }
+    }
+
+    /// Max-min dominance: raising one flow's rate by a meaningful amount
+    /// must violate feasibility unless some other flow with an equal or
+    /// smaller rate gives way. We verify the weaker, checkable form: the
+    /// allocation is invariant under flow permutation (symmetry).
+    #[test]
+    fn allocator_permutation_symmetry((caps, flows) in alloc_problem()) {
+        let rates = max_min_allocate(&caps, &flows);
+        let mut reversed: Vec<AllocEntry> = flows.clone();
+        reversed.reverse();
+        let mut rr = max_min_allocate(&caps, &reversed);
+        rr.reverse();
+        for (a, b) in rates.iter().zip(&rr) {
+            prop_assert!((a - b).abs() < 1e-6, "order-dependent allocation: {} vs {}", a, b);
+        }
+    }
+}
+
+/// Strategy: a random connected "string of pearls" topology.
+fn string_topology(n_hosts: usize) -> (Topology, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let mut ids = Vec::new();
+    for i in 0..n_hosts {
+        let lat = 30.0 + (i as f64) * 2.0;
+        ids.push(b.host(&format!("h{i}"), GeoPoint::new(lat, -100.0)));
+    }
+    for w in ids.windows(2) {
+        b.duplex(w[0], w[1], LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(3)));
+    }
+    (b.build(), ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transfers over random sizes always complete, and larger transfers
+    /// never finish faster than smaller ones on the same idle path.
+    #[test]
+    fn transfer_time_monotone_in_size(small in 1u64..=50, extra in 1u64..=50, hops in 2usize..6) {
+        let (topo, ids) = string_topology(hops);
+        let src = ids[0];
+        let dst = *ids.last().unwrap();
+        let t_small = Sim::new(topo.clone(), 1)
+            .run_transfer(TransferRequest::new(src, dst, small * MB))
+            .unwrap()
+            .elapsed;
+        let t_big = Sim::new(topo, 1)
+            .run_transfer(TransferRequest::new(src, dst, (small + extra) * MB))
+            .unwrap()
+            .elapsed;
+        prop_assert!(t_big > t_small, "size monotonicity violated: {} vs {}", t_small, t_big);
+    }
+
+    /// Simulated time for a transfer is at least the fluid lower bound
+    /// (bytes / bottleneck) plus the one-way propagation delay.
+    #[test]
+    fn transfer_respects_physics(mb in 1u64..=80, hops in 2usize..6) {
+        let (topo, ids) = string_topology(hops);
+        let src = ids[0];
+        let dst = *ids.last().unwrap();
+        let one_way = SimTime::from_millis(3) * (hops as u64 - 1);
+        let fluid = Bandwidth::from_mbps(50.0).time_for(mb * MB);
+        let lower = fluid + one_way;
+        let t = Sim::new(topo, 7)
+            .run_transfer(TransferRequest::new(src, dst, mb * MB))
+            .unwrap()
+            .elapsed;
+        prop_assert!(t >= lower, "faster than physics: {} < {}", t, lower);
+        // And within 2x of the bound on an idle path (slow start, etc.).
+        prop_assert!(t < lower * 2 + SimTime::from_secs(1), "unreasonably slow: {}", t);
+    }
+
+    /// Identical seeds give identical results; different seeds may differ
+    /// but must still satisfy the physics bound (checked above).
+    #[test]
+    fn determinism(seed in 0u64..1000, mb in 1u64..=20) {
+        let (topo, ids) = string_topology(3);
+        let run = |s| {
+            Sim::new(topo.clone(), s)
+                .run_transfer(TransferRequest::new(ids[0], ids[2], mb * MB))
+                .unwrap()
+                .elapsed
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

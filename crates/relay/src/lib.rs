@@ -1,0 +1,29 @@
+//! # relay — data-transfer-node (DTN) relaying
+//!
+//! The paper's mechanism: `rsync` the file from the user machine to an
+//! *intermediate node*, then upload from there with the provider's API. The
+//! total detour time is the **sum** of the two legs (store-and-forward) —
+//! the paper's Fig. 1 and the `36 s = 17 + 19` arithmetic in its
+//! introduction.
+//!
+//! * [`rsync_leg`] — one rsync hop over the simulated WAN, moving exactly
+//!   the bytes the real rsync algorithm would (handshake, signatures,
+//!   delta, ack — see `transfer::wire`).
+//! * [`store_forward`] — the paper's detour: N rsync legs in series, then a
+//!   cloud upload from the last DTN.
+//! * [`pipeline`] — our extension (the paper's future-work direction):
+//!   cut-through relaying that overlaps the two legs chunk by chunk,
+//!   turning `t1 + t2` into roughly `max(t1, t2)`.
+//! * [`report`] — per-leg timing breakdowns.
+
+pub mod parallel;
+pub mod pipeline;
+pub mod report;
+pub mod rsync_leg;
+pub mod store_forward;
+
+pub use parallel::{parallel_transfer, ParallelStreams};
+pub use pipeline::PipelinedRelay;
+pub use report::RelayReport;
+pub use rsync_leg::RsyncLeg;
+pub use store_forward::{detour_upload, StoreForwardRelay};

@@ -1,0 +1,154 @@
+//! GridFTP-style parallel TCP streams.
+//!
+//! Data-transfer nodes classically open several TCP connections and stripe
+//! the file across them. On a *per-flow policed* path (like the paper's
+//! pacificwave hand-off) `k` streams get `k ×` the policed rate; on a path
+//! whose bottleneck is a shared link capacity, extra streams only take
+//! bandwidth from each other. Ablation A5 contrasts the two — and shows
+//! that parallel streams are an alternative (if TCP-unfriendly) mitigation
+//! for exactly the pathology the paper routes around.
+
+use netsim::engine::{Ctx, Event, Process, Value};
+use netsim::error::NetError;
+use netsim::flow::{FlowClass, FlowSpec};
+use netsim::time::SimTime;
+use netsim::topology::NodeId;
+
+/// Transfer `bytes` from `src` to `dst` striped over `streams` concurrent
+/// flows. Finishes with `Value::Time(elapsed)` when the last stripe lands.
+pub struct ParallelStreams {
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+    streams: u32,
+    class: FlowClass,
+    started: SimTime,
+    remaining: u32,
+}
+
+impl ParallelStreams {
+    /// Build a striped transfer. `streams` must be ≥ 1.
+    pub fn new(src: NodeId, dst: NodeId, bytes: u64, streams: u32, class: FlowClass) -> Self {
+        assert!(streams >= 1, "at least one stream");
+        assert!(bytes >= streams as u64, "stripes must be nonempty");
+        ParallelStreams { src, dst, bytes, streams, class, started: SimTime::ZERO, remaining: 0 }
+    }
+}
+
+impl Process for ParallelStreams {
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started => {
+                self.started = ctx.now();
+                let base = self.bytes / self.streams as u64;
+                let mut left = self.bytes;
+                for i in 0..self.streams {
+                    let stripe = if i + 1 == self.streams { left } else { base };
+                    left -= stripe;
+                    match ctx.start_flow(FlowSpec::new(self.src, self.dst, stripe, self.class)) {
+                        Ok(_) => self.remaining += 1,
+                        Err(e) => {
+                            ctx.finish(Value::Error(e));
+                            return;
+                        }
+                    }
+                }
+            }
+            Event::FlowCompleted { .. } => {
+                self.remaining -= 1;
+                if self.remaining == 0 {
+                    ctx.finish(Value::Time(ctx.now().saturating_sub(self.started)));
+                }
+            }
+            Event::FlowFailed { error, .. } => ctx.finish(Value::Error(error)),
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "parallel-streams"
+    }
+}
+
+/// Run a striped transfer to completion.
+pub fn parallel_transfer(
+    sim: &mut netsim::engine::Sim,
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+    streams: u32,
+    class: FlowClass,
+) -> Result<SimTime, NetError> {
+    match sim.run_process(Box::new(ParallelStreams::new(src, dst, bytes, streams, class)))? {
+        Value::Time(t) => Ok(t),
+        Value::Error(e) => Err(e),
+        other => panic!("unexpected result {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::geo::GeoPoint;
+    use netsim::middlebox::Policer;
+    use netsim::prelude::*;
+    use netsim::units::MB;
+
+    fn policed_world() -> (Sim, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a", GeoPoint::new(49.0, -123.0));
+        let c = b.host("c", GeoPoint::new(37.0, -122.0));
+        b.duplex(a, c, LinkParams::new(Bandwidth::from_mbps(200.0), SimTime::from_millis(10)));
+        let mut sim = Sim::new(b.build(), 1);
+        sim.add_policer(Policer::per_flow(
+            "per-flow-police",
+            LinkId(0),
+            FlowClass::PlanetLab,
+            Bandwidth::from_mbps(10.0),
+        ));
+        (sim, a, c)
+    }
+
+    #[test]
+    fn parallel_streams_defeat_per_flow_policing() {
+        // 1 stream: 10 Mbps. 4 streams: ~40 Mbps aggregate.
+        let (mut sim, a, c) = policed_world();
+        let one = parallel_transfer(&mut sim, a, c, 40 * MB, 1, FlowClass::PlanetLab).unwrap();
+        let (mut sim, a, c) = policed_world();
+        let four = parallel_transfer(&mut sim, a, c, 40 * MB, 4, FlowClass::PlanetLab).unwrap();
+        let speedup = one.as_secs_f64() / four.as_secs_f64();
+        assert!((3.0..4.5).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn parallel_streams_useless_on_capacity_bottleneck() {
+        let build = || {
+            let mut b = TopologyBuilder::new();
+            let a = b.host("a", GeoPoint::new(0.0, 0.0));
+            let c = b.host("c", GeoPoint::new(1.0, 1.0));
+            b.duplex(a, c, LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(10)));
+            (Sim::new(b.build(), 1), a, c)
+        };
+        let (mut sim, a, c) = build();
+        let one = parallel_transfer(&mut sim, a, c, 40 * MB, 1, FlowClass::Commodity).unwrap();
+        let (mut sim, a, c) = build();
+        let eight = parallel_transfer(&mut sim, a, c, 40 * MB, 8, FlowClass::Commodity).unwrap();
+        let speedup = one.as_secs_f64() / eight.as_secs_f64();
+        assert!(speedup < 1.15, "no policer, no win: speedup {speedup}");
+    }
+
+    #[test]
+    fn stripes_cover_all_bytes() {
+        // Odd sizes: last stripe absorbs the remainder.
+        let (mut sim, a, c) = policed_world();
+        let t = parallel_transfer(&mut sim, a, c, 10 * MB + 37, 3, FlowClass::PlanetLab).unwrap();
+        assert!(t > SimTime::ZERO);
+        assert_eq!(sim.stats().bytes_delivered, 10 * MB + 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_rejected() {
+        ParallelStreams::new(NodeId(0), NodeId(1), MB, 0, FlowClass::Commodity);
+    }
+}

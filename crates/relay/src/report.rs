@@ -1,0 +1,124 @@
+//! Detour transfer reports with per-leg breakdowns.
+
+use cloudstore::TransferStats;
+use netsim::engine::Value;
+use netsim::time::SimTime;
+use netsim::units::Bandwidth;
+use std::fmt;
+
+/// Timing breakdown of a detoured upload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelayReport {
+    /// Payload size.
+    pub bytes: u64,
+    /// End-to-end duration (request at the user machine to provider ack).
+    pub total: SimTime,
+    /// Durations of each rsync leg, in hop order.
+    pub leg_times: Vec<SimTime>,
+    /// Stats of the final cloud upload.
+    pub upload: TransferStats,
+}
+
+impl RelayReport {
+    /// End-to-end goodput.
+    pub fn goodput(&self) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.bytes as f64 / self.total.as_secs_f64().max(1e-12))
+    }
+
+    /// Overhead of relaying versus the sum of the parts (zero for pure
+    /// store-and-forward, negative when legs overlap under pipelining).
+    pub fn overlap_savings(&self) -> f64 {
+        let parts: SimTime = self.leg_times.iter().copied().sum::<SimTime>() + self.upload.elapsed;
+        parts.as_secs_f64() - self.total.as_secs_f64()
+    }
+
+    /// Pack into a [`Value`].
+    pub fn to_value(&self) -> Value {
+        let mut items = vec![
+            Value::U64(self.bytes),
+            Value::Time(self.total),
+            self.upload.to_value(),
+            Value::U64(self.leg_times.len() as u64),
+        ];
+        items.extend(self.leg_times.iter().map(|&t| Value::Time(t)));
+        Value::List(items)
+    }
+
+    /// Unpack from a [`Value`].
+    pub fn from_value(v: &Value) -> Self {
+        let items = v.expect_list();
+        assert!(items.len() >= 4, "malformed RelayReport value");
+        let n_legs = items[3].expect_u64() as usize;
+        RelayReport {
+            bytes: items[0].expect_u64(),
+            total: items[1].expect_time(),
+            upload: TransferStats::from_value(&items[2]),
+            leg_times: items[4..4 + n_legs].iter().map(|v| v.expect_time()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for RelayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} via {} leg(s) in {} (legs:",
+            netsim::units::format_bytes(self.bytes),
+            self.leg_times.len(),
+            self.total
+        )?;
+        for t in &self.leg_times {
+            write!(f, " {t}")?;
+        }
+        write!(f, "; upload: {})", self.upload.elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RelayReport {
+        RelayReport {
+            bytes: 100,
+            total: SimTime::from_secs(36),
+            leg_times: vec![SimTime::from_secs(19)],
+            upload: TransferStats {
+                bytes: 100,
+                elapsed: SimTime::from_secs(17),
+                rpcs: 14,
+                retries: 0,
+                throttles: 0,
+                token_refreshes: 0,
+                wire_bytes: 110,
+            },
+        }
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let r = sample();
+        assert_eq!(RelayReport::from_value(&r.to_value()), r);
+    }
+
+    #[test]
+    fn store_forward_has_no_overlap() {
+        // The paper's example: 19 s + 17 s = 36 s total.
+        let r = sample();
+        assert!(r.overlap_savings().abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelining_shows_positive_savings() {
+        let mut r = sample();
+        r.total = SimTime::from_secs(22);
+        assert!((r.overlap_savings() - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display() {
+        let text = sample().to_string();
+        assert!(text.contains("via 1 leg(s)"));
+        assert!(text.contains("36.000s"));
+    }
+}

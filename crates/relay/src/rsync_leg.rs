@@ -1,0 +1,158 @@
+//! One rsync hop between two hosts on the simulated WAN.
+//!
+//! Wire behaviour follows the real protocol: a handshake exchange whose
+//! response carries the receiver's block signatures, a forward flow carrying
+//! the delta (for the paper's deleted-before-each-run workload this is the
+//! whole file plus ~50 bytes), and a final acknowledgement.
+
+use netsim::engine::{Ctx, Event, Process, ProcessId, Value};
+use netsim::flow::{FlowClass, FlowSpec};
+use netsim::rpc::{Rpc, RpcSpec};
+use netsim::time::SimTime;
+use netsim::topology::NodeId;
+use transfer::RsyncWirePlan;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Idle,
+    Handshake,
+    Delta,
+    Ack,
+}
+
+/// A process performing one rsync transfer; finishes with
+/// `Value::Time(elapsed)`.
+pub struct RsyncLeg {
+    src: NodeId,
+    dst: NodeId,
+    plan: RsyncWirePlan,
+    class: FlowClass,
+    state: State,
+    started: SimTime,
+    pending: Option<ProcessId>,
+}
+
+impl RsyncLeg {
+    /// A leg moving `plan` between two hosts.
+    pub fn new(src: NodeId, dst: NodeId, plan: RsyncWirePlan, class: FlowClass) -> Self {
+        RsyncLeg { src, dst, plan, class, state: State::Idle, started: SimTime::ZERO, pending: None }
+    }
+
+    /// The paper's workload: the destination's copy was deleted, so the
+    /// whole file crosses the wire.
+    pub fn fresh(src: NodeId, dst: NodeId, bytes: u64, class: FlowClass) -> Self {
+        Self::new(src, dst, RsyncWirePlan::fresh(bytes), class)
+    }
+}
+
+impl Process for RsyncLeg {
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match (self.state, ev) {
+            (State::Idle, Event::Started) => {
+                self.started = ctx.now();
+                // Handshake request; the response carries the signatures.
+                let spec = RpcSpec::control(self.src, self.dst, self.class)
+                    .with_payload(self.plan.handshake_bytes, 256 + self.plan.signature_bytes)
+                    .with_server_time(SimTime::from_millis(10))
+                    .fresh();
+                self.state = State::Handshake;
+                self.pending = Some(ctx.spawn(Box::new(Rpc::new(spec))));
+            }
+            (State::Handshake, Event::ChildDone { value, .. }) => {
+                if let Value::Error(e) = value {
+                    ctx.finish(Value::Error(e));
+                    return;
+                }
+                let spec = FlowSpec::new(self.src, self.dst, self.plan.delta_bytes, self.class)
+                    .reuse_connection();
+                match ctx.start_flow(spec) {
+                    Ok(_) => self.state = State::Delta,
+                    Err(e) => ctx.finish(Value::Error(e)),
+                }
+            }
+            (State::Delta, Event::FlowCompleted { .. }) => {
+                let spec = RpcSpec::control(self.src, self.dst, self.class)
+                    .with_payload(64, self.plan.ack_bytes)
+                    .with_server_time(SimTime::from_millis(5));
+                self.state = State::Ack;
+                self.pending = Some(ctx.spawn(Box::new(Rpc::new(spec))));
+            }
+            (State::Ack, Event::ChildDone { value, .. }) => {
+                if let Value::Error(e) = value {
+                    ctx.finish(Value::Error(e));
+                    return;
+                }
+                ctx.finish(Value::Time(ctx.now().saturating_sub(self.started)));
+            }
+            (_, Event::FlowFailed { error, .. }) => ctx.finish(Value::Error(error)),
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "rsync-leg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::geo::GeoPoint;
+    use netsim::prelude::*;
+    use netsim::units::MB;
+    use transfer::FileGen;
+
+    fn pair(mbps: f64) -> (Sim, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("user", GeoPoint::new(49.26, -123.25));
+        let d = b.host("dtn", GeoPoint::new(53.52, -113.53));
+        b.duplex(a, d, LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(8)));
+        (Sim::new(b.build(), 3), a, d)
+    }
+
+    #[test]
+    fn fresh_leg_time_tracks_file_size() {
+        let (mut sim, a, d) = pair(42.0); // ~5.25 MB/s: 100 MB ≈ 19 s (paper's UBC→UAlberta)
+        let v = sim
+            .run_process(Box::new(RsyncLeg::fresh(a, d, 100 * MB, FlowClass::Research)))
+            .unwrap();
+        let s = v.expect_time().as_secs_f64();
+        assert!((19.0..22.0).contains(&s), "UBC→UAlberta-like leg took {s}");
+    }
+
+    #[test]
+    fn delta_plan_is_faster_than_fresh() {
+        let g = FileGen::new(1);
+        let basis = g.random_file(20 * MB as usize);
+        let target = g.similar_file(&basis, 4, 0);
+        let delta_plan = RsyncWirePlan::exact(&basis, &target, 2048);
+        let (mut sim, a, d) = pair(8.0);
+        let with_delta = sim
+            .run_process(Box::new(RsyncLeg::new(a, d, delta_plan, FlowClass::Research)))
+            .unwrap()
+            .expect_time();
+        let (mut sim2, a2, d2) = pair(8.0);
+        let fresh = sim2
+            .run_process(Box::new(RsyncLeg::fresh(a2, d2, target.len() as u64, FlowClass::Research)))
+            .unwrap()
+            .expect_time();
+        assert!(
+            with_delta < fresh / 2,
+            "delta {with_delta} should be far below fresh {fresh}"
+        );
+    }
+
+    #[test]
+    fn leg_error_propagates() {
+        // No route: only reverse direction exists.
+        let mut b = TopologyBuilder::new();
+        let a = b.host("user", GeoPoint::new(0.0, 0.0));
+        let d = b.host("dtn", GeoPoint::new(1.0, 1.0));
+        b.simplex(d, a, LinkParams::new(Bandwidth::from_mbps(1.0), SimTime::from_millis(1)));
+        let mut sim = Sim::new(b.build(), 1);
+        let v = sim
+            .run_process(Box::new(RsyncLeg::fresh(a, d, MB, FlowClass::Research)))
+            .unwrap();
+        assert!(matches!(v, Value::Error(NetError::NoRoute { .. })));
+    }
+}

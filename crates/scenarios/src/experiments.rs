@@ -1,0 +1,238 @@
+//! One constructor per paper artifact.
+//!
+//! Every figure and table in the paper's evaluation maps to a method here
+//! (the per-experiment index lives in `DESIGN.md` §4). The methods return
+//! either a ready [`CampaignResult`] or rendered text (traceroutes, maps).
+
+use crate::northamerica::{Client, NorthAmerica};
+use crate::summary;
+use cloudstore::ProviderKind;
+use detour_core::{Campaign, CampaignResult, Route};
+use measure::{RunProtocol, Table};
+use netsim::error::NetError;
+use netsim::trace::Traceroute;
+
+/// Identifiers for the paper's artifacts (used by the `repro` harness CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Experiment {
+    /// Fig 2: UBC→Google Drive, direct vs detours.
+    Fig2,
+    /// Fig 3: geography of clients, DTNs and POPs.
+    Fig3,
+    /// Fig 4: UBC→Dropbox.
+    Fig4,
+    /// Fig 5: traceroute UBC→Google.
+    Fig5,
+    /// Fig 6: traceroute UAlberta→Google.
+    Fig6,
+    /// Fig 7 (and Table III): Purdue→Google Drive.
+    Fig7,
+    /// Fig 8: Purdue→Dropbox.
+    Fig8,
+    /// Fig 9: Purdue→OneDrive.
+    Fig9,
+    /// Fig 10: UCLA→Google Drive.
+    Fig10,
+    /// Fig 11: UCLA→Dropbox.
+    Fig11,
+    /// Table I: the 3×3 fastest/slowest summary.
+    Table1,
+    /// Table II: UBC→Google numbers (same data as Fig 2).
+    Table2,
+    /// Table III: Purdue→Google numbers (same data as Fig 7).
+    Table3,
+    /// Table IV: Purdue mean±σ and the overlap analysis.
+    Table4,
+    /// Table V: geographic summary of fastest routes.
+    Table5,
+}
+
+/// Runs the paper's experiments over a built scenario.
+pub struct ExperimentSet<'a> {
+    /// The calibrated world.
+    pub world: &'a NorthAmerica,
+    /// Measurement protocol (paper: 7 runs keep 5).
+    pub protocol: RunProtocol,
+    /// File sizes (paper: 10–100 MB). Override for quick smoke runs.
+    pub sizes: Vec<u64>,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl<'a> ExperimentSet<'a> {
+    /// Full paper configuration.
+    pub fn paper(world: &'a NorthAmerica) -> Self {
+        ExperimentSet {
+            world,
+            protocol: RunProtocol::paper(),
+            sizes: NorthAmerica::paper_sizes(),
+            threads: 0,
+        }
+    }
+
+    /// Reduced configuration for tests.
+    pub fn quick(world: &'a NorthAmerica) -> Self {
+        ExperimentSet {
+            world,
+            protocol: RunProtocol::quick(),
+            sizes: vec![10 * netsim::units::MB, 60 * netsim::units::MB],
+            threads: 0,
+        }
+    }
+
+    /// The standard route set: Direct, via UAlberta, via UMich.
+    pub fn routes(&self) -> Vec<Route> {
+        vec![
+            Route::Direct,
+            Route::via(self.world.hop_ualberta()),
+            Route::via(self.world.hop_umich()),
+        ]
+    }
+
+    /// One (client × provider) campaign with the standard routes.
+    pub fn campaign(&self, client: Client, provider: ProviderKind) -> Result<CampaignResult, NetError> {
+        Campaign {
+            factory: self.world,
+            client: self.world.client(client),
+            provider: self.world.provider(provider),
+            routes: self.routes(),
+            sizes: self.sizes.clone(),
+            protocol: self.protocol,
+            label: format!("{}-{}", client.name(), provider.display_name()),
+            threads: self.threads,
+        }
+        .run()
+    }
+
+    /// Fig 2 / Table II data.
+    pub fn fig2(&self) -> Result<CampaignResult, NetError> {
+        self.campaign(Client::Ubc, ProviderKind::GoogleDrive)
+    }
+
+    /// Fig 4 data.
+    pub fn fig4(&self) -> Result<CampaignResult, NetError> {
+        self.campaign(Client::Ubc, ProviderKind::Dropbox)
+    }
+
+    /// Fig 7 / Table III data.
+    pub fn fig7(&self) -> Result<CampaignResult, NetError> {
+        self.campaign(Client::Purdue, ProviderKind::GoogleDrive)
+    }
+
+    /// Fig 8 data.
+    pub fn fig8(&self) -> Result<CampaignResult, NetError> {
+        self.campaign(Client::Purdue, ProviderKind::Dropbox)
+    }
+
+    /// Fig 9 data.
+    pub fn fig9(&self) -> Result<CampaignResult, NetError> {
+        self.campaign(Client::Purdue, ProviderKind::OneDrive)
+    }
+
+    /// Fig 10 data.
+    pub fn fig10(&self) -> Result<CampaignResult, NetError> {
+        self.campaign(Client::Ucla, ProviderKind::GoogleDrive)
+    }
+
+    /// Fig 11 data.
+    pub fn fig11(&self) -> Result<CampaignResult, NetError> {
+        self.campaign(Client::Ucla, ProviderKind::Dropbox)
+    }
+
+    /// Fig 5: traceroute from UBC to the Google frontend.
+    pub fn fig5(&self) -> Traceroute {
+        let n = *self.world.nodes();
+        let mut sim = self.world.build_sim(5);
+        Traceroute::run(sim.core(), n.ubc, n.google_pop).expect("route exists")
+    }
+
+    /// Fig 6: traceroute from UAlberta to the Google frontend.
+    pub fn fig6(&self) -> Traceroute {
+        let n = *self.world.nodes();
+        let mut sim = self.world.build_sim(6);
+        Traceroute::run(sim.core(), n.ualberta, n.google_pop).expect("route exists")
+    }
+
+    /// Fig 3: the geography listing (clients, DTNs, POPs with coordinates
+    /// and great-circle distances).
+    pub fn fig3(&self) -> Table {
+        summary::geography_table(self.world)
+    }
+
+    /// Table IV: Purdue mean±σ for Dropbox and OneDrive at 60 and 100 MB,
+    /// with the paper's overlap verdicts.
+    pub fn table4(&self) -> Result<Table, NetError> {
+        let sizes: Vec<u64> = self
+            .sizes
+            .iter()
+            .copied()
+            .filter(|&s| s == 60 * netsim::units::MB || s == 100 * netsim::units::MB)
+            .collect();
+        let sizes = if sizes.is_empty() { vec![*self.sizes.last().expect("sizes")] } else { sizes };
+        let mut set = ExperimentSet {
+            world: self.world,
+            protocol: self.protocol,
+            sizes,
+            threads: self.threads,
+        };
+        let dropbox = set.campaign(Client::Purdue, ProviderKind::Dropbox)?;
+        let onedrive = set.campaign(Client::Purdue, ProviderKind::OneDrive)?;
+        set.sizes.clear(); // set consumed; silence unused-mut paths
+        Ok(summary::table4(&dropbox, &onedrive))
+    }
+
+    /// All nine (client × provider) campaigns, for Tables I and V.
+    pub fn all_campaigns(&self) -> Result<Vec<(Client, ProviderKind, CampaignResult)>, NetError> {
+        let mut out = Vec::with_capacity(9);
+        for client in Client::all() {
+            for provider in ProviderKind::all() {
+                out.push((client, provider, self.campaign(client, provider)?));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shape_matches_paper() {
+        let world = NorthAmerica::new();
+        let set = ExperimentSet::quick(&world);
+        let r = set.fig2().unwrap();
+        // Routes: [Direct, via UAlberta, via UMich]; for every size the
+        // paper finds via-UAlberta fastest and via-UMich slowest.
+        for si in 0..r.sizes.len() {
+            let direct = r.stats(si, 0).mean;
+            let ua = r.stats(si, 1).mean;
+            let um = r.stats(si, 2).mean;
+            assert!(ua < direct, "size {si}: UAlberta {ua} !< direct {direct}");
+            assert!(direct < um, "size {si}: direct {direct} !< UMich {um}");
+        }
+        assert_eq!(r.ranking(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn fig4_direct_wins_for_dropbox_from_ubc() {
+        let world = NorthAmerica::new();
+        let set = ExperimentSet::quick(&world);
+        let r = set.fig4().unwrap();
+        assert_eq!(r.ranking(), vec![0, 1, 2], "paper: Direct fastest, UMich slowest");
+    }
+
+    #[test]
+    fn traceroutes_reproduce_fig5_fig6() {
+        let world = NorthAmerica::new();
+        let set = ExperimentSet::quick(&world);
+        let f5 = set.fig5();
+        let f6 = set.fig6();
+        let cmp = detour_core::compare_traceroutes(&f5, &f6);
+        assert_eq!(cmp.junction.as_deref(), Some("vncv1rtr2.canarie.ca"));
+        assert!(cmp
+            .only_in_first
+            .iter()
+            .any(|h| h.contains("pacificwave")));
+    }
+}

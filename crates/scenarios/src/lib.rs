@@ -1,0 +1,24 @@
+//! # scenarios — the paper's measurement world, calibrated
+//!
+//! This crate holds the North-America topology the paper measured over
+//! (October–November 2015) with link capacities, policers, route pins and
+//! background-traffic processes calibrated from the paper's own numbers —
+//! see `DESIGN.md` §3 for the calibration table and
+//! [`northamerica::calibration`] for the constants.
+//!
+//! * [`northamerica`] — clients (UBC, Purdue, UCLA PlanetLab; the UAlberta
+//!   cluster; UMich PlanetLab), CANARIE/BCNET/Cybera/Internet2/commodity
+//!   core, the pacificwave hand-off, and the three provider POPs
+//!   (Mountain View / Ashburn / Seattle).
+//! * [`experiments`] — one constructor per paper artifact (Fig 2 → Table V),
+//!   returning ready-to-run campaigns.
+//! * [`summary`] — Table I / Table V renderers built on campaign results.
+
+pub mod experiments;
+pub mod northamerica;
+pub mod summary;
+pub mod workload;
+
+pub use experiments::{Experiment, ExperimentSet};
+pub use northamerica::{Client, NorthAmerica, ScenarioOptions};
+pub use workload::{run_session, SessionPolicy, SessionReport, SyncWorkload};

@@ -1,0 +1,212 @@
+//! Table I / Table IV / Table V renderers and the Figure 3 geography.
+
+use crate::northamerica::{Client, NorthAmerica};
+use cloudstore::ProviderKind;
+use detour_core::CampaignResult;
+use measure::{OverlapVerdict, Table};
+use netsim::geo::places;
+
+/// Table I: per (client × provider), order the routes fastest→slowest by
+/// mean time averaged across sizes.
+pub fn table1(results: &[(Client, ProviderKind, CampaignResult)]) -> Table {
+    let mut t = Table::new(
+        "Table I: fastest/slowest routes per client and service",
+        &["Client", "Google Drive", "Dropbox", "OneDrive"],
+    );
+    for client in Client::all() {
+        let mut row = vec![client.name().to_string()];
+        for provider in ProviderKind::all() {
+            let cell = results
+                .iter()
+                .find(|(c, p, _)| *c == client && *p == provider)
+                .map(|(_, _, r)| ranking_cell(r))
+                .unwrap_or_else(|| "-".to_string());
+            row.push(cell);
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// "Fastest: via UAlberta, Fast: Direct, Slowest: via UMich" — the paper's
+/// Table I cell format.
+pub fn ranking_cell(r: &CampaignResult) -> String {
+    let ranking = r.ranking();
+    let labels: Vec<String> = ranking.iter().map(|&i| r.routes[i].label()).collect();
+    match labels.len() {
+        0 => "-".to_string(),
+        1 => format!("Only: {}", labels[0]),
+        2 => format!("Fastest: {}, Slowest: {}", labels[0], labels[1]),
+        _ => format!(
+            "Fastest: {}, Fast: {}, Slowest: {}",
+            labels[0],
+            labels[1..labels.len() - 1].join(", "),
+            labels[labels.len() - 1]
+        ),
+    }
+}
+
+/// Table IV: Purdue mean±σ for Dropbox and OneDrive, with overlap verdicts
+/// (the paper's §III-B analysis).
+pub fn table4(dropbox: &CampaignResult, onedrive: &CampaignResult) -> Table {
+    let mut t = Table::new(
+        "Table IV: mean and standard deviation of upload times from Purdue (s)",
+        &["File size (MB)", "Type", "Mean (s)", "Std dev", "±1σ vs Direct"],
+    );
+    for (name, r) in [("Dropbox", dropbox), ("OneDrive", onedrive)] {
+        // Iterate sizes from largest (the paper lists 100 MB before 60 MB).
+        for si in (0..r.sizes.len()).rev() {
+            let direct = r.stats(si, 0);
+            for (ri, route) in r.routes.iter().enumerate() {
+                let s = r.stats(si, ri);
+                let verdict = if ri == 0 {
+                    "-".to_string()
+                } else {
+                    match direct.overlap_1sigma(s) {
+                        OverlapVerdict::Overlapping => "overlaps".to_string(),
+                        OverlapVerdict::Separated => "separated".to_string(),
+                    }
+                };
+                t.row(vec![
+                    format!("{}", r.sizes[si] / netsim::units::MB),
+                    format!("{name} ({})", route.label()),
+                    format!("{:.2}", s.mean),
+                    format!("{:.2}", s.std_dev),
+                    verdict,
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Table V: for each client, the fastest route per provider (the paper's
+/// map panels, as text).
+pub fn table5(results: &[(Client, ProviderKind, CampaignResult)]) -> Table {
+    let mut t = Table::new(
+        "Table V: geographic summary of fastest routes [Direct: solid; Detour: dashed]",
+        &["Client", "Service", "Fastest route", "Mean (s, largest size)"],
+    );
+    for (client, provider, r) in results {
+        let best = r.ranking()[0];
+        let last_size = r.sizes.len() - 1;
+        t.row(vec![
+            client.name().to_string(),
+            provider.display_name().to_string(),
+            r.routes[best].label(),
+            format!("{:.2}", r.stats(last_size, best).mean),
+        ]);
+    }
+    t
+}
+
+/// Fig 3: locations of clients, intermediate nodes and cloud-storage
+/// servers, with great-circle distances to each provider.
+pub fn geography_table(world: &NorthAmerica) -> Table {
+    let mut t = Table::new(
+        "Fig 3: locations of clients, intermediate nodes and cloud-storage servers",
+        &["Site", "Role", "Location", "→MTV (km)", "→Ashburn (km)", "→Seattle (km)"],
+    );
+    let rows: [(&str, &str, netsim::geo::GeoPoint); 8] = [
+        ("UBC", "client (PlanetLab)", places::UBC),
+        ("UAlberta", "DTN (cluster)", places::UALBERTA),
+        ("UMich", "DTN (PlanetLab)", places::UMICH),
+        ("Purdue", "client (PlanetLab)", places::PURDUE),
+        ("UCLA", "client (PlanetLab)", places::UCLA),
+        ("Google Drive", "POP (Mountain View)", places::MOUNTAIN_VIEW),
+        ("Dropbox", "POP (Ashburn)", places::ASHBURN),
+        ("OneDrive", "POP (Seattle)", places::SEATTLE),
+    ];
+    let _ = world;
+    for (name, role, loc) in rows {
+        t.row(vec![
+            name.to_string(),
+            role.to_string(),
+            loc.to_string(),
+            format!("{:.0}", loc.distance_km(&places::MOUNTAIN_VIEW)),
+            format!("{:.0}", loc.distance_km(&places::ASHBURN)),
+            format!("{:.0}", loc.distance_km(&places::SEATTLE)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detour_core::Route;
+    use measure::Stats;
+
+    fn fake_result(means: &[(&str, f64)]) -> CampaignResult {
+        let routes: Vec<Route> = means
+            .iter()
+            .map(|(label, _)| {
+                if *label == "Direct" {
+                    Route::Direct
+                } else {
+                    Route::via(detour_core::Hop::new(
+                        netsim::topology::NodeId(9),
+                        netsim::flow::FlowClass::Research,
+                        label.trim_start_matches("via "),
+                    ))
+                }
+            })
+            .collect();
+        let cells = vec![means
+            .iter()
+            .map(|(_, m)| Stats { n: 5, mean: *m, std_dev: 1.0, min: *m, max: *m })
+            .collect()];
+        CampaignResult {
+            client_name: "X".into(),
+            provider_name: "Y".into(),
+            routes,
+            sizes: vec![100 * netsim::units::MB],
+            cells,
+        }
+    }
+
+    #[test]
+    fn ranking_cell_format() {
+        let r = fake_result(&[("Direct", 86.92), ("via UAlberta", 35.79), ("via UMich", 132.17)]);
+        assert_eq!(
+            ranking_cell(&r),
+            "Fastest: via UAlberta, Fast: Direct, Slowest: via UMich"
+        );
+    }
+
+    #[test]
+    fn table1_has_one_row_per_client() {
+        let r = fake_result(&[("Direct", 1.0), ("via UAlberta", 2.0)]);
+        let mut results = Vec::new();
+        for c in Client::all() {
+            for p in ProviderKind::all() {
+                results.push((c, p, r.clone()));
+            }
+        }
+        let t = table1(&results);
+        assert_eq!(t.len(), 3);
+        assert!(t.render().contains("Fastest: Direct"));
+    }
+
+    #[test]
+    fn geography_distances_sane() {
+        let world = NorthAmerica::new();
+        let t = geography_table(&world);
+        let text = t.render();
+        // UBC is ~1,300 km from Mountain View and ~190 km from Seattle.
+        assert!(text.contains("UBC"));
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn table5_lists_every_campaign() {
+        let r = fake_result(&[("Direct", 5.0), ("via UAlberta", 2.0)]);
+        let results = vec![
+            (Client::Ubc, ProviderKind::GoogleDrive, r.clone()),
+            (Client::Purdue, ProviderKind::Dropbox, r),
+        ];
+        let t = table5(&results);
+        assert_eq!(t.len(), 2);
+        assert!(t.render().contains("via UAlberta"));
+    }
+}

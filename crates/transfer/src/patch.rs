@@ -1,0 +1,155 @@
+//! Patch application: the receiver reconstructs the target file.
+
+use crate::delta::{Delta, DeltaOp};
+use crate::md5::Md5;
+use std::fmt;
+
+/// Errors during patch application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchError {
+    /// A copy instruction referenced a basis block that does not exist.
+    BadBlockIndex {
+        /// The offending index.
+        index: u32,
+        /// Blocks available.
+        available: u32,
+    },
+    /// Reconstructed length differs from the declared target length.
+    LengthMismatch {
+        /// What the delta declared.
+        expected: u64,
+        /// What reconstruction produced.
+        actual: u64,
+    },
+    /// Whole-file checksum failed — the transfer is corrupt.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchError::BadBlockIndex { index, available } => {
+                write!(f, "copy references block {index} but basis has {available}")
+            }
+            PatchError::LengthMismatch { expected, actual } => {
+                write!(f, "reconstructed {actual} bytes, expected {expected}")
+            }
+            PatchError::ChecksumMismatch => write!(f, "whole-file checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// Apply a delta to the basis file, verifying length and checksum.
+pub fn apply_delta(basis: &[u8], block_size: usize, delta: &Delta) -> Result<Vec<u8>, PatchError> {
+    assert!(block_size > 0, "block size must be positive");
+    let n_blocks = basis.len().div_ceil(block_size) as u32;
+    let mut out = Vec::with_capacity(delta.target_len as usize);
+    for op in &delta.ops {
+        match op {
+            DeltaOp::Copy { index } => {
+                if *index >= n_blocks {
+                    return Err(PatchError::BadBlockIndex { index: *index, available: n_blocks });
+                }
+                let start = *index as usize * block_size;
+                let end = (start + block_size).min(basis.len());
+                out.extend_from_slice(&basis[start..end]);
+            }
+            DeltaOp::Literal(bytes) => out.extend_from_slice(bytes),
+        }
+    }
+    if out.len() as u64 != delta.target_len {
+        return Err(PatchError::LengthMismatch { expected: delta.target_len, actual: out.len() as u64 });
+    }
+    if Md5::digest(&out) != delta.target_md5 {
+        return Err(PatchError::ChecksumMismatch);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::compute_delta;
+    use crate::filegen::FileGen;
+    use crate::signature::Signature;
+
+    fn round_trip(basis: &[u8], target: &[u8], bs: usize) {
+        let sig = Signature::compute(basis, bs);
+        let delta = compute_delta(&sig, target);
+        let rebuilt = apply_delta(basis, bs, &delta).expect("patch applies");
+        assert_eq!(rebuilt, target);
+    }
+
+    #[test]
+    fn round_trip_fresh_file() {
+        let target = FileGen::new(1).random_file(50_000);
+        round_trip(&[], &target, 2048);
+    }
+
+    #[test]
+    fn round_trip_identical() {
+        let data = FileGen::new(2).random_file(30_000);
+        round_trip(&data, &data, 2048);
+    }
+
+    #[test]
+    fn round_trip_edits() {
+        let g = FileGen::new(3);
+        let basis = g.random_file(60_000);
+        let target = g.similar_file(&basis, 25, 1234);
+        round_trip(&basis, &target, 2048);
+    }
+
+    #[test]
+    fn round_trip_shrunk_target() {
+        let g = FileGen::new(4);
+        let basis = g.random_file(60_000);
+        round_trip(&basis, &basis[..10_000], 2048);
+    }
+
+    #[test]
+    fn round_trip_odd_block_sizes() {
+        let g = FileGen::new(5);
+        let basis = g.random_file(9_999);
+        let target = g.similar_file(&basis, 2, 7);
+        for bs in [1usize, 100, 700, 4096, 20_000] {
+            round_trip(&basis, &target, bs);
+        }
+    }
+
+    #[test]
+    fn bad_block_index_rejected() {
+        let basis = FileGen::new(6).random_file(4096);
+        let delta = Delta {
+            ops: vec![crate::delta::DeltaOp::Copy { index: 99 }],
+            target_len: 2048,
+            target_md5: [0; 16],
+        };
+        let err = apply_delta(&basis, 2048, &delta).unwrap_err();
+        assert_eq!(err, PatchError::BadBlockIndex { index: 99, available: 2 });
+    }
+
+    #[test]
+    fn corrupt_literal_caught_by_checksum() {
+        let target = FileGen::new(7).random_file(5000);
+        let sig = Signature::empty(2048);
+        let mut delta = compute_delta(&sig, &target);
+        if let crate::delta::DeltaOp::Literal(v) = &mut delta.ops[0] {
+            v[0] ^= 0xFF;
+        }
+        let err = apply_delta(&[], 2048, &delta).unwrap_err();
+        assert_eq!(err, PatchError::ChecksumMismatch);
+    }
+
+    #[test]
+    fn length_mismatch_caught() {
+        let target = FileGen::new(8).random_file(5000);
+        let sig = Signature::empty(2048);
+        let mut delta = compute_delta(&sig, &target);
+        delta.target_len = 4999;
+        let err = apply_delta(&[], 2048, &delta).unwrap_err();
+        assert!(matches!(err, PatchError::LengthMismatch { .. }));
+    }
+}

@@ -1,0 +1,158 @@
+//! Block signatures: the receiver's description of the basis file.
+//!
+//! In rsync the *receiver* (here: the DTN) splits its existing copy of the
+//! file into fixed-size blocks and sends `(rolling, strong)` checksums per
+//! block to the sender, which then hunts for those blocks in the new file.
+
+use crate::md5::Md5;
+use crate::rolling;
+use std::collections::HashMap;
+
+/// Default block size (rsync uses ~700–16 KiB depending on file size; a
+/// fixed 2 KiB is a reasonable middle ground for the file sizes in the
+/// paper's workload).
+pub const DEFAULT_BLOCK_SIZE: usize = 2048;
+
+/// Signature of one basis block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSignature {
+    /// Block index in the basis file.
+    pub index: u32,
+    /// Length (the final block may be short).
+    pub len: u32,
+    /// 32-bit rolling checksum.
+    pub rolling: u32,
+    /// 128-bit strong checksum.
+    pub strong: [u8; 16],
+}
+
+/// The full signature of a basis file.
+#[derive(Debug, Clone)]
+pub struct Signature {
+    /// Block size used.
+    pub block_size: usize,
+    /// Per-block signatures, in order.
+    pub blocks: Vec<BlockSignature>,
+    /// rolling checksum -> candidate block indices (collisions possible).
+    index: HashMap<u32, Vec<u32>>,
+}
+
+impl Signature {
+    /// Compute the signature of a basis file.
+    pub fn compute(basis: &[u8], block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        let mut blocks = Vec::with_capacity(basis.len() / block_size + 1);
+        let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (i, chunk) in basis.chunks(block_size).enumerate() {
+            let rolling = rolling::checksum(chunk);
+            let strong = Md5::digest(chunk);
+            blocks.push(BlockSignature {
+                index: i as u32,
+                len: chunk.len() as u32,
+                rolling,
+                strong,
+            });
+            index.entry(rolling).or_default().push(i as u32);
+        }
+        Signature { block_size, blocks, index }
+    }
+
+    /// Signature of an empty basis (the paper's fresh-file case).
+    pub fn empty(block_size: usize) -> Self {
+        Self::compute(&[], block_size)
+    }
+
+    /// Candidate blocks whose rolling checksum matches.
+    pub fn candidates(&self, rolling: u32) -> &[u32] {
+        self.index.get(&rolling).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Look up a block that matches both checksums over `window`.
+    /// Only full-size blocks participate in rolling matching (short final
+    /// blocks are matched separately by the delta generator).
+    pub fn find_match(&self, rolling: u32, window: &[u8]) -> Option<u32> {
+        for &idx in self.candidates(rolling) {
+            let b = &self.blocks[idx as usize];
+            if b.len as usize == window.len() && b.strong == Md5::digest(window) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Bytes this signature occupies on the wire: 4 (rolling) + 16 (strong)
+    /// + 4 (index/len bookkeeping) per block, plus a 32-byte header.
+    pub fn wire_bytes(&self) -> u64 {
+        32 + (self.blocks.len() as u64) * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filegen::FileGen;
+
+    #[test]
+    fn block_partitioning() {
+        let data = FileGen::new(1).random_file(5000);
+        let sig = Signature::compute(&data, 2048);
+        assert_eq!(sig.block_count(), 3);
+        assert_eq!(sig.blocks[0].len, 2048);
+        assert_eq!(sig.blocks[2].len, 5000 - 4096);
+    }
+
+    #[test]
+    fn empty_basis() {
+        let sig = Signature::empty(2048);
+        assert_eq!(sig.block_count(), 0);
+        assert_eq!(sig.wire_bytes(), 32);
+        assert!(sig.candidates(12345).is_empty());
+    }
+
+    #[test]
+    fn find_match_requires_both_checksums() {
+        let data = FileGen::new(2).random_file(8192);
+        let sig = Signature::compute(&data, 2048);
+        let block0 = &data[..2048];
+        let r = rolling::checksum(block0);
+        assert_eq!(sig.find_match(r, block0), Some(0));
+        // Same rolling value, different content: no match.
+        let mut forged = block0.to_vec();
+        forged.swap(0, 1); // swapping bytes changes content...
+        forged.swap(0, 1); // ...restore; instead corrupt while keeping `a`:
+        forged[0] = forged[0].wrapping_add(1);
+        forged[1] = forged[1].wrapping_sub(1);
+        // `a` is preserved but `b` usually changes; regardless, the strong
+        // hash check must reject any content difference when probed with
+        // block0's rolling value.
+        assert_eq!(sig.find_match(r, &forged), None);
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_blocks() {
+        let data = FileGen::new(3).random_file(100 * 2048);
+        let sig = Signature::compute(&data, 2048);
+        assert_eq!(sig.wire_bytes(), 32 + 100 * 24);
+    }
+
+    #[test]
+    fn exact_duplicate_blocks_share_candidates() {
+        let block = FileGen::new(4).random_file(2048);
+        let mut data = block.clone();
+        data.extend_from_slice(&block);
+        let sig = Signature::compute(&data, 2048);
+        let r = rolling::checksum(&block);
+        assert_eq!(sig.candidates(r).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_size_panics() {
+        Signature::compute(b"data", 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests: the rsync round trip is the identity, for arbitrary
+//! basis/target pairs and block sizes.
+
+use proptest::prelude::*;
+use transfer::{apply_delta, compute_delta, FileGen, Md5, RsyncWirePlan, Signature};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// patch(basis, delta(basis, target)) == target — the fundamental
+    /// correctness property of the rsync algorithm.
+    #[test]
+    fn round_trip_identity(
+        basis in prop::collection::vec(any::<u8>(), 0..8192),
+        target in prop::collection::vec(any::<u8>(), 0..8192),
+        block_size in 1usize..2048,
+    ) {
+        let sig = Signature::compute(&basis, block_size);
+        let delta = compute_delta(&sig, &target);
+        let rebuilt = apply_delta(&basis, block_size, &delta).unwrap();
+        prop_assert_eq!(rebuilt, target);
+    }
+
+    /// Round trip over structured (generated + mutated) files, which have
+    /// far more block matches than independent random buffers.
+    #[test]
+    fn round_trip_similar_files(
+        seed in any::<u64>(),
+        len in 0usize..40_000,
+        edits in 0usize..20,
+        append in 0usize..2000,
+        block_size in prop::sample::select(vec![128usize, 512, 2048, 8192]),
+    ) {
+        let g = FileGen::new(seed);
+        let basis = g.random_file(len);
+        let target = g.similar_file(&basis, edits, append);
+        let sig = Signature::compute(&basis, block_size);
+        let delta = compute_delta(&sig, &target);
+        let rebuilt = apply_delta(&basis, block_size, &delta).unwrap();
+        prop_assert_eq!(Md5::digest(&rebuilt), delta.target_md5);
+        prop_assert_eq!(rebuilt, target);
+    }
+
+    /// The delta never carries more literal payload than the target itself,
+    /// and the wire plan's delta bytes dominate the literal payload.
+    #[test]
+    fn delta_is_bounded(
+        seed in any::<u64>(),
+        len in 0usize..20_000,
+        block_size in prop::sample::select(vec![512usize, 2048]),
+    ) {
+        let g = FileGen::new(seed);
+        let target = g.random_file(len);
+        let sig = Signature::empty(block_size);
+        let delta = compute_delta(&sig, &target);
+        prop_assert!(delta.literal_bytes() <= len as u64);
+        let plan = RsyncWirePlan::exact(&[], &target, block_size);
+        prop_assert!(plan.delta_bytes >= delta.literal_bytes());
+        prop_assert_eq!(plan, RsyncWirePlan::fresh(len as u64));
+    }
+
+    /// Streaming MD5 agrees with one-shot MD5 under arbitrary chunking.
+    #[test]
+    fn md5_chunking_invariance(
+        data in prop::collection::vec(any::<u8>(), 0..4096),
+        cuts in prop::collection::vec(1usize..4096, 0..6),
+    ) {
+        let oneshot = Md5::digest(&data);
+        let mut ctx = Md5::new();
+        let mut rest: &[u8] = &data;
+        for c in cuts {
+            let take = c.min(rest.len());
+            ctx.update(&rest[..take]);
+            rest = &rest[take..];
+        }
+        ctx.update(rest);
+        prop_assert_eq!(ctx.finalize(), oneshot);
+    }
+}

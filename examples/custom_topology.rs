@@ -1,0 +1,90 @@
+//! Use the library on *your own* network, not the paper's: build a custom
+//! topology, attach a provider POP, inject congestion, and let the
+//! route monitor decide when the detour is worth it.
+//!
+//! ```sh
+//! cargo run --release --example custom_topology
+//! ```
+
+use routing_detours::cloudstore::{Provider, ProviderKind, UploadOptions};
+use routing_detours::detour_core::monitor::{MonitorConfig, ProbeLeg, RouteMonitor};
+use routing_detours::detour_core::{run_job, Route};
+use routing_detours::netsim::background::{BackgroundProfile, BackgroundTraffic};
+use routing_detours::netsim::prelude::*;
+use routing_detours::netsim::units::MB;
+
+fn main() {
+    // A company with a branch office (slow commodity uplink to the cloud),
+    // a well-connected headquarters, and a private line between them.
+    let mut b = TopologyBuilder::new();
+    let branch = b.host("branch-office", GeoPoint::new(51.05, -114.07)); // Calgary
+    let hq = b.host("headquarters", GeoPoint::new(43.65, -79.38)); // Toronto
+    let isp = b.router("branch-isp", GeoPoint::new(51.0, -114.0));
+    let ix = b.router("toronto-ix", GeoPoint::new(43.6, -79.4));
+    let pop = b.datacenter("cloud-pop", GeoPoint::new(39.0, -77.5)); // Ashburn
+    let bg_src = b.host("other-customers", GeoPoint::new(51.1, -114.1));
+    let bg_dst = b.host("cdn-origin", GeoPoint::new(39.1, -77.6));
+
+    b.duplex(branch, isp, LinkParams::geo(Bandwidth::from_mbps(200.0)));
+    // The branch ISP's congested transit toward the cloud region.
+    b.duplex(isp, pop, LinkParams::geo(Bandwidth::from_mbps(50.0)));
+    // A clean private line to HQ and HQ's fat cloud on-ramp.
+    b.duplex(branch, hq, LinkParams::geo(Bandwidth::from_mbps(150.0)));
+    b.duplex(hq, ix, LinkParams::geo(Bandwidth::from_mbps(1000.0)));
+    b.duplex(ix, pop, LinkParams::geo(Bandwidth::from_mbps(500.0)));
+    // Background load shares the ISP transit.
+    b.duplex(bg_src, isp, LinkParams::geo(Bandwidth::from_mbps(1000.0)));
+    b.duplex(pop, bg_dst, LinkParams::geo(Bandwidth::from_mbps(1000.0)));
+    let topo = b.build();
+
+    let provider = Provider::new(ProviderKind::Dropbox, pop);
+
+    // Measure both routes for an 80 MB artifact upload.
+    let route_detour = Route::via(routing_detours::detour_core::Hop::new(
+        hq,
+        FlowClass::Commodity,
+        "HQ",
+    ));
+    for (label, route) in [("direct", Route::Direct), ("via HQ", route_detour)] {
+        let mut sim = Sim::new(topo.clone(), 42);
+        sim.spawn_detached(Box::new(BackgroundTraffic::new(
+            BackgroundProfile::heavy(bg_src, bg_dst).scaled(1.2),
+        )));
+        let report = run_job(
+            &mut sim,
+            branch,
+            FlowClass::Commodity,
+            &provider,
+            80 * MB,
+            &route,
+            UploadOptions::warm(FlowClass::Commodity),
+        )
+        .expect("upload");
+        println!("branch -> Dropbox, 80 MB, {label}: {:.1} s", report.secs());
+    }
+
+    // Let the monitor watch both routes as congestion comes and goes.
+    let mut sim = Sim::new(topo, 42);
+    sim.spawn_detached(Box::new(BackgroundTraffic::new(
+        BackgroundProfile::heavy(bg_src, bg_dst).scaled(1.2),
+    )));
+    let cfg = MonitorConfig {
+        routes: vec![
+            vec![ProbeLeg { src: branch, dst: pop, class: FlowClass::Commodity }],
+            vec![
+                ProbeLeg { src: branch, dst: hq, class: FlowClass::Commodity },
+                ProbeLeg { src: hq, dst: pop, class: FlowClass::Commodity },
+            ],
+        ],
+        probe_bytes: MB,
+        reference_bytes: 80 * MB,
+        interval: SimTime::from_secs(30),
+        epochs: 10,
+        alpha: 0.5,
+    };
+    let v = sim.run_process(Box::new(RouteMonitor::new(cfg))).expect("monitor");
+    let choices = RouteMonitor::decode_choices(&v);
+    let names = ["direct", "via HQ"];
+    let timeline: Vec<&str> = choices.iter().map(|&c| names[c]).collect();
+    println!("\nmonitor's per-epoch choice (every 30 s): {timeline:?}");
+}

@@ -1,0 +1,70 @@
+//! Automatic detour selection — the paper's future work, implemented.
+//!
+//! Compares three selectors on every (client × provider) pair:
+//! the measured oracle (what the authors did by hand), the cheap
+//! probe-based predictor, and the paper's §III-B overlap-aware decision
+//! rule applied to the oracle's statistics.
+//!
+//! ```sh
+//! cargo run --release --example detour_selection
+//! ```
+
+use routing_detours::cloudstore::ProviderKind;
+use routing_detours::detour_core::{DecisionRule, OracleSelector, ProbeSelector, Route};
+use routing_detours::measure::RunProtocol;
+use routing_detours::netsim::units::MB;
+use routing_detours::scenarios::{Client, NorthAmerica};
+
+fn main() {
+    let world = NorthAmerica::new();
+    let routes =
+        vec![Route::Direct, Route::via(world.hop_ualberta()), Route::via(world.hop_umich())];
+    let size = 60 * MB;
+
+    println!("selecting routes for 60 MB uploads (oracle = 7-run measured campaign)\n");
+    println!(
+        "{:<8} {:<13} {:<16} {:<16} {:<10}",
+        "client", "provider", "oracle pick", "probe pick", "overlap rule"
+    );
+    for client in Client::all() {
+        for kind in ProviderKind::all() {
+            let provider = world.provider(kind);
+            let spec = world.client(client);
+
+            let oracle = OracleSelector { protocol: RunProtocol::paper() };
+            let (choice, stats) = oracle
+                .choose(&world, &spec, &provider, &routes, size, &format!("{client:?}-{kind:?}"), 0)
+                .expect("oracle");
+
+            let mut sim = world.build_sim(99);
+            let probe = ProbeSelector::default()
+                .choose(&mut sim, spec.node, spec.class, &provider, &routes, size)
+                .expect("probe");
+
+            // The paper's cautious rule: direct unless a detour's error bars
+            // clear the direct route's.
+            let best_detour = (1..routes.len())
+                .min_by(|&a, &b| stats[a].mean.partial_cmp(&stats[b].mean).unwrap())
+                .expect("detours exist");
+            let overlap_pick = if DecisionRule::OverlapAware
+                .prefer_detour(&stats[0], &stats[best_detour])
+            {
+                routes[best_detour].label()
+            } else {
+                "Direct".to_string()
+            };
+
+            println!(
+                "{:<8} {:<13} {:<16} {:<16} {:<10}",
+                client.name(),
+                kind.display_name(),
+                format!("{} ({:.0}s)", routes[choice.route_idx].label(), choice.expected_secs),
+                routes[probe.route_idx].label(),
+                overlap_pick,
+            );
+        }
+    }
+    println!("\nThe probe selector costs one idle-rate estimate per leg; the oracle costs");
+    println!("a full 7-run campaign per route. The overlap rule refuses detours whose");
+    println!("error bars overlap the direct route's (paper §III-B).");
+}

@@ -1,0 +1,261 @@
+//! `detour` — command-line front end to the routing-detours library.
+//!
+//! ```text
+//! detour simulate   --client ubc --provider gdrive --size 100 [--route ualberta] [--runs 7] [--seed 1]
+//! detour best-route --client purdue --provider gdrive --size 60 [--rule overlap|mean]
+//! detour traceroute --client ubc --provider gdrive
+//! detour probe      --client ubc
+//! detour tiv        --client ubc --provider gdrive
+//! ```
+//!
+//! Clients: `ubc`, `purdue`, `ucla`. Providers: `gdrive`, `dropbox`,
+//! `onedrive`. Routes: `direct`, `ualberta`, `umich`.
+
+use routing_detours::cloudstore::{ProviderKind, UploadOptions};
+use routing_detours::detour_core::{run_job, DecisionRule, Route};
+use routing_detours::measure::RunProtocol;
+use routing_detours::netsim::trace::Traceroute;
+use routing_detours::netsim::units::MB;
+use routing_detours::scenarios::{Client, NorthAmerica};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  detour simulate   --client <ubc|purdue|ucla> --provider <gdrive|dropbox|onedrive> \
+         --size <MB> [--route <direct|ualberta|umich>] [--runs N] [--seed N]\n  detour best-route \
+         --client <c> --provider <p> --size <MB> [--rule <overlap|mean>]\n  detour traceroute \
+         --client <c> --provider <p>\n  detour probe      --client <c>"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    cmd: String,
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut argv = std::env::args().skip(1);
+        let cmd = argv.next().unwrap_or_else(|| usage());
+        let mut flags = std::collections::HashMap::new();
+        let rest: Vec<String> = argv.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let k = rest[i].trim_start_matches("--").to_string();
+            if !rest[i].starts_with("--") || i + 1 >= rest.len() {
+                usage();
+            }
+            flags.insert(k, rest[i + 1].clone());
+            i += 2;
+        }
+        Args { cmd, flags }
+    }
+
+    fn client(&self) -> Client {
+        match self.flags.get("client").map(String::as_str) {
+            Some("ubc") => Client::Ubc,
+            Some("purdue") => Client::Purdue,
+            Some("ucla") => Client::Ucla,
+            _ => usage(),
+        }
+    }
+
+    fn provider(&self) -> ProviderKind {
+        match self.flags.get("provider").map(String::as_str) {
+            Some("gdrive") | Some("google") => ProviderKind::GoogleDrive,
+            Some("dropbox") => ProviderKind::Dropbox,
+            Some("onedrive") => ProviderKind::OneDrive,
+            _ => usage(),
+        }
+    }
+
+    fn size_bytes(&self) -> u64 {
+        self.flags
+            .get("size")
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(|mb| mb * MB)
+            .unwrap_or_else(|| usage())
+    }
+
+    fn u64_flag(&self, name: &str, default: u64) -> u64 {
+        self.flags.get(name).map(|s| s.parse().unwrap_or_else(|_| usage())).unwrap_or(default)
+    }
+}
+
+fn route_by_name(world: &NorthAmerica, name: &str) -> Route {
+    match name {
+        "direct" => Route::Direct,
+        "ualberta" => Route::via(world.hop_ualberta()),
+        "umich" => Route::via(world.hop_umich()),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let world = NorthAmerica::new();
+    match args.cmd.as_str() {
+        "simulate" => simulate(&args, &world),
+        "best-route" => best_route(&args, &world),
+        "traceroute" => traceroute(&args, &world),
+        "probe" => probe(&args, &world),
+        "tiv" => tiv(&args, &world),
+        _ => usage(),
+    }
+}
+
+/// Report bandwidth triangle-inequality violations for a client/provider
+/// pair over the standard DTN candidates.
+fn tiv(args: &Args, world: &NorthAmerica) {
+    let client = world.client(args.client());
+    let provider = world.provider(args.provider());
+    let mut sim = world.build_sim(args.u64_flag("seed", 1));
+    let frontend = provider.frontend_for(sim.core().topology(), client.node);
+    let n = *world.nodes();
+    let candidates = [
+        (n.ualberta, routing_detours::netsim::flow::FlowClass::Research),
+        (n.umich, routing_detours::netsim::flow::FlowClass::PlanetLab),
+    ];
+    let tivs = routing_detours::detour_core::find_bandwidth_tivs(
+        sim.core(),
+        client.node,
+        client.class,
+        frontend,
+        &candidates,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("tiv scan failed: {e}");
+        std::process::exit(1);
+    });
+    if tivs.is_empty() {
+        println!(
+            "no bandwidth TIV: no candidate detour can beat the direct path from {} to {}",
+            client.name,
+            provider.kind.display_name()
+        );
+        return;
+    }
+    println!(
+        "bandwidth triangle-inequality violations, {} -> {}:",
+        client.name,
+        provider.kind.display_name()
+    );
+    let mut name_of = |id| sim.core().topology().node(id).name.clone();
+    for t in tivs {
+        println!(
+            "  via {:<24} direct {} vs detour {} ({:.2}x)",
+            name_of(t.via),
+            t.direct,
+            t.detour,
+            t.ratio()
+        );
+    }
+}
+
+fn simulate(args: &Args, world: &NorthAmerica) {
+    let client = world.client(args.client());
+    let provider = world.provider(args.provider());
+    let size = args.size_bytes();
+    let runs = args.u64_flag("runs", 1) as usize;
+    let seed = args.u64_flag("seed", 1);
+    let route_name = args.flags.get("route").cloned().unwrap_or_else(|| "direct".into());
+    let route = route_by_name(world, &route_name);
+
+    let mut secs = Vec::with_capacity(runs);
+    for r in 0..runs {
+        let mut sim = world.build_sim(seed + r as u64);
+        let report = run_job(
+            &mut sim,
+            client.node,
+            client.class,
+            &provider,
+            size,
+            &route,
+            UploadOptions::warm(client.class),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        });
+        secs.push(report.secs());
+    }
+    let stats = routing_detours::measure::Stats::from_samples(&secs);
+    println!(
+        "{} -> {} ({}), {} MB, {}: {:.2} s ± {:.2} over {} run(s)",
+        client.name,
+        provider.kind.display_name(),
+        route.label(),
+        size / MB,
+        if runs > 1 { "mean" } else { "time" },
+        stats.mean,
+        stats.std_dev,
+        runs
+    );
+}
+
+fn best_route(args: &Args, world: &NorthAmerica) {
+    let client = world.client(args.client());
+    let provider = world.provider(args.provider());
+    let size = args.size_bytes();
+    let rule = match args.flags.get("rule").map(String::as_str) {
+        Some("mean") => DecisionRule::MeanOnly,
+        _ => DecisionRule::OverlapAware,
+    };
+    let routes =
+        vec![Route::Direct, Route::via(world.hop_ualberta()), Route::via(world.hop_umich())];
+    let oracle = routing_detours::detour_core::OracleSelector { protocol: RunProtocol::paper() };
+    let (choice, stats) = oracle
+        .choose(world, &client, &provider, &routes, size, "cli", 0)
+        .unwrap_or_else(|e| {
+            eprintln!("measurement failed: {e}");
+            std::process::exit(1);
+        });
+    println!("measured ({} MB to {}):", size / MB, provider.kind.display_name());
+    for (route, s) in routes.iter().zip(&stats) {
+        println!("  {:<14} {:.2} s ± {:.2}", route.label(), s.mean, s.std_dev);
+    }
+    let best_detour = (1..routes.len())
+        .min_by(|&a, &b| stats[a].mean.partial_cmp(&stats[b].mean).expect("finite"))
+        .expect("detours present");
+    let decision = if rule.prefer_detour(&stats[0], &stats[best_detour]) {
+        routes[best_detour].label()
+    } else if choice.route_idx == 0 {
+        "Direct".to_string()
+    } else {
+        // Mean says detour but the rule refused (overlapping error bars).
+        format!("Direct (detour {} overlaps; rule = overlap-aware)", routes[best_detour].label())
+    };
+    println!("decision: {decision}");
+}
+
+fn traceroute(args: &Args, world: &NorthAmerica) {
+    let client = world.client(args.client());
+    let provider = world.provider(args.provider());
+    let mut sim = world.build_sim(args.u64_flag("seed", 5));
+    let frontend = provider.frontend_for(sim.core().topology(), client.node);
+    let tr = Traceroute::run(sim.core(), client.node, frontend).unwrap_or_else(|e| {
+        eprintln!("traceroute failed: {e}");
+        std::process::exit(1);
+    });
+    print!("{tr}");
+}
+
+fn probe(args: &Args, world: &NorthAmerica) {
+    let client = world.client(args.client());
+    let mut sim = world.build_sim(args.u64_flag("seed", 1));
+    println!("idle-path rate estimates from {}:", client.name);
+    let n = *world.nodes();
+    let targets: [(&str, routing_detours::netsim::topology::NodeId); 5] = [
+        ("Google Drive POP", n.google_pop),
+        ("Dropbox POP", n.dropbox_pop),
+        ("OneDrive POP", n.onedrive_pop),
+        ("UAlberta DTN", n.ualberta),
+        ("UMich DTN", n.umich),
+    ];
+    for (label, node) in targets {
+        match sim.core().bottleneck(client.node, node, client.class) {
+            Ok(b) => println!("  {label:<18} {b}"),
+            Err(e) => println!("  {label:<18} unreachable ({e})"),
+        }
+    }
+}

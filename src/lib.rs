@@ -1,0 +1,37 @@
+//! # routing-detours
+//!
+//! A from-scratch Rust reproduction of *"Mitigating Routing Inefficiencies
+//! to Cloud-Storage Providers: A Case Study"* (Sinha, Niu, Wang, Lu; 2016),
+//! built as a workspace of reusable crates:
+//!
+//! | crate | what it is |
+//! |---|---|
+//! | [`netsim`] | flow-level discrete-event WAN simulator (topology, policy routing, max-min fair flows, policers, background traffic, traceroute) |
+//! | [`transfer`] | the rsync algorithm (MD5, rolling checksum, signatures, delta, patch) and wire-cost models |
+//! | [`cloudstore`] | Google Drive / Dropbox / OneDrive API models (OAuth2, chunked upload sessions, fault injection) |
+//! | [`relay`] | store-and-forward and pipelined DTN relaying |
+//! | [`measure`] | the 7-run/keep-5 protocol, statistics, overlap analysis, tables |
+//! | [`detour_core`] | routes, measurement campaigns, automatic detour selection, route monitoring, path diagnosis |
+//! | [`scenarios`] | the calibrated North-America world and one constructor per paper artifact |
+//!
+//! Start with `examples/quickstart.rs`; regenerate the paper with
+//! `cargo run --release -p bench --bin repro -- --all`.
+
+pub use cloudstore;
+pub use detour_core;
+pub use measure;
+pub use netsim;
+pub use relay;
+pub use scenarios;
+pub use transfer;
+
+/// Workspace version, for programmatic checks.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

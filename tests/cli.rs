@@ -1,0 +1,106 @@
+//! Integration tests for the `detour` CLI binary.
+
+use std::process::Command;
+
+fn detour(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_detour"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let (_, err, ok) = detour(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn simulate_direct_and_detour() {
+    let (out, _, ok) = detour(&[
+        "simulate", "--client", "ubc", "--provider", "gdrive", "--size", "100",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("UBC -> Google Drive (Direct), 100 MB"), "{out}");
+    let direct: f64 = out.split(": ").nth(1).unwrap().split(" s").next().unwrap().parse().unwrap();
+
+    let (out2, _, ok2) = detour(&[
+        "simulate", "--client", "ubc", "--provider", "gdrive", "--size", "100", "--route",
+        "ualberta",
+    ]);
+    assert!(ok2, "{out2}");
+    let detoured: f64 =
+        out2.split(": ").nth(1).unwrap().split(" s").next().unwrap().parse().unwrap();
+    assert!(detoured < direct, "detour {detoured} should beat direct {direct}");
+}
+
+#[test]
+fn simulate_multi_run_reports_sigma() {
+    let (out, _, ok) = detour(&[
+        "simulate", "--client", "purdue", "--provider", "gdrive", "--size", "30", "--runs", "3",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("over 3 run(s)"), "{out}");
+    assert!(out.contains('±'), "{out}");
+}
+
+#[test]
+fn best_route_picks_detour_for_ubc_gdrive() {
+    let (out, _, ok) = detour(&[
+        "best-route", "--client", "ubc", "--provider", "gdrive", "--size", "60",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("decision: via UAlberta"), "{out}");
+}
+
+#[test]
+fn best_route_prefers_direct_from_ucla() {
+    let (out, _, ok) = detour(&[
+        "best-route", "--client", "ucla", "--provider", "dropbox", "--size", "30",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("decision: Direct"), "{out}");
+}
+
+#[test]
+fn traceroute_shows_pacificwave_for_ubc_gdrive() {
+    let (out, _, ok) = detour(&["traceroute", "--client", "ubc", "--provider", "gdrive"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("vncv1rtr2.canarie.ca"), "{out}");
+    assert!(out.contains("pacificwave"), "{out}");
+}
+
+#[test]
+fn probe_lists_all_targets() {
+    let (out, _, ok) = detour(&["probe", "--client", "purdue"]);
+    assert!(ok, "{out}");
+    for label in ["Google Drive POP", "Dropbox POP", "OneDrive POP", "UAlberta DTN", "UMich DTN"] {
+        assert!(out.contains(label), "missing {label}: {out}");
+    }
+    assert!(out.contains("Mbps"), "{out}");
+}
+
+#[test]
+fn tiv_found_for_ubc_gdrive_but_not_ucla() {
+    let (out, _, ok) = detour(&["tiv", "--client", "ubc", "--provider", "gdrive"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("violations"), "{out}");
+    assert!(out.contains("ualberta"), "{out}");
+
+    let (out2, _, ok2) = detour(&["tiv", "--client", "ucla", "--provider", "gdrive"]);
+    assert!(ok2, "{out2}");
+    assert!(out2.contains("no bandwidth TIV"), "{out2}");
+}
+
+#[test]
+fn bad_flags_fail_cleanly() {
+    let (_, err, ok) = detour(&["simulate", "--client", "mars", "--provider", "gdrive", "--size", "10"]);
+    assert!(!ok);
+    assert!(err.contains("usage:"), "{err}");
+}

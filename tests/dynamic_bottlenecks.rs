@@ -1,0 +1,86 @@
+//! Integration tests for the paper's closing future-work item: "monitor and
+//! bypass dynamic bottlenecks on the WAN".
+
+use routing_detours::detour_core::monitor::{MonitorConfig, ProbeLeg, RouteMonitor};
+use routing_detours::netsim::prelude::*;
+use routing_detours::netsim::units::MB;
+
+/// Two disjoint paths; the direct one degrades mid-simulation.
+fn world() -> (Sim, NodeId, NodeId, NodeId, LinkId) {
+    let mut b = TopologyBuilder::new();
+    let user = b.host("user", GeoPoint::new(49.0, -123.0));
+    let dtn = b.host("dtn", GeoPoint::new(53.5, -113.5));
+    let pop = b.datacenter("pop", GeoPoint::new(37.4, -122.1));
+    let (direct_link, _) =
+        b.duplex(user, pop, LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(12)));
+    b.duplex(user, dtn, LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(8)));
+    b.duplex(dtn, pop, LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(14)));
+    (Sim::new(b.build(), 7), user, dtn, pop, direct_link)
+}
+
+#[test]
+fn monitor_switches_when_bottleneck_appears() {
+    let (mut sim, user, dtn, pop, direct_link) = world();
+    // At t=60s the direct path collapses to 2 Mbps.
+    sim.schedule_capacity_change(direct_link, SimTime::from_secs(60), Bandwidth::from_mbps(2.0));
+    let cfg = MonitorConfig {
+        routes: vec![
+            vec![ProbeLeg { src: user, dst: pop, class: FlowClass::Commodity }],
+            vec![
+                ProbeLeg { src: user, dst: dtn, class: FlowClass::Commodity },
+                ProbeLeg { src: dtn, dst: pop, class: FlowClass::Commodity },
+            ],
+        ],
+        probe_bytes: MB,
+        reference_bytes: 50 * MB,
+        interval: SimTime::from_secs(30),
+        epochs: 6,
+        alpha: 0.7,
+    };
+    let v = sim.run_process(Box::new(RouteMonitor::new(cfg))).unwrap();
+    let choices = RouteMonitor::decode_choices(&v);
+    // Healthy direct path first (100 > 50 Mbps), detour after the collapse.
+    assert_eq!(choices[0], 0, "choices {choices:?}");
+    assert_eq!(*choices.last().unwrap(), 1, "monitor never switched: {choices:?}");
+    // The switch is persistent once made.
+    let first_switch = choices.iter().position(|&c| c == 1).unwrap();
+    assert!(choices[first_switch..].iter().all(|&c| c == 1), "flapping: {choices:?}");
+}
+
+#[test]
+fn monitor_switches_back_when_bottleneck_clears() {
+    let (mut sim, user, dtn, pop, direct_link) = world();
+    sim.schedule_capacity_change(direct_link, SimTime::from_secs(30), Bandwidth::from_mbps(2.0));
+    sim.schedule_capacity_change(direct_link, SimTime::from_secs(150), Bandwidth::from_mbps(100.0));
+    let cfg = MonitorConfig {
+        routes: vec![
+            vec![ProbeLeg { src: user, dst: pop, class: FlowClass::Commodity }],
+            vec![
+                ProbeLeg { src: user, dst: dtn, class: FlowClass::Commodity },
+                ProbeLeg { src: dtn, dst: pop, class: FlowClass::Commodity },
+            ],
+        ],
+        probe_bytes: MB,
+        reference_bytes: 50 * MB,
+        interval: SimTime::from_secs(30),
+        epochs: 9,
+        alpha: 0.8,
+    };
+    let v = sim.run_process(Box::new(RouteMonitor::new(cfg))).unwrap();
+    let choices = RouteMonitor::decode_choices(&v);
+    assert!(choices.contains(&1), "never detoured: {choices:?}");
+    assert_eq!(*choices.last().unwrap(), 0, "never recovered: {choices:?}");
+}
+
+#[test]
+fn transfer_spanning_a_degradation_slows_down() {
+    let (mut sim, user, _, pop, direct_link) = world();
+    sim.schedule_capacity_change(direct_link, SimTime::from_secs(2), Bandwidth::from_mbps(4.0));
+    let report = sim
+        .run_transfer(TransferRequest::new(user, pop, 50 * MB))
+        .unwrap();
+    // 100 Mbps would finish 50 MB in ~4 s; after 2 s only ~25 MB have moved
+    // and the rest crawls at 0.5 MB/s: expect ~50+ s.
+    let s = report.elapsed.as_secs_f64();
+    assert!(s > 40.0, "degradation had no effect: {s}");
+}

@@ -1,0 +1,136 @@
+//! Integration tests: faults, throttling, token expiry and firewalls on
+//! the calibrated scenario.
+
+use routing_detours::cloudstore::{FaultPlan, ProviderKind, UploadOptions};
+use routing_detours::detour_core::{run_job, Route};
+use routing_detours::netsim::flow::FlowClass;
+use routing_detours::netsim::middlebox::FirewallRule;
+use routing_detours::netsim::units::MB;
+use routing_detours::scenarios::{Client, NorthAmerica};
+
+#[test]
+fn flaky_frontend_is_survivable_via_retries() {
+    let world = NorthAmerica::new();
+    let client = world.client(Client::Ubc);
+    let provider = world.provider(ProviderKind::GoogleDrive).with_faults(FaultPlan::flaky());
+    let mut sim = world.build_sim(21);
+    let report = run_job(
+        &mut sim,
+        client.node,
+        client.class,
+        &provider,
+        60 * MB,
+        &Route::Direct,
+        UploadOptions::warm(FlowClass::PlanetLab),
+    )
+    .expect("flaky upload still completes");
+    // Compare against the clean provider: faults must cost time.
+    let clean = world.provider(ProviderKind::GoogleDrive);
+    let mut sim = world.build_sim(21);
+    let clean_report = run_job(
+        &mut sim,
+        client.node,
+        client.class,
+        &clean,
+        60 * MB,
+        &Route::Direct,
+        UploadOptions::warm(FlowClass::PlanetLab),
+    )
+    .unwrap();
+    assert!(report.elapsed >= clean_report.elapsed);
+}
+
+#[test]
+fn detours_carry_fault_handling_too() {
+    let world = NorthAmerica::new();
+    let client = world.client(Client::Ubc);
+    let provider = world.provider(ProviderKind::GoogleDrive).with_faults(FaultPlan::flaky());
+    let mut sim = world.build_sim(22);
+    let report = run_job(
+        &mut sim,
+        client.node,
+        client.class,
+        &provider,
+        60 * MB,
+        &Route::via(world.hop_ualberta()),
+        UploadOptions::warm(FlowClass::Research),
+    )
+    .expect("flaky detoured upload completes");
+    assert_eq!(report.bytes, 60 * MB);
+}
+
+#[test]
+fn token_expiry_mid_campaign_is_handled() {
+    // Purdue→Google direct at ~1 Mbps: a 100 MB upload outlives the
+    // 3600 s token on bad seeds; the session must refresh, not fail.
+    let world = NorthAmerica::new();
+    let client = world.client(Client::Purdue);
+    let provider = world.provider(ProviderKind::GoogleDrive);
+    for seed in 0..5 {
+        let mut sim = world.build_sim(seed);
+        let report = run_job(
+            &mut sim,
+            client.node,
+            client.class,
+            &provider,
+            100 * MB,
+            &Route::Direct,
+            UploadOptions::warm(FlowClass::PlanetLab),
+        )
+        .expect("upload completes despite token expiry risk");
+        assert_eq!(report.bytes, 100 * MB);
+    }
+}
+
+#[test]
+fn firewall_on_access_link_blocks_probes_only() {
+    // A Science-DMZ-style rule: probe-class traffic is dropped at the UBC
+    // access link; bulk PlanetLab traffic still flows.
+    let world = NorthAmerica::new();
+    let n = *world.nodes();
+    let topo = world.topology();
+    let ubc_access = topo
+        .link_between(n.ubc, topo.node_by_name("a0-a1.net.ubc.ca").unwrap())
+        .expect("access link");
+    let mut sim = world.build_sim(1);
+    sim.add_firewall(FirewallRule::drop_class("campus-fw", ubc_access, FlowClass::Probe));
+
+    use routing_detours::netsim::engine::TransferRequest;
+    use routing_detours::netsim::flow::FlowSpec;
+    let err = sim
+        .run_transfer(TransferRequest {
+            spec: FlowSpec::new(n.ubc, n.ualberta, MB, FlowClass::Probe),
+        })
+        .unwrap_err();
+    assert!(matches!(err, routing_detours::netsim::error::NetError::Blocked { .. }));
+
+    let ok = sim.run_transfer(TransferRequest {
+        spec: FlowSpec::new(n.ubc, n.ualberta, MB, FlowClass::PlanetLab),
+    });
+    assert!(ok.is_ok(), "bulk traffic must pass: {ok:?}");
+}
+
+#[test]
+fn hopeless_frontend_fails_cleanly_not_forever() {
+    let world = NorthAmerica::new();
+    let client = world.client(Client::Ubc);
+    let mut faults = FaultPlan::flaky();
+    faults.transient_prob = 1.0;
+    faults.throttle_prob = 0.0;
+    let provider = world.provider(ProviderKind::Dropbox).with_faults(faults);
+    let mut sim = world.build_sim(31);
+    let err = run_job(
+        &mut sim,
+        client.node,
+        client.class,
+        &provider,
+        10 * MB,
+        &Route::Direct,
+        UploadOptions::warm(FlowClass::PlanetLab),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, routing_detours::netsim::error::NetError::Blocked { .. }),
+        "expected bounded retries then failure, got {err:?}"
+    );
+}

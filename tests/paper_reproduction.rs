@@ -1,0 +1,137 @@
+//! Integration tests: the paper's qualitative findings must hold end to end
+//! (quick protocol — the full 7-run version runs in the bench harness).
+
+use routing_detours::detour_core::compare_traceroutes;
+use routing_detours::measure::OverlapVerdict;
+use routing_detours::scenarios::{Client, ExperimentSet, NorthAmerica};
+use routing_detours::cloudstore::ProviderKind;
+
+#[test]
+fn fig2_ubc_drive_detour_wins() {
+    let world = NorthAmerica::new();
+    let set = ExperimentSet::quick(&world);
+    let r = set.fig2().expect("fig2 campaign");
+    // Paper Table I row A: Fastest via UAlberta, Fast Direct, Slowest UMich.
+    assert_eq!(r.ranking(), vec![1, 0, 2]);
+    // And the effect is big: >2x at the largest size (paper: 2.4x).
+    let last = r.sizes.len() - 1;
+    assert!(r.stats(last, 0).mean / r.stats(last, 1).mean > 2.0);
+}
+
+#[test]
+fn fig4_ubc_dropbox_direct_wins() {
+    let world = NorthAmerica::new();
+    let set = ExperimentSet::quick(&world);
+    let r = set.fig4().expect("fig4 campaign");
+    assert_eq!(r.ranking(), vec![0, 1, 2]);
+}
+
+#[test]
+fn fig7_purdue_drive_both_detours_win() {
+    let world = NorthAmerica::new();
+    let set = ExperimentSet::quick(&world);
+    let r = set.fig7().expect("fig7 campaign");
+    // Paper Table I row B: both detours beat direct for Google Drive.
+    let ranking = r.ranking();
+    assert_eq!(ranking[2], 0, "direct must be slowest: {ranking:?}");
+    // Massive effect (paper: 70-84% reductions).
+    let last = r.sizes.len() - 1;
+    for detour in 1..=2 {
+        let rel = r.stats(last, detour).relative_to(r.stats(last, 0));
+        assert!(rel < -50.0, "detour {detour} only improved {rel:.1}%");
+    }
+}
+
+#[test]
+fn fig10_ucla_no_detour_helps() {
+    let world = NorthAmerica::new();
+    let set = ExperimentSet::quick(&world);
+    let r = set.fig10().expect("fig10 campaign");
+    assert_eq!(r.ranking()[0], 0, "last-mile-limited client: direct wins");
+    let r11 = set.fig11().expect("fig11 campaign");
+    assert_eq!(r11.ranking()[0], 0);
+}
+
+#[test]
+fn purdue_onedrive_has_large_variance() {
+    // The paper's Table IV: OneDrive direct from Purdue has σ ≈ 30% of the
+    // mean. Our background process must produce substantial spread too.
+    let world = NorthAmerica::new();
+    let set = ExperimentSet::quick(&world);
+    let r = set.fig9().expect("fig9 campaign");
+    let last = r.sizes.len() - 1;
+    let direct = r.stats(last, 0);
+    assert!(direct.cv() > 0.05, "direct OneDrive cv {} too small", direct.cv());
+}
+
+#[test]
+fn table4_overlap_analysis_reproduces() {
+    // For at least one Purdue cell the ±1σ intervals must overlap (the
+    // paper's reason to distrust detours there).
+    let world = NorthAmerica::new();
+    let set = ExperimentSet::quick(&world);
+    let dropbox = set.fig8().expect("fig8");
+    let mut any_overlap = false;
+    for si in 0..dropbox.sizes.len() {
+        for ri in 1..dropbox.routes.len() {
+            if dropbox.stats(si, 0).overlap_1sigma(dropbox.stats(si, ri))
+                == OverlapVerdict::Overlapping
+            {
+                any_overlap = true;
+            }
+        }
+    }
+    assert!(any_overlap, "no overlapping intervals at Purdue→Dropbox at all");
+}
+
+#[test]
+fn traceroutes_show_pacificwave_divergence() {
+    let world = NorthAmerica::new();
+    let set = ExperimentSet::quick(&world);
+    let f5 = set.fig5();
+    let f6 = set.fig6();
+    assert!(f5.crosses("vncv1rtr2.canarie.ca"));
+    assert!(f6.crosses("vncv1rtr2.canarie.ca"));
+    let cmp = compare_traceroutes(&f5, &f6);
+    assert_eq!(cmp.junction.as_deref(), Some("vncv1rtr2.canarie.ca"));
+    assert!(cmp.only_in_first.iter().any(|h| h.contains("pacificwave")));
+    assert!(cmp.diverges_after_junction());
+}
+
+#[test]
+fn tables_1_and_5_render_for_all_nine_campaigns() {
+    let world = NorthAmerica::new();
+    let mut set = ExperimentSet::quick(&world);
+    set.sizes = vec![30 * routing_detours::netsim::units::MB];
+    let all = set.all_campaigns().expect("9 campaigns");
+    assert_eq!(all.len(), 9);
+    let t1 = routing_detours::scenarios::summary::table1(&all);
+    let text = t1.render();
+    for client in Client::all() {
+        assert!(text.contains(client.name()), "{text}");
+    }
+    for kind in ProviderKind::all() {
+        assert!(text.contains(kind.display_name()), "{text}");
+    }
+    let t5 = routing_detours::scenarios::summary::table5(&all);
+    assert_eq!(t5.len(), 9);
+}
+
+#[test]
+fn campaigns_are_deterministic_across_thread_counts() {
+    // Parallel scheduling must not leak into results: same seeds, same
+    // stats, whether run on 1 thread or many.
+    let world = NorthAmerica::new();
+    let mut set1 = ExperimentSet::quick(&world);
+    set1.threads = 1;
+    let mut set8 = ExperimentSet::quick(&world);
+    set8.threads = 8;
+    let a = set1.fig2().unwrap();
+    let b = set8.fig2().unwrap();
+    for (ra, rb) in a.cells.iter().zip(&b.cells) {
+        for (sa, sb) in ra.iter().zip(rb) {
+            assert_eq!(sa.mean.to_bits(), sb.mean.to_bits());
+            assert_eq!(sa.std_dev.to_bits(), sb.std_dev.to_bits());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Cross-crate property tests: system-level invariants of the full stack.
+
+use proptest::prelude::*;
+use routing_detours::cloudstore::{ProviderKind, UploadOptions};
+use routing_detours::detour_core::{run_job, JobDetail, Route};
+use routing_detours::netsim::units::MB;
+use routing_detours::scenarios::{Client, NorthAmerica};
+
+fn world() -> &'static NorthAmerica {
+    // The scenario is immutable; build it once for all property cases.
+    use std::sync::OnceLock;
+    static WORLD: OnceLock<NorthAmerica> = OnceLock::new();
+    WORLD.get_or_init(NorthAmerica::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Direct upload time strictly increases with file size on a fixed
+    /// seed (same congestion realization).
+    #[test]
+    fn upload_time_monotone_in_size(mb in 1u64..=60, extra in 1u64..=40, seed in 0u64..50) {
+        let w = world();
+        let client = w.client(Client::Ubc);
+        let provider = w.provider(ProviderKind::GoogleDrive);
+        let run = |size| {
+            let mut sim = w.build_sim(seed);
+            run_job(
+                &mut sim,
+                client.node,
+                client.class,
+                &provider,
+                size,
+                &Route::Direct,
+                UploadOptions::warm(client.class),
+            )
+            .unwrap()
+            .elapsed
+        };
+        prop_assert!(run((mb + extra) * MB) > run(mb * MB));
+    }
+
+    /// A store-and-forward detour can never beat the best single leg: the
+    /// total is bounded below by each leg alone.
+    #[test]
+    fn detour_total_bounded_by_legs(mb in 5u64..=60, seed in 0u64..20) {
+        let w = world();
+        let client = w.client(Client::Ubc);
+        let provider = w.provider(ProviderKind::GoogleDrive);
+        let mut sim = w.build_sim(seed);
+        let report = run_job(
+            &mut sim,
+            client.node,
+            client.class,
+            &provider,
+            mb * MB,
+            &Route::via(w.hop_ualberta()),
+            UploadOptions::warm(routing_detours::netsim::flow::FlowClass::Research),
+        )
+        .unwrap();
+        match report.detail {
+            JobDetail::Detour(ref r) => {
+                prop_assert!(report.elapsed >= r.leg_times[0]);
+                prop_assert!(report.elapsed >= r.upload.elapsed);
+                prop_assert_eq!(report.elapsed, r.leg_times[0] + r.upload.elapsed);
+            }
+            _ => prop_assert!(false, "expected detour detail"),
+        }
+    }
+
+    /// Cold (fresh-token) uploads are never faster than warm uploads of the
+    /// same size on the same seed.
+    #[test]
+    fn cold_start_never_faster(mb in 1u64..=30, seed in 0u64..20) {
+        let w = world();
+        let client = w.client(Client::Ucla);
+        let provider = w.provider(ProviderKind::Dropbox);
+        let time = |opts| {
+            let mut sim = w.build_sim(seed);
+            run_job(&mut sim, client.node, client.class, &provider, mb * MB, &Route::Direct, opts)
+                .unwrap()
+                .elapsed
+        };
+        let warm = time(UploadOptions::warm(client.class));
+        let cold = time(UploadOptions::cold(client.class));
+        prop_assert!(cold >= warm, "cold {} < warm {}", cold, warm);
+    }
+
+    /// The goodput reported by any upload never exceeds the scenario's
+    /// physical access-link rate for that client.
+    #[test]
+    fn goodput_respects_physics(
+        mb in 5u64..=60,
+        seed in 0u64..20,
+        client_pick in 0usize..3,
+    ) {
+        let w = world();
+        let client = w.client(Client::all()[client_pick]);
+        let provider = w.provider(ProviderKind::GoogleDrive);
+        let mut sim = w.build_sim(seed);
+        let report = run_job(
+            &mut sim,
+            client.node,
+            client.class,
+            &provider,
+            mb * MB,
+            &Route::Direct,
+            UploadOptions::warm(client.class),
+        )
+        .unwrap();
+        let access_mbps = match Client::all()[client_pick] {
+            Client::Ubc => 43.0,
+            Client::Purdue => 4.6,
+            Client::Ucla => 2.3,
+        };
+        let goodput = report.bytes as f64 * 8.0 / report.elapsed.as_secs_f64() / 1e6;
+        // The scenario applies ±4% per-run capacity jitter; allow for it.
+        prop_assert!(
+            goodput <= access_mbps * 1.045,
+            "goodput {} > access {} (+jitter)", goodput, access_mbps
+        );
+    }
+}

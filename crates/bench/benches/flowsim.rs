@@ -19,8 +19,11 @@ fn problem(flows: usize, links: usize, seed: u64) -> (Vec<f64>, Vec<AllocEntry>)
             let mut resources: Vec<u32> = (0..n).map(|_| rng.gen_range(0..links as u32)).collect();
             resources.sort_unstable();
             resources.dedup();
-            let cap =
-                if rng.gen_bool(0.3) { rng.gen_range(1.0..200.0) } else { f64::INFINITY };
+            let cap = if rng.gen_bool(0.3) {
+                rng.gen_range(1.0..200.0)
+            } else {
+                f64::INFINITY
+            };
             AllocEntry::new(resources, cap)
         })
         .collect();
@@ -78,7 +81,9 @@ fn bench_transfer_run(c: &mut Criterion) {
                 sim.spawn_detached(Box::new(BackgroundTraffic::new(BackgroundProfile::heavy(
                     bs, bd,
                 ))));
-                sim.run_transfer(TransferRequest::new(a, dst, mb * MB)).unwrap().elapsed
+                sim.run_transfer(TransferRequest::new(a, dst, mb * MB))
+                    .unwrap()
+                    .elapsed
             })
         });
     }

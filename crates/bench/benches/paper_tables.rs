@@ -8,10 +8,16 @@ use bench::repro;
 use scenarios::{ExperimentSet, NorthAmerica};
 
 fn main() {
-    let quick = std::env::var("REPRO_QUICK").map(|v| v == "1").unwrap_or(false)
+    let quick = std::env::var("REPRO_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
         || std::env::args().any(|a| a == "--test"); // `cargo test --benches` smoke
     let world = NorthAmerica::new();
-    let set = if quick { ExperimentSet::quick(&world) } else { ExperimentSet::paper(&world) };
+    let set = if quick {
+        ExperimentSet::quick(&world)
+    } else {
+        ExperimentSet::paper(&world)
+    };
     let started = std::time::Instant::now();
     match repro::render_all(&set) {
         Ok(text) => {

@@ -60,11 +60,23 @@ fn bench_delta_patch(c: &mut Criterion) {
         b.iter(|| compute_delta(std::hint::black_box(&sig), std::hint::black_box(&similar)))
     });
     g.bench_function("fresh-4MB", |b| {
-        b.iter(|| compute_delta(std::hint::black_box(&empty_sig), std::hint::black_box(&similar)))
+        b.iter(|| {
+            compute_delta(
+                std::hint::black_box(&empty_sig),
+                std::hint::black_box(&similar),
+            )
+        })
     });
     let delta = compute_delta(&sig, &similar);
     g.bench_function("patch-4MB", |b| {
-        b.iter(|| apply_delta(std::hint::black_box(&basis), 2048, std::hint::black_box(&delta)).unwrap())
+        b.iter(|| {
+            apply_delta(
+                std::hint::black_box(&basis),
+                2048,
+                std::hint::black_box(&delta),
+            )
+            .unwrap()
+        })
     });
     g.finish();
 }

@@ -10,7 +10,11 @@ use rand::SeedableRng;
 use scenarios::{Client, NorthAmerica};
 
 fn routes(world: &NorthAmerica) -> Vec<Route> {
-    vec![Route::Direct, Route::via(world.hop_ualberta()), Route::via(world.hop_umich())]
+    vec![
+        Route::Direct,
+        Route::via(world.hop_ualberta()),
+        Route::via(world.hop_umich()),
+    ]
 }
 
 fn bench_probe_selector(c: &mut Criterion) {
@@ -22,7 +26,14 @@ fn bench_probe_selector(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = world.build_sim(3);
             ProbeSelector::default()
-                .choose(&mut sim, client.node, client.class, &provider, &routes, 60 * MB)
+                .choose(
+                    &mut sim,
+                    client.node,
+                    client.class,
+                    &provider,
+                    &routes,
+                    60 * MB,
+                )
                 .unwrap()
         })
     });
@@ -35,9 +46,11 @@ fn bench_oracle_selector(c: &mut Criterion) {
     let routes = routes(&world);
     c.bench_function("selector-oracle-quick", |b| {
         b.iter(|| {
-            OracleSelector { protocol: RunProtocol::quick() }
-                .choose(&world, &client, &provider, &routes, 30 * MB, "bench", 0)
-                .unwrap()
+            OracleSelector {
+                protocol: RunProtocol::quick(),
+            }
+            .choose(&world, &client, &provider, &routes, 30 * MB, "bench", 0)
+            .unwrap()
         })
     });
 }

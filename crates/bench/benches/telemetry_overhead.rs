@@ -1,0 +1,139 @@
+//! Overhead of the telemetry subsystem on an end-to-end simulated upload.
+//!
+//! Three measurements:
+//!
+//! 1. the upload with the sink disabled (the default every test and
+//!    campaign runs with),
+//! 2. the same upload with recording enabled (the cost a trace capture
+//!    pays),
+//! 3. a tight loop of disabled-sink calls, giving the per-call no-op cost.
+//!
+//! From (3) and a count of the telemetry call sites one run actually
+//! executes, the bench prints the estimated disabled-sink overhead as a
+//! percentage of the run — the budget is **under 2%**.
+
+use cloudstore::{ProviderKind, UploadOptions};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use detour_core::{run_job, Route};
+use netsim::units::MB;
+use obs::{Category, SpanId, Telemetry};
+use scenarios::{Client, NorthAmerica};
+
+const SIZE: u64 = 10 * MB;
+const SEED: u64 = 7;
+
+fn one_upload(world: &NorthAmerica, enabled: bool) -> netsim::time::SimTime {
+    let client = world.client(Client::Ubc);
+    let provider = world.provider(ProviderKind::GoogleDrive);
+    let mut sim = world.build_sim(SEED);
+    if enabled {
+        sim.enable_telemetry();
+    }
+    run_job(
+        &mut sim,
+        client.node,
+        client.class,
+        &provider,
+        SIZE,
+        &Route::Direct,
+        UploadOptions::warm(client.class),
+    )
+    .expect("upload succeeds")
+    .elapsed
+}
+
+/// Upper bound on the telemetry operations one run executes, counted from
+/// an enabled recording: two per span (begin/end), one per event, one per
+/// histogram/gauge sample, and one counter touch charged to every span and
+/// event (counter adds ride along with those sites).
+fn telemetry_ops(world: &NorthAmerica) -> u64 {
+    let client = world.client(Client::Ubc);
+    let provider = world.provider(ProviderKind::GoogleDrive);
+    let mut sim = world.build_sim(SEED);
+    sim.enable_telemetry();
+    run_job(
+        &mut sim,
+        client.node,
+        client.class,
+        &provider,
+        SIZE,
+        &Route::Direct,
+        UploadOptions::warm(client.class),
+    )
+    .expect("upload succeeds");
+    let rec = sim.take_telemetry().expect("enabled");
+    let snap = rec.metrics.snapshot();
+    let sampled: u64 = snap
+        .rows
+        .iter()
+        .filter(|r| r.kind != "counter")
+        .map(|r| r.samples)
+        .sum();
+    3 * rec.spans.len() as u64 + 2 * rec.events.len() as u64 + sampled
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let world = NorthAmerica::new();
+
+    let mut disabled_ns = None;
+    c.bench_function("upload-10MB/telemetry-disabled", |b| {
+        b.iter(|| one_upload(&world, false));
+        disabled_ns = b.last_median_ns();
+    });
+
+    let mut enabled_ns = None;
+    c.bench_function("upload-10MB/telemetry-enabled", |b| {
+        b.iter(|| one_upload(&world, true));
+        enabled_ns = b.last_median_ns();
+    });
+
+    // Per-call cost of the disabled sink: span begin+end, one event with an
+    // argument closure (must not run), one counter — 4 calls per iteration.
+    let mut noop_ns = None;
+    c.bench_function("disabled-sink/1k-call-batches", |b| {
+        let mut tele = Telemetry::disabled();
+        b.iter(|| {
+            // black_box on the handle and timestamp keeps the optimizer
+            // from proving the sink disabled and deleting the whole loop.
+            let t = black_box(&mut tele);
+            for i in 0..1000u64 {
+                let s =
+                    t.span_begin_with(black_box(i), Category::Flow, "flow", SpanId::NONE, |a| {
+                        a.set("bytes", i);
+                    });
+                t.event(i, Category::Flow, "flow.rate", s, |a| {
+                    a.set("bytes_per_sec", 1.0);
+                });
+                t.counter_add("bench.calls", 1);
+                t.span_end(i, s);
+            }
+            black_box(t.is_enabled())
+        });
+        noop_ns = b.last_median_ns();
+    });
+
+    if let (Some(d), Some(e)) = (disabled_ns, enabled_ns) {
+        println!(
+            "recording-enabled slowdown: {:.3}x over the disabled sink",
+            e / d
+        );
+    }
+    if let (Some(d), Some(n)) = (disabled_ns, noop_ns) {
+        let per_call = n / 4000.0; // 4 sink calls per inner iteration
+        let ops = telemetry_ops(&world);
+        let pct = ops as f64 * per_call / d * 100.0;
+        println!(
+            "disabled-sink overhead estimate: {ops} call sites x {per_call:.2} ns/call \
+             = {pct:.4}% of a {:.2} ms simulated upload — {}",
+            d / 1e6,
+            if pct < 2.0 {
+                "within the 2% budget"
+            } else {
+                "EXCEEDS the 2% budget"
+            }
+        );
+    }
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -16,7 +16,12 @@ pub fn pipeline_ablation(protocol: RunProtocol, sizes: &[u64]) -> Result<Table, 
     let provider = world.provider(ProviderKind::GoogleDrive);
     let mut t = Table::new(
         "A1: store-and-forward vs pipelined detour, UBC→UAlberta→Google Drive",
-        &["File size (MB)", "Store-and-forward (s)", "Pipelined (s)", "Savings (%)"],
+        &[
+            "File size (MB)",
+            "Store-and-forward (s)",
+            "Pipelined (s)",
+            "Savings (%)",
+        ],
     );
     for &size in sizes {
         let sf = protocol.run(|run, _| {
@@ -25,7 +30,10 @@ pub fn pipeline_ablation(protocol: RunProtocol, sizes: &[u64]) -> Result<Table, 
             relay::detour_upload(
                 &mut sim,
                 vec![n.ubc, n.ualberta],
-                vec![netsim::flow::FlowClass::PlanetLab, netsim::flow::FlowClass::Research],
+                vec![
+                    netsim::flow::FlowClass::PlanetLab,
+                    netsim::flow::FlowClass::Research,
+                ],
                 &provider,
                 size,
                 UploadOptions::warm(netsim::flow::FlowClass::Research),
@@ -67,7 +75,14 @@ pub fn selector_ablation(protocol: RunProtocol, size: u64) -> Result<Table, NetE
     let world = NorthAmerica::new();
     let mut t = Table::new(
         "A2: probe-based selection vs measured oracle (per client × provider)",
-        &["Client", "Provider", "Oracle pick", "Probe pick", "Agree", "Regret (%)"],
+        &[
+            "Client",
+            "Provider",
+            "Oracle pick",
+            "Probe pick",
+            "Agree",
+            "Regret (%)",
+        ],
     );
     let routes = vec![
         Route::Direct,
@@ -109,7 +124,12 @@ pub fn selector_ablation(protocol: RunProtocol, size: u64) -> Result<Table, NetE
                 provider_kind.display_name().to_string(),
                 routes[oracle_pick].label(),
                 routes[probe.route_idx].label(),
-                if oracle_pick == probe.route_idx { "yes" } else { "no" }.to_string(),
+                if oracle_pick == probe.route_idx {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
                 format!("{regret:.1}"),
             ]);
         }
@@ -122,7 +142,13 @@ pub fn selector_ablation(protocol: RunProtocol, size: u64) -> Result<Table, NetE
 pub fn congestion_ablation(protocol: RunProtocol, size: u64) -> Result<Table, NetError> {
     let mut t = Table::new(
         "A3: Purdue→Google Drive vs background-congestion scale",
-        &["Scale", "Direct (s)", "via UAlberta (s)", "via UMich (s)", "Best route"],
+        &[
+            "Scale",
+            "Direct (s)",
+            "via UAlberta (s)",
+            "via UMich (s)",
+            "Best route",
+        ],
     );
     for scale in [0.0, 0.5, 1.0, 1.5, 2.0] {
         let world = NorthAmerica::with_options(ScenarioOptions {
@@ -199,7 +225,11 @@ pub fn parallel_streams_ablation(protocol: RunProtocol, size: u64) -> Result<Tab
     let n = *world.nodes();
     let mut t = Table::new(
         "A5: parallel TCP streams vs per-flow policing (raw transfer, s)",
-        &["Streams", "UBC→Google (policed per-flow)", "UBC→UAlberta (capacity-limited)"],
+        &[
+            "Streams",
+            "UBC→Google (policed per-flow)",
+            "UBC→UAlberta (capacity-limited)",
+        ],
     );
     for streams in [1u32, 2, 4, 8] {
         let policed = protocol.run(|run, _| {
@@ -266,8 +296,10 @@ pub fn delta_sync_ablation(
         files.push(FileGen::new(0xA6 + v as u64).similar_file(prev, 24, 64 * 1024));
     }
     // Wire plans for both DTN behaviours.
-    let fresh_plans: Vec<RsyncWirePlan> =
-        files.iter().map(|f| RsyncWirePlan::fresh(f.len() as u64)).collect();
+    let fresh_plans: Vec<RsyncWirePlan> = files
+        .iter()
+        .map(|f| RsyncWirePlan::fresh(f.len() as u64))
+        .collect();
     let delta_plans: Vec<RsyncWirePlan> = files
         .iter()
         .enumerate()
@@ -320,7 +352,11 @@ pub fn delta_sync_ablation(
             "A6: {versions} versions of a {} MB file, Purdue→UAlberta→Google Drive",
             size / MB
         ),
-        &["DTN state", "rsync wire bytes (all versions)", "Session total (s)"],
+        &[
+            "DTN state",
+            "rsync wire bytes (all versions)",
+            "Session total (s)",
+        ],
     );
     t.row(vec![
         "wiped before each run (paper)".into(),
@@ -419,7 +455,11 @@ pub fn multihop_ablation(protocol: RunProtocol, size: u64) -> Result<Table, NetE
     );
     for (i, route) in r.routes.iter().enumerate() {
         let s: &Stats = r.stats(0, i);
-        t.row(vec![route.label(), format!("{:.2}", s.mean), format!("{:.2}", s.std_dev)]);
+        t.row(vec![
+            route.label(),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.std_dev),
+        ]);
     }
     Ok(t)
 }
@@ -435,8 +475,16 @@ mod tests {
         assert!(text.contains("Pipelined"), "{text}");
         // Savings column present and positive for this clean detour.
         let last_line = text.lines().last().unwrap();
-        let savings: f64 = last_line.split_whitespace().last().unwrap().parse().unwrap();
-        assert!(savings > 5.0, "expected real pipelining savings, got {savings}% ({text})");
+        let savings: f64 = last_line
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            savings > 5.0,
+            "expected real pipelining savings, got {savings}% ({text})"
+        );
     }
 
     #[test]
@@ -449,8 +497,14 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         let first = lines[3]; // scale 0.0 row
         let last = lines.last().unwrap(); // scale 2.0 row
-        assert!(first.contains("Direct"), "clean network should prefer direct: {text}");
-        assert!(last.contains("via "), "congested network should prefer a detour: {text}");
+        assert!(
+            first.contains("Direct"),
+            "clean network should prefer direct: {text}"
+        );
+        assert!(
+            last.contains("via "),
+            "congested network should prefer a detour: {text}"
+        );
     }
 
     #[test]
@@ -476,7 +530,12 @@ mod tests {
         let text = t.render();
         let mean_of = |label: &str| -> f64 {
             let line = text.lines().find(|l| l.starts_with(label)).unwrap();
-            line.split_whitespace().rev().nth(1).unwrap().parse().unwrap()
+            line.split_whitespace()
+                .rev()
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap()
         };
         assert!(
             mean_of("fixed via UMich") < mean_of("always direct"),
@@ -495,8 +554,14 @@ mod tests {
         };
         let (policed_1, capped_1) = row(3);
         let (policed_8, capped_8) = row(6);
-        assert!(policed_1 / policed_8 > 3.0, "policed path should scale: {text}");
-        assert!(capped_1 / capped_8 < 1.3, "capacity path should not: {text}");
+        assert!(
+            policed_1 / policed_8 > 3.0,
+            "policed path should scale: {text}"
+        );
+        assert!(
+            capped_1 / capped_8 < 1.3,
+            "capacity path should not: {text}"
+        );
     }
 
     #[test]
@@ -504,8 +569,14 @@ mod tests {
         let t = second_pop_ablation(RunProtocol::quick(), 60 * MB).unwrap();
         let text = t.render();
         let lines: Vec<&str> = text.lines().collect();
-        assert!(lines[3].contains("via UAlberta"), "2015 network must favor the detour: {text}");
-        assert!(lines[4].contains("Direct"), "with a Seattle POP direct must win: {text}");
+        assert!(
+            lines[3].contains("via UAlberta"),
+            "2015 network must favor the detour: {text}"
+        );
+        assert!(
+            lines[4].contains("Direct"),
+            "with a Seattle POP direct must win: {text}"
+        );
     }
 
     #[test]
@@ -514,7 +585,12 @@ mod tests {
         let text = t.render();
         let mean_of = |label: &str| -> f64 {
             let line = text.lines().find(|l| l.starts_with(label)).unwrap();
-            line.split_whitespace().rev().nth(1).unwrap().parse().unwrap()
+            line.split_whitespace()
+                .rev()
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap()
         };
         assert!(
             mean_of("via UAlberta+UMich") > mean_of("via UAlberta"),

@@ -1,10 +1,10 @@
 //! Render every paper artifact from fresh campaign data.
 
+use cloudstore::ProviderKind;
 use detour_core::CampaignResult;
 use measure::Table;
-use scenarios::{Client, ExperimentSet};
-use cloudstore::ProviderKind;
 use netsim::error::NetError;
+use scenarios::{Client, ExperimentSet};
 
 /// Paper reference values for side-by-side printing in EXPERIMENTS.md.
 /// (table, file size MB, route label, seconds)
@@ -37,7 +37,10 @@ pub fn figure(result: &CampaignResult, title: &str) -> String {
     out.push_str(&result.mean_std_table(&format!("{title} — data")).render());
     let ranking = result.ranking();
     let labels: Vec<String> = ranking.iter().map(|&i| result.routes[i].label()).collect();
-    out.push_str(&format!("ranking (fastest→slowest): {}\n", labels.join(" > ")));
+    out.push_str(&format!(
+        "ranking (fastest→slowest): {}\n",
+        labels.join(" > ")
+    ));
     out
 }
 
@@ -92,10 +95,20 @@ pub fn numbers_table(
     if let Some(rows) = paper {
         let mut t = Table::new(
             &format!("{title} — paper's measured values (2015 testbed)"),
-            &["File size (MB)", "Direct (s)", "via UAlberta (s)", "via UMich (s)"],
+            &[
+                "File size (MB)",
+                "Direct (s)",
+                "via UAlberta (s)",
+                "via UMich (s)",
+            ],
         );
         for &(mb, d, ua, um) in rows {
-            t.row(vec![mb.to_string(), format!("{d:.2}"), format!("{ua:.2}"), format!("{um:.2}")]);
+            t.row(vec![
+                mb.to_string(),
+                format!("{d:.2}"),
+                format!("{ua:.2}"),
+                format!("{um:.2}"),
+            ]);
         }
         out.push('\n');
         out.push_str(&t.render());
@@ -112,7 +125,10 @@ pub fn render_all(set: &ExperimentSet<'_>) -> Result<String, NetError> {
     out.push('\n');
 
     let fig2 = set.fig2()?;
-    out.push_str(&figure(&fig2, "Fig 2: Upload performance from UBC to Google Drive (s)"));
+    out.push_str(&figure(
+        &fig2,
+        "Fig 2: Upload performance from UBC to Google Drive (s)",
+    ));
     out.push('\n');
     out.push_str(&numbers_table(
         &fig2,
@@ -124,7 +140,10 @@ pub fn render_all(set: &ExperimentSet<'_>) -> Result<String, NetError> {
     out.push('\n');
 
     let fig4 = set.fig4()?;
-    out.push_str(&figure(&fig4, "Fig 4: Upload performance from UBC to Dropbox (s)"));
+    out.push_str(&figure(
+        &fig4,
+        "Fig 4: Upload performance from UBC to Dropbox (s)",
+    ));
     out.push('\n');
 
     out.push_str("== Fig 5: UBC to Google Drive Server Traceroute ==\n");
@@ -135,7 +154,10 @@ pub fn render_all(set: &ExperimentSet<'_>) -> Result<String, NetError> {
     out.push('\n');
 
     let fig7 = set.fig7()?;
-    out.push_str(&figure(&fig7, "Fig 7: Upload performance from Purdue to Google Drive (s)"));
+    out.push_str(&figure(
+        &fig7,
+        "Fig 7: Upload performance from Purdue to Google Drive (s)",
+    ));
     out.push('\n');
     out.push_str(&numbers_table(
         &fig7,
@@ -147,20 +169,32 @@ pub fn render_all(set: &ExperimentSet<'_>) -> Result<String, NetError> {
     out.push('\n');
 
     let fig8 = set.fig8()?;
-    out.push_str(&figure(&fig8, "Fig 8: Upload performance from Purdue to Dropbox (s)"));
+    out.push_str(&figure(
+        &fig8,
+        "Fig 8: Upload performance from Purdue to Dropbox (s)",
+    ));
     out.push('\n');
     let fig9 = set.fig9()?;
-    out.push_str(&figure(&fig9, "Fig 9: Upload performance from Purdue to OneDrive (s)"));
+    out.push_str(&figure(
+        &fig9,
+        "Fig 9: Upload performance from Purdue to OneDrive (s)",
+    ));
     out.push('\n');
 
     out.push_str(&set.table4()?.render());
     out.push('\n');
 
     let fig10 = set.fig10()?;
-    out.push_str(&figure(&fig10, "Fig 10: Upload performance from UCLA to Google Drive (s)"));
+    out.push_str(&figure(
+        &fig10,
+        "Fig 10: Upload performance from UCLA to Google Drive (s)",
+    ));
     out.push('\n');
     let fig11 = set.fig11()?;
-    out.push_str(&figure(&fig11, "Fig 11: Upload performance from UCLA to Dropbox (s)"));
+    out.push_str(&figure(
+        &fig11,
+        "Fig 11: Upload performance from UCLA to Dropbox (s)",
+    ));
     out.push('\n');
 
     // Tables I and V need the full 3×3 grid; reuse what we have and run the
@@ -174,8 +208,16 @@ pub fn render_all(set: &ExperimentSet<'_>) -> Result<String, NetError> {
         (Client::Ucla, ProviderKind::GoogleDrive, fig10),
         (Client::Ucla, ProviderKind::Dropbox, fig11),
     ];
-    all.push((Client::Ubc, ProviderKind::OneDrive, set.campaign(Client::Ubc, ProviderKind::OneDrive)?));
-    all.push((Client::Ucla, ProviderKind::OneDrive, set.campaign(Client::Ucla, ProviderKind::OneDrive)?));
+    all.push((
+        Client::Ubc,
+        ProviderKind::OneDrive,
+        set.campaign(Client::Ubc, ProviderKind::OneDrive)?,
+    ));
+    all.push((
+        Client::Ucla,
+        ProviderKind::OneDrive,
+        set.campaign(Client::Ucla, ProviderKind::OneDrive)?,
+    ));
 
     out.push_str(&scenarios::summary::table1(&all).render());
     out.push('\n');
@@ -189,12 +231,17 @@ pub fn check_headline_claims(set: &ExperimentSet<'_>) -> Result<Vec<String>, Net
     let mut violations = Vec::new();
     let fig2 = set.fig2()?;
     if fig2.ranking() != vec![1, 0, 2] {
-        violations.push(format!("Fig2 ranking {:?} != [UAlberta, Direct, UMich]", fig2.ranking()));
+        violations.push(format!(
+            "Fig2 ranking {:?} != [UAlberta, Direct, UMich]",
+            fig2.ranking()
+        ));
     }
     let last = fig2.sizes.len() - 1;
     let speedup = fig2.stats(last, 0).mean / fig2.stats(last, 1).mean;
     if speedup < 2.0 {
-        violations.push(format!("Fig2 100MB detour speedup only {speedup:.2}x (paper: 2.4x)"));
+        violations.push(format!(
+            "Fig2 100MB detour speedup only {speedup:.2}x (paper: 2.4x)"
+        ));
     }
     let fig7 = set.fig7()?;
     let direct = fig7.stats(fig7.sizes.len() - 1, 0).mean;

@@ -8,18 +8,17 @@
 //! alignment); [`upload_batched`] plays a whole file set through one
 //! simulator session.
 
+use crate::oauth::TokenPolicy;
 use crate::provider::Provider;
 use crate::report::TransferStats;
 use crate::session::{upload, UploadOptions};
-use crate::oauth::TokenPolicy;
 use netsim::engine::Sim;
 use netsim::error::NetError;
 use netsim::time::SimTime;
 use netsim::topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Bundling policy.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BatchPolicy {
     /// Files strictly smaller than this are eligible for bundling.
     pub small_threshold: u64,
@@ -29,7 +28,10 @@ pub struct BatchPolicy {
 
 impl Default for BatchPolicy {
     fn default() -> Self {
-        BatchPolicy { small_threshold: 4 * 1024 * 1024, bundle_target: 32 * 1024 * 1024 }
+        BatchPolicy {
+            small_threshold: 4 * 1024 * 1024,
+            bundle_target: 32 * 1024 * 1024,
+        }
     }
 }
 
@@ -127,15 +129,29 @@ pub fn upload_batched(
     let mut wire = 0;
     let mut payload = 0;
     for (i, item) in items.iter().enumerate() {
-        let token = if i == 0 { TokenPolicy::Fresh } else { TokenPolicy::Cached };
-        let opts = UploadOptions { token, class, parallelism: 1 };
+        let token = if i == 0 {
+            TokenPolicy::Fresh
+        } else {
+            TokenPolicy::Cached
+        };
+        let opts = UploadOptions {
+            token,
+            class,
+            parallelism: 1,
+        };
         let stats: TransferStats = upload(sim, client, provider, item.wire_bytes(), opts)?;
         elapsed += stats.elapsed;
         rpcs += stats.rpcs;
         wire += stats.wire_bytes;
         payload += item.payload_bytes();
     }
-    Ok(BatchReport { elapsed, objects: items.len() as u64, rpcs, payload_bytes: payload, wire_bytes: wire })
+    Ok(BatchReport {
+        elapsed,
+        objects: items.len() as u64,
+        rpcs,
+        payload_bytes: payload,
+        wire_bytes: wire,
+    })
 }
 
 #[cfg(test)]
@@ -161,7 +177,10 @@ mod tests {
     #[test]
     fn bundles_flush_at_target() {
         let files = vec![3 * MB; 30]; // all small, 90 MB total
-        let policy = BatchPolicy { small_threshold: 4 * MB, bundle_target: 30 * MB };
+        let policy = BatchPolicy {
+            small_threshold: 4 * MB,
+            bundle_target: 30 * MB,
+        };
         let plan = plan_batches(&files, policy);
         // 30 MB target → bundles of 10 members each.
         assert_eq!(plan.len(), 3);
@@ -191,8 +210,16 @@ mod tests {
         let client = b.host("client", GeoPoint::new(49.0, -123.0));
         let pop = b.datacenter("pop", GeoPoint::new(39.0, -77.0));
         // High-RTT, decent bandwidth: per-object overhead dominates smalls.
-        b.duplex(client, pop, LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(50)));
-        (Sim::new(b.build(), 1), client, Provider::new(ProviderKind::GoogleDrive, pop))
+        b.duplex(
+            client,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(50)),
+        );
+        (
+            Sim::new(b.build(), 1),
+            client,
+            Provider::new(ProviderKind::GoogleDrive, pop),
+        )
     }
 
     #[test]
@@ -200,8 +227,14 @@ mod tests {
         let files = vec![500 * KB; 40]; // 20 MB across 40 objects
         let (mut sim, client, provider) = world();
         let unbatched: Vec<BatchItem> = files.iter().map(|&f| BatchItem::Single(f)).collect();
-        let a = upload_batched(&mut sim, client, &provider, &unbatched, FlowClass::Commodity)
-            .unwrap();
+        let a = upload_batched(
+            &mut sim,
+            client,
+            &provider,
+            &unbatched,
+            FlowClass::Commodity,
+        )
+        .unwrap();
         let (mut sim, client, provider) = world();
         let plan = plan_batches(&files, BatchPolicy::default());
         let b = upload_batched(&mut sim, client, &provider, &plan, FlowClass::Commodity).unwrap();

@@ -94,7 +94,12 @@ impl DownloadSession {
         let p = &self.provider.protocol;
         self.state = State::Fetching;
         // Ranged GET: small request, part-sized response.
-        self.rpc(ctx, 500, part + p.per_chunk_response, p.per_chunk_server_time);
+        self.rpc(
+            ctx,
+            500,
+            part + p.per_chunk_response,
+            p.per_chunk_server_time,
+        );
     }
 }
 
@@ -244,9 +249,23 @@ mod tests {
     #[test]
     fn cold_download_pays_auth() {
         let (mut sim, client, provider) = setup(10.0, 80.0);
-        let warm = download(&mut sim, client, &provider, 10 * MB, UploadOptions::warm(FlowClass::Commodity)).unwrap();
+        let warm = download(
+            &mut sim,
+            client,
+            &provider,
+            10 * MB,
+            UploadOptions::warm(FlowClass::Commodity),
+        )
+        .unwrap();
         let (mut sim2, c2, p2) = setup(10.0, 80.0);
-        let cold = download(&mut sim2, c2, &p2, 10 * MB, UploadOptions::cold(FlowClass::Commodity)).unwrap();
+        let cold = download(
+            &mut sim2,
+            c2,
+            &p2,
+            10 * MB,
+            UploadOptions::cold(FlowClass::Commodity),
+        )
+        .unwrap();
         assert_eq!(cold.rpcs, warm.rpcs + 1);
         assert!(cold.elapsed > warm.elapsed);
     }

@@ -8,10 +8,9 @@
 use netsim::time::SimTime;
 use rand::rngs::SmallRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Fault model for a provider frontend.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FaultPlan {
     /// Probability a part upload is answered `429`.
     pub throttle_prob: f64,
@@ -53,7 +52,9 @@ impl FaultPlan {
     pub fn roll(&self, rng: &mut SmallRng) -> FaultOutcome {
         let x: f64 = rng.gen();
         if x < self.throttle_prob {
-            FaultOutcome::Throttled { wait: self.retry_after }
+            FaultOutcome::Throttled {
+                wait: self.retry_after,
+            }
         } else if x < self.throttle_prob + self.transient_prob {
             FaultOutcome::TransientError
         } else {

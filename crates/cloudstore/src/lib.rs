@@ -39,4 +39,4 @@ pub use oauth::{AuthConfig, TokenPolicy};
 pub use protocol::{ChunkProtocol, ProviderKind};
 pub use provider::Provider;
 pub use report::TransferStats;
-pub use session::{upload, UploadOptions, UploadSession};
+pub use session::{upload, upload_traced, UploadOptions, UploadSession};

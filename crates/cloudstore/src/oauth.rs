@@ -8,10 +8,9 @@
 
 use netsim::time::SimTime;
 use netsim::topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Authorization-endpoint configuration for one provider.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct AuthConfig {
     /// Node hosting the token endpoint (usually the provider frontend).
     pub server: NodeId,
@@ -42,7 +41,7 @@ impl AuthConfig {
 }
 
 /// How a session obtains its bearer token.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokenPolicy {
     /// No cached token: perform the full grant (cold first run).
     Fresh,
@@ -62,7 +61,9 @@ pub struct TokenState {
 impl TokenState {
     /// A token issued at `now` under `cfg`.
     pub fn issued(now: SimTime, cfg: &AuthConfig) -> Self {
-        TokenState { expires_at: now + cfg.token_lifetime }
+        TokenState {
+            expires_at: now + cfg.token_lifetime,
+        }
     }
 
     /// Is the token still valid at `now`, with a safety margin so that a

@@ -9,10 +9,9 @@
 
 use netsim::time::SimTime;
 use netsim::units::{Bandwidth, KIB, MIB};
-use serde::{Deserialize, Serialize};
 
 /// Which cloud-storage service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProviderKind {
     /// Google Drive (`www.googleapis.com` resumable uploads).
     GoogleDrive,
@@ -34,7 +33,11 @@ impl ProviderKind {
 
     /// All three providers, in the paper's column order.
     pub fn all() -> [ProviderKind; 3] {
-        [ProviderKind::GoogleDrive, ProviderKind::Dropbox, ProviderKind::OneDrive]
+        [
+            ProviderKind::GoogleDrive,
+            ProviderKind::Dropbox,
+            ProviderKind::OneDrive,
+        ]
     }
 }
 
@@ -45,7 +48,7 @@ impl std::fmt::Display for ProviderKind {
 }
 
 /// Wire-level parameters of one provider's upload protocol.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ChunkProtocol {
     /// Preferred part size in bytes.
     pub chunk_bytes: u64,
@@ -183,7 +186,14 @@ mod tests {
     fn parts_cover_file_exactly() {
         for kind in ProviderKind::all() {
             let p = ChunkProtocol::for_kind(kind);
-            for size in [1u64, 100, 10 * MB, 100 * MB, p.chunk_bytes, p.chunk_bytes + 1] {
+            for size in [
+                1u64,
+                100,
+                10 * MB,
+                100 * MB,
+                p.chunk_bytes,
+                p.chunk_bytes + 1,
+            ] {
                 let parts = p.parts(size);
                 assert_eq!(parts.iter().sum::<u64>(), size, "{kind}: size {size}");
                 assert!(!parts.is_empty());

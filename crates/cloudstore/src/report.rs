@@ -3,11 +3,10 @@
 use netsim::engine::Value;
 use netsim::time::SimTime;
 use netsim::units::Bandwidth;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Everything a completed upload/download session reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TransferStats {
     /// Payload size.
     pub bytes: u64,

@@ -25,6 +25,7 @@ use netsim::flow::FlowClass;
 use netsim::rpc::{Rpc, RpcSpec};
 use netsim::time::SimTime;
 use netsim::topology::NodeId;
+use obs::{Category, SpanId};
 use std::collections::{HashMap, VecDeque};
 
 /// Options for one upload.
@@ -41,19 +42,31 @@ pub struct UploadOptions {
 
 impl Default for UploadOptions {
     fn default() -> Self {
-        UploadOptions { token: TokenPolicy::Cached, class: FlowClass::Commodity, parallelism: 1 }
+        UploadOptions {
+            token: TokenPolicy::Cached,
+            class: FlowClass::Commodity,
+            parallelism: 1,
+        }
     }
 }
 
 impl UploadOptions {
     /// Cold-start options: full OAuth grant before the first byte.
     pub fn cold(class: FlowClass) -> Self {
-        UploadOptions { token: TokenPolicy::Fresh, class, parallelism: 1 }
+        UploadOptions {
+            token: TokenPolicy::Fresh,
+            class,
+            parallelism: 1,
+        }
     }
 
     /// Warm options: token cached and valid.
     pub fn warm(class: FlowClass) -> Self {
-        UploadOptions { token: TokenPolicy::Cached, class, parallelism: 1 }
+        UploadOptions {
+            token: TokenPolicy::Cached,
+            class,
+            parallelism: 1,
+        }
     }
 
     /// Allow up to `k` concurrent part uploads (k ≥ 1).
@@ -120,6 +133,13 @@ pub struct UploadSession {
     throttles: u64,
     token_refreshes: u64,
     wire_bytes: u64,
+
+    /// Telemetry span covering the whole session.
+    span: SpanId,
+    /// Requested parent for the session span (set by the job layer).
+    parent_span: SpanId,
+    /// Per-part chunk spans, opened at first launch, closed on success.
+    chunk_spans: Vec<SpanId>,
 }
 
 impl UploadSession {
@@ -150,9 +170,19 @@ impl UploadSession {
             throttles: 0,
             token_refreshes: 0,
             wire_bytes: 0,
+            span: SpanId::NONE,
+            parent_span: SpanId::NONE,
+            chunk_spans: Vec::new(),
         }
     }
 
+    /// Nest this session's telemetry span under `parent` (e.g. a job span).
+    pub fn with_parent_span(mut self, parent: SpanId) -> Self {
+        self.parent_span = parent;
+        self
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn spawn_rpc(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -160,21 +190,31 @@ impl UploadSession {
         req: u64,
         resp: u64,
         think: SimTime,
+        span_name: &'static str,
+        parent: SpanId,
     ) -> ProcessId {
         let mut spec = RpcSpec::control(self.client, server, self.opts.class)
             .with_payload(req, resp)
-            .with_server_time(think);
+            .with_server_time(think)
+            .traced(span_name, parent);
         if self.first_exchange {
             spec = spec.fresh();
             self.first_exchange = false;
         }
         self.rpcs += 1;
         self.wire_bytes += req;
+        ctx.telemetry().counter_add("cloudstore.rpcs", 1);
         ctx.spawn(Box::new(Rpc::new(spec)))
     }
 
     fn begin_control(&mut self, ctx: &mut Ctx<'_>, kind: ControlKind) {
         debug_assert!(self.control.is_none(), "one control exchange at a time");
+        let span_name = match kind {
+            ControlKind::Auth => "rpc.auth",
+            ControlKind::Refresh => "rpc.refresh",
+            ControlKind::Init => "rpc.init",
+            ControlKind::Finish => "rpc.finish",
+        };
         let (server, (req, resp), think) = match kind {
             ControlKind::Auth => (
                 self.provider.auth.server,
@@ -183,6 +223,10 @@ impl UploadSession {
             ),
             ControlKind::Refresh => {
                 self.token_refreshes += 1;
+                ctx.telemetry().counter_add("cloudstore.token_refreshes", 1);
+                let (t, span) = (ctx.now().as_nanos(), self.span);
+                ctx.telemetry()
+                    .event(t, Category::Session, "session.token_refresh", span, |_| {});
                 (
                     self.provider.auth.server,
                     self.provider.auth.refresh_bytes,
@@ -200,7 +244,8 @@ impl UploadSession {
                 self.provider.protocol.finish_server_time,
             ),
         };
-        let pid = self.spawn_rpc(ctx, server, req, resp, think);
+        let parent = self.span;
+        let pid = self.spawn_rpc(ctx, server, req, resp, think, span_name, parent);
         self.control = Some((pid, kind));
     }
 
@@ -209,7 +254,10 @@ impl UploadSession {
     }
 
     fn refresh_in_flight(&self) -> bool {
-        matches!(self.control, Some((_, ControlKind::Refresh | ControlKind::Auth)))
+        matches!(
+            self.control,
+            Some((_, ControlKind::Refresh | ControlKind::Auth))
+        )
     }
 
     /// Launch parts while there is budget; handle token expiry and
@@ -226,9 +274,27 @@ impl UploadSession {
                 return;
             }
             let task = self.queue.pop_front().expect("queue nonempty");
+            // One chunk span per part index, opened at first launch and
+            // spanning every retry and throttle wait of that part.
+            if !self.chunk_spans[task.idx].is_some() {
+                let (t, parent) = (ctx.now().as_nanos(), self.span);
+                let (idx, part_bytes) = (task.idx, self.parts[task.idx]);
+                self.chunk_spans[task.idx] =
+                    ctx.telemetry()
+                        .span_begin_with(t, Category::Chunk, "part", parent, |a| {
+                            a.set("index", idx).set("bytes", part_bytes);
+                        });
+            }
             let outcome = self.provider.faults.roll(ctx.rng());
             if let FaultOutcome::Throttled { wait } = outcome {
                 self.throttles += 1;
+                ctx.telemetry().counter_add("cloudstore.throttles", 1);
+                let (t, span) = (ctx.now().as_nanos(), self.chunk_spans[task.idx]);
+                let wait_ms = wait.as_millis_f64();
+                ctx.telemetry()
+                    .event(t, Category::Chunk, "chunk.throttled", span, |a| {
+                        a.set("wait_ms", wait_ms);
+                    });
                 self.waiting_throttle = true;
                 self.queue.push_front(task);
                 ctx.set_timer(wait, TIMER_THROTTLE);
@@ -239,7 +305,15 @@ impl UploadSession {
             let think = p.server_time_for_part(part);
             let req = part + p.per_chunk_header;
             let resp = p.per_chunk_response;
-            let pid = self.spawn_rpc(ctx, self.frontend, req, resp, think);
+            let pid = self.spawn_rpc(
+                ctx,
+                self.frontend,
+                req,
+                resp,
+                think,
+                "rpc.part",
+                self.chunk_spans[task.idx],
+            );
             self.inflight.insert(pid, PartAttempt { task, outcome });
         }
         self.maybe_finish(ctx);
@@ -271,26 +345,55 @@ impl UploadSession {
             token_refreshes: self.token_refreshes,
             wire_bytes: self.wire_bytes,
         };
+        let provider = self.provider.kind.display_name();
+        let bytes = self.bytes;
+        ctx.telemetry()
+            .counter_add_dyn(|| format!("cloudstore.bytes.{provider}"), bytes);
+        let (t, span) = (ctx.now().as_nanos(), self.span);
+        ctx.telemetry().span_end(t, span);
         ctx.finish(stats.to_value());
+    }
+
+    /// End the session span on an unrecoverable error before finishing.
+    fn finish_err(&mut self, ctx: &mut Ctx<'_>, e: NetError) {
+        let (t, span) = (ctx.now().as_nanos(), self.span);
+        ctx.telemetry()
+            .event(t, Category::Session, "session.error", span, |a| {
+                a.set("error", e.to_string());
+            });
+        ctx.telemetry().span_end(t, span);
+        ctx.finish(Value::Error(e));
     }
 
     fn on_part_done(&mut self, ctx: &mut Ctx<'_>, attempt: PartAttempt) {
         match attempt.outcome {
             FaultOutcome::Ok => {
                 self.completed += 1;
+                let (t, span) = (ctx.now().as_nanos(), self.chunk_spans[attempt.task.idx]);
+                ctx.telemetry().span_end(t, span);
                 self.pump(ctx);
             }
             FaultOutcome::TransientError => {
                 self.retries += 1;
+                ctx.telemetry().counter_add("cloudstore.retries", 1);
                 let attempts = attempt.task.attempts + 1;
                 if attempts > self.provider.faults.max_retries {
-                    ctx.finish(Value::Error(NetError::Blocked {
-                        at: self.frontend,
-                        reason: "part upload exceeded max retries",
-                    }));
+                    self.finish_err(
+                        ctx,
+                        NetError::Blocked {
+                            at: self.frontend,
+                            reason: "part upload exceeded max retries",
+                        },
+                    );
                     return;
                 }
                 let backoff = self.provider.faults.backoff(attempts);
+                let (t, span) = (ctx.now().as_nanos(), self.chunk_spans[attempt.task.idx]);
+                let backoff_ms = backoff.as_millis_f64();
+                ctx.telemetry()
+                    .event(t, Category::Chunk, "chunk.retry", span, |a| {
+                        a.set("attempt", attempts).set("backoff_ms", backoff_ms);
+                    });
                 ctx.set_timer(backoff, TIMER_BACKOFF_BASE + attempt.task.idx as u64);
                 // The task is re-queued after the backoff + offset query;
                 // remember its attempt count keyed by part index.
@@ -307,7 +410,15 @@ impl UploadSession {
         // Resumable protocols ask the server how much it holds before
         // resending (Drive: PUT with Content-Range */N; Dropbox/OneDrive
         // have equivalent status calls).
-        let pid = self.spawn_rpc(ctx, self.frontend, 400, 300, SimTime::from_millis(15));
+        let pid = self.spawn_rpc(
+            ctx,
+            self.frontend,
+            400,
+            300,
+            SimTime::from_millis(15),
+            "rpc.offset",
+            self.chunk_spans[task.idx],
+        );
         self.offset_queries.insert(pid, task);
     }
 }
@@ -319,12 +430,33 @@ impl Process for UploadSession {
                 self.started = ctx.now();
                 self.frontend = self.provider.frontend_for(ctx.topology(), self.client);
                 self.parts = self.provider.protocol.parts(self.bytes);
+                let (t, parent) = (ctx.now().as_nanos(), self.parent_span);
+                let (provider, bytes, parts, parallelism) = (
+                    self.provider.kind.display_name(),
+                    self.bytes,
+                    self.parts.len(),
+                    self.opts.parallelism,
+                );
+                self.span = ctx.telemetry().span_begin_with(
+                    t,
+                    Category::Session,
+                    "upload-session",
+                    parent,
+                    |a| {
+                        a.set("provider", provider)
+                            .set("bytes", bytes)
+                            .set("parts", parts)
+                            .set("parallelism", parallelism);
+                    },
+                );
                 if self.parts.is_empty() {
-                    ctx.finish(Value::Error(NetError::EmptyTransfer));
+                    self.finish_err(ctx, NetError::EmptyTransfer);
                     return;
                 }
-                self.queue =
-                    (0..self.parts.len()).map(|idx| PartTask { idx, attempts: 0 }).collect();
+                self.chunk_spans = vec![SpanId::NONE; self.parts.len()];
+                self.queue = (0..self.parts.len())
+                    .map(|idx| PartTask { idx, attempts: 0 })
+                    .collect();
                 match self.opts.token {
                     TokenPolicy::Fresh => self.begin_control(ctx, ControlKind::Auth),
                     TokenPolicy::Expired => self.begin_control(ctx, ControlKind::Refresh),
@@ -336,7 +468,7 @@ impl Process for UploadSession {
             }
             Event::ChildDone { child, value } => {
                 if let Value::Error(e) = value {
-                    ctx.finish(Value::Error(e));
+                    self.finish_err(ctx, e);
                     return;
                 }
                 if let Some((pid, kind)) = self.control {
@@ -370,7 +502,9 @@ impl Process for UploadSession {
                     self.pump(ctx);
                 }
             }
-            Event::Timer { tag: TIMER_THROTTLE } => {
+            Event::Timer {
+                tag: TIMER_THROTTLE,
+            } => {
                 self.waiting_throttle = false;
                 self.pump(ctx);
             }
@@ -396,7 +530,20 @@ pub fn upload(
     bytes: u64,
     opts: UploadOptions,
 ) -> Result<TransferStats, NetError> {
-    let session = UploadSession::new(client, provider.clone(), bytes, opts);
+    upload_traced(sim, client, provider, bytes, opts, SpanId::NONE)
+}
+
+/// Like [`upload`], nesting the session's telemetry span under `parent`.
+pub fn upload_traced(
+    sim: &mut netsim::engine::Sim,
+    client: NodeId,
+    provider: &Provider,
+    bytes: u64,
+    opts: UploadOptions,
+    parent: SpanId,
+) -> Result<TransferStats, NetError> {
+    let session =
+        UploadSession::new(client, provider.clone(), bytes, opts).with_parent_span(parent);
     match sim.run_process(Box::new(session))? {
         Value::Error(e) => Err(e),
         v => Ok(TransferStats::from_value(&v)),
@@ -416,7 +563,11 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let client = b.host("client", GeoPoint::new(49.0, -123.0));
         let pop = b.datacenter("pop", GeoPoint::new(37.0, -122.0));
-        b.duplex(client, pop, LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(15)));
+        b.duplex(
+            client,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(15)),
+        );
         let provider = Provider::new(ProviderKind::GoogleDrive, pop);
         (Sim::new(b.build(), 1), client, provider)
     }
@@ -424,9 +575,14 @@ mod tests {
     #[test]
     fn upload_completes_with_sane_time() {
         let (mut sim, client, provider) = setup(80.0); // 10 MB/s
-        let stats =
-            upload(&mut sim, client, &provider, 10 * MB, UploadOptions::warm(FlowClass::Commodity))
-                .unwrap();
+        let stats = upload(
+            &mut sim,
+            client,
+            &provider,
+            10 * MB,
+            UploadOptions::warm(FlowClass::Commodity),
+        )
+        .unwrap();
         let s = stats.elapsed.as_secs_f64();
         // Fluid bound is 1 s; chunking and think time add some.
         assert!((1.0..3.0).contains(&s), "elapsed {s}");
@@ -439,9 +595,14 @@ mod tests {
     #[test]
     fn cold_start_pays_oauth() {
         let (mut sim, client, provider) = setup(80.0);
-        let warm =
-            upload(&mut sim, client, &provider, 10 * MB, UploadOptions::warm(FlowClass::Commodity))
-                .unwrap();
+        let warm = upload(
+            &mut sim,
+            client,
+            &provider,
+            10 * MB,
+            UploadOptions::warm(FlowClass::Commodity),
+        )
+        .unwrap();
         let (mut sim2, client2, provider2) = setup(80.0);
         let cold = upload(
             &mut sim2,
@@ -451,17 +612,31 @@ mod tests {
             UploadOptions::cold(FlowClass::Commodity),
         )
         .unwrap();
-        assert!(cold.elapsed > warm.elapsed, "cold {} warm {}", cold.elapsed, warm.elapsed);
+        assert!(
+            cold.elapsed > warm.elapsed,
+            "cold {} warm {}",
+            cold.elapsed,
+            warm.elapsed
+        );
         assert_eq!(cold.rpcs, warm.rpcs + 1);
     }
 
     #[test]
     fn small_files_dominated_by_round_trips() {
         let (mut sim, client, provider) = setup(800.0); // very fast link
-        let stats =
-            upload(&mut sim, client, &provider, MB, UploadOptions::warm(FlowClass::Commodity))
-                .unwrap();
-        assert!(stats.elapsed > SimTime::from_millis(100), "elapsed {}", stats.elapsed);
+        let stats = upload(
+            &mut sim,
+            client,
+            &provider,
+            MB,
+            UploadOptions::warm(FlowClass::Commodity),
+        )
+        .unwrap();
+        assert!(
+            stats.elapsed > SimTime::from_millis(100),
+            "elapsed {}",
+            stats.elapsed
+        );
     }
 
     #[test]
@@ -528,12 +703,21 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let client = b.host("client", GeoPoint::new(49.0, -123.0));
         let pop = b.datacenter("pop", GeoPoint::new(39.0, -77.0));
-        b.duplex(client, pop, LinkParams::new(Bandwidth::from_mbps(80.0), SimTime::from_millis(30)));
+        b.duplex(
+            client,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(80.0), SimTime::from_millis(30)),
+        );
         let provider = Provider::new(ProviderKind::Dropbox, pop);
         let mut sim = Sim::new(b.build(), 1);
-        let stats =
-            upload(&mut sim, client, &provider, 10 * MB, UploadOptions::warm(FlowClass::Commodity))
-                .unwrap();
+        let stats = upload(
+            &mut sim,
+            client,
+            &provider,
+            10 * MB,
+            UploadOptions::warm(FlowClass::Commodity),
+        )
+        .unwrap();
         // 10 MB / 4 MiB = 3 parts + init + finish.
         assert_eq!(stats.rpcs, 5);
     }
@@ -544,17 +728,29 @@ mod tests {
             let mut b = TopologyBuilder::new();
             let client = b.host("client", GeoPoint::new(49.0, -123.0));
             let pop = b.datacenter("pop", GeoPoint::new(37.0, -122.0));
-            b.duplex(client, pop, LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(20)));
+            b.duplex(
+                client,
+                pop,
+                LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(20)),
+            );
             // Dropbox's 4 MiB parts give 100 MB ≈ 24 fault rolls per run.
             let provider =
                 Provider::new(ProviderKind::Dropbox, pop).with_faults(FaultPlan::flaky());
             let mut sim = Sim::new(b.build(), seed);
-            upload(&mut sim, client, &provider, 100 * MB, UploadOptions::warm(FlowClass::Commodity))
-                .unwrap()
+            upload(
+                &mut sim,
+                client,
+                &provider,
+                100 * MB,
+                UploadOptions::warm(FlowClass::Commodity),
+            )
+            .unwrap()
         };
         assert_eq!(run(5), run(5));
-        let distinct: std::collections::HashSet<_> =
-            [run(5), run(6), run(7)].iter().map(|s| s.elapsed.as_nanos()).collect();
+        let distinct: std::collections::HashSet<_> = [run(5), run(6), run(7)]
+            .iter()
+            .map(|s| s.elapsed.as_nanos())
+            .collect();
         assert!(distinct.len() > 1, "all seeds produced identical timings");
     }
 
@@ -565,7 +761,11 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let client = b.host("client", GeoPoint::new(49.0, -123.0));
         let pop = b.datacenter("pop", GeoPoint::new(39.0, -77.0));
-        b.duplex(client, pop, LinkParams::new(Bandwidth::from_mbps(400.0), SimTime::from_millis(60)));
+        b.duplex(
+            client,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(400.0), SimTime::from_millis(60)),
+        );
         let provider = Provider::new(ProviderKind::Dropbox, pop);
         let topo = b.build();
         let serial = upload(

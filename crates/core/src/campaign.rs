@@ -4,8 +4,8 @@
 //! for every file size under the 7-run/keep-5 protocol. Every run is an
 //! independent simulation (its own seed, its own background-traffic
 //! realization), so runs parallelize perfectly across cores; we use
-//! crossbeam scoped threads with a shared atomic work index, per the
-//! data-parallel idiom of the HPC guides.
+//! scoped threads with a shared atomic work index, per the data-parallel
+//! idiom of the HPC guides.
 
 use crate::job::run_job;
 use crate::route::Route;
@@ -15,8 +15,8 @@ use netsim::engine::Sim;
 use netsim::error::NetError;
 use netsim::flow::FlowClass;
 use netsim::topology::NodeId;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Builds a fresh simulator per run. Implemented by scenario crates.
 pub trait SimFactory: Sync {
@@ -48,7 +48,11 @@ pub struct ClientSpec {
 impl ClientSpec {
     /// Build a client spec.
     pub fn new(node: NodeId, class: FlowClass, name: &str) -> Self {
-        ClientSpec { node, class, name: name.to_string() }
+        ClientSpec {
+            node,
+            class,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -82,15 +86,17 @@ impl<'a> Campaign<'a> {
             (0..n_jobs).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let threads = if self.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         } else {
             self.threads
         }
         .min(n_jobs.max(1));
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let j = next.fetch_add(1, Ordering::Relaxed);
                     if j >= n_jobs {
                         break;
@@ -99,11 +105,10 @@ impl<'a> Campaign<'a> {
                     let route_idx = (j / runs) % self.routes.len();
                     let size_idx = j / (runs * self.routes.len());
                     let outcome = self.one_run(size_idx, route_idx, run);
-                    *results[j].lock() = Some(outcome);
+                    *results[j].lock().expect("campaign worker panicked") = Some(outcome);
                 });
             }
-        })
-        .expect("campaign worker panicked");
+        });
 
         // Assemble per-cell statistics.
         let mut cells = Vec::with_capacity(self.sizes.len());
@@ -115,6 +120,7 @@ impl<'a> Campaign<'a> {
                     let j = (size_idx * self.routes.len() + route_idx) * runs + run;
                     let outcome = results[j]
                         .lock()
+                        .expect("campaign worker panicked")
                         .take()
                         .expect("every job slot filled");
                     let secs = outcome?;
@@ -136,6 +142,31 @@ impl<'a> Campaign<'a> {
     }
 
     fn one_run(&self, size_idx: usize, route_idx: usize, run: usize) -> Result<f64, NetError> {
+        self.run_inner(size_idx, route_idx, run, false)
+            .map(|(secs, _)| secs)
+    }
+
+    /// Replay one (size, route, run) cell with telemetry enabled and return
+    /// the elapsed seconds plus the recording. The seed matches the one
+    /// [`Campaign::run`] uses for the same cell, so the trace reproduces the
+    /// campaign sample exactly.
+    pub fn trace_run(
+        &self,
+        size_idx: usize,
+        route_idx: usize,
+        run: usize,
+    ) -> Result<(f64, obs::Recording), NetError> {
+        let (secs, rec) = self.run_inner(size_idx, route_idx, run, true)?;
+        Ok((secs, rec.expect("telemetry was enabled")))
+    }
+
+    fn run_inner(
+        &self,
+        size_idx: usize,
+        route_idx: usize,
+        run: usize,
+        trace: bool,
+    ) -> Result<(f64, Option<obs::Recording>), NetError> {
         let size = self.sizes[size_idx];
         let route = &self.routes[route_idx];
         let seed_label = format!(
@@ -148,11 +179,29 @@ impl<'a> Campaign<'a> {
         );
         let seed = RunProtocol::run_seed(&seed_label, run);
         let mut sim = self.factory.build(seed);
-        let token = if run < self.protocol.discard { TokenPolicy::Fresh } else { TokenPolicy::Cached };
-        let opts = UploadOptions { token, class: self.client.class, ..UploadOptions::default() };
-        let report =
-            run_job(&mut sim, self.client.node, self.client.class, &self.provider, size, route, opts)?;
-        Ok(report.secs())
+        if trace {
+            sim.enable_telemetry();
+        }
+        let token = if run < self.protocol.discard {
+            TokenPolicy::Fresh
+        } else {
+            TokenPolicy::Cached
+        };
+        let opts = UploadOptions {
+            token,
+            class: self.client.class,
+            ..UploadOptions::default()
+        };
+        let report = run_job(
+            &mut sim,
+            self.client.node,
+            self.client.class,
+            &self.provider,
+            size,
+            route,
+            opts,
+        )?;
+        Ok((report.secs(), sim.take_telemetry()))
     }
 }
 
@@ -198,8 +247,8 @@ impl CampaignResult {
     pub fn ranking(&self) -> Vec<usize> {
         let mut avg: Vec<(usize, f64)> = (0..self.routes.len())
             .map(|r| {
-                let a = self.cells.iter().map(|row| row[r].mean).sum::<f64>()
-                    / self.cells.len() as f64;
+                let a =
+                    self.cells.iter().map(|row| row[r].mean).sum::<f64>() / self.cells.len() as f64;
                 (r, a)
             })
             .collect();
@@ -279,6 +328,44 @@ impl CampaignResult {
     pub fn mean_series(&self, route_idx: usize) -> Vec<f64> {
         self.cells.iter().map(|row| row[route_idx].mean).collect()
     }
+
+    /// Append the campaign's per-cell measurements and winner decisions to
+    /// a telemetry sink as post-hoc control events at timestamp `t_ns`
+    /// (campaign runs execute on independent simulators, so no single
+    /// simulated clock applies to the aggregate).
+    pub fn record_decisions(&self, t_ns: u64, tele: &mut obs::Telemetry) {
+        if !tele.is_enabled() {
+            return;
+        }
+        for (si, &size) in self.sizes.iter().enumerate() {
+            for (ri, route) in self.routes.iter().enumerate() {
+                let (label, s) = (route.label(), &self.cells[si][ri]);
+                tele.event(
+                    t_ns,
+                    obs::Category::Control,
+                    "campaign.cell",
+                    obs::SpanId::NONE,
+                    |a| {
+                        a.set("size_bytes", size)
+                            .set("route", label)
+                            .set("mean_secs", s.mean)
+                            .set("std_dev_secs", s.std_dev);
+                    },
+                );
+            }
+            let best = self.best_route_for(si);
+            let label = self.routes[best].label();
+            tele.event(
+                t_ns,
+                obs::Category::Control,
+                "campaign.best",
+                obs::SpanId::NONE,
+                |a| {
+                    a.set("size_bytes", size).set("route", label);
+                },
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -298,9 +385,21 @@ mod tests {
             let user = b.host("user", GeoPoint::new(49.26, -123.25));
             let dtn = b.host("dtn", GeoPoint::new(53.52, -113.53));
             let pop = b.datacenter("pop", GeoPoint::new(37.39, -122.08));
-            b.duplex(user, pop, LinkParams::new(Bandwidth::from_mbps(8.0), SimTime::from_millis(15)));
-            b.duplex(user, dtn, LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(8)));
-            b.duplex(dtn, pop, LinkParams::new(Bandwidth::from_mbps(48.0), SimTime::from_millis(14)));
+            b.duplex(
+                user,
+                pop,
+                LinkParams::new(Bandwidth::from_mbps(8.0), SimTime::from_millis(15)),
+            );
+            b.duplex(
+                user,
+                dtn,
+                LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(8)),
+            );
+            b.duplex(
+                dtn,
+                pop,
+                LinkParams::new(Bandwidth::from_mbps(48.0), SimTime::from_millis(14)),
+            );
             (b.build(), user, dtn, pop)
         }
     }
@@ -371,7 +470,11 @@ mod tests {
         let b = campaign(&world).run().unwrap();
         for (ra, rb) in a.cells.iter().zip(&b.cells) {
             for (sa, sb) in ra.iter().zip(rb) {
-                assert_eq!(sa.mean.to_bits(), sb.mean.to_bits(), "campaign not reproducible");
+                assert_eq!(
+                    sa.mean.to_bits(),
+                    sb.mean.to_bits(),
+                    "campaign not reproducible"
+                );
             }
         }
     }

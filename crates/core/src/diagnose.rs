@@ -33,7 +33,8 @@ impl PathComparison {
     /// Do the two paths take different exits after a shared middlebox?
     /// (The paper's smoking gun.)
     pub fn diverges_after_junction(&self) -> bool {
-        self.junction.is_some() && (!self.only_in_first.is_empty() || !self.only_in_second.is_empty())
+        self.junction.is_some()
+            && (!self.only_in_first.is_empty() || !self.only_in_second.is_empty())
     }
 }
 
@@ -44,8 +45,11 @@ pub fn compare_traceroutes(a: &Traceroute, b: &Traceroute) -> PathComparison {
     let set_b: std::collections::HashSet<&str> = names_b.iter().copied().collect();
     let set_a: std::collections::HashSet<&str> = names_a.iter().copied().collect();
 
-    let common_hops: Vec<String> =
-        names_a.iter().filter(|n| set_b.contains(**n)).map(|n| n.to_string()).collect();
+    let common_hops: Vec<String> = names_a
+        .iter()
+        .filter(|n| set_b.contains(**n))
+        .map(|n| n.to_string())
+        .collect();
 
     // Junction: the last common hop that is not the destination itself.
     let junction = common_hops
@@ -56,7 +60,11 @@ pub fn compare_traceroutes(a: &Traceroute, b: &Traceroute) -> PathComparison {
 
     let after = |names: &[&str], junction: &Option<String>| -> Vec<String> {
         let start = match junction {
-            Some(j) => names.iter().position(|n| n == j).map(|i| i + 1).unwrap_or(0),
+            Some(j) => names
+                .iter()
+                .position(|n| n == j)
+                .map(|i| i + 1)
+                .unwrap_or(0),
             None => 0,
         };
         names[start..]
@@ -133,7 +141,13 @@ pub fn find_bandwidth_tivs(
         // so a reported TIV is actionable with the paper's relay.
         let detour = TivRecord::store_forward_rate(leg1, leg2);
         if detour.bytes_per_sec() > direct.bytes_per_sec() {
-            out.push(TivRecord { src, via, dst, direct, detour });
+            out.push(TivRecord {
+                src,
+                via,
+                dst,
+                direct,
+                detour,
+            });
         }
     }
     out.sort_by(|a, b| b.ratio().partial_cmp(&a.ratio()).expect("finite ratios"));
@@ -162,7 +176,11 @@ mod tests {
         b.duplex(ualberta, canarie, p);
         b.duplex(canarie, pacificwave, p);
         b.duplex(pacificwave, google, p);
-        b.duplex(canarie, google, LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(9)));
+        b.duplex(
+            canarie,
+            google,
+            LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(9)),
+        );
         let mut sim = Sim::new(b.build(), 5);
         // Pin UBC's route through pacificwave (the PlanetLab idiosyncrasy).
         sim.add_route_override(netsim::routing::RouteOverride::new(
@@ -179,7 +197,9 @@ mod tests {
         let tr_ubc = Traceroute::run(sim.core(), ubc, google).unwrap();
         let tr_ua = Traceroute::run(sim.core(), ualberta, google).unwrap();
         let cmp = compare_traceroutes(&tr_ubc, &tr_ua);
-        assert!(cmp.common_hops.contains(&"vncv1rtr2.canarie.ca".to_string()));
+        assert!(cmp
+            .common_hops
+            .contains(&"vncv1rtr2.canarie.ca".to_string()));
         assert_eq!(cmp.junction.as_deref(), Some("vncv1rtr2.canarie.ca"));
         assert_eq!(cmp.only_in_first, vec!["pacificwave.net".to_string()]);
         assert!(cmp.only_in_second.is_empty());
@@ -205,12 +225,31 @@ mod tests {
         let dtn = b.host("dtn", GeoPoint::new(53.5, -113.5));
         let bad_dtn = b.host("bad-dtn", GeoPoint::new(34.0, -118.0));
         let dst = b.host("dst", GeoPoint::new(37.4, -122.1));
-        let (direct_link, _) =
-            b.duplex(src, dst, LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(10)));
-        b.duplex(src, dtn, LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(8)));
-        b.duplex(dtn, dst, LinkParams::new(Bandwidth::from_mbps(48.0), SimTime::from_millis(12)));
-        b.duplex(src, bad_dtn, LinkParams::new(Bandwidth::from_mbps(2.0), SimTime::from_millis(9)));
-        b.duplex(bad_dtn, dst, LinkParams::new(Bandwidth::from_mbps(60.0), SimTime::from_millis(4)));
+        let (direct_link, _) = b.duplex(
+            src,
+            dst,
+            LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(10)),
+        );
+        b.duplex(
+            src,
+            dtn,
+            LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(8)),
+        );
+        b.duplex(
+            dtn,
+            dst,
+            LinkParams::new(Bandwidth::from_mbps(48.0), SimTime::from_millis(12)),
+        );
+        b.duplex(
+            src,
+            bad_dtn,
+            LinkParams::new(Bandwidth::from_mbps(2.0), SimTime::from_millis(9)),
+        );
+        b.duplex(
+            bad_dtn,
+            dst,
+            LinkParams::new(Bandwidth::from_mbps(60.0), SimTime::from_millis(4)),
+        );
         let mut sim = Sim::new(b.build(), 1);
         sim.add_policer(netsim::middlebox::Policer::per_flow(
             "policer",
@@ -218,27 +257,24 @@ mod tests {
             FlowClass::PlanetLab,
             Bandwidth::from_mbps(9.0),
         ));
-        let candidates =
-            [(dtn, FlowClass::Research), (bad_dtn, FlowClass::Research)];
-        let tivs = find_bandwidth_tivs(sim.core(), src, FlowClass::PlanetLab, dst, &candidates)
-            .unwrap();
+        let candidates = [(dtn, FlowClass::Research), (bad_dtn, FlowClass::Research)];
+        let tivs =
+            find_bandwidth_tivs(sim.core(), src, FlowClass::PlanetLab, dst, &candidates).unwrap();
         // Only the good DTN is a violation: 1/(1/40+1/48) ≈ 21.8 > 9, while
         // the bad DTN's serial rate ≈ 1.9 < 9.
         assert_eq!(tivs.len(), 1, "{tivs:?}");
         assert_eq!(tivs[0].via, dtn);
         assert!(tivs[0].ratio() > 2.0, "ratio {}", tivs[0].ratio());
         // For a research-class source the policer does not apply: no TIV.
-        let none = find_bandwidth_tivs(sim.core(), src, FlowClass::Research, dst, &candidates)
-            .unwrap();
+        let none =
+            find_bandwidth_tivs(sim.core(), src, FlowClass::Research, dst, &candidates).unwrap();
         assert!(none.is_empty(), "{none:?}");
     }
 
     #[test]
     fn store_forward_rate_is_harmonic() {
-        let r = TivRecord::store_forward_rate(
-            Bandwidth::from_mbps(40.0),
-            Bandwidth::from_mbps(40.0),
-        );
+        let r =
+            TivRecord::store_forward_rate(Bandwidth::from_mbps(40.0), Bandwidth::from_mbps(40.0));
         assert!((r.mbps() - 20.0).abs() < 1e-9);
     }
 

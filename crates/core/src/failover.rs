@@ -43,9 +43,42 @@ pub fn upload_with_fallback(
     for (idx, route) in routes.iter().enumerate() {
         match run_job(sim, client, client_class, provider, bytes, route, opts) {
             Ok(report) => {
-                return Ok(FallbackReport { report, route_used: idx, failures });
+                if !failures.is_empty() {
+                    let t = sim.now_ns();
+                    let label = route.label();
+                    let attempts = failures.len();
+                    sim.telemetry().event(
+                        t,
+                        obs::Category::Control,
+                        "failover.switched",
+                        obs::SpanId::NONE,
+                        |a| {
+                            a.set("route", label).set("failed_attempts", attempts);
+                        },
+                    );
+                    sim.telemetry().counter_add("core.failovers", 1);
+                }
+                return Ok(FallbackReport {
+                    report,
+                    route_used: idx,
+                    failures,
+                });
             }
-            Err(e) => failures.push(e),
+            Err(e) => {
+                let t = sim.now_ns();
+                let label = route.label();
+                let msg = e.to_string();
+                sim.telemetry().event(
+                    t,
+                    obs::Category::Control,
+                    "failover.route_failed",
+                    obs::SpanId::NONE,
+                    |a| {
+                        a.set("route", label).set("error", msg);
+                    },
+                );
+                failures.push(e)
+            }
         }
     }
     Err(failures.pop().expect("at least one attempt failed"))
@@ -67,13 +100,33 @@ mod tests {
         let user = b.host("user", GeoPoint::new(49.0, -123.0));
         let dtn = b.host("dtn", GeoPoint::new(53.5, -113.5));
         let pop = b.datacenter("pop", GeoPoint::new(37.4, -122.1));
-        let (fw_link, _) =
-            b.duplex(user, dtn, LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(8)));
-        b.duplex(user, pop, LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(12)));
-        b.duplex(dtn, pop, LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(14)));
+        let (fw_link, _) = b.duplex(
+            user,
+            dtn,
+            LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(8)),
+        );
+        b.duplex(
+            user,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(12)),
+        );
+        b.duplex(
+            dtn,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(14)),
+        );
         let mut sim = Sim::new(b.build(), 1);
-        sim.add_firewall(FirewallRule::drop_class("campus-fw", fw_link, FlowClass::Research));
-        (sim, user, dtn, Provider::new(ProviderKind::GoogleDrive, pop))
+        sim.add_firewall(FirewallRule::drop_class(
+            "campus-fw",
+            fw_link,
+            FlowClass::Research,
+        ));
+        (
+            sim,
+            user,
+            dtn,
+            Provider::new(ProviderKind::GoogleDrive, pop),
+        )
     }
 
     #[test]

@@ -7,7 +7,7 @@ use netsim::error::NetError;
 use netsim::flow::FlowClass;
 use netsim::time::SimTime;
 use netsim::topology::NodeId;
-use relay::{detour_upload, RelayReport};
+use relay::{detour_upload_traced, RelayReport};
 
 /// Per-mechanism detail of a completed job.
 #[derive(Debug, Clone)]
@@ -51,16 +51,27 @@ pub fn run_job(
     route: &Route,
     opts: UploadOptions,
 ) -> Result<JobReport, NetError> {
-    match route {
+    let t = sim.now_ns();
+    let span = if sim.telemetry().is_enabled() {
+        let label = route.label();
+        sim.telemetry()
+            .span_begin_with(t, obs::Category::Control, "job", obs::SpanId::NONE, |a| {
+                a.set("route", label).set("bytes", bytes);
+            })
+    } else {
+        obs::SpanId::NONE
+    };
+    let result = match route {
         Route::Direct => {
             let mut o = opts;
             o.class = client_class;
-            let stats = cloudstore::upload(sim, client, provider, bytes, o)?;
-            Ok(JobReport {
-                route: route.clone(),
-                bytes,
-                elapsed: stats.elapsed,
-                detail: JobDetail::Direct(stats),
+            cloudstore::upload_traced(sim, client, provider, bytes, o, span).map(|stats| {
+                JobReport {
+                    route: route.clone(),
+                    bytes,
+                    elapsed: stats.elapsed,
+                    detail: JobDetail::Direct(stats),
+                }
             })
         }
         Route::Via(hops) => {
@@ -72,15 +83,35 @@ pub fn run_job(
                 nodes.push(h.node);
                 classes.push(h.class);
             }
-            let report = detour_upload(sim, nodes, classes, provider, bytes, opts)?;
-            Ok(JobReport {
-                route: route.clone(),
-                bytes,
-                elapsed: report.total,
-                detail: JobDetail::Detour(report),
+            detour_upload_traced(sim, nodes, classes, provider, bytes, opts, span).map(|report| {
+                JobReport {
+                    route: route.clone(),
+                    bytes,
+                    elapsed: report.total,
+                    detail: JobDetail::Detour(report),
+                }
             })
         }
+    };
+    if span.is_some() {
+        let t_end = sim.now_ns();
+        match &result {
+            Ok(_) => {
+                let label = route.label();
+                sim.telemetry()
+                    .counter_add_dyn(|| format!("core.bytes.route.{label}"), bytes);
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                sim.telemetry()
+                    .event(t_end, obs::Category::Control, "job.error", span, |a| {
+                        a.set("error", msg);
+                    });
+            }
+        }
+        sim.telemetry().span_end(t_end, span);
     }
+    result
 }
 
 #[cfg(test)]
@@ -97,10 +128,27 @@ mod tests {
         let user = b.host("user", GeoPoint::new(49.26, -123.25));
         let dtn = b.host("dtn", GeoPoint::new(53.52, -113.53));
         let pop = b.datacenter("pop", GeoPoint::new(37.39, -122.08));
-        b.duplex(user, pop, LinkParams::new(Bandwidth::from_mbps(8.0), SimTime::from_millis(15)));
-        b.duplex(user, dtn, LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(8)));
-        b.duplex(dtn, pop, LinkParams::new(Bandwidth::from_mbps(48.0), SimTime::from_millis(14)));
-        (Sim::new(b.build(), 1), user, dtn, Provider::new(ProviderKind::GoogleDrive, pop))
+        b.duplex(
+            user,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(8.0), SimTime::from_millis(15)),
+        );
+        b.duplex(
+            user,
+            dtn,
+            LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(8)),
+        );
+        b.duplex(
+            dtn,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(48.0), SimTime::from_millis(14)),
+        );
+        (
+            Sim::new(b.build(), 1),
+            user,
+            dtn,
+            Provider::new(ProviderKind::GoogleDrive, pop),
+        )
     }
 
     #[test]

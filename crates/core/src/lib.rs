@@ -10,7 +10,7 @@
 //!   breakdown.
 //! * [`campaign`] — the paper's measurement campaigns: (file sizes × routes
 //!   × runs) with the 7-run/keep-5 protocol, parallelized across CPU cores
-//!   with crossbeam scoped threads (each run owns an independent simulator).
+//!   with scoped threads (each run owns an independent simulator).
 //! * [`select`] — automatic detour selection, the paper's declared future
 //!   work: an oracle (measure everything, as the authors did by hand), a
 //!   probe-based predictor, an adaptive ε-greedy learner, and the paper's

@@ -61,7 +61,10 @@ impl RouteMonitor {
     /// Build from a configuration.
     pub fn new(cfg: MonitorConfig) -> Self {
         assert!(!cfg.routes.is_empty(), "no routes to monitor");
-        assert!(cfg.routes.iter().all(|r| !r.is_empty()), "route without legs");
+        assert!(
+            cfg.routes.iter().all(|r| !r.is_empty()),
+            "route without legs"
+        );
         assert!(cfg.epochs > 0 && cfg.probe_bytes > 0 && cfg.reference_bytes > 0);
         assert!(cfg.alpha > 0.0 && cfg.alpha <= 1.0);
         let n = cfg.routes.len();
@@ -124,7 +127,9 @@ impl RouteMonitor {
             .expect("nonempty");
         self.choices.push(best);
         if self.choices.len() >= self.cfg.epochs {
-            ctx.finish(Value::List(self.choices.iter().map(|&c| Value::U64(c)).collect()));
+            ctx.finish(Value::List(
+                self.choices.iter().map(|&c| Value::U64(c)).collect(),
+            ));
         } else {
             ctx.set_timer(self.cfg.interval, EPOCH_TIMER);
         }
@@ -132,7 +137,10 @@ impl RouteMonitor {
 
     /// Decode the monitor's result value into per-epoch choices.
     pub fn decode_choices(v: &Value) -> Vec<usize> {
-        v.expect_list().iter().map(|x| x.expect_u64() as usize).collect()
+        v.expect_list()
+            .iter()
+            .map(|x| x.expect_u64() as usize)
+            .collect()
     }
 }
 
@@ -198,10 +206,22 @@ mod tests {
         )));
         let cfg = MonitorConfig {
             routes: vec![
-                vec![ProbeLeg { src: user, dst: pop, class: FlowClass::Commodity }],
+                vec![ProbeLeg {
+                    src: user,
+                    dst: pop,
+                    class: FlowClass::Commodity,
+                }],
                 vec![
-                    ProbeLeg { src: user, dst: rb, class: FlowClass::Commodity },
-                    ProbeLeg { src: rb, dst: pop, class: FlowClass::Commodity },
+                    ProbeLeg {
+                        src: user,
+                        dst: rb,
+                        class: FlowClass::Commodity,
+                    },
+                    ProbeLeg {
+                        src: rb,
+                        dst: pop,
+                        class: FlowClass::Commodity,
+                    },
                 ],
             ],
             probe_bytes: MB,
@@ -239,7 +259,10 @@ mod tests {
                 }
             }
         }
-        assert!(detour_votes > 0, "monitor never noticed congestion ({detour_votes}/{total})");
+        assert!(
+            detour_votes > 0,
+            "monitor never noticed congestion ({detour_votes}/{total})"
+        );
     }
 
     #[test]
@@ -248,12 +271,24 @@ mod tests {
         let user = b.host("user", GeoPoint::new(0.0, 0.0));
         let pop = b.host("pop", GeoPoint::new(1.0, 1.0));
         let island = b.host("island", GeoPoint::new(2.0, 2.0));
-        b.duplex(user, pop, LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(2)));
+        b.duplex(
+            user,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(2)),
+        );
         let mut sim = Sim::new(b.build(), 1);
         let cfg = MonitorConfig {
             routes: vec![
-                vec![ProbeLeg { src: user, dst: island, class: FlowClass::Commodity }],
-                vec![ProbeLeg { src: user, dst: pop, class: FlowClass::Commodity }],
+                vec![ProbeLeg {
+                    src: user,
+                    dst: island,
+                    class: FlowClass::Commodity,
+                }],
+                vec![ProbeLeg {
+                    src: user,
+                    dst: pop,
+                    class: FlowClass::Commodity,
+                }],
             ],
             probe_bytes: MB,
             reference_bytes: 10 * MB,

@@ -20,7 +20,11 @@ pub struct Hop {
 impl Hop {
     /// Build a hop.
     pub fn new(node: NodeId, class: FlowClass, name: &str) -> Self {
-        Hop { node, class, name: name.to_string() }
+        Hop {
+            node,
+            class,
+            name: name.to_string(),
+        }
     }
 }
 

@@ -68,7 +68,13 @@ impl OracleSelector {
         let result = campaign.run()?;
         let best = result.best_route_for(0);
         let stats: Vec<Stats> = result.cells[0].clone();
-        Ok((RouteChoice { route_idx: best, expected_secs: stats[best].mean }, stats))
+        Ok((
+            RouteChoice {
+                route_idx: best,
+                expected_secs: stats[best].mean,
+            },
+            stats,
+        ))
     }
 }
 
@@ -81,7 +87,9 @@ pub struct ProbeSelector {
 
 impl Default for ProbeSelector {
     fn default() -> Self {
-        ProbeSelector { per_leg_overhead_secs: 1.0 }
+        ProbeSelector {
+            per_leg_overhead_secs: 1.0,
+        }
     }
 }
 
@@ -102,11 +110,44 @@ impl ProbeSelector {
         let mut best: Option<RouteChoice> = None;
         for (idx, route) in routes.iter().enumerate() {
             let secs = self.predict(sim, client, client_class, provider, route, bytes)?;
-            if best.as_ref().map(|b| secs < b.expected_secs).unwrap_or(true) {
-                best = Some(RouteChoice { route_idx: idx, expected_secs: secs });
+            if sim.telemetry().is_enabled() {
+                let (t, label) = (sim.now_ns(), route.label());
+                sim.telemetry().event(
+                    t,
+                    obs::Category::Control,
+                    "selector.predicted",
+                    obs::SpanId::NONE,
+                    |a| {
+                        a.set("route", label).set("predicted_secs", secs);
+                    },
+                );
+            }
+            if best
+                .as_ref()
+                .map(|b| secs < b.expected_secs)
+                .unwrap_or(true)
+            {
+                best = Some(RouteChoice {
+                    route_idx: idx,
+                    expected_secs: secs,
+                });
             }
         }
-        Ok(best.expect("nonempty routes"))
+        let choice = best.expect("nonempty routes");
+        if sim.telemetry().is_enabled() {
+            let (t, label) = (sim.now_ns(), routes[choice.route_idx].label());
+            let secs = choice.expected_secs;
+            sim.telemetry().event(
+                t,
+                obs::Category::Control,
+                "selector.chosen",
+                obs::SpanId::NONE,
+                |a| {
+                    a.set("route", label).set("predicted_secs", secs);
+                },
+            );
+        }
+        Ok(choice)
     }
 
     /// Predicted seconds for one route.
@@ -160,7 +201,11 @@ impl AdaptiveSelector {
         assert!(n_routes > 0);
         assert!((0.0..=1.0).contains(&epsilon));
         assert!(alpha > 0.0 && alpha <= 1.0);
-        AdaptiveSelector { epsilon, alpha, estimates: vec![None; n_routes] }
+        AdaptiveSelector {
+            epsilon,
+            alpha,
+            estimates: vec![None; n_routes],
+        }
     }
 
     /// Pick the next route to use: unexplored routes first, then ε-greedy.
@@ -238,7 +283,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn stats(mean: f64, sd: f64) -> Stats {
-        Stats { n: 5, mean, std_dev: sd, min: mean, max: mean }
+        Stats {
+            n: 5,
+            mean,
+            std_dev: sd,
+            min: mean,
+            max: mean,
+        }
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub struct GroupedBarChart {
 impl GroupedBarChart {
     /// New chart with a title and a value unit ("s").
     pub fn new(title: &str, unit: &str) -> Self {
-        GroupedBarChart { title: title.to_string(), unit: unit.to_string(), groups: Vec::new() }
+        GroupedBarChart {
+            title: title.to_string(),
+            unit: unit.to_string(),
+            groups: Vec::new(),
+        }
     }
 
     /// Append a group.
@@ -95,15 +99,26 @@ impl GroupedBarChart {
 
 /// Render a series as a unicode sparkline (`▁▂▃▄▅▆▇█`), scaled to the
 /// series' own maximum. Useful for rate-over-time timelines.
+///
+/// Degenerate series are safe: an empty slice renders as an empty string, a
+/// constant or all-zero series as a flat line, and non-finite or negative
+/// samples as the lowest tick — never a panic or a division by zero.
 pub fn sparkline(values: &[f64]) -> String {
     const TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    let max = values.iter().copied().fold(0.0f64, f64::max);
+    let max = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max);
     if max <= 0.0 {
         return TICKS[0].to_string().repeat(values.len());
     }
     values
         .iter()
         .map(|&v| {
+            if !v.is_finite() {
+                return TICKS[if v == f64::INFINITY { 7 } else { 0 }];
+            }
             let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
             TICKS[idx]
         })
@@ -128,20 +143,63 @@ mod tests {
         assert_eq!(sparkline(&[]), "");
     }
 
+    #[test]
+    fn sparkline_constant_series_is_flat() {
+        // Positive constants scale to their own max: a full flat line.
+        assert_eq!(sparkline(&[3.5, 3.5, 3.5]), "███");
+        // Negative constants clamp to the bottom tick.
+        assert_eq!(sparkline(&[-1.0, -1.0]), "▁▁");
+    }
+
+    #[test]
+    fn sparkline_tolerates_non_finite_samples() {
+        let s = sparkline(&[1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 2.0]);
+        assert_eq!(s.chars().count(), 5);
+        assert_eq!(
+            s.chars().nth(1),
+            Some('▁'),
+            "NaN draws the bottom tick: {s}"
+        );
+        assert_eq!(s.chars().nth(2), Some('█'), "+inf draws the top tick: {s}");
+        assert_eq!(
+            s.chars().nth(3),
+            Some('▁'),
+            "-inf draws the bottom tick: {s}"
+        );
+        // An all-NaN series must not divide by zero.
+        assert_eq!(sparkline(&[f64::NAN, f64::NAN]), "▁▁");
+    }
+
     fn chart() -> GroupedBarChart {
         let mut c = GroupedBarChart::new("demo", "s");
         c.group(
             "10MB",
             vec![
-                Bar { label: "Direct".into(), value: 9.0, std_dev: 0.2 },
-                Bar { label: "via UAlberta".into(), value: 4.2, std_dev: 0.1 },
+                Bar {
+                    label: "Direct".into(),
+                    value: 9.0,
+                    std_dev: 0.2,
+                },
+                Bar {
+                    label: "via UAlberta".into(),
+                    value: 4.2,
+                    std_dev: 0.1,
+                },
             ],
         );
         c.group(
             "100MB",
             vec![
-                Bar { label: "Direct".into(), value: 88.0, std_dev: 2.3 },
-                Bar { label: "via UAlberta".into(), value: 38.0, std_dev: 0.8 },
+                Bar {
+                    label: "Direct".into(),
+                    value: 88.0,
+                    std_dev: 2.3,
+                },
+                Bar {
+                    label: "via UAlberta".into(),
+                    value: 38.0,
+                    std_dev: 0.8,
+                },
             ],
         );
         c
@@ -158,7 +216,7 @@ mod tests {
             .max()
             .unwrap();
         assert_eq!(longest, 39); // 88 / 90.3 * 40 ≈ 39
-        // Values and sigmas are printed.
+                                 // Values and sigmas are printed.
         assert!(text.contains("88.00s ±2.30"));
         assert!(text.contains("4.20s ±0.10"));
     }
@@ -176,8 +234,16 @@ mod tests {
         c.group(
             "x",
             vec![
-                Bar { label: "big".into(), value: 1000.0, std_dev: 0.0 },
-                Bar { label: "tiny".into(), value: 0.5, std_dev: 0.0 },
+                Bar {
+                    label: "big".into(),
+                    value: 1000.0,
+                    std_dev: 0.0,
+                },
+                Bar {
+                    label: "tiny".into(),
+                    value: 0.5,
+                    std_dev: 0.0,
+                },
             ],
         );
         let text = c.render(30);

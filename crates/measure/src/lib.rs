@@ -10,12 +10,14 @@
 
 pub mod chart;
 pub mod protocol;
+pub mod report;
 pub mod stats;
 pub mod table;
 pub mod validate;
 
 pub use chart::{Bar, GroupedBarChart};
 pub use protocol::RunProtocol;
+pub use report::{metrics_csv, metrics_table, metrics_text};
 pub use stats::{OverlapVerdict, Stats, WelchT};
 pub use table::Table;
 pub use validate::{pearson, RatioStats};

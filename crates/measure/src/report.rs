@@ -1,0 +1,100 @@
+//! Telemetry report rendering: metrics snapshots as [`Table`]s.
+//!
+//! The `obs` crate produces a flat [`obs::MetricsSnapshot`]; this module
+//! turns it into the same column-aligned text / CSV tables the `repro`
+//! harness uses for the paper's figures, so a run's metrics print alongside
+//! its timing tables with one code path.
+
+use crate::table::Table;
+use obs::MetricsSnapshot;
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v == v.trunc() && v.abs() < 1e15 => format!("{}", v as i64),
+        Some(v) => format!("{v:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Render a metrics snapshot as a [`Table`] (render as text with
+/// [`Table::render`] or CSV with [`Table::to_csv`]).
+pub fn metrics_table(snapshot: &MetricsSnapshot, title: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "metric", "kind", "value", "p50", "p99", "min", "max", "samples",
+        ],
+    );
+    for r in &snapshot.rows {
+        t.row(vec![
+            r.name.clone(),
+            r.kind.to_string(),
+            fmt_opt(Some(r.value)),
+            fmt_opt(r.p50),
+            fmt_opt(r.p99),
+            fmt_opt(r.min),
+            fmt_opt(r.max),
+            format!("{}", r.samples),
+        ]);
+    }
+    t
+}
+
+/// One-call text rendering of a recording's metrics.
+pub fn metrics_text(recording: &obs::Recording, title: &str) -> String {
+    metrics_table(&recording.metrics.snapshot(), title).render()
+}
+
+/// One-call CSV rendering of a recording's metrics.
+pub fn metrics_csv(recording: &obs::Recording) -> String {
+    metrics_table(&recording.metrics.snapshot(), "").to_csv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::MetricsRegistry;
+
+    fn registry() -> MetricsRegistry {
+        let mut m = MetricsRegistry::default();
+        m.counter_add("cloudstore.retries", 3);
+        m.gauge_set("relay.staging_bytes", 1048576.0);
+        m.hist_record("netsim.realloc_wall_ns", 1500);
+        m.hist_record("netsim.realloc_wall_ns", 2500);
+        m
+    }
+
+    #[test]
+    fn table_carries_every_metric() {
+        let t = metrics_table(&registry().snapshot(), "metrics");
+        assert_eq!(t.len(), 3);
+        let text = t.render();
+        assert!(text.contains("cloudstore.retries"), "{text}");
+        assert!(text.contains("histogram"), "{text}");
+        // Counters have no percentiles — rendered as '-'.
+        let counter_line = text
+            .lines()
+            .find(|l| l.contains("cloudstore.retries"))
+            .unwrap();
+        assert!(counter_line.contains('-'), "{counter_line}");
+    }
+
+    #[test]
+    fn csv_is_machine_readable() {
+        let csv = metrics_table(&registry().snapshot(), "").to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "metric,kind,value,p50,p99,min,max,samples"
+        );
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.contains("relay.staging_bytes,gauge,1048576"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_headers_only() {
+        let t = metrics_table(&MetricsRegistry::default().snapshot(), "empty");
+        assert!(t.is_empty());
+        assert!(t.render().contains("metric"));
+    }
+}

@@ -1,10 +1,9 @@
 //! Summary statistics, the paper's overlap analysis, and Welch's t-test.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Mean / standard deviation / extremes of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
     /// Sample size.
     pub n: usize,
@@ -40,7 +39,13 @@ impl Stats {
         };
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Stats { n, mean, std_dev: var.sqrt(), min, max }
+        Stats {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Two-sided 95% confidence interval of the mean, `(lo, hi)`, using the
@@ -92,7 +97,7 @@ impl fmt::Display for Stats {
 }
 
 /// Result of the paper's ±1σ interval comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OverlapVerdict {
     /// Error bars overlap: "we may not choose to rely on any detours in
     /// these types of scenarios" (paper, §III-B).
@@ -102,7 +107,7 @@ pub enum OverlapVerdict {
 }
 
 /// Welch's unequal-variance t-test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WelchT {
     /// The t statistic (sign: positive when `a` has the larger mean).
     pub t: f64,
@@ -117,12 +122,15 @@ impl WelchT {
         let va = a.std_dev.powi(2) / a.n as f64;
         let vb = b.std_dev.powi(2) / b.n as f64;
         let se = (va + vb).sqrt();
-        let t = if se < 1e-12 { 0.0 } else { (a.mean - b.mean) / se };
+        let t = if se < 1e-12 {
+            0.0
+        } else {
+            (a.mean - b.mean) / se
+        };
         let df = if va + vb < 1e-24 {
             (a.n + b.n - 2) as f64
         } else {
-            (va + vb).powi(2)
-                / (va.powi(2) / (a.n as f64 - 1.0) + vb.powi(2) / (b.n as f64 - 1.0))
+            (va + vb).powi(2) / (va.powi(2) / (a.n as f64 - 1.0) + vb.powi(2) / (b.n as f64 - 1.0))
         };
         WelchT { t, df }
     }
@@ -139,9 +147,36 @@ impl WelchT {
 pub fn t_critical_5pct(df: usize) -> f64 {
     const CRIT: [f64; 31] = [
         f64::INFINITY, // df 0: unusable
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
-        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
-        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706,
+        4.303,
+        3.182,
+        2.776,
+        2.571,
+        2.447,
+        2.365,
+        2.306,
+        2.262,
+        2.228,
+        2.201,
+        2.179,
+        2.160,
+        2.145,
+        2.131,
+        2.120,
+        2.110,
+        2.101,
+        2.093,
+        2.086,
+        2.080,
+        2.074,
+        2.069,
+        2.064,
+        2.060,
+        2.056,
+        2.052,
+        2.048,
+        2.045,
+        2.042,
     ];
     if df >= CRIT.len() {
         1.96
@@ -182,8 +217,20 @@ mod tests {
     fn relative_to_matches_paper_table2() {
         // Paper Table II, 10 MB row: direct 9.46 s, via UAlberta 6.47 s
         // -> -31.52%.
-        let direct = Stats { n: 5, mean: 9.46, std_dev: 0.0, min: 9.46, max: 9.46 };
-        let detour = Stats { n: 5, mean: 6.47, std_dev: 0.0, min: 6.47, max: 6.47 };
+        let direct = Stats {
+            n: 5,
+            mean: 9.46,
+            std_dev: 0.0,
+            min: 9.46,
+            max: 9.46,
+        };
+        let detour = Stats {
+            n: 5,
+            mean: 6.47,
+            std_dev: 0.0,
+            min: 6.47,
+            max: 6.47,
+        };
         let rel = detour.relative_to(&direct);
         assert!((rel - -31.607).abs() < 0.2, "rel {rel}");
     }
@@ -193,21 +240,57 @@ mod tests {
         // Paper §III-B worked example: Dropbox 100 MB from Purdue.
         // Direct 177.89 ± 36.03, via UAlberta 237.78 ± 56.1: intervals
         // [141.86, 213.92] and [181.68, 293.88] overlap.
-        let direct = Stats { n: 5, mean: 177.89, std_dev: 36.03, min: 0.0, max: 0.0 };
-        let ua = Stats { n: 5, mean: 237.78, std_dev: 56.1, min: 0.0, max: 0.0 };
+        let direct = Stats {
+            n: 5,
+            mean: 177.89,
+            std_dev: 36.03,
+            min: 0.0,
+            max: 0.0,
+        };
+        let ua = Stats {
+            n: 5,
+            mean: 237.78,
+            std_dev: 56.1,
+            min: 0.0,
+            max: 0.0,
+        };
         assert_eq!(direct.overlap_1sigma(&ua), OverlapVerdict::Overlapping);
 
         // Clearly separated case: Purdue->Drive direct 748.03 vs detour
         // 195.88 (Table III) with modest spreads.
-        let slow = Stats { n: 5, mean: 748.03, std_dev: 60.0, min: 0.0, max: 0.0 };
-        let fast = Stats { n: 5, mean: 195.88, std_dev: 30.0, min: 0.0, max: 0.0 };
+        let slow = Stats {
+            n: 5,
+            mean: 748.03,
+            std_dev: 60.0,
+            min: 0.0,
+            max: 0.0,
+        };
+        let fast = Stats {
+            n: 5,
+            mean: 195.88,
+            std_dev: 30.0,
+            min: 0.0,
+            max: 0.0,
+        };
         assert_eq!(slow.overlap_1sigma(&fast), OverlapVerdict::Separated);
     }
 
     #[test]
     fn overlap_is_symmetric() {
-        let a = Stats { n: 5, mean: 10.0, std_dev: 2.0, min: 0.0, max: 0.0 };
-        let b = Stats { n: 5, mean: 13.0, std_dev: 2.0, min: 0.0, max: 0.0 };
+        let a = Stats {
+            n: 5,
+            mean: 10.0,
+            std_dev: 2.0,
+            min: 0.0,
+            max: 0.0,
+        };
+        let b = Stats {
+            n: 5,
+            mean: 13.0,
+            std_dev: 2.0,
+            min: 0.0,
+            max: 0.0,
+        };
         assert_eq!(a.overlap_1sigma(&b), b.overlap_1sigma(&a));
     }
 
@@ -240,15 +323,33 @@ mod tests {
     #[test]
     fn ci95_behaviour() {
         // n=5, σ=1: half-width = 2.776 / sqrt(5) ≈ 1.2415.
-        let s = Stats { n: 5, mean: 10.0, std_dev: 1.0, min: 0.0, max: 0.0 };
+        let s = Stats {
+            n: 5,
+            mean: 10.0,
+            std_dev: 1.0,
+            min: 0.0,
+            max: 0.0,
+        };
         let (lo, hi) = s.ci95();
         assert!((hi - 10.0 - 2.776 / 5.0f64.sqrt()).abs() < 1e-9);
         assert!((10.0 - lo - 2.776 / 5.0f64.sqrt()).abs() < 1e-9);
         // Degenerate cases.
-        let one = Stats { n: 1, mean: 7.0, std_dev: 0.0, min: 7.0, max: 7.0 };
+        let one = Stats {
+            n: 1,
+            mean: 7.0,
+            std_dev: 0.0,
+            min: 7.0,
+            max: 7.0,
+        };
         assert_eq!(one.ci95(), (7.0, 7.0));
         // More samples shrink the interval.
-        let s50 = Stats { n: 50, mean: 10.0, std_dev: 1.0, min: 0.0, max: 0.0 };
+        let s50 = Stats {
+            n: 50,
+            mean: 10.0,
+            std_dev: 1.0,
+            min: 0.0,
+            max: 0.0,
+        };
         assert!(s50.ci95().1 - s50.ci95().0 < hi - lo);
     }
 
@@ -261,15 +362,33 @@ mod tests {
 
     #[test]
     fn cv() {
-        let s = Stats { n: 5, mean: 100.0, std_dev: 10.0, min: 0.0, max: 0.0 };
+        let s = Stats {
+            n: 5,
+            mean: 100.0,
+            std_dev: 10.0,
+            min: 0.0,
+            max: 0.0,
+        };
         assert!((s.cv() - 0.1).abs() < 1e-12);
-        let z = Stats { n: 5, mean: 0.0, std_dev: 10.0, min: 0.0, max: 0.0 };
+        let z = Stats {
+            n: 5,
+            mean: 0.0,
+            std_dev: 10.0,
+            min: 0.0,
+            max: 0.0,
+        };
         assert_eq!(z.cv(), 0.0);
     }
 
     #[test]
     fn display() {
-        let s = Stats { n: 5, mean: 177.89, std_dev: 36.03, min: 0.0, max: 0.0 };
+        let s = Stats {
+            n: 5,
+            mean: 177.89,
+            std_dev: 36.03,
+            min: 0.0,
+            max: 0.0,
+        };
         assert_eq!(s.to_string(), "177.89 ± 36.03 (n=5)");
     }
 }

@@ -49,7 +49,12 @@ impl Table {
         match baseline {
             Some(b) => {
                 let rel = stats.relative_to(b);
-                format!("{:.2} [{}{:.2}%]", stats.mean, if rel >= 0.0 { "+" } else { "" }, rel)
+                format!(
+                    "{:.2} [{}{:.2}%]",
+                    stats.mean,
+                    if rel >= 0.0 { "+" } else { "" },
+                    rel
+                )
             }
             None => format!("{:.2}", stats.mean),
         }
@@ -106,9 +111,21 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -119,7 +136,13 @@ mod tests {
     use super::*;
 
     fn stats(mean: f64, sd: f64) -> Stats {
-        Stats { n: 5, mean, std_dev: sd, min: mean, max: mean }
+        Stats {
+            n: 5,
+            mean,
+            std_dev: sd,
+            min: mean,
+            max: mean,
+        }
     }
 
     #[test]
@@ -138,7 +161,10 @@ mod tests {
 
     #[test]
     fn mean_std_cell() {
-        assert_eq!(Table::mean_std_cell(&stats(177.89, 36.03)), "177.89 ± 36.03");
+        assert_eq!(
+            Table::mean_std_cell(&stats(177.89, 36.03)),
+            "177.89 ± 36.03"
+        );
     }
 
     #[test]
@@ -150,7 +176,7 @@ mod tests {
         assert!(text.contains("== demo =="));
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 5); // title, header, sep, 2 rows
-        // Columns align: "direct" starts at the same offset on every line.
+                                    // Columns align: "direct" starts at the same offset on every line.
         let off = lines[1].find("direct").unwrap();
         assert_eq!(lines[3].find("9.46").unwrap(), off);
     }

@@ -8,8 +8,6 @@
 //!   error), which are the right error measure for quantities spanning an
 //!   order of magnitude.
 
-use serde::{Deserialize, Serialize};
-
 /// Pearson correlation coefficient of two equal-length series.
 ///
 /// Returns `None` for degenerate inputs (length < 2 or zero variance).
@@ -36,7 +34,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 }
 
 /// Multiplicative-error summary of `reproduced` against `reference`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RatioStats {
     /// Geometric mean of reproduced/reference (1.0 = unbiased).
     pub geo_mean_ratio: f64,

@@ -16,10 +16,9 @@ use crate::time::SimTime;
 use crate::topology::NodeId;
 use crate::units::MB;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one background generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BackgroundProfile {
     /// Source of the cross traffic.
     pub src: NodeId,
@@ -69,7 +68,9 @@ impl BackgroundProfile {
     pub fn scaled(mut self, k: f64) -> Self {
         assert!(k >= 0.0 && k.is_finite());
         self.calm_flows = ((self.calm_flows as f64) * k).round() as u32;
-        self.busy_flows = ((self.busy_flows as f64) * k).round().max(self.calm_flows as f64) as u32;
+        self.busy_flows = ((self.busy_flows as f64) * k)
+            .round()
+            .max(self.calm_flows as f64) as u32;
         self
     }
 }
@@ -86,7 +87,11 @@ pub struct BackgroundTraffic {
 impl BackgroundTraffic {
     /// Build from a profile.
     pub fn new(profile: BackgroundProfile) -> Self {
-        BackgroundTraffic { profile, busy: false, in_flight: 0 }
+        BackgroundTraffic {
+            profile,
+            busy: false,
+            in_flight: 0,
+        }
     }
 
     fn target(&self) -> u32 {
@@ -98,7 +103,11 @@ impl BackgroundTraffic {
     }
 
     fn sample_dwell(&self, ctx: &mut Ctx<'_>) -> SimTime {
-        let mean = if self.busy { self.profile.busy_dwell } else { self.profile.calm_dwell };
+        let mean = if self.busy {
+            self.profile.busy_dwell
+        } else {
+            self.profile.calm_dwell
+        };
         // Exponential via inverse CDF.
         let u: f64 = ctx.rng().gen_range(1e-9..1.0);
         mean.mul_f64(-u.ln())
@@ -120,8 +129,13 @@ impl BackgroundTraffic {
     fn refill(&mut self, ctx: &mut Ctx<'_>) {
         while self.in_flight < self.target() {
             let bytes = self.sample_size(ctx);
-            let spec = FlowSpec::new(self.profile.src, self.profile.dst, bytes, FlowClass::Background)
-                .reuse_connection();
+            let spec = FlowSpec::new(
+                self.profile.src,
+                self.profile.dst,
+                bytes,
+                FlowClass::Background,
+            )
+            .reuse_connection();
             match ctx.start_flow(spec) {
                 Ok(_) => self.in_flight += 1,
                 Err(_) => break, // mis-scenario'd generator: stay silent
@@ -195,8 +209,13 @@ mod tests {
             .unwrap()
             .elapsed;
         let mut sim = Sim::new(t, 1);
-        sim.spawn_detached(Box::new(BackgroundTraffic::new(BackgroundProfile::heavy(bs, bd))));
-        let contended = sim.run_transfer(TransferRequest::new(a, c, 50 * MB)).unwrap().elapsed;
+        sim.spawn_detached(Box::new(BackgroundTraffic::new(BackgroundProfile::heavy(
+            bs, bd,
+        ))));
+        let contended = sim
+            .run_transfer(TransferRequest::new(a, c, 50 * MB))
+            .unwrap()
+            .elapsed;
         assert!(
             contended > clean.mul_f64(1.3),
             "background had no effect: clean {clean}, contended {contended}"
@@ -209,11 +228,20 @@ mod tests {
         let mut times = Vec::new();
         for seed in 0..5 {
             let mut sim = Sim::new(t.clone(), seed);
-            sim.spawn_detached(Box::new(BackgroundTraffic::new(BackgroundProfile::heavy(bs, bd))));
-            times.push(sim.run_transfer(TransferRequest::new(a, c, 30 * MB)).unwrap().elapsed);
+            sim.spawn_detached(Box::new(BackgroundTraffic::new(BackgroundProfile::heavy(
+                bs, bd,
+            ))));
+            times.push(
+                sim.run_transfer(TransferRequest::new(a, c, 30 * MB))
+                    .unwrap()
+                    .elapsed,
+            );
         }
         let distinct: std::collections::HashSet<_> = times.iter().map(|t| t.as_nanos()).collect();
-        assert!(distinct.len() >= 3, "times suspiciously identical: {times:?}");
+        assert!(
+            distinct.len() >= 3,
+            "times suspiciously identical: {times:?}"
+        );
     }
 
     #[test]
@@ -221,8 +249,12 @@ mod tests {
         let (t, a, c, bs, bd) = contended();
         let run = |seed| {
             let mut sim = Sim::new(t.clone(), seed);
-            sim.spawn_detached(Box::new(BackgroundTraffic::new(BackgroundProfile::moderate(bs, bd))));
-            sim.run_transfer(TransferRequest::new(a, c, 30 * MB)).unwrap().elapsed
+            sim.spawn_detached(Box::new(BackgroundTraffic::new(
+                BackgroundProfile::moderate(bs, bd),
+            )));
+            sim.run_transfer(TransferRequest::new(a, c, 30 * MB))
+                .unwrap()
+                .elapsed
         };
         assert_eq!(run(42), run(42));
     }

@@ -18,6 +18,7 @@ use crate::tcp::TcpParams;
 use crate::time::SimTime;
 use crate::topology::{NodeId, Topology};
 use crate::units::Bandwidth;
+use obs::{Category, SpanId, Telemetry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -142,13 +143,26 @@ pub trait Process {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
-    Activate { flow: u64 },
-    Drained { flow: u64, gen: u64 },
-    Delivered { flow: u64 },
-    Timer { pid: u32, tag: u64 },
+    Activate {
+        flow: u64,
+    },
+    Drained {
+        flow: u64,
+        gen: u64,
+    },
+    Delivered {
+        flow: u64,
+    },
+    Timer {
+        pid: u32,
+        tag: u64,
+    },
     /// Scheduled change of a link's effective capacity (bytes/sec) — a
     /// "dynamic bottleneck" appearing or clearing mid-simulation.
-    SetLinkCap { link: u32, bytes_per_sec: f64 },
+    SetLinkCap {
+        link: u32,
+        bytes_per_sec: f64,
+    },
 }
 
 // EventKind carries an f64 (never NaN), so Eq is implemented manually for
@@ -193,6 +207,9 @@ struct ActiveFlow {
     active: bool,
     /// Fairness weight (see [`FlowSpec::with_weight`]).
     weight: f64,
+    /// Telemetry span covering this flow's lifetime ([`SpanId::NONE`] when
+    /// telemetry is disabled).
+    span: SpanId,
 }
 
 /// Counters maintained by the engine.
@@ -240,6 +257,9 @@ pub struct Core {
     rng: SmallRng,
     stats: SimStats,
     event_budget: u64,
+    /// Telemetry sink shared by every layer of the simulation. Disabled by
+    /// default: each instrumentation call is then one branch and returns.
+    tele: Telemetry,
 }
 
 impl Core {
@@ -269,6 +289,18 @@ impl Core {
         &mut self.rng
     }
 
+    /// The telemetry sink. Callers stamp records with [`Core::now`] in
+    /// nanoseconds; the sink is a no-op unless [`Sim::enable_telemetry`]
+    /// was called.
+    pub fn telemetry(&mut self) -> &mut Telemetry {
+        &mut self.tele
+    }
+
+    /// Current simulated time in nanoseconds (telemetry timestamp).
+    pub fn now_ns(&self) -> u64 {
+        self.now.as_nanos()
+    }
+
     /// Resolve the node path a flow from `src` to `dst` would take.
     pub fn resolve_path(&mut self, src: NodeId, dst: NodeId) -> NetResult<Vec<NodeId>> {
         self.routing.path(&self.topo, src, dst)
@@ -287,7 +319,12 @@ impl Core {
     /// estimate. Uses *nominal* capacities — per-run capacity jitter is
     /// deliberately invisible here, as it would be to a real probe's
     /// long-run average.
-    pub fn idle_path_rate(&mut self, src: NodeId, dst: NodeId, class: FlowClass) -> NetResult<Bandwidth> {
+    pub fn idle_path_rate(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: FlowClass,
+    ) -> NetResult<Bandwidth> {
         let path = self.resolve_path(src, dst)?;
         let links = self.topo.links_on_path(&path)?;
         let mut rate = self.topo.path_capacity(&links);
@@ -308,7 +345,12 @@ impl Core {
     /// binding constraint behind [`Core::idle_path_rate`]. This is the
     /// automated version of the paper's manual traceroute-and-speculate
     /// diagnosis.
-    pub fn bottleneck(&mut self, src: NodeId, dst: NodeId, class: FlowClass) -> NetResult<Bottleneck> {
+    pub fn bottleneck(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: FlowClass,
+    ) -> NetResult<Bottleneck> {
         let path = self.resolve_path(src, dst)?;
         let links = self.topo.links_on_path(&path)?;
         // Narrowest link.
@@ -329,7 +371,9 @@ impl Core {
                 let r = p.rate.bytes_per_sec();
                 if r < best_rate {
                     best_rate = r;
-                    cause = BottleneckCause::Policer { name: p.name.clone() };
+                    cause = BottleneckCause::Policer {
+                        name: p.name.clone(),
+                    };
                 }
             }
         }
@@ -341,7 +385,10 @@ impl Core {
                 cause = BottleneckCause::TcpCeiling { rtt, loss };
             }
         }
-        Ok(Bottleneck { rate: Bandwidth::from_bytes_per_sec(best_rate), cause })
+        Ok(Bottleneck {
+            rate: Bandwidth::from_bytes_per_sec(best_rate),
+            cause,
+        })
     }
 
     fn start_flow_inner(&mut self, owner: Option<ProcessId>, spec: FlowSpec) -> NetResult<FlowId> {
@@ -361,7 +408,10 @@ impl Core {
         for fw in &self.firewalls {
             for &l in &links {
                 if fw.blocks(l, spec.class) {
-                    return Err(NetError::Blocked { at: self.topo.link(l).from, reason: "firewall" });
+                    return Err(NetError::Blocked {
+                        at: self.topo.link(l).from,
+                        reason: "firewall",
+                    });
                 }
             }
         }
@@ -374,9 +424,7 @@ impl Core {
             if matched {
                 match p.scope {
                     PolicerScope::PerFlow => cap = cap.min(p.rate.bytes_per_sec()),
-                    PolicerScope::Aggregate => {
-                        resources.push((self.topo.links().len() + i) as u32)
-                    }
+                    PolicerScope::Aggregate => resources.push((self.topo.links().len() + i) as u32),
                 }
             }
         }
@@ -394,7 +442,11 @@ impl Core {
             let equilibrium = self
                 .topo
                 .path_capacity(&links)
-                .min(Bandwidth::from_bytes_per_sec(if cap.is_finite() { cap } else { 1e18 }));
+                .min(Bandwidth::from_bytes_per_sec(if cap.is_finite() {
+                    cap
+                } else {
+                    1e18
+                }));
             self.tcp.slow_start_delay(rtt, equilibrium)
         } else {
             SimTime::ZERO
@@ -403,18 +455,39 @@ impl Core {
         let id = self.next_flow;
         self.next_flow += 1;
         self.stats.flows_started += 1;
+        let topo = &self.topo;
+        let (src, dst, class) = (spec.src, spec.dst, spec.class);
+        let span = self.tele.span_begin_with(
+            self.now.as_nanos(),
+            Category::Flow,
+            "flow",
+            spec.parent_span,
+            |a| {
+                a.set("flow", id)
+                    .set("src", topo.node(src).name.as_str())
+                    .set("dst", topo.node(dst).name.as_str())
+                    .set("bytes", spec.bytes)
+                    .set("class", class.label());
+            },
+        );
+        self.tele.counter_add("netsim.flows_started", 1);
         let flow = ActiveFlow {
             id,
             owner,
             class: spec.class,
             resources,
-            progress: FlowProgress { remaining: spec.bytes as f64, rate: 0.0, started: self.now },
+            progress: FlowProgress {
+                remaining: spec.bytes as f64,
+                rate: 0.0,
+                started: self.now,
+            },
             gen: 0,
             total_bytes: spec.bytes,
             path_delay: one_way,
             started_at: self.now,
             active: false,
             weight: spec.weight,
+            span,
         };
         self.flows.insert(id, flow);
         self.flow_caps.insert(id, cap);
@@ -429,7 +502,12 @@ impl Core {
         capacities.extend_from_slice(&self.link_caps);
         capacities.extend(self.policers.iter().map(|p| p.rate.bytes_per_sec()));
 
-        let mut ids: Vec<u64> = self.flows.values().filter(|f| f.active).map(|f| f.id).collect();
+        let mut ids: Vec<u64> = self
+            .flows
+            .values()
+            .filter(|f| f.active)
+            .map(|f| f.id)
+            .collect();
         ids.sort_unstable(); // determinism: HashMap iteration order is not stable
         let entries: Vec<AllocEntry> = ids
             .iter()
@@ -442,19 +520,55 @@ impl Core {
                 }
             })
             .collect();
+        // Allocator latency is wall-clock and goes to the metrics registry
+        // only — never into the span/event stream, which must stay a pure
+        // function of the scenario and seed.
+        let t0 = self.tele.is_enabled().then(std::time::Instant::now);
         let rates = max_min_allocate(&capacities, &entries);
+        if let Some(t0) = t0 {
+            self.tele
+                .hist_record("netsim.realloc_wall_ns", t0.elapsed().as_nanos() as u64);
+            self.tele.counter_add("netsim.reallocations", 1);
+            self.tele.gauge_set("netsim.active_flows", ids.len() as f64);
+        }
         let now = self.now;
-        for (id, rate) in ids.iter().zip(rates) {
+        let now_ns = now.as_nanos();
+        for (id, rate) in ids.iter().zip(&rates) {
+            let rate = *rate;
             let f = self.flows.get_mut(id).expect("flow exists");
             let changed = (f.progress.rate - rate).abs() > 1e-9;
+            let span = f.span;
             f.progress.rate = rate;
             f.gen += 1;
             if let Some(finish) = f.progress.projected_finish(now) {
                 let (fid, gen) = (f.id, f.gen);
                 self.push(finish, EventKind::Drained { flow: fid, gen });
             }
+            if changed {
+                self.tele
+                    .event(now_ns, Category::Flow, "flow.rate", span, |a| {
+                        a.set("bytes_per_sec", rate);
+                    });
+            }
             if self.tracing && changed {
                 self.traces.entry(*id).or_default().push((now, rate));
+            }
+        }
+        // Per-link utilization samples: share of each crossed link's
+        // capacity consumed by the new allocation.
+        if self.tele.is_enabled() {
+            let mut used = vec![0.0f64; capacities.len()];
+            for (entry, rate) in entries.iter().zip(&rates) {
+                for &r in &entry.resources {
+                    used[r as usize] += rate;
+                }
+            }
+            for (u, cap) in used.iter().zip(&capacities).take(n_links) {
+                if *u > 0.0 && *cap > 0.0 {
+                    let pct = (u / cap * 100.0).clamp(0.0, 100.0);
+                    self.tele
+                        .hist_record("netsim.link_utilization_pct", pct.round() as u64);
+                }
             }
         }
     }
@@ -526,7 +640,13 @@ impl<'a> Ctx<'a> {
     /// Set a timer; fires as [`Event::Timer`] with the given tag.
     pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
         let t = self.core.now + delay;
-        self.core.push(t, EventKind::Timer { pid: self.pid.0, tag });
+        self.core.push(
+            t,
+            EventKind::Timer {
+                pid: self.pid.0,
+                tag,
+            },
+        );
     }
 
     /// Spawn a child process; its completion arrives as [`Event::ChildDone`].
@@ -548,10 +668,25 @@ impl<'a> Ctx<'a> {
     pub fn cancel_flow(&mut self, id: FlowId) {
         if let Some(f) = self.core.flows.remove(&id.0) {
             self.core.flow_caps.remove(&id.0);
+            let now_ns = self.core.now.as_nanos();
+            self.core
+                .tele
+                .event(now_ns, Category::Flow, "flow.cancelled", f.span, |_| {});
+            self.core.tele.span_end(now_ns, f.span);
             if f.active {
                 self.core.reallocate();
             }
         }
+    }
+
+    /// The telemetry sink (see [`Core::telemetry`]).
+    pub fn telemetry(&mut self) -> &mut Telemetry {
+        self.core.telemetry()
+    }
+
+    /// Current simulated time in nanoseconds (telemetry timestamp).
+    pub fn now_ns(&self) -> u64 {
+        self.core.now.as_nanos()
     }
 
     /// Resolve the routed path between two nodes (diagnostics).
@@ -678,12 +813,16 @@ pub struct TransferRequest {
 impl TransferRequest {
     /// A transfer with default class [`FlowClass::Commodity`].
     pub fn new(src: NodeId, dst: NodeId, bytes: u64) -> Self {
-        TransferRequest { spec: FlowSpec::new(src, dst, bytes, FlowClass::Commodity) }
+        TransferRequest {
+            spec: FlowSpec::new(src, dst, bytes, FlowClass::Commodity),
+        }
     }
 
     /// A transfer with an explicit class.
     pub fn with_class(src: NodeId, dst: NodeId, bytes: u64, class: FlowClass) -> Self {
-        TransferRequest { spec: FlowSpec::new(src, dst, bytes, class) }
+        TransferRequest {
+            spec: FlowSpec::new(src, dst, bytes, class),
+        }
     }
 }
 
@@ -732,8 +871,11 @@ impl Process for OneShotTransfer {
 impl Sim {
     /// Build a simulator over a topology with a deterministic seed.
     pub fn new(topo: Topology, seed: u64) -> Self {
-        let link_caps: Vec<f64> =
-            topo.links().iter().map(|l| l.capacity.bytes_per_sec()).collect();
+        let link_caps: Vec<f64> = topo
+            .links()
+            .iter()
+            .map(|l| l.capacity.bytes_per_sec())
+            .collect();
         Sim {
             core: Core {
                 link_caps,
@@ -754,6 +896,7 @@ impl Sim {
                 rng: SmallRng::seed_from_u64(seed),
                 stats: SimStats::default(),
                 event_budget: 50_000_000,
+                tele: Telemetry::disabled(),
             },
             processes: Vec::new(),
             root_result: None,
@@ -772,7 +915,10 @@ impl Sim {
     /// (the paper's error bars never vanish). Call once, right after
     /// construction.
     pub fn set_capacity_jitter(&mut self, frac: f64) {
-        assert!((0.0..1.0).contains(&frac), "jitter fraction out of range: {frac}");
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "jitter fraction out of range: {frac}"
+        );
         use rand::Rng;
         self.core.jitter = frac;
         for (cap, link) in self.core.link_caps.iter_mut().zip(self.core.topo.links()) {
@@ -815,10 +961,33 @@ impl Sim {
     }
 
     /// The recorded rate timeline of a flow: `(time, bytes/sec)` change
-    /// points, ending with a 0.0 entry when the flow drained. Empty unless
+    /// points, ending with a 0.0 entry when the flow drained. `None` unless
     /// [`Sim::enable_flow_tracing`] was called before the flow ran.
-    pub fn flow_trace(&self, flow: FlowId) -> FlowTrace {
-        FlowTrace { points: self.core.traces.get(&flow.0).cloned().unwrap_or_default() }
+    pub fn flow_trace(&self, flow: FlowId) -> Option<FlowTrace> {
+        if !self.core.tracing {
+            return None;
+        }
+        Some(FlowTrace {
+            points: self.core.traces.get(&flow.0).cloned().unwrap_or_default(),
+        })
+    }
+
+    /// Turn on span/event/metric recording for the rest of the run. All
+    /// timestamps are simulated time, so the recording is deterministic for
+    /// a fixed topology and seed.
+    pub fn enable_telemetry(&mut self) {
+        self.core.tele = Telemetry::enabled();
+    }
+
+    /// The telemetry sink (for layers that record between process events).
+    pub fn telemetry(&mut self) -> &mut Telemetry {
+        self.core.telemetry()
+    }
+
+    /// Take the finished recording; `None` when telemetry was never
+    /// enabled. Leaves the sink disabled.
+    pub fn take_telemetry(&mut self) -> Option<obs::Recording> {
+        self.core.tele.take()
     }
 
     /// Schedule a link-capacity change at a future simulated time: a
@@ -832,10 +1001,16 @@ impl Sim {
         at: SimTime,
         capacity: Bandwidth,
     ) {
-        assert!((link.0 as usize) < self.core.topo.links().len(), "unknown link {link}");
+        assert!(
+            (link.0 as usize) < self.core.topo.links().len(),
+            "unknown link {link}"
+        );
         self.core.push(
             at,
-            EventKind::SetLinkCap { link: link.0, bytes_per_sec: capacity.bytes_per_sec() },
+            EventKind::SetLinkCap {
+                link: link.0,
+                bytes_per_sec: capacity.bytes_per_sec(),
+            },
         );
     }
 
@@ -849,6 +1024,11 @@ impl Sim {
         self.core.now
     }
 
+    /// Current simulated time in nanoseconds (telemetry timestamp unit).
+    pub fn now_ns(&self) -> u64 {
+        self.core.now.as_nanos()
+    }
+
     /// Engine counters.
     pub fn stats(&self) -> SimStats {
         self.core.stats
@@ -858,7 +1038,11 @@ impl Sim {
     /// background traffic generators that run for the whole simulation.
     pub fn spawn_detached(&mut self, p: Box<dyn Process>) -> ProcessId {
         let pid = ProcessId(self.processes.len() as u32);
-        self.processes.push(ProcSlot { proc_: Some(p), parent: None, alive: true });
+        self.processes.push(ProcSlot {
+            proc_: Some(p),
+            parent: None,
+            alive: true,
+        });
         self.deliver(pid, Event::Started);
         pid
     }
@@ -866,7 +1050,11 @@ impl Sim {
     /// Run a root process to completion and return its result.
     pub fn run_process(&mut self, p: Box<dyn Process>) -> NetResult<Value> {
         let root = ProcessId(self.processes.len() as u32);
-        self.processes.push(ProcSlot { proc_: Some(p), parent: None, alive: true });
+        self.processes.push(ProcSlot {
+            proc_: Some(p),
+            parent: None,
+            alive: true,
+        });
         self.root_result = None;
         self.deliver_root(root, Event::Started);
         if let Some(v) = self.root_result.take() {
@@ -891,7 +1079,10 @@ impl Sim {
     /// Convenience: run a single bulk transfer and report its timing.
     pub fn run_transfer(&mut self, req: TransferRequest) -> NetResult<TransferReport> {
         let bytes = req.spec.bytes;
-        let v = self.run_process(Box::new(OneShotTransfer { spec: Some(req.spec), started: SimTime::ZERO }))?;
+        let v = self.run_process(Box::new(OneShotTransfer {
+            spec: Some(req.spec),
+            started: SimTime::ZERO,
+        }))?;
         match v {
             Value::Time(t) => Ok(TransferReport { bytes, elapsed: t }),
             Value::Error(e) => Err(e),
@@ -923,7 +1114,8 @@ impl Sim {
                         self.core.traces.entry(flow).or_default().push((now, 0.0));
                     }
                     self.core.reallocate();
-                    self.core.push(self.core.now + delay, EventKind::Delivered { flow });
+                    self.core
+                        .push(self.core.now + delay, EventKind::Delivered { flow });
                 }
             }
             EventKind::Delivered { flow } => {
@@ -931,6 +1123,11 @@ impl Sim {
                     self.core.flow_caps.remove(&flow);
                     self.core.stats.flows_completed += 1;
                     self.core.stats.bytes_delivered += f.total_bytes;
+                    let now_ns = self.core.now.as_nanos();
+                    self.core.tele.span_end(now_ns, f.span);
+                    self.core
+                        .tele
+                        .counter_add("netsim.bytes_delivered", f.total_bytes);
                     if let Some(owner) = f.owner {
                         let ev = Event::FlowCompleted {
                             flow: FlowId(flow),
@@ -944,8 +1141,17 @@ impl Sim {
             EventKind::Timer { pid, tag } => {
                 self.deliver_root_aware(ProcessId(pid), Event::Timer { tag }, root);
             }
-            EventKind::SetLinkCap { link, bytes_per_sec } => {
+            EventKind::SetLinkCap {
+                link,
+                bytes_per_sec,
+            } => {
                 self.core.link_caps[link as usize] = bytes_per_sec;
+                let now_ns = self.core.now.as_nanos();
+                self.core
+                    .tele
+                    .event(now_ns, Category::Flow, "link.capacity", SpanId::NONE, |a| {
+                        a.set("link", link).set("bytes_per_sec", bytes_per_sec);
+                    });
                 self.core.reallocate();
             }
         }
@@ -990,7 +1196,11 @@ impl Sim {
         }
         // Reserve slots for spawned children before re-inserting.
         while self.processes.len() < next_pid as usize {
-            self.processes.push(ProcSlot { proc_: None, parent: None, alive: false });
+            self.processes.push(ProcSlot {
+                proc_: None,
+                parent: None,
+                alive: false,
+            });
         }
         let finished = effects.finished.take();
         if finished.is_none() {
@@ -1005,7 +1215,11 @@ impl Sim {
         let mut bubbled: Option<(ProcessId, Value)> = None;
         for (cpid, parent, child) in effects.spawned {
             let cidx = cpid.0 as usize;
-            self.processes[cidx] = ProcSlot { proc_: Some(child), parent, alive: true };
+            self.processes[cidx] = ProcSlot {
+                proc_: Some(child),
+                parent,
+                alive: true,
+            };
             if let Some(r) = self.deliver(cpid, Event::Started) {
                 bubbled.get_or_insert(r);
             }
@@ -1013,7 +1227,13 @@ impl Sim {
         if let Some(v) = finished {
             match self.processes[idx].parent {
                 Some(pp) => {
-                    if let Some(r) = self.deliver(pp, Event::ChildDone { child: pid, value: v }) {
+                    if let Some(r) = self.deliver(
+                        pp,
+                        Event::ChildDone {
+                            child: pid,
+                            value: v,
+                        },
+                    ) {
                         bubbled.get_or_insert(r);
                     }
                 }
@@ -1037,7 +1257,11 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let a = b.host("a", GeoPoint::new(49.0, -123.0));
         let c = b.host("c", GeoPoint::new(37.0, -122.0));
-        b.duplex(a, c, LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(10)));
+        b.duplex(
+            a,
+            c,
+            LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(10)),
+        );
         (b.build(), a, c)
     }
 
@@ -1045,7 +1269,9 @@ mod tests {
     fn single_transfer_time_close_to_ideal() {
         let (t, a, c) = line_topo(80.0); // 10 MB/s
         let mut sim = Sim::new(t, 1);
-        let rep = sim.run_transfer(TransferRequest::new(a, c, 10 * MB)).unwrap();
+        let rep = sim
+            .run_transfer(TransferRequest::new(a, c, 10 * MB))
+            .unwrap();
         // Ideal fluid time is 1 s; slow start + propagation add a little.
         let s = rep.elapsed.as_secs_f64();
         assert!((1.0..1.5).contains(&s), "elapsed {s}");
@@ -1055,8 +1281,12 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let (t, a, c) = line_topo(8.0);
-        let r1 = Sim::new(t.clone(), 7).run_transfer(TransferRequest::new(a, c, MB)).unwrap();
-        let r2 = Sim::new(t, 7).run_transfer(TransferRequest::new(a, c, MB)).unwrap();
+        let r1 = Sim::new(t.clone(), 7)
+            .run_transfer(TransferRequest::new(a, c, MB))
+            .unwrap();
+        let r2 = Sim::new(t, 7)
+            .run_transfer(TransferRequest::new(a, c, MB))
+            .unwrap();
         assert_eq!(r1.elapsed, r2.elapsed);
     }
 
@@ -1064,7 +1294,9 @@ mod tests {
     fn zero_byte_transfer_rejected() {
         let (t, a, c) = line_topo(8.0);
         let mut sim = Sim::new(t, 1);
-        let err = sim.core().start_flow_inner(None, FlowSpec::new(a, c, 0, FlowClass::Commodity));
+        let err = sim
+            .core()
+            .start_flow_inner(None, FlowSpec::new(a, c, 0, FlowClass::Commodity));
         assert_eq!(err.unwrap_err(), NetError::EmptyTransfer);
     }
 
@@ -1079,14 +1311,31 @@ mod tests {
             Bandwidth::from_mbps(8.0), // 1 MB/s
         ));
         let rep = sim
-            .run_transfer(TransferRequest::with_class(a, c, 10 * MB, FlowClass::PlanetLab))
+            .run_transfer(TransferRequest::with_class(
+                a,
+                c,
+                10 * MB,
+                FlowClass::PlanetLab,
+            ))
             .unwrap();
         let s = rep.elapsed.as_secs_f64();
         assert!(s > 9.5, "policed transfer took only {s}s");
         // An unmatched class is unaffected.
         let mut sim2 = Sim::new(line_topo(80.0).0, 1);
-        sim2.add_policer(Policer::per_flow("police", LinkId(0), FlowClass::PlanetLab, Bandwidth::from_mbps(8.0)));
-        let rep2 = sim2.run_transfer(TransferRequest::with_class(NodeId(0), NodeId(1), 10 * MB, FlowClass::Research)).unwrap();
+        sim2.add_policer(Policer::per_flow(
+            "police",
+            LinkId(0),
+            FlowClass::PlanetLab,
+            Bandwidth::from_mbps(8.0),
+        ));
+        let rep2 = sim2
+            .run_transfer(TransferRequest::with_class(
+                NodeId(0),
+                NodeId(1),
+                10 * MB,
+                FlowClass::Research,
+            ))
+            .unwrap();
         assert!(rep2.elapsed.as_secs_f64() < 2.0);
     }
 
@@ -1095,7 +1344,9 @@ mod tests {
         let (t, a, c) = line_topo(10.0);
         let mut sim = Sim::new(t, 1);
         sim.add_firewall(FirewallRule::drop_class("fw", LinkId(0), FlowClass::Probe));
-        let err = sim.core().start_flow_inner(None, FlowSpec::new(a, c, MB, FlowClass::Probe));
+        let err = sim
+            .core()
+            .start_flow_inner(None, FlowSpec::new(a, c, MB, FlowClass::Probe));
         assert!(matches!(err, Err(NetError::Blocked { .. })));
     }
 
@@ -1114,7 +1365,13 @@ mod tests {
                     Event::Started => {
                         self.t0 = ctx.now();
                         for _ in 0..2 {
-                            ctx.start_flow(FlowSpec::new(self.a, self.c, 10 * MB, FlowClass::Commodity)).unwrap();
+                            ctx.start_flow(FlowSpec::new(
+                                self.a,
+                                self.c,
+                                10 * MB,
+                                FlowClass::Commodity,
+                            ))
+                            .unwrap();
                         }
                     }
                     Event::FlowCompleted { elapsed, .. } => {
@@ -1132,7 +1389,13 @@ mod tests {
         let (t, a, c) = line_topo(80.0); // alone: ~1s each
         let mut sim = Sim::new(t, 1);
         let v = sim
-            .run_process(Box::new(TwoFlows { a, c, done: 0, t0: SimTime::ZERO, times: vec![] }))
+            .run_process(Box::new(TwoFlows {
+                a,
+                c,
+                done: 0,
+                t0: SimTime::ZERO,
+                times: vec![],
+            }))
             .unwrap();
         let total = v.expect_time().as_secs_f64();
         // Sharing: both finish around 2s (not 1s).
@@ -1184,7 +1447,13 @@ mod tests {
         let (t, a, c) = line_topo(80.0); // 10 MB/s
         let mut sim = Sim::new(t, 1);
         let v = sim
-            .run_process(Box::new(TwoWeighted { a, c, heavy: None, heavy_time: None, light_time: None }))
+            .run_process(Box::new(TwoWeighted {
+                a,
+                c,
+                heavy: None,
+                heavy_time: None,
+                light_time: None,
+            }))
             .unwrap();
         let items = v.expect_list();
         let heavy = items[0].expect_time().as_secs_f64();
@@ -1222,7 +1491,9 @@ mod tests {
             }
         }
         let (t, ..) = line_topo(10.0);
-        let v = Sim::new(t, 1).run_process(Box::new(Timers { fired: vec![] })).unwrap();
+        let v = Sim::new(t, 1)
+            .run_process(Box::new(Timers { fired: vec![] }))
+            .unwrap();
         let tags: Vec<u64> = v.expect_list().iter().map(|v| v.expect_u64()).collect();
         assert_eq!(tags, vec![1, 2, 3]);
     }
@@ -1257,7 +1528,9 @@ mod tests {
             }
         }
         let (t, ..) = line_topo(10.0);
-        let v = Sim::new(t, 1).run_process(Box::new(Parent { child: None })).unwrap();
+        let v = Sim::new(t, 1)
+            .run_process(Box::new(Parent { child: None }))
+            .unwrap();
         assert_eq!(v, Value::U64(99));
     }
 
@@ -1295,7 +1568,9 @@ mod tests {
             if jitter > 0.0 {
                 sim.set_capacity_jitter(jitter);
             }
-            sim.run_transfer(TransferRequest::new(a, c, 10 * MB)).unwrap().elapsed
+            sim.run_transfer(TransferRequest::new(a, c, 10 * MB))
+                .unwrap()
+                .elapsed
         };
         let crisp = run(1, 0.0);
         // Jitter changes the time, differently per seed, reproducibly.
@@ -1328,8 +1603,13 @@ mod tests {
                 match ev {
                     Event::Started => {
                         self.id = Some(
-                            ctx.start_flow(FlowSpec::new(self.a, self.c, 10 * MB, FlowClass::Commodity))
-                                .unwrap(),
+                            ctx.start_flow(FlowSpec::new(
+                                self.a,
+                                self.c,
+                                10 * MB,
+                                FlowClass::Commodity,
+                            ))
+                            .unwrap(),
                         );
                     }
                     Event::FlowCompleted { flow, .. } => {
@@ -1343,11 +1623,22 @@ mod tests {
         let mut sim = Sim::new(t, 1);
         sim.enable_flow_tracing();
         // Competing flow so the traced flow's rate actually changes.
-        sim.schedule_capacity_change(LinkId(0), SimTime::from_millis(400), Bandwidth::from_mbps(20.0));
-        let v = sim.run_process(Box::new(OneFlow { a, c, id: None })).unwrap();
-        let trace = sim.flow_trace(FlowId(v.expect_u64()));
+        sim.schedule_capacity_change(
+            LinkId(0),
+            SimTime::from_millis(400),
+            Bandwidth::from_mbps(20.0),
+        );
+        let v = sim
+            .run_process(Box::new(OneFlow { a, c, id: None }))
+            .unwrap();
+        let trace = sim
+            .flow_trace(FlowId(v.expect_u64()))
+            .expect("tracing enabled");
         assert!(!trace.is_empty());
-        assert!(trace.points.len() >= 3, "rate change + drain expected: {trace:?}");
+        assert!(
+            trace.points.len() >= 3,
+            "rate change + drain expected: {trace:?}"
+        );
         let integral = trace.total_bytes();
         let expected = (10 * MB) as f64;
         assert!(
@@ -1367,7 +1658,7 @@ mod tests {
         let (t, a, c) = line_topo(10.0);
         let mut sim = Sim::new(t, 1);
         let _ = sim.run_transfer(TransferRequest::new(a, c, MB)).unwrap();
-        assert!(sim.flow_trace(FlowId(1)).is_empty());
+        assert!(sim.flow_trace(FlowId(1)).is_none());
     }
 
     #[test]
@@ -1378,14 +1669,22 @@ mod tests {
         let (t, a, c) = line_topo(80.0);
         let mut sim = Sim::new(t, 1);
         sim.schedule_capacity_change(LinkId(0), SimTime::from_secs(1), Bandwidth::from_mbps(8.0));
-        let rep = sim.run_transfer(TransferRequest::new(a, c, 20 * MB)).unwrap();
+        let rep = sim
+            .run_transfer(TransferRequest::new(a, c, 20 * MB))
+            .unwrap();
         let s = rep.elapsed.as_secs_f64();
         assert!((9.0..13.0).contains(&s), "elapsed {s}");
         // And the reverse: a slow link that heals.
         let (t2, a2, c2) = line_topo(8.0);
         let mut sim2 = Sim::new(t2, 1);
-        sim2.schedule_capacity_change(LinkId(0), SimTime::from_secs(1), Bandwidth::from_mbps(800.0));
-        let rep2 = sim2.run_transfer(TransferRequest::new(a2, c2, 20 * MB)).unwrap();
+        sim2.schedule_capacity_change(
+            LinkId(0),
+            SimTime::from_secs(1),
+            Bandwidth::from_mbps(800.0),
+        );
+        let rep2 = sim2
+            .run_transfer(TransferRequest::new(a2, c2, 20 * MB))
+            .unwrap();
         let s2 = rep2.elapsed.as_secs_f64();
         assert!(s2 < 2.0, "healed link still slow: {s2}");
     }
@@ -1394,9 +1693,20 @@ mod tests {
     fn idle_path_rate_reflects_policers() {
         let (t, a, c) = line_topo(80.0);
         let mut sim = Sim::new(t, 1);
-        sim.add_policer(Policer::per_flow("p", LinkId(0), FlowClass::PlanetLab, Bandwidth::from_mbps(9.5)));
-        let pl = sim.core().idle_path_rate(a, c, FlowClass::PlanetLab).unwrap();
-        let rs = sim.core().idle_path_rate(a, c, FlowClass::Research).unwrap();
+        sim.add_policer(Policer::per_flow(
+            "p",
+            LinkId(0),
+            FlowClass::PlanetLab,
+            Bandwidth::from_mbps(9.5),
+        ));
+        let pl = sim
+            .core()
+            .idle_path_rate(a, c, FlowClass::PlanetLab)
+            .unwrap();
+        let rs = sim
+            .core()
+            .idle_path_rate(a, c, FlowClass::Research)
+            .unwrap();
         assert!((pl.mbps() - 9.5).abs() < 1e-9);
         assert!((rs.mbps() - 80.0).abs() < 1e-9);
     }
@@ -1405,10 +1715,18 @@ mod tests {
     fn bottleneck_attribution() {
         let (t, a, c) = line_topo(80.0);
         let mut sim = Sim::new(t, 1);
-        sim.add_policer(Policer::per_flow("pw", LinkId(0), FlowClass::PlanetLab, Bandwidth::from_mbps(9.3)));
+        sim.add_policer(Policer::per_flow(
+            "pw",
+            LinkId(0),
+            FlowClass::PlanetLab,
+            Bandwidth::from_mbps(9.3),
+        ));
         // PlanetLab: the policer binds.
         let b = sim.core().bottleneck(a, c, FlowClass::PlanetLab).unwrap();
-        assert!(matches!(b.cause, BottleneckCause::Policer { ref name } if name == "pw"), "{b}");
+        assert!(
+            matches!(b.cause, BottleneckCause::Policer { ref name } if name == "pw"),
+            "{b}"
+        );
         assert!((b.rate.mbps() - 9.3).abs() < 1e-9);
         // Research: the link binds.
         let b = sim.core().bottleneck(a, c, FlowClass::Research).unwrap();
@@ -1428,7 +1746,10 @@ mod tests {
         );
         let mut sim = Sim::new(b.build(), 1);
         let bn = sim.core().bottleneck(a, c, FlowClass::Commodity).unwrap();
-        assert!(matches!(bn.cause, BottleneckCause::TcpCeiling { .. }), "{bn}");
+        assert!(
+            matches!(bn.cause, BottleneckCause::TcpCeiling { .. }),
+            "{bn}"
+        );
         assert!(bn.rate.mbps() < 10.0, "ceiling should be low: {bn}");
     }
 
@@ -1443,9 +1764,22 @@ mod tests {
             fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
                 match ev {
                     Event::Started => {
-                        self.victim =
-                            Some(ctx.start_flow(FlowSpec::new(self.a, self.c, 100 * MB, FlowClass::Commodity)).unwrap());
-                        ctx.start_flow(FlowSpec::new(self.a, self.c, 10 * MB, FlowClass::Commodity)).unwrap();
+                        self.victim = Some(
+                            ctx.start_flow(FlowSpec::new(
+                                self.a,
+                                self.c,
+                                100 * MB,
+                                FlowClass::Commodity,
+                            ))
+                            .unwrap(),
+                        );
+                        ctx.start_flow(FlowSpec::new(
+                            self.a,
+                            self.c,
+                            10 * MB,
+                            FlowClass::Commodity,
+                        ))
+                        .unwrap();
                         ctx.set_timer(SimTime::from_millis(500), 7);
                     }
                     Event::Timer { tag: 7 } => {
@@ -1458,7 +1792,9 @@ mod tests {
         }
         let (t, a, c) = line_topo(80.0);
         let mut sim = Sim::new(t, 1);
-        let v = sim.run_process(Box::new(CancelOne { a, c, victim: None })).unwrap();
+        let v = sim
+            .run_process(Box::new(CancelOne { a, c, victim: None }))
+            .unwrap();
         // With the 100 MB victim cancelled at 0.5 s, the 10 MB flow gets the
         // full link afterwards: finishes well under the 2 s a fair share
         // would need.

@@ -42,7 +42,10 @@ impl fmt::Display for NetError {
             NetError::StaleHandle(what) => write!(f, "stale {what} handle"),
             NetError::Blocked { at, reason } => write!(f, "blocked at {at}: {reason}"),
             NetError::EventBudgetExhausted { events } => {
-                write!(f, "event budget exhausted after {events} events (protocol livelock?)")
+                write!(
+                    f,
+                    "event budget exhausted after {events} events (protocol livelock?)"
+                )
             }
             NetError::NoResult => write!(f, "root process finished without a result"),
         }
@@ -57,7 +60,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = NetError::NoRoute { src: NodeId(1), dst: NodeId(2) };
+        let e = NetError::NoRoute {
+            src: NodeId(1),
+            dst: NodeId(2),
+        };
         assert_eq!(e.to_string(), "no route from n1 to n2");
         let e = NetError::EventBudgetExhausted { events: 10 };
         assert!(e.to_string().contains("livelock"));

@@ -8,7 +8,6 @@
 //! and detour "backtracking" factors.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Mean Earth radius in kilometres.
@@ -18,7 +17,7 @@ pub const EARTH_RADIUS_KM: f64 = 6_371.0;
 pub const FIBRE_KM_PER_SEC: f64 = 200_000.0;
 
 /// A point on the Earth's surface (degrees).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoPoint {
     /// Latitude in degrees, positive north.
     pub lat: f64,
@@ -29,8 +28,14 @@ pub struct GeoPoint {
 impl GeoPoint {
     /// Construct a point; panics on out-of-range coordinates.
     pub fn new(lat: f64, lon: f64) -> Self {
-        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
-        assert!((-180.0..=180.0).contains(&lon), "longitude out of range: {lon}");
+        assert!(
+            (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
+        assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
         GeoPoint { lat, lon }
     }
 
@@ -74,25 +79,55 @@ pub mod places {
     use super::GeoPoint;
 
     /// University of British Columbia, Vancouver BC (PlanetLab client).
-    pub const UBC: GeoPoint = GeoPoint { lat: 49.261, lon: -123.246 };
+    pub const UBC: GeoPoint = GeoPoint {
+        lat: 49.261,
+        lon: -123.246,
+    };
     /// University of Alberta, Edmonton AB (non-PlanetLab DTN).
-    pub const UALBERTA: GeoPoint = GeoPoint { lat: 53.523, lon: -113.526 };
+    pub const UALBERTA: GeoPoint = GeoPoint {
+        lat: 53.523,
+        lon: -113.526,
+    };
     /// University of Michigan, Ann Arbor MI (PlanetLab DTN).
-    pub const UMICH: GeoPoint = GeoPoint { lat: 42.278, lon: -83.738 };
+    pub const UMICH: GeoPoint = GeoPoint {
+        lat: 42.278,
+        lon: -83.738,
+    };
     /// Purdue University, West Lafayette IN (PlanetLab client).
-    pub const PURDUE: GeoPoint = GeoPoint { lat: 40.424, lon: -86.929 };
+    pub const PURDUE: GeoPoint = GeoPoint {
+        lat: 40.424,
+        lon: -86.929,
+    };
     /// UCLA, Los Angeles CA (PlanetLab client).
-    pub const UCLA: GeoPoint = GeoPoint { lat: 34.069, lon: -118.445 };
+    pub const UCLA: GeoPoint = GeoPoint {
+        lat: 34.069,
+        lon: -118.445,
+    };
     /// Google Drive datacenter, Mountain View CA.
-    pub const MOUNTAIN_VIEW: GeoPoint = GeoPoint { lat: 37.389, lon: -122.084 };
+    pub const MOUNTAIN_VIEW: GeoPoint = GeoPoint {
+        lat: 37.389,
+        lon: -122.084,
+    };
     /// Dropbox datacenter, Ashburn VA.
-    pub const ASHBURN: GeoPoint = GeoPoint { lat: 39.044, lon: -77.488 };
+    pub const ASHBURN: GeoPoint = GeoPoint {
+        lat: 39.044,
+        lon: -77.488,
+    };
     /// Microsoft OneDrive datacenter, Seattle WA.
-    pub const SEATTLE: GeoPoint = GeoPoint { lat: 47.606, lon: -122.332 };
+    pub const SEATTLE: GeoPoint = GeoPoint {
+        lat: 47.606,
+        lon: -122.332,
+    };
     /// Vancouver exchange point (CANARIE `vncv1rtr2`, pacificwave).
-    pub const VANCOUVER_IX: GeoPoint = GeoPoint { lat: 49.283, lon: -123.117 };
+    pub const VANCOUVER_IX: GeoPoint = GeoPoint {
+        lat: 49.283,
+        lon: -123.117,
+    };
     /// Chicago exchange (Internet2/commodity peering for the midwest).
-    pub const CHICAGO_IX: GeoPoint = GeoPoint { lat: 41.879, lon: -87.636 };
+    pub const CHICAGO_IX: GeoPoint = GeoPoint {
+        lat: 41.879,
+        lon: -87.636,
+    };
 }
 
 #[cfg(test)]
@@ -129,7 +164,10 @@ mod tests {
         let long = places::UBC.propagation_delay(&places::ASHBURN);
         assert!(long > short * 5);
         // Cross-continent one-way delay should be tens of milliseconds.
-        assert!(long > SimTime::from_millis(20) && long < SimTime::from_millis(50), "delay {long}");
+        assert!(
+            long > SimTime::from_millis(20) && long < SimTime::from_millis(50),
+            "delay {long}"
+        );
     }
 
     #[test]

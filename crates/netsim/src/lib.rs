@@ -65,7 +65,9 @@ pub mod units;
 /// Convenient glob-import of the simulator surface.
 pub mod prelude {
     pub use crate::background::{BackgroundProfile, BackgroundTraffic};
-    pub use crate::engine::{Ctx, Event, FlowId, Process, ProcessId, Sim, TransferReport, TransferRequest, Value};
+    pub use crate::engine::{
+        Ctx, Event, FlowId, Process, ProcessId, Sim, TransferReport, TransferRequest, Value,
+    };
     pub use crate::error::{NetError, NetResult};
     pub use crate::flow::{FlowClass, FlowSpec};
     pub use crate::geo::GeoPoint;

@@ -17,10 +17,9 @@
 use crate::flow::FlowClass;
 use crate::topology::LinkId;
 use crate::units::Bandwidth;
-use serde::{Deserialize, Serialize};
 
 /// How a policer applies its rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PolicerScope {
     /// Each matching flow is independently capped at the policer rate.
     PerFlow,
@@ -29,7 +28,7 @@ pub enum PolicerScope {
 }
 
 /// A rate policer attached to a link, filtered by flow class.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Policer {
     /// Link the policer is attached to.
     pub link: LinkId,
@@ -46,12 +45,24 @@ pub struct Policer {
 impl Policer {
     /// A per-flow policer.
     pub fn per_flow(name: &str, link: LinkId, class: FlowClass, rate: Bandwidth) -> Self {
-        Policer { link, matches: vec![class], rate, scope: PolicerScope::PerFlow, name: name.into() }
+        Policer {
+            link,
+            matches: vec![class],
+            rate,
+            scope: PolicerScope::PerFlow,
+            name: name.into(),
+        }
     }
 
     /// An aggregate policer.
     pub fn aggregate(name: &str, link: LinkId, class: FlowClass, rate: Bandwidth) -> Self {
-        Policer { link, matches: vec![class], rate, scope: PolicerScope::Aggregate, name: name.into() }
+        Policer {
+            link,
+            matches: vec![class],
+            rate,
+            scope: PolicerScope::Aggregate,
+            name: name.into(),
+        }
     }
 
     /// Extend the matched classes.
@@ -67,7 +78,7 @@ impl Policer {
 }
 
 /// A firewall rule: drop flows of the given classes crossing a link.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FirewallRule {
     /// Link being filtered.
     pub link: LinkId,
@@ -80,7 +91,11 @@ pub struct FirewallRule {
 impl FirewallRule {
     /// Build a rule dropping one class.
     pub fn drop_class(name: &str, link: LinkId, class: FlowClass) -> Self {
-        FirewallRule { link, drops: vec![class], name: name.into() }
+        FirewallRule {
+            link,
+            drops: vec![class],
+            name: name.into(),
+        }
     }
 
     /// Does the rule drop a flow of `class` on `link`?
@@ -95,7 +110,12 @@ mod tests {
 
     #[test]
     fn per_flow_policer_matches_class_and_link() {
-        let p = Policer::per_flow("pacificwave", LinkId(3), FlowClass::PlanetLab, Bandwidth::from_mbps(9.5));
+        let p = Policer::per_flow(
+            "pacificwave",
+            LinkId(3),
+            FlowClass::PlanetLab,
+            Bandwidth::from_mbps(9.5),
+        );
         assert!(p.applies(LinkId(3), FlowClass::PlanetLab));
         assert!(!p.applies(LinkId(3), FlowClass::Research));
         assert!(!p.applies(LinkId(4), FlowClass::PlanetLab));
@@ -104,8 +124,13 @@ mod tests {
 
     #[test]
     fn also_matching_extends() {
-        let p = Policer::aggregate("ix", LinkId(0), FlowClass::Commodity, Bandwidth::from_mbps(100.0))
-            .also_matching(FlowClass::Background);
+        let p = Policer::aggregate(
+            "ix",
+            LinkId(0),
+            FlowClass::Commodity,
+            Bandwidth::from_mbps(100.0),
+        )
+        .also_matching(FlowClass::Background);
         assert!(p.applies(LinkId(0), FlowClass::Commodity));
         assert!(p.applies(LinkId(0), FlowClass::Background));
         assert_eq!(p.scope, PolicerScope::Aggregate);

@@ -16,12 +16,11 @@
 
 use crate::error::{NetError, NetResult};
 use crate::topology::{LinkId, NodeId, Topology};
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 /// An explicit route pinned for a source/destination pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RouteOverride {
     /// Originating host.
     pub src: NodeId,
@@ -123,8 +122,8 @@ fn dijkstra(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
             let link = topo.link(lid);
             let v = link.to.0 as usize;
             let nd = d + link.cost as u64;
-            let better = nd < dist[v]
-                || (nd == dist[v] && prev[v].map(|p| u < p.0).unwrap_or(false));
+            let better =
+                nd < dist[v] || (nd == dist[v] && prev[v].map(|p| u < p.0).unwrap_or(false));
             if better {
                 dist[v] = nd;
                 prev[v] = Some(NodeId(u));
@@ -195,7 +194,10 @@ mod tests {
         let mut rt = RoutingTable::new();
         // a and d are not adjacent.
         rt.overrides.insert((a, d), vec![a, d]);
-        assert!(matches!(rt.path(&t, a, d), Err(NetError::BrokenPath { .. })));
+        assert!(matches!(
+            rt.path(&t, a, d),
+            Err(NetError::BrokenPath { .. })
+        ));
     }
 
     #[test]
@@ -204,7 +206,11 @@ mod tests {
         let a = b.host("a", GeoPoint::new(0.0, 0.0));
         let c = b.host("c", GeoPoint::new(1.0, 1.0));
         // Link only c -> a, so a cannot reach c.
-        b.simplex(c, a, LinkParams::new(Bandwidth::from_mbps(1.0), SimTime::from_millis(1)));
+        b.simplex(
+            c,
+            a,
+            LinkParams::new(Bandwidth::from_mbps(1.0), SimTime::from_millis(1)),
+        );
         let t = b.build();
         let mut rt = RoutingTable::new();
         assert_eq!(rt.path(&t, a, c), Err(NetError::NoRoute { src: a, dst: c }));

@@ -31,6 +31,10 @@ pub struct RpcSpec {
     /// reused (no handshake). Upload sessions reuse one connection for all
     /// chunks; the first call of a session pays the handshake.
     pub fresh_connection: bool,
+    /// Telemetry span name for this exchange ("rpc.auth", "rpc.part", ...).
+    pub span_name: &'static str,
+    /// Telemetry span this exchange nests under.
+    pub parent_span: obs::SpanId,
 }
 
 impl RpcSpec {
@@ -44,6 +48,8 @@ impl RpcSpec {
             server_time: SimTime::from_millis(5),
             class,
             fresh_connection: false,
+            span_name: "rpc",
+            parent_span: obs::SpanId::NONE,
         }
     }
 
@@ -65,6 +71,14 @@ impl RpcSpec {
         self.fresh_connection = true;
         self
     }
+
+    /// Name the telemetry span for this exchange and nest it under
+    /// `parent` (the session or chunk issuing the call).
+    pub fn traced(mut self, span_name: &'static str, parent: obs::SpanId) -> Self {
+        self.span_name = span_name;
+        self.parent_span = parent;
+        self
+    }
 }
 
 enum RpcState {
@@ -81,12 +95,18 @@ pub struct Rpc {
     spec: RpcSpec,
     state: RpcState,
     started: SimTime,
+    span: obs::SpanId,
 }
 
 impl Rpc {
     /// Build from a spec.
     pub fn new(spec: RpcSpec) -> Self {
-        Rpc { spec, state: RpcState::Idle, started: SimTime::ZERO }
+        Rpc {
+            spec,
+            state: RpcState::Idle,
+            started: SimTime::ZERO,
+            span: obs::SpanId::NONE,
+        }
     }
 }
 
@@ -97,18 +117,41 @@ impl Process for Rpc {
         match (&self.state, ev) {
             (RpcState::Idle, Event::Started) => {
                 self.started = ctx.now();
+                let (t_ns, name, parent) = (
+                    ctx.now().as_nanos(),
+                    self.spec.span_name,
+                    self.spec.parent_span,
+                );
+                let (req, resp, fresh) = (
+                    self.spec.request_bytes,
+                    self.spec.response_bytes,
+                    self.spec.fresh_connection,
+                );
+                self.span =
+                    ctx.telemetry()
+                        .span_begin_with(t_ns, obs::Category::Rpc, name, parent, |a| {
+                            a.set("request_bytes", req)
+                                .set("response_bytes", resp)
+                                .set("fresh_connection", fresh);
+                        });
+                ctx.telemetry().counter_add("netsim.rpcs", 1);
                 let mut spec = FlowSpec::new(
                     self.spec.client,
                     self.spec.server,
                     self.spec.request_bytes,
                     self.spec.class,
-                );
+                )
+                .with_parent_span(self.span);
                 if !self.spec.fresh_connection {
                     spec = spec.reuse_connection();
                 }
                 match ctx.start_flow(spec) {
                     Ok(_) => self.state = RpcState::Requesting,
-                    Err(e) => ctx.finish(Value::Error(e)),
+                    Err(e) => {
+                        let t = ctx.now().as_nanos();
+                        ctx.telemetry().span_end(t, self.span);
+                        ctx.finish(Value::Error(e))
+                    }
                 }
             }
             (RpcState::Requesting, Event::FlowCompleted { .. }) => {
@@ -122,16 +165,27 @@ impl Process for Rpc {
                     self.spec.response_bytes,
                     self.spec.class,
                 )
-                .reuse_connection();
+                .reuse_connection()
+                .with_parent_span(self.span);
                 match ctx.start_flow(spec) {
                     Ok(_) => self.state = RpcState::Responding,
-                    Err(e) => ctx.finish(Value::Error(e)),
+                    Err(e) => {
+                        let t = ctx.now().as_nanos();
+                        ctx.telemetry().span_end(t, self.span);
+                        ctx.finish(Value::Error(e))
+                    }
                 }
             }
             (RpcState::Responding, Event::FlowCompleted { .. }) => {
+                let t = ctx.now().as_nanos();
+                ctx.telemetry().span_end(t, self.span);
                 ctx.finish(Value::Time(ctx.now().saturating_sub(self.started)));
             }
-            (_, Event::FlowFailed { error, .. }) => ctx.finish(Value::Error(error)),
+            (_, Event::FlowFailed { error, .. }) => {
+                let t = ctx.now().as_nanos();
+                ctx.telemetry().span_end(t, self.span);
+                ctx.finish(Value::Error(error))
+            }
             _ => {}
         }
     }
@@ -153,7 +207,11 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let a = b.host("client", GeoPoint::new(49.0, -123.0));
         let s = b.host("server", GeoPoint::new(37.0, -122.0));
-        b.duplex(a, s, LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(20)));
+        b.duplex(
+            a,
+            s,
+            LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(20)),
+        );
         (b.build(), a, s)
     }
 
@@ -161,8 +219,8 @@ mod tests {
     fn rpc_elapsed_includes_rtt_and_think_time() {
         let (t, a, s) = pair();
         let mut sim = Sim::new(t, 1);
-        let spec = RpcSpec::control(a, s, FlowClass::Commodity)
-            .with_server_time(SimTime::from_millis(50));
+        let spec =
+            RpcSpec::control(a, s, FlowClass::Commodity).with_server_time(SimTime::from_millis(50));
         let v = sim.run_process(Box::new(Rpc::new(spec))).unwrap();
         let elapsed = v.expect_time();
         // One-way delay 20 ms each way + 50 ms think = at least 90 ms.
@@ -174,11 +232,17 @@ mod tests {
     fn fresh_connection_is_slower() {
         let (t, a, s) = pair();
         let reused = Sim::new(t.clone(), 1)
-            .run_process(Box::new(Rpc::new(RpcSpec::control(a, s, FlowClass::Commodity))))
+            .run_process(Box::new(Rpc::new(RpcSpec::control(
+                a,
+                s,
+                FlowClass::Commodity,
+            ))))
             .unwrap()
             .expect_time();
         let fresh = Sim::new(t, 1)
-            .run_process(Box::new(Rpc::new(RpcSpec::control(a, s, FlowClass::Commodity).fresh())))
+            .run_process(Box::new(Rpc::new(
+                RpcSpec::control(a, s, FlowClass::Commodity).fresh(),
+            )))
             .unwrap()
             .expect_time();
         assert!(fresh > reused, "fresh {fresh} vs reused {reused}");
@@ -208,11 +272,22 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let a = b.host("client", GeoPoint::new(0.0, 0.0));
         let s = b.host("server", GeoPoint::new(1.0, 1.0));
-        b.simplex(s, a, LinkParams::new(Bandwidth::from_mbps(1.0), SimTime::from_millis(1)));
+        b.simplex(
+            s,
+            a,
+            LinkParams::new(Bandwidth::from_mbps(1.0), SimTime::from_millis(1)),
+        );
         let mut sim = Sim::new(b.build(), 1);
         let v = sim
-            .run_process(Box::new(Rpc::new(RpcSpec::control(a, s, FlowClass::Commodity))))
+            .run_process(Box::new(Rpc::new(RpcSpec::control(
+                a,
+                s,
+                FlowClass::Commodity,
+            ))))
             .unwrap();
-        assert!(matches!(v, Value::Error(crate::error::NetError::NoRoute { .. })));
+        assert!(matches!(
+            v,
+            Value::Error(crate::error::NetError::NoRoute { .. })
+        ));
     }
 }

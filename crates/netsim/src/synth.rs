@@ -118,12 +118,19 @@ impl SynthWan {
                 let h = b.host(&format!("host{i}"), loc);
                 let stub = stubs[rng.gen_range(0..self.stubs)];
                 let mbps = rng.gen_range(self.access_mbps.0..=self.access_mbps.1);
-                b.duplex(h, stub, LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(1)));
+                b.duplex(
+                    h,
+                    stub,
+                    LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(1)),
+                );
                 h
             })
             .collect();
 
-        SynthWorld { topo: b.build(), hosts }
+        SynthWorld {
+            topo: b.build(),
+            hosts,
+        }
     }
 }
 
@@ -155,10 +162,18 @@ mod tests {
         let w2 = SynthWan::default().build();
         assert_eq!(w1.topo.nodes().len(), w2.topo.nodes().len());
         assert_eq!(w1.topo.links().len(), w2.topo.links().len());
-        let w3 = SynthWan { seed: 99, ..SynthWan::default() }.build();
+        let w3 = SynthWan {
+            seed: 99,
+            ..SynthWan::default()
+        }
+        .build();
         // Different seed: (almost surely) different link structure.
         let caps = |w: &SynthWorld| -> Vec<u64> {
-            w.topo.links().iter().map(|l| l.capacity.bytes_per_sec() as u64).collect()
+            w.topo
+                .links()
+                .iter()
+                .map(|l| l.capacity.bytes_per_sec() as u64)
+                .collect()
         };
         assert_ne!(caps(&w1), caps(&w3));
     }
@@ -176,7 +191,11 @@ mod tests {
         // A transfer across the big WAN completes.
         let mut sim = Sim::new(world.topo.clone(), 3);
         let report = sim
-            .run_transfer(TransferRequest::new(world.hosts[0], world.hosts[199], 10 * MB))
+            .run_transfer(TransferRequest::new(
+                world.hosts[0],
+                world.hosts[199],
+                10 * MB,
+            ))
             .unwrap();
         assert!(report.elapsed.as_secs_f64() > 0.0);
     }
@@ -184,6 +203,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two transit")]
     fn tiny_core_rejected() {
-        SynthWan { transit: 1, ..SynthWan::default() }.build();
+        SynthWan {
+            transit: 1,
+            ..SynthWan::default()
+        }
+        .build();
     }
 }

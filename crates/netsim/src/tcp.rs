@@ -16,10 +16,9 @@
 
 use crate::time::SimTime;
 use crate::units::Bandwidth;
-use serde::{Deserialize, Serialize};
 
 /// Constants of the TCP model.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TcpParams {
     /// Maximum segment size in bytes.
     pub mss: u64,
@@ -31,7 +30,11 @@ pub struct TcpParams {
 
 impl Default for TcpParams {
     fn default() -> Self {
-        TcpParams { mss: 1460, mathis_c: 0.93, initial_window: 10 }
+        TcpParams {
+            mss: 1460,
+            mathis_c: 0.93,
+            initial_window: 10,
+        }
     }
 }
 
@@ -63,7 +66,10 @@ impl TcpParams {
             // Window already covers the path after the handshake RTT.
             return rtt;
         }
-        let rounds = (bdp_segments / self.initial_window as f64).log2().ceil().max(1.0);
+        let rounds = (bdp_segments / self.initial_window as f64)
+            .log2()
+            .ceil()
+            .max(1.0);
         // +1 RTT for the connection handshake itself.
         rtt.mul_f64(rounds + 1.0)
     }
@@ -115,8 +121,14 @@ mod tests {
     #[test]
     fn slow_start_degenerate_cases() {
         let t = TcpParams::default();
-        assert_eq!(t.slow_start_delay(SimTime::ZERO, Bandwidth::from_mbps(1.0)), SimTime::ZERO);
-        assert_eq!(t.slow_start_delay(SimTime::from_millis(10), Bandwidth::ZERO), SimTime::ZERO);
+        assert_eq!(
+            t.slow_start_delay(SimTime::ZERO, Bandwidth::from_mbps(1.0)),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            t.slow_start_delay(SimTime::from_millis(10), Bandwidth::ZERO),
+            SimTime::ZERO
+        );
         // Tiny BDP: one RTT (handshake only).
         let d = t.slow_start_delay(SimTime::from_millis(10), Bandwidth::from_kbps(64.0));
         assert_eq!(d, SimTime::from_millis(10));

@@ -7,12 +7,11 @@
 use crate::geo::GeoPoint;
 use crate::time::SimTime;
 use crate::units::Bandwidth;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifies a node. Indexes into [`Topology::nodes`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -22,7 +21,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifies a directed link. Indexes into [`Topology::links`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub u32);
 
 impl fmt::Display for LinkId {
@@ -32,7 +31,7 @@ impl fmt::Display for LinkId {
 }
 
 /// What a node is; affects traceroute rendering and default behaviour only.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// An end host (client machine, DTN, or storage frontend).
     Host,
@@ -45,7 +44,7 @@ pub enum NodeKind {
 }
 
 /// A node in the topology.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// Stable identifier.
     pub id: NodeId,
@@ -73,7 +72,7 @@ impl Node {
 }
 
 /// Link parameters supplied at build time.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LinkParams {
     /// Capacity of the link.
     pub capacity: Bandwidth,
@@ -88,12 +87,22 @@ pub struct LinkParams {
 impl LinkParams {
     /// A clean link with explicit delay, no loss, default cost.
     pub fn new(capacity: Bandwidth, delay: SimTime) -> Self {
-        LinkParams { capacity, delay: Some(delay), loss: 0.0, cost: 10 }
+        LinkParams {
+            capacity,
+            delay: Some(delay),
+            loss: 0.0,
+            cost: 10,
+        }
     }
 
     /// A link whose delay is derived from endpoint geography.
     pub fn geo(capacity: Bandwidth) -> Self {
-        LinkParams { capacity, delay: None, loss: 0.0, cost: 10 }
+        LinkParams {
+            capacity,
+            delay: None,
+            loss: 0.0,
+            cost: 10,
+        }
     }
 
     /// Set the loss rate.
@@ -111,7 +120,7 @@ impl LinkParams {
 }
 
 /// A directed link between two nodes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     /// Stable identifier.
     pub id: LinkId,
@@ -130,7 +139,7 @@ pub struct Link {
 }
 
 /// An immutable network topology.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
@@ -189,7 +198,12 @@ impl Topology {
         for w in path.windows(2) {
             match self.link_between(w[0], w[1]) {
                 Some(l) => out.push(l),
-                None => return Err(crate::error::NetError::BrokenPath { from: w[0], to: w[1] }),
+                None => {
+                    return Err(crate::error::NetError::BrokenPath {
+                        from: w[0],
+                        to: w[1],
+                    })
+                }
             }
         }
         Ok(out)
@@ -204,7 +218,10 @@ impl Topology {
 
     /// Combined loss probability along a node path.
     pub fn path_loss(&self, links: &[LinkId]) -> f64 {
-        1.0 - links.iter().map(|&l| 1.0 - self.link(l).loss).product::<f64>()
+        1.0 - links
+            .iter()
+            .map(|&l| 1.0 - self.link(l).loss)
+            .product::<f64>()
     }
 
     /// Minimum capacity along a path of links.
@@ -227,7 +244,11 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// New empty builder.
     pub fn new() -> Self {
-        TopologyBuilder { nodes: Vec::new(), links: Vec::new(), next_ip: 0x0a_00_00_01 }
+        TopologyBuilder {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            next_ip: 0x0a_00_00_01,
+        }
     }
 
     fn alloc_ip(&mut self) -> [u8; 4] {
@@ -342,14 +363,21 @@ impl TopologyBuilder {
         for link in &self.links {
             adjacency[link.from.0 as usize].push(link.id);
             let prev = edge_index.insert((link.from, link.to), link.id);
-            assert!(prev.is_none(), "duplicate link {} -> {}", link.from, link.to);
+            assert!(
+                prev.is_none(),
+                "duplicate link {} -> {}",
+                link.from,
+                link.to
+            );
         }
-        let name_index = self
-            .nodes
-            .iter()
-            .map(|n| (n.name.clone(), n.id))
-            .collect();
-        Topology { nodes: self.nodes, links: self.links, adjacency, edge_index, name_index }
+        let name_index = self.nodes.iter().map(|n| (n.name.clone(), n.id)).collect();
+        Topology {
+            nodes: self.nodes,
+            links: self.links,
+            adjacency,
+            edge_index,
+            name_index,
+        }
     }
 }
 
@@ -362,8 +390,16 @@ mod tests {
         let a = b.host("a", GeoPoint::new(49.0, -123.0));
         let r = b.router("r", GeoPoint::new(51.0, -114.0));
         let c = b.host("c", GeoPoint::new(37.0, -122.0));
-        b.duplex(a, r, LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(5)));
-        b.duplex(r, c, LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(12)));
+        b.duplex(
+            a,
+            r,
+            LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(5)),
+        );
+        b.duplex(
+            r,
+            c,
+            LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(12)),
+        );
         (b.build(), a, r, c)
     }
 
@@ -421,7 +457,10 @@ mod tests {
         let t = b.build();
         let d = t.link(LinkId(0)).delay;
         // ~820 km * 1.4 inflation / 200k km/s ~ 5.7 ms
-        assert!(d > SimTime::from_millis(3) && d < SimTime::from_millis(10), "delay {d}");
+        assert!(
+            d > SimTime::from_millis(3) && d < SimTime::from_millis(10),
+            "delay {d}"
+        );
     }
 
     #[test]
@@ -449,7 +488,11 @@ mod tests {
     fn self_loop_panics() {
         let mut b = TopologyBuilder::new();
         let a = b.host("a", GeoPoint::new(0.0, 0.0));
-        b.simplex(a, a, LinkParams::new(Bandwidth::from_mbps(1.0), SimTime::from_millis(1)));
+        b.simplex(
+            a,
+            a,
+            LinkParams::new(Bandwidth::from_mbps(1.0), SimTime::from_millis(1)),
+        );
     }
 
     #[test]

@@ -69,14 +69,30 @@ impl Traceroute {
                 (n.name.clone(), n.ip_string(), n.anonymous)
             };
             if anonymous {
-                hops.push(Hop { index: i + 1, node: *node, name: String::new(), ip: String::new(), rtt: None });
+                hops.push(Hop {
+                    index: i + 1,
+                    node: *node,
+                    name: String::new(),
+                    ip: String::new(),
+                    rtt: None,
+                });
             } else {
                 let rtt = (topo_delay[i] * 2).mul_f64(jitter);
-                hops.push(Hop { index: i + 1, node: *node, name, ip, rtt: Some(rtt) });
+                hops.push(Hop {
+                    index: i + 1,
+                    node: *node,
+                    name,
+                    ip,
+                    rtt: Some(rtt),
+                });
             }
         }
         let target = core.topology().node(dst);
-        Ok(Traceroute { target_name: target.name.clone(), target_ip: target.ip_string(), hops })
+        Ok(Traceroute {
+            target_name: target.name.clone(),
+            target_ip: target.ip_string(),
+            hops,
+        })
     }
 
     /// Does the path cross a node with this name? (The paper checks both
@@ -87,7 +103,11 @@ impl Traceroute {
 
     /// Names of all non-anonymous hops, in order.
     pub fn hop_names(&self) -> Vec<&str> {
-        self.hops.iter().filter(|h| !h.name.is_empty()).map(|h| h.name.as_str()).collect()
+        self.hops
+            .iter()
+            .filter(|h| !h.name.is_empty())
+            .map(|h| h.name.as_str())
+            .collect()
     }
 }
 
@@ -162,7 +182,10 @@ mod tests {
     fn hop_names_skip_anonymous() {
         let (mut sim, a, d) = chain();
         let tr = Traceroute::run(sim.core(), a, d).unwrap();
-        assert_eq!(tr.hop_names(), vec!["vncv1rtr2.canarie.ca", "target.example.com"]);
+        assert_eq!(
+            tr.hop_names(),
+            vec!["vncv1rtr2.canarie.ca", "target.example.com"]
+        );
     }
 
     #[test]

@@ -4,7 +4,6 @@
 //! [`Bandwidth`] exists so that public APIs and scenario definitions read in
 //! the units the paper uses (megabits per second) without unit confusion.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Div, Mul};
 
@@ -24,7 +23,7 @@ pub const MIB: u64 = 1_024 * KIB;
 ///
 /// Stored as bytes/second; constructors and accessors exist for both
 /// bit-oriented (network) and byte-oriented (file) views.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bandwidth(f64);
 
 impl Bandwidth {

@@ -104,7 +104,11 @@ fn string_topology(n_hosts: usize) -> (Topology, Vec<NodeId>) {
         ids.push(b.host(&format!("h{i}"), GeoPoint::new(lat, -100.0)));
     }
     for w in ids.windows(2) {
-        b.duplex(w[0], w[1], LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(3)));
+        b.duplex(
+            w[0],
+            w[1],
+            LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(3)),
+        );
     }
     (b.build(), ids)
 }

@@ -110,14 +110,28 @@ proptest! {
 
 #[test]
 fn big_wan_many_flows_smoke() {
-    let world = SynthWan { transit: 12, stubs: 48, hosts: 120, seed: 5, ..SynthWan::default() }.build();
-    let pairs: Vec<(NodeId, NodeId, u64)> =
-        (0..60).map(|i| (world.hosts[i], world.hosts[119 - i], 4 * MB)).collect();
+    let world = SynthWan {
+        transit: 12,
+        stubs: 48,
+        hosts: 120,
+        seed: 5,
+        ..SynthWan::default()
+    }
+    .build();
+    let pairs: Vec<(NodeId, NodeId, u64)> = (0..60)
+        .map(|i| (world.hosts[i], world.hosts[119 - i], 4 * MB))
+        .collect();
     let mut sim = Sim::new(world.topo, 5);
-    let v = sim.run_process(Box::new(ManyFlows { pairs, done: 0 })).unwrap();
+    let v = sim
+        .run_process(Box::new(ManyFlows { pairs, done: 0 }))
+        .unwrap();
     let t = v.expect_time();
     assert!(t > SimTime::ZERO);
     assert_eq!(sim.stats().flows_completed, 60);
     // The allocator ran many times without blowing the event budget.
-    assert!(sim.stats().events < 100_000, "event blowup: {:?}", sim.stats());
+    assert!(
+        sim.stats().events < 100_000,
+        "event blowup: {:?}",
+        sim.stats()
+    );
 }

@@ -1,0 +1,31 @@
+//! Telemetry for the simulated upload pipeline.
+//!
+//! Every layer of the stack — the flow-level simulator, the RPC model, the
+//! cloud-storage sessions, the DTN relays, and the route-selection logic —
+//! reports into one [`Telemetry`] handle owned by the simulation:
+//!
+//! * **Spans and events** ([`telemetry`]) are stamped with *simulated* time
+//!   (nanoseconds of [`SimTime`-like] clock), never wall time, so a trace
+//!   is a pure function of the scenario and seed. When telemetry is
+//!   disabled (the default) every call is a no-op behind a single branch.
+//! * **Metrics** ([`metrics`]) are counters, gauges, and log-linear
+//!   histograms with percentile queries: per-link utilization samples,
+//!   allocator recompute counts, active-flow counts, retry/throttle
+//!   totals, bytes by provider and route.
+//! * **Exporters** ([`export`]) render a finished [`Recording`] as a
+//!   deterministic JSONL event log, a Chrome trace-event JSON file
+//!   loadable in Perfetto (spans nested session → chunk → RPC → flow),
+//!   and text/CSV metrics snapshots.
+//!
+//! The crate is dependency-free and knows nothing about the simulator; the
+//! simulator passes plain nanosecond timestamps.
+
+pub mod export;
+pub mod metrics;
+pub mod telemetry;
+
+pub use export::{chrome_trace_json, jsonl_log, span_tree_text};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use telemetry::{
+    ArgValue, Args, Category, EventRecord, Recording, SpanId, SpanRecord, Telemetry,
+};

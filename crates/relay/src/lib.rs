@@ -26,4 +26,4 @@ pub use parallel::{parallel_transfer, ParallelStreams};
 pub use pipeline::PipelinedRelay;
 pub use report::RelayReport;
 pub use rsync_leg::RsyncLeg;
-pub use store_forward::{detour_upload, StoreForwardRelay};
+pub use store_forward::{detour_upload, detour_upload_traced, StoreForwardRelay};

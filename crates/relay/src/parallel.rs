@@ -31,7 +31,15 @@ impl ParallelStreams {
     pub fn new(src: NodeId, dst: NodeId, bytes: u64, streams: u32, class: FlowClass) -> Self {
         assert!(streams >= 1, "at least one stream");
         assert!(bytes >= streams as u64, "stripes must be nonempty");
-        ParallelStreams { src, dst, bytes, streams, class, started: SimTime::ZERO, remaining: 0 }
+        ParallelStreams {
+            src,
+            dst,
+            bytes,
+            streams,
+            class,
+            started: SimTime::ZERO,
+            remaining: 0,
+        }
     }
 }
 
@@ -79,7 +87,9 @@ pub fn parallel_transfer(
     streams: u32,
     class: FlowClass,
 ) -> Result<SimTime, NetError> {
-    match sim.run_process(Box::new(ParallelStreams::new(src, dst, bytes, streams, class)))? {
+    match sim.run_process(Box::new(ParallelStreams::new(
+        src, dst, bytes, streams, class,
+    )))? {
         Value::Time(t) => Ok(t),
         Value::Error(e) => Err(e),
         other => panic!("unexpected result {other:?}"),
@@ -98,7 +108,11 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let a = b.host("a", GeoPoint::new(49.0, -123.0));
         let c = b.host("c", GeoPoint::new(37.0, -122.0));
-        b.duplex(a, c, LinkParams::new(Bandwidth::from_mbps(200.0), SimTime::from_millis(10)));
+        b.duplex(
+            a,
+            c,
+            LinkParams::new(Bandwidth::from_mbps(200.0), SimTime::from_millis(10)),
+        );
         let mut sim = Sim::new(b.build(), 1);
         sim.add_policer(Policer::per_flow(
             "per-flow-police",
@@ -126,7 +140,11 @@ mod tests {
             let mut b = TopologyBuilder::new();
             let a = b.host("a", GeoPoint::new(0.0, 0.0));
             let c = b.host("c", GeoPoint::new(1.0, 1.0));
-            b.duplex(a, c, LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(10)));
+            b.duplex(
+                a,
+                c,
+                LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(10)),
+            );
             (Sim::new(b.build(), 1), a, c)
         };
         let (mut sim, a, c) = build();

@@ -68,7 +68,15 @@ impl PipelinedRelay {
         send_class: FlowClass,
         upload_class: FlowClass,
     ) -> Self {
-        Self::with_chunk(user, dtn, provider, bytes, send_class, upload_class, DEFAULT_RELAY_CHUNK)
+        Self::with_chunk(
+            user,
+            dtn,
+            provider,
+            bytes,
+            send_class,
+            upload_class,
+            DEFAULT_RELAY_CHUNK,
+        )
     }
 
     /// Build with an explicit relay chunk size.
@@ -141,7 +149,12 @@ impl PipelinedRelay {
         if staged_after_send >= self.max_buffered {
             return;
         }
-        let mut spec = FlowSpec::new(self.user, self.dtn, self.chunks[self.sent] + 64, self.send_class);
+        let mut spec = FlowSpec::new(
+            self.user,
+            self.dtn,
+            self.chunks[self.sent] + 64,
+            self.send_class,
+        );
         if !self.first_send {
             spec = spec.reuse_connection();
         }
@@ -307,8 +320,16 @@ mod tests {
         let user = b.host("user", GeoPoint::new(49.26, -123.25));
         let dtn = b.host("dtn", GeoPoint::new(53.52, -113.53));
         let pop = b.datacenter("pop", GeoPoint::new(37.39, -122.08));
-        b.duplex(user, dtn, LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(8)));
-        b.duplex(dtn, pop, LinkParams::new(Bandwidth::from_mbps(48.0), SimTime::from_millis(14)));
+        b.duplex(
+            user,
+            dtn,
+            LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(8)),
+        );
+        b.duplex(
+            dtn,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(48.0), SimTime::from_millis(14)),
+        );
         let provider = Provider::new(ProviderKind::GoogleDrive, pop);
         (Sim::new(b.build(), 1), user, dtn, provider)
     }
@@ -402,8 +423,15 @@ mod tests {
     #[should_panic(expected = "at least one chunk")]
     fn zero_buffer_rejected() {
         let (_, user, dtn, provider) = topo();
-        let _ = PipelinedRelay::new(user, dtn, provider, MB, FlowClass::Research, FlowClass::Research)
-            .with_buffer_limit(0);
+        let _ = PipelinedRelay::new(
+            user,
+            dtn,
+            provider,
+            MB,
+            FlowClass::Research,
+            FlowClass::Research,
+        )
+        .with_buffer_limit(0);
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl RelayReport {
             bytes: items[0].expect_u64(),
             total: items[1].expect_time(),
             upload: TransferStats::from_value(&items[2]),
-            leg_times: items[4..4 + n_legs].iter().map(|v| v.expect_time()).collect(),
+            leg_times: items[4..4 + n_legs]
+                .iter()
+                .map(|v| v.expect_time())
+                .collect(),
         }
     }
 }

@@ -10,6 +10,7 @@ use netsim::flow::{FlowClass, FlowSpec};
 use netsim::rpc::{Rpc, RpcSpec};
 use netsim::time::SimTime;
 use netsim::topology::NodeId;
+use obs::{Category, SpanId};
 use transfer::RsyncWirePlan;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,18 +31,42 @@ pub struct RsyncLeg {
     state: State,
     started: SimTime,
     pending: Option<ProcessId>,
+    span: SpanId,
+    parent_span: SpanId,
 }
 
 impl RsyncLeg {
     /// A leg moving `plan` between two hosts.
     pub fn new(src: NodeId, dst: NodeId, plan: RsyncWirePlan, class: FlowClass) -> Self {
-        RsyncLeg { src, dst, plan, class, state: State::Idle, started: SimTime::ZERO, pending: None }
+        RsyncLeg {
+            src,
+            dst,
+            plan,
+            class,
+            state: State::Idle,
+            started: SimTime::ZERO,
+            pending: None,
+            span: SpanId::NONE,
+            parent_span: SpanId::NONE,
+        }
     }
 
     /// The paper's workload: the destination's copy was deleted, so the
     /// whole file crosses the wire.
     pub fn fresh(src: NodeId, dst: NodeId, bytes: u64, class: FlowClass) -> Self {
         Self::new(src, dst, RsyncWirePlan::fresh(bytes), class)
+    }
+
+    /// Nest this leg's telemetry span under `parent` (e.g. a relay span).
+    pub fn with_parent_span(mut self, parent: SpanId) -> Self {
+        self.parent_span = parent;
+        self
+    }
+
+    fn finish_traced(&mut self, ctx: &mut Ctx<'_>, v: Value) {
+        let t = ctx.now().as_nanos();
+        ctx.telemetry().span_end(t, self.span);
+        ctx.finish(v);
     }
 }
 
@@ -50,41 +75,63 @@ impl Process for RsyncLeg {
         match (self.state, ev) {
             (State::Idle, Event::Started) => {
                 self.started = ctx.now();
+                if ctx.telemetry().is_enabled() {
+                    let (t, parent) = (ctx.now().as_nanos(), self.parent_span);
+                    let (delta, src, dst) = (self.plan.delta_bytes, self.src, self.dst);
+                    let topo = ctx.topology();
+                    let (src_name, dst_name) =
+                        (topo.node(src).name.clone(), topo.node(dst).name.clone());
+                    self.span = ctx.telemetry().span_begin_with(
+                        t,
+                        Category::Relay,
+                        "rsync-leg",
+                        parent,
+                        |a| {
+                            a.set("src", src_name)
+                                .set("dst", dst_name)
+                                .set("delta_bytes", delta);
+                        },
+                    );
+                }
                 // Handshake request; the response carries the signatures.
                 let spec = RpcSpec::control(self.src, self.dst, self.class)
                     .with_payload(self.plan.handshake_bytes, 256 + self.plan.signature_bytes)
                     .with_server_time(SimTime::from_millis(10))
-                    .fresh();
+                    .fresh()
+                    .traced("rpc.handshake", self.span);
                 self.state = State::Handshake;
                 self.pending = Some(ctx.spawn(Box::new(Rpc::new(spec))));
             }
             (State::Handshake, Event::ChildDone { value, .. }) => {
                 if let Value::Error(e) = value {
-                    ctx.finish(Value::Error(e));
+                    self.finish_traced(ctx, Value::Error(e));
                     return;
                 }
                 let spec = FlowSpec::new(self.src, self.dst, self.plan.delta_bytes, self.class)
-                    .reuse_connection();
+                    .reuse_connection()
+                    .with_parent_span(self.span);
                 match ctx.start_flow(spec) {
                     Ok(_) => self.state = State::Delta,
-                    Err(e) => ctx.finish(Value::Error(e)),
+                    Err(e) => self.finish_traced(ctx, Value::Error(e)),
                 }
             }
             (State::Delta, Event::FlowCompleted { .. }) => {
                 let spec = RpcSpec::control(self.src, self.dst, self.class)
                     .with_payload(64, self.plan.ack_bytes)
-                    .with_server_time(SimTime::from_millis(5));
+                    .with_server_time(SimTime::from_millis(5))
+                    .traced("rpc.ack", self.span);
                 self.state = State::Ack;
                 self.pending = Some(ctx.spawn(Box::new(Rpc::new(spec))));
             }
             (State::Ack, Event::ChildDone { value, .. }) => {
                 if let Value::Error(e) = value {
-                    ctx.finish(Value::Error(e));
+                    self.finish_traced(ctx, Value::Error(e));
                     return;
                 }
-                ctx.finish(Value::Time(ctx.now().saturating_sub(self.started)));
+                let elapsed = ctx.now().saturating_sub(self.started);
+                self.finish_traced(ctx, Value::Time(elapsed));
             }
-            (_, Event::FlowFailed { error, .. }) => ctx.finish(Value::Error(error)),
+            (_, Event::FlowFailed { error, .. }) => self.finish_traced(ctx, Value::Error(error)),
             _ => {}
         }
     }
@@ -106,7 +153,11 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let a = b.host("user", GeoPoint::new(49.26, -123.25));
         let d = b.host("dtn", GeoPoint::new(53.52, -113.53));
-        b.duplex(a, d, LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(8)));
+        b.duplex(
+            a,
+            d,
+            LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(8)),
+        );
         (Sim::new(b.build(), 3), a, d)
     }
 
@@ -114,7 +165,12 @@ mod tests {
     fn fresh_leg_time_tracks_file_size() {
         let (mut sim, a, d) = pair(42.0); // ~5.25 MB/s: 100 MB ≈ 19 s (paper's UBC→UAlberta)
         let v = sim
-            .run_process(Box::new(RsyncLeg::fresh(a, d, 100 * MB, FlowClass::Research)))
+            .run_process(Box::new(RsyncLeg::fresh(
+                a,
+                d,
+                100 * MB,
+                FlowClass::Research,
+            )))
             .unwrap();
         let s = v.expect_time().as_secs_f64();
         assert!((19.0..22.0).contains(&s), "UBC→UAlberta-like leg took {s}");
@@ -128,12 +184,22 @@ mod tests {
         let delta_plan = RsyncWirePlan::exact(&basis, &target, 2048);
         let (mut sim, a, d) = pair(8.0);
         let with_delta = sim
-            .run_process(Box::new(RsyncLeg::new(a, d, delta_plan, FlowClass::Research)))
+            .run_process(Box::new(RsyncLeg::new(
+                a,
+                d,
+                delta_plan,
+                FlowClass::Research,
+            )))
             .unwrap()
             .expect_time();
         let (mut sim2, a2, d2) = pair(8.0);
         let fresh = sim2
-            .run_process(Box::new(RsyncLeg::fresh(a2, d2, target.len() as u64, FlowClass::Research)))
+            .run_process(Box::new(RsyncLeg::fresh(
+                a2,
+                d2,
+                target.len() as u64,
+                FlowClass::Research,
+            )))
             .unwrap()
             .expect_time();
         assert!(
@@ -148,7 +214,11 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let a = b.host("user", GeoPoint::new(0.0, 0.0));
         let d = b.host("dtn", GeoPoint::new(1.0, 1.0));
-        b.simplex(d, a, LinkParams::new(Bandwidth::from_mbps(1.0), SimTime::from_millis(1)));
+        b.simplex(
+            d,
+            a,
+            LinkParams::new(Bandwidth::from_mbps(1.0), SimTime::from_millis(1)),
+        );
         let mut sim = Sim::new(b.build(), 1);
         let v = sim
             .run_process(Box::new(RsyncLeg::fresh(a, d, MB, FlowClass::Research)))

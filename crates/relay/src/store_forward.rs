@@ -15,6 +15,7 @@ use netsim::error::NetError;
 use netsim::flow::FlowClass;
 use netsim::time::SimTime;
 use netsim::topology::NodeId;
+use obs::{Category, SpanId};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum State {
@@ -37,6 +38,8 @@ pub struct StoreForwardRelay {
     started: SimTime,
     leg_times: Vec<SimTime>,
     pending: Option<ProcessId>,
+    span: SpanId,
+    parent_span: SpanId,
 }
 
 impl StoreForwardRelay {
@@ -51,7 +54,10 @@ impl StoreForwardRelay {
         bytes: u64,
         opts: UploadOptions,
     ) -> Self {
-        assert!(hops.len() >= 2, "a relay needs a source and at least one DTN");
+        assert!(
+            hops.len() >= 2,
+            "a relay needs a source and at least one DTN"
+        );
         assert_eq!(hops.len(), classes.len(), "one class per hop");
         StoreForwardRelay {
             hops,
@@ -63,11 +69,25 @@ impl StoreForwardRelay {
             started: SimTime::ZERO,
             leg_times: Vec::new(),
             pending: None,
+            span: SpanId::NONE,
+            parent_span: SpanId::NONE,
         }
     }
 
+    /// Nest this relay's telemetry span under `parent` (e.g. a job span).
+    pub fn with_parent_span(mut self, parent: SpanId) -> Self {
+        self.parent_span = parent;
+        self
+    }
+
     fn begin_leg(&mut self, ctx: &mut Ctx<'_>, i: usize) {
-        let leg = RsyncLeg::fresh(self.hops[i], self.hops[i + 1], self.bytes, self.leg_classes[i]);
+        let leg = RsyncLeg::fresh(
+            self.hops[i],
+            self.hops[i + 1],
+            self.bytes,
+            self.leg_classes[i],
+        )
+        .with_parent_span(self.span);
         self.state = State::Leg(i);
         self.pending = Some(ctx.spawn(Box::new(leg)));
     }
@@ -76,7 +96,8 @@ impl StoreForwardRelay {
         let dtn = *self.hops.last().expect("nonempty hops");
         let mut opts = self.opts;
         opts.class = *self.leg_classes.last().expect("nonempty classes");
-        let session = UploadSession::new(dtn, self.provider.clone(), self.bytes, opts);
+        let session = UploadSession::new(dtn, self.provider.clone(), self.bytes, opts)
+            .with_parent_span(self.span);
         self.state = State::Upload;
         self.pending = Some(ctx.spawn(Box::new(session)));
     }
@@ -87,6 +108,17 @@ impl Process for StoreForwardRelay {
         match ev {
             Event::Started => {
                 self.started = ctx.now();
+                let (t, parent) = (ctx.now().as_nanos(), self.parent_span);
+                let (bytes, hops) = (self.bytes, self.hops.len());
+                self.span = ctx.telemetry().span_begin_with(
+                    t,
+                    Category::Relay,
+                    "store-forward",
+                    parent,
+                    |a| {
+                        a.set("bytes", bytes).set("hops", hops);
+                    },
+                );
                 self.begin_leg(ctx, 0);
             }
             Event::ChildDone { child, value } => {
@@ -95,12 +127,23 @@ impl Process for StoreForwardRelay {
                 }
                 self.pending = None;
                 if let Value::Error(e) = value {
+                    let t = ctx.now().as_nanos();
+                    ctx.telemetry().span_end(t, self.span);
                     ctx.finish(Value::Error(e));
                     return;
                 }
                 match self.state {
                     State::Leg(i) => {
                         self.leg_times.push(value.expect_time());
+                        // The whole file now sits in the staging buffer of
+                        // hop i+1 until the next leg (or upload) drains it.
+                        let (t, span, bytes) = (ctx.now().as_nanos(), self.span, self.bytes);
+                        ctx.telemetry()
+                            .gauge_set("relay.staging_bytes", bytes as f64);
+                        ctx.telemetry()
+                            .event(t, Category::Relay, "relay.staged", span, |a| {
+                                a.set("hop", i + 1).set("bytes", bytes);
+                            });
                         if i + 2 < self.hops.len() {
                             self.begin_leg(ctx, i + 1);
                         } else {
@@ -115,6 +158,9 @@ impl Process for StoreForwardRelay {
                             leg_times: std::mem::take(&mut self.leg_times),
                             upload,
                         };
+                        ctx.telemetry().gauge_set("relay.staging_bytes", 0.0);
+                        let t = ctx.now().as_nanos();
+                        ctx.telemetry().span_end(t, self.span);
                         ctx.finish(report.to_value());
                     }
                     State::Idle => {}
@@ -138,7 +184,21 @@ pub fn detour_upload(
     bytes: u64,
     opts: UploadOptions,
 ) -> Result<RelayReport, NetError> {
-    let relay = StoreForwardRelay::new(hops, classes, provider.clone(), bytes, opts);
+    detour_upload_traced(sim, hops, classes, provider, bytes, opts, SpanId::NONE)
+}
+
+/// Like [`detour_upload`], nesting the relay's telemetry span under `parent`.
+pub fn detour_upload_traced(
+    sim: &mut netsim::engine::Sim,
+    hops: Vec<NodeId>,
+    classes: Vec<FlowClass>,
+    provider: &Provider,
+    bytes: u64,
+    opts: UploadOptions,
+    parent: SpanId,
+) -> Result<RelayReport, NetError> {
+    let relay = StoreForwardRelay::new(hops, classes, provider.clone(), bytes, opts)
+        .with_parent_span(parent);
     match sim.run_process(Box::new(relay))? {
         Value::Error(e) => Err(e),
         v => Ok(RelayReport::from_value(&v)),
@@ -159,9 +219,21 @@ mod tests {
         let user = b.host("user", GeoPoint::new(49.26, -123.25));
         let dtn = b.host("dtn", GeoPoint::new(53.52, -113.53));
         let pop = b.datacenter("pop", GeoPoint::new(37.39, -122.08));
-        b.duplex(user, pop, LinkParams::new(Bandwidth::from_mbps(8.0), SimTime::from_millis(15)));
-        b.duplex(user, dtn, LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(8)));
-        b.duplex(dtn, pop, LinkParams::new(Bandwidth::from_mbps(48.0), SimTime::from_millis(14)));
+        b.duplex(
+            user,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(8.0), SimTime::from_millis(15)),
+        );
+        b.duplex(
+            user,
+            dtn,
+            LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(8)),
+        );
+        b.duplex(
+            dtn,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(48.0), SimTime::from_millis(14)),
+        );
         let provider = Provider::new(ProviderKind::GoogleDrive, pop);
         (Sim::new(b.build(), 1), user, dtn, provider)
     }
@@ -209,7 +281,11 @@ mod tests {
         )
         .unwrap();
         // Store-and-forward: no overlap between legs.
-        assert!(r.overlap_savings().abs() < 1e-6, "unexpected overlap {}", r.overlap_savings());
+        assert!(
+            r.overlap_savings().abs() < 1e-6,
+            "unexpected overlap {}",
+            r.overlap_savings()
+        );
         assert_eq!(r.total, r.leg_times[0] + r.upload.elapsed);
     }
 
@@ -259,8 +335,16 @@ mod tests {
         let dtn = b.host("dtn", GeoPoint::new(1.0, 1.0));
         let pop = b.datacenter("pop", GeoPoint::new(2.0, 2.0));
         // user can reach pop but NOT dtn (dtn only has an outbound link).
-        b.duplex(user, pop, LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(5)));
-        b.simplex(dtn, pop, LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(5)));
+        b.duplex(
+            user,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(5)),
+        );
+        b.simplex(
+            dtn,
+            pop,
+            LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(5)),
+        );
         let provider = Provider::new(ProviderKind::GoogleDrive, pop);
         let mut sim = Sim::new(b.build(), 1);
         let err = detour_upload(

@@ -89,8 +89,10 @@ impl<'a> ExperimentSet<'a> {
         ]
     }
 
-    /// One (client × provider) campaign with the standard routes.
-    pub fn campaign(&self, client: Client, provider: ProviderKind) -> Result<CampaignResult, NetError> {
+    /// The unrun campaign for one (client × provider) cell — callers can
+    /// [`Campaign::run`] it or replay a single run with telemetry via
+    /// [`Campaign::trace_run`] (same per-run seeds either way).
+    pub fn campaign_spec(&self, client: Client, provider: ProviderKind) -> Campaign<'a> {
         Campaign {
             factory: self.world,
             client: self.world.client(client),
@@ -101,7 +103,15 @@ impl<'a> ExperimentSet<'a> {
             label: format!("{}-{}", client.name(), provider.display_name()),
             threads: self.threads,
         }
-        .run()
+    }
+
+    /// One (client × provider) campaign with the standard routes.
+    pub fn campaign(
+        &self,
+        client: Client,
+        provider: ProviderKind,
+    ) -> Result<CampaignResult, NetError> {
+        self.campaign_spec(client, provider).run()
     }
 
     /// Fig 2 / Table II data.
@@ -168,7 +178,11 @@ impl<'a> ExperimentSet<'a> {
             .copied()
             .filter(|&s| s == 60 * netsim::units::MB || s == 100 * netsim::units::MB)
             .collect();
-        let sizes = if sizes.is_empty() { vec![*self.sizes.last().expect("sizes")] } else { sizes };
+        let sizes = if sizes.is_empty() {
+            vec![*self.sizes.last().expect("sizes")]
+        } else {
+            sizes
+        };
         let mut set = ExperimentSet {
             world: self.world,
             protocol: self.protocol,
@@ -219,7 +233,11 @@ mod tests {
         let world = NorthAmerica::new();
         let set = ExperimentSet::quick(&world);
         let r = set.fig4().unwrap();
-        assert_eq!(r.ranking(), vec![0, 1, 2], "paper: Direct fastest, UMich slowest");
+        assert_eq!(
+            r.ranking(),
+            vec![0, 1, 2],
+            "paper: Direct fastest, UMich slowest"
+        );
     }
 
     #[test]
@@ -230,9 +248,6 @@ mod tests {
         let f6 = set.fig6();
         let cmp = detour_core::compare_traceroutes(&f5, &f6);
         assert_eq!(cmp.junction.as_deref(), Some("vncv1rtr2.canarie.ca"));
-        assert!(cmp
-            .only_in_first
-            .iter()
-            .any(|h| h.contains("pacificwave")));
+        assert!(cmp.only_in_first.iter().any(|h| h.contains("pacificwave")));
     }
 }

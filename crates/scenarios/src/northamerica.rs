@@ -206,8 +206,10 @@ impl NorthAmerica {
         b.set_ip(vncv, [199, 212, 24, 1]);
         let edmn = b.router("edmn1rtr2.canarie.ca", places::UALBERTA);
         b.set_ip(edmn, [199, 212, 24, 68]);
-        let pacificwave =
-            b.exchange("google-1-lo-std-707.sttlwa.pacificwave.net", places::SEATTLE);
+        let pacificwave = b.exchange(
+            "google-1-lo-std-707.sttlwa.pacificwave.net",
+            places::SEATTLE,
+        );
         b.set_ip(pacificwave, [207, 231, 242, 20]);
         let gren = b.exchange("gren-transit.example.net", places::CHICAGO_IX);
         let i2_chicago = b.router("internet2.chicago", places::CHICAGO_IX);
@@ -248,10 +250,18 @@ impl NorthAmerica {
         b.duplex(cybera, edmn, core);
         b.duplex(edmn, vncv, core); // CANARIE backbone Edmonton–Vancouver
         b.duplex(umich_campus, i2_chicago, core);
-        b.duplex(purdue_campus, i2_chicago, LinkParams::geo(Bandwidth::from_mbps(622.0)));
+        b.duplex(
+            purdue_campus,
+            i2_chicago,
+            LinkParams::geo(Bandwidth::from_mbps(622.0)),
+        );
         // CANARIE–Internet2 peering: high capacity but cost-discouraged so
         // research traffic to Google keeps using CANARIE's own peering.
-        b.duplex(edmn, i2_chicago, LinkParams::geo(Bandwidth::from_mbps(CORE_MBPS)).with_cost(40));
+        b.duplex(
+            edmn,
+            i2_chicago,
+            LinkParams::geo(Bandwidth::from_mbps(CORE_MBPS)).with_cost(40),
+        );
 
         // GREN transit between the testbeds (the slow UBC↔UMich path).
         b.duplex(vncv, gren, core);
@@ -260,12 +270,20 @@ impl NorthAmerica {
         // Commodity core.
         b.duplex(ucla_campus, comm_west, core);
         b.duplex(bcnet, comm_west, core);
-        b.duplex(purdue_campus, comm_east, LinkParams::geo(Bandwidth::from_mbps(500.0)));
+        b.duplex(
+            purdue_campus,
+            comm_east,
+            LinkParams::geo(Bandwidth::from_mbps(500.0)),
+        );
         b.duplex(comm_west, comm_east, core);
         b.duplex(comm_west, pacificwave, core);
 
         // Exchange hand-offs toward Google.
-        let (vncv_pw, _) = b.duplex(vncv, pacificwave, LinkParams::geo(Bandwidth::from_mbps(200.0)));
+        let (vncv_pw, _) = b.duplex(
+            vncv,
+            pacificwave,
+            LinkParams::geo(Bandwidth::from_mbps(200.0)),
+        );
         let (pw_goog, _) = b.duplex(pacificwave, google_pop, core);
         // CANARIE→Google direct peering crosses the anonymous edge hop that
         // renders as `* * *` in the paper's Figure 6.
@@ -279,7 +297,11 @@ impl NorthAmerica {
         b.duplex(comm_west, dropbox_pop, access(DROPBOX_WEST_MBPS));
         let (ce_db, _) = b.duplex(comm_east, dropbox_pop, access(DROPBOX_EAST_MBPS));
         b.duplex(edmn, dropbox_pop, access(CANARIE_DROPBOX_MBPS));
-        b.duplex(i2_chicago, dropbox_pop, access(I2_DROPBOX_MBPS).with_cost(30));
+        b.duplex(
+            i2_chicago,
+            dropbox_pop,
+            access(I2_DROPBOX_MBPS).with_cost(30),
+        );
 
         // OneDrive ingress.
         b.duplex(i2_chicago, pacificwave, core);
@@ -315,13 +337,31 @@ impl NorthAmerica {
             RouteOverride::new(
                 ubc,
                 google_pop,
-                vec![ubc, ubc_net, ubc_border, bcnet, vncv, pacificwave, google_pop],
+                vec![
+                    ubc,
+                    ubc_net,
+                    ubc_border,
+                    bcnet,
+                    vncv,
+                    pacificwave,
+                    google_pop,
+                ],
             ),
             // Inter-testbed UBC→UMich rides the policed GREN transit.
             RouteOverride::new(
                 ubc,
                 umich,
-                vec![ubc, ubc_net, ubc_border, bcnet, vncv, gren, i2_chicago, umich_campus, umich],
+                vec![
+                    ubc,
+                    ubc_net,
+                    ubc_border,
+                    bcnet,
+                    vncv,
+                    gren,
+                    i2_chicago,
+                    umich_campus,
+                    umich,
+                ],
             ),
             // Purdue's Google traffic leaves through the congested commodity
             // peering, not Internet2 (the paper's §III-B pathology).
@@ -384,7 +424,14 @@ impl NorthAmerica {
             pacificwave,
             google_pop_seattle,
         };
-        NorthAmerica { topo, nodes, overrides, policers, backgrounds, options }
+        NorthAmerica {
+            topo,
+            nodes,
+            overrides,
+            policers,
+            backgrounds,
+            options,
+        }
     }
 
     /// Node handles.
@@ -459,7 +506,15 @@ impl NorthAmerica {
 
     /// The paper's file-size sweep: 10–100 MB.
     pub fn paper_sizes() -> Vec<u64> {
-        vec![10 * MB, 20 * MB, 30 * MB, 40 * MB, 50 * MB, 60 * MB, 100 * MB]
+        vec![
+            10 * MB,
+            20 * MB,
+            30 * MB,
+            40 * MB,
+            50 * MB,
+            60 * MB,
+            100 * MB,
+        ]
     }
 }
 
@@ -496,10 +551,16 @@ mod tests {
         let mut sim = world.build_sim(0);
         // UBC→Google is policed to ~9.3 Mbps for PlanetLab traffic.
         let r = rate_mbps(&mut sim, n.ubc, n.google_pop, FlowClass::PlanetLab);
-        assert!((r - PACIFICWAVE_POLICE_MBPS).abs() < 0.01, "ubc->google {r}");
+        assert!(
+            (r - PACIFICWAVE_POLICE_MBPS).abs() < 0.01,
+            "ubc->google {r}"
+        );
         // UAlberta→Google rides the 47 Mbps peering.
         let r = rate_mbps(&mut sim, n.ualberta, n.google_pop, FlowClass::Research);
-        assert!((r - CANARIE_GOOGLE_MBPS).abs() < 0.01, "ualberta->google {r}");
+        assert!(
+            (r - CANARIE_GOOGLE_MBPS).abs() < 0.01,
+            "ualberta->google {r}"
+        );
         // UBC→UAlberta is limited by the slice egress.
         let r = rate_mbps(&mut sim, n.ubc, n.ualberta, FlowClass::PlanetLab);
         assert!((r - UBC_ACCESS_MBPS).abs() < 0.01, "ubc->ualberta {r}");
@@ -511,7 +572,10 @@ mod tests {
         assert!((r - I2_GOOGLE_MBPS).abs() < 0.01, "umich->google {r}");
         // Purdue is shaped to 4.6 Mbps toward the DTNs.
         let r = rate_mbps(&mut sim, n.purdue, n.ualberta, FlowClass::PlanetLab);
-        assert!((r - PURDUE_ACCESS_MBPS).abs() < 0.01, "purdue->ualberta {r}");
+        assert!(
+            (r - PURDUE_ACCESS_MBPS).abs() < 0.01,
+            "purdue->ualberta {r}"
+        );
         // UCLA's last mile dominates everywhere.
         let r = rate_mbps(&mut sim, n.ucla, n.google_pop, FlowClass::PlanetLab);
         assert!((r - UCLA_ACCESS_MBPS).abs() < 0.01, "ucla->google {r}");
@@ -531,10 +595,12 @@ mod tests {
         let n = *world.nodes();
         let t = |src, dst, class| {
             let mut sim = world.build_sim(42);
-            sim.run_transfer(TransferRequest { spec: FlowSpec::new(src, dst, 100 * MB, class) })
-                .unwrap()
-                .elapsed
-                .as_secs_f64()
+            sim.run_transfer(TransferRequest {
+                spec: FlowSpec::new(src, dst, 100 * MB, class),
+            })
+            .unwrap()
+            .elapsed
+            .as_secs_f64()
         };
         let direct = t(n.ubc, n.google_pop, FlowClass::PlanetLab);
         assert!((80.0..100.0).contains(&direct), "ubc->google {direct}");
@@ -592,8 +658,14 @@ mod tests {
         let n = *world.nodes();
         let mut sim = world.build_sim(0);
         // Without the policer, UBC→Google rides its 43 Mbps access.
-        let r = sim.core().idle_path_rate(n.ubc, n.google_pop, FlowClass::PlanetLab).unwrap();
-        assert!((r.mbps() - UBC_ACCESS_MBPS).abs() < 0.01, "unpoliced rate {r}");
+        let r = sim
+            .core()
+            .idle_path_rate(n.ubc, n.google_pop, FlowClass::PlanetLab)
+            .unwrap();
+        assert!(
+            (r.mbps() - UBC_ACCESS_MBPS).abs() < 0.01,
+            "unpoliced rate {r}"
+        );
     }
 
     #[test]
@@ -613,10 +685,16 @@ mod tests {
         // link, not the 9.3 Mbps policer.
         assert_eq!(provider.frontend_for(world.topology(), n.ubc), sea);
         let mut sim = world.build_sim(0);
-        let r = sim.core().idle_path_rate(n.ubc, sea, FlowClass::PlanetLab).unwrap();
+        let r = sim
+            .core()
+            .idle_path_rate(n.ubc, sea, FlowClass::PlanetLab)
+            .unwrap();
         assert!((r.mbps() - UBC_ACCESS_MBPS).abs() < 0.01, "rate {r}");
         // UCLA still gets steered to Mountain View (494 km vs 1540 km).
-        assert_eq!(provider.frontend_for(world.topology(), n.ucla), n.google_pop);
+        assert_eq!(
+            provider.frontend_for(world.topology(), n.ucla),
+            n.google_pop
+        );
     }
 
     #[test]

@@ -51,7 +51,13 @@ pub fn ranking_cell(r: &CampaignResult) -> String {
 pub fn table4(dropbox: &CampaignResult, onedrive: &CampaignResult) -> Table {
     let mut t = Table::new(
         "Table IV: mean and standard deviation of upload times from Purdue (s)",
-        &["File size (MB)", "Type", "Mean (s)", "Std dev", "±1σ vs Direct"],
+        &[
+            "File size (MB)",
+            "Type",
+            "Mean (s)",
+            "Std dev",
+            "±1σ vs Direct",
+        ],
     );
     for (name, r) in [("Dropbox", dropbox), ("OneDrive", onedrive)] {
         // Iterate sizes from largest (the paper lists 100 MB before 60 MB).
@@ -85,7 +91,12 @@ pub fn table4(dropbox: &CampaignResult, onedrive: &CampaignResult) -> Table {
 pub fn table5(results: &[(Client, ProviderKind, CampaignResult)]) -> Table {
     let mut t = Table::new(
         "Table V: geographic summary of fastest routes [Direct: solid; Detour: dashed]",
-        &["Client", "Service", "Fastest route", "Mean (s, largest size)"],
+        &[
+            "Client",
+            "Service",
+            "Fastest route",
+            "Mean (s, largest size)",
+        ],
     );
     for (client, provider, r) in results {
         let best = r.ranking()[0];
@@ -105,7 +116,14 @@ pub fn table5(results: &[(Client, ProviderKind, CampaignResult)]) -> Table {
 pub fn geography_table(world: &NorthAmerica) -> Table {
     let mut t = Table::new(
         "Fig 3: locations of clients, intermediate nodes and cloud-storage servers",
-        &["Site", "Role", "Location", "→MTV (km)", "→Ashburn (km)", "→Seattle (km)"],
+        &[
+            "Site",
+            "Role",
+            "Location",
+            "→MTV (km)",
+            "→Ashburn (km)",
+            "→Seattle (km)",
+        ],
     );
     let rows: [(&str, &str, netsim::geo::GeoPoint); 8] = [
         ("UBC", "client (PlanetLab)", places::UBC),
@@ -154,7 +172,13 @@ mod tests {
             .collect();
         let cells = vec![means
             .iter()
-            .map(|(_, m)| Stats { n: 5, mean: *m, std_dev: 1.0, min: *m, max: *m })
+            .map(|(_, m)| Stats {
+                n: 5,
+                mean: *m,
+                std_dev: 1.0,
+                min: *m,
+                max: *m,
+            })
             .collect()];
         CampaignResult {
             client_name: "X".into(),
@@ -167,7 +191,11 @@ mod tests {
 
     #[test]
     fn ranking_cell_format() {
-        let r = fake_result(&[("Direct", 86.92), ("via UAlberta", 35.79), ("via UMich", 132.17)]);
+        let r = fake_result(&[
+            ("Direct", 86.92),
+            ("via UAlberta", 35.79),
+            ("via UMich", 132.17),
+        ]);
         assert_eq!(
             ranking_cell(&r),
             "Fastest: via UAlberta, Fast: Direct, Slowest: via UMich"

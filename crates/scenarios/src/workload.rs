@@ -86,8 +86,11 @@ pub fn run_session(
 ) -> SessionReport {
     let spec = world.client(client);
     let provider = world.provider(provider_kind);
-    let routes: Vec<Route> =
-        vec![Route::Direct, Route::via(world.hop_ualberta()), Route::via(world.hop_umich())];
+    let routes: Vec<Route> = vec![
+        Route::Direct,
+        Route::via(world.hop_ualberta()),
+        Route::via(world.hop_umich()),
+    ];
     let mut sim = world.build_sim(seed);
     let mut selector = AdaptiveSelector::new(routes.len(), 0.0, 0.4);
     let mut sel_rng = SmallRng::seed_from_u64(seed ^ 0x5e1);
@@ -105,16 +108,38 @@ pub fn run_session(
                 s.next_route(&mut sel_rng)
             }
         };
-        let token = if i == 0 { TokenPolicy::Fresh } else { TokenPolicy::Cached };
-        let opts = UploadOptions { token, class: spec.class, parallelism: 1 };
-        let report = run_job(&mut sim, spec.node, spec.class, &provider, bytes, &routes[route_idx], opts)
-            .expect("session upload");
+        let token = if i == 0 {
+            TokenPolicy::Fresh
+        } else {
+            TokenPolicy::Cached
+        };
+        let opts = UploadOptions {
+            token,
+            class: spec.class,
+            parallelism: 1,
+        };
+        let report = run_job(
+            &mut sim,
+            spec.node,
+            spec.class,
+            &provider,
+            bytes,
+            &routes[route_idx],
+            opts,
+        )
+        .expect("session upload");
         // Bytes-normalized cost so small files don't dominate the estimate.
-        selector.record(route_idx, report.secs() / (bytes as f64 / MB as f64).max(0.05));
+        selector.record(
+            route_idx,
+            report.secs() / (bytes as f64 / MB as f64).max(0.05),
+        );
         total += report.secs();
         choices.push(route_idx);
     }
-    SessionReport { total_secs: total, choices }
+    SessionReport {
+        total_secs: total,
+        choices,
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +156,10 @@ mod tests {
         assert!(large >= 1, "no large files in 400 draws");
         // Bytes are dominated by the large tail.
         let large_bytes: u64 = w.files.iter().filter(|&&b| b >= 40 * MB).sum();
-        assert!(large_bytes * 2 > w.total_bytes(), "tail should dominate bytes");
+        assert!(
+            large_bytes * 2 > w.total_bytes(),
+            "tail should dominate bytes"
+        );
         // Deterministic.
         assert_eq!(w.files, SyncWorkload::personal_cloud(1, 400).files);
     }
@@ -143,8 +171,22 @@ mod tests {
         // catastrophic for them).
         let world = NorthAmerica::new();
         let w = SyncWorkload::personal_cloud(2, 12);
-        let direct = run_session(&world, Client::Purdue, ProviderKind::GoogleDrive, &w, SessionPolicy::AlwaysDirect, 3);
-        let detour = run_session(&world, Client::Purdue, ProviderKind::GoogleDrive, &w, SessionPolicy::FixedRoute(2), 3);
+        let direct = run_session(
+            &world,
+            Client::Purdue,
+            ProviderKind::GoogleDrive,
+            &w,
+            SessionPolicy::AlwaysDirect,
+            3,
+        );
+        let detour = run_session(
+            &world,
+            Client::Purdue,
+            ProviderKind::GoogleDrive,
+            &w,
+            SessionPolicy::FixedRoute(2),
+            3,
+        );
         assert!(
             detour.total_secs < direct.total_secs,
             "detour session {} !< direct {}",
@@ -171,6 +213,10 @@ mod tests {
         // detour (route 1 or 2).
         let tail = &adaptive.choices[3..];
         let detour_share = tail.iter().filter(|&&c| c != 0).count() as f64 / tail.len() as f64;
-        assert!(detour_share > 0.5, "adaptive stuck on direct: {:?}", adaptive.choices);
+        assert!(
+            detour_share > 0.5,
+            "adaptive stuck on direct: {:?}",
+            adaptive.choices
+        );
     }
 }

@@ -46,7 +46,10 @@ impl Delta {
 
     /// Number of copy instructions.
     pub fn copy_count(&self) -> usize {
-        self.ops.iter().filter(|op| matches!(op, DeltaOp::Copy { .. })).count()
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, DeltaOp::Copy { .. }))
+            .count()
     }
 
     /// Bytes this delta occupies on the wire: literals cost their length
@@ -180,7 +183,11 @@ mod tests {
         let sig = Signature::compute(&basis, 2048);
         let delta = compute_delta(&sig, &target);
         // 3 single-byte edits dirty at most 3 blocks: ≤ 3 * 2048 literals.
-        assert!(delta.literal_bytes() <= 3 * 2048, "literals {}", delta.literal_bytes());
+        assert!(
+            delta.literal_bytes() <= 3 * 2048,
+            "literals {}",
+            delta.literal_bytes()
+        );
         assert!(delta.copy_count() >= 97);
     }
 

@@ -91,7 +91,10 @@ mod tests {
     fn deterministic_per_seed() {
         let g = FileGen::new(42);
         assert_eq!(g.random_file(1000), g.random_file(1000));
-        assert_ne!(FileGen::new(1).random_file(100), FileGen::new(2).random_file(100));
+        assert_ne!(
+            FileGen::new(1).random_file(100),
+            FileGen::new(2).random_file(100)
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub fn apply_delta(basis: &[u8], block_size: usize, delta: &Delta) -> Result<Vec
         match op {
             DeltaOp::Copy { index } => {
                 if *index >= n_blocks {
-                    return Err(PatchError::BadBlockIndex { index: *index, available: n_blocks });
+                    return Err(PatchError::BadBlockIndex {
+                        index: *index,
+                        available: n_blocks,
+                    });
                 }
                 let start = *index as usize * block_size;
                 let end = (start + block_size).min(basis.len());
@@ -60,7 +63,10 @@ pub fn apply_delta(basis: &[u8], block_size: usize, delta: &Delta) -> Result<Vec
         }
     }
     if out.len() as u64 != delta.target_len {
-        return Err(PatchError::LengthMismatch { expected: delta.target_len, actual: out.len() as u64 });
+        return Err(PatchError::LengthMismatch {
+            expected: delta.target_len,
+            actual: out.len() as u64,
+        });
     }
     if Md5::digest(&out) != delta.target_md5 {
         return Err(PatchError::ChecksumMismatch);
@@ -128,7 +134,13 @@ mod tests {
             target_md5: [0; 16],
         };
         let err = apply_delta(&basis, 2048, &delta).unwrap_err();
-        assert_eq!(err, PatchError::BadBlockIndex { index: 99, available: 2 });
+        assert_eq!(
+            err,
+            PatchError::BadBlockIndex {
+                index: 99,
+                available: 2
+            }
+        );
     }
 
     #[test]

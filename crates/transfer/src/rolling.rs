@@ -32,7 +32,11 @@ impl RollingChecksum {
             a = a.wrapping_add(x as u32);
             b = b.wrapping_add(((l - i) as u32).wrapping_mul(x as u32));
         }
-        RollingChecksum { a: a & 0xffff, b: b & 0xffff, len: l }
+        RollingChecksum {
+            a: a & 0xffff,
+            b: b & 0xffff,
+            len: l,
+        }
     }
 
     /// The 32-bit checksum value.
@@ -72,7 +76,9 @@ mod tests {
     fn rolled_equals_recomputed() {
         // Slide across a buffer and compare against from-scratch computation
         // at every position: the defining property of the rolling checksum.
-        let data: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..512u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let w = 64;
         let mut rc = RollingChecksum::from_window(&data[..w]);
         for k in 1..=(data.len() - w) {

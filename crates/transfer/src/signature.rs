@@ -54,7 +54,11 @@ impl Signature {
             });
             index.entry(rolling).or_default().push(i as u32);
         }
-        Signature { block_size, blocks, index }
+        Signature {
+            block_size,
+            blocks,
+            index,
+        }
     }
 
     /// Signature of an empty basis (the paper's fresh-file case).
@@ -64,7 +68,10 @@ impl Signature {
 
     /// Candidate blocks whose rolling checksum matches.
     pub fn candidates(&self, rolling: u32) -> &[u32] {
-        self.index.get(&rolling).map(|v| v.as_slice()).unwrap_or(&[])
+        self.index
+            .get(&rolling)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Look up a block that matches both checksums over `window`.

@@ -13,14 +13,13 @@
 
 use crate::delta::compute_delta;
 use crate::signature::Signature;
-use serde::{Deserialize, Serialize};
 
 /// rsync protocol constants (framing approximations).
 const HANDSHAKE_BYTES: u64 = 512;
 const ACK_BYTES: u64 = 128;
 
 /// Byte costs of one rsync transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RsyncWirePlan {
     /// Sender→receiver session setup (version exchange, file list).
     pub handshake_bytes: u64,
@@ -75,7 +74,7 @@ impl RsyncWirePlan {
 }
 
 /// Byte costs of a plain streaming transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamWirePlan {
     /// Payload plus per-chunk framing.
     pub forward_bytes: u64,
@@ -89,7 +88,10 @@ impl StreamWirePlan {
     pub fn new(len: u64, chunk: u64) -> Self {
         assert!(chunk > 0, "chunk must be positive");
         let chunks = len.div_ceil(chunk);
-        StreamWirePlan { forward_bytes: len + chunks * 64 + 256, reverse_bytes: 128 }
+        StreamWirePlan {
+            forward_bytes: len + chunks * 64 + 256,
+            reverse_bytes: 128,
+        }
     }
 
     /// Grand total.
@@ -139,8 +141,14 @@ mod tests {
         let g = FileGen::new(3);
         let basis = g.random_file(500_000);
         let plan = RsyncWirePlan::exact(&basis, &basis, 2048);
-        assert!(plan.reverse_bytes() > 5000, "signatures should be substantial");
-        assert!(plan.forward_bytes() < 10_000, "identical file needs almost no delta");
+        assert!(
+            plan.reverse_bytes() > 5000,
+            "signatures should be substantial"
+        );
+        assert!(
+            plan.forward_bytes() < 10_000,
+            "identical file needs almost no delta"
+        );
     }
 
     #[test]

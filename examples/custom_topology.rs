@@ -70,10 +70,22 @@ fn main() {
     )));
     let cfg = MonitorConfig {
         routes: vec![
-            vec![ProbeLeg { src: branch, dst: pop, class: FlowClass::Commodity }],
+            vec![ProbeLeg {
+                src: branch,
+                dst: pop,
+                class: FlowClass::Commodity,
+            }],
             vec![
-                ProbeLeg { src: branch, dst: hq, class: FlowClass::Commodity },
-                ProbeLeg { src: hq, dst: pop, class: FlowClass::Commodity },
+                ProbeLeg {
+                    src: branch,
+                    dst: hq,
+                    class: FlowClass::Commodity,
+                },
+                ProbeLeg {
+                    src: hq,
+                    dst: pop,
+                    class: FlowClass::Commodity,
+                },
             ],
         ],
         probe_bytes: MB,
@@ -82,7 +94,9 @@ fn main() {
         epochs: 10,
         alpha: 0.5,
     };
-    let v = sim.run_process(Box::new(RouteMonitor::new(cfg))).expect("monitor");
+    let v = sim
+        .run_process(Box::new(RouteMonitor::new(cfg)))
+        .expect("monitor");
     let choices = RouteMonitor::decode_choices(&v);
     let names = ["direct", "via HQ"];
     let timeline: Vec<&str> = choices.iter().map(|&c| names[c]).collect();

@@ -17,8 +17,11 @@ use routing_detours::scenarios::{Client, NorthAmerica};
 
 fn main() {
     let world = NorthAmerica::new();
-    let routes =
-        vec![Route::Direct, Route::via(world.hop_ualberta()), Route::via(world.hop_umich())];
+    let routes = vec![
+        Route::Direct,
+        Route::via(world.hop_ualberta()),
+        Route::via(world.hop_umich()),
+    ];
     let size = 60 * MB;
 
     println!("selecting routes for 60 MB uploads (oracle = 7-run measured campaign)\n");
@@ -31,9 +34,19 @@ fn main() {
             let provider = world.provider(kind);
             let spec = world.client(client);
 
-            let oracle = OracleSelector { protocol: RunProtocol::paper() };
+            let oracle = OracleSelector {
+                protocol: RunProtocol::paper(),
+            };
             let (choice, stats) = oracle
-                .choose(&world, &spec, &provider, &routes, size, &format!("{client:?}-{kind:?}"), 0)
+                .choose(
+                    &world,
+                    &spec,
+                    &provider,
+                    &routes,
+                    size,
+                    &format!("{client:?}-{kind:?}"),
+                    0,
+                )
                 .expect("oracle");
 
             let mut sim = world.build_sim(99);
@@ -46,19 +59,22 @@ fn main() {
             let best_detour = (1..routes.len())
                 .min_by(|&a, &b| stats[a].mean.partial_cmp(&stats[b].mean).unwrap())
                 .expect("detours exist");
-            let overlap_pick = if DecisionRule::OverlapAware
-                .prefer_detour(&stats[0], &stats[best_detour])
-            {
-                routes[best_detour].label()
-            } else {
-                "Direct".to_string()
-            };
+            let overlap_pick =
+                if DecisionRule::OverlapAware.prefer_detour(&stats[0], &stats[best_detour]) {
+                    routes[best_detour].label()
+                } else {
+                    "Direct".to_string()
+                };
 
             println!(
                 "{:<8} {:<13} {:<16} {:<16} {:<10}",
                 client.name(),
                 kind.display_name(),
-                format!("{} ({:.0}s)", routes[choice.route_idx].label(), choice.expected_secs),
+                format!(
+                    "{} ({:.0}s)",
+                    routes[choice.route_idx].label(),
+                    choice.expected_secs
+                ),
                 routes[probe.route_idx].label(),
                 overlap_pick,
             );

@@ -27,8 +27,13 @@ impl Process for TracedFlow {
     fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
         match ev {
             Event::Started => {
-                ctx.start_flow(FlowSpec::new(self.src, self.dst, self.bytes, FlowClass::PlanetLab))
-                    .expect("flow starts");
+                ctx.start_flow(FlowSpec::new(
+                    self.src,
+                    self.dst,
+                    self.bytes,
+                    FlowClass::PlanetLab,
+                ))
+                .expect("flow starts");
             }
             Event::FlowCompleted { flow, elapsed, .. } => {
                 ctx.finish(Value::List(vec![Value::U64(flow.0), Value::Time(elapsed)]));
@@ -44,19 +49,31 @@ fn main() {
 
     println!("100 MB raw transfer, rate over time (64 buckets, bucket = total/64):\n");
     for (label, src, dst) in [
-        ("Purdue -> Google (congested commodity peering)", n.purdue, n.google_pop),
-        ("UBC    -> Google (pacificwave policer)", n.ubc, n.google_pop),
+        (
+            "Purdue -> Google (congested commodity peering)",
+            n.purdue,
+            n.google_pop,
+        ),
+        (
+            "UBC    -> Google (pacificwave policer)",
+            n.ubc,
+            n.google_pop,
+        ),
         ("UBC    -> UAlberta (clean CANARIE)", n.ubc, n.ualberta),
     ] {
         let mut sim = world.build_sim(11);
         sim.enable_flow_tracing();
         let v = sim
-            .run_process(Box::new(TracedFlow { src, dst, bytes: 100 * MB }))
+            .run_process(Box::new(TracedFlow {
+                src,
+                dst,
+                bytes: 100 * MB,
+            }))
             .expect("transfer completes");
         let items = v.expect_list();
         let flow = FlowId(items[0].expect_u64());
         let elapsed = items[1].expect_time();
-        let trace = sim.flow_trace(flow);
+        let trace = sim.flow_trace(flow).expect("flow tracing enabled above");
         let samples = trace.sample(64);
         let mean_mbps = samples.iter().sum::<f64>() / samples.len() as f64 * 8.0 / 1e6;
         println!("{label}");

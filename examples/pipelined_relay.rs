@@ -11,8 +11,8 @@
 use routing_detours::cloudstore::{ProviderKind, UploadOptions};
 use routing_detours::netsim::flow::FlowClass;
 use routing_detours::netsim::units::MB;
-use routing_detours::relay::pipeline::pipelined_upload;
 use routing_detours::relay::detour_upload;
+use routing_detours::relay::pipeline::pipelined_upload;
 use routing_detours::scenarios::NorthAmerica;
 
 fn main() {
@@ -21,7 +21,10 @@ fn main() {
     let drive = world.provider(ProviderKind::GoogleDrive);
 
     println!("UBC -> UAlberta -> Google Drive, store-and-forward vs pipelined\n");
-    println!("{:>10} {:>18} {:>14} {:>10}", "size (MB)", "store-&-fwd (s)", "pipelined (s)", "saved");
+    println!(
+        "{:>10} {:>18} {:>14} {:>10}",
+        "size (MB)", "store-&-fwd (s)", "pipelined (s)", "saved"
+    );
     for mb in [10u64, 20, 40, 60, 100] {
         let mut sim = world.build_sim(7);
         let sf = detour_upload(

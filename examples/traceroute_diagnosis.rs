@@ -24,9 +24,18 @@ fn main() {
 
     let cmp = compare_traceroutes(&from_ubc, &from_ua);
     println!("--- analysis ---");
-    println!("shared middlebox: {}", cmp.junction.as_deref().unwrap_or("(none)"));
-    println!("after it, only the UBC path crosses: {:?}", cmp.only_in_first);
-    println!("after it, only the UAlberta path crosses: {:?}", cmp.only_in_second);
+    println!(
+        "shared middlebox: {}",
+        cmp.junction.as_deref().unwrap_or("(none)")
+    );
+    println!(
+        "after it, only the UBC path crosses: {:?}",
+        cmp.only_in_first
+    );
+    println!(
+        "after it, only the UAlberta path crosses: {:?}",
+        cmp.only_in_second
+    );
 
     let ubc_rate = sim
         .core()

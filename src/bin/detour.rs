@@ -6,6 +6,8 @@
 //! detour traceroute --client ubc --provider gdrive
 //! detour probe      --client ubc
 //! detour tiv        --client ubc --provider gdrive
+//! detour trace      --client ubc --provider gdrive --size 100 [--route ualberta] [--seed 1]
+//!                   [--format tree|jsonl|chrome|metrics] [--out FILE]
 //! ```
 //!
 //! Clients: `ubc`, `purdue`, `ucla`. Providers: `gdrive`, `dropbox`,
@@ -23,7 +25,9 @@ fn usage() -> ! {
         "usage:\n  detour simulate   --client <ubc|purdue|ucla> --provider <gdrive|dropbox|onedrive> \
          --size <MB> [--route <direct|ualberta|umich>] [--runs N] [--seed N]\n  detour best-route \
          --client <c> --provider <p> --size <MB> [--rule <overlap|mean>]\n  detour traceroute \
-         --client <c> --provider <p>\n  detour probe      --client <c>"
+         --client <c> --provider <p>\n  detour probe      --client <c>\n  detour trace      \
+         --client <c> --provider <p> --size <MB> [--route <r>] [--seed N] \
+         [--format <tree|jsonl|chrome|metrics>] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -78,7 +82,10 @@ impl Args {
     }
 
     fn u64_flag(&self, name: &str, default: u64) -> u64 {
-        self.flags.get(name).map(|s| s.parse().unwrap_or_else(|_| usage())).unwrap_or(default)
+        self.flags
+            .get(name)
+            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(default)
     }
 }
 
@@ -100,7 +107,77 @@ fn main() {
         "traceroute" => traceroute(&args, &world),
         "probe" => probe(&args, &world),
         "tiv" => tiv(&args, &world),
+        "trace" => trace(&args, &world),
         _ => usage(),
+    }
+}
+
+/// Run one upload with telemetry enabled and export the recording: a span
+/// tree for humans, JSONL or Chrome trace-event JSON (Perfetto) for tools,
+/// or the metrics snapshot as a table.
+fn trace(args: &Args, world: &NorthAmerica) {
+    use routing_detours::obs;
+    let client = world.client(args.client());
+    let provider = world.provider(args.provider());
+    let size = args.size_bytes();
+    let seed = args.u64_flag("seed", 1);
+    let route_name = args
+        .flags
+        .get("route")
+        .cloned()
+        .unwrap_or_else(|| "direct".into());
+    let route = route_by_name(world, &route_name);
+
+    let mut sim = world.build_sim(seed);
+    sim.enable_telemetry();
+    let report = run_job(
+        &mut sim,
+        client.node,
+        client.class,
+        &provider,
+        size,
+        &route,
+        UploadOptions::warm(client.class),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("simulation failed: {e}");
+        std::process::exit(1);
+    });
+    let rec = sim.take_telemetry().expect("telemetry was enabled");
+
+    let format = args
+        .flags
+        .get("format")
+        .map(String::as_str)
+        .unwrap_or("tree");
+    let rendered = match format {
+        "tree" => format!(
+            "{} -> {} ({}), {} MB, seed {}: {:.2} s\n\n{}\n{}",
+            client.name,
+            provider.kind.display_name(),
+            route.label(),
+            size / MB,
+            seed,
+            report.secs(),
+            obs::span_tree_text(&rec),
+            routing_detours::measure::metrics_table(&rec.metrics.snapshot(), "metrics").render()
+        ),
+        "jsonl" => obs::jsonl_log(&rec),
+        "chrome" => obs::chrome_trace_json(&rec),
+        "metrics" => {
+            routing_detours::measure::metrics_table(&rec.metrics.snapshot(), "metrics").render()
+        }
+        _ => usage(),
+    };
+    match args.flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path} ({} bytes)", rendered.len());
+        }
+        None => print!("{rendered}"),
     }
 }
 
@@ -113,7 +190,10 @@ fn tiv(args: &Args, world: &NorthAmerica) {
     let frontend = provider.frontend_for(sim.core().topology(), client.node);
     let n = *world.nodes();
     let candidates = [
-        (n.ualberta, routing_detours::netsim::flow::FlowClass::Research),
+        (
+            n.ualberta,
+            routing_detours::netsim::flow::FlowClass::Research,
+        ),
         (n.umich, routing_detours::netsim::flow::FlowClass::PlanetLab),
     ];
     let tivs = routing_detours::detour_core::find_bandwidth_tivs(
@@ -158,7 +238,11 @@ fn simulate(args: &Args, world: &NorthAmerica) {
     let size = args.size_bytes();
     let runs = args.u64_flag("runs", 1) as usize;
     let seed = args.u64_flag("seed", 1);
-    let route_name = args.flags.get("route").cloned().unwrap_or_else(|| "direct".into());
+    let route_name = args
+        .flags
+        .get("route")
+        .cloned()
+        .unwrap_or_else(|| "direct".into());
     let route = route_by_name(world, &route_name);
 
     let mut secs = Vec::with_capacity(runs);
@@ -201,16 +285,25 @@ fn best_route(args: &Args, world: &NorthAmerica) {
         Some("mean") => DecisionRule::MeanOnly,
         _ => DecisionRule::OverlapAware,
     };
-    let routes =
-        vec![Route::Direct, Route::via(world.hop_ualberta()), Route::via(world.hop_umich())];
-    let oracle = routing_detours::detour_core::OracleSelector { protocol: RunProtocol::paper() };
+    let routes = vec![
+        Route::Direct,
+        Route::via(world.hop_ualberta()),
+        Route::via(world.hop_umich()),
+    ];
+    let oracle = routing_detours::detour_core::OracleSelector {
+        protocol: RunProtocol::paper(),
+    };
     let (choice, stats) = oracle
         .choose(world, &client, &provider, &routes, size, "cli", 0)
         .unwrap_or_else(|e| {
             eprintln!("measurement failed: {e}");
             std::process::exit(1);
         });
-    println!("measured ({} MB to {}):", size / MB, provider.kind.display_name());
+    println!(
+        "measured ({} MB to {}):",
+        size / MB,
+        provider.kind.display_name()
+    );
     for (route, s) in routes.iter().zip(&stats) {
         println!("  {:<14} {:.2} s ± {:.2}", route.label(), s.mean, s.std_dev);
     }
@@ -223,7 +316,10 @@ fn best_route(args: &Args, world: &NorthAmerica) {
         "Direct".to_string()
     } else {
         // Mean says detour but the rule refused (overlapping error bars).
-        format!("Direct (detour {} overlaps; rule = overlap-aware)", routes[best_detour].label())
+        format!(
+            "Direct (detour {} overlaps; rule = overlap-aware)",
+            routes[best_detour].label()
+        )
     };
     println!("decision: {decision}");
 }

@@ -7,6 +7,7 @@
 //! | crate | what it is |
 //! |---|---|
 //! | [`netsim`] | flow-level discrete-event WAN simulator (topology, policy routing, max-min fair flows, policers, background traffic, traceroute) |
+//! | [`obs`] | telemetry: sim-time spans and events, metrics registry, Perfetto/JSONL trace exporters |
 //! | [`transfer`] | the rsync algorithm (MD5, rolling checksum, signatures, delta, patch) and wire-cost models |
 //! | [`cloudstore`] | Google Drive / Dropbox / OneDrive API models (OAuth2, chunked upload sessions, fault injection) |
 //! | [`relay`] | store-and-forward and pipelined DTN relaying |
@@ -21,6 +22,7 @@ pub use cloudstore;
 pub use detour_core;
 pub use measure;
 pub use netsim;
+pub use obs;
 pub use relay;
 pub use scenarios;
 pub use transfer;

@@ -24,26 +24,68 @@ fn no_args_prints_usage() {
 #[test]
 fn simulate_direct_and_detour() {
     let (out, _, ok) = detour(&[
-        "simulate", "--client", "ubc", "--provider", "gdrive", "--size", "100",
+        "simulate",
+        "--client",
+        "ubc",
+        "--provider",
+        "gdrive",
+        "--size",
+        "100",
     ]);
     assert!(ok, "{out}");
-    assert!(out.contains("UBC -> Google Drive (Direct), 100 MB"), "{out}");
-    let direct: f64 = out.split(": ").nth(1).unwrap().split(" s").next().unwrap().parse().unwrap();
+    assert!(
+        out.contains("UBC -> Google Drive (Direct), 100 MB"),
+        "{out}"
+    );
+    let direct: f64 = out
+        .split(": ")
+        .nth(1)
+        .unwrap()
+        .split(" s")
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
 
     let (out2, _, ok2) = detour(&[
-        "simulate", "--client", "ubc", "--provider", "gdrive", "--size", "100", "--route",
+        "simulate",
+        "--client",
+        "ubc",
+        "--provider",
+        "gdrive",
+        "--size",
+        "100",
+        "--route",
         "ualberta",
     ]);
     assert!(ok2, "{out2}");
-    let detoured: f64 =
-        out2.split(": ").nth(1).unwrap().split(" s").next().unwrap().parse().unwrap();
-    assert!(detoured < direct, "detour {detoured} should beat direct {direct}");
+    let detoured: f64 = out2
+        .split(": ")
+        .nth(1)
+        .unwrap()
+        .split(" s")
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        detoured < direct,
+        "detour {detoured} should beat direct {direct}"
+    );
 }
 
 #[test]
 fn simulate_multi_run_reports_sigma() {
     let (out, _, ok) = detour(&[
-        "simulate", "--client", "purdue", "--provider", "gdrive", "--size", "30", "--runs", "3",
+        "simulate",
+        "--client",
+        "purdue",
+        "--provider",
+        "gdrive",
+        "--size",
+        "30",
+        "--runs",
+        "3",
     ]);
     assert!(ok, "{out}");
     assert!(out.contains("over 3 run(s)"), "{out}");
@@ -53,7 +95,13 @@ fn simulate_multi_run_reports_sigma() {
 #[test]
 fn best_route_picks_detour_for_ubc_gdrive() {
     let (out, _, ok) = detour(&[
-        "best-route", "--client", "ubc", "--provider", "gdrive", "--size", "60",
+        "best-route",
+        "--client",
+        "ubc",
+        "--provider",
+        "gdrive",
+        "--size",
+        "60",
     ]);
     assert!(ok, "{out}");
     assert!(out.contains("decision: via UAlberta"), "{out}");
@@ -62,7 +110,13 @@ fn best_route_picks_detour_for_ubc_gdrive() {
 #[test]
 fn best_route_prefers_direct_from_ucla() {
     let (out, _, ok) = detour(&[
-        "best-route", "--client", "ucla", "--provider", "dropbox", "--size", "30",
+        "best-route",
+        "--client",
+        "ucla",
+        "--provider",
+        "dropbox",
+        "--size",
+        "30",
     ]);
     assert!(ok, "{out}");
     assert!(out.contains("decision: Direct"), "{out}");
@@ -80,7 +134,13 @@ fn traceroute_shows_pacificwave_for_ubc_gdrive() {
 fn probe_lists_all_targets() {
     let (out, _, ok) = detour(&["probe", "--client", "purdue"]);
     assert!(ok, "{out}");
-    for label in ["Google Drive POP", "Dropbox POP", "OneDrive POP", "UAlberta DTN", "UMich DTN"] {
+    for label in [
+        "Google Drive POP",
+        "Dropbox POP",
+        "OneDrive POP",
+        "UAlberta DTN",
+        "UMich DTN",
+    ] {
         assert!(out.contains(label), "missing {label}: {out}");
     }
     assert!(out.contains("Mbps"), "{out}");
@@ -100,7 +160,15 @@ fn tiv_found_for_ubc_gdrive_but_not_ucla() {
 
 #[test]
 fn bad_flags_fail_cleanly() {
-    let (_, err, ok) = detour(&["simulate", "--client", "mars", "--provider", "gdrive", "--size", "10"]);
+    let (_, err, ok) = detour(&[
+        "simulate",
+        "--client",
+        "mars",
+        "--provider",
+        "gdrive",
+        "--size",
+        "10",
+    ]);
     assert!(!ok);
     assert!(err.contains("usage:"), "{err}");
 }

@@ -11,10 +11,21 @@ fn world() -> (Sim, NodeId, NodeId, NodeId, LinkId) {
     let user = b.host("user", GeoPoint::new(49.0, -123.0));
     let dtn = b.host("dtn", GeoPoint::new(53.5, -113.5));
     let pop = b.datacenter("pop", GeoPoint::new(37.4, -122.1));
-    let (direct_link, _) =
-        b.duplex(user, pop, LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(12)));
-    b.duplex(user, dtn, LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(8)));
-    b.duplex(dtn, pop, LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(14)));
+    let (direct_link, _) = b.duplex(
+        user,
+        pop,
+        LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(12)),
+    );
+    b.duplex(
+        user,
+        dtn,
+        LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(8)),
+    );
+    b.duplex(
+        dtn,
+        pop,
+        LinkParams::new(Bandwidth::from_mbps(50.0), SimTime::from_millis(14)),
+    );
     (Sim::new(b.build(), 7), user, dtn, pop, direct_link)
 }
 
@@ -22,13 +33,29 @@ fn world() -> (Sim, NodeId, NodeId, NodeId, LinkId) {
 fn monitor_switches_when_bottleneck_appears() {
     let (mut sim, user, dtn, pop, direct_link) = world();
     // At t=60s the direct path collapses to 2 Mbps.
-    sim.schedule_capacity_change(direct_link, SimTime::from_secs(60), Bandwidth::from_mbps(2.0));
+    sim.schedule_capacity_change(
+        direct_link,
+        SimTime::from_secs(60),
+        Bandwidth::from_mbps(2.0),
+    );
     let cfg = MonitorConfig {
         routes: vec![
-            vec![ProbeLeg { src: user, dst: pop, class: FlowClass::Commodity }],
+            vec![ProbeLeg {
+                src: user,
+                dst: pop,
+                class: FlowClass::Commodity,
+            }],
             vec![
-                ProbeLeg { src: user, dst: dtn, class: FlowClass::Commodity },
-                ProbeLeg { src: dtn, dst: pop, class: FlowClass::Commodity },
+                ProbeLeg {
+                    src: user,
+                    dst: dtn,
+                    class: FlowClass::Commodity,
+                },
+                ProbeLeg {
+                    src: dtn,
+                    dst: pop,
+                    class: FlowClass::Commodity,
+                },
             ],
         ],
         probe_bytes: MB,
@@ -41,23 +68,50 @@ fn monitor_switches_when_bottleneck_appears() {
     let choices = RouteMonitor::decode_choices(&v);
     // Healthy direct path first (100 > 50 Mbps), detour after the collapse.
     assert_eq!(choices[0], 0, "choices {choices:?}");
-    assert_eq!(*choices.last().unwrap(), 1, "monitor never switched: {choices:?}");
+    assert_eq!(
+        *choices.last().unwrap(),
+        1,
+        "monitor never switched: {choices:?}"
+    );
     // The switch is persistent once made.
     let first_switch = choices.iter().position(|&c| c == 1).unwrap();
-    assert!(choices[first_switch..].iter().all(|&c| c == 1), "flapping: {choices:?}");
+    assert!(
+        choices[first_switch..].iter().all(|&c| c == 1),
+        "flapping: {choices:?}"
+    );
 }
 
 #[test]
 fn monitor_switches_back_when_bottleneck_clears() {
     let (mut sim, user, dtn, pop, direct_link) = world();
-    sim.schedule_capacity_change(direct_link, SimTime::from_secs(30), Bandwidth::from_mbps(2.0));
-    sim.schedule_capacity_change(direct_link, SimTime::from_secs(150), Bandwidth::from_mbps(100.0));
+    sim.schedule_capacity_change(
+        direct_link,
+        SimTime::from_secs(30),
+        Bandwidth::from_mbps(2.0),
+    );
+    sim.schedule_capacity_change(
+        direct_link,
+        SimTime::from_secs(150),
+        Bandwidth::from_mbps(100.0),
+    );
     let cfg = MonitorConfig {
         routes: vec![
-            vec![ProbeLeg { src: user, dst: pop, class: FlowClass::Commodity }],
+            vec![ProbeLeg {
+                src: user,
+                dst: pop,
+                class: FlowClass::Commodity,
+            }],
             vec![
-                ProbeLeg { src: user, dst: dtn, class: FlowClass::Commodity },
-                ProbeLeg { src: dtn, dst: pop, class: FlowClass::Commodity },
+                ProbeLeg {
+                    src: user,
+                    dst: dtn,
+                    class: FlowClass::Commodity,
+                },
+                ProbeLeg {
+                    src: dtn,
+                    dst: pop,
+                    class: FlowClass::Commodity,
+                },
             ],
         ],
         probe_bytes: MB,
@@ -75,7 +129,11 @@ fn monitor_switches_back_when_bottleneck_clears() {
 #[test]
 fn transfer_spanning_a_degradation_slows_down() {
     let (mut sim, user, _, pop, direct_link) = world();
-    sim.schedule_capacity_change(direct_link, SimTime::from_secs(2), Bandwidth::from_mbps(4.0));
+    sim.schedule_capacity_change(
+        direct_link,
+        SimTime::from_secs(2),
+        Bandwidth::from_mbps(4.0),
+    );
     let report = sim
         .run_transfer(TransferRequest::new(user, pop, 50 * MB))
         .unwrap();

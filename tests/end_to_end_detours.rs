@@ -69,7 +69,10 @@ fn pipelining_beats_store_and_forward_on_winning_detour() {
     assert!(pl.overlap_savings() > 0.0);
     // Pipelined time is bounded below by the slower leg.
     let slower_leg = sf.leg_times[0].max(sf.upload.elapsed);
-    assert!(pl.total >= slower_leg, "pipelining cannot beat the bottleneck leg");
+    assert!(
+        pl.total >= slower_leg,
+        "pipelining cannot beat the bottleneck leg"
+    );
 }
 
 #[test]

@@ -12,7 +12,9 @@ use routing_detours::scenarios::{Client, NorthAmerica};
 fn flaky_frontend_is_survivable_via_retries() {
     let world = NorthAmerica::new();
     let client = world.client(Client::Ubc);
-    let provider = world.provider(ProviderKind::GoogleDrive).with_faults(FaultPlan::flaky());
+    let provider = world
+        .provider(ProviderKind::GoogleDrive)
+        .with_faults(FaultPlan::flaky());
     let mut sim = world.build_sim(21);
     let report = run_job(
         &mut sim,
@@ -44,7 +46,9 @@ fn flaky_frontend_is_survivable_via_retries() {
 fn detours_carry_fault_handling_too() {
     let world = NorthAmerica::new();
     let client = world.client(Client::Ubc);
-    let provider = world.provider(ProviderKind::GoogleDrive).with_faults(FaultPlan::flaky());
+    let provider = world
+        .provider(ProviderKind::GoogleDrive)
+        .with_faults(FaultPlan::flaky());
     let mut sim = world.build_sim(22);
     let report = run_job(
         &mut sim,
@@ -93,7 +97,11 @@ fn firewall_on_access_link_blocks_probes_only() {
         .link_between(n.ubc, topo.node_by_name("a0-a1.net.ubc.ca").unwrap())
         .expect("access link");
     let mut sim = world.build_sim(1);
-    sim.add_firewall(FirewallRule::drop_class("campus-fw", ubc_access, FlowClass::Probe));
+    sim.add_firewall(FirewallRule::drop_class(
+        "campus-fw",
+        ubc_access,
+        FlowClass::Probe,
+    ));
 
     use routing_detours::netsim::engine::TransferRequest;
     use routing_detours::netsim::flow::FlowSpec;
@@ -102,7 +110,10 @@ fn firewall_on_access_link_blocks_probes_only() {
             spec: FlowSpec::new(n.ubc, n.ualberta, MB, FlowClass::Probe),
         })
         .unwrap_err();
-    assert!(matches!(err, routing_detours::netsim::error::NetError::Blocked { .. }));
+    assert!(matches!(
+        err,
+        routing_detours::netsim::error::NetError::Blocked { .. }
+    ));
 
     let ok = sim.run_transfer(TransferRequest {
         spec: FlowSpec::new(n.ubc, n.ualberta, MB, FlowClass::PlanetLab),
@@ -130,7 +141,10 @@ fn hopeless_frontend_fails_cleanly_not_forever() {
     )
     .unwrap_err();
     assert!(
-        matches!(err, routing_detours::netsim::error::NetError::Blocked { .. }),
+        matches!(
+            err,
+            routing_detours::netsim::error::NetError::Blocked { .. }
+        ),
         "expected bounded retries then failure, got {err:?}"
     );
 }

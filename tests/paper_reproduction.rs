@@ -1,10 +1,10 @@
 //! Integration tests: the paper's qualitative findings must hold end to end
 //! (quick protocol — the full 7-run version runs in the bench harness).
 
+use routing_detours::cloudstore::ProviderKind;
 use routing_detours::detour_core::compare_traceroutes;
 use routing_detours::measure::OverlapVerdict;
 use routing_detours::scenarios::{Client, ExperimentSet, NorthAmerica};
-use routing_detours::cloudstore::ProviderKind;
 
 #[test]
 fn fig2_ubc_drive_detour_wins() {
@@ -61,7 +61,11 @@ fn purdue_onedrive_has_large_variance() {
     let r = set.fig9().expect("fig9 campaign");
     let last = r.sizes.len() - 1;
     let direct = r.stats(last, 0);
-    assert!(direct.cv() > 0.05, "direct OneDrive cv {} too small", direct.cv());
+    assert!(
+        direct.cv() > 0.05,
+        "direct OneDrive cv {} too small",
+        direct.cv()
+    );
 }
 
 #[test]
@@ -81,7 +85,10 @@ fn table4_overlap_analysis_reproduces() {
             }
         }
     }
-    assert!(any_overlap, "no overlapping intervals at Purdue→Dropbox at all");
+    assert!(
+        any_overlap,
+        "no overlapping intervals at Purdue→Dropbox at all"
+    );
 }
 
 #[test]

@@ -1,7 +1,9 @@
 //! Integration tests for sync-session workloads and small-file batching
 //! through the top-level facade.
 
-use routing_detours::cloudstore::{plan_batches, upload_batched, BatchItem, BatchPolicy, ProviderKind};
+use routing_detours::cloudstore::{
+    plan_batches, upload_batched, BatchItem, BatchPolicy, ProviderKind,
+};
 use routing_detours::netsim::units::{KB, MB};
 use routing_detours::scenarios::{run_session, Client, NorthAmerica, SessionPolicy, SyncWorkload};
 
@@ -9,7 +11,14 @@ use routing_detours::scenarios::{run_session, Client, NorthAmerica, SessionPolic
 fn session_total_is_sum_of_positive_uploads() {
     let world = NorthAmerica::new();
     let w = SyncWorkload::personal_cloud(9, 6);
-    let r = run_session(&world, Client::Ubc, ProviderKind::Dropbox, &w, SessionPolicy::AlwaysDirect, 2);
+    let r = run_session(
+        &world,
+        Client::Ubc,
+        ProviderKind::Dropbox,
+        &w,
+        SessionPolicy::AlwaysDirect,
+        2,
+    );
     assert_eq!(r.choices.len(), 6);
     assert!(r.total_secs > 0.0);
 }
@@ -19,16 +28,40 @@ fn detour_session_wins_only_where_the_paper_says() {
     let world = NorthAmerica::new();
     let w = SyncWorkload::personal_cloud(3, 10);
     // Purdue→Drive: detour session wins.
-    let direct =
-        run_session(&world, Client::Purdue, ProviderKind::GoogleDrive, &w, SessionPolicy::AlwaysDirect, 4);
-    let detour =
-        run_session(&world, Client::Purdue, ProviderKind::GoogleDrive, &w, SessionPolicy::FixedRoute(1), 4);
+    let direct = run_session(
+        &world,
+        Client::Purdue,
+        ProviderKind::GoogleDrive,
+        &w,
+        SessionPolicy::AlwaysDirect,
+        4,
+    );
+    let detour = run_session(
+        &world,
+        Client::Purdue,
+        ProviderKind::GoogleDrive,
+        &w,
+        SessionPolicy::FixedRoute(1),
+        4,
+    );
     assert!(detour.total_secs < direct.total_secs);
     // UBC→Dropbox: direct session wins (detours only add overhead).
-    let direct =
-        run_session(&world, Client::Ubc, ProviderKind::Dropbox, &w, SessionPolicy::AlwaysDirect, 4);
-    let detour =
-        run_session(&world, Client::Ubc, ProviderKind::Dropbox, &w, SessionPolicy::FixedRoute(1), 4);
+    let direct = run_session(
+        &world,
+        Client::Ubc,
+        ProviderKind::Dropbox,
+        &w,
+        SessionPolicy::AlwaysDirect,
+        4,
+    );
+    let detour = run_session(
+        &world,
+        Client::Ubc,
+        ProviderKind::Dropbox,
+        &w,
+        SessionPolicy::FixedRoute(1),
+        4,
+    );
     assert!(direct.total_secs < detour.total_secs);
 }
 
@@ -38,7 +71,14 @@ fn batching_reduces_objects_and_completes_on_the_scenario() {
     let client = world.client(Client::Ubc);
     let provider = world.provider(ProviderKind::GoogleDrive);
     let files = vec![
-        200 * KB, 300 * KB, 150 * KB, 60 * MB, 500 * KB, 700 * KB, 250 * KB, 400 * KB,
+        200 * KB,
+        300 * KB,
+        150 * KB,
+        60 * MB,
+        500 * KB,
+        700 * KB,
+        250 * KB,
+        400 * KB,
     ];
     let plan = plan_batches(&files, BatchPolicy::default());
     assert!(plan.len() < files.len());
@@ -58,8 +98,22 @@ fn batching_reduces_objects_and_completes_on_the_scenario() {
 fn workloads_are_deterministic_and_policy_choices_recorded() {
     let world = NorthAmerica::new();
     let w = SyncWorkload::personal_cloud(11, 8);
-    let a = run_session(&world, Client::Ucla, ProviderKind::OneDrive, &w, SessionPolicy::FixedRoute(2), 7);
-    let b = run_session(&world, Client::Ucla, ProviderKind::OneDrive, &w, SessionPolicy::FixedRoute(2), 7);
+    let a = run_session(
+        &world,
+        Client::Ucla,
+        ProviderKind::OneDrive,
+        &w,
+        SessionPolicy::FixedRoute(2),
+        7,
+    );
+    let b = run_session(
+        &world,
+        Client::Ucla,
+        ProviderKind::OneDrive,
+        &w,
+        SessionPolicy::FixedRoute(2),
+        7,
+    );
     assert_eq!(a.total_secs.to_bits(), b.total_secs.to_bits());
     assert!(a.choices.iter().all(|&c| c == 2));
 }

@@ -1,0 +1,371 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of criterion its benches use: `Criterion` with
+//! `sample_size`/`measurement_time`/`warm_up_time`, benchmark groups with
+//! throughput annotation, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is real wall-clock sampling —
+//! warm-up, then `sample_size` timed batches — reported as median
+//! ns-per-iteration with min/max spread (no HTML reports, no statistical
+//! regression analysis).
+//!
+//! Under `--test` (as passed by `cargo test --benches`) every closure runs
+//! exactly once so the suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(None, id.into(), None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(
+        &mut self,
+        group: Option<&str>,
+        id: BenchmarkId,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let label = match group {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_string(),
+        };
+        if self.test_mode {
+            println!("{label}: ok (test mode, 1 iteration)");
+            return;
+        }
+        let mut samples = bencher.samples_ns;
+        if samples.is_empty() {
+            println!("{label}: no samples (b.iter was never called)");
+            return;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        let rate = throughput
+            .map(|t| match t {
+                Throughput::Bytes(n) => {
+                    format!("  {}/s", format_scaled(n as f64 / (median * 1e-9), "B"))
+                }
+                Throughput::Elements(n) => {
+                    format!("  {}/s", format_scaled(n as f64 / (median * 1e-9), "elem"))
+                }
+            })
+            .unwrap_or_default();
+        println!(
+            "{label:<48} time: [{} {} {}]{rate}",
+            format_ns(min),
+            format_ns(median),
+            format_ns(max)
+        );
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = self.name.clone();
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(Some(&name), id.into(), throughput, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = self.name.clone();
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(Some(&name), id.into(), throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure a routine: warm up, then record `sample_size` timed batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up, and estimate the per-iteration cost while at it.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((budget_ns / est_ns).round() as u64).clamp(1, 10_000_000);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    /// Median nanoseconds per iteration from the last [`Bencher::iter`]
+    /// call, when sampling ran (never in `--test` mode). This is an
+    /// extension over upstream criterion used by benches that derive
+    /// ratios between measurements (e.g. instrumentation overhead).
+    pub fn last_median_ns(&self) -> Option<f64> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        Some(s[s.len() / 2])
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn format_scaled(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        c.test_mode = false;
+        let mut observed = None;
+        c.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+            observed = b.last_median_ns();
+        });
+        assert!(observed.expect("samples collected") > 0.0);
+    }
+
+    #[test]
+    fn group_api_shape() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4))
+            .warm_up_time(Duration::from_millis(1));
+        c.test_mode = true;
+        let mut g = c.benchmark_group("shape");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::new("with-input", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        g.bench_function(BenchmarkId::from_parameter(9), |b| b.iter(|| black_box(9)));
+        g.finish();
+    }
+}

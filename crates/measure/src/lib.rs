@@ -16,8 +16,8 @@ pub mod table;
 pub mod validate;
 
 pub use chart::{Bar, GroupedBarChart};
-pub use protocol::RunProtocol;
+pub use protocol::{ProtocolError, RunProtocol};
 pub use report::{metrics_csv, metrics_table, metrics_text};
-pub use stats::{OverlapVerdict, Stats, WelchT};
+pub use stats::{percentile, OverlapVerdict, Stats, WelchT};
 pub use table::Table;
 pub use validate::{pearson, RatioStats};

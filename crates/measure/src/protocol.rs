@@ -7,6 +7,37 @@
 
 use crate::stats::Stats;
 
+/// Why a [`RunProtocol`] shape is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// `total_runs == 0`: the batch would measure nothing.
+    NoRuns,
+    /// `discard >= total_runs`: every run would be thrown away as warm-up.
+    DiscardsEverything {
+        /// Requested batch size.
+        total_runs: usize,
+        /// Requested warm-up count.
+        discard: usize,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::NoRuns => write!(f, "protocol performs no runs"),
+            ProtocolError::DiscardsEverything {
+                total_runs,
+                discard,
+            } => write!(
+                f,
+                "protocol discards everything: {discard} warm-ups of {total_runs} run(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
 /// A measurement batch description.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunProtocol {
@@ -33,6 +64,32 @@ impl RunProtocol {
             total_runs: 5,
             discard: 1,
         }
+    }
+
+    /// Validated constructor: every batch must keep at least one run.
+    ///
+    /// ```
+    /// use measure::{ProtocolError, RunProtocol};
+    /// assert!(RunProtocol::checked(7, 2).is_ok());
+    /// assert_eq!(
+    ///     RunProtocol::checked(2, 2),
+    ///     Err(ProtocolError::DiscardsEverything { total_runs: 2, discard: 2 })
+    /// );
+    /// ```
+    pub fn checked(total_runs: usize, discard: usize) -> Result<Self, ProtocolError> {
+        if total_runs == 0 {
+            return Err(ProtocolError::NoRuns);
+        }
+        if discard >= total_runs {
+            return Err(ProtocolError::DiscardsEverything {
+                total_runs,
+                discard,
+            });
+        }
+        Ok(RunProtocol {
+            total_runs,
+            discard,
+        })
     }
 
     /// Runs kept for statistics.
@@ -129,6 +186,51 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn non_finite_measurement_panics() {
         RunProtocol::quick().run(|_, _| f64::NAN);
+    }
+
+    #[test]
+    fn checked_accepts_boundary_and_rejects_degenerate() {
+        // Boundary: keep exactly one run.
+        let p = RunProtocol::checked(1, 0).unwrap();
+        assert_eq!(p.kept(), 1);
+        let stats = p.run(|_, warmup| {
+            assert!(!warmup);
+            3.5
+        });
+        assert_eq!((stats.n, stats.mean), (1, 3.5));
+
+        // Boundary: discard all but one.
+        assert_eq!(RunProtocol::checked(7, 6).unwrap().kept(), 1);
+
+        // Degenerate shapes come back as typed errors, not panics.
+        assert_eq!(RunProtocol::checked(0, 0), Err(ProtocolError::NoRuns));
+        assert_eq!(
+            RunProtocol::checked(3, 3),
+            Err(ProtocolError::DiscardsEverything {
+                total_runs: 3,
+                discard: 3
+            })
+        );
+        assert_eq!(
+            RunProtocol::checked(3, 4),
+            Err(ProtocolError::DiscardsEverything {
+                total_runs: 3,
+                discard: 4
+            })
+        );
+        // The canonical shapes pass validation.
+        assert_eq!(RunProtocol::checked(7, 2), Ok(RunProtocol::paper()));
+        assert_eq!(RunProtocol::checked(5, 1), Ok(RunProtocol::quick()));
+    }
+
+    #[test]
+    fn protocol_error_displays() {
+        assert!(ProtocolError::NoRuns.to_string().contains("no runs"));
+        let e = ProtocolError::DiscardsEverything {
+            total_runs: 2,
+            discard: 5,
+        };
+        assert!(e.to_string().contains("5 warm-ups of 2 run(s)"), "{e}");
     }
 
     #[test]

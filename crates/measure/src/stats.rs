@@ -142,6 +142,28 @@ impl WelchT {
     }
 }
 
+/// Nearest-rank percentile: the smallest sample such that at least `p`
+/// percent of the data is at or below it. `p` is clamped to `(0, 100]`;
+/// `p = 50` is the median, `p = 100` the maximum. Panics on an empty slice,
+/// like [`Stats::from_samples`].
+///
+/// ```
+/// use measure::percentile;
+/// let xs = [9.0, 1.0, 7.0, 3.0, 5.0];
+/// assert_eq!(percentile(&xs, 50.0), 5.0);
+/// assert_eq!(percentile(&xs, 100.0), 9.0);
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "no samples");
+    assert!(p.is_finite(), "percentile must be finite");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must be comparable"));
+    let p = p.clamp(0.0, 100.0);
+    // Nearest-rank: ceil(p/100 * n), 1-based; rank 1 for p = 0.
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank - 1]
+}
+
 /// Two-sided 5% Student-t critical value for `df` degrees of freedom
 /// (tabulated to 30, normal approximation beyond).
 pub fn t_critical_5pct(df: usize) -> f64 {
@@ -211,6 +233,54 @@ mod tests {
     #[should_panic(expected = "no samples")]
     fn empty_panics() {
         Stats::from_samples(&[]);
+    }
+
+    #[test]
+    fn all_equal_samples_have_zero_spread() {
+        // Degenerate but legal: every run took exactly the same time.
+        let s = Stats::from_samples(&[4.2; 7]);
+        assert_eq!(s.n, 7);
+        assert_eq!(s.mean, 4.2);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!((s.min, s.max), (4.2, 4.2));
+        assert_eq!(s.cv(), 4.2 / 4.2 * 0.0);
+        assert!(s.mean.is_finite() && s.std_dev.is_finite(), "no NaN leaks");
+        // ci95 stays a point interval when σ = 0.
+        assert_eq!(s.ci95(), (4.2, 4.2));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [15.0, 20.0, 35.0, 40.0, 50.0];
+        // Canonical nearest-rank example (Wikipedia): p30 of this set is 20.
+        assert_eq!(percentile(&xs, 30.0), 20.0);
+        assert_eq!(percentile(&xs, 40.0), 20.0);
+        assert_eq!(percentile(&xs, 50.0), 35.0);
+        assert_eq!(percentile(&xs, 100.0), 50.0);
+        // Unsorted input is handled.
+        assert_eq!(percentile(&[9.0, 1.0, 5.0], 50.0), 5.0);
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(percentile(&xs, -10.0), 15.0);
+        assert_eq!(percentile(&xs, 250.0), 50.0);
+    }
+
+    #[test]
+    fn percentile_single_sample_and_all_equal() {
+        // One sample: every percentile is that sample, never NaN.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[7.25], p), 7.25);
+        }
+        // All-equal: p50 == p99 == the value.
+        let xs = [3.0; 9];
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 99.0), 3.0);
+        assert_eq!(percentile(&xs, 50.0), percentile(&xs, 99.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
     }
 
     #[test]

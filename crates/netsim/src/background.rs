@@ -172,6 +172,11 @@ impl Process for BackgroundTraffic {
     fn name(&self) -> &'static str {
         "background-traffic"
     }
+
+    fn digest_into(&self, d: &mut crate::audit::Digest) {
+        d.write_bool(self.busy);
+        d.write_u64(self.in_flight as u64);
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! flows from one seeded PRNG, and floating-point rate arithmetic is
 //! platform-independent — the same seed replays the same run bit-for-bit.
 
+use crate::audit::{AuditHook, Digest};
 use crate::error::{NetError, NetResult};
 use crate::flow::{max_min_allocate, AllocEntry, FlowClass, FlowProgress, FlowSpec};
 use crate::middlebox::{FirewallRule, Policer, PolicerScope};
@@ -139,6 +140,13 @@ pub trait Process {
     fn name(&self) -> &'static str {
         "process"
     }
+
+    /// Fold process-local state into a determinism digest (see
+    /// [`crate::audit`]). Stateful long-running processes (background
+    /// generators, monitors) should override this so that divergence in
+    /// their internal state is visible to same-seed replay checks; pure
+    /// request/response processes can keep the empty default.
+    fn digest_into(&self, _d: &mut Digest) {}
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -260,6 +268,11 @@ pub struct Core {
     /// Telemetry sink shared by every layer of the simulation. Disabled by
     /// default: each instrumentation call is then one branch and returns.
     tele: Telemetry,
+    /// Fault injection: post-allocation rate multiplier. 1.0 = faithful.
+    /// Used by the simcheck harness to prove its oracles catch a broken
+    /// allocator; compiled only with the `failpoints` feature.
+    #[cfg(feature = "failpoints")]
+    overalloc: f64,
 }
 
 impl Core {
@@ -525,6 +538,11 @@ impl Core {
         // function of the scenario and seed.
         let t0 = self.tele.is_enabled().then(std::time::Instant::now);
         let rates = max_min_allocate(&capacities, &entries);
+        // Failpoint: inflate every allocated rate. Inert at the default
+        // factor of 1.0 (multiplication by 1.0 is bit-exact for finite f64),
+        // so digests match builds without the feature.
+        #[cfg(feature = "failpoints")]
+        let rates: Vec<f64> = rates.iter().map(|r| r * self.overalloc).collect();
         if let Some(t0) = t0 {
             self.tele
                 .hist_record("netsim.realloc_wall_ns", t0.elapsed().as_nanos() as u64);
@@ -585,6 +603,172 @@ impl Core {
         }
         self.now = t;
     }
+
+    /// Fold the complete core state — clock, counters, effective link
+    /// capacities, every flow, the pending event queue and the routing
+    /// table — into `d`, in a deterministic order (hash-map contents are
+    /// sorted first).
+    fn digest_into(&self, d: &mut Digest) {
+        d.write_time(self.now);
+        d.write_u64(self.seq);
+        d.write_u64(self.next_flow);
+        d.write_u64(self.stats.events);
+        d.write_u64(self.stats.flows_started);
+        d.write_u64(self.stats.flows_completed);
+        d.write_u64(self.stats.bytes_delivered);
+        d.write_u64(self.stats.reallocations);
+        for cap in &self.link_caps {
+            d.write_f64(*cap);
+        }
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let f = &self.flows[&id];
+            d.write_u64(f.id);
+            d.write_bool(f.active);
+            d.write_u64(f.gen);
+            d.write_u64(f.total_bytes);
+            d.write_f64(f.weight);
+            d.write_time(f.path_delay);
+            d.write_time(f.started_at);
+            for r in &f.resources {
+                d.write_u64(*r as u64);
+            }
+            f.progress.digest_into(d);
+            d.write_f64(*self.flow_caps.get(&id).unwrap_or(&f64::INFINITY));
+        }
+        let mut pending: Vec<Queued> = self.queue.iter().map(|r| r.0).collect();
+        pending.sort_unstable();
+        for q in pending {
+            d.write_time(q.time);
+            d.write_u64(q.seq);
+            q.kind.digest_into(d);
+        }
+        self.routing.digest_into(d);
+    }
+
+    /// 64-bit digest of the core state (see [`Sim::state_digest`] for the
+    /// variant that also covers process-local state).
+    pub fn state_digest(&self) -> u64 {
+        let mut d = Digest::new();
+        self.digest_into(&mut d);
+        d.finish()
+    }
+}
+
+impl EventKind {
+    fn digest_into(&self, d: &mut Digest) {
+        match self {
+            EventKind::Activate { flow } => {
+                d.write_u8(1);
+                d.write_u64(*flow);
+            }
+            EventKind::Drained { flow, gen } => {
+                d.write_u8(2);
+                d.write_u64(*flow);
+                d.write_u64(*gen);
+            }
+            EventKind::Delivered { flow } => {
+                d.write_u8(3);
+                d.write_u64(*flow);
+            }
+            EventKind::Timer { pid, tag } => {
+                d.write_u8(4);
+                d.write_u64(*pid as u64);
+                d.write_u64(*tag);
+            }
+            EventKind::SetLinkCap {
+                link,
+                bytes_per_sec,
+            } => {
+                d.write_u8(5);
+                d.write_u64(*link as u64);
+                d.write_f64(*bytes_per_sec);
+            }
+        }
+    }
+}
+
+/// Read-only engine snapshot handed to [`AuditHook::after_event`].
+pub struct AuditView<'a> {
+    core: &'a Core,
+}
+
+/// One flow as an invariant oracle sees it.
+#[derive(Debug, Clone)]
+pub struct AuditFlow<'a> {
+    /// Flow id.
+    pub id: u64,
+    /// Is the flow currently transferring (between activation and drain)?
+    pub active: bool,
+    /// Allocated rate, bytes/sec (stale once `active` is false).
+    pub rate: f64,
+    /// Fluid bytes still to move.
+    pub remaining: f64,
+    /// Requested payload size.
+    pub total_bytes: u64,
+    /// Fairness weight.
+    pub weight: f64,
+    /// Per-flow rate cap in bytes/sec (`f64::INFINITY` when uncapped).
+    pub cap: f64,
+    /// Indices of the resources the flow crosses (links, then aggregate
+    /// policers) — the same indices used by the allocator.
+    pub resources: &'a [u32],
+}
+
+impl<'a> AuditView<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.stats.events
+    }
+
+    /// Number of real links (resource indices below this are links;
+    /// at and above are aggregate policers).
+    pub fn n_links(&self) -> usize {
+        self.core.topo.links().len()
+    }
+
+    /// Effective capacity (bytes/sec) of every allocatable resource, in the
+    /// exact order the allocator sees them: per-run link capacities first,
+    /// then aggregate policer rates.
+    pub fn resource_capacities(&self) -> Vec<f64> {
+        let mut caps = self.core.link_caps.clone();
+        caps.extend(self.core.policers.iter().map(|p| p.rate.bytes_per_sec()));
+        caps
+    }
+
+    /// Every flow currently known to the engine, sorted by id — the same
+    /// order the allocator processes them in.
+    pub fn flows(&self) -> Vec<AuditFlow<'a>> {
+        let mut v: Vec<AuditFlow<'a>> = self
+            .core
+            .flows
+            .values()
+            .map(|f| AuditFlow {
+                id: f.id,
+                active: f.active,
+                rate: f.progress.rate,
+                remaining: f.progress.remaining,
+                total_bytes: f.total_bytes,
+                weight: f.weight,
+                cap: *self.core.flow_caps.get(&f.id).unwrap_or(&f64::INFINITY),
+                resources: &f.resources,
+            })
+            .collect();
+        v.sort_unstable_by_key(|f| f.id);
+        v
+    }
+
+    /// Digest of the core state at this instant (chain these across events
+    /// for an execution fingerprint).
+    pub fn state_digest(&self) -> u64 {
+        self.core.state_digest()
+    }
 }
 
 /// The simulator.
@@ -592,6 +776,9 @@ pub struct Sim {
     core: Core,
     processes: Vec<ProcSlot>,
     root_result: Option<Value>,
+    /// Audit hook invoked after every event (held on `Sim`, not `Core`, so
+    /// the hook can observe `Core` without aliasing it).
+    audit: Option<Box<dyn AuditHook>>,
 }
 
 struct ProcSlot {
@@ -897,9 +1084,62 @@ impl Sim {
                 stats: SimStats::default(),
                 event_budget: 50_000_000,
                 tele: Telemetry::disabled(),
+                #[cfg(feature = "failpoints")]
+                overalloc: 1.0,
             },
             processes: Vec::new(),
             root_result: None,
+            audit: None,
+        }
+    }
+
+    /// Install an [`AuditHook`], invoked after every processed event while a
+    /// root process runs. Replaces any previous hook.
+    pub fn set_audit_hook(&mut self, hook: Box<dyn AuditHook>) {
+        self.audit = Some(hook);
+    }
+
+    /// Remove and return the installed audit hook.
+    pub fn take_audit_hook(&mut self) -> Option<Box<dyn AuditHook>> {
+        self.audit.take()
+    }
+
+    /// Full deterministic state digest: the core (clock, flows, queue,
+    /// routing) plus every live process's [`Process::digest_into`]
+    /// contribution. Two same-seed executions of the same scenario must
+    /// produce identical digests at every event — the simcheck determinism
+    /// oracle is built on this.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = Digest::new();
+        self.core.digest_into(&mut d);
+        for (i, slot) in self.processes.iter().enumerate() {
+            d.write_u64(i as u64);
+            d.write_bool(slot.alive);
+            if let Some(p) = &slot.proc_ {
+                p.digest_into(&mut d);
+            }
+        }
+        d.finish()
+    }
+
+    /// Test-only fault injection: multiply every allocated flow rate by
+    /// `factor` after max-min allocation. A factor above 1.0 makes the
+    /// engine over-subscribe saturated links — the simcheck harness uses
+    /// this to prove its oracles catch over-allocation. Compiled only with
+    /// the `failpoints` feature.
+    #[cfg(feature = "failpoints")]
+    pub fn inject_rate_inflation(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid rate inflation {factor}"
+        );
+        self.core.overalloc = factor;
+    }
+
+    fn audit_after_event(&mut self) {
+        if let Some(mut hook) = self.audit.take() {
+            hook.after_event(&AuditView { core: &self.core });
+            self.audit = Some(hook);
         }
     }
 
@@ -1057,6 +1297,7 @@ impl Sim {
         });
         self.root_result = None;
         self.deliver_root(root, Event::Started);
+        self.audit_after_event();
         if let Some(v) = self.root_result.take() {
             return Ok(v);
         }
@@ -1069,6 +1310,7 @@ impl Sim {
             }
             self.core.advance_to(q.time);
             self.dispatch(q.kind, root);
+            self.audit_after_event();
             if let Some(v) = self.root_result.take() {
                 return Ok(v);
             }
@@ -1123,6 +1365,9 @@ impl Sim {
                     self.core.flow_caps.remove(&flow);
                     self.core.stats.flows_completed += 1;
                     self.core.stats.bytes_delivered += f.total_bytes;
+                    if let Some(hook) = self.audit.as_mut() {
+                        hook.flow_delivered(flow, f.total_bytes, self.core.now);
+                    }
                     let now_ns = self.core.now.as_nanos();
                     self.core.tele.span_end(now_ns, f.span);
                     self.core

@@ -47,6 +47,7 @@
 //! assert!(report.elapsed > SimTime::ZERO);
 //! ```
 
+pub mod audit;
 pub mod background;
 pub mod engine;
 pub mod error;

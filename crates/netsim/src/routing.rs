@@ -98,6 +98,26 @@ impl RoutingTable {
     pub fn clear_cache(&mut self) {
         self.cache.clear();
     }
+
+    /// Fold overrides and the path cache into an audit digest, in sorted
+    /// order (hash-map iteration order is not deterministic).
+    pub fn digest_into(&self, d: &mut crate::audit::Digest) {
+        let mut fold = |map: &HashMap<(NodeId, NodeId), Vec<NodeId>>| {
+            let mut entries: Vec<_> = map.iter().collect();
+            entries.sort_unstable_by_key(|((s, t), _)| (s.0, t.0));
+            d.write_u64(entries.len() as u64);
+            for ((s, t), path) in entries {
+                d.write_u64(s.0 as u64);
+                d.write_u64(t.0 as u64);
+                d.write_u64(path.len() as u64);
+                for n in path {
+                    d.write_u64(n.0 as u64);
+                }
+            }
+        };
+        fold(&self.overrides);
+        fold(&self.cache);
+    }
 }
 
 /// Deterministic Dijkstra over link costs. Ties are broken by preferring the

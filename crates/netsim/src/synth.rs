@@ -77,7 +77,11 @@ impl SynthWan {
             SimTime::from_millis(5),
         );
         for i in 0..self.transit {
-            b.duplex(transit[i], transit[(i + 1) % self.transit], core);
+            let next = transit[(i + 1) % self.transit];
+            // A two-router "ring" would lay the same duplex pair twice.
+            if !b.has_link(transit[i], next) {
+                b.duplex(transit[i], next, core);
+            }
         }
         // Chords: ~one per two transit routers, skipping ring neighbours.
         for _ in 0..(self.transit / 2) {

@@ -358,6 +358,28 @@ mod tests {
     }
 
     #[test]
+    fn all_equal_samples_collapse_percentiles() {
+        // Every sample identical: p50 == p99 == the value, min == max, and
+        // nothing degenerates to NaN or an empty bucket walk.
+        let mut h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(48_213);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), Some(48_213));
+        assert_eq!(h.max(), Some(48_213));
+        let p50 = h.percentile(0.5).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert_eq!(p50, p99, "all-equal data must have a flat tail");
+        // The bucket upper bound is clamped to the observed max, so the
+        // reported percentile is exact here despite log bucketing.
+        assert_eq!(p50, 48_213);
+        let mean = h.mean().unwrap();
+        assert_eq!(mean, 48_213.0);
+        assert!(mean.is_finite());
+    }
+
+    #[test]
     fn small_values_are_exact() {
         let mut h = Histogram::default();
         for v in 0..8u64 {

@@ -1,0 +1,413 @@
+//! Invariant oracles checked after every simulator event.
+//!
+//! The oracle is an [`AuditHook`] installed into a [`netsim::engine::Sim`].
+//! After each event it sees a read-only [`AuditView`] of the engine and
+//! checks four safety properties:
+//!
+//! 1. **Time monotonicity** — the clock never runs backwards.
+//! 2. **Capacity** — the rates of active flows crossing any resource (link
+//!    or aggregate policer) never sum above its effective capacity.
+//! 3. **Max-min fairness** — the engine's allocation matches an independent
+//!    re-run of [`max_min_allocate`] over the same inputs.
+//! 4. **Byte conservation** — a shadow ledger integrates each flow's
+//!    piecewise-constant rate over time; when the engine reports a flow
+//!    delivered, the integral must equal the payload size (within a float
+//!    tolerance).
+//!
+//! It also folds every post-event state digest into a running *chain
+//! digest*; two same-seed executions of the same scenario must produce the
+//! same chain, which is how [`crate::runner`] checks determinism.
+
+use netsim::audit::{AuditHook, Digest};
+use netsim::engine::AuditView;
+use netsim::flow::{max_min_allocate, AllocEntry};
+use netsim::time::SimTime;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Keep at most this many violations per run; one broken invariant tends to
+/// fire on every subsequent event and we only need the first few.
+const MAX_VIOLATIONS: usize = 64;
+
+/// Relative tolerance for float comparisons against engine-computed values.
+const REL_TOL: f64 = 1e-9;
+
+/// A detected invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The simulation clock moved backwards.
+    TimeRegression {
+        /// Clock before the event, nanoseconds.
+        prev_ns: u64,
+        /// Clock after the event, nanoseconds.
+        now_ns: u64,
+    },
+    /// Active flows were allocated more than a resource's capacity.
+    OverAllocation {
+        /// Resource index (links first, then aggregate policers).
+        resource: usize,
+        /// Sum of allocated rates crossing the resource, bytes/sec.
+        used: f64,
+        /// Effective capacity, bytes/sec.
+        cap: f64,
+        /// When, nanoseconds.
+        at_ns: u64,
+    },
+    /// A flow's rate deviates from the independent max-min recomputation.
+    UnfairAllocation {
+        /// Flow id.
+        flow: u64,
+        /// Engine-allocated rate, bytes/sec.
+        got: f64,
+        /// Independently recomputed fair rate, bytes/sec.
+        want: f64,
+        /// When, nanoseconds.
+        at_ns: u64,
+    },
+    /// A delivered flow's rate integral does not match its payload size.
+    ByteConservation {
+        /// Flow id.
+        flow: u64,
+        /// Payload the engine reported delivered.
+        reported: u64,
+        /// Shadow-ledger integral of rate over time, bytes.
+        integrated: f64,
+        /// When, nanoseconds.
+        at_ns: u64,
+    },
+    /// Two same-seed executions diverged.
+    Determinism {
+        /// Chain digest of the first execution.
+        first: u64,
+        /// Chain digest of the second execution.
+        second: u64,
+    },
+    /// The engine returned an error running the scenario.
+    EngineError {
+        /// The error's display form.
+        message: String,
+    },
+}
+
+impl Violation {
+    /// Stable machine-readable kind tag (for JSON verdicts).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::TimeRegression { .. } => "time_regression",
+            Violation::OverAllocation { .. } => "over_allocation",
+            Violation::UnfairAllocation { .. } => "unfair_allocation",
+            Violation::ByteConservation { .. } => "byte_conservation",
+            Violation::Determinism { .. } => "determinism",
+            Violation::EngineError { .. } => "engine_error",
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::TimeRegression { prev_ns, now_ns } => {
+                write!(f, "clock ran backwards: {prev_ns}ns -> {now_ns}ns")
+            }
+            Violation::OverAllocation {
+                resource,
+                used,
+                cap,
+                at_ns,
+            } => write!(
+                f,
+                "resource {resource} over-allocated at {at_ns}ns: {used:.1} B/s > cap {cap:.1} B/s"
+            ),
+            Violation::UnfairAllocation {
+                flow,
+                got,
+                want,
+                at_ns,
+            } => write!(
+                f,
+                "flow {flow} unfair at {at_ns}ns: got {got:.1} B/s, max-min says {want:.1} B/s"
+            ),
+            Violation::ByteConservation {
+                flow,
+                reported,
+                integrated,
+                at_ns,
+            } => write!(
+                f,
+                "flow {flow} byte conservation at {at_ns}ns: reported {reported} B, integral {integrated:.1} B"
+            ),
+            Violation::Determinism { first, second } => write!(
+                f,
+                "same-seed executions diverged: {first:#018x} vs {second:#018x}"
+            ),
+            Violation::EngineError { message } => write!(f, "engine error: {message}"),
+        }
+    }
+}
+
+/// Shadow per-flow ledger entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShadowFlow {
+    /// Rate as of the previous event (0 once the flow drains).
+    rate: f64,
+    /// Integral of rate over time so far, bytes.
+    integrated: f64,
+}
+
+#[derive(Debug, Default)]
+struct OracleState {
+    violations: Vec<Violation>,
+    /// Running chain of post-event state digests.
+    chain: u64,
+    events_seen: u64,
+    prev_now_ns: u64,
+    shadow: HashMap<u64, ShadowFlow>,
+    /// `flow_delivered` notifications buffered until the next `after_event`
+    /// (the hook callback fires mid-dispatch, before time has advanced past
+    /// the delivery instant is accounted for).
+    delivered: Vec<(u64, u64, SimTime)>,
+}
+
+impl OracleState {
+    fn push(&mut self, v: Violation) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(v);
+        }
+    }
+}
+
+/// Shared handle for reading oracle results after the run; the matching
+/// [`InvariantOracle`] is boxed into the engine as its audit hook.
+#[derive(Clone)]
+pub struct OracleHandle {
+    state: Rc<RefCell<OracleState>>,
+}
+
+impl OracleHandle {
+    /// Violations detected so far (truncated at an internal cap).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.state.borrow().violations.clone()
+    }
+
+    /// True if any invariant fired.
+    pub fn violated(&self) -> bool {
+        !self.state.borrow().violations.is_empty()
+    }
+
+    /// Record an externally detected violation (determinism, engine error).
+    pub fn push(&self, v: Violation) {
+        self.state.borrow_mut().push(v);
+    }
+
+    /// The execution's chained state digest.
+    pub fn chain_digest(&self) -> u64 {
+        self.state.borrow().chain
+    }
+
+    /// Events audited.
+    pub fn events_seen(&self) -> u64 {
+        self.state.borrow().events_seen
+    }
+}
+
+/// The audit hook: install with `sim.set_audit_hook(Box::new(oracle))`.
+pub struct InvariantOracle {
+    state: Rc<RefCell<OracleState>>,
+}
+
+impl InvariantOracle {
+    /// Create an oracle and the handle used to read its findings back.
+    pub fn new() -> (InvariantOracle, OracleHandle) {
+        let state = Rc::new(RefCell::new(OracleState::default()));
+        (
+            InvariantOracle {
+                state: Rc::clone(&state),
+            },
+            OracleHandle { state },
+        )
+    }
+}
+
+impl AuditHook for InvariantOracle {
+    fn after_event(&mut self, view: &AuditView<'_>) {
+        let mut st = self.state.borrow_mut();
+        let st = &mut *st;
+        let now_ns = view.now().as_nanos();
+
+        // 1. Monotonicity.
+        if now_ns < st.prev_now_ns {
+            st.push(Violation::TimeRegression {
+                prev_ns: st.prev_now_ns,
+                now_ns,
+            });
+        }
+
+        // 4a. Advance the shadow ledger across the elapsed interval using
+        // the rates that held *before* this event — the same
+        // piecewise-constant fluid model the engine integrates.
+        let dt = (now_ns.saturating_sub(st.prev_now_ns)) as f64 * 1e-9;
+        if dt > 0.0 {
+            for s in st.shadow.values_mut() {
+                s.integrated += s.rate * dt;
+            }
+        }
+        st.prev_now_ns = now_ns;
+
+        // 4b. Settle flows the engine reported delivered during this event.
+        for (flow, bytes, at) in st.delivered.drain(..) {
+            let integrated = st.shadow.remove(&flow).map(|s| s.integrated).unwrap_or(0.0);
+            let tol = (bytes as f64 * 1e-6).max(64.0);
+            if (integrated - bytes as f64).abs() > tol && st.violations.len() < MAX_VIOLATIONS {
+                st.violations.push(Violation::ByteConservation {
+                    flow,
+                    reported: bytes,
+                    integrated,
+                    at_ns: at.as_nanos(),
+                });
+            }
+        }
+
+        let flows = view.flows();
+        let caps = view.resource_capacities();
+
+        // 2. Capacity: sum active rates per resource.
+        let mut used = vec![0.0_f64; caps.len()];
+        for f in flows.iter().filter(|f| f.active) {
+            for &r in f.resources {
+                if let Some(u) = used.get_mut(r as usize) {
+                    *u += f.rate;
+                }
+            }
+        }
+        for (r, (&u, &cap)) in used.iter().zip(caps.iter()).enumerate() {
+            // Absolute slack of 1 byte/sec plus a relative term: the engine
+            // sums the same f64s, so genuine bugs overshoot by far more.
+            if u > cap + cap.abs() * REL_TOL + 1.0 {
+                st.push(Violation::OverAllocation {
+                    resource: r,
+                    used: u,
+                    cap,
+                    at_ns: now_ns,
+                });
+            }
+        }
+
+        // 3. Fairness: recompute the allocation from the same inputs in the
+        // same (sorted-by-id) order the engine uses.
+        let active: Vec<_> = flows.iter().filter(|f| f.active).collect();
+        let entries: Vec<AllocEntry> = active
+            .iter()
+            .map(|f| AllocEntry {
+                resources: f.resources.to_vec(),
+                cap: f.cap,
+                weight: f.weight,
+            })
+            .collect();
+        let want = max_min_allocate(&caps, &entries);
+        for (f, &w) in active.iter().zip(want.iter()) {
+            if (f.rate - w).abs() > w.abs().max(1.0) * REL_TOL.max(1e-9) + 1.0 {
+                st.push(Violation::UnfairAllocation {
+                    flow: f.id,
+                    got: f.rate,
+                    want: w,
+                    at_ns: now_ns,
+                });
+            }
+        }
+
+        // 4c. Refresh the shadow rates for the next interval. Inactive flows
+        // (drained, awaiting their Delivered event) keep a stale engine-side
+        // rate; they no longer move bytes, so shadow at 0.
+        for f in &flows {
+            let entry = st.shadow.entry(f.id).or_default();
+            entry.rate = if f.active { f.rate } else { 0.0 };
+        }
+        st.shadow.retain(|id, _| flows.iter().any(|f| f.id == *id));
+
+        // Determinism chain: fold this event's digest into the running hash.
+        let mut d = Digest::new();
+        d.write_u64(st.chain);
+        d.write_u64(view.state_digest());
+        d.write_time(view.now());
+        st.chain = d.finish();
+        st.events_seen += 1;
+    }
+
+    fn flow_delivered(&mut self, flow: u64, bytes: u64, now: SimTime) {
+        self.state.borrow_mut().delivered.push((flow, bytes, now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::prelude::*;
+
+    fn two_host_world() -> (Topology, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a", GeoPoint::new(49.0, -123.0));
+        let r = b.router("r", GeoPoint::new(45.0, -100.0));
+        let z = b.host("z", GeoPoint::new(37.0, -122.0));
+        b.duplex(
+            a,
+            r,
+            LinkParams::new(Bandwidth::from_mbps(40.0), SimTime::from_millis(5)),
+        );
+        b.duplex(
+            r,
+            z,
+            LinkParams::new(Bandwidth::from_mbps(20.0), SimTime::from_millis(5)),
+        );
+        (b.build(), a, z)
+    }
+
+    #[test]
+    fn clean_transfer_has_no_violations() {
+        let (topo, a, z) = two_host_world();
+        let mut sim = Sim::new(topo, 11);
+        let (oracle, handle) = InvariantOracle::new();
+        sim.set_audit_hook(Box::new(oracle));
+        sim.run_transfer(TransferRequest::new(a, z, 4 * MB))
+            .unwrap();
+        assert_eq!(
+            handle.violations(),
+            vec![],
+            "clean run must be violation-free"
+        );
+        assert!(handle.events_seen() > 0);
+        assert_ne!(handle.chain_digest(), 0);
+    }
+
+    #[test]
+    fn chain_digest_is_reproducible() {
+        let run = || {
+            let (topo, a, z) = two_host_world();
+            let mut sim = Sim::new(topo, 7);
+            let (oracle, handle) = InvariantOracle::new();
+            sim.set_audit_hook(Box::new(oracle));
+            sim.run_transfer(TransferRequest::new(a, z, 2 * MB))
+                .unwrap();
+            handle.chain_digest()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn inflated_rates_are_caught() {
+        let (topo, a, z) = two_host_world();
+        let mut sim = Sim::new(topo, 11);
+        sim.inject_rate_inflation(1.5);
+        let (oracle, handle) = InvariantOracle::new();
+        sim.set_audit_hook(Box::new(oracle));
+        sim.run_transfer(TransferRequest::new(a, z, 4 * MB))
+            .unwrap();
+        let vs = handle.violations();
+        assert!(
+            vs.iter()
+                .any(|v| matches!(v, Violation::OverAllocation { .. })),
+            "expected an over-allocation violation, got {vs:?}"
+        );
+    }
+}

@@ -1,0 +1,403 @@
+//! Scenario execution: build the world a [`ScenarioSpec`] describes, run it
+//! under the invariant oracle, and (for checking) run it twice to compare
+//! determinism digests.
+
+use crate::oracle::{InvariantOracle, OracleHandle, Violation};
+use crate::scenario::{ScenarioSpec, TopoSpec};
+use netsim::background::{BackgroundProfile, BackgroundTraffic};
+use netsim::engine::{Ctx, Event, Process, Sim, Value};
+use netsim::flow::{FlowClass, FlowSpec};
+use netsim::geo::GeoPoint;
+use netsim::synth::SynthWan;
+use netsim::time::SimTime;
+use netsim::topology::{LinkId, LinkParams, NodeId, Topology, TopologyBuilder};
+use netsim::units::Bandwidth;
+
+/// Livelock guard: no generated scenario comes near this many events.
+const EVENT_BUDGET: u64 = 2_000_000;
+
+/// Knobs for a check run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Post-allocation rate multiplier injected into the engine to prove
+    /// the oracles catch a broken allocator. `None` = faithful engine.
+    /// Requires the `failpoints` feature; silently ignored without it.
+    pub rate_inflation: Option<f64>,
+}
+
+/// What one execution of a scenario produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Invariant violations the oracle detected.
+    pub violations: Vec<Violation>,
+    /// Chained per-event state digest (determinism fingerprint).
+    pub chain_digest: u64,
+    /// Events processed.
+    pub events: u64,
+    /// Foreground jobs that completed.
+    pub jobs_completed: u64,
+    /// Payload bytes the engine reported delivered (includes background).
+    pub bytes_delivered: u64,
+}
+
+/// Result of checking one scenario (two same-seed executions).
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The scenario that was run.
+    pub spec: ScenarioSpec,
+    /// All violations: first execution's, plus a determinism violation if
+    /// the second execution diverged.
+    pub violations: Vec<Violation>,
+    /// Events processed by the first execution.
+    pub events: u64,
+    /// Jobs completed by the first execution.
+    pub jobs_completed: u64,
+}
+
+impl CaseResult {
+    /// Did every invariant hold?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The built world: topology plus the host list scenario indices refer to.
+struct World {
+    topo: Topology,
+    hosts: Vec<NodeId>,
+}
+
+fn build_world(topo: &TopoSpec) -> World {
+    match *topo {
+        TopoSpec::Synth {
+            transit,
+            stubs,
+            hosts,
+            core_mbps,
+            access_lo_mbps,
+            access_hi_mbps,
+            topo_seed,
+        } => {
+            let w = SynthWan {
+                transit: transit as usize,
+                stubs: stubs as usize,
+                hosts: hosts as usize,
+                core_mbps: core_mbps as f64,
+                access_mbps: (access_lo_mbps as f64, access_hi_mbps as f64),
+                seed: topo_seed,
+            }
+            .build();
+            World {
+                topo: w.topo,
+                hosts: w.hosts,
+            }
+        }
+        TopoSpec::Star { hosts, access_mbps } => {
+            let mut b = TopologyBuilder::new();
+            let hub = b.router("hub", GeoPoint::new(45.0, -100.0));
+            let spokes: Vec<NodeId> = (0..hosts)
+                .map(|i| {
+                    let h = b.host(
+                        &format!("host{i}"),
+                        GeoPoint::new(30.0 + i as f64, -120.0 + i as f64),
+                    );
+                    b.duplex(
+                        h,
+                        hub,
+                        LinkParams::new(
+                            Bandwidth::from_mbps(access_mbps as f64),
+                            SimTime::from_millis(2),
+                        ),
+                    );
+                    h
+                })
+                .collect();
+            World {
+                topo: b.build(),
+                hosts: spokes,
+            }
+        }
+    }
+}
+
+/// A concrete foreground job with spec indices resolved to nodes.
+struct ResolvedJob {
+    src: NodeId,
+    dst: NodeId,
+    via: Option<NodeId>,
+    bytes: u64,
+    class: FlowClass,
+    weight: f64,
+    start: SimTime,
+}
+
+fn resolve_hosts(spec: &ScenarioSpec, hosts: &[NodeId]) -> Vec<ResolvedJob> {
+    let n = hosts.len() as u32;
+    spec.jobs
+        .iter()
+        .map(|j| {
+            let src = j.src % n;
+            let mut dst = j.dst % n;
+            if dst == src {
+                dst = (dst + 1) % n;
+            }
+            let via = j.via.map(|v| v % n).filter(|&v| v != src && v != dst);
+            ResolvedJob {
+                src: hosts[src as usize],
+                dst: hosts[dst as usize],
+                via: via.map(|v| hosts[v as usize]),
+                bytes: j.bytes,
+                class: match j.class % 4 {
+                    0 => FlowClass::Commodity,
+                    1 => FlowClass::Research,
+                    2 => FlowClass::PlanetLab,
+                    _ => FlowClass::Background,
+                },
+                weight: j.weight_pct as f64 / 100.0,
+                start: SimTime::from_millis(j.start_ms),
+            }
+        })
+        .collect()
+}
+
+/// Root process: starts every job at its scheduled time, finishes when all
+/// jobs have completed or failed.
+struct Driver {
+    jobs: Vec<ResolvedJob>,
+    outstanding: u64,
+    completed: u64,
+}
+
+impl Process for Driver {
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started => {
+                self.outstanding = self.jobs.len() as u64;
+                for (i, j) in self.jobs.iter().enumerate() {
+                    ctx.set_timer(j.start, i as u64);
+                }
+            }
+            Event::Timer { tag } => {
+                let j = &self.jobs[tag as usize];
+                let mut spec = FlowSpec::new(j.src, j.dst, j.bytes, j.class).with_weight(j.weight);
+                if let Some(via) = j.via {
+                    // Pin the detour path src → via → dst, the relay routing
+                    // the paper's detour system installs.
+                    match (ctx.resolve_path(j.src, via), ctx.resolve_path(via, j.dst)) {
+                        (Ok(mut head), Ok(tail)) => {
+                            head.extend_from_slice(&tail[1..]);
+                            spec = spec.with_path(head);
+                        }
+                        _ => {
+                            // Unroutable detour: fall back to direct routing.
+                        }
+                    }
+                }
+                if ctx.start_flow(spec).is_err() {
+                    self.settle_one(ctx, false);
+                }
+            }
+            Event::FlowCompleted { .. } => self.settle_one(ctx, true),
+            Event::FlowFailed { .. } => self.settle_one(ctx, false),
+            Event::ChildDone { .. } => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "simcheck-driver"
+    }
+
+    fn digest_into(&self, d: &mut netsim::audit::Digest) {
+        d.write_u64(self.outstanding);
+        d.write_u64(self.completed);
+    }
+}
+
+impl Driver {
+    fn settle_one(&mut self, ctx: &mut Ctx<'_>, ok: bool) {
+        if ok {
+            self.completed += 1;
+        }
+        self.outstanding -= 1;
+        if self.outstanding == 0 {
+            ctx.finish(Value::U64(self.completed));
+        }
+    }
+}
+
+/// Execute a scenario once under the oracle.
+pub fn run_once(spec: &ScenarioSpec, opts: RunOptions) -> RunOutcome {
+    let world = build_world(&spec.topo);
+    let mut sim = Sim::new(world.topo.clone(), spec.seed);
+    sim.set_event_budget(EVENT_BUDGET);
+    if spec.jitter_pct > 0 {
+        sim.set_capacity_jitter(spec.jitter_pct as f64 / 100.0);
+    }
+    let n_links = world.topo.links().len() as u32;
+    for f in &spec.faults {
+        let link = LinkId(f.link % n_links);
+        let nominal = world.topo.links()[link.0 as usize].capacity.bytes_per_sec();
+        sim.schedule_capacity_change(
+            link,
+            SimTime::from_millis(f.at_ms),
+            Bandwidth::from_bytes_per_sec(nominal * f.factor_pct as f64 / 100.0),
+        );
+    }
+    let n_hosts = world.hosts.len() as u32;
+    for bg in &spec.background {
+        let src = bg.src % n_hosts;
+        let mut dst = bg.dst % n_hosts;
+        if dst == src {
+            dst = (dst + 1) % n_hosts;
+        }
+        let (src, dst) = (world.hosts[src as usize], world.hosts[dst as usize]);
+        let profile = if bg.heavy {
+            BackgroundProfile::heavy(src, dst)
+        } else {
+            BackgroundProfile::moderate(src, dst)
+        }
+        .scaled(bg.scale_pct as f64 / 100.0);
+        sim.spawn_detached(Box::new(BackgroundTraffic::new(profile)));
+    }
+
+    #[cfg(feature = "failpoints")]
+    if let Some(factor) = opts.rate_inflation {
+        sim.inject_rate_inflation(factor);
+    }
+    #[cfg(not(feature = "failpoints"))]
+    let _ = opts.rate_inflation;
+
+    let (oracle, handle) = InvariantOracle::new();
+    sim.set_audit_hook(Box::new(oracle));
+
+    let jobs = resolve_hosts(spec, &world.hosts);
+    let result = sim.run_process(Box::new(Driver {
+        jobs,
+        outstanding: 0,
+        completed: 0,
+    }));
+    let jobs_completed = match result {
+        Ok(Value::U64(n)) => n,
+        Ok(_) => 0,
+        Err(e) => {
+            handle.push(Violation::EngineError {
+                message: e.to_string(),
+            });
+            0
+        }
+    };
+    finish_outcome(&sim, &handle, jobs_completed)
+}
+
+fn finish_outcome(sim: &Sim, handle: &OracleHandle, jobs_completed: u64) -> RunOutcome {
+    RunOutcome {
+        violations: handle.violations(),
+        chain_digest: {
+            // Fold the final full-engine digest (which includes process
+            // state the per-event core digest does not) into the chain.
+            let mut d = netsim::audit::Digest::new();
+            d.write_u64(handle.chain_digest());
+            d.write_u64(sim.state_digest());
+            d.finish()
+        },
+        events: sim.stats().events,
+        jobs_completed,
+        bytes_delivered: sim.stats().bytes_delivered,
+    }
+}
+
+/// Check one scenario: run it twice with the same seed and flag invariant
+/// violations plus any determinism divergence.
+pub fn check_case(spec: &ScenarioSpec, opts: RunOptions) -> CaseResult {
+    let first = run_once(spec, opts);
+    let second = run_once(spec, opts);
+    let mut violations = first.violations.clone();
+    if first.chain_digest != second.chain_digest {
+        violations.push(Violation::Determinism {
+            first: first.chain_digest,
+            second: second.chain_digest,
+        });
+    }
+    CaseResult {
+        spec: spec.clone(),
+        violations,
+        events: first.events,
+        jobs_completed: first.jobs_completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::case_seed;
+
+    #[test]
+    fn generated_cases_run_clean() {
+        for i in 0..8 {
+            let spec = ScenarioSpec::generate(case_seed(1, i));
+            let out = run_once(&spec, RunOptions::default());
+            assert_eq!(
+                out.violations,
+                vec![],
+                "case {i} violated invariants: {:?}",
+                spec
+            );
+            assert!(out.events > 0);
+        }
+    }
+
+    #[test]
+    fn same_seed_reexecution_is_bit_identical() {
+        let spec = ScenarioSpec::generate(case_seed(2, 0));
+        let a = run_once(&spec, RunOptions::default());
+        let b = run_once(&spec, RunOptions::default());
+        assert_eq!(a.chain_digest, b.chain_digest);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.bytes_delivered, b.bytes_delivered);
+    }
+
+    #[test]
+    fn star_topology_runs() {
+        let spec = ScenarioSpec {
+            seed: 5,
+            topo: TopoSpec::Star {
+                hosts: 2,
+                access_mbps: 10,
+            },
+            jitter_pct: 0,
+            jobs: vec![crate::scenario::JobSpec {
+                src: 0,
+                dst: 1,
+                via: None,
+                bytes: 1024 * 1024,
+                class: 0,
+                weight_pct: 100,
+                start_ms: 0,
+            }],
+            background: vec![],
+            faults: vec![],
+        };
+        let res = check_case(&spec, RunOptions::default());
+        assert!(res.ok(), "violations: {:?}", res.violations);
+        assert_eq!(res.jobs_completed, 1);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_overallocation_is_detected() {
+        let spec = ScenarioSpec::generate(case_seed(3, 1));
+        let res = check_case(
+            &spec,
+            RunOptions {
+                rate_inflation: Some(1.5),
+            },
+        );
+        assert!(
+            res.violations
+                .iter()
+                .any(|v| matches!(v, Violation::OverAllocation { .. })),
+            "expected over-allocation, got {:?}",
+            res.violations
+        );
+    }
+}

@@ -1,0 +1,511 @@
+//! Randomized scenario specifications.
+//!
+//! A [`ScenarioSpec`] is a *self-contained, serializable* description of one
+//! fuzz case: topology shape, capacity jitter, foreground upload/detour
+//! jobs, background-traffic generators and link-fault schedule. Everything
+//! is plain integers (fractions are stored as percents) so the JSON round
+//! trip is exact and a replayed spec drives a bit-identical simulation.
+//!
+//! Host and link references are stored as raw indices and resolved modulo
+//! the actual host/link count at build time — that keeps every spec valid
+//! under shrinking (removing hosts can never dangle a reference).
+
+use crate::json::Json;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Topology family for a case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoSpec {
+    /// A transit–stub WAN from [`netsim::synth::SynthWan`].
+    Synth {
+        /// Transit routers (>= 2).
+        transit: u32,
+        /// Stub routers (>= 1).
+        stubs: u32,
+        /// End hosts (>= 2).
+        hosts: u32,
+        /// Core link rate, Mbps.
+        core_mbps: u32,
+        /// Host access rate range, Mbps.
+        access_lo_mbps: u32,
+        /// Upper end of the access range.
+        access_hi_mbps: u32,
+        /// Seed for the topology generator (independent of the sim seed).
+        topo_seed: u64,
+    },
+    /// Hosts around a single router — the smallest interesting topology,
+    /// and the shrinker's terminal form (`hosts + 1` nodes total).
+    Star {
+        /// End hosts (>= 2).
+        hosts: u32,
+        /// Access rate of every spoke, Mbps.
+        access_mbps: u32,
+    },
+}
+
+impl TopoSpec {
+    /// Number of end hosts.
+    pub fn n_hosts(&self) -> u32 {
+        match self {
+            TopoSpec::Synth { hosts, .. } => *hosts,
+            TopoSpec::Star { hosts, .. } => *hosts,
+        }
+    }
+
+    /// Total node count of the built topology.
+    pub fn node_count(&self) -> u32 {
+        match self {
+            TopoSpec::Synth {
+                transit,
+                stubs,
+                hosts,
+                ..
+            } => transit + stubs + hosts,
+            TopoSpec::Star { hosts, .. } => hosts + 1,
+        }
+    }
+}
+
+/// One foreground transfer job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Source host index (mod host count).
+    pub src: u32,
+    /// Destination host index (mod host count; bumped if it collides with
+    /// `src`).
+    pub dst: u32,
+    /// Optional detour host index: the flow is pinned to the concatenated
+    /// path `src → via → dst`, modeling the paper's relay routes.
+    pub via: Option<u32>,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Traffic class selector (mod 4 → commodity/research/planetlab/
+    /// background).
+    pub class: u8,
+    /// Fairness weight in percent (100 = weight 1.0).
+    pub weight_pct: u32,
+    /// Start offset from simulation begin, milliseconds.
+    pub start_ms: u64,
+}
+
+/// One background-traffic generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BgSpec {
+    /// Source host index (mod host count).
+    pub src: u32,
+    /// Destination host index.
+    pub dst: u32,
+    /// Heavy profile (vs moderate).
+    pub heavy: bool,
+    /// Flow-count scale in percent (see `BackgroundProfile::scaled`).
+    pub scale_pct: u32,
+}
+
+/// One scheduled link-capacity change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Link index (mod link count).
+    pub link: u32,
+    /// When the change fires, milliseconds.
+    pub at_ms: u64,
+    /// New capacity as a percent of nominal (10 = crushed to 10%,
+    /// 150 = upgraded).
+    pub factor_pct: u32,
+}
+
+/// A complete, replayable fuzz case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Simulation seed (PRNG for jitter, background traffic, ...).
+    pub seed: u64,
+    /// Topology shape.
+    pub topo: TopoSpec,
+    /// Capacity jitter in percent (0 = none).
+    pub jitter_pct: u32,
+    /// Foreground jobs (at least one).
+    pub jobs: Vec<JobSpec>,
+    /// Background generators.
+    pub background: Vec<BgSpec>,
+    /// Link-fault schedule.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl ScenarioSpec {
+    /// Generate the spec for one fuzz case, fully determined by `case_seed`.
+    pub fn generate(case_seed: u64) -> ScenarioSpec {
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        let topo = if rng.gen_bool(0.8) {
+            let lo = rng.gen_range(2..10u32);
+            TopoSpec::Synth {
+                transit: rng.gen_range(2..=5),
+                stubs: rng.gen_range(1..=6),
+                hosts: rng.gen_range(2..=12),
+                core_mbps: [200u32, 500, 1000][rng.gen_range(0..3usize)],
+                access_lo_mbps: lo,
+                access_hi_mbps: lo + rng.gen_range(10..=90u32),
+                topo_seed: rng.gen::<u32>() as u64,
+            }
+        } else {
+            TopoSpec::Star {
+                hosts: rng.gen_range(2..=8),
+                access_mbps: rng.gen_range(5..=50),
+            }
+        };
+        let hosts = topo.n_hosts();
+        let jitter_pct = if rng.gen_bool(0.5) {
+            0
+        } else {
+            rng.gen_range(1..=8)
+        };
+
+        let n_jobs = rng.gen_range(1..=8);
+        let jobs = (0..n_jobs)
+            .map(|_| {
+                let src = rng.gen_range(0..hosts);
+                let dst = rng.gen_range(0..hosts);
+                JobSpec {
+                    src,
+                    dst,
+                    via: rng.gen_bool(0.2).then(|| rng.gen_range(0..hosts)),
+                    bytes: rng.gen_range(256 * 1024..=16 * 1024 * 1024),
+                    class: rng.gen_range(0..4),
+                    weight_pct: [50u32, 100, 100, 100, 200, 300][rng.gen_range(0..6usize)],
+                    start_ms: rng.gen_range(0..=1500),
+                }
+            })
+            .collect();
+
+        let n_bg = rng.gen_range(0..=2);
+        let background = (0..n_bg)
+            .map(|_| BgSpec {
+                src: rng.gen_range(0..hosts),
+                dst: rng.gen_range(0..hosts),
+                heavy: rng.gen_bool(0.3),
+                scale_pct: rng.gen_range(25..=100),
+            })
+            .collect();
+
+        let n_faults = rng.gen_range(0..=3);
+        let faults = (0..n_faults)
+            .map(|_| FaultSpec {
+                link: rng.gen::<u32>(),
+                at_ms: rng.gen_range(50..=4000),
+                factor_pct: rng.gen_range(10..=150),
+            })
+            .collect();
+
+        ScenarioSpec {
+            seed: rng.gen::<u32>() as u64,
+            topo,
+            jitter_pct,
+            jobs,
+            background,
+            faults,
+        }
+    }
+
+    /// Serialize to compact JSON (exact round trip via [`Self::from_json`]).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    pub(crate) fn to_json_value(&self) -> Json {
+        let topo = match self.topo {
+            TopoSpec::Synth {
+                transit,
+                stubs,
+                hosts,
+                core_mbps,
+                access_lo_mbps,
+                access_hi_mbps,
+                topo_seed,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::Str("synth".into())),
+                ("transit".into(), Json::Int(transit as u64)),
+                ("stubs".into(), Json::Int(stubs as u64)),
+                ("hosts".into(), Json::Int(hosts as u64)),
+                ("core_mbps".into(), Json::Int(core_mbps as u64)),
+                ("access_lo_mbps".into(), Json::Int(access_lo_mbps as u64)),
+                ("access_hi_mbps".into(), Json::Int(access_hi_mbps as u64)),
+                ("topo_seed".into(), Json::Int(topo_seed)),
+            ]),
+            TopoSpec::Star { hosts, access_mbps } => Json::Obj(vec![
+                ("kind".into(), Json::Str("star".into())),
+                ("hosts".into(), Json::Int(hosts as u64)),
+                ("access_mbps".into(), Json::Int(access_mbps as u64)),
+            ]),
+        };
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let mut fields = vec![
+                    ("src".into(), Json::Int(j.src as u64)),
+                    ("dst".into(), Json::Int(j.dst as u64)),
+                ];
+                if let Some(via) = j.via {
+                    fields.push(("via".into(), Json::Int(via as u64)));
+                }
+                fields.extend([
+                    ("bytes".into(), Json::Int(j.bytes)),
+                    ("class".into(), Json::Int(j.class as u64)),
+                    ("weight_pct".into(), Json::Int(j.weight_pct as u64)),
+                    ("start_ms".into(), Json::Int(j.start_ms)),
+                ]);
+                Json::Obj(fields)
+            })
+            .collect();
+        let background = self
+            .background
+            .iter()
+            .map(|b| {
+                Json::Obj(vec![
+                    ("src".into(), Json::Int(b.src as u64)),
+                    ("dst".into(), Json::Int(b.dst as u64)),
+                    ("heavy".into(), Json::Bool(b.heavy)),
+                    ("scale_pct".into(), Json::Int(b.scale_pct as u64)),
+                ])
+            })
+            .collect();
+        let faults = self
+            .faults
+            .iter()
+            .map(|f| {
+                Json::Obj(vec![
+                    ("link".into(), Json::Int(f.link as u64)),
+                    ("at_ms".into(), Json::Int(f.at_ms)),
+                    ("factor_pct".into(), Json::Int(f.factor_pct as u64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("seed".into(), Json::Int(self.seed)),
+            ("topo".into(), topo),
+            ("jitter_pct".into(), Json::Int(self.jitter_pct as u64)),
+            ("jobs".into(), Json::Arr(jobs)),
+            ("background".into(), Json::Arr(background)),
+            ("faults".into(), Json::Arr(faults)),
+        ])
+    }
+
+    /// Parse a spec previously produced by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<ScenarioSpec, String> {
+        let v = Json::parse(text)?;
+        Self::from_json_value(&v)
+    }
+
+    pub(crate) fn from_json_value(v: &Json) -> Result<ScenarioSpec, String> {
+        fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+        }
+        fn req_u32(v: &Json, key: &str) -> Result<u32, String> {
+            u32::try_from(req_u64(v, key)?).map_err(|_| format!("field {key:?} out of u32 range"))
+        }
+
+        let topo_v = v.get("topo").ok_or("missing field \"topo\"")?;
+        let topo = match topo_v.get("kind").and_then(Json::as_str) {
+            Some("synth") => TopoSpec::Synth {
+                transit: req_u32(topo_v, "transit")?,
+                stubs: req_u32(topo_v, "stubs")?,
+                hosts: req_u32(topo_v, "hosts")?,
+                core_mbps: req_u32(topo_v, "core_mbps")?,
+                access_lo_mbps: req_u32(topo_v, "access_lo_mbps")?,
+                access_hi_mbps: req_u32(topo_v, "access_hi_mbps")?,
+                topo_seed: req_u64(topo_v, "topo_seed")?,
+            },
+            Some("star") => TopoSpec::Star {
+                hosts: req_u32(topo_v, "hosts")?,
+                access_mbps: req_u32(topo_v, "access_mbps")?,
+            },
+            other => return Err(format!("unknown topo kind {other:?}")),
+        };
+        if topo.n_hosts() < 2 {
+            return Err("topology needs at least two hosts".into());
+        }
+        match topo {
+            TopoSpec::Synth {
+                transit,
+                stubs,
+                access_lo_mbps,
+                access_hi_mbps,
+                ..
+            } => {
+                if transit < 2 || stubs < 1 {
+                    return Err("synth topology needs transit >= 2 and stubs >= 1".into());
+                }
+                if access_lo_mbps == 0 || access_lo_mbps > access_hi_mbps {
+                    return Err("bad access rate range".into());
+                }
+            }
+            TopoSpec::Star { access_mbps, .. } => {
+                if access_mbps == 0 {
+                    return Err("star access rate must be positive".into());
+                }
+            }
+        }
+
+        let jobs = v
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or("missing field \"jobs\"")?
+            .iter()
+            .map(|j| {
+                Ok(JobSpec {
+                    src: req_u32(j, "src")?,
+                    dst: req_u32(j, "dst")?,
+                    via: match j.get("via") {
+                        None | Some(Json::Null) => None,
+                        Some(via) => Some(
+                            u32::try_from(via.as_u64().ok_or("non-integer \"via\"")?)
+                                .map_err(|_| "via out of range".to_string())?,
+                        ),
+                    },
+                    bytes: req_u64(j, "bytes")?,
+                    class: req_u64(j, "class")? as u8,
+                    weight_pct: req_u32(j, "weight_pct")?,
+                    start_ms: req_u64(j, "start_ms")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if jobs.is_empty() {
+            return Err("scenario needs at least one job".into());
+        }
+        if let Some(bad) = jobs
+            .iter()
+            .find(|j| j.bytes == 0 || j.weight_pct == 0 || j.weight_pct > 10_000)
+        {
+            return Err(format!("degenerate job {bad:?}"));
+        }
+
+        let background = v
+            .get("background")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|b| {
+                Ok(BgSpec {
+                    src: req_u32(b, "src")?,
+                    dst: req_u32(b, "dst")?,
+                    heavy: b
+                        .get("heavy")
+                        .and_then(Json::as_bool)
+                        .ok_or("missing \"heavy\"")?,
+                    scale_pct: req_u32(b, "scale_pct")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+
+        let faults = v
+            .get("faults")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|f| {
+                Ok(FaultSpec {
+                    link: req_u32(f, "link")?,
+                    at_ms: req_u64(f, "at_ms")?,
+                    factor_pct: req_u32(f, "factor_pct")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+
+        Ok(ScenarioSpec {
+            seed: req_u64(v, "seed")?,
+            topo,
+            jitter_pct: req_u32(v, "jitter_pct")?,
+            jobs,
+            background,
+            faults,
+        })
+    }
+}
+
+/// Derive the seed of case `index` from a base seed (FNV-1a over both), so
+/// `detour check --seed S` explores a deterministic but spread-out sequence.
+pub fn case_seed(base: u64, index: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in base.to_le_bytes().into_iter().chain(index.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ScenarioSpec::generate(42);
+        let b = ScenarioSpec::generate(42);
+        assert_eq!(a, b);
+        assert_ne!(a, ScenarioSpec::generate(43));
+    }
+
+    #[test]
+    fn generated_specs_round_trip_through_json() {
+        for i in 0..50 {
+            let spec = ScenarioSpec::generate(case_seed(7, i));
+            let text = spec.to_json();
+            let back = ScenarioSpec::from_json(&text).expect("parses");
+            assert_eq!(back, spec, "round trip failed for case {i}: {text}");
+        }
+    }
+
+    #[test]
+    fn case_seeds_are_spread() {
+        let seeds: std::collections::HashSet<u64> = (0..100).map(|i| case_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 100);
+        assert_ne!(case_seed(7, 0), case_seed(8, 0));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(ScenarioSpec::from_json("{}").is_err());
+        // No jobs.
+        let spec = ScenarioSpec {
+            seed: 1,
+            topo: TopoSpec::Star {
+                hosts: 2,
+                access_mbps: 10,
+            },
+            jitter_pct: 0,
+            jobs: vec![],
+            background: vec![],
+            faults: vec![],
+        };
+        assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
+        // One-host star.
+        let text = spec.to_json().replace("\"hosts\":2", "\"hosts\":1");
+        assert!(ScenarioSpec::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn node_counts() {
+        assert_eq!(
+            TopoSpec::Star {
+                hosts: 2,
+                access_mbps: 10
+            }
+            .node_count(),
+            3
+        );
+        assert_eq!(
+            TopoSpec::Synth {
+                transit: 2,
+                stubs: 1,
+                hosts: 2,
+                core_mbps: 500,
+                access_lo_mbps: 5,
+                access_hi_mbps: 50,
+                topo_seed: 1
+            }
+            .node_count(),
+            5
+        );
+    }
+}

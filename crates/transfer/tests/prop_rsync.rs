@@ -41,6 +41,75 @@ proptest! {
         prop_assert_eq!(rebuilt, target);
     }
 
+    /// Truncation: syncing any prefix of the basis back over the basis is
+    /// still the identity, and a truncated target never costs more literal
+    /// bytes than its own length.
+    #[test]
+    fn round_trip_truncated_target(
+        seed in any::<u64>(),
+        len in 1usize..30_000,
+        keep_permille in 0usize..=1000,
+        block_size in prop::sample::select(vec![128usize, 512, 2048]),
+    ) {
+        let g = FileGen::new(seed);
+        let basis = g.random_file(len);
+        let target = &basis[..len * keep_permille / 1000];
+        let sig = Signature::compute(&basis, block_size);
+        let delta = compute_delta(&sig, target);
+        let rebuilt = apply_delta(&basis, block_size, &delta).unwrap();
+        prop_assert_eq!(&rebuilt[..], target);
+        prop_assert!(delta.literal_bytes() <= target.len() as u64);
+    }
+
+    /// Pure append: the tail beyond the basis is the only new content, so
+    /// the delta's literal payload is bounded by the appended bytes plus at
+    /// most one partial block of resynchronization slack.
+    #[test]
+    fn round_trip_pure_append(
+        seed in any::<u64>(),
+        len in 0usize..30_000,
+        append in 0usize..4000,
+        block_size in prop::sample::select(vec![128usize, 512, 2048]),
+    ) {
+        let g = FileGen::new(seed);
+        let basis = g.random_file(len);
+        let mut target = basis.clone();
+        target.extend(g.random_file(append));
+        let sig = Signature::compute(&basis, block_size);
+        let delta = compute_delta(&sig, &target);
+        let rebuilt = apply_delta(&basis, block_size, &delta).unwrap();
+        prop_assert_eq!(Md5::digest(&rebuilt), delta.target_md5);
+        prop_assert_eq!(rebuilt, target);
+        prop_assert!(
+            delta.literal_bytes() <= (append + block_size) as u64,
+            "append {} of {} literal bytes at block {}",
+            append, delta.literal_bytes(), block_size
+        );
+    }
+
+    /// Random edits + truncation + append combined — the messy real-world
+    /// shape of a re-uploaded file — still round-trips exactly.
+    #[test]
+    fn round_trip_edit_truncate_append(
+        seed in any::<u64>(),
+        len in 1usize..30_000,
+        edits in 0usize..16,
+        keep_permille in 0usize..=1000,
+        append in 0usize..3000,
+        block_size in prop::sample::select(vec![128usize, 512, 2048, 8192]),
+    ) {
+        let g = FileGen::new(seed);
+        let basis = g.random_file(len);
+        let edited = g.similar_file(&basis, edits, 0);
+        let mut target = edited[..edited.len() * keep_permille / 1000].to_vec();
+        target.extend(g.random_file(append));
+        let sig = Signature::compute(&basis, block_size);
+        let delta = compute_delta(&sig, &target);
+        let rebuilt = apply_delta(&basis, block_size, &delta).unwrap();
+        prop_assert_eq!(Md5::digest(&rebuilt), delta.target_md5);
+        prop_assert_eq!(rebuilt, target);
+    }
+
     /// The delta never carries more literal payload than the target itself,
     /// and the wire plan's delta bytes dominate the literal payload.
     #[test]

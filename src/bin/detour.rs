@@ -8,6 +8,7 @@
 //! detour tiv        --client ubc --provider gdrive
 //! detour trace      --client ubc --provider gdrive --size 100 [--route ualberta] [--seed 1]
 //!                   [--format tree|jsonl|chrome|metrics] [--out FILE]
+//! detour check      [--cases 64] [--seed 7] [--replay FILE] [--out FILE]
 //! ```
 //!
 //! Clients: `ubc`, `purdue`, `ucla`. Providers: `gdrive`, `dropbox`,
@@ -27,7 +28,8 @@ fn usage() -> ! {
          --client <c> --provider <p> --size <MB> [--rule <overlap|mean>]\n  detour traceroute \
          --client <c> --provider <p>\n  detour probe      --client <c>\n  detour trace      \
          --client <c> --provider <p> --size <MB> [--route <r>] [--seed N] \
-         [--format <tree|jsonl|chrome|metrics>] [--out FILE]"
+         [--format <tree|jsonl|chrome|metrics>] [--out FILE]\n  detour check      \
+         [--cases N] [--seed N] [--replay FILE] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -108,7 +110,72 @@ fn main() {
         "probe" => probe(&args, &world),
         "tiv" => tiv(&args, &world),
         "trace" => trace(&args, &world),
+        "check" => check(&args),
         _ => usage(),
+    }
+}
+
+/// Deterministic simulation checking: run randomized scenarios through the
+/// engine under invariant oracles (byte conservation, link capacity,
+/// max-min fairness, clock monotonicity, same-seed determinism). Prints a
+/// machine-readable JSON verdict on stdout, a human summary on stderr, and
+/// exits nonzero if any invariant fired. `--replay FILE` re-executes a
+/// scenario spec saved from an earlier failure instead of generating cases.
+fn check(args: &Args) {
+    use routing_detours::simcheck;
+    let report = match args.flags.get("replay") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            simcheck::replay(&text, None).unwrap_or_else(|e| {
+                eprintln!("bad scenario spec in {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => simcheck::run_check(simcheck::CheckConfig {
+            cases: args.u64_flag("cases", 64) as u32,
+            seed: args.u64_flag("seed", 7),
+            ..simcheck::CheckConfig::default()
+        }),
+    };
+    let verdict = report.to_json();
+    match args.flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &verdict).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path} ({} bytes)", verdict.len());
+        }
+        None => println!("{verdict}"),
+    }
+    eprintln!(
+        "simcheck: {} passed, {} failed, {} events audited",
+        report.passed,
+        report.failures.len(),
+        report.events
+    );
+    for f in &report.failures {
+        eprintln!(
+            "  case {} (seed {}): {} violation(s), shrunk in {} step(s); first: {}",
+            f.case_index,
+            f.case_seed,
+            f.violations.len(),
+            f.shrink_steps,
+            f.violations
+                .first()
+                .map(|v| v.to_string())
+                .unwrap_or_default()
+        );
+        eprintln!(
+            "  reproduce with: detour check --replay <(echo '{}')",
+            f.shrunk.to_json()
+        );
+    }
+    if !report.ok() {
+        std::process::exit(1);
     }
 }
 

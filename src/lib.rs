@@ -14,6 +14,7 @@
 //! | [`measure`] | the 7-run/keep-5 protocol, statistics, overlap analysis, tables |
 //! | [`detour_core`] | routes, measurement campaigns, automatic detour selection, route monitoring, path diagnosis |
 //! | [`scenarios`] | the calibrated North-America world and one constructor per paper artifact |
+//! | [`simcheck`] | deterministic simulation checking: randomized scenarios, invariant oracles, shrinking, seed replay |
 //!
 //! Start with `examples/quickstart.rs`; regenerate the paper with
 //! `cargo run --release -p bench --bin repro -- --all`.
@@ -25,6 +26,7 @@ pub use netsim;
 pub use obs;
 pub use relay;
 pub use scenarios;
+pub use simcheck;
 pub use transfer;
 
 /// Workspace version, for programmatic checks.

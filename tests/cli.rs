@@ -159,6 +159,34 @@ fn tiv_found_for_ubc_gdrive_but_not_ucla() {
 }
 
 #[test]
+fn check_emits_json_verdict_and_replays() {
+    let (out, err, ok) = detour(&["check", "--cases", "8", "--seed", "7"]);
+    assert!(ok, "stdout: {out}\nstderr: {err}");
+    assert!(out.contains("\"ok\":true"), "{out}");
+    assert!(out.contains("\"passed\":8"), "{out}");
+    assert!(err.contains("8 passed, 0 failed"), "{err}");
+
+    // Save a generated scenario spec and replay it from a file.
+    let spec = routing_detours::simcheck::ScenarioSpec::generate(
+        routing_detours::simcheck::case_seed(7, 0),
+    );
+    let dir = std::env::temp_dir().join("detour-check-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spec.json");
+    std::fs::write(&path, spec.to_json()).unwrap();
+    let (out2, err2, ok2) = detour(&["check", "--replay", path.to_str().unwrap()]);
+    assert!(ok2, "stdout: {out2}\nstderr: {err2}");
+    assert!(out2.contains("\"ok\":true"), "{out2}");
+    assert!(out2.contains("\"passed\":1"), "{out2}");
+
+    // A corrupt spec fails cleanly.
+    std::fs::write(&path, "{not json").unwrap();
+    let (_, err3, ok3) = detour(&["check", "--replay", path.to_str().unwrap()]);
+    assert!(!ok3);
+    assert!(err3.contains("bad scenario spec"), "{err3}");
+}
+
+#[test]
 fn bad_flags_fail_cleanly() {
     let (_, err, ok) = detour(&[
         "simulate",

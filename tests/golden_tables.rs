@@ -1,0 +1,128 @@
+//! Golden-file snapshot tests for the table renderers.
+//!
+//! The paper-style tables are the repository's primary human-facing output;
+//! a formatting regression (shifted column, changed sign convention,
+//! reordered metric rows) silently corrupts every artifact. These tests
+//! render fixed, hand-built inputs and compare byte-for-byte against
+//! checked-in snapshots in `tests/golden/`.
+//!
+//! To regenerate after an intentional formatting change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_tables
+//! ```
+//!
+//! then review the diff of `tests/golden/*.txt` like any other code change.
+
+use routing_detours::detour_core::{CampaignResult, Hop, Route};
+use routing_detours::measure::{metrics_table, Stats};
+use routing_detours::netsim::flow::FlowClass;
+use routing_detours::netsim::topology::NodeId;
+use routing_detours::netsim::units::MB;
+use routing_detours::obs::MetricsRegistry;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare `rendered` against `tests/golden/<name>`, or rewrite the golden
+/// when `UPDATE_GOLDEN=1` is set.
+fn assert_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\n(run `UPDATE_GOLDEN=1 cargo test --test golden_tables` to create it)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        want,
+        "rendered output diverged from {}; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff",
+        path.display()
+    );
+}
+
+fn stats(n: usize, mean: f64, std_dev: f64) -> Stats {
+    Stats {
+        n,
+        mean,
+        std_dev,
+        min: mean - std_dev,
+        max: mean + std_dev,
+    }
+}
+
+/// A fixed campaign in the shape of the paper's Tables II–IV: UBC to
+/// Google Drive, direct vs two detours, three file sizes. Values are
+/// hand-picked constants, NOT simulator output, so the snapshot only
+/// exercises the rendering.
+fn fixed_campaign() -> CampaignResult {
+    CampaignResult {
+        client_name: "UBC".into(),
+        provider_name: "Google Drive".into(),
+        routes: vec![
+            Route::Direct,
+            Route::via(Hop::new(NodeId(3), FlowClass::Research, "UAlberta")),
+            Route::via(Hop::new(NodeId(4), FlowClass::PlanetLab, "UMich")),
+        ],
+        sizes: vec![10 * MB, 60 * MB, 100 * MB],
+        cells: vec![
+            vec![
+                stats(5, 9.46, 0.31),
+                stats(5, 6.47, 0.22),
+                stats(5, 11.02, 0.48),
+            ],
+            vec![
+                stats(5, 55.91, 1.75),
+                stats(5, 38.42, 1.2),
+                stats(5, 63.75, 2.9),
+            ],
+            vec![
+                stats(5, 92.71, 3.52),
+                stats(5, 64.14, 2.05),
+                stats(5, 104.85, 4.8),
+            ],
+        ],
+    }
+}
+
+#[test]
+fn paper_table_snapshot() {
+    let table = fixed_campaign().paper_table("UBC -> Google Drive, upload time");
+    assert_golden("paper_table.txt", &table.render());
+}
+
+#[test]
+fn mean_std_table_snapshot() {
+    let table = fixed_campaign().mean_std_table("UBC -> Google Drive, mean ± σ");
+    assert_golden("mean_std_table.txt", &table.render());
+}
+
+#[test]
+fn metrics_table_snapshot() {
+    // A fixed registry covering all three metric kinds, including an
+    // all-equal histogram (flat percentiles) and a repeatedly-set gauge.
+    let mut m = MetricsRegistry::default();
+    m.counter_add("cloudstore.retries", 3);
+    m.counter_add("netsim.flows_started", 41);
+    m.gauge_set("relay.staging_bytes", 524288.0);
+    m.gauge_set("relay.staging_bytes", 1048576.0);
+    for _ in 0..4 {
+        m.hist_record("netsim.realloc_wall_ns", 2000);
+    }
+    m.hist_record("rpc.rtt_ns", 1_500_000);
+    m.hist_record("rpc.rtt_ns", 2_500_000);
+    m.hist_record("rpc.rtt_ns", 9_000_000);
+    let table = metrics_table(&m.snapshot(), "fixed metrics");
+    assert_golden("metrics_table.txt", &table.render());
+}

@@ -1,13 +1,17 @@
-//! Criterion benchmarks of the simulator core: the max-min allocator and
-//! full event-driven transfer runs under background load.
+//! Criterion benchmarks of the simulator core — the max-min allocator and
+//! full event-driven transfer runs under background load — plus a scaling
+//! study of incremental vs full-recompute reallocation that emits
+//! `BENCH_flowsim.json` for CI regression gating (see EXPERIMENTS.md).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use netsim::background::{BackgroundProfile, BackgroundTraffic};
-use netsim::flow::{max_min_allocate, AllocEntry};
+use netsim::flow::{max_min_allocate, AllocEntry, FlowCore};
 use netsim::prelude::*;
 use netsim::units::MB;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use simcheck::Json;
+use std::time::Instant;
 
 /// Random allocation problem with `flows` flows over `links` links.
 fn problem(flows: usize, links: usize, seed: u64) -> (Vec<f64>, Vec<AllocEntry>) {
@@ -109,4 +113,185 @@ criterion_group! {
     config = config();
     targets = bench_allocator, bench_transfer_run, bench_scenario_build
 }
-criterion_main!(benches);
+
+// ---------------------------------------------------------------------------
+// Incremental-reallocation scaling study.
+//
+// The engine's hot path is one reallocation per flow arrival/departure. The
+// study models a fleet of mostly independent transfer sites (each site: two
+// resources, `FLOWS_PER_SITE` flows) and measures the per-event cost of
+//
+//   * incremental: `FlowCore::remove` + `FlowCore::insert` of one flow,
+//     which recomputes only the touched connected component, vs
+//   * reference:   one full `max_min_allocate` over every live flow —
+//     what the engine did before the rewrite.
+// ---------------------------------------------------------------------------
+
+const FLOWS_PER_SITE: usize = 10;
+
+/// A `total_flows`-flow world of independent 2-resource sites.
+fn scaling_world(total_flows: usize, seed: u64) -> (Vec<f64>, Vec<AllocEntry>) {
+    let sites = total_flows / FLOWS_PER_SITE;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let caps: Vec<f64> = (0..2 * sites)
+        .map(|_| rng.gen_range(10.0..1000.0))
+        .collect();
+    let entries = (0..total_flows)
+        .map(|j| {
+            let site = (j / FLOWS_PER_SITE) as u32;
+            let cap = if rng.gen_bool(0.3) {
+                rng.gen_range(1.0..200.0)
+            } else {
+                f64::INFINITY
+            };
+            AllocEntry::new(vec![2 * site, 2 * site + 1], cap)
+        })
+        .collect();
+    (caps, entries)
+}
+
+/// Median ns/iter of `f` over `samples` timed runs (after `warmup` runs).
+fn median_ns(warmup: usize, samples: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// One scaling point: per-event reallocation cost at `n` concurrent flows.
+fn scaling_point(n: usize, warmup: usize, samples: usize) -> Json {
+    let (caps, entries) = scaling_world(n, 42);
+
+    let mut core = FlowCore::new(caps.clone());
+    for (j, e) in entries.iter().enumerate() {
+        core.insert(j as u64, &e.resources, e.cap, 1.0);
+    }
+    // Cycle the churned flow so successive iterations touch different
+    // components (defeats any single-component cache warmth). Each sample
+    // batches many remove+insert pairs: one pair is sub-microsecond, well
+    // below timer noise.
+    const BATCH: usize = 64;
+    let mut victim = 0usize;
+    let incremental_ns = median_ns(warmup, samples, || {
+        for _ in 0..BATCH {
+            let e = &entries[victim];
+            core.remove(victim as u64);
+            core.insert(victim as u64, &e.resources, e.cap, 1.0);
+            victim = (victim + 1) % entries.len();
+        }
+    }) / (2 * BATCH) as f64; // each pair = two reallocation events
+
+    let reference_ns = median_ns(warmup, samples, || {
+        std::hint::black_box(max_min_allocate(&caps, &entries));
+    });
+
+    let speedup = reference_ns / incremental_ns;
+    println!(
+        "flowsim-scaling/{n}: incremental {incremental_ns:.0} ns/event, \
+         reference {reference_ns:.0} ns/event, speedup {speedup:.1}x"
+    );
+    Json::Obj(vec![
+        ("flows".into(), Json::Int(n as u64)),
+        ("incremental_ns".into(), Json::Num(incremental_ns)),
+        ("reference_ns".into(), Json::Num(reference_ns)),
+        ("speedup".into(), Json::Num(speedup)),
+    ])
+}
+
+/// Allowed slowdown vs the checked-in baseline before CI fails the run.
+const REGRESSION_TOLERANCE: f64 = 1.25;
+
+/// Compare against a baseline `BENCH_flowsim.json`; returns error lines.
+fn check_baseline(report: &Json, baseline: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    let empty = Vec::new();
+    let base_sizes = baseline
+        .get("sizes")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    for point in report.get("sizes").and_then(Json::as_arr).unwrap_or(&empty) {
+        let flows = point.get("flows").and_then(Json::as_u64).unwrap_or(0);
+        let now = point
+            .get("incremental_ns")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let Some(was) = base_sizes
+            .iter()
+            .find(|b| b.get("flows").and_then(Json::as_u64) == Some(flows))
+            .and_then(|b| b.get("incremental_ns"))
+            .and_then(Json::as_f64)
+        else {
+            continue;
+        };
+        if now > was * REGRESSION_TOLERANCE {
+            errors.push(format!(
+                "flowsim-scaling/{flows}: incremental {now:.0} ns/event vs \
+                 baseline {was:.0} ns/event (> {REGRESSION_TOLERANCE}x)"
+            ));
+        }
+    }
+    errors
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `cargo bench` passes `--bench`; `cargo test --benches` does not (and
+    // builds without optimization, where timings are meaningless).
+    let bench_mode = args.iter().any(|a| a == "--bench");
+    let quick = args.iter().any(|a| a == "--quick") || std::env::var_os("BENCH_QUICK").is_some();
+
+    benches();
+
+    // Scaling study: smoke-run a tiny point (no report) outside bench mode.
+    if !bench_mode {
+        scaling_point(100, 0, 2);
+        return;
+    }
+    let (warmup, samples) = if quick { (5, 21) } else { (50, 101) };
+    let sizes: Vec<Json> = [100usize, 1000, 10000]
+        .iter()
+        .map(|&n| scaling_point(n, warmup, samples))
+        .collect();
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("flowsim-scaling".into())),
+        ("flows_per_site".into(), Json::Int(FLOWS_PER_SITE as u64)),
+        ("quick".into(), Json::Bool(quick)),
+        ("sizes".into(), Json::Arr(sizes)),
+    ]);
+
+    // Regression gate: compare BEFORE overwriting any baseline the output
+    // path might point at.
+    let mut failed = false;
+    if let Some(path) = std::env::var_os("BENCH_BASELINE") {
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| Json::parse(&s))
+        {
+            Ok(baseline) => {
+                for err in check_baseline(&report, &baseline) {
+                    eprintln!("REGRESSION: {err}");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot read baseline {path:?}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_flowsim.json".into());
+    std::fs::write(&out, report.render()).expect("write bench report");
+    println!("wrote {out}");
+    if failed {
+        std::process::exit(1);
+    }
+}

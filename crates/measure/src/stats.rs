@@ -147,6 +147,12 @@ impl WelchT {
 /// `p = 50` is the median, `p = 100` the maximum. Panics on an empty slice,
 /// like [`Stats::from_samples`].
 ///
+/// NaN samples are tolerated rather than a panic: ordering uses IEEE 754
+/// `totalOrder` ([`f64::total_cmp`]), which places NaN above `+inf` (and
+/// -NaN below `-inf`), so a NaN in the input surfaces as the value of the
+/// top percentiles instead of aborting a report mid-run (sparklines were
+/// hardened the same way).
+///
 /// ```
 /// use measure::percentile;
 /// let xs = [9.0, 1.0, 7.0, 3.0, 5.0];
@@ -157,7 +163,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     assert!(!samples.is_empty(), "no samples");
     assert!(p.is_finite(), "percentile must be finite");
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must be comparable"));
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0);
     // Nearest-rank: ceil(p/100 * n), 1-based; rank 1 for p = 0.
     let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
@@ -281,6 +287,21 @@ mod tests {
     #[should_panic(expected = "no samples")]
     fn percentile_empty_panics() {
         percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_samples() {
+        // A NaN sample (e.g. a 0/0 from an empty measurement window) must
+        // not abort the whole report. total_cmp sorts NaN above +inf, so it
+        // only surfaces in the top percentiles.
+        let xs = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(percentile(&xs, 50.0), 2.0);
+        assert_eq!(percentile(&xs, 75.0), 3.0);
+        assert!(percentile(&xs, 100.0).is_nan());
+        // Negative NaN sorts below -inf and everything else.
+        let lo = [-f64::NAN, 4.0, 5.0];
+        assert_eq!(percentile(&lo, 100.0), 5.0);
+        assert!(percentile(&lo, 0.0).is_nan());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::audit::{AuditHook, Digest};
 use crate::error::{NetError, NetResult};
-use crate::flow::{max_min_allocate, AllocEntry, FlowClass, FlowProgress, FlowSpec};
+use crate::flow::{AllocMode, FlowClass, FlowCore, FlowProgress, FlowSpec};
 use crate::middlebox::{FirewallRule, Policer, PolicerScope};
 use crate::routing::RoutingTable;
 use crate::tcp::TcpParams;
@@ -243,11 +243,12 @@ pub struct Core {
     tcp: TcpParams,
     policers: Vec<Policer>,
     firewalls: Vec<FirewallRule>,
-    /// Per-run effective link capacities (bytes/sec). Equal to the nominal
-    /// topology capacities unless capacity jitter is enabled — real paths
-    /// never deliver the same rate twice, and the paper's error bars exist
-    /// even on uncontended routes.
-    link_caps: Vec<f64>,
+    /// The incremental max-min allocator. Owns the effective resource
+    /// capacities (per-run link capacities — equal to the nominal topology
+    /// capacities unless jitter is enabled — followed by aggregate policer
+    /// rates) and the resource→flow inverted index, and recomputes rates
+    /// only for the connected component each flow event touches.
+    alloc: FlowCore,
     /// Capacity-jitter fraction; also applied to policer rates as they are
     /// attached (a token bucket's effective rate drifts too).
     jitter: f64,
@@ -508,80 +509,95 @@ impl Core {
         Ok(FlowId(id))
     }
 
-    fn reallocate(&mut self) {
-        self.stats.reallocations += 1;
-        let n_links = self.topo.links().len();
-        let mut capacities: Vec<f64> = Vec::with_capacity(n_links + self.policers.len());
-        capacities.extend_from_slice(&self.link_caps);
-        capacities.extend(self.policers.iter().map(|p| p.rate.bytes_per_sec()));
-
-        let mut ids: Vec<u64> = self
-            .flows
-            .values()
-            .filter(|f| f.active)
-            .map(|f| f.id)
-            .collect();
-        ids.sort_unstable(); // determinism: HashMap iteration order is not stable
-        let entries: Vec<AllocEntry> = ids
-            .iter()
-            .map(|id| {
-                let f = &self.flows[id];
-                AllocEntry {
-                    resources: f.resources.clone(),
-                    cap: *self.flow_caps.get(id).unwrap_or(&f64::INFINITY),
-                    weight: f.weight,
-                }
-            })
-            .collect();
+    /// A flow's startup delay elapsed: hand it to the allocator and apply
+    /// the resulting rate changes (its connected component only).
+    fn activate_flow(&mut self, id: u64) {
         // Allocator latency is wall-clock and goes to the metrics registry
         // only — never into the span/event stream, which must stay a pure
         // function of the scenario and seed.
         let t0 = self.tele.is_enabled().then(std::time::Instant::now);
-        let rates = max_min_allocate(&capacities, &entries);
-        // Failpoint: inflate every allocated rate. Inert at the default
-        // factor of 1.0 (multiplication by 1.0 is bit-exact for finite f64),
-        // so digests match builds without the feature.
-        #[cfg(feature = "failpoints")]
-        let rates: Vec<f64> = rates.iter().map(|r| r * self.overalloc).collect();
+        let cap = *self.flow_caps.get(&id).unwrap_or(&f64::INFINITY);
+        {
+            let f = &self.flows[&id];
+            self.alloc.insert(id, &f.resources, cap, f.weight);
+        }
+        self.apply_rate_changes(t0);
+    }
+
+    /// A flow drained or was cancelled: release its capacity and re-share
+    /// within its component.
+    fn deactivate_flow(&mut self, id: u64) {
+        let t0 = self.tele.is_enabled().then(std::time::Instant::now);
+        self.alloc.remove(id);
+        self.apply_rate_changes(t0);
+    }
+
+    /// A resource's capacity changed: re-share within its component.
+    fn change_capacity(&mut self, resource: u32, bytes_per_sec: f64) {
+        let t0 = self.tele.is_enabled().then(std::time::Instant::now);
+        self.alloc.set_capacity(resource, bytes_per_sec);
+        self.apply_rate_changes(t0);
+    }
+
+    /// Apply the rate changes the allocator just computed: update each
+    /// changed flow's progress, supersede its scheduled drain event
+    /// (generation bump) and schedule a new one. Flows whose rate did not
+    /// change — everything outside the event's connected component, plus
+    /// unaffected flows within it — keep their rates *and* their already
+    /// queued drain events, which is what makes reallocation O(component)
+    /// instead of O(all flows).
+    fn apply_rate_changes(&mut self, t0: Option<std::time::Instant>) {
+        self.stats.reallocations += 1;
         if let Some(t0) = t0 {
             self.tele
                 .hist_record("netsim.realloc_wall_ns", t0.elapsed().as_nanos() as u64);
             self.tele.counter_add("netsim.reallocations", 1);
-            self.tele.gauge_set("netsim.active_flows", ids.len() as f64);
+            self.tele
+                .gauge_set("netsim.active_flows", self.alloc.len() as f64);
         }
         let now = self.now;
         let now_ns = now.as_nanos();
-        for (id, rate) in ids.iter().zip(&rates) {
-            let rate = *rate;
-            let f = self.flows.get_mut(id).expect("flow exists");
-            let changed = (f.progress.rate - rate).abs() > 1e-9;
-            let span = f.span;
-            f.progress.rate = rate;
-            f.gen += 1;
-            if let Some(finish) = f.progress.projected_finish(now) {
-                let (fid, gen) = (f.id, f.gen);
+        let changes = self.alloc.take_changes();
+        for &(id, rate) in &changes {
+            // Failpoint: inflate every allocated rate. Inert at the default
+            // factor of 1.0 (multiplication by 1.0 is bit-exact for finite
+            // f64), so digests match builds without the feature.
+            #[cfg(feature = "failpoints")]
+            let rate = rate * self.overalloc;
+            let (fid, gen, finish, span, noticeable) = {
+                let f = self.flows.get_mut(&id).expect("changed flow exists");
+                let noticeable = (f.progress.rate - rate).abs() > 1e-9;
+                f.progress.rate = rate;
+                f.gen += 1;
+                (
+                    f.id,
+                    f.gen,
+                    f.progress.projected_finish(now),
+                    f.span,
+                    noticeable,
+                )
+            };
+            if let Some(finish) = finish {
                 self.push(finish, EventKind::Drained { flow: fid, gen });
             }
-            if changed {
+            if noticeable {
                 self.tele
                     .event(now_ns, Category::Flow, "flow.rate", span, |a| {
                         a.set("bytes_per_sec", rate);
                     });
             }
-            if self.tracing && changed {
-                self.traces.entry(*id).or_default().push((now, rate));
+            if self.tracing && noticeable {
+                self.traces.entry(id).or_default().push((now, rate));
             }
         }
+        self.alloc.restore_changes(changes);
         // Per-link utilization samples: share of each crossed link's
         // capacity consumed by the new allocation.
         if self.tele.is_enabled() {
-            let mut used = vec![0.0f64; capacities.len()];
-            for (entry, rate) in entries.iter().zip(&rates) {
-                for &r in &entry.resources {
-                    used[r as usize] += rate;
-                }
-            }
-            for (u, cap) in used.iter().zip(&capacities).take(n_links) {
+            let n_links = self.topo.links().len();
+            let mut used = Vec::new();
+            self.alloc.used_per_resource(&mut used);
+            for (u, cap) in used.iter().zip(self.alloc.capacities()).take(n_links) {
                 if *u > 0.0 && *cap > 0.0 {
                     let pct = (u / cap * 100.0).clamp(0.0, 100.0);
                     self.tele
@@ -617,7 +633,7 @@ impl Core {
         d.write_u64(self.stats.flows_completed);
         d.write_u64(self.stats.bytes_delivered);
         d.write_u64(self.stats.reallocations);
-        for cap in &self.link_caps {
+        for cap in &self.alloc.capacities()[..self.topo.links().len()] {
             d.write_f64(*cap);
         }
         let mut ids: Vec<u64> = self.flows.keys().copied().collect();
@@ -737,9 +753,7 @@ impl<'a> AuditView<'a> {
     /// exact order the allocator sees them: per-run link capacities first,
     /// then aggregate policer rates.
     pub fn resource_capacities(&self) -> Vec<f64> {
-        let mut caps = self.core.link_caps.clone();
-        caps.extend(self.core.policers.iter().map(|p| p.rate.bytes_per_sec()));
-        caps
+        self.core.alloc.capacities().to_vec()
     }
 
     /// Every flow currently known to the engine, sorted by id — the same
@@ -861,7 +875,7 @@ impl<'a> Ctx<'a> {
                 .event(now_ns, Category::Flow, "flow.cancelled", f.span, |_| {});
             self.core.tele.span_end(now_ns, f.span);
             if f.active {
-                self.core.reallocate();
+                self.core.deactivate_flow(id.0);
             }
         }
     }
@@ -1065,7 +1079,7 @@ impl Sim {
             .collect();
         Sim {
             core: Core {
-                link_caps,
+                alloc: FlowCore::new(link_caps),
                 jitter: 0.0,
                 tracing: false,
                 traces: HashMap::new(),
@@ -1161,9 +1175,11 @@ impl Sim {
         );
         use rand::Rng;
         self.core.jitter = frac;
-        for (cap, link) in self.core.link_caps.iter_mut().zip(self.core.topo.links()) {
+        for (i, link) in self.core.topo.links().iter().enumerate() {
             let k: f64 = self.core.rng.gen_range(1.0 - frac..=1.0 + frac);
-            *cap = link.capacity.bytes_per_sec() * k;
+            self.core
+                .alloc
+                .set_capacity(i as u32, link.capacity.bytes_per_sec() * k);
         }
     }
 
@@ -1181,7 +1197,18 @@ impl Sim {
             let k: f64 = self.core.rng.gen_range(1.0 - j..=1.0 + j);
             p.rate = p.rate * k;
         }
+        // Aggregate policers are allocatable resources; their index
+        // convention is `n_links + position` (see `start_flow_inner`).
+        self.core.alloc.push_resource(p.rate.bytes_per_sec());
         self.core.policers.push(p);
+    }
+
+    /// Select the allocator strategy: the component-scoped incremental
+    /// allocator (default) or the full-recompute reference. Both produce
+    /// bitwise-identical executions (see [`FlowCore`]); simcheck runs every
+    /// scenario under both and compares chained state digests.
+    pub fn set_allocator_mode(&mut self, mode: AllocMode) {
+        self.core.alloc.set_mode(mode);
     }
 
     /// Attach a firewall rule.
@@ -1335,10 +1362,17 @@ impl Sim {
     fn dispatch(&mut self, kind: EventKind, root: ProcessId) {
         match kind {
             EventKind::Activate { flow } => {
-                if let Some(f) = self.core.flows.get_mut(&flow) {
-                    f.active = true;
-                    f.progress.started = self.core.now;
-                    self.core.reallocate();
+                // The flow may have been cancelled during its startup delay.
+                let known = match self.core.flows.get_mut(&flow) {
+                    Some(f) => {
+                        f.active = true;
+                        f.progress.started = self.core.now;
+                        true
+                    }
+                    None => false,
+                };
+                if known {
+                    self.core.activate_flow(flow);
                 }
             }
             EventKind::Drained { flow, gen } => {
@@ -1355,7 +1389,7 @@ impl Sim {
                         let now = self.core.now;
                         self.core.traces.entry(flow).or_default().push((now, 0.0));
                     }
-                    self.core.reallocate();
+                    self.core.deactivate_flow(flow);
                     self.core
                         .push(self.core.now + delay, EventKind::Delivered { flow });
                 }
@@ -1390,14 +1424,13 @@ impl Sim {
                 link,
                 bytes_per_sec,
             } => {
-                self.core.link_caps[link as usize] = bytes_per_sec;
                 let now_ns = self.core.now.as_nanos();
                 self.core
                     .tele
                     .event(now_ns, Category::Flow, "link.capacity", SpanId::NONE, |a| {
                         a.set("link", link).set("bytes_per_sec", bytes_per_sec);
                     });
-                self.core.reallocate();
+                self.core.change_capacity(link, bytes_per_sec);
             }
         }
     }

@@ -70,7 +70,7 @@ pub mod prelude {
         Ctx, Event, FlowId, Process, ProcessId, Sim, TransferReport, TransferRequest, Value,
     };
     pub use crate::error::{NetError, NetResult};
-    pub use crate::flow::{FlowClass, FlowSpec};
+    pub use crate::flow::{AllocMode, FlowClass, FlowSpec};
     pub use crate::geo::GeoPoint;
     pub use crate::middlebox::{Policer, PolicerScope};
     pub use crate::routing::RouteOverride;

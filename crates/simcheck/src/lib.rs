@@ -134,6 +134,7 @@ impl CheckReport {
 pub fn run_check(config: CheckConfig) -> CheckReport {
     let opts = RunOptions {
         rate_inflation: config.rate_inflation,
+        ..Default::default()
     };
     let mut report = CheckReport::default();
     for i in 0..config.cases {
@@ -161,7 +162,13 @@ pub fn run_check(config: CheckConfig) -> CheckReport {
 /// Re-execute a saved scenario spec (the CLI's `--replay`).
 pub fn replay(spec_json: &str, rate_inflation: Option<f64>) -> Result<CheckReport, String> {
     let spec = ScenarioSpec::from_json(spec_json)?;
-    let res = check_case(&spec, RunOptions { rate_inflation });
+    let res = check_case(
+        &spec,
+        RunOptions {
+            rate_inflation,
+            ..Default::default()
+        },
+    );
     let mut report = CheckReport {
         passed: 0,
         failures: vec![],

@@ -83,6 +83,16 @@ pub enum Violation {
         /// Chain digest of the second execution.
         second: u64,
     },
+    /// The incremental and reference allocators produced different
+    /// executions for the same seed. The engine guarantees the two are
+    /// bitwise-identical (see `netsim::flow::FlowCore`), so any divergence
+    /// in the chained state digests is an allocator bug.
+    AllocatorDivergence {
+        /// Chain digest under the incremental allocator.
+        incremental: u64,
+        /// Chain digest under the reference (full-recompute) allocator.
+        reference: u64,
+    },
     /// The engine returned an error running the scenario.
     EngineError {
         /// The error's display form.
@@ -99,6 +109,7 @@ impl Violation {
             Violation::UnfairAllocation { .. } => "unfair_allocation",
             Violation::ByteConservation { .. } => "byte_conservation",
             Violation::Determinism { .. } => "determinism",
+            Violation::AllocatorDivergence { .. } => "allocator_divergence",
             Violation::EngineError { .. } => "engine_error",
         }
     }
@@ -140,6 +151,13 @@ impl std::fmt::Display for Violation {
             Violation::Determinism { first, second } => write!(
                 f,
                 "same-seed executions diverged: {first:#018x} vs {second:#018x}"
+            ),
+            Violation::AllocatorDivergence {
+                incremental,
+                reference,
+            } => write!(
+                f,
+                "incremental vs reference allocator diverged: {incremental:#018x} vs {reference:#018x}"
             ),
             Violation::EngineError { message } => write!(f, "engine error: {message}"),
         }

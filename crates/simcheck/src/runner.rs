@@ -1,6 +1,8 @@
 //! Scenario execution: build the world a [`ScenarioSpec`] describes, run it
-//! under the invariant oracle, and (for checking) run it twice to compare
-//! determinism digests.
+//! under the invariant oracle, and (for checking) run it three times: twice
+//! with the same seed to compare determinism digests, and once under the
+//! reference (full-recompute) allocator to prove the incremental allocator
+//! produces a bit-identical execution.
 
 use crate::oracle::{InvariantOracle, OracleHandle, Violation};
 use crate::scenario::{ScenarioSpec, TopoSpec};
@@ -23,6 +25,10 @@ pub struct RunOptions {
     /// the oracles catch a broken allocator. `None` = faithful engine.
     /// Requires the `failpoints` feature; silently ignored without it.
     pub rate_inflation: Option<f64>,
+    /// Run under the reference (full-recompute) allocator instead of the
+    /// incremental one. [`check_case`] uses this for its differential
+    /// execution; both must produce identical chained digests.
+    pub reference_allocator: bool,
 }
 
 /// What one execution of a scenario produced.
@@ -40,7 +46,8 @@ pub struct RunOutcome {
     pub bytes_delivered: u64,
 }
 
-/// Result of checking one scenario (two same-seed executions).
+/// Result of checking one scenario (two same-seed executions plus a
+/// reference-allocator execution).
 #[derive(Debug, Clone)]
 pub struct CaseResult {
     /// The scenario that was run.
@@ -229,6 +236,9 @@ impl Driver {
 pub fn run_once(spec: &ScenarioSpec, opts: RunOptions) -> RunOutcome {
     let world = build_world(&spec.topo);
     let mut sim = Sim::new(world.topo.clone(), spec.seed);
+    if opts.reference_allocator {
+        sim.set_allocator_mode(netsim::flow::AllocMode::Reference);
+    }
     sim.set_event_budget(EVENT_BUDGET);
     if spec.jitter_pct > 0 {
         sim.set_capacity_jitter(spec.jitter_pct as f64 / 100.0);
@@ -307,7 +317,9 @@ fn finish_outcome(sim: &Sim, handle: &OracleHandle, jobs_completed: u64) -> RunO
 }
 
 /// Check one scenario: run it twice with the same seed and flag invariant
-/// violations plus any determinism divergence.
+/// violations plus any determinism divergence, then once more under the
+/// reference allocator — the chained digests must be identical to the
+/// incremental execution's (same seed ⇒ bit-identical).
 pub fn check_case(spec: &ScenarioSpec, opts: RunOptions) -> CaseResult {
     let first = run_once(spec, opts);
     let second = run_once(spec, opts);
@@ -317,6 +329,21 @@ pub fn check_case(spec: &ScenarioSpec, opts: RunOptions) -> CaseResult {
             first: first.chain_digest,
             second: second.chain_digest,
         });
+    }
+    if !opts.reference_allocator {
+        let reference = run_once(
+            spec,
+            RunOptions {
+                reference_allocator: true,
+                ..opts
+            },
+        );
+        if first.chain_digest != reference.chain_digest {
+            violations.push(Violation::AllocatorDivergence {
+                incremental: first.chain_digest,
+                reference: reference.chain_digest,
+            });
+        }
     }
     CaseResult {
         spec: spec.clone(),
@@ -357,6 +384,27 @@ mod tests {
     }
 
     #[test]
+    fn reference_allocator_execution_is_bit_identical() {
+        // The incremental allocator must produce the exact execution the
+        // full-recompute reference does — not just close rates: identical
+        // event sequences, digests and byte counts.
+        for i in 0..4 {
+            let spec = ScenarioSpec::generate(case_seed(9, i));
+            let inc = run_once(&spec, RunOptions::default());
+            let refr = run_once(
+                &spec,
+                RunOptions {
+                    reference_allocator: true,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(inc.chain_digest, refr.chain_digest, "case {i}: {spec:?}");
+            assert_eq!(inc.events, refr.events, "case {i}");
+            assert_eq!(inc.bytes_delivered, refr.bytes_delivered, "case {i}");
+        }
+    }
+
+    #[test]
     fn star_topology_runs() {
         let spec = ScenarioSpec {
             seed: 5,
@@ -390,6 +438,7 @@ mod tests {
             &spec,
             RunOptions {
                 rate_inflation: Some(1.5),
+                ..Default::default()
             },
         );
         assert!(

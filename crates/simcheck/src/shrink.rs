@@ -212,6 +212,7 @@ mod tests {
         use crate::scenario::ScenarioSpec;
         let opts = RunOptions {
             rate_inflation: Some(1.5),
+            ..Default::default()
         };
         // Find a failing generated case first.
         let spec = (0..16)

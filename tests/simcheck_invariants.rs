@@ -64,6 +64,7 @@ fn replay_of_serialized_spec_matches_original() {
 fn injected_overallocation_is_caught_and_shrunk() {
     let opts = RunOptions {
         rate_inflation: Some(1.3),
+        ..Default::default()
     };
     let spec = (0..16)
         .map(|i| ScenarioSpec::generate(case_seed(13, i)))

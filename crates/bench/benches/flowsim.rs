@@ -5,12 +5,15 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use netsim::background::{BackgroundProfile, BackgroundTraffic};
-use netsim::flow::{max_min_allocate, AllocEntry, FlowCore};
+use netsim::flow::{max_min_allocate, AllocEntry, FlowClass, FlowCore, FlowSpec};
 use netsim::prelude::*;
-use netsim::units::MB;
+use netsim::units::{GB, KB, MB};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use simcheck::Json;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
 use std::time::Instant;
 
 /// Random allocation problem with `flows` flows over `links` links.
@@ -172,7 +175,7 @@ fn scaling_point(n: usize, warmup: usize, samples: usize) -> Json {
 
     let mut core = FlowCore::new(caps.clone());
     for (j, e) in entries.iter().enumerate() {
-        core.insert(j as u64, &e.resources, e.cap, 1.0);
+        core.insert(j as u64, j as u64, &e.resources, e.cap, 1.0);
     }
     // Cycle the churned flow so successive iterations touch different
     // components (defeats any single-component cache warmth). Each sample
@@ -184,7 +187,7 @@ fn scaling_point(n: usize, warmup: usize, samples: usize) -> Json {
         for _ in 0..BATCH {
             let e = &entries[victim];
             core.remove(victim as u64);
-            core.insert(victim as u64, &e.resources, e.cap, 1.0);
+            core.insert(victim as u64, victim as u64, &e.resources, e.cap, 1.0);
             victim = (victim + 1) % entries.len();
         }
     }) / (2 * BATCH) as f64; // each pair = two reallocation events
@@ -206,38 +209,239 @@ fn scaling_point(n: usize, warmup: usize, samples: usize) -> Json {
     ])
 }
 
+// ---------------------------------------------------------------------------
+// End-to-end engine scaling study.
+//
+// The allocator study above isolates reallocation; this one measures the
+// whole per-event path — heap pop, dispatch, slab lookup, reallocation,
+// lazy progress settlement, drain scheduling, queue compaction — at 100,
+// 1k, 10k and 100k *concurrent* flows. The world is a fleet of independent
+// two-host sites (10 flows each: 9 long-lived residents plus one slot of
+// churning short flows), so the allocator component an event touches stays
+// constant-size and any growth in per-event cost is engine overhead.
+//
+// Each point also runs under `ProgressMode::Eager`, which re-runs the
+// legacy O(live flows) per-event progress sweep — the cost model the lazy
+// rewrite removed — giving an in-binary before/after comparison. Eager is
+// skipped at 100k (the quadratic sweep would dominate the whole run).
+// ---------------------------------------------------------------------------
+
+/// Flows per independent site: 9 residents + 1 churn slot.
+const ENGINE_FLOWS_PER_SITE: usize = 10;
+
+/// One independent transfer site: a host pair plus its churn-flow size.
+#[derive(Clone, Copy)]
+struct EngineSite {
+    src: NodeId,
+    dst: NodeId,
+    churn_bytes: u64,
+}
+
+/// A fleet of disconnected two-host sites. Disconnection keeps on-demand
+/// shortest-path resolution O(site), so world setup stays linear in sites.
+/// Per-site capacities, delays and churn sizes are deliberately varied:
+/// identical sites would complete flows in lock-step, bunching events on
+/// shared timestamps and letting the eager sweep's zero-dt early-return
+/// dodge the O(live flows) cost it exists to measure.
+fn engine_world(sites: usize) -> (Topology, Vec<EngineSite>) {
+    let mut b = TopologyBuilder::new();
+    let fleet = (0..sites)
+        .map(|i| {
+            let lat = (i % 120) as f64 - 60.0;
+            let lon = (i / 120 % 300) as f64 - 150.0;
+            let src = b.host(&format!("s{i}"), GeoPoint::new(lat, lon));
+            let dst = b.host(&format!("d{i}"), GeoPoint::new(lat, lon + 0.5));
+            let params = LinkParams::new(
+                Bandwidth::from_mbps(50.0 + (i % 97) as f64),
+                SimTime::from_millis(1 + (i % 7) as u64),
+            );
+            b.duplex(src, dst, params);
+            EngineSite {
+                src,
+                dst,
+                churn_bytes: (32 + 8 * (i % 13) as u64) * KB,
+            }
+        })
+        .collect();
+    (b.build(), fleet)
+}
+
+/// Starts every site's resident + churn flows, then keeps each site's churn
+/// slot busy until `remaining` short flows have completed in total.
+struct EngineChurn {
+    fleet: Vec<EngineSite>,
+    site_of: HashMap<u64, usize>,
+    remaining: u64,
+    /// Completions to treat as warm-up before the timed window opens.
+    warmup: u64,
+    seen: u64,
+    /// Set to `Instant::now()` at the `warmup`-th completion; the caller
+    /// reads it back to time the steady-state window only.
+    mark: Rc<Cell<Option<Instant>>>,
+}
+
+impl EngineChurn {
+    fn start_churn(&mut self, ctx: &mut Ctx<'_>, site: usize) {
+        let s = self.fleet[site];
+        let id = ctx
+            .start_flow(FlowSpec::new(
+                s.src,
+                s.dst,
+                s.churn_bytes,
+                FlowClass::Background,
+            ))
+            .expect("site is connected");
+        self.site_of.insert(id.0, site);
+    }
+}
+
+impl Process for EngineChurn {
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started => {
+                for site in 0..self.fleet.len() {
+                    let s = self.fleet[site];
+                    // Residents share the site link for the whole run, so
+                    // every churn boundary perturbs their rates (and
+                    // supersedes their pending drains).
+                    for _ in 0..ENGINE_FLOWS_PER_SITE - 1 {
+                        ctx.start_flow(FlowSpec::new(s.src, s.dst, 100 * GB, FlowClass::Commodity))
+                            .expect("site is connected");
+                    }
+                    self.start_churn(ctx, site);
+                }
+            }
+            Event::FlowCompleted { flow, .. } => {
+                let site = self.site_of.remove(&flow.0).expect("known churn flow");
+                self.seen += 1;
+                if self.seen == self.warmup {
+                    self.mark.set(Some(Instant::now()));
+                }
+                self.remaining -= 1;
+                if self.remaining == 0 {
+                    ctx.finish(Value::None);
+                } else {
+                    self.start_churn(ctx, site);
+                }
+            }
+            Event::FlowFailed { error, .. } => panic!("bench flow failed: {error}"),
+            _ => {}
+        }
+    }
+}
+
+/// One full engine run at `n` concurrent flows; returns `(ns/event,
+/// events/sec, peak_queue)`. The first fifth of the churn completions are
+/// warm-up (ramp-up inserts grow the slab, the flow index and the heap
+/// through their reallocation doublings); the timed window covers only
+/// steady-state churn, where each completion is exactly three engine
+/// events (Activate, Drained, Delivered — stale drains sit far in the
+/// future and are compacted away, never popped).
+fn engine_run(n: usize, cycles: u64, mode: ProgressMode) -> (f64, f64, u64) {
+    let sites = n / ENGINE_FLOWS_PER_SITE;
+    let (topo, fleet) = engine_world(sites);
+    let mut sim = Sim::new(topo, 42);
+    sim.set_progress_mode(mode);
+    let warmup = (cycles / 5).max(1);
+    let mark = Rc::new(Cell::new(None));
+    let v = sim
+        .run_process(Box::new(EngineChurn {
+            fleet,
+            site_of: HashMap::new(),
+            remaining: cycles,
+            warmup,
+            seen: 0,
+            mark: Rc::clone(&mark),
+        }))
+        .expect("engine bench run");
+    assert!(matches!(v, Value::None), "bench run failed: {v:?}");
+    let wall_ns = mark.get().expect("warm-up mark").elapsed().as_nanos() as f64;
+    let stats = sim.stats();
+    // At finish every site still holds its residents, and every site but
+    // the one whose completion ended the run has a churn flow in flight.
+    assert_eq!(sim.live_flows(), sites * ENGINE_FLOWS_PER_SITE - 1);
+    let steady_events = 3 * (cycles - warmup);
+    let ns_per_event = wall_ns / steady_events as f64;
+    (ns_per_event, 1e9 / ns_per_event, stats.peak_queue)
+}
+
+/// One engine scaling point: fastest of `reps` runs per mode (scheduling
+/// noise is strictly additive, so the minimum is the stable estimator —
+/// medians left the regression gate flapping at small sizes).
+fn engine_point(n: usize, cycles: u64, reps: usize, with_eager: bool) -> Json {
+    let fastest = |mode: ProgressMode| {
+        (0..reps)
+            .map(|_| engine_run(n, cycles, mode))
+            .min_by(|a, b| f64::total_cmp(&a.0, &b.0))
+            .expect("at least one rep")
+    };
+    let (lazy_ns, events_per_sec, peak_queue) = fastest(ProgressMode::Lazy);
+    let mut fields = vec![
+        ("flows".into(), Json::Int(n as u64)),
+        ("lazy_ns".into(), Json::Num(lazy_ns)),
+        ("events_per_sec".into(), Json::Num(events_per_sec)),
+        ("peak_queue".into(), Json::Int(peak_queue)),
+    ];
+    if with_eager {
+        let (eager_ns, _, _) = fastest(ProgressMode::Eager);
+        let speedup = eager_ns / lazy_ns;
+        println!(
+            "flowsim-engine/{n}: lazy {lazy_ns:.0} ns/event ({events_per_sec:.0} ev/s, \
+             peak queue {peak_queue}), eager sweep {eager_ns:.0} ns/event, speedup {speedup:.1}x"
+        );
+        fields.push(("eager_ns".into(), Json::Num(eager_ns)));
+        fields.push(("sweep_speedup".into(), Json::Num(speedup)));
+    } else {
+        println!(
+            "flowsim-engine/{n}: lazy {lazy_ns:.0} ns/event ({events_per_sec:.0} ev/s, \
+             peak queue {peak_queue})"
+        );
+    }
+    Json::Obj(fields)
+}
+
 /// Allowed slowdown vs the checked-in baseline before CI fails the run.
 const REGRESSION_TOLERANCE: f64 = 1.25;
 
-/// Compare against a baseline `BENCH_flowsim.json`; returns error lines.
-fn check_baseline(report: &Json, baseline: &Json) -> Vec<String> {
-    let mut errors = Vec::new();
+/// Compare one per-flow-count metric series of `report` against `baseline`,
+/// appending an error line per point slower than the tolerance allows.
+fn check_series(
+    report: &Json,
+    baseline: &Json,
+    series: &str,
+    metric: &str,
+    errors: &mut Vec<String>,
+) {
     let empty = Vec::new();
-    let base_sizes = baseline
-        .get("sizes")
+    let base_points = baseline
+        .get(series)
         .and_then(Json::as_arr)
         .unwrap_or(&empty);
-    for point in report.get("sizes").and_then(Json::as_arr).unwrap_or(&empty) {
+    for point in report.get(series).and_then(Json::as_arr).unwrap_or(&empty) {
         let flows = point.get("flows").and_then(Json::as_u64).unwrap_or(0);
-        let now = point
-            .get("incremental_ns")
-            .and_then(Json::as_f64)
-            .unwrap_or(f64::NAN);
-        let Some(was) = base_sizes
+        let now = point.get(metric).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let Some(was) = base_points
             .iter()
             .find(|b| b.get("flows").and_then(Json::as_u64) == Some(flows))
-            .and_then(|b| b.get("incremental_ns"))
+            .and_then(|b| b.get(metric))
             .and_then(Json::as_f64)
         else {
             continue;
         };
         if now > was * REGRESSION_TOLERANCE {
             errors.push(format!(
-                "flowsim-scaling/{flows}: incremental {now:.0} ns/event vs \
+                "flowsim-{series}/{flows}: {metric} {now:.0} ns/event vs \
                  baseline {was:.0} ns/event (> {REGRESSION_TOLERANCE}x)"
             ));
         }
     }
+}
+
+/// Compare against a baseline `BENCH_flowsim.json`; returns error lines.
+fn check_baseline(report: &Json, baseline: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    check_series(report, baseline, "sizes", "incremental_ns", &mut errors);
+    check_series(report, baseline, "engine", "lazy_ns", &mut errors);
     errors
 }
 
@@ -250,9 +454,10 @@ fn main() {
 
     benches();
 
-    // Scaling study: smoke-run a tiny point (no report) outside bench mode.
+    // Scaling studies: smoke-run tiny points (no report) outside bench mode.
     if !bench_mode {
         scaling_point(100, 0, 2);
+        engine_point(100, 200, 1, true);
         return;
     }
     let (warmup, samples) = if quick { (5, 21) } else { (50, 101) };
@@ -260,11 +465,46 @@ fn main() {
         .iter()
         .map(|&n| scaling_point(n, warmup, samples))
         .collect();
+
+    // End-to-end engine series; the eager (legacy-sweep) comparison run is
+    // skipped at 100k where it would be quadratic.
+    let reps = 3;
+    let engine: Vec<Json> = [100usize, 1000, 10_000, 100_000]
+        .iter()
+        .map(|&n| {
+            let cycles = if quick {
+                (n as u64 / 10).max(2000)
+            } else {
+                (n as u64).max(5000)
+            };
+            engine_point(n, cycles, reps, n <= 10_000)
+        })
+        .collect();
+    // Headline scaling ratios for the log: eager-vs-lazy at 10k, and how
+    // flat events/sec stays from 10k to 100k concurrent flows.
+    let evs = |p: &Json| {
+        p.get("events_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    if let (Some(p10k), Some(p100k)) = (engine.get(2), engine.get(3)) {
+        let speedup = p10k
+            .get("sweep_speedup")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        println!(
+            "flowsim-engine: 10k-flow sweep speedup {speedup:.1}x, \
+             100k/10k events-per-sec ratio {:.2}",
+            evs(p100k) / evs(p10k)
+        );
+    }
+
     let report = Json::Obj(vec![
         ("bench".into(), Json::Str("flowsim-scaling".into())),
         ("flows_per_site".into(), Json::Int(FLOWS_PER_SITE as u64)),
         ("quick".into(), Json::Bool(quick)),
         ("sizes".into(), Json::Arr(sizes)),
+        ("engine".into(), Json::Arr(engine)),
     ]);
 
     // Regression gate: compare BEFORE overwriting any baseline the output

@@ -149,17 +149,24 @@ pub trait Process {
     fn digest_into(&self, _d: &mut Digest) {}
 }
 
+/// Flow events carry both the flow id and its slab slot: the slot gives
+/// O(1) direct indexing in dispatch, the id disambiguates slot reuse (ids
+/// are issued monotonically and never recycled, so an id match proves the
+/// slot still holds the intended flow).
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
     Activate {
         flow: u64,
+        slot: u32,
     },
     Drained {
         flow: u64,
+        slot: u32,
         gen: u64,
     },
     Delivered {
         flow: u64,
+        slot: u32,
     },
     Timer {
         pid: u32,
@@ -215,9 +222,90 @@ struct ActiveFlow {
     active: bool,
     /// Fairness weight (see [`FlowSpec::with_weight`]).
     weight: f64,
+    /// Per-flow rate cap, bytes/sec (`f64::INFINITY` when uncapped).
+    cap: f64,
+    /// The allocator slot [`FlowCore::insert`] returned while the flow is
+    /// active (`u32::MAX` otherwise).
+    alloc_slot: u32,
+    /// A `Drained` event with this flow's *current* generation is queued.
+    pending_drain: bool,
     /// Telemetry span covering this flow's lifetime ([`SpanId::NONE`] when
     /// telemetry is disabled).
     span: SpanId,
+}
+
+/// Slot-indexed storage for active flows, mirroring the allocator's slab:
+/// contiguous slots recycled through a LIFO free list. Events address flows
+/// by slot (no hashing on the hot path) and iteration is in slot order —
+/// deterministic for a fixed event sequence, so digests need no sorting.
+#[derive(Debug, Default)]
+struct FlowSlab {
+    slots: Vec<Option<ActiveFlow>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl FlowSlab {
+    fn insert(&mut self, f: ActiveFlow) -> u32 {
+        self.live += 1;
+        match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.slots[s as usize].is_none());
+                self.slots[s as usize] = Some(f);
+                s
+            }
+            None => {
+                self.slots.push(Some(f));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn get(&self, slot: u32) -> Option<&ActiveFlow> {
+        self.slots.get(slot as usize).and_then(Option::as_ref)
+    }
+
+    fn get_mut(&mut self, slot: u32) -> Option<&mut ActiveFlow> {
+        self.slots.get_mut(slot as usize).and_then(Option::as_mut)
+    }
+
+    fn remove(&mut self, slot: u32) -> Option<ActiveFlow> {
+        let f = self.slots.get_mut(slot as usize)?.take()?;
+        self.free.push(slot);
+        self.live -= 1;
+        Some(f)
+    }
+
+    /// Live flows in slot order, with their slots.
+    fn iter(&self) -> impl Iterator<Item = (u32, &ActiveFlow)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|f| (i as u32, f)))
+    }
+
+    /// Live flow count.
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+/// How the engine accounts fluid progress between events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProgressMode {
+    /// Anchored lazy accounting (the fast path): clock advancement is O(1);
+    /// each flow's `remaining` is materialized on demand from its last
+    /// settle point (see [`FlowProgress`]).
+    #[default]
+    Lazy,
+    /// The legacy per-event sweep, kept as a differential oracle: every
+    /// clock step advances a stepped shadow ledger for every active flow
+    /// (the pre-lazy `remaining -= rate*dt` arithmetic) and asserts it
+    /// agrees with the lazy closed form within float tolerance. All
+    /// engine-visible state (drain times, digests) uses the same anchored
+    /// arithmetic as [`ProgressMode::Lazy`], so the two modes produce
+    /// bit-identical executions — property tests and simcheck rely on this.
+    Eager,
 }
 
 /// Counters maintained by the engine.
@@ -233,6 +321,11 @@ pub struct SimStats {
     pub bytes_delivered: u64,
     /// Rate reallocations performed.
     pub reallocations: u64,
+    /// High-water mark of the event-queue length. Observability only — not
+    /// folded into state digests.
+    pub peak_queue: u64,
+    /// Stale-drain heap compactions performed (not digested).
+    pub queue_compactions: u64,
 }
 
 /// Everything in the simulator except the process table (split so processes
@@ -256,9 +349,21 @@ pub struct Core {
     tracing: bool,
     /// flow id → (time, rate bytes/sec) change points.
     traces: HashMap<u64, Vec<(SimTime, f64)>>,
-    flows: HashMap<u64, ActiveFlow>,
-    /// Per-flow rate caps (bytes/sec) used when rebuilding allocations.
-    flow_caps: HashMap<u64, f64>,
+    flows: FlowSlab,
+    /// flow id → slab slot, for the cold id-addressed paths (cancellation);
+    /// the hot event paths index the slab directly.
+    flow_index: HashMap<u64, u32>,
+    /// Queued `Drained` events that can no longer fire (superseded by a
+    /// rate change, or their flow was cancelled). Drives heap compaction.
+    stale_drains: usize,
+    progress_mode: ProgressMode,
+    /// Eager-mode shadow ledger: per-slot stepped `remaining`, advanced
+    /// with the legacy `remaining -= rate*dt` arithmetic and checked
+    /// against the lazy closed form (see [`ProgressMode::Eager`]).
+    stepped: Vec<f64>,
+    /// Scratch for per-link utilization sampling (avoids one allocation
+    /// per reallocation when telemetry is on).
+    util_scratch: Vec<f64>,
     next_flow: u64,
     queue: BinaryHeap<Reverse<Queued>>,
     seq: u64,
@@ -281,6 +386,9 @@ impl Core {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Queued { time, seq, kind }));
+        if self.queue.len() as u64 > self.stats.peak_queue {
+            self.stats.peak_queue = self.queue.len() as u64;
+        }
     }
 
     /// Current simulated time.
@@ -490,45 +598,45 @@ impl Core {
             owner,
             class: spec.class,
             resources,
-            progress: FlowProgress {
-                remaining: spec.bytes as f64,
-                rate: 0.0,
-                started: self.now,
-            },
+            progress: FlowProgress::new(spec.bytes as f64, self.now),
             gen: 0,
             total_bytes: spec.bytes,
             path_delay: one_way,
             started_at: self.now,
             active: false,
             weight: spec.weight,
+            cap,
+            alloc_slot: u32::MAX,
+            pending_drain: false,
             span,
         };
-        self.flows.insert(id, flow);
-        self.flow_caps.insert(id, cap);
-        self.push(self.now + startup, EventKind::Activate { flow: id });
+        let slot = self.flows.insert(flow);
+        self.flow_index.insert(id, slot);
+        self.push(self.now + startup, EventKind::Activate { flow: id, slot });
         Ok(FlowId(id))
     }
 
     /// A flow's startup delay elapsed: hand it to the allocator and apply
     /// the resulting rate changes (its connected component only).
-    fn activate_flow(&mut self, id: u64) {
+    fn activate_flow(&mut self, slot: u32) {
         // Allocator latency is wall-clock and goes to the metrics registry
         // only — never into the span/event stream, which must stay a pure
         // function of the scenario and seed.
         let t0 = self.tele.is_enabled().then(std::time::Instant::now);
-        let cap = *self.flow_caps.get(&id).unwrap_or(&f64::INFINITY);
         {
-            let f = &self.flows[&id];
-            self.alloc.insert(id, &f.resources, cap, f.weight);
+            let f = self.flows.get_mut(slot).expect("activated flow exists");
+            f.alloc_slot = self
+                .alloc
+                .insert(f.id, slot as u64, &f.resources, f.cap, f.weight);
         }
         self.apply_rate_changes(t0);
     }
 
-    /// A flow drained or was cancelled: release its capacity and re-share
-    /// within its component.
-    fn deactivate_flow(&mut self, id: u64) {
+    /// A flow drained or was cancelled: release its allocator slot and
+    /// re-share within its component.
+    fn deactivate_flow(&mut self, alloc_slot: u32) {
         let t0 = self.tele.is_enabled().then(std::time::Instant::now);
-        self.alloc.remove(id);
+        self.alloc.remove_slot(alloc_slot);
         self.apply_rate_changes(t0);
     }
 
@@ -558,27 +666,42 @@ impl Core {
         let now = self.now;
         let now_ns = now.as_nanos();
         let changes = self.alloc.take_changes();
-        for &(id, rate) in &changes {
+        for c in &changes {
+            let rate = c.rate;
             // Failpoint: inflate every allocated rate. Inert at the default
             // factor of 1.0 (multiplication by 1.0 is bit-exact for finite
             // f64), so digests match builds without the feature.
             #[cfg(feature = "failpoints")]
             let rate = rate * self.overalloc;
+            let slot = c.token as u32;
             let (fid, gen, finish, span, noticeable) = {
-                let f = self.flows.get_mut(&id).expect("changed flow exists");
+                let f = self.flows.get_mut(slot).expect("changed flow exists");
+                debug_assert_eq!(f.id, c.id, "allocator token resolves its flow");
                 let noticeable = (f.progress.rate - rate).abs() > 1e-9;
+                if f.pending_drain {
+                    // The queued Drained event stops matching the flow's
+                    // generation once we bump it below: it rots in the heap
+                    // until popped or compacted away.
+                    self.stale_drains += 1;
+                }
+                // Settle at the old rate, then switch: `remaining` re-anchors
+                // at `now`, so the projected finish below is exact.
+                f.progress.settle(now);
                 f.progress.rate = rate;
                 f.gen += 1;
-                (
-                    f.id,
-                    f.gen,
-                    f.progress.projected_finish(now),
-                    f.span,
-                    noticeable,
-                )
+                let finish = f.progress.projected_finish(now);
+                f.pending_drain = finish.is_some();
+                (f.id, f.gen, finish, f.span, noticeable)
             };
             if let Some(finish) = finish {
-                self.push(finish, EventKind::Drained { flow: fid, gen });
+                self.push(
+                    finish,
+                    EventKind::Drained {
+                        flow: fid,
+                        slot,
+                        gen,
+                    },
+                );
             }
             if noticeable {
                 self.tele
@@ -587,7 +710,7 @@ impl Core {
                     });
             }
             if self.tracing && noticeable {
-                self.traces.entry(id).or_default().push((now, rate));
+                self.traces.entry(c.id).or_default().push((now, rate));
             }
         }
         self.alloc.restore_changes(changes);
@@ -595,9 +718,13 @@ impl Core {
         // capacity consumed by the new allocation.
         if self.tele.is_enabled() {
             let n_links = self.topo.links().len();
-            let mut used = Vec::new();
-            self.alloc.used_per_resource(&mut used);
-            for (u, cap) in used.iter().zip(self.alloc.capacities()).take(n_links) {
+            self.alloc.used_per_resource(&mut self.util_scratch);
+            for (u, cap) in self
+                .util_scratch
+                .iter()
+                .zip(self.alloc.capacities())
+                .take(n_links)
+            {
                 if *u > 0.0 && *cap > 0.0 {
                     let pct = (u / cap * 100.0).clamp(0.0, 100.0);
                     self.tele
@@ -605,19 +732,85 @@ impl Core {
                 }
             }
         }
+        self.maybe_compact();
     }
+
+    /// True when a queued `Drained` event will fire on arrival: its slot
+    /// still holds the intended flow, active, at the same generation. The
+    /// dispatch guard, the digest's pending-queue filter and compaction
+    /// retention all share this one predicate — which is what makes
+    /// compaction invisible to the chained state digest.
+    fn drain_is_live(&self, flow: u64, slot: u32, gen: u64) -> bool {
+        matches!(self.flows.get(slot), Some(f) if f.id == flow && f.active && f.gen == gen)
+    }
+
+    /// Rebuild the heap without stale `Drained` entries once they number at
+    /// least [`Self::COMPACT_MIN_STALE`] and outnumber live entries.
+    /// Surviving entries keep their `(time, seq)` keys, and stale entries
+    /// are already excluded from the digest's queue snapshot, so compaction
+    /// never perturbs same-seed digests — it only bounds queue occupancy
+    /// (and heap-maintenance cost) by the live event count.
+    fn maybe_compact(&mut self) {
+        if self.stale_drains < Self::COMPACT_MIN_STALE || self.stale_drains * 2 <= self.queue.len()
+        {
+            return;
+        }
+        let before = self.queue.len();
+        let kept: BinaryHeap<Reverse<Queued>> = std::mem::take(&mut self.queue)
+            .into_iter()
+            .filter(|r| match r.0.kind {
+                EventKind::Drained { flow, slot, gen } => self.drain_is_live(flow, slot, gen),
+                _ => true,
+            })
+            .collect();
+        debug_assert_eq!(
+            before - kept.len(),
+            self.stale_drains,
+            "stale accounting matches heap contents"
+        );
+        self.queue = kept;
+        self.stale_drains = 0;
+        self.stats.queue_compactions += 1;
+    }
+
+    /// Compaction threshold: don't bother rebuilding tiny heaps.
+    const COMPACT_MIN_STALE: usize = 64;
 
     fn advance_to(&mut self, t: SimTime) {
         debug_assert!(t >= self.now, "time went backwards");
-        let dt = t.saturating_sub(self.now);
-        if !dt.is_zero() {
-            for f in self.flows.values_mut() {
-                if f.active {
-                    f.progress.advance(dt);
-                }
-            }
+        if self.progress_mode == ProgressMode::Eager {
+            self.eager_sweep(t);
         }
         self.now = t;
+    }
+
+    /// The legacy per-event progress sweep ([`ProgressMode::Eager`]): step
+    /// the shadow ledger of every active flow with the pre-lazy
+    /// `remaining -= rate*dt` arithmetic and check it against the lazy
+    /// closed form. Engine-visible state is untouched — both modes share
+    /// the anchored arithmetic, keeping executions bit-identical.
+    fn eager_sweep(&mut self, t: SimTime) {
+        let dt = t.saturating_sub(self.now);
+        if dt.is_zero() {
+            return;
+        }
+        let dt = dt.as_secs_f64();
+        for (slot, f) in self.flows.iter() {
+            if !f.active {
+                continue;
+            }
+            let s = &mut self.stepped[slot as usize];
+            *s = (*s - f.progress.rate * dt).max(0.0);
+            let lazy = f.progress.remaining_at(t);
+            let tol = 1e-6 * (f.total_bytes as f64).max(1.0);
+            assert!(
+                (*s - lazy).abs() <= tol,
+                "eager/lazy progress divergence on flow {}: stepped {} vs lazy {}",
+                f.id,
+                *s,
+                lazy
+            );
+        }
     }
 
     /// Fold the complete core state — clock, counters, effective link
@@ -636,10 +829,10 @@ impl Core {
         for cap in &self.alloc.capacities()[..self.topo.links().len()] {
             d.write_f64(*cap);
         }
-        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            let f = &self.flows[&id];
+        // Slab order is a pure function of the event sequence, so no
+        // sorting is needed for determinism.
+        for (slot, f) in self.flows.iter() {
+            d.write_u64(slot as u64);
             d.write_u64(f.id);
             d.write_bool(f.active);
             d.write_u64(f.gen);
@@ -651,9 +844,20 @@ impl Core {
                 d.write_u64(*r as u64);
             }
             f.progress.digest_into(d);
-            d.write_f64(*self.flow_caps.get(&id).unwrap_or(&f64::INFINITY));
+            d.write_f64(f.cap);
         }
-        let mut pending: Vec<Queued> = self.queue.iter().map(|r| r.0).collect();
+        // Stale Drained events are skipped: they can never fire, and heap
+        // compaction may remove them at any point — excluding them here is
+        // what keeps compaction digest-invisible.
+        let mut pending: Vec<Queued> = self
+            .queue
+            .iter()
+            .map(|r| r.0)
+            .filter(|q| match q.kind {
+                EventKind::Drained { flow, slot, gen } => self.drain_is_live(flow, slot, gen),
+                _ => true,
+            })
+            .collect();
         pending.sort_unstable();
         for q in pending {
             d.write_time(q.time);
@@ -675,18 +879,21 @@ impl Core {
 impl EventKind {
     fn digest_into(&self, d: &mut Digest) {
         match self {
-            EventKind::Activate { flow } => {
+            EventKind::Activate { flow, slot } => {
                 d.write_u8(1);
                 d.write_u64(*flow);
+                d.write_u64(*slot as u64);
             }
-            EventKind::Drained { flow, gen } => {
+            EventKind::Drained { flow, slot, gen } => {
                 d.write_u8(2);
                 d.write_u64(*flow);
+                d.write_u64(*slot as u64);
                 d.write_u64(*gen);
             }
-            EventKind::Delivered { flow } => {
+            EventKind::Delivered { flow, slot } => {
                 d.write_u8(3);
                 d.write_u64(*flow);
+                d.write_u64(*slot as u64);
             }
             EventKind::Timer { pid, tag } => {
                 d.write_u8(4);
@@ -757,20 +964,23 @@ impl<'a> AuditView<'a> {
     }
 
     /// Every flow currently known to the engine, sorted by id — the same
-    /// order the allocator processes them in.
+    /// order the allocator processes them in. `remaining` is materialized
+    /// from the lazy anchor at the current clock, so oracles see the same
+    /// values the old eager sweep maintained.
     pub fn flows(&self) -> Vec<AuditFlow<'a>> {
+        let now = self.core.now;
         let mut v: Vec<AuditFlow<'a>> = self
             .core
             .flows
-            .values()
-            .map(|f| AuditFlow {
+            .iter()
+            .map(|(_, f)| AuditFlow {
                 id: f.id,
                 active: f.active,
                 rate: f.progress.rate,
-                remaining: f.progress.remaining,
+                remaining: f.progress.remaining_at(now),
                 total_bytes: f.total_bytes,
                 weight: f.weight,
-                cap: *self.core.flow_caps.get(&f.id).unwrap_or(&f64::INFINITY),
+                cap: f.cap,
                 resources: &f.resources,
             })
             .collect();
@@ -867,16 +1077,21 @@ impl<'a> Ctx<'a> {
     /// immediately; an [`Event::FlowFailed`] is *not* delivered (the caller
     /// already knows).
     pub fn cancel_flow(&mut self, id: FlowId) {
-        if let Some(f) = self.core.flows.remove(&id.0) {
-            self.core.flow_caps.remove(&id.0);
-            let now_ns = self.core.now.as_nanos();
-            self.core
-                .tele
-                .event(now_ns, Category::Flow, "flow.cancelled", f.span, |_| {});
-            self.core.tele.span_end(now_ns, f.span);
-            if f.active {
-                self.core.deactivate_flow(id.0);
+        let Some(slot) = self.core.flow_index.remove(&id.0) else {
+            return;
+        };
+        let f = self.core.flows.remove(slot).expect("indexed flow exists");
+        let now_ns = self.core.now.as_nanos();
+        self.core
+            .tele
+            .event(now_ns, Category::Flow, "flow.cancelled", f.span, |_| {});
+        self.core.tele.span_end(now_ns, f.span);
+        if f.active {
+            if f.pending_drain {
+                // Its queued Drained event can no longer fire.
+                self.core.stale_drains += 1;
             }
+            self.core.deactivate_flow(f.alloc_slot);
         }
     }
 
@@ -1088,8 +1303,12 @@ impl Sim {
                 tcp: TcpParams::default(),
                 policers: Vec::new(),
                 firewalls: Vec::new(),
-                flows: HashMap::new(),
-                flow_caps: HashMap::new(),
+                flows: FlowSlab::default(),
+                flow_index: HashMap::new(),
+                stale_drains: 0,
+                progress_mode: ProgressMode::default(),
+                stepped: Vec::new(),
+                util_scratch: Vec::new(),
                 next_flow: 1,
                 queue: BinaryHeap::new(),
                 seq: 0,
@@ -1211,6 +1430,15 @@ impl Sim {
         self.core.alloc.set_mode(mode);
     }
 
+    /// Select the progress-accounting mode (see [`ProgressMode`]). Call
+    /// before starting transfers. Both modes produce bit-identical
+    /// executions; [`ProgressMode::Eager`] additionally runs the legacy
+    /// per-event sweep as a differential oracle, making every clock step
+    /// O(all flows) again.
+    pub fn set_progress_mode(&mut self, mode: ProgressMode) {
+        self.core.progress_mode = mode;
+    }
+
     /// Attach a firewall rule.
     pub fn add_firewall(&mut self, f: FirewallRule) {
         self.core.firewalls.push(f);
@@ -1301,6 +1529,16 @@ impl Sim {
         self.core.stats
     }
 
+    /// Flows currently known to the engine (started, not yet delivered).
+    pub fn live_flows(&self) -> usize {
+        self.core.flows.len()
+    }
+
+    /// Current event-queue occupancy (live and stale entries).
+    pub fn queue_len(&self) -> usize {
+        self.core.queue.len()
+    }
+
     /// Spawn a detached (parentless, result-discarded) process — used for
     /// background traffic generators that run for the whole simulation.
     pub fn spawn_detached(&mut self, p: Box<dyn Process>) -> ProcessId {
@@ -1361,42 +1599,69 @@ impl Sim {
 
     fn dispatch(&mut self, kind: EventKind, root: ProcessId) {
         match kind {
-            EventKind::Activate { flow } => {
-                // The flow may have been cancelled during its startup delay.
-                let known = match self.core.flows.get_mut(&flow) {
-                    Some(f) => {
+            EventKind::Activate { flow, slot } => {
+                // The flow may have been cancelled during its startup delay
+                // (slot empty or reused — the id check covers both).
+                let now = self.core.now;
+                let known = match self.core.flows.get_mut(slot) {
+                    Some(f) if f.id == flow => {
                         f.active = true;
-                        f.progress.started = self.core.now;
+                        f.progress.started = now;
+                        // Re-anchor at activation (a no-op for `remaining`:
+                        // the pre-activation rate is zero).
+                        f.progress.settle(now);
                         true
                     }
-                    None => false,
+                    _ => false,
                 };
                 if known {
-                    self.core.activate_flow(flow);
+                    if self.core.progress_mode == ProgressMode::Eager {
+                        // Seed the stepped shadow ledger for this slot.
+                        let rem = self
+                            .core
+                            .flows
+                            .get(slot)
+                            .expect("just seen")
+                            .progress
+                            .remaining;
+                        if self.core.stepped.len() <= slot as usize {
+                            self.core.stepped.resize(slot as usize + 1, 0.0);
+                        }
+                        self.core.stepped[slot as usize] = rem;
+                    }
+                    self.core.activate_flow(slot);
                 }
             }
-            EventKind::Drained { flow, gen } => {
-                let done = matches!(self.core.flows.get(&flow),
-                    Some(f) if f.active && f.gen == gen);
-                if done {
-                    let delay = {
-                        let f = self.core.flows.get_mut(&flow).expect("checked above");
+            EventKind::Drained { flow, slot, gen } => {
+                if self.core.drain_is_live(flow, slot, gen) {
+                    let (delay, alloc_slot) = {
+                        let f = self.core.flows.get_mut(slot).expect("liveness checked");
                         f.progress.remaining = 0.0;
+                        f.progress.updated_at = self.core.now;
                         f.active = false;
-                        f.path_delay
+                        f.pending_drain = false;
+                        let alloc_slot = f.alloc_slot;
+                        f.alloc_slot = u32::MAX;
+                        (f.path_delay, alloc_slot)
                     };
                     if self.core.tracing {
                         let now = self.core.now;
                         self.core.traces.entry(flow).or_default().push((now, 0.0));
                     }
-                    self.core.deactivate_flow(flow);
+                    self.core.deactivate_flow(alloc_slot);
                     self.core
-                        .push(self.core.now + delay, EventKind::Delivered { flow });
+                        .push(self.core.now + delay, EventKind::Delivered { flow, slot });
+                } else {
+                    // A superseded (or cancelled-flow) drain leaving the heap.
+                    debug_assert!(self.core.stale_drains > 0, "stale drain accounted");
+                    self.core.stale_drains = self.core.stale_drains.saturating_sub(1);
                 }
             }
-            EventKind::Delivered { flow } => {
-                if let Some(f) = self.core.flows.remove(&flow) {
-                    self.core.flow_caps.remove(&flow);
+            EventKind::Delivered { flow, slot } => {
+                let known = matches!(self.core.flows.get(slot), Some(f) if f.id == flow);
+                if known {
+                    let f = self.core.flows.remove(slot).expect("checked above");
+                    self.core.flow_index.remove(&flow);
                     self.core.stats.flows_completed += 1;
                     self.core.stats.bytes_delivered += f.total_bytes;
                     if let Some(hook) = self.audit.as_mut() {

@@ -67,7 +67,8 @@ pub mod units;
 pub mod prelude {
     pub use crate::background::{BackgroundProfile, BackgroundTraffic};
     pub use crate::engine::{
-        Ctx, Event, FlowId, Process, ProcessId, Sim, TransferReport, TransferRequest, Value,
+        Ctx, Event, FlowId, Process, ProcessId, ProgressMode, Sim, TransferReport, TransferRequest,
+        Value,
     };
     pub use crate::error::{NetError, NetResult};
     pub use crate::flow::{AllocMode, FlowClass, FlowSpec};

@@ -82,8 +82,8 @@ proptest! {
                 OpSpec::Insert { resources, cap, weight } => {
                     let id = next_id;
                     next_id += 1;
-                    inc.insert(id, resources, *cap, *weight);
-                    refc.insert(id, resources, *cap, *weight);
+                    inc.insert(id, id, resources, *cap, *weight);
+                    refc.insert(id, id, resources, *cap, *weight);
                     entries.insert(id, AllocEntry {
                         resources: resources.clone(),
                         cap: *cap,
@@ -129,8 +129,9 @@ proptest! {
             // events from them).
             prop_assert_eq!(inc.changes().len(), refc.changes().len());
             for (a, b) in inc.changes().iter().zip(refc.changes()) {
-                prop_assert_eq!(a.0, b.0);
-                prop_assert!(a.1.to_bits() == b.1.to_bits());
+                prop_assert_eq!(a.id, b.id);
+                prop_assert_eq!(a.token, b.token);
+                prop_assert!(a.rate.to_bits() == b.rate.to_bits());
             }
         }
     }
@@ -282,8 +283,8 @@ fn empty_resource_flow_rate_is_finite() {
     assert_eq!(rates[1], 42.0);
 
     let mut core = FlowCore::new(vec![]);
-    core.insert(1, &[], f64::INFINITY, 1.0);
-    core.insert(2, &[], 7.5, 1.0);
+    core.insert(1, 1, &[], f64::INFINITY, 1.0);
+    core.insert(2, 2, &[], 7.5, 1.0);
     assert_eq!(core.rate(1), Some(MAX_FLOW_RATE));
     assert_eq!(core.rate(2), Some(7.5));
 }

@@ -1,0 +1,170 @@
+//! Lazy vs eager progress accounting must be observationally identical.
+//!
+//! [`ProgressMode::Lazy`] (the default) materializes flow progress only at
+//! rate changes, drains, and audit reads; [`ProgressMode::Eager`] re-runs
+//! the legacy per-event sweep as a shadow oracle and asserts it agrees.
+//! Both modes must produce bit-identical engine-visible state: the same
+//! drain event times, the same per-flow rate timelines, the same byte
+//! ledgers, and the same final state digest. These properties drive random
+//! WAN workloads — staggered starts, shared bottlenecks, mid-flight link
+//! capacity changes — through both modes and compare everything bitwise.
+
+use netsim::engine::{Ctx, Event, FlowId, Process, ProgressMode, Sim, Value};
+use netsim::flow::{FlowClass, FlowSpec};
+use netsim::synth::SynthWan;
+use netsim::time::SimTime;
+use netsim::topology::NodeId;
+use netsim::units::{Bandwidth, MB};
+use proptest::prelude::*;
+
+/// Starts transfer `i` at `i * stagger`, so flows join and leave while
+/// others are mid-flight (each boundary reallocates shared links).
+struct StaggeredFlows {
+    pairs: Vec<(NodeId, NodeId, u64)>,
+    stagger: SimTime,
+    started: usize,
+    done: usize,
+}
+
+impl Process for StaggeredFlows {
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started | Event::Timer { .. } => {
+                let (src, dst, bytes) = self.pairs[self.started];
+                ctx.start_flow(FlowSpec::new(src, dst, bytes, FlowClass::Commodity))
+                    .expect("connected WAN");
+                self.started += 1;
+                if self.started < self.pairs.len() {
+                    ctx.set_timer(self.stagger, 0);
+                }
+            }
+            Event::FlowCompleted { .. } => {
+                self.done += 1;
+                if self.done == self.pairs.len() {
+                    ctx.finish(Value::Time(ctx.now()));
+                }
+            }
+            Event::FlowFailed { error, .. } => ctx.finish(Value::Error(error)),
+            _ => {}
+        }
+    }
+}
+
+/// Everything observable about one execution, with floats as bit patterns
+/// so comparison is exact rather than approximate.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    state_digest: u64,
+    events: u64,
+    flows_completed: u64,
+    bytes_delivered: u64,
+    reallocations: u64,
+    finish: SimTime,
+    /// Per-flow rate timelines: `(time_ns, rate_bits)` change points. The
+    /// final `0.0` entry is the drain event; equal traces mean equal drain
+    /// times, not merely equal totals.
+    traces: Vec<Vec<(u64, u64)>>,
+}
+
+fn run_world(seed: u64, n_pairs: usize, mb: u64, mode: ProgressMode) -> Observed {
+    let world = SynthWan {
+        seed,
+        ..SynthWan::default()
+    }
+    .build();
+    let n_hosts = world.hosts.len();
+    let pairs: Vec<(NodeId, NodeId, u64)> = (0..n_pairs)
+        .map(|i| {
+            let a = (seed as usize + i * 7) % n_hosts;
+            let mut b = (seed as usize / 3 + i * 13) % n_hosts;
+            if b == a {
+                b = (b + 1) % n_hosts;
+            }
+            (world.hosts[a], world.hosts[b], mb * MB)
+        })
+        .collect();
+    let n = pairs.len();
+
+    let mut sim = Sim::new(world.topo, seed);
+    sim.set_progress_mode(mode);
+    sim.enable_flow_tracing();
+    // Mid-flight bottleneck dynamics: shrink then restore a couple of
+    // links while transfers are in progress, forcing rate changes that do
+    // not coincide with flow boundaries.
+    let n_links = sim.core().topology().links().len();
+    for k in 0..n_links.min(4) {
+        let at = SimTime::from_millis(150 + 40 * k as u64);
+        let cap = Bandwidth::from_mbps(if k % 2 == 0 { 3.0 } else { 40.0 });
+        sim.schedule_capacity_change(netsim::topology::LinkId(k as u32), at, cap);
+    }
+    let v = sim
+        .run_process(Box::new(StaggeredFlows {
+            pairs,
+            stagger: SimTime::from_millis(25),
+            started: 0,
+            done: 0,
+        }))
+        .unwrap();
+    let finish = match v {
+        Value::Time(t) => t,
+        other => panic!("transfers failed: {other:?}"),
+    };
+
+    let stats = sim.stats();
+    // Flow ids are assigned in start order from 1, identically in both
+    // runs; pull every started flow's recorded timeline.
+    let traces = (1..=n as u64)
+        .filter_map(|id| sim.flow_trace(FlowId(id)))
+        .map(|t| {
+            t.points
+                .iter()
+                .map(|&(at, rate)| (at.as_nanos(), rate.to_bits()))
+                .collect()
+        })
+        .collect();
+    Observed {
+        state_digest: sim.state_digest(),
+        events: stats.events,
+        flows_completed: stats.flows_completed,
+        bytes_delivered: stats.bytes_delivered,
+        reallocations: stats.reallocations,
+        finish,
+        traces,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The eager shadow sweep asserts agreement internally (panicking on
+    /// divergence); externally, both modes must be bit-identical.
+    #[test]
+    fn lazy_and_eager_executions_are_bit_identical(
+        seed in 0u64..500,
+        n_pairs in 2usize..16,
+        mb in 1u64..6,
+    ) {
+        let lazy = run_world(seed, n_pairs, mb, ProgressMode::Lazy);
+        let eager = run_world(seed, n_pairs, mb, ProgressMode::Eager);
+        prop_assert_eq!(&lazy, &eager);
+        // The workload must actually have exercised mid-flight rate
+        // changes, or the comparison proves nothing.
+        prop_assert!(lazy.reallocations > n_pairs as u64);
+        prop_assert_eq!(lazy.flows_completed, n_pairs as u64);
+    }
+}
+
+/// Deterministic spot check that the traces really carry drain times: the
+/// last change point of every completed flow is a zero rate.
+#[test]
+fn traces_end_with_drain_points_in_both_modes() {
+    for mode in [ProgressMode::Lazy, ProgressMode::Eager] {
+        let obs = run_world(11, 6, 2, mode);
+        assert_eq!(obs.traces.len(), 6);
+        for t in &obs.traces {
+            let &(at, rate_bits) = t.last().expect("non-empty trace");
+            assert_eq!(rate_bits, 0f64.to_bits(), "trace must end drained");
+            assert!(at <= obs.finish.as_nanos());
+        }
+    }
+}

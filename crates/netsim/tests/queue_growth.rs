@@ -1,0 +1,141 @@
+//! Regression test: event-queue occupancy stays bounded under rate churn.
+//!
+//! Every reallocation supersedes the pending drain event of each flow whose
+//! rate changed. Superseded (stale) entries cannot be removed from the
+//! binary heap in place; without compaction they would accumulate until
+//! their — now meaningless — pop times arrived. With many long-lived flows
+//! sharing a bottleneck and a steady churn of short flows joining and
+//! leaving, that is tens of thousands of stale entries for ~100 live flows.
+//!
+//! The engine counters this with per-flow pending-drain tracking plus heap
+//! compaction once stale entries outnumber live ones. This test drives the
+//! adversarial workload and asserts the high-water mark of the queue stays
+//! within a small constant factor of the live flow count, rather than
+//! growing with the total number of rate changes.
+
+use netsim::engine::{Ctx, Event, Process, Sim, Value};
+use netsim::flow::{FlowClass, FlowSpec};
+use netsim::geo::GeoPoint;
+use netsim::time::SimTime;
+use netsim::topology::{LinkParams, NodeId, TopologyBuilder};
+use netsim::units::{Bandwidth, GB, KB};
+
+/// Long-lived flows pinned on the bottleneck for the whole run. Each churn
+/// boundary perturbs every one of their rates.
+const LONG_FLOWS: usize = 100;
+
+/// Short flows run back-to-back; each one causes two reallocations (join
+/// and leave), each superseding ~`LONG_FLOWS` pending drains.
+const CHURN_FLOWS: u32 = 300;
+
+/// Starts the long-lived flows, then runs the churn chain serially and
+/// finishes when the last short flow delivers.
+struct ChurnDriver {
+    src: NodeId,
+    dst: NodeId,
+    remaining: u32,
+}
+
+impl ChurnDriver {
+    fn kick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.remaining == 0 {
+            ctx.finish(Value::Time(ctx.now()));
+            return;
+        }
+        self.remaining -= 1;
+        ctx.start_flow(FlowSpec::new(
+            self.src,
+            self.dst,
+            256 * KB,
+            FlowClass::Background,
+        ))
+        .expect("connected star");
+    }
+}
+
+impl Process for ChurnDriver {
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started => {
+                // 10 GB at a ~1.2 Mbps fair share: these never finish
+                // within the run, so their drain events are superseded —
+                // never popped — on every churn boundary.
+                for _ in 0..LONG_FLOWS {
+                    ctx.start_flow(FlowSpec::new(
+                        self.src,
+                        self.dst,
+                        10 * GB,
+                        FlowClass::Commodity,
+                    ))
+                    .expect("connected star");
+                }
+                self.kick(ctx);
+            }
+            // Only churn flows can complete; long flows outlive the run.
+            Event::FlowCompleted { .. } => self.kick(ctx),
+            Event::FlowFailed { error, .. } => ctx.finish(Value::Error(error)),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn queue_stays_bounded_under_high_churn() {
+    let mut b = TopologyBuilder::new();
+    let hub = b.router("hub", GeoPoint::new(45.0, -100.0));
+    let a = b.host("a", GeoPoint::new(44.0, -101.0));
+    let z = b.host("z", GeoPoint::new(46.0, -99.0));
+    let params = LinkParams::new(Bandwidth::from_mbps(100.0), SimTime::from_millis(2));
+    b.duplex(a, hub, params);
+    b.duplex(z, hub, params);
+
+    let mut sim = Sim::new(b.build(), 42);
+    let v = sim
+        .run_process(Box::new(ChurnDriver {
+            src: a,
+            dst: z,
+            remaining: CHURN_FLOWS,
+        }))
+        .unwrap();
+    assert!(matches!(v, Value::Time(_)), "churn chain failed: {v:?}");
+
+    let stats = sim.stats();
+    assert_eq!(stats.flows_completed, CHURN_FLOWS as u64);
+    assert_eq!(
+        sim.live_flows(),
+        LONG_FLOWS,
+        "the long-lived flows must still be in flight at the end"
+    );
+
+    // ~2 reallocations per churn flow, each superseding ~LONG_FLOWS drains:
+    // ≈ 60k stale entries pushed over the run. An unbounded queue would
+    // peak near that number; the compacted queue must stay within a small
+    // constant factor of the ~(LONG_FLOWS + 1) live flows. The slack covers
+    // live entries plus up to one uncompacted batch of stale ones.
+    let bound = 6 * (LONG_FLOWS as u64 + 8);
+    assert!(
+        stats.peak_queue <= bound,
+        "peak queue {} exceeds O(live flows) bound {} (churn boundaries: {})",
+        stats.peak_queue,
+        bound,
+        stats.reallocations
+    );
+    assert!(
+        stats.queue_compactions >= 10,
+        "expected sustained compaction activity, got {}",
+        stats.queue_compactions
+    );
+    // The final queue holds the live flows' drains plus bounded residue.
+    assert!(
+        sim.queue_len() as u64 <= bound,
+        "final queue length {} exceeds bound {}",
+        sim.queue_len(),
+        bound
+    );
+    // Sanity: the workload really did exercise heavy reallocation churn.
+    assert!(
+        stats.reallocations >= 2 * CHURN_FLOWS as u64,
+        "workload too tame: {} reallocations",
+        stats.reallocations
+    );
+}

@@ -34,7 +34,7 @@ pub mod shrink;
 pub use json::Json;
 pub use oracle::{OracleHandle, Violation};
 pub use runner::{check_case, run_once, CaseResult, RunOptions, RunOutcome};
-pub use scenario::{case_seed, BgSpec, FaultSpec, JobSpec, ScenarioSpec, TopoSpec};
+pub use scenario::{case_seed, BgSpec, ChurnSpec, FaultSpec, JobSpec, ScenarioSpec, TopoSpec};
 pub use shrink::{shrink, ShrinkResult};
 
 /// Configuration for a batch check run.

@@ -93,6 +93,16 @@ pub enum Violation {
         /// Chain digest under the reference (full-recompute) allocator.
         reference: u64,
     },
+    /// The lazy and eager progress-accounting modes produced different
+    /// executions for the same seed. Both modes share the anchored progress
+    /// arithmetic (see `netsim::engine::ProgressMode`), so any divergence
+    /// in the chained state digests is a progress-accounting bug.
+    ProgressDivergence {
+        /// Chain digest under lazy (materialize-on-demand) accounting.
+        lazy: u64,
+        /// Chain digest under the eager per-event sweep.
+        eager: u64,
+    },
     /// The engine returned an error running the scenario.
     EngineError {
         /// The error's display form.
@@ -110,6 +120,7 @@ impl Violation {
             Violation::ByteConservation { .. } => "byte_conservation",
             Violation::Determinism { .. } => "determinism",
             Violation::AllocatorDivergence { .. } => "allocator_divergence",
+            Violation::ProgressDivergence { .. } => "progress_divergence",
             Violation::EngineError { .. } => "engine_error",
         }
     }
@@ -158,6 +169,10 @@ impl std::fmt::Display for Violation {
             } => write!(
                 f,
                 "incremental vs reference allocator diverged: {incremental:#018x} vs {reference:#018x}"
+            ),
+            Violation::ProgressDivergence { lazy, eager } => write!(
+                f,
+                "lazy vs eager progress accounting diverged: {lazy:#018x} vs {eager:#018x}"
             ),
             Violation::EngineError { message } => write!(f, "engine error: {message}"),
         }

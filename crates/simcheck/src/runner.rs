@@ -1,13 +1,13 @@
 //! Scenario execution: build the world a [`ScenarioSpec`] describes, run it
-//! under the invariant oracle, and (for checking) run it three times: twice
-//! with the same seed to compare determinism digests, and once under the
-//! reference (full-recompute) allocator to prove the incremental allocator
-//! produces a bit-identical execution.
+//! under the invariant oracle, and (for checking) run it four times: twice
+//! with the same seed to compare determinism digests, once under the
+//! reference (full-recompute) allocator, and once under the eager progress
+//! sweep — both differential executions must be bit-identical to the first.
 
 use crate::oracle::{InvariantOracle, OracleHandle, Violation};
 use crate::scenario::{ScenarioSpec, TopoSpec};
 use netsim::background::{BackgroundProfile, BackgroundTraffic};
-use netsim::engine::{Ctx, Event, Process, Sim, Value};
+use netsim::engine::{Ctx, Event, Process, ProgressMode, Sim, Value};
 use netsim::flow::{FlowClass, FlowSpec};
 use netsim::geo::GeoPoint;
 use netsim::synth::SynthWan;
@@ -29,6 +29,11 @@ pub struct RunOptions {
     /// incremental one. [`check_case`] uses this for its differential
     /// execution; both must produce identical chained digests.
     pub reference_allocator: bool,
+    /// Run with the eager per-event progress sweep (the legacy accounting,
+    /// kept as an oracle) instead of lazy materialization. [`check_case`]
+    /// uses this for a further differential execution; both modes must
+    /// produce identical chained digests.
+    pub eager_progress: bool,
 }
 
 /// What one execution of a scenario produced.
@@ -232,12 +237,67 @@ impl Driver {
     }
 }
 
+/// Detached process driving one [`ChurnSpec`]: a serial chain of short
+/// transfers, the next started one gap after the previous settles. Each
+/// boundary reallocates the shared component and supersedes queued drain
+/// events — live flow count stays at one while total rate changes grow.
+struct ChurnGen {
+    src: NodeId,
+    dst: NodeId,
+    bytes: u64,
+    gap: SimTime,
+    remaining: u32,
+}
+
+impl Process for ChurnGen {
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started | Event::Timer { .. } => self.kick(ctx),
+            Event::FlowCompleted { .. } | Event::FlowFailed { .. } => {
+                if self.remaining == 0 {
+                    ctx.finish(Value::None);
+                } else {
+                    // A zero gap still defers one event: back-to-back flow
+                    // boundaries at distinct queue sequence numbers.
+                    ctx.set_timer(self.gap, 0);
+                }
+            }
+            Event::ChildDone { .. } => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "simcheck-churn"
+    }
+
+    fn digest_into(&self, d: &mut netsim::audit::Digest) {
+        d.write_u64(self.remaining as u64);
+    }
+}
+
+impl ChurnGen {
+    fn kick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.remaining == 0 {
+            ctx.finish(Value::None);
+            return;
+        }
+        self.remaining -= 1;
+        let spec = FlowSpec::new(self.src, self.dst, self.bytes, FlowClass::Background);
+        if ctx.start_flow(spec).is_err() {
+            ctx.finish(Value::None);
+        }
+    }
+}
+
 /// Execute a scenario once under the oracle.
 pub fn run_once(spec: &ScenarioSpec, opts: RunOptions) -> RunOutcome {
     let world = build_world(&spec.topo);
     let mut sim = Sim::new(world.topo.clone(), spec.seed);
     if opts.reference_allocator {
         sim.set_allocator_mode(netsim::flow::AllocMode::Reference);
+    }
+    if opts.eager_progress {
+        sim.set_progress_mode(ProgressMode::Eager);
     }
     sim.set_event_budget(EVENT_BUDGET);
     if spec.jitter_pct > 0 {
@@ -268,6 +328,20 @@ pub fn run_once(spec: &ScenarioSpec, opts: RunOptions) -> RunOutcome {
         }
         .scaled(bg.scale_pct as f64 / 100.0);
         sim.spawn_detached(Box::new(BackgroundTraffic::new(profile)));
+    }
+    for c in &spec.churn {
+        let src = c.src % n_hosts;
+        let mut dst = c.dst % n_hosts;
+        if dst == src {
+            dst = (dst + 1) % n_hosts;
+        }
+        sim.spawn_detached(Box::new(ChurnGen {
+            src: world.hosts[src as usize],
+            dst: world.hosts[dst as usize],
+            bytes: c.bytes,
+            gap: SimTime::from_millis(c.gap_ms),
+            remaining: c.flows,
+        }));
     }
 
     #[cfg(feature = "failpoints")]
@@ -318,8 +392,9 @@ fn finish_outcome(sim: &Sim, handle: &OracleHandle, jobs_completed: u64) -> RunO
 
 /// Check one scenario: run it twice with the same seed and flag invariant
 /// violations plus any determinism divergence, then once more under the
-/// reference allocator — the chained digests must be identical to the
-/// incremental execution's (same seed ⇒ bit-identical).
+/// reference allocator and once more under the eager progress sweep — both
+/// differential executions' chained digests must be identical to the
+/// incremental/lazy execution's (same seed ⇒ bit-identical).
 pub fn check_case(spec: &ScenarioSpec, opts: RunOptions) -> CaseResult {
     let first = run_once(spec, opts);
     let second = run_once(spec, opts);
@@ -345,6 +420,21 @@ pub fn check_case(spec: &ScenarioSpec, opts: RunOptions) -> CaseResult {
             });
         }
     }
+    if !opts.eager_progress {
+        let eager = run_once(
+            spec,
+            RunOptions {
+                eager_progress: true,
+                ..opts
+            },
+        );
+        if first.chain_digest != eager.chain_digest {
+            violations.push(Violation::ProgressDivergence {
+                lazy: first.chain_digest,
+                eager: eager.chain_digest,
+            });
+        }
+    }
     CaseResult {
         spec: spec.clone(),
         violations,
@@ -356,7 +446,7 @@ pub fn check_case(spec: &ScenarioSpec, opts: RunOptions) -> CaseResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::case_seed;
+    use crate::scenario::{case_seed, ChurnSpec};
 
     #[test]
     fn generated_cases_run_clean() {
@@ -424,10 +514,73 @@ mod tests {
             }],
             background: vec![],
             faults: vec![],
+            churn: vec![],
         };
         let res = check_case(&spec, RunOptions::default());
         assert!(res.ok(), "violations: {:?}", res.violations);
         assert_eq!(res.jobs_completed, 1);
+    }
+
+    #[test]
+    fn eager_progress_execution_is_bit_identical() {
+        for i in 0..4 {
+            let spec = ScenarioSpec::generate(case_seed(11, i));
+            let lazy = run_once(&spec, RunOptions::default());
+            let eager = run_once(
+                &spec,
+                RunOptions {
+                    eager_progress: true,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(lazy.chain_digest, eager.chain_digest, "case {i}: {spec:?}");
+            assert_eq!(lazy.events, eager.events, "case {i}");
+            assert_eq!(lazy.bytes_delivered, eager.bytes_delivered, "case {i}");
+        }
+    }
+
+    #[test]
+    fn high_churn_case_runs_clean_under_all_executions() {
+        let spec = ScenarioSpec {
+            seed: 3,
+            topo: TopoSpec::Star {
+                hosts: 3,
+                access_mbps: 20,
+            },
+            jitter_pct: 2,
+            jobs: vec![crate::scenario::JobSpec {
+                src: 0,
+                dst: 1,
+                via: None,
+                bytes: 8 * 1024 * 1024,
+                class: 0,
+                weight_pct: 100,
+                start_ms: 0,
+            }],
+            background: vec![],
+            faults: vec![],
+            churn: vec![
+                ChurnSpec {
+                    src: 0,
+                    dst: 1,
+                    flows: 80,
+                    bytes: 32 * 1024,
+                    gap_ms: 0,
+                },
+                ChurnSpec {
+                    src: 2,
+                    dst: 1,
+                    flows: 60,
+                    bytes: 64 * 1024,
+                    gap_ms: 3,
+                },
+            ],
+        };
+        let res = check_case(&spec, RunOptions::default());
+        assert!(res.ok(), "violations: {:?}", res.violations);
+        assert_eq!(res.jobs_completed, 1);
+        // The churn chains really ran: far more events than the lone job.
+        assert!(res.events > 500, "only {} events", res.events);
     }
 
     #[cfg(feature = "failpoints")]

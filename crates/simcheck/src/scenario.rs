@@ -102,6 +102,29 @@ pub struct BgSpec {
     pub scale_pct: u32,
 }
 
+/// One high-rate-churn generator: a serial chain of `flows` short
+/// transfers between two hosts, each started `gap_ms` after the previous
+/// one finishes. Every start and finish perturbs the shared component's
+/// allocation, superseding queued drain events — the workload that grows
+/// the event queue without growing the live flow count, exercising heap
+/// compaction and the lazy progress accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnSpec {
+    /// Source host index (mod host count).
+    pub src: u32,
+    /// Destination host index (mod host count; bumped if it collides with
+    /// `src`).
+    pub dst: u32,
+    /// Number of back-to-back transfers.
+    pub flows: u32,
+    /// Payload of each transfer, bytes (small: the point is many flow
+    /// boundaries, not many bytes).
+    pub bytes: u64,
+    /// Gap between one transfer's completion and the next one's start,
+    /// milliseconds.
+    pub gap_ms: u64,
+}
+
 /// One scheduled link-capacity change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSpec {
@@ -129,6 +152,8 @@ pub struct ScenarioSpec {
     pub background: Vec<BgSpec>,
     /// Link-fault schedule.
     pub faults: Vec<FaultSpec>,
+    /// High-rate-churn generators (often empty).
+    pub churn: Vec<ChurnSpec>,
 }
 
 impl ScenarioSpec {
@@ -195,6 +220,24 @@ impl ScenarioSpec {
             })
             .collect();
 
+        // ~35% of cases add high-rate-churn generators: long chains of
+        // tiny transfers that supersede drain events far faster than live
+        // flows accumulate.
+        let n_churn = if rng.gen_bool(0.35) {
+            rng.gen_range(1..=2)
+        } else {
+            0
+        };
+        let churn = (0..n_churn)
+            .map(|_| ChurnSpec {
+                src: rng.gen_range(0..hosts),
+                dst: rng.gen_range(0..hosts),
+                flows: rng.gen_range(20..=120),
+                bytes: rng.gen_range(16 * 1024..=256 * 1024),
+                gap_ms: rng.gen_range(0..=20),
+            })
+            .collect();
+
         ScenarioSpec {
             seed: rng.gen::<u32>() as u64,
             topo,
@@ -202,6 +245,7 @@ impl ScenarioSpec {
             jobs,
             background,
             faults,
+            churn,
         }
     }
 
@@ -279,14 +323,32 @@ impl ScenarioSpec {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let mut fields = vec![
             ("seed".into(), Json::Int(self.seed)),
             ("topo".into(), topo),
             ("jitter_pct".into(), Json::Int(self.jitter_pct as u64)),
             ("jobs".into(), Json::Arr(jobs)),
             ("background".into(), Json::Arr(background)),
             ("faults".into(), Json::Arr(faults)),
-        ])
+        ];
+        // Omitted when empty so pre-churn replay files round trip verbatim.
+        if !self.churn.is_empty() {
+            let churn = self
+                .churn
+                .iter()
+                .map(|c| {
+                    Json::Obj(vec![
+                        ("src".into(), Json::Int(c.src as u64)),
+                        ("dst".into(), Json::Int(c.dst as u64)),
+                        ("flows".into(), Json::Int(c.flows as u64)),
+                        ("bytes".into(), Json::Int(c.bytes)),
+                        ("gap_ms".into(), Json::Int(c.gap_ms)),
+                    ])
+                })
+                .collect();
+            fields.push(("churn".into(), Json::Arr(churn)));
+        }
+        Json::Obj(fields)
     }
 
     /// Parse a spec previously produced by [`Self::to_json`].
@@ -412,6 +474,25 @@ impl ScenarioSpec {
             })
             .collect::<Result<Vec<_>, String>>()?;
 
+        let churn = v
+            .get("churn")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|c| {
+                Ok(ChurnSpec {
+                    src: req_u32(c, "src")?,
+                    dst: req_u32(c, "dst")?,
+                    flows: req_u32(c, "flows")?,
+                    bytes: req_u64(c, "bytes")?,
+                    gap_ms: req_u64(c, "gap_ms")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if let Some(bad) = churn.iter().find(|c| c.flows == 0 || c.bytes == 0) {
+            return Err(format!("degenerate churn generator {bad:?}"));
+        }
+
         Ok(ScenarioSpec {
             seed: req_u64(v, "seed")?,
             topo,
@@ -419,6 +500,7 @@ impl ScenarioSpec {
             jobs,
             background,
             faults,
+            churn,
         })
     }
 }
@@ -477,11 +559,69 @@ mod tests {
             jobs: vec![],
             background: vec![],
             faults: vec![],
+            churn: vec![],
         };
         assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
         // One-host star.
         let text = spec.to_json().replace("\"hosts\":2", "\"hosts\":1");
         assert!(ScenarioSpec::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn churn_round_trips_and_rejects_degenerates() {
+        let mut spec = ScenarioSpec {
+            seed: 1,
+            topo: TopoSpec::Star {
+                hosts: 3,
+                access_mbps: 10,
+            },
+            jitter_pct: 0,
+            jobs: vec![JobSpec {
+                src: 0,
+                dst: 1,
+                via: None,
+                bytes: 1024,
+                class: 0,
+                weight_pct: 100,
+                start_ms: 0,
+            }],
+            background: vec![],
+            faults: vec![],
+            churn: vec![ChurnSpec {
+                src: 0,
+                dst: 2,
+                flows: 50,
+                bytes: 4096,
+                gap_ms: 5,
+            }],
+        };
+        let back = ScenarioSpec::from_json(&spec.to_json()).expect("parses");
+        assert_eq!(back, spec);
+
+        // Empty churn is omitted from the JSON (pre-churn replay files
+        // stay byte-compatible) and parses back as empty.
+        spec.churn.clear();
+        let text = spec.to_json();
+        assert!(!text.contains("churn"));
+        assert_eq!(ScenarioSpec::from_json(&text).expect("parses"), spec);
+
+        // Zero-flow and zero-byte churn generators are rejected.
+        spec.churn = vec![ChurnSpec {
+            src: 0,
+            dst: 1,
+            flows: 0,
+            bytes: 4096,
+            gap_ms: 0,
+        }];
+        assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
+        spec.churn = vec![ChurnSpec {
+            src: 0,
+            dst: 1,
+            flows: 1,
+            bytes: 0,
+            gap_ms: 0,
+        }];
+        assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
     }
 
     #[test]

@@ -46,6 +46,10 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
             b.src = 0;
             b.dst = 1;
         }
+        for c in &mut s.churn {
+            c.src = 0;
+            c.dst = 1;
+        }
         out.push(s);
     }
     if !spec.background.is_empty() {
@@ -56,6 +60,11 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
     if !spec.faults.is_empty() {
         let mut s = spec.clone();
         s.faults.clear();
+        out.push(s);
+    }
+    if !spec.churn.is_empty() {
+        let mut s = spec.clone();
+        s.churn.clear();
         out.push(s);
     }
     if spec.jitter_pct != 0 {
@@ -81,6 +90,17 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
         let mut s = spec.clone();
         s.background.remove(i);
         out.push(s);
+    }
+    for (i, c) in spec.churn.iter().enumerate() {
+        let mut s = spec.clone();
+        s.churn.remove(i);
+        out.push(s);
+        // Halve the chain length too — shorter chains often still repro.
+        if c.flows >= 2 {
+            let mut s = spec.clone();
+            s.churn[i].flows /= 2;
+            out.push(s);
+        }
     }
 
     // Per-job simplifications.

@@ -137,7 +137,7 @@ pub fn upload_batched(
         let opts = UploadOptions {
             token,
             class,
-            parallelism: 1,
+            ..UploadOptions::default()
         };
         let stats: TransferStats = upload(sim, client, provider, item.wire_bytes(), opts)?;
         elapsed += stats.elapsed;

@@ -48,6 +48,14 @@ impl FaultPlan {
         }
     }
 
+    /// Does this plan ever inject a fault? Fault-free plans let transfer
+    /// paths skip their fault rolls entirely, so enabling the resilience
+    /// layer draws nothing extra from the shared simulation PRNG and
+    /// healthy-path timings stay byte-identical.
+    pub fn is_active(&self) -> bool {
+        self.throttle_prob > 0.0 || self.transient_prob > 0.0
+    }
+
     /// What happens to this request?
     pub fn roll(&self, rng: &mut SmallRng) -> FaultOutcome {
         let x: f64 = rng.gen();
@@ -62,9 +70,11 @@ impl FaultPlan {
         }
     }
 
-    /// Backoff before retry attempt `attempt` (1-based) of a `5xx`.
+    /// Backoff before retry attempt `attempt` (1-based) of a `5xx`: the
+    /// first retry waits `backoff_base`, doubling per attempt and
+    /// saturating after eight doublings.
     pub fn backoff(&self, attempt: u32) -> SimTime {
-        let factor = 1u64 << attempt.min(8);
+        let factor = 1u64 << attempt.saturating_sub(1).min(8);
         self.backoff_base * factor
     }
 }
@@ -74,8 +84,11 @@ impl FaultPlan {
 pub enum FaultOutcome {
     /// Request succeeds.
     Ok,
-    /// `429`: wait `wait`, then retry (does not count against max_retries —
-    /// the server explicitly asked us to come back).
+    /// `429`: wait `wait`, then retry. Does not count against the per-part
+    /// `max_retries` (the server explicitly asked us to come back), but
+    /// does charge the session-wide retry *budget*
+    /// ([`crate::resilience::RetryPolicy`]) so a permanently throttling
+    /// frontend terminates instead of spinning forever.
     Throttled {
         /// Server-mandated pause.
         wait: SimTime,
@@ -121,11 +134,23 @@ mod tests {
     #[test]
     fn backoff_doubles_and_saturates() {
         let plan = FaultPlan::flaky();
-        assert_eq!(plan.backoff(1), SimTime::from_secs(1));
-        assert_eq!(plan.backoff(2), SimTime::from_secs(2));
-        assert_eq!(plan.backoff(3), SimTime::from_secs(4));
-        // Saturates at 2^8.
-        assert_eq!(plan.backoff(100), plan.backoff(8));
+        // First retry waits exactly the base (500 ms for flaky), doubling
+        // from there.
+        assert_eq!(plan.backoff(1), SimTime::from_millis(500));
+        assert_eq!(plan.backoff(2), SimTime::from_secs(1));
+        assert_eq!(plan.backoff(3), SimTime::from_secs(2));
+        // Saturates at 2^8 over the base.
+        assert_eq!(plan.backoff(100), plan.backoff(9));
+        assert_eq!(plan.backoff(9), plan.backoff_base * 256);
+    }
+
+    #[test]
+    fn activity_reflects_probabilities() {
+        assert!(!FaultPlan::none().is_active());
+        assert!(FaultPlan::flaky().is_active());
+        let mut throttler = FaultPlan::none();
+        throttler.throttle_prob = 1.0;
+        assert!(throttler.is_active());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   ingest rate and fault model, with nearest-POP selection.
 //! * [`faults`] — seeded fault injection: `429 Retry-After` throttling and
 //!   transient `5xx`, with bounded exponential backoff.
+//! * [`resilience`] — the shared resilience plane: retry budgets shared by
+//!   throttles and transient errors, deterministically-jittered backoff,
+//!   hard deadlines in sim time, and per-frontend circuit breakers.
 //! * [`session`] — the upload state machine (token → init → chunks →
 //!   finish), including resume-after-failure semantics.
 //! * [`download`] — the symmetric chunked download path (the paper measures
@@ -30,13 +33,15 @@ pub mod oauth;
 pub mod protocol;
 pub mod provider;
 pub mod report;
+pub mod resilience;
 pub mod session;
 
 pub use batch::{plan_batches, upload_batched, BatchItem, BatchPolicy, BatchReport};
-pub use download::DownloadSession;
+pub use download::{download, DownloadSession};
 pub use faults::FaultPlan;
 pub use oauth::{AuthConfig, TokenPolicy};
 pub use protocol::{ChunkProtocol, ProviderKind};
 pub use provider::Provider;
 pub use report::TransferStats;
+pub use resilience::{BreakerRegistry, CircuitBreaker, RetryPolicy, RetryState};
 pub use session::{upload, upload_traced, UploadOptions, UploadSession};

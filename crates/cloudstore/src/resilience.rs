@@ -1,0 +1,457 @@
+//! The shared resilience plane: retry budgets, deadlines, jittered
+//! backoff, and per-frontend circuit breakers.
+//!
+//! Every transfer path (uploads, downloads, rsync legs, store-and-forward
+//! relays, pipelined relays) retries injected faults through the same
+//! [`RetryPolicy`]:
+//!
+//! * a session-wide retry **budget** shared by `429` throttles and `5xx`
+//!   transient errors, so a hopeless endpoint terminates in bounded sim
+//!   time instead of spinning forever (throttles used to be uncounted);
+//! * exponential backoff with optional **deterministic jitter** drawn from
+//!   the simulation PRNG — reproducible per seed, and never drawn on the
+//!   fault-free path so healthy-run timings stay byte-identical;
+//! * an optional hard **deadline** in sim time, checked before every
+//!   retry wait is scheduled.
+//!
+//! [`CircuitBreaker`] adds endpoint health state on top: closed → open
+//! after N consecutive failures → half-open probe after a cooldown — the
+//! standard pattern (Nygard's *Release It!*), keyed per frontend node in a
+//! [`BreakerRegistry`] that `core::failover` and `core::monitor` share so
+//! campaigns skip dead routes instead of grinding through them.
+
+use crate::faults::FaultPlan;
+use netsim::error::NetError;
+use netsim::time::SimTime;
+use netsim::topology::NodeId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Jitter applied to backoff waits, in percent of the nominal wait. The
+/// default spreads retries over ±25% so synchronized clients don't
+/// re-stampede a recovering frontend in lockstep.
+pub const DEFAULT_JITTER_PCT: u32 = 25;
+
+/// Budget multiplier over a plan's per-part `max_retries`: the session-wide
+/// budget must be loose enough that a mildly flaky transfer with many parts
+/// still completes, while a hopeless endpoint dies in bounded time.
+const BUDGET_PER_MAX_RETRIES: u32 = 4;
+
+/// How a transfer path retries under faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Session-wide retry budget shared by throttles and transient errors.
+    /// Each injected fault charges one unit; at zero the transfer fails
+    /// with [`NetError::RetryBudgetExhausted`].
+    pub budget: u32,
+    /// Base backoff before the first `5xx` retry; doubles per attempt.
+    pub backoff_base: SimTime,
+    /// Maximum doublings of `backoff_base` (saturation exponent).
+    pub max_doublings: u32,
+    /// Backoff jitter in percent of the nominal wait (0 = deterministic
+    /// waits, no PRNG draw).
+    pub jitter_pct: u32,
+    /// Optional hard deadline, measured from transfer start in sim time.
+    pub deadline: Option<SimTime>,
+}
+
+impl RetryPolicy {
+    /// Derive the policy a provider's fault plan implies: budget is
+    /// `max_retries × 4`, backoff parameters are the plan's, default
+    /// jitter, no deadline.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        RetryPolicy {
+            budget: plan
+                .max_retries
+                .saturating_mul(BUDGET_PER_MAX_RETRIES)
+                .max(1),
+            backoff_base: plan.backoff_base,
+            max_doublings: 8,
+            jitter_pct: DEFAULT_JITTER_PCT,
+            deadline: None,
+        }
+    }
+
+    /// Override the retry budget.
+    pub fn with_budget(mut self, budget: u32) -> Self {
+        assert!(budget >= 1, "budget must be at least 1");
+        self.budget = budget;
+        self
+    }
+
+    /// Set a hard deadline measured from transfer start.
+    pub fn with_deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Disable backoff jitter (bit-stable waits, no PRNG draws).
+    pub fn without_jitter(mut self) -> Self {
+        self.jitter_pct = 0;
+        self
+    }
+
+    /// Backoff before retry `attempt` (1-based): `backoff_base` for the
+    /// first retry, doubling per attempt up to `max_doublings`, then
+    /// jittered by ±`jitter_pct`% with a draw from the sim PRNG. Only
+    /// called on retry paths, so fault-free runs never reach the RNG.
+    pub fn backoff(&self, attempt: u32, rng: &mut SmallRng) -> SimTime {
+        let factor = 1u64 << attempt.saturating_sub(1).min(self.max_doublings);
+        let nominal = self.backoff_base * factor;
+        if self.jitter_pct == 0 {
+            return nominal;
+        }
+        let j = self.jitter_pct as f64 / 100.0;
+        let scale = 1.0 - j + 2.0 * j * rng.gen::<f64>();
+        nominal.mul_f64(scale)
+    }
+
+    /// Absolute deadline instant for a transfer that started at `started`.
+    pub fn deadline_at(&self, started: SimTime) -> Option<SimTime> {
+        self.deadline.map(|d| started.saturating_add(d))
+    }
+}
+
+/// Mutable per-transfer retry accounting against a [`RetryPolicy`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryState {
+    policy: RetryPolicy,
+    used: u32,
+    deadline_at: Option<SimTime>,
+}
+
+impl RetryState {
+    /// Start accounting for a transfer beginning at `started`.
+    pub fn start(policy: RetryPolicy, started: SimTime) -> Self {
+        RetryState {
+            policy,
+            used: 0,
+            deadline_at: policy.deadline_at(started),
+        }
+    }
+
+    /// The governing policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Budget units spent so far.
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+
+    /// Charge one budget unit for a fault observed at `at` (node) and
+    /// check that waiting `wait` from `now` stays inside the deadline.
+    /// `Err` means the transfer must abort with the returned error.
+    pub fn charge(&mut self, at: NodeId, now: SimTime, wait: SimTime) -> Result<(), NetError> {
+        self.used += 1;
+        if self.used > self.policy.budget {
+            return Err(NetError::RetryBudgetExhausted {
+                at,
+                budget: self.policy.budget,
+            });
+        }
+        if let Some(deadline) = self.deadline_at {
+            if now.saturating_add(wait) > deadline {
+                return Err(NetError::DeadlineExceeded { at });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Circuit-breaker states: the classic three-state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy: all requests pass.
+    Closed,
+    /// Tripped: requests are rejected until the cooldown elapses.
+    Open { until: SimTime },
+    /// Cooldown elapsed: exactly one probe request is allowed through.
+    HalfOpen,
+}
+
+/// Per-endpoint health state: closed → open after `threshold` consecutive
+/// failures → half-open probe after `cooldown`.
+#[derive(Debug, Clone, Copy)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: SimTime,
+    consecutive_failures: u32,
+    state: BreakerState,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive failures,
+    /// probing again `cooldown` after opening.
+    pub fn new(threshold: u32, cooldown: SimTime) -> Self {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        CircuitBreaker {
+            threshold,
+            cooldown,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+        }
+    }
+
+    /// May a request proceed at `now`? An open breaker whose cooldown has
+    /// elapsed transitions to half-open and admits one probe.
+    pub fn allow(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } if now >= until => {
+                self.state = BreakerState::HalfOpen;
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Record a successful exchange: the breaker closes and the failure
+    /// streak resets (a half-open probe that succeeds heals the endpoint).
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Record a failed exchange at `now`: a half-open probe failure re-opens
+    /// immediately; a closed breaker opens once the streak hits the
+    /// threshold.
+    pub fn record_failure(&mut self, now: SimTime) {
+        self.consecutive_failures += 1;
+        let trip = matches!(self.state, BreakerState::HalfOpen)
+            || self.consecutive_failures >= self.threshold;
+        if trip {
+            self.state = BreakerState::Open {
+                until: now.saturating_add(self.cooldown),
+            };
+        }
+    }
+
+    /// Is the breaker currently rejecting requests (open, cooldown not
+    /// elapsed)?
+    pub fn is_open(&self, now: SimTime) -> bool {
+        matches!(self.state, BreakerState::Open { until } if now < until)
+    }
+
+    /// Telemetry label for the current state.
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Default consecutive-failure threshold for registry breakers.
+pub const DEFAULT_BREAKER_THRESHOLD: u32 = 3;
+/// Default open-state cooldown for registry breakers.
+pub const DEFAULT_BREAKER_COOLDOWN: SimTime = SimTime::from_secs(30);
+
+/// A shareable map of per-endpoint circuit breakers, keyed by frontend (or
+/// DTN) node. Cheap to clone — clones share state, which is what lets the
+/// failover path and the route monitor feed the same health view.
+/// Simulations are single-threaded (campaigns run one sim per thread), so
+/// `Rc<RefCell<…>>` suffices.
+#[derive(Clone)]
+pub struct BreakerRegistry {
+    inner: Rc<RefCell<HashMap<NodeId, CircuitBreaker>>>,
+    threshold: u32,
+    cooldown: SimTime,
+}
+
+impl BreakerRegistry {
+    /// A registry whose breakers trip after `threshold` consecutive
+    /// failures and probe again after `cooldown`.
+    pub fn new(threshold: u32, cooldown: SimTime) -> Self {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        BreakerRegistry {
+            inner: Rc::new(RefCell::new(HashMap::new())),
+            threshold,
+            cooldown,
+        }
+    }
+
+    /// May a request to `node` proceed at `now`?
+    pub fn allow(&self, node: NodeId, now: SimTime) -> bool {
+        self.inner
+            .borrow_mut()
+            .entry(node)
+            .or_insert_with(|| CircuitBreaker::new(self.threshold, self.cooldown))
+            .allow(now)
+    }
+
+    /// Record a successful exchange with `node`.
+    pub fn record_success(&self, node: NodeId) {
+        if let Some(b) = self.inner.borrow_mut().get_mut(&node) {
+            b.record_success();
+        }
+    }
+
+    /// Record a failed exchange with `node` at `now`.
+    pub fn record_failure(&self, node: NodeId, now: SimTime) {
+        self.inner
+            .borrow_mut()
+            .entry(node)
+            .or_insert_with(|| CircuitBreaker::new(self.threshold, self.cooldown))
+            .record_failure(now);
+    }
+
+    /// Is `node`'s breaker open at `now`? Nodes never seen are closed.
+    pub fn is_open(&self, node: NodeId, now: SimTime) -> bool {
+        self.inner
+            .borrow()
+            .get(&node)
+            .map(|b| b.is_open(now))
+            .unwrap_or(false)
+    }
+
+    /// Telemetry label for `node`'s breaker state.
+    pub fn state_name(&self, node: NodeId) -> &'static str {
+        self.inner
+            .borrow()
+            .get(&node)
+            .map(|b| b.state_name())
+            .unwrap_or("closed")
+    }
+}
+
+impl Default for BreakerRegistry {
+    fn default() -> Self {
+        BreakerRegistry::new(DEFAULT_BREAKER_THRESHOLD, DEFAULT_BREAKER_COOLDOWN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn policy_from_plan_scales_budget() {
+        let plan = FaultPlan::flaky(); // max_retries 5
+        let p = RetryPolicy::from_plan(&plan);
+        assert_eq!(p.budget, 20);
+        assert_eq!(p.backoff_base, plan.backoff_base);
+        assert!(p.deadline.is_none());
+    }
+
+    #[test]
+    fn backoff_first_retry_waits_base() {
+        let p = RetryPolicy::from_plan(&FaultPlan::flaky()).without_jitter();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(p.backoff(1, &mut rng), p.backoff_base);
+        assert_eq!(p.backoff(2, &mut rng), p.backoff_base * 2);
+        assert_eq!(p.backoff(3, &mut rng), p.backoff_base * 4);
+        // Saturates after max_doublings.
+        assert_eq!(p.backoff(100, &mut rng), p.backoff_base * 256);
+    }
+
+    #[test]
+    fn jittered_backoff_stays_in_band_and_is_seed_deterministic() {
+        let p = RetryPolicy::from_plan(&FaultPlan::flaky()); // ±25%
+        let lo = p.backoff_base.mul_f64(0.75);
+        let hi = p.backoff_base.mul_f64(1.25);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let w = p.backoff(1, &mut rng);
+            assert!(w >= lo && w <= hi, "wait {w} outside [{lo}, {hi}]");
+        }
+        let seq = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (1..20).map(|a| p.backoff(a, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(5), seq(5));
+        assert_ne!(seq(5), seq(6));
+    }
+
+    #[test]
+    fn retry_state_charges_to_exhaustion() {
+        let p = RetryPolicy::from_plan(&FaultPlan::none()).with_budget(3);
+        let mut s = RetryState::start(p, SimTime::ZERO);
+        let at = NodeId(7);
+        for _ in 0..3 {
+            s.charge(at, SimTime::ZERO, SimTime::from_secs(1)).unwrap();
+        }
+        let err = s
+            .charge(at, SimTime::ZERO, SimTime::from_secs(1))
+            .unwrap_err();
+        assert_eq!(err, NetError::RetryBudgetExhausted { at, budget: 3 });
+    }
+
+    #[test]
+    fn retry_state_enforces_deadline() {
+        let p = RetryPolicy::from_plan(&FaultPlan::none())
+            .with_budget(100)
+            .with_deadline(SimTime::from_secs(10));
+        let mut s = RetryState::start(p, SimTime::from_secs(5));
+        let at = NodeId(1);
+        // 5 + 9 + 1 = 15 == deadline_at: fine.
+        s.charge(at, SimTime::from_secs(9), SimTime::from_secs(6))
+            .unwrap();
+        // Would land past 15 s: rejected.
+        let err = s
+            .charge(at, SimTime::from_secs(9), SimTime::from_secs(7))
+            .unwrap_err();
+        assert_eq!(err, NetError::DeadlineExceeded { at });
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_probes_after_cooldown() {
+        let mut b = CircuitBreaker::new(3, SimTime::from_secs(10));
+        let t0 = SimTime::from_secs(1);
+        assert!(b.allow(t0));
+        b.record_failure(t0);
+        b.record_failure(t0);
+        assert!(b.allow(t0), "two failures below threshold keep it closed");
+        b.record_failure(t0);
+        assert!(b.is_open(t0));
+        assert!(!b.allow(SimTime::from_secs(5)), "cooldown not elapsed");
+        // Cooldown over: half-open admits one probe.
+        assert!(b.allow(SimTime::from_secs(11)));
+        assert_eq!(b.state_name(), "half-open");
+        // Failed probe re-opens immediately (no need for a fresh streak).
+        b.record_failure(SimTime::from_secs(11));
+        assert!(b.is_open(SimTime::from_secs(12)));
+        // Successful probe closes it.
+        assert!(b.allow(SimTime::from_secs(22)));
+        b.record_success();
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.allow(SimTime::from_secs(22)));
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut b = CircuitBreaker::new(3, SimTime::from_secs(10));
+        let t = SimTime::ZERO;
+        b.record_failure(t);
+        b.record_failure(t);
+        b.record_success();
+        b.record_failure(t);
+        b.record_failure(t);
+        assert!(b.allow(t), "streak was reset; breaker must stay closed");
+    }
+
+    #[test]
+    fn registry_clones_share_state() {
+        let reg = BreakerRegistry::new(2, SimTime::from_secs(30));
+        let view = reg.clone();
+        let n = NodeId(4);
+        let t = SimTime::from_secs(1);
+        reg.record_failure(n, t);
+        reg.record_failure(n, t);
+        assert!(view.is_open(n, t), "clone must see the tripped breaker");
+        assert!(!view.allow(n, SimTime::from_secs(2)));
+        assert!(view.allow(n, SimTime::from_secs(40)), "half-open probe");
+        view.record_success(n);
+        assert!(reg.allow(n, SimTime::from_secs(40)));
+        assert_eq!(reg.state_name(n), "closed");
+        // Unknown nodes are closed by definition.
+        assert!(!reg.is_open(NodeId(99), t));
+        assert_eq!(reg.state_name(NodeId(99)), "closed");
+    }
+}

@@ -19,6 +19,7 @@ use crate::faults::FaultOutcome;
 use crate::oauth::{TokenPolicy, TokenState};
 use crate::provider::Provider;
 use crate::report::TransferStats;
+use crate::resilience::{RetryPolicy, RetryState};
 use netsim::engine::{Ctx, Event, Process, ProcessId, Value};
 use netsim::error::NetError;
 use netsim::flow::FlowClass;
@@ -38,6 +39,9 @@ pub struct UploadOptions {
     /// Maximum concurrent part uploads. The paper-era clients use 1; larger
     /// values are our pipelining extension.
     pub parallelism: u32,
+    /// Resilience policy override. `None` derives one from the provider's
+    /// fault plan via [`RetryPolicy::from_plan`].
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for UploadOptions {
@@ -46,6 +50,7 @@ impl Default for UploadOptions {
             token: TokenPolicy::Cached,
             class: FlowClass::Commodity,
             parallelism: 1,
+            retry: None,
         }
     }
 }
@@ -56,7 +61,7 @@ impl UploadOptions {
         UploadOptions {
             token: TokenPolicy::Fresh,
             class,
-            parallelism: 1,
+            ..UploadOptions::default()
         }
     }
 
@@ -65,7 +70,7 @@ impl UploadOptions {
         UploadOptions {
             token: TokenPolicy::Cached,
             class,
-            parallelism: 1,
+            ..UploadOptions::default()
         }
     }
 
@@ -73,6 +78,12 @@ impl UploadOptions {
     pub fn with_parallelism(mut self, k: u32) -> Self {
         assert!(k >= 1, "parallelism must be at least 1");
         self.parallelism = k;
+        self
+    }
+
+    /// Use an explicit resilience policy (budget, backoff, deadline).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
         self
     }
 }
@@ -101,8 +112,12 @@ struct PartAttempt {
 }
 
 const TIMER_THROTTLE: u64 = 1;
-/// Per-part backoff timers: tag = TIMER_BACKOFF_BASE + part index.
+/// Per-part backoff timers: tag = TIMER_BACKOFF_BASE + part index, with the
+/// part's attempt count carried in the upper 32 bits of the payload so a
+/// lost bookkeeping entry can never silently reset a retry streak.
 const TIMER_BACKOFF_BASE: u64 = 0x1000;
+/// Bit offset of the attempt count inside a backoff timer tag.
+const TIMER_ATTEMPT_SHIFT: u32 = 32;
 
 /// Upload one file to a provider. Finishes with a packed
 /// [`TransferStats`] value, or [`Value::Error`] on unrecoverable failure.
@@ -113,6 +128,9 @@ pub struct UploadSession {
     opts: UploadOptions,
 
     frontend: NodeId,
+    /// Shared retry budget / deadline accounting across throttles and
+    /// transient errors.
+    retry: RetryState,
     parts: Vec<u64>,
     queue: VecDeque<PartTask>,
     inflight: HashMap<ProcessId, PartAttempt>,
@@ -146,12 +164,16 @@ impl UploadSession {
     /// Build a session (spawn it or run it via [`upload`]).
     pub fn new(client: NodeId, provider: Provider, bytes: u64, opts: UploadOptions) -> Self {
         assert!(opts.parallelism >= 1);
+        let policy = opts
+            .retry
+            .unwrap_or_else(|| RetryPolicy::from_plan(&provider.faults));
         UploadSession {
             client,
             provider,
             bytes,
             opts,
             frontend: NodeId(u32::MAX),
+            retry: RetryState::start(policy, SimTime::ZERO),
             parts: Vec::new(),
             queue: VecDeque::new(),
             inflight: HashMap::new(),
@@ -295,6 +317,12 @@ impl UploadSession {
                     .event(t, Category::Chunk, "chunk.throttled", span, |a| {
                         a.set("wait_ms", wait_ms);
                     });
+                // Throttles charge the shared retry budget too — a frontend
+                // answering 429 forever must terminate, not spin.
+                if let Err(e) = self.retry.charge(self.frontend, ctx.now(), wait) {
+                    self.finish_exhausted(ctx, e);
+                    return;
+                }
                 self.waiting_throttle = true;
                 self.queue.push_front(task);
                 ctx.set_timer(wait, TIMER_THROTTLE);
@@ -355,22 +383,43 @@ impl UploadSession {
     }
 
     /// End the session span on an unrecoverable error before finishing.
+    /// Queued and in-flight chunk spans are still open at this point; close
+    /// them too so aborted sessions export balanced traces.
     fn finish_err(&mut self, ctx: &mut Ctx<'_>, e: NetError) {
         let (t, span) = (ctx.now().as_nanos(), self.span);
         ctx.telemetry()
             .event(t, Category::Session, "session.error", span, |a| {
                 a.set("error", e.to_string());
             });
+        for chunk in self.chunk_spans.iter_mut() {
+            if chunk.is_some() {
+                ctx.telemetry().span_end(t, *chunk);
+                *chunk = SpanId::NONE;
+            }
+        }
         ctx.telemetry().span_end(t, span);
         ctx.finish(Value::Error(e));
+    }
+
+    /// Abort because the retry budget or deadline ran out.
+    fn finish_exhausted(&mut self, ctx: &mut Ctx<'_>, e: NetError) {
+        let counter = match e {
+            NetError::DeadlineExceeded { .. } => "cloudstore.deadline_exceeded",
+            _ => "cloudstore.budget_exhausted",
+        };
+        ctx.telemetry().counter_add(counter, 1);
+        self.finish_err(ctx, e);
     }
 
     fn on_part_done(&mut self, ctx: &mut Ctx<'_>, attempt: PartAttempt) {
         match attempt.outcome {
             FaultOutcome::Ok => {
                 self.completed += 1;
-                let (t, span) = (ctx.now().as_nanos(), self.chunk_spans[attempt.task.idx]);
-                ctx.telemetry().span_end(t, span);
+                let t = ctx.now().as_nanos();
+                ctx.telemetry()
+                    .span_end(t, self.chunk_spans[attempt.task.idx]);
+                // Mark it closed so an abort later never double-ends it.
+                self.chunk_spans[attempt.task.idx] = SpanId::NONE;
                 self.pump(ctx);
             }
             FaultOutcome::TransientError => {
@@ -387,16 +436,23 @@ impl UploadSession {
                     );
                     return;
                 }
-                let backoff = self.provider.faults.backoff(attempts);
+                let backoff = self.retry.policy().backoff(attempts, ctx.rng());
+                if let Err(e) = self.retry.charge(self.frontend, ctx.now(), backoff) {
+                    self.finish_exhausted(ctx, e);
+                    return;
+                }
                 let (t, span) = (ctx.now().as_nanos(), self.chunk_spans[attempt.task.idx]);
                 let backoff_ms = backoff.as_millis_f64();
                 ctx.telemetry()
                     .event(t, Category::Chunk, "chunk.retry", span, |a| {
                         a.set("attempt", attempts).set("backoff_ms", backoff_ms);
                     });
-                ctx.set_timer(backoff, TIMER_BACKOFF_BASE + attempt.task.idx as u64);
-                // The task is re-queued after the backoff + offset query;
-                // remember its attempt count keyed by part index.
+                // The attempt count rides in the timer tag (authoritative);
+                // the map stays as a consistency cross-check.
+                let tag = TIMER_BACKOFF_BASE
+                    + ((attempts as u64) << TIMER_ATTEMPT_SHIFT)
+                    + attempt.task.idx as u64;
+                ctx.set_timer(backoff, tag);
                 self.queue_retry_attempts.insert(attempt.task.idx, attempts);
                 self.pump(ctx);
             }
@@ -429,6 +485,8 @@ impl Process for UploadSession {
             Event::Started => {
                 self.started = ctx.now();
                 self.frontend = self.provider.frontend_for(ctx.topology(), self.client);
+                // Anchor the deadline (if any) to the real start instant.
+                self.retry = RetryState::start(*self.retry.policy(), self.started);
                 self.parts = self.provider.protocol.parts(self.bytes);
                 let (t, parent) = (ctx.now().as_nanos(), self.parent_span);
                 let (provider, bytes, parts, parallelism) = (
@@ -509,8 +567,17 @@ impl Process for UploadSession {
                 self.pump(ctx);
             }
             Event::Timer { tag } if tag >= TIMER_BACKOFF_BASE => {
-                let idx = (tag - TIMER_BACKOFF_BASE) as usize;
-                let attempts = self.queue_retry_attempts.remove(&idx).unwrap_or(1);
+                let payload = tag - TIMER_BACKOFF_BASE;
+                let idx = (payload & ((1u64 << TIMER_ATTEMPT_SHIFT) - 1)) as usize;
+                let attempts = (payload >> TIMER_ATTEMPT_SHIFT) as u32;
+                // The timer-carried count is authoritative; losing the map
+                // entry would silently restart the part's retry streak.
+                let stored = self.queue_retry_attempts.remove(&idx);
+                debug_assert_eq!(
+                    stored,
+                    Some(attempts),
+                    "retry-attempt bookkeeping lost for part {idx}"
+                );
                 self.begin_offset_query(ctx, PartTask { idx, attempts });
             }
             _ => {}
@@ -519,6 +586,21 @@ impl Process for UploadSession {
 
     fn name(&self) -> &'static str {
         "upload-session"
+    }
+
+    fn abort(&mut self, ctx: &mut Ctx<'_>) {
+        // Abandoned mid-transfer (e.g. the driver above us finished): close
+        // every open chunk span and the session span so exported traces
+        // stay balanced. In-flight RPC children clean up in their own
+        // abort callbacks.
+        let t = ctx.now().as_nanos();
+        for chunk in self.chunk_spans.iter_mut() {
+            if chunk.is_some() {
+                ctx.telemetry().span_end(t, *chunk);
+                *chunk = SpanId::NONE;
+            }
+        }
+        ctx.telemetry().span_end(t, self.span);
     }
 }
 

@@ -7,7 +7,7 @@
 
 use crate::job::{run_job, JobReport};
 use crate::route::Route;
-use cloudstore::{Provider, UploadOptions};
+use cloudstore::{BreakerRegistry, Provider, UploadOptions};
 use netsim::engine::Sim;
 use netsim::error::NetError;
 use netsim::flow::FlowClass;
@@ -81,7 +81,111 @@ pub fn upload_with_fallback(
             }
         }
     }
-    Err(failures.pop().expect("at least one attempt failed"))
+    assert!(
+        !failures.is_empty(),
+        "at least one attempt must have failed"
+    );
+    Err(NetError::AllRoutesFailed { errors: failures })
+}
+
+/// The node whose health a route's circuit breaker tracks: the provider
+/// frontend for a direct upload, the last DTN (the node that talks to the
+/// provider) for a detour.
+fn breaker_key(route: &Route, sim: &mut Sim, client: NodeId, provider: &Provider) -> NodeId {
+    match route {
+        Route::Direct => provider.frontend_for(sim.core().topology(), client),
+        Route::Via(hops) => hops.last().expect("detours have hops").node,
+    }
+}
+
+/// [`upload_with_fallback`] with per-target circuit breakers.
+///
+/// Routes whose breaker is open are skipped outright (recorded in
+/// `failures` as [`NetError::Blocked`] without spending any simulated
+/// time); each attempted route feeds its outcome back into the registry,
+/// so repeated campaigns learn which targets are down and stop hammering
+/// them until the cooldown expires.
+#[allow(clippy::too_many_arguments)]
+pub fn upload_with_fallback_breakers(
+    sim: &mut Sim,
+    client: NodeId,
+    client_class: FlowClass,
+    provider: &Provider,
+    bytes: u64,
+    routes: &[Route],
+    opts: UploadOptions,
+    breakers: &BreakerRegistry,
+) -> Result<FallbackReport, NetError> {
+    assert!(!routes.is_empty(), "no candidate routes");
+    let mut failures = Vec::new();
+    for (idx, route) in routes.iter().enumerate() {
+        let key = breaker_key(route, sim, client, provider);
+        if !breakers.allow(key, sim.now()) {
+            let t = sim.now_ns();
+            let label = route.label();
+            sim.telemetry().event(
+                t,
+                obs::Category::Control,
+                "failover.breaker_skip",
+                obs::SpanId::NONE,
+                |a| {
+                    a.set("route", label).set("target", key.to_string());
+                },
+            );
+            sim.telemetry().counter_add("core.breaker_skips", 1);
+            failures.push(NetError::Blocked {
+                at: key,
+                reason: "circuit breaker open",
+            });
+            continue;
+        }
+        match run_job(sim, client, client_class, provider, bytes, route, opts) {
+            Ok(report) => {
+                breakers.record_success(key);
+                if !failures.is_empty() {
+                    let t = sim.now_ns();
+                    let label = route.label();
+                    let attempts = failures.len();
+                    sim.telemetry().event(
+                        t,
+                        obs::Category::Control,
+                        "failover.switched",
+                        obs::SpanId::NONE,
+                        |a| {
+                            a.set("route", label).set("failed_attempts", attempts);
+                        },
+                    );
+                    sim.telemetry().counter_add("core.failovers", 1);
+                }
+                return Ok(FallbackReport {
+                    report,
+                    route_used: idx,
+                    failures,
+                });
+            }
+            Err(e) => {
+                breakers.record_failure(key, sim.now());
+                let t = sim.now_ns();
+                let label = route.label();
+                let msg = e.to_string();
+                sim.telemetry().event(
+                    t,
+                    obs::Category::Control,
+                    "failover.route_failed",
+                    obs::SpanId::NONE,
+                    |a| {
+                        a.set("route", label).set("error", msg);
+                    },
+                );
+                failures.push(e)
+            }
+        }
+    }
+    assert!(
+        !failures.is_empty(),
+        "at least one attempt must have failed"
+    );
+    Err(NetError::AllRoutesFailed { errors: failures })
 }
 
 #[cfg(test)]
@@ -174,9 +278,14 @@ mod tests {
     }
 
     #[test]
-    fn all_routes_failing_reports_last_error() {
+    fn all_routes_failing_reports_every_error() {
         let (mut sim, user, dtn, provider) = world();
-        let routes = vec![Route::via(Hop::new(dtn, FlowClass::Research, "DTN"))];
+        // Two distinct detours through the same firewalled DTN: both fail,
+        // and the caller should see both errors, not just the last one.
+        let routes = vec![
+            Route::via(Hop::new(dtn, FlowClass::Research, "DTN-a")),
+            Route::via(Hop::new(dtn, FlowClass::Research, "DTN-b")),
+        ];
         let err = upload_with_fallback(
             &mut sim,
             user,
@@ -187,7 +296,79 @@ mod tests {
             UploadOptions::warm(FlowClass::Research),
         )
         .unwrap_err();
-        assert!(matches!(err, NetError::Blocked { .. }));
+        match err {
+            NetError::AllRoutesFailed { errors } => {
+                assert_eq!(errors.len(), 2, "one error per failed route");
+                assert!(errors.iter().all(|e| matches!(e, NetError::Blocked { .. })));
+            }
+            other => panic!("expected AllRoutesFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn open_breaker_skips_route_without_spending_time() {
+        let (mut sim, user, dtn, provider) = world();
+        let breakers = cloudstore::BreakerRegistry::default();
+        let routes = vec![
+            Route::via(Hop::new(dtn, FlowClass::Research, "DTN")),
+            Route::Direct,
+        ];
+        // Trip the DTN's breaker: three straight failures.
+        for _ in 0..3 {
+            let _ = upload_with_fallback_breakers(
+                &mut sim,
+                user,
+                FlowClass::Research,
+                &provider,
+                MB,
+                &routes[..1],
+                UploadOptions::warm(FlowClass::Research),
+                &breakers,
+            );
+        }
+        assert!(breakers.is_open(dtn, sim.now()), "breaker should be open");
+        let before = sim.now();
+        let out = upload_with_fallback_breakers(
+            &mut sim,
+            user,
+            FlowClass::Research,
+            &provider,
+            10 * MB,
+            &routes,
+            UploadOptions::warm(FlowClass::Research),
+            &breakers,
+        )
+        .expect("direct route still works");
+        assert_eq!(out.route_used, 1);
+        assert_eq!(out.failures.len(), 1);
+        assert!(
+            matches!(
+                out.failures[0],
+                NetError::Blocked {
+                    reason: "circuit breaker open",
+                    ..
+                }
+            ),
+            "skip should be recorded as a breaker block: {:?}",
+            out.failures[0]
+        );
+        // The skip itself must be free: only the direct upload spent time.
+        assert_eq!(sim.now().saturating_sub(before), out.report.elapsed);
+    }
+
+    #[test]
+    fn breaker_reprobes_after_cooldown() {
+        let (sim, _user, dtn, _provider) = world();
+        let breakers = cloudstore::BreakerRegistry::default();
+        for _ in 0..3 {
+            breakers.record_failure(dtn, sim.now());
+        }
+        assert!(!breakers.allow(dtn, sim.now()));
+        // After the cooldown the breaker half-opens and allows one probe.
+        let later = sim.now() + cloudstore::resilience::DEFAULT_BREAKER_COOLDOWN;
+        assert!(breakers.allow(dtn, later), "half-open probe allowed");
+        breakers.record_success(dtn);
+        assert!(!breakers.is_open(dtn, later), "success closes the breaker");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod select;
 
 pub use campaign::{Campaign, CampaignResult, ClientSpec, SimFactory};
 pub use diagnose::{compare_traceroutes, find_bandwidth_tivs, PathComparison, TivRecord};
-pub use failover::{upload_with_fallback, FallbackReport};
+pub use failover::{upload_with_fallback, upload_with_fallback_breakers, FallbackReport};
 pub use job::{run_job, JobDetail, JobReport};
 pub use monitor::{MonitorConfig, RouteMonitor};
 pub use route::{Hop, Route};

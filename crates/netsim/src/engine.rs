@@ -141,6 +141,13 @@ pub trait Process {
         "process"
     }
 
+    /// Clean up when the engine abandons this still-live process because
+    /// the root of its run finished (a failing session unwinds its whole
+    /// process tree). Close any telemetry spans this process opened here;
+    /// flows it started are cancelled by the engine afterwards. Spawns,
+    /// timers and [`Ctx::finish`] issued from `abort` are discarded.
+    fn abort(&mut self, _ctx: &mut Ctx<'_>) {}
+
     /// Fold process-local state into a determinism digest (see
     /// [`crate::audit`]). Stateful long-running processes (background
     /// generators, monitors) should override this so that divergence in
@@ -511,6 +518,27 @@ impl Core {
             rate: Bandwidth::from_bytes_per_sec(best_rate),
             cause,
         })
+    }
+
+    /// Remove a flow before delivery: release its capacity, emit
+    /// `flow.cancelled` and close the flow span. Shared by
+    /// [`Ctx::cancel_flow`] and the orphan reap in [`Sim::run_process`].
+    fn cancel_flow_inner(&mut self, id: u64) {
+        let Some(slot) = self.flow_index.remove(&id) else {
+            return;
+        };
+        let f = self.flows.remove(slot).expect("indexed flow exists");
+        let now_ns = self.now.as_nanos();
+        self.tele
+            .event(now_ns, Category::Flow, "flow.cancelled", f.span, |_| {});
+        self.tele.span_end(now_ns, f.span);
+        if f.active {
+            if f.pending_drain {
+                // Its queued Drained event can no longer fire.
+                self.stale_drains += 1;
+            }
+            self.deactivate_flow(f.alloc_slot);
+        }
     }
 
     fn start_flow_inner(&mut self, owner: Option<ProcessId>, spec: FlowSpec) -> NetResult<FlowId> {
@@ -1077,22 +1105,7 @@ impl<'a> Ctx<'a> {
     /// immediately; an [`Event::FlowFailed`] is *not* delivered (the caller
     /// already knows).
     pub fn cancel_flow(&mut self, id: FlowId) {
-        let Some(slot) = self.core.flow_index.remove(&id.0) else {
-            return;
-        };
-        let f = self.core.flows.remove(slot).expect("indexed flow exists");
-        let now_ns = self.core.now.as_nanos();
-        self.core
-            .tele
-            .event(now_ns, Category::Flow, "flow.cancelled", f.span, |_| {});
-        self.core.tele.span_end(now_ns, f.span);
-        if f.active {
-            if f.pending_drain {
-                // Its queued Drained event can no longer fire.
-                self.core.stale_drains += 1;
-            }
-            self.core.deactivate_flow(f.alloc_slot);
-        }
+        self.core.cancel_flow_inner(id.0);
     }
 
     /// The telemetry sink (see [`Core::telemetry`]).
@@ -1564,6 +1577,7 @@ impl Sim {
         self.deliver_root(root, Event::Started);
         self.audit_after_event();
         if let Some(v) = self.root_result.take() {
+            self.reap_orphans(root);
             return Ok(v);
         }
         let mut processed: u64 = 0;
@@ -1577,10 +1591,67 @@ impl Sim {
             self.dispatch(q.kind, root);
             self.audit_after_event();
             if let Some(v) = self.root_result.take() {
+                self.reap_orphans(root);
                 return Ok(v);
             }
         }
         Err(NetError::NoResult)
+    }
+
+    /// Unwind what the finished root strands behind. A root that finishes
+    /// early (a session aborting on a retry-budget or deadline error)
+    /// orphans its still-live descendants: their process-owned telemetry
+    /// spans would never end and their flows would hold link capacity into
+    /// any later run on the same sim. Each orphan gets a
+    /// [`Process::abort`] callback to close its spans, then every flow the
+    /// orphans own is cancelled. Flows the *root itself* leaves running
+    /// are kept — a driver may deliberately finish with long-lived flows
+    /// still in flight — and detached background processes are not
+    /// descendants of `root`, so they keep running too.
+    fn reap_orphans(&mut self, root: ProcessId) {
+        let mut doomed: Vec<ProcessId> = Vec::new();
+        for i in 0..self.processes.len() {
+            if !self.processes[i].alive || i == root.0 as usize {
+                continue;
+            }
+            let mut cur = i;
+            while let Some(p) = self.processes[cur].parent {
+                cur = p.0 as usize;
+            }
+            if cur == root.0 as usize {
+                doomed.push(ProcessId(i as u32));
+            }
+        }
+        let mut dead = vec![false; self.processes.len()];
+        for pid in &doomed {
+            dead[pid.0 as usize] = true;
+        }
+        for pid in doomed {
+            let idx = pid.0 as usize;
+            if let Some(mut proc_) = self.processes[idx].proc_.take() {
+                let mut effects = Effects::default();
+                let mut next_pid = self.processes.len() as u32;
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    pid,
+                    next_pid: &mut next_pid,
+                    effects: &mut effects,
+                };
+                proc_.abort(&mut ctx);
+                // Effects issued during abort are deliberately dropped.
+            }
+            self.processes[idx].alive = false;
+        }
+        let orphaned: Vec<u64> = self
+            .core
+            .flows
+            .iter()
+            .filter(|(_, f)| f.owner.is_some_and(|o| dead[o.0 as usize]))
+            .map(|(_, f)| f.id)
+            .collect();
+        for id in orphaned {
+            self.core.cancel_flow_inner(id);
+        }
     }
 
     /// Convenience: run a single bulk transfer and report its timing.

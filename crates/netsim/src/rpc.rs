@@ -193,6 +193,16 @@ impl Process for Rpc {
     fn name(&self) -> &'static str {
         "rpc"
     }
+
+    fn abort(&mut self, ctx: &mut Ctx<'_>) {
+        // Abandoned mid-exchange (the session above us failed): close the
+        // rpc span so traces stay balanced. Our in-flight flow is cancelled
+        // by the engine right after this callback.
+        if !matches!(self.state, RpcState::Idle) {
+            let t = ctx.now().as_nanos();
+            ctx.telemetry().span_end(t, self.span);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 //! paper's winning detours.
 
 use crate::report::RelayReport;
+use cloudstore::faults::FaultOutcome;
+use cloudstore::resilience::{RetryPolicy, RetryState};
 use cloudstore::{Provider, TransferStats};
 use netsim::engine::{Ctx, Event, Process, ProcessId, Value};
 use netsim::error::NetError;
@@ -21,6 +23,9 @@ use netsim::topology::NodeId;
 /// Default relay chunk: big enough to amortize round trips, small enough to
 /// overlap well.
 pub const DEFAULT_RELAY_CHUNK: u64 = 8 * 1024 * 1024;
+
+/// Upload-lane retry timer (throttle wait or transient backoff).
+const TIMER_RETRY: u64 = 1;
 
 /// Cut-through relay through one DTN. Finishes with a packed
 /// [`RelayReport`].
@@ -56,6 +61,18 @@ pub struct PipelinedRelay {
     rpcs: u64,
     wire_bytes: u64,
     first_send: bool,
+
+    /// Upload-lane fault handling (the provider's [`cloudstore::FaultPlan`]
+    /// applies to part uploads, exactly as in [`cloudstore::UploadSession`]).
+    policy: RetryPolicy,
+    retry: RetryState,
+    pending_outcome: FaultOutcome,
+    upload_attempts: u32,
+    /// While a throttle/backoff timer is armed the upload lane must not
+    /// issue anything, even if new chunks arrive.
+    upload_stalled: bool,
+    retries: u64,
+    throttles: u64,
 }
 
 impl PipelinedRelay {
@@ -90,6 +107,7 @@ impl PipelinedRelay {
         chunk: u64,
     ) -> Self {
         assert!(chunk > 0, "chunk must be positive");
+        let policy = RetryPolicy::from_plan(&provider.faults);
         PipelinedRelay {
             user,
             dtn,
@@ -116,7 +134,20 @@ impl PipelinedRelay {
             rpcs: 0,
             wire_bytes: 0,
             first_send: true,
+            policy,
+            retry: RetryState::start(policy, SimTime::ZERO),
+            pending_outcome: FaultOutcome::Ok,
+            upload_attempts: 0,
+            upload_stalled: false,
+            retries: 0,
+            throttles: 0,
         }
+    }
+
+    /// Override the upload lane's retry policy (budget, backoff, deadline).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     fn split(&self) -> Vec<u64> {
@@ -168,8 +199,37 @@ impl PipelinedRelay {
         }
     }
 
+    fn finish_exhausted(&mut self, ctx: &mut Ctx<'_>, e: NetError) {
+        let counter = match e {
+            NetError::DeadlineExceeded { .. } => "relay.deadline_exceeded",
+            _ => "relay.budget_exhausted",
+        };
+        ctx.telemetry().counter_add(counter, 1);
+        ctx.finish(Value::Error(e));
+    }
+
     fn maybe_upload(&mut self, ctx: &mut Ctx<'_>) {
-        if !self.init_done || self.upload_pid.is_some() || self.uploaded >= self.received {
+        if !self.init_done
+            || self.upload_stalled
+            || self.upload_pid.is_some()
+            || self.uploaded >= self.received
+        {
+            return;
+        }
+        self.pending_outcome = if self.provider.faults.is_active() {
+            self.provider.faults.roll(ctx.rng())
+        } else {
+            FaultOutcome::Ok
+        };
+        if let FaultOutcome::Throttled { wait } = self.pending_outcome {
+            self.throttles += 1;
+            ctx.telemetry().counter_add("relay.pipeline.throttles", 1);
+            if let Err(e) = self.retry.charge(self.frontend, ctx.now(), wait) {
+                self.finish_exhausted(ctx, e);
+                return;
+            }
+            self.upload_stalled = true;
+            ctx.set_timer(wait, TIMER_RETRY);
             return;
         }
         let part = self.chunks[self.uploaded];
@@ -209,8 +269,8 @@ impl PipelinedRelay {
                 bytes: self.bytes,
                 elapsed: total,
                 rpcs: self.rpcs,
-                retries: 0,
-                throttles: 0,
+                retries: self.retries,
+                throttles: self.throttles,
                 token_refreshes: 0,
                 wire_bytes: self.wire_bytes,
             },
@@ -225,6 +285,8 @@ impl Process for PipelinedRelay {
             Event::Started => {
                 self.started = ctx.now();
                 self.frontend = self.provider.frontend_for(ctx.topology(), self.user);
+                // Anchor the deadline (if any) to the real start instant.
+                self.retry = RetryState::start(self.policy, self.started);
                 self.chunks = self.split();
                 if self.chunks.is_empty() {
                     ctx.finish(Value::Error(NetError::EmptyTransfer));
@@ -259,13 +321,41 @@ impl Process for PipelinedRelay {
                     self.maybe_upload(ctx);
                 } else if Some(child) == self.upload_pid {
                     self.upload_pid = None;
-                    self.uploaded += 1;
-                    self.maybe_upload(ctx);
-                    // An upload freed buffer space: the sender may resume.
-                    if self.handshake_done {
-                        self.send_next(ctx);
+                    match self.pending_outcome {
+                        FaultOutcome::Ok => {
+                            self.upload_attempts = 0;
+                            self.uploaded += 1;
+                            self.maybe_upload(ctx);
+                            // An upload freed buffer space: the sender may
+                            // resume.
+                            if self.handshake_done {
+                                self.send_next(ctx);
+                            }
+                            self.maybe_finish(ctx);
+                        }
+                        FaultOutcome::TransientError => {
+                            self.retries += 1;
+                            ctx.telemetry().counter_add("relay.pipeline.retries", 1);
+                            self.upload_attempts += 1;
+                            if self.upload_attempts > self.provider.faults.max_retries {
+                                ctx.finish(Value::Error(NetError::Blocked {
+                                    at: self.frontend,
+                                    reason: "part upload exceeded max retries",
+                                }));
+                                return;
+                            }
+                            let backoff = self.policy.backoff(self.upload_attempts, ctx.rng());
+                            if let Err(e) = self.retry.charge(self.frontend, ctx.now(), backoff) {
+                                self.finish_exhausted(ctx, e);
+                                return;
+                            }
+                            self.upload_stalled = true;
+                            ctx.set_timer(backoff, TIMER_RETRY);
+                        }
+                        FaultOutcome::Throttled { .. } => {
+                            unreachable!("throttled parts never reach the wire")
+                        }
                     }
-                    self.maybe_finish(ctx);
                 } else if Some(child) == self.finish_pid {
                     self.finish_pid = None;
                     self.report(ctx);
@@ -277,6 +367,10 @@ impl Process for PipelinedRelay {
                 self.received += 1;
                 self.last_received_at = ctx.now();
                 self.send_next(ctx);
+                self.maybe_upload(ctx);
+            }
+            Event::Timer { tag: TIMER_RETRY } => {
+                self.upload_stalled = false;
                 self.maybe_upload(ctx);
             }
             Event::FlowFailed { error, .. } => ctx.finish(Value::Error(error)),
@@ -465,6 +559,54 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, NetError::EmptyTransfer);
+    }
+
+    #[test]
+    fn flaky_pipeline_retries_and_succeeds() {
+        let (mut sim, user, dtn, provider) = topo();
+        let pl = pipelined_upload(
+            &mut sim,
+            user,
+            dtn,
+            &provider.clone().with_faults(cloudstore::FaultPlan::flaky()),
+            60 * MB,
+            FlowClass::Research,
+            FlowClass::Research,
+        )
+        .unwrap();
+        let (mut sim2, user2, dtn2, provider2) = topo();
+        let clean = pipelined_upload(
+            &mut sim2,
+            user2,
+            dtn2,
+            &provider2,
+            60 * MB,
+            FlowClass::Research,
+            FlowClass::Research,
+        )
+        .unwrap();
+        assert_eq!(pl.bytes, clean.bytes);
+        assert!(pl.total >= clean.total, "faults cannot speed a relay up");
+    }
+
+    #[test]
+    fn hopeless_throttling_pipeline_terminates() {
+        let (mut sim, user, dtn, mut provider) = topo();
+        provider.faults.throttle_prob = 1.0;
+        let err = pipelined_upload(
+            &mut sim,
+            user,
+            dtn,
+            &provider,
+            10 * MB,
+            FlowClass::Research,
+            FlowClass::Research,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, NetError::RetryBudgetExhausted { .. }),
+            "expected budget exhaustion, got {err}"
+        );
     }
 
     #[test]

@@ -4,8 +4,19 @@
 //! response carries the receiver's block signatures, a forward flow carrying
 //! the delta (for the paper's deleted-before-each-run workload this is the
 //! whole file plus ~50 bytes), and a final acknowledgement.
+//!
+//! Legs participate in the resilience plane ([`cloudstore::resilience`]):
+//! an optional [`FaultPlan`] injects per-stage throttles (receiver busy —
+//! wait and come back) and transient failures (stage retried with
+//! deterministically-jittered backoff), all charged against one
+//! session-wide retry budget with an optional hard deadline. Fault rolls
+//! are gated on [`FaultPlan::is_active`] so fault-free legs draw nothing
+//! from the shared simulation PRNG.
 
+use cloudstore::faults::{FaultOutcome, FaultPlan};
+use cloudstore::resilience::{RetryPolicy, RetryState};
 use netsim::engine::{Ctx, Event, Process, ProcessId, Value};
+use netsim::error::NetError;
 use netsim::flow::{FlowClass, FlowSpec};
 use netsim::rpc::{Rpc, RpcSpec};
 use netsim::time::SimTime;
@@ -21,6 +32,8 @@ enum State {
     Ack,
 }
 
+const TIMER_RETRY: u64 = 1;
+
 /// A process performing one rsync transfer; finishes with
 /// `Value::Time(elapsed)`.
 pub struct RsyncLeg {
@@ -28,9 +41,14 @@ pub struct RsyncLeg {
     dst: NodeId,
     plan: RsyncWirePlan,
     class: FlowClass,
+    faults: FaultPlan,
+    policy: RetryPolicy,
     state: State,
     started: SimTime,
     pending: Option<ProcessId>,
+    pending_outcome: FaultOutcome,
+    attempts: u32,
+    retry: RetryState,
     span: SpanId,
     parent_span: SpanId,
 }
@@ -38,14 +56,21 @@ pub struct RsyncLeg {
 impl RsyncLeg {
     /// A leg moving `plan` between two hosts.
     pub fn new(src: NodeId, dst: NodeId, plan: RsyncWirePlan, class: FlowClass) -> Self {
+        let faults = FaultPlan::none();
+        let policy = RetryPolicy::from_plan(&faults);
         RsyncLeg {
             src,
             dst,
             plan,
             class,
+            faults,
+            policy,
             state: State::Idle,
             started: SimTime::ZERO,
             pending: None,
+            pending_outcome: FaultOutcome::Ok,
+            attempts: 0,
+            retry: RetryState::start(policy, SimTime::ZERO),
             span: SpanId::NONE,
             parent_span: SpanId::NONE,
         }
@@ -55,6 +80,21 @@ impl RsyncLeg {
     /// whole file crosses the wire.
     pub fn fresh(src: NodeId, dst: NodeId, bytes: u64, class: FlowClass) -> Self {
         Self::new(src, dst, RsyncWirePlan::fresh(bytes), class)
+    }
+
+    /// Inject faults on this leg; the retry policy defaults to
+    /// [`RetryPolicy::from_plan`] unless [`with_retry`](Self::with_retry)
+    /// follows.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self.policy = RetryPolicy::from_plan(&faults);
+        self
+    }
+
+    /// Override the leg's retry policy (budget, backoff, deadline).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Nest this leg's telemetry span under `parent` (e.g. a relay span).
@@ -68,6 +108,111 @@ impl RsyncLeg {
         ctx.telemetry().span_end(t, self.span);
         ctx.finish(v);
     }
+
+    fn finish_exhausted(&mut self, ctx: &mut Ctx<'_>, e: NetError) {
+        let counter = match e {
+            NetError::DeadlineExceeded { .. } => "relay.deadline_exceeded",
+            _ => "relay.budget_exhausted",
+        };
+        ctx.telemetry().counter_add(counter, 1);
+        self.finish_traced(ctx, Value::Error(e));
+    }
+
+    /// Roll the fault plan for the stage about to be issued. Returns `true`
+    /// when the caller must not issue it now — either a throttle timer was
+    /// armed or the budget/deadline just expired.
+    fn stage_gated(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        self.pending_outcome = if self.faults.is_active() {
+            self.faults.roll(ctx.rng())
+        } else {
+            FaultOutcome::Ok
+        };
+        if let FaultOutcome::Throttled { wait } = self.pending_outcome {
+            ctx.telemetry().counter_add("relay.leg.throttles", 1);
+            if let Err(e) = self.retry.charge(self.dst, ctx.now(), wait) {
+                self.finish_exhausted(ctx, e);
+                return true;
+            }
+            ctx.set_timer(wait, TIMER_RETRY);
+            return true;
+        }
+        false
+    }
+
+    /// Settle a finished stage. Returns `true` when the stage succeeded and
+    /// the leg may advance; otherwise a retry timer was armed (or the leg
+    /// finished with an error).
+    fn stage_done(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        match self.pending_outcome {
+            FaultOutcome::Ok => {
+                self.attempts = 0;
+                true
+            }
+            FaultOutcome::TransientError => {
+                ctx.telemetry().counter_add("relay.leg.retries", 1);
+                self.attempts += 1;
+                if self.attempts > self.faults.max_retries {
+                    self.finish_traced(
+                        ctx,
+                        Value::Error(NetError::Blocked {
+                            at: self.dst,
+                            reason: "rsync stage exceeded max retries",
+                        }),
+                    );
+                    return false;
+                }
+                let backoff = self.policy.backoff(self.attempts, ctx.rng());
+                if let Err(e) = self.retry.charge(self.dst, ctx.now(), backoff) {
+                    self.finish_exhausted(ctx, e);
+                    return false;
+                }
+                ctx.set_timer(backoff, TIMER_RETRY);
+                false
+            }
+            FaultOutcome::Throttled { .. } => {
+                unreachable!("throttled stages never reach the wire")
+            }
+        }
+    }
+
+    fn begin_handshake(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = State::Handshake;
+        if self.stage_gated(ctx) {
+            return;
+        }
+        // Handshake request; the response carries the signatures.
+        let spec = RpcSpec::control(self.src, self.dst, self.class)
+            .with_payload(self.plan.handshake_bytes, 256 + self.plan.signature_bytes)
+            .with_server_time(SimTime::from_millis(10))
+            .fresh()
+            .traced("rpc.handshake", self.span);
+        self.pending = Some(ctx.spawn(Box::new(Rpc::new(spec))));
+    }
+
+    fn begin_delta(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = State::Delta;
+        if self.stage_gated(ctx) {
+            return;
+        }
+        let spec = FlowSpec::new(self.src, self.dst, self.plan.delta_bytes, self.class)
+            .reuse_connection()
+            .with_parent_span(self.span);
+        if let Err(e) = ctx.start_flow(spec) {
+            self.finish_traced(ctx, Value::Error(e));
+        }
+    }
+
+    fn begin_ack(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = State::Ack;
+        if self.stage_gated(ctx) {
+            return;
+        }
+        let spec = RpcSpec::control(self.src, self.dst, self.class)
+            .with_payload(64, self.plan.ack_bytes)
+            .with_server_time(SimTime::from_millis(5))
+            .traced("rpc.ack", self.span);
+        self.pending = Some(ctx.spawn(Box::new(Rpc::new(spec))));
+    }
 }
 
 impl Process for RsyncLeg {
@@ -75,6 +220,9 @@ impl Process for RsyncLeg {
         match (self.state, ev) {
             (State::Idle, Event::Started) => {
                 self.started = ctx.now();
+                // Anchor the deadline (if any) to the real start instant —
+                // relay legs often begin mid-simulation.
+                self.retry = RetryState::start(self.policy, self.started);
                 if ctx.telemetry().is_enabled() {
                     let (t, parent) = (ctx.now().as_nanos(), self.parent_span);
                     let (delta, src, dst) = (self.plan.delta_bytes, self.src, self.dst);
@@ -93,44 +241,40 @@ impl Process for RsyncLeg {
                         },
                     );
                 }
-                // Handshake request; the response carries the signatures.
-                let spec = RpcSpec::control(self.src, self.dst, self.class)
-                    .with_payload(self.plan.handshake_bytes, 256 + self.plan.signature_bytes)
-                    .with_server_time(SimTime::from_millis(10))
-                    .fresh()
-                    .traced("rpc.handshake", self.span);
-                self.state = State::Handshake;
-                self.pending = Some(ctx.spawn(Box::new(Rpc::new(spec))));
+                self.begin_handshake(ctx);
             }
             (State::Handshake, Event::ChildDone { value, .. }) => {
                 if let Value::Error(e) = value {
                     self.finish_traced(ctx, Value::Error(e));
                     return;
                 }
-                let spec = FlowSpec::new(self.src, self.dst, self.plan.delta_bytes, self.class)
-                    .reuse_connection()
-                    .with_parent_span(self.span);
-                match ctx.start_flow(spec) {
-                    Ok(_) => self.state = State::Delta,
-                    Err(e) => self.finish_traced(ctx, Value::Error(e)),
+                if self.stage_done(ctx) {
+                    self.begin_delta(ctx);
                 }
             }
             (State::Delta, Event::FlowCompleted { .. }) => {
-                let spec = RpcSpec::control(self.src, self.dst, self.class)
-                    .with_payload(64, self.plan.ack_bytes)
-                    .with_server_time(SimTime::from_millis(5))
-                    .traced("rpc.ack", self.span);
-                self.state = State::Ack;
-                self.pending = Some(ctx.spawn(Box::new(Rpc::new(spec))));
+                if !self.stage_done(ctx) {
+                    return;
+                }
+                self.begin_ack(ctx);
             }
             (State::Ack, Event::ChildDone { value, .. }) => {
                 if let Value::Error(e) = value {
                     self.finish_traced(ctx, Value::Error(e));
                     return;
                 }
+                if !self.stage_done(ctx) {
+                    return;
+                }
                 let elapsed = ctx.now().saturating_sub(self.started);
                 self.finish_traced(ctx, Value::Time(elapsed));
             }
+            (_, Event::Timer { tag: TIMER_RETRY }) => match self.state {
+                State::Handshake => self.begin_handshake(ctx),
+                State::Delta => self.begin_delta(ctx),
+                State::Ack => self.begin_ack(ctx),
+                State::Idle => {}
+            },
             (_, Event::FlowFailed { error, .. }) => self.finish_traced(ctx, Value::Error(error)),
             _ => {}
         }
@@ -138,6 +282,13 @@ impl Process for RsyncLeg {
 
     fn name(&self) -> &'static str {
         "rsync-leg"
+    }
+
+    fn abort(&mut self, ctx: &mut Ctx<'_>) {
+        // Abandoned by a failing relay above us: close the leg span so
+        // traces stay balanced (no-op when telemetry is disabled).
+        let t = ctx.now().as_nanos();
+        ctx.telemetry().span_end(t, self.span);
     }
 }
 
@@ -224,5 +375,86 @@ mod tests {
             .run_process(Box::new(RsyncLeg::fresh(a, d, MB, FlowClass::Research)))
             .unwrap();
         assert!(matches!(v, Value::Error(NetError::NoRoute { .. })));
+    }
+
+    #[test]
+    fn flaky_leg_retries_and_succeeds() {
+        let (mut sim, a, d) = pair(42.0);
+        let v = sim
+            .run_process(Box::new(
+                RsyncLeg::fresh(a, d, 100 * MB, FlowClass::Research)
+                    .with_faults(FaultPlan::flaky()),
+            ))
+            .unwrap();
+        let flaky = v.expect_time().as_secs_f64();
+        let (mut sim2, a2, d2) = pair(42.0);
+        let clean = sim2
+            .run_process(Box::new(RsyncLeg::fresh(
+                a2,
+                d2,
+                100 * MB,
+                FlowClass::Research,
+            )))
+            .unwrap()
+            .expect_time()
+            .as_secs_f64();
+        // Faulty legs can only be slower, never faster, and still finish.
+        assert!(flaky >= clean, "flaky {flaky} vs clean {clean}");
+    }
+
+    #[test]
+    fn hopeless_throttling_leg_terminates() {
+        let (mut sim, a, d) = pair(42.0);
+        let mut faults = FaultPlan::none();
+        faults.throttle_prob = 1.0;
+        let v = sim
+            .run_process(Box::new(
+                RsyncLeg::fresh(a, d, MB, FlowClass::Research).with_faults(faults),
+            ))
+            .unwrap();
+        assert!(
+            matches!(v, Value::Error(NetError::RetryBudgetExhausted { .. })),
+            "expected budget exhaustion, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn hopeless_transient_leg_terminates() {
+        let (mut sim, a, d) = pair(42.0);
+        let mut faults = FaultPlan::none();
+        faults.transient_prob = 1.0;
+        let v = sim
+            .run_process(Box::new(
+                RsyncLeg::fresh(a, d, MB, FlowClass::Research).with_faults(faults),
+            ))
+            .unwrap();
+        // Per-stage max_retries trips before the session budget.
+        assert!(
+            matches!(v, Value::Error(NetError::Blocked { .. })),
+            "expected blocked after max retries, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn leg_deadline_enforced() {
+        let (mut sim, a, d) = pair(42.0);
+        let faults = FaultPlan::flaky();
+        let policy = RetryPolicy::from_plan(&faults).with_deadline(SimTime::from_millis(1));
+        // 1 ms deadline: the first fault of any kind trips it; a fault-free
+        // run (possible at 10%) completes instead, so force faults hard.
+        let mut hard = faults;
+        hard.transient_prob = 1.0;
+        hard.throttle_prob = 0.0;
+        let v = sim
+            .run_process(Box::new(
+                RsyncLeg::fresh(a, d, MB, FlowClass::Research)
+                    .with_faults(hard)
+                    .with_retry(policy),
+            ))
+            .unwrap();
+        assert!(
+            matches!(v, Value::Error(NetError::DeadlineExceeded { .. })),
+            "expected deadline exceeded, got {v:?}"
+        );
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::report::RelayReport;
 use crate::rsync_leg::RsyncLeg;
-use cloudstore::{Provider, TransferStats, UploadOptions, UploadSession};
+use cloudstore::{FaultPlan, Provider, TransferStats, UploadOptions, UploadSession};
 use netsim::engine::{Ctx, Event, Process, ProcessId, Value};
 use netsim::error::NetError;
 use netsim::flow::FlowClass;
@@ -33,6 +33,9 @@ pub struct StoreForwardRelay {
     opts: UploadOptions,
     /// Traffic class per leg: the class of the *sending* node.
     leg_classes: Vec<FlowClass>,
+    /// Fault plan injected on every rsync leg (the upload leg keeps the
+    /// provider's own plan).
+    leg_faults: Option<FaultPlan>,
 
     state: State,
     started: SimTime,
@@ -65,6 +68,7 @@ impl StoreForwardRelay {
             bytes,
             opts,
             leg_classes: classes,
+            leg_faults: None,
             state: State::Idle,
             started: SimTime::ZERO,
             leg_times: Vec::new(),
@@ -80,14 +84,24 @@ impl StoreForwardRelay {
         self
     }
 
+    /// Inject `faults` on every rsync leg. The upload leg is unaffected —
+    /// it already carries the provider's own [`FaultPlan`].
+    pub fn with_leg_faults(mut self, faults: FaultPlan) -> Self {
+        self.leg_faults = Some(faults);
+        self
+    }
+
     fn begin_leg(&mut self, ctx: &mut Ctx<'_>, i: usize) {
-        let leg = RsyncLeg::fresh(
+        let mut leg = RsyncLeg::fresh(
             self.hops[i],
             self.hops[i + 1],
             self.bytes,
             self.leg_classes[i],
         )
         .with_parent_span(self.span);
+        if let Some(faults) = self.leg_faults {
+            leg = leg.with_faults(faults);
+        }
         self.state = State::Leg(i);
         self.pending = Some(ctx.spawn(Box::new(leg)));
     }
@@ -172,6 +186,13 @@ impl Process for StoreForwardRelay {
 
     fn name(&self) -> &'static str {
         "store-forward-relay"
+    }
+
+    fn abort(&mut self, ctx: &mut Ctx<'_>) {
+        // Abandoned with the relay span still open: close it so traces
+        // stay balanced (no-op when telemetry is disabled).
+        let t = ctx.now().as_nanos();
+        ctx.telemetry().span_end(t, self.span);
     }
 }
 
@@ -325,6 +346,43 @@ mod tests {
             provider,
             MB,
             UploadOptions::default(),
+        );
+    }
+
+    #[test]
+    fn flaky_legs_still_relay() {
+        let (mut sim, user, dtn, provider) = detour_wins_topo();
+        let relay = StoreForwardRelay::new(
+            vec![user, dtn],
+            vec![FlowClass::PlanetLab, FlowClass::Research],
+            provider.with_faults(FaultPlan::flaky()),
+            50 * MB,
+            UploadOptions::warm(FlowClass::Research),
+        )
+        .with_leg_faults(FaultPlan::flaky());
+        let v = sim.run_process(Box::new(relay)).unwrap();
+        let r = RelayReport::from_value(&v);
+        assert_eq!(r.bytes, 50 * MB);
+        assert_eq!(r.total, r.leg_times[0] + r.upload.elapsed);
+    }
+
+    #[test]
+    fn hopeless_leg_throttling_terminates_relay() {
+        let (mut sim, user, dtn, provider) = detour_wins_topo();
+        let mut storm = FaultPlan::none();
+        storm.throttle_prob = 1.0;
+        let relay = StoreForwardRelay::new(
+            vec![user, dtn],
+            vec![FlowClass::PlanetLab, FlowClass::Research],
+            provider,
+            MB,
+            UploadOptions::warm(FlowClass::Research),
+        )
+        .with_leg_faults(storm);
+        let v = sim.run_process(Box::new(relay)).unwrap();
+        assert!(
+            matches!(v, Value::Error(NetError::RetryBudgetExhausted { .. })),
+            "expected budget exhaustion, got {v:?}"
         );
     }
 

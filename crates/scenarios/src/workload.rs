@@ -116,7 +116,7 @@ pub fn run_session(
         let opts = UploadOptions {
             token,
             class: spec.class,
-            parallelism: 1,
+            ..UploadOptions::default()
         };
         let report = run_job(
             &mut sim,

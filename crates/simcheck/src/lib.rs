@@ -9,7 +9,11 @@
 //! * [`scenario`] generates randomized topologies and workloads far beyond
 //!   the hand-built NorthAmerica scenario — random WANs, detour jobs,
 //!   background traffic mixes, link-fault schedules — each fully described
-//!   by a replayable, JSON-serializable [`ScenarioSpec`].
+//!   by a replayable, JSON-serializable [`ScenarioSpec`]. A second *chaos*
+//!   class ([`ScenarioClass::Chaos`]) stresses the resilience layer:
+//!   cloud-upload sessions under throttle storms, transient-error bursts
+//!   and mid-transfer capacity faults, each checked against a termination
+//!   bound derived from its retry budget or deadline.
 //! * [`oracle`] installs an [`netsim::audit::AuditHook`] that checks
 //!   invariants after *every* engine event: byte conservation per flow,
 //!   no link above capacity, max-min fairness, clock monotonicity — and
@@ -34,8 +38,24 @@ pub mod shrink;
 pub use json::Json;
 pub use oracle::{OracleHandle, Violation};
 pub use runner::{check_case, run_once, CaseResult, RunOptions, RunOutcome};
-pub use scenario::{case_seed, BgSpec, ChurnSpec, FaultSpec, JobSpec, ScenarioSpec, TopoSpec};
+pub use scenario::{
+    case_seed, BgSpec, ChaosSpec, ChurnSpec, FaultSpec, JobSpec, ScenarioSpec, TopoSpec,
+};
 pub use shrink::{shrink, ShrinkResult};
+
+/// Which scenario family a check run draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScenarioClass {
+    /// Randomized WANs, detour jobs, background mixes, churn
+    /// ([`ScenarioSpec::generate`]).
+    #[default]
+    Standard,
+    /// Resilience stress: cloud-upload sessions under throttle storms,
+    /// transient-error bursts and mid-transfer capacity faults, checked
+    /// against per-session termination bounds
+    /// ([`ScenarioSpec::generate_chaos`]).
+    Chaos,
+}
 
 /// Configuration for a batch check run.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +64,8 @@ pub struct CheckConfig {
     pub cases: u32,
     /// Base seed; case `i` runs scenario [`case_seed`]`(seed, i)`.
     pub seed: u64,
+    /// Scenario family to generate.
+    pub class: ScenarioClass,
     /// Optional engine fault injection (needs the `failpoints` feature).
     pub rate_inflation: Option<f64>,
     /// Max candidate evaluations when shrinking a failure.
@@ -55,6 +77,7 @@ impl Default for CheckConfig {
         CheckConfig {
             cases: 64,
             seed: 7,
+            class: ScenarioClass::Standard,
             rate_inflation: None,
             shrink_budget: 200,
         }
@@ -139,7 +162,10 @@ pub fn run_check(config: CheckConfig) -> CheckReport {
     let mut report = CheckReport::default();
     for i in 0..config.cases {
         let seed = case_seed(config.seed, i);
-        let spec = ScenarioSpec::generate(seed);
+        let spec = match config.class {
+            ScenarioClass::Standard => ScenarioSpec::generate(seed),
+            ScenarioClass::Chaos => ScenarioSpec::generate_chaos(seed),
+        };
         let res = check_case(&spec, opts);
         report.events += res.events;
         if res.ok() {
@@ -197,14 +223,27 @@ mod tests {
         let report = run_check(CheckConfig {
             cases: 4,
             seed: 7,
-            rate_inflation: None,
             shrink_budget: 10,
+            ..Default::default()
         });
         assert!(report.ok(), "failures: {:?}", report.failures);
         assert_eq!(report.passed, 4);
         let v = Json::parse(&report.to_json()).unwrap();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(v.get("passed").and_then(Json::as_u64), Some(4));
+    }
+
+    #[test]
+    fn chaos_batch_is_clean() {
+        let report = run_check(CheckConfig {
+            cases: 3,
+            seed: 11,
+            class: ScenarioClass::Chaos,
+            shrink_budget: 10,
+            ..Default::default()
+        });
+        assert!(report.ok(), "failures: {:?}", report.failures);
+        assert_eq!(report.passed, 3);
     }
 
     #[test]

@@ -108,6 +108,17 @@ pub enum Violation {
         /// The error's display form.
         message: String,
     },
+    /// A chaotic upload session failed to settle within the termination
+    /// bound derived from its retry budget or deadline (see
+    /// [`crate::scenario::ChaosSpec`]): the resilience layer let it spin.
+    DeadlineOverrun {
+        /// Index of the chaos session within the spec.
+        session: u32,
+        /// The bound the session had to settle by, ms after its start.
+        bound_ms: u64,
+        /// When it actually settled, ms after its start.
+        settled_ms: u64,
+    },
 }
 
 impl Violation {
@@ -122,6 +133,7 @@ impl Violation {
             Violation::AllocatorDivergence { .. } => "allocator_divergence",
             Violation::ProgressDivergence { .. } => "progress_divergence",
             Violation::EngineError { .. } => "engine_error",
+            Violation::DeadlineOverrun { .. } => "deadline_overrun",
         }
     }
 }
@@ -175,6 +187,14 @@ impl std::fmt::Display for Violation {
                 "lazy vs eager progress accounting diverged: {lazy:#018x} vs {eager:#018x}"
             ),
             Violation::EngineError { message } => write!(f, "engine error: {message}"),
+            Violation::DeadlineOverrun {
+                session,
+                bound_ms,
+                settled_ms,
+            } => write!(
+                f,
+                "chaos session {session} settled {settled_ms}ms after start, past its {bound_ms}ms termination bound"
+            ),
         }
     }
 }

@@ -6,17 +6,24 @@
 
 use crate::oracle::{InvariantOracle, OracleHandle, Violation};
 use crate::scenario::{ScenarioSpec, TopoSpec};
+use cloudstore::{FaultPlan, Provider, ProviderKind, RetryPolicy, UploadOptions, UploadSession};
 use netsim::background::{BackgroundProfile, BackgroundTraffic};
-use netsim::engine::{Ctx, Event, Process, ProgressMode, Sim, Value};
+use netsim::engine::{Ctx, Event, Process, ProcessId, ProgressMode, Sim, Value};
 use netsim::flow::{FlowClass, FlowSpec};
 use netsim::geo::GeoPoint;
 use netsim::synth::SynthWan;
 use netsim::time::SimTime;
 use netsim::topology::{LinkId, LinkParams, NodeId, Topology, TopologyBuilder};
 use netsim::units::Bandwidth;
+use std::collections::HashMap;
 
 /// Livelock guard: no generated scenario comes near this many events.
 const EVENT_BUDGET: u64 = 2_000_000;
+
+/// Transfer slack added to every chaos-session termination bound: covers
+/// the payload's own (possibly contended) wire time plus control RPCs,
+/// far above anything a generated chaos case can legitimately need.
+const CHAOS_SLACK: SimTime = SimTime::from_secs(600);
 
 /// Knobs for a check run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -172,10 +179,72 @@ fn resolve_hosts(spec: &ScenarioSpec, hosts: &[NodeId]) -> Vec<ResolvedJob> {
         .collect()
 }
 
-/// Root process: starts every job at its scheduled time, finishes when all
-/// jobs have completed or failed.
+/// A concrete chaos session with spec indices resolved to nodes and the
+/// fault plan / retry policy / termination bound precomputed.
+struct ResolvedChaos {
+    client: NodeId,
+    provider: Provider,
+    bytes: u64,
+    policy: RetryPolicy,
+    start: SimTime,
+    /// Settle-by bound, measured from the session's start.
+    bound: SimTime,
+}
+
+fn resolve_chaos(spec: &ScenarioSpec, hosts: &[NodeId]) -> Vec<ResolvedChaos> {
+    let n = hosts.len() as u32;
+    spec.chaos
+        .iter()
+        .map(|c| {
+            let client = c.client % n;
+            let mut frontend = c.frontend % n;
+            if frontend == client {
+                frontend = (frontend + 1) % n;
+            }
+            let plan = FaultPlan {
+                throttle_prob: c.throttle_pct as f64 / 100.0,
+                transient_prob: c.transient_pct as f64 / 100.0,
+                retry_after: SimTime::from_millis(c.retry_after_ms),
+                ..FaultPlan::none()
+            };
+            let mut policy = RetryPolicy::from_plan(&plan);
+            if c.deadline_ms > 0 {
+                policy = policy.with_deadline(SimTime::from_millis(c.deadline_ms));
+            }
+            // Termination bound. With a deadline, every allowed retry wait
+            // resumes by the deadline, so the session settles within
+            // deadline + transfer slack. Without one, the retry budget caps
+            // the number of waits and each wait is at most
+            // max(retry_after, jittered max backoff ≤ base·2⁴·1.25).
+            let wait_cap_ms = c.retry_after_ms.max(500 * 20);
+            let bound = if c.deadline_ms > 0 {
+                SimTime::from_millis(c.deadline_ms) + CHAOS_SLACK
+            } else {
+                SimTime::from_millis((policy.budget as u64 + 1) * wait_cap_ms) + CHAOS_SLACK
+            };
+            ResolvedChaos {
+                client: hosts[client as usize],
+                provider: Provider::new(ProviderKind::Dropbox, hosts[frontend as usize])
+                    .with_faults(plan),
+                bytes: c.bytes,
+                policy,
+                start: SimTime::from_millis(c.start_ms),
+                bound,
+            }
+        })
+        .collect()
+}
+
+/// Root process: starts every job and chaos session at its scheduled time,
+/// finishes when all have completed or failed. Chaos sessions are watched
+/// against their termination bounds; an overrun is pushed straight into
+/// the oracle as a [`Violation::DeadlineOverrun`].
 struct Driver {
     jobs: Vec<ResolvedJob>,
+    chaos: Vec<ResolvedChaos>,
+    oracle: OracleHandle,
+    /// Live chaos sessions: child pid → (index, started, bound).
+    chaos_watch: HashMap<ProcessId, (u32, SimTime, SimTime)>,
     outstanding: u64,
     completed: u64,
 }
@@ -184,12 +253,19 @@ impl Process for Driver {
     fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
         match ev {
             Event::Started => {
-                self.outstanding = self.jobs.len() as u64;
+                self.outstanding = (self.jobs.len() + self.chaos.len()) as u64;
+                if self.outstanding == 0 {
+                    ctx.finish(Value::U64(0));
+                    return;
+                }
                 for (i, j) in self.jobs.iter().enumerate() {
                     ctx.set_timer(j.start, i as u64);
                 }
+                for (k, c) in self.chaos.iter().enumerate() {
+                    ctx.set_timer(c.start, (self.jobs.len() + k) as u64);
+                }
             }
-            Event::Timer { tag } => {
+            Event::Timer { tag } if (tag as usize) < self.jobs.len() => {
                 let j = &self.jobs[tag as usize];
                 let mut spec = FlowSpec::new(j.src, j.dst, j.bytes, j.class).with_weight(j.weight);
                 if let Some(via) = j.via {
@@ -209,9 +285,31 @@ impl Process for Driver {
                     self.settle_one(ctx, false);
                 }
             }
+            Event::Timer { tag } => {
+                let k = tag as usize - self.jobs.len();
+                let c = &self.chaos[k];
+                let mut opts = UploadOptions::warm(FlowClass::Commodity);
+                opts.retry = Some(c.policy);
+                let session = UploadSession::new(c.client, c.provider.clone(), c.bytes, opts);
+                let pid = ctx.spawn(Box::new(session));
+                self.chaos_watch.insert(pid, (k as u32, ctx.now(), c.bound));
+            }
             Event::FlowCompleted { .. } => self.settle_one(ctx, true),
             Event::FlowFailed { .. } => self.settle_one(ctx, false),
-            Event::ChildDone { .. } => {}
+            Event::ChildDone { child, value } => {
+                if let Some((idx, started, bound)) = self.chaos_watch.remove(&child) {
+                    let settled = ctx.now().saturating_sub(started);
+                    if settled > bound {
+                        self.oracle.push(Violation::DeadlineOverrun {
+                            session: idx,
+                            bound_ms: bound.as_nanos() / 1_000_000,
+                            settled_ms: settled.as_nanos() / 1_000_000,
+                        });
+                    }
+                    let ok = !matches!(value, Value::Error(_));
+                    self.settle_one(ctx, ok);
+                }
+            }
         }
     }
 
@@ -222,6 +320,7 @@ impl Process for Driver {
     fn digest_into(&self, d: &mut netsim::audit::Digest) {
         d.write_u64(self.outstanding);
         d.write_u64(self.completed);
+        d.write_u64(self.chaos_watch.len() as u64);
     }
 }
 
@@ -355,8 +454,12 @@ pub fn run_once(spec: &ScenarioSpec, opts: RunOptions) -> RunOutcome {
     sim.set_audit_hook(Box::new(oracle));
 
     let jobs = resolve_hosts(spec, &world.hosts);
+    let chaos = resolve_chaos(spec, &world.hosts);
     let result = sim.run_process(Box::new(Driver {
         jobs,
+        chaos,
+        oracle: handle.clone(),
+        chaos_watch: HashMap::new(),
         outstanding: 0,
         completed: 0,
     }));
@@ -515,6 +618,7 @@ mod tests {
             background: vec![],
             faults: vec![],
             churn: vec![],
+            chaos: vec![],
         };
         let res = check_case(&spec, RunOptions::default());
         assert!(res.ok(), "violations: {:?}", res.violations);
@@ -575,12 +679,101 @@ mod tests {
                     gap_ms: 3,
                 },
             ],
+            chaos: vec![],
         };
         let res = check_case(&spec, RunOptions::default());
         assert!(res.ok(), "violations: {:?}", res.violations);
         assert_eq!(res.jobs_completed, 1);
         // The churn chains really ran: far more events than the lone job.
         assert!(res.events > 500, "only {} events", res.events);
+    }
+
+    #[test]
+    fn chaos_cases_run_clean() {
+        // Throttle storms, fault bursts and capacity faults: every session
+        // must settle within its bound, with all engine invariants intact.
+        for i in 0..6 {
+            let spec = ScenarioSpec::generate_chaos(case_seed(17, i));
+            let out = run_once(&spec, RunOptions::default());
+            assert_eq!(
+                out.violations,
+                vec![],
+                "chaos case {i} violated invariants: {:?}",
+                spec
+            );
+            assert!(out.events > 0);
+        }
+    }
+
+    #[test]
+    fn chaos_case_is_deterministic_across_all_executions() {
+        let spec = ScenarioSpec::generate_chaos(case_seed(19, 0));
+        let res = check_case(&spec, RunOptions::default());
+        assert!(res.ok(), "violations: {:?}", res.violations);
+    }
+
+    #[test]
+    fn hopeless_throttle_storm_terminates_in_bounded_sim_time() {
+        // 100% throttling: the retry budget must end the session with an
+        // error well inside its termination bound and the event budget —
+        // the regression guard for the unbounded-429 retry loop.
+        let spec = ScenarioSpec {
+            seed: 9,
+            topo: TopoSpec::Star {
+                hosts: 2,
+                access_mbps: 20,
+            },
+            jitter_pct: 0,
+            jobs: vec![],
+            background: vec![],
+            faults: vec![],
+            churn: vec![],
+            chaos: vec![crate::scenario::ChaosSpec {
+                client: 0,
+                frontend: 1,
+                bytes: 4 * 1024 * 1024,
+                throttle_pct: 100,
+                transient_pct: 0,
+                retry_after_ms: 1000,
+                deadline_ms: 0,
+                start_ms: 0,
+            }],
+        };
+        let out = run_once(&spec, RunOptions::default());
+        assert_eq!(out.violations, vec![], "violations: {:?}", out.violations);
+        // The session settled (the driver finished) but never succeeded.
+        assert_eq!(out.jobs_completed, 0);
+        assert!(out.events < EVENT_BUDGET / 10, "events: {}", out.events);
+    }
+
+    #[test]
+    fn chaos_deadline_is_enforced() {
+        // A deadline-armed session under heavy throttling must settle by
+        // deadline + slack; the watcher would flag an overrun otherwise.
+        let spec = ScenarioSpec {
+            seed: 11,
+            topo: TopoSpec::Star {
+                hosts: 3,
+                access_mbps: 20,
+            },
+            jitter_pct: 0,
+            jobs: vec![],
+            background: vec![],
+            faults: vec![],
+            churn: vec![],
+            chaos: vec![crate::scenario::ChaosSpec {
+                client: 0,
+                frontend: 1,
+                bytes: 8 * 1024 * 1024,
+                throttle_pct: 70,
+                transient_pct: 20,
+                retry_after_ms: 2000,
+                deadline_ms: 5000,
+                start_ms: 100,
+            }],
+        };
+        let out = run_once(&spec, RunOptions::default());
+        assert_eq!(out.violations, vec![], "violations: {:?}", out.violations);
     }
 
     #[cfg(feature = "failpoints")]

@@ -125,6 +125,36 @@ pub struct ChurnSpec {
     pub gap_ms: u64,
 }
 
+/// One chaotic cloud-storage upload session: a [`cloudstore`] session run
+/// against a provider whose fault plan is cranked far past the calibrated
+/// `flaky()` rates — throttle storms, transient-error bursts, or a mix —
+/// optionally under a hard transfer deadline. The chaos scenario class
+/// ([`ScenarioSpec::generate_chaos`]) uses these to check the *resilience*
+/// invariant: every session settles (success or a typed error) within a
+/// bound derived from its retry budget or deadline, never spinning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Uploading host index (mod host count).
+    pub client: u32,
+    /// Host index acting as the provider frontend (mod host count; bumped
+    /// if it collides with `client`).
+    pub frontend: u32,
+    /// Payload, bytes.
+    pub bytes: u64,
+    /// Probability (percent, 0..=100) that any part upload is throttled.
+    pub throttle_pct: u32,
+    /// Probability (percent) that any part upload fails transiently.
+    /// `throttle_pct + transient_pct` must stay <= 100.
+    pub transient_pct: u32,
+    /// Server-advertised Retry-After on throttle, milliseconds.
+    pub retry_after_ms: u64,
+    /// Hard transfer deadline, milliseconds after session start
+    /// (0 = none; bounded by the retry budget instead).
+    pub deadline_ms: u64,
+    /// Session start time, milliseconds.
+    pub start_ms: u64,
+}
+
 /// One scheduled link-capacity change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSpec {
@@ -154,6 +184,8 @@ pub struct ScenarioSpec {
     pub faults: Vec<FaultSpec>,
     /// High-rate-churn generators (often empty).
     pub churn: Vec<ChurnSpec>,
+    /// Chaotic cloud-upload sessions (empty outside the chaos class).
+    pub chaos: Vec<ChaosSpec>,
 }
 
 impl ScenarioSpec {
@@ -246,6 +278,106 @@ impl ScenarioSpec {
             background,
             faults,
             churn,
+            chaos: vec![],
+        }
+    }
+
+    /// Generate one *chaos-class* case: a small world where cloud-upload
+    /// sessions run under throttle storms, transient-error bursts, and
+    /// mid-transfer link-capacity faults, some with hard deadlines. The
+    /// invariant of interest is termination: every session must settle —
+    /// success or a typed error — within its budget/deadline-derived bound,
+    /// deterministically per seed.
+    pub fn generate_chaos(case_seed: u64) -> ScenarioSpec {
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        // Smaller worlds than the standard class: the stress is in the
+        // retry machinery, not the topology.
+        let topo = if rng.gen_bool(0.4) {
+            let lo = rng.gen_range(5..15u32);
+            TopoSpec::Synth {
+                transit: rng.gen_range(2..=3),
+                stubs: rng.gen_range(1..=3),
+                hosts: rng.gen_range(2..=6),
+                core_mbps: [200u32, 500][rng.gen_range(0..2usize)],
+                access_lo_mbps: lo,
+                access_hi_mbps: lo + rng.gen_range(10..=50u32),
+                topo_seed: rng.gen::<u32>() as u64,
+            }
+        } else {
+            TopoSpec::Star {
+                hosts: rng.gen_range(2..=6),
+                access_mbps: rng.gen_range(10..=50),
+            }
+        };
+        let hosts = topo.n_hosts();
+        let jitter_pct = if rng.gen_bool(0.5) {
+            0
+        } else {
+            rng.gen_range(1..=4)
+        };
+
+        // A light foreground load so the chaotic sessions contend with
+        // ordinary traffic.
+        let n_jobs = rng.gen_range(0..=2);
+        let jobs = (0..n_jobs)
+            .map(|_| JobSpec {
+                src: rng.gen_range(0..hosts),
+                dst: rng.gen_range(0..hosts),
+                via: None,
+                bytes: rng.gen_range(128 * 1024..=2 * 1024 * 1024),
+                class: rng.gen_range(0..4),
+                weight_pct: 100,
+                start_ms: rng.gen_range(0..=500),
+            })
+            .collect();
+
+        // Mid-transfer capacity faults are always on in this class: links
+        // degrade (or recover) while sessions are mid-retry.
+        let n_faults = rng.gen_range(1..=3);
+        let faults = (0..n_faults)
+            .map(|_| FaultSpec {
+                link: rng.gen::<u32>(),
+                at_ms: rng.gen_range(100..=5000),
+                factor_pct: rng.gen_range(10..=150),
+            })
+            .collect();
+
+        let n_chaos = rng.gen_range(1..=3);
+        let chaos = (0..n_chaos)
+            .map(|_| {
+                // Three storm flavors: throttle-heavy, transient-heavy,
+                // and a moderate mix.
+                let (throttle_pct, transient_pct) = match rng.gen_range(0..3u32) {
+                    0 => (rng.gen_range(60..=100), 0),
+                    1 => (0, rng.gen_range(60..=100)),
+                    _ => (rng.gen_range(10..=40), rng.gen_range(10..=40)),
+                };
+                ChaosSpec {
+                    client: rng.gen_range(0..hosts),
+                    frontend: rng.gen_range(0..hosts),
+                    bytes: rng.gen_range(256 * 1024..=12 * 1024 * 1024),
+                    throttle_pct,
+                    transient_pct,
+                    retry_after_ms: rng.gen_range(100..=3000),
+                    deadline_ms: if rng.gen_bool(0.5) {
+                        rng.gen_range(2_000..=30_000)
+                    } else {
+                        0
+                    },
+                    start_ms: rng.gen_range(0..=1000),
+                }
+            })
+            .collect();
+
+        ScenarioSpec {
+            seed: rng.gen::<u32>() as u64,
+            topo,
+            jitter_pct,
+            jobs,
+            background: vec![],
+            faults,
+            churn: vec![],
+            chaos,
         }
     }
 
@@ -348,6 +480,29 @@ impl ScenarioSpec {
                 .collect();
             fields.push(("churn".into(), Json::Arr(churn)));
         }
+        // Same convention: standard-class replay files never mention chaos.
+        if !self.chaos.is_empty() {
+            let chaos = self
+                .chaos
+                .iter()
+                .map(|c| {
+                    let mut f = vec![
+                        ("client".into(), Json::Int(c.client as u64)),
+                        ("frontend".into(), Json::Int(c.frontend as u64)),
+                        ("bytes".into(), Json::Int(c.bytes)),
+                        ("throttle_pct".into(), Json::Int(c.throttle_pct as u64)),
+                        ("transient_pct".into(), Json::Int(c.transient_pct as u64)),
+                        ("retry_after_ms".into(), Json::Int(c.retry_after_ms)),
+                    ];
+                    if c.deadline_ms > 0 {
+                        f.push(("deadline_ms".into(), Json::Int(c.deadline_ms)));
+                    }
+                    f.push(("start_ms".into(), Json::Int(c.start_ms)));
+                    Json::Obj(f)
+                })
+                .collect();
+            fields.push(("chaos".into(), Json::Arr(chaos)));
+        }
         Json::Obj(fields)
     }
 
@@ -432,9 +587,6 @@ impl ScenarioSpec {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
-        if jobs.is_empty() {
-            return Err("scenario needs at least one job".into());
-        }
         if let Some(bad) = jobs
             .iter()
             .find(|j| j.bytes == 0 || j.weight_pct == 0 || j.weight_pct > 10_000)
@@ -493,6 +645,34 @@ impl ScenarioSpec {
             return Err(format!("degenerate churn generator {bad:?}"));
         }
 
+        let chaos = v
+            .get("chaos")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|c| {
+                Ok(ChaosSpec {
+                    client: req_u32(c, "client")?,
+                    frontend: req_u32(c, "frontend")?,
+                    bytes: req_u64(c, "bytes")?,
+                    throttle_pct: req_u32(c, "throttle_pct")?,
+                    transient_pct: req_u32(c, "transient_pct")?,
+                    retry_after_ms: req_u64(c, "retry_after_ms")?,
+                    deadline_ms: c.get("deadline_ms").and_then(Json::as_u64).unwrap_or(0),
+                    start_ms: req_u64(c, "start_ms")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if let Some(bad) = chaos
+            .iter()
+            .find(|c| c.bytes == 0 || c.throttle_pct + c.transient_pct > 100)
+        {
+            return Err(format!("degenerate chaos session {bad:?}"));
+        }
+        if jobs.is_empty() && chaos.is_empty() {
+            return Err("scenario needs at least one job or chaos session".into());
+        }
+
         Ok(ScenarioSpec {
             seed: req_u64(v, "seed")?,
             topo,
@@ -501,6 +681,7 @@ impl ScenarioSpec {
             background,
             faults,
             churn,
+            chaos,
         })
     }
 }
@@ -560,6 +741,7 @@ mod tests {
             background: vec![],
             faults: vec![],
             churn: vec![],
+            chaos: vec![],
         };
         assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
         // One-host star.
@@ -594,6 +776,7 @@ mod tests {
                 bytes: 4096,
                 gap_ms: 5,
             }],
+            chaos: vec![],
         };
         let back = ScenarioSpec::from_json(&spec.to_json()).expect("parses");
         assert_eq!(back, spec);
@@ -621,6 +804,43 @@ mod tests {
             bytes: 0,
             gap_ms: 0,
         }];
+        assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
+    }
+
+    #[test]
+    fn chaos_generation_is_deterministic_and_round_trips() {
+        let a = ScenarioSpec::generate_chaos(42);
+        assert_eq!(a, ScenarioSpec::generate_chaos(42));
+        assert!(!a.chaos.is_empty(), "chaos class always has sessions");
+        for i in 0..50 {
+            let spec = ScenarioSpec::generate_chaos(case_seed(13, i));
+            assert!(spec.chaos.len() <= 3 && !spec.chaos.is_empty());
+            assert!(!spec.faults.is_empty(), "capacity faults always on");
+            for c in &spec.chaos {
+                assert!(c.throttle_pct + c.transient_pct <= 100);
+                assert!(c.throttle_pct + c.transient_pct >= 20, "storms are severe");
+            }
+            let back = ScenarioSpec::from_json(&spec.to_json()).expect("parses");
+            assert_eq!(back, spec, "round trip failed for chaos case {i}");
+        }
+    }
+
+    #[test]
+    fn chaos_rejects_degenerates_and_is_omitted_when_empty() {
+        let mut spec = ScenarioSpec::generate_chaos(7);
+        // Standard-class specs never mention chaos in their JSON.
+        let std_text = ScenarioSpec::generate(7).to_json();
+        assert!(!std_text.contains("chaos"));
+        // A chaos-only scenario (no foreground jobs) is valid.
+        spec.jobs.clear();
+        let back = ScenarioSpec::from_json(&spec.to_json()).expect("parses");
+        assert_eq!(back, spec);
+        // Over-100% combined fault probability is rejected.
+        spec.chaos[0].throttle_pct = 80;
+        spec.chaos[0].transient_pct = 30;
+        assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
+        spec.chaos[0].transient_pct = 0;
+        spec.chaos[0].bytes = 0;
         assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
     }
 

@@ -50,6 +50,10 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
             c.src = 0;
             c.dst = 1;
         }
+        for c in &mut s.chaos {
+            c.client = 0;
+            c.frontend = 1;
+        }
         out.push(s);
     }
     if !spec.background.is_empty() {
@@ -99,6 +103,31 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
         if c.flows >= 2 {
             let mut s = spec.clone();
             s.churn[i].flows /= 2;
+            out.push(s);
+        }
+    }
+
+    // Per-chaos-session reductions: drop a session (keeping the spec
+    // non-empty), halve its payload, strip its deadline, start it at zero.
+    for (i, c) in spec.chaos.iter().enumerate() {
+        if spec.chaos.len() > 1 || !spec.jobs.is_empty() {
+            let mut s = spec.clone();
+            s.chaos.remove(i);
+            out.push(s);
+        }
+        if c.bytes / 2 >= MIN_BYTES {
+            let mut s = spec.clone();
+            s.chaos[i].bytes /= 2;
+            out.push(s);
+        }
+        if c.deadline_ms != 0 {
+            let mut s = spec.clone();
+            s.chaos[i].deadline_ms = 0;
+            out.push(s);
+        }
+        if c.start_ms != 0 {
+            let mut s = spec.clone();
+            s.chaos[i].start_ms = 0;
             out.push(s);
         }
     }
@@ -214,6 +243,15 @@ mod tests {
         let spec = ScenarioSpec::generate(case_seed(4, 2));
         for c in candidates(&spec) {
             assert_ne!(c, spec);
+        }
+        // Same property over the chaos scenario class.
+        let spec = ScenarioSpec::generate_chaos(case_seed(4, 5));
+        for c in candidates(&spec) {
+            assert_ne!(c, spec);
+            assert!(
+                !c.jobs.is_empty() || !c.chaos.is_empty(),
+                "shrinking must never empty the scenario"
+            );
         }
     }
 

@@ -8,7 +8,7 @@
 //! detour tiv        --client ubc --provider gdrive
 //! detour trace      --client ubc --provider gdrive --size 100 [--route ualberta] [--seed 1]
 //!                   [--format tree|jsonl|chrome|metrics] [--out FILE]
-//! detour check      [--cases 64] [--seed 7] [--replay FILE] [--out FILE]
+//! detour check      [--cases 64] [--seed 7] [--class std|chaos] [--replay FILE] [--out FILE]
 //! ```
 //!
 //! Clients: `ubc`, `purdue`, `ucla`. Providers: `gdrive`, `dropbox`,
@@ -29,7 +29,7 @@ fn usage() -> ! {
          --client <c> --provider <p>\n  detour probe      --client <c>\n  detour trace      \
          --client <c> --provider <p> --size <MB> [--route <r>] [--seed N] \
          [--format <tree|jsonl|chrome|metrics>] [--out FILE]\n  detour check      \
-         [--cases N] [--seed N] [--replay FILE] [--out FILE]"
+         [--cases N] [--seed N] [--class <std|chaos>] [--replay FILE] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -137,6 +137,11 @@ fn check(args: &Args) {
         None => simcheck::run_check(simcheck::CheckConfig {
             cases: args.u64_flag("cases", 64) as u32,
             seed: args.u64_flag("seed", 7),
+            class: match args.flags.get("class").map(String::as_str) {
+                None | Some("std") => simcheck::ScenarioClass::Standard,
+                Some("chaos") => simcheck::ScenarioClass::Chaos,
+                _ => usage(),
+            },
             ..simcheck::CheckConfig::default()
         }),
     };

@@ -9,7 +9,7 @@
 
 use routing_detours::simcheck::{
     case_seed, check_case, replay, run_check, run_once, shrink, CheckConfig, RunOptions,
-    ScenarioSpec, Violation,
+    ScenarioClass, ScenarioSpec, Violation,
 };
 
 /// The CI budget: a fixed-seed batch must hold every invariant.
@@ -20,6 +20,7 @@ fn fixed_seed_budget_is_clean() {
         seed: 7,
         rate_inflation: None,
         shrink_budget: 50,
+        class: ScenarioClass::Standard,
     });
     assert!(
         report.ok(),
@@ -27,6 +28,25 @@ fn fixed_seed_budget_is_clean() {
         report.to_json()
     );
     assert_eq!(report.passed, 24);
+}
+
+/// The chaos class — upload sessions under throttle storms, fault bursts
+/// and mid-transfer capacity faults — holds its termination oracle too.
+#[test]
+fn fixed_seed_chaos_budget_is_clean() {
+    let report = run_check(CheckConfig {
+        cases: 12,
+        seed: 11,
+        rate_inflation: None,
+        shrink_budget: 50,
+        class: ScenarioClass::Chaos,
+    });
+    assert!(
+        report.ok(),
+        "invariant violations in chaos budget: {}",
+        report.to_json()
+    );
+    assert_eq!(report.passed, 12);
 }
 
 /// Same seed, same scenario => bit-identical execution fingerprints.

@@ -94,6 +94,15 @@ fn detour_upload_adds_relay_spans() {
 fn exports_are_byte_identical_for_a_fixed_seed() {
     let a = ubc_gdrive_recording(&Route::Direct, 42);
     let b = ubc_gdrive_recording(&Route::Direct, 42);
+    // Span balance: a completed traced run leaves no job-tree span open.
+    // (Ambient background flows are parentless and perpetual; they may
+    // legitimately still be in flight at capture.)
+    for s in &a.spans {
+        if s.name == "flow" && !s.parent.is_some() {
+            continue;
+        }
+        assert!(s.end_ns.is_some(), "span {} never ended", s.name);
+    }
     assert_eq!(
         obs::jsonl_log(&a),
         obs::jsonl_log(&b),
@@ -136,6 +145,55 @@ fn chrome_trace_is_valid_json_with_nested_span_args() {
         p.value();
         p.skip_ws();
         assert_eq!(p.i, p.s.len(), "invalid JSONL line: {line}");
+    }
+}
+
+#[test]
+fn aborted_session_exports_balanced_spans() {
+    // A hopeless provider (every part fails transiently) aborts the upload
+    // mid-transfer. The session must close its own span *and* every chunk
+    // span still open at the abort, or exporters emit unbalanced traces.
+    use routing_detours::cloudstore::FaultPlan;
+    let world = NorthAmerica::new();
+    let client = world.client(Client::Ubc);
+    let mut faults = FaultPlan::flaky();
+    faults.transient_prob = 1.0;
+    faults.throttle_prob = 0.0;
+    let provider = world.provider(ProviderKind::Dropbox).with_faults(faults);
+    let mut sim = world.build_sim(5);
+    sim.enable_telemetry();
+    let err = run_job(
+        &mut sim,
+        client.node,
+        client.class,
+        &provider,
+        20 * MB,
+        &Route::Direct,
+        UploadOptions::warm(client.class),
+    )
+    .expect_err("hopeless provider must abort");
+    // 20 MB is 5 Dropbox parts; the shared retry budget (20) runs out
+    // before any single part reaches its per-part retry cap.
+    assert!(matches!(
+        err,
+        routing_detours::netsim::error::NetError::RetryBudgetExhausted { .. }
+    ));
+    let rec = sim.take_telemetry().expect("telemetry enabled");
+    assert!(
+        rec.events.iter().any(|e| e.name == "session.error"),
+        "abort must be recorded"
+    );
+    for s in &rec.spans {
+        // Ambient background flows (parentless) outlive the job; every
+        // span in the aborted job's tree must still be closed.
+        if s.name == "flow" && !s.parent.is_some() {
+            continue;
+        }
+        assert!(
+            s.end_ns.is_some(),
+            "span {} leaked open across the abort",
+            s.name
+        );
     }
 }
 

@@ -115,18 +115,22 @@ fn main() {
     }
 
     if let Some(dir) = csv_dir {
-        std::fs::create_dir_all(&dir).expect("create csv dir");
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| io_fail(&dir, "create the CSV directory", &e));
         for (name, table) in &csv_tables {
             let path = format!("{dir}/{name}.csv");
-            let mut f = std::fs::File::create(&path).expect("create csv");
-            f.write_all(table.to_csv().as_bytes()).expect("write csv");
+            let mut f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| io_fail(&path, "create the CSV file", &e));
+            f.write_all(table.to_csv().as_bytes())
+                .unwrap_or_else(|e| io_fail(&path, "write the CSV file", &e));
             eprintln!("wrote {path}");
         }
     }
 
     if trace_dir.is_some() || metrics {
         if let Some(dir) = &trace_dir {
-            std::fs::create_dir_all(dir).expect("create trace dir");
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| io_fail(dir, "create the trace directory", &e));
         }
         for &(name, client, provider) in CAMPAIGN_FIGS {
             if wants(name) {
@@ -134,6 +138,17 @@ fn main() {
             }
         }
     }
+}
+
+/// Exit with an actionable message for an artifact I/O failure instead of
+/// a panic backtrace: the path, what was being done, the OS error, and how
+/// to fix it.
+fn io_fail(path: &str, what: &str, e: &std::io::Error) -> ! {
+    eprintln!(
+        "{path}: cannot {what} ({e})\n  hint: check that the parent directory exists and is \
+         writable, or pass a different --trace/--csv directory"
+    );
+    std::process::exit(1);
 }
 
 /// Replay one representative run of a figure's campaign (largest size,
@@ -166,10 +181,12 @@ fn capture_trace(
     );
     if let Some(dir) = trace_dir {
         let chrome = format!("{dir}/{name}.trace.json");
-        std::fs::write(&chrome, obs::chrome_trace_json(&rec)).expect("write chrome trace");
+        std::fs::write(&chrome, obs::chrome_trace_json(&rec))
+            .unwrap_or_else(|e| io_fail(&chrome, "write the Chrome trace", &e));
         eprintln!("wrote {chrome}");
         let jsonl = format!("{dir}/{name}.jsonl");
-        std::fs::write(&jsonl, obs::jsonl_log(&rec)).expect("write jsonl log");
+        std::fs::write(&jsonl, obs::jsonl_log(&rec))
+            .unwrap_or_else(|e| io_fail(&jsonl, "write the JSONL log", &e));
         eprintln!("wrote {jsonl}");
     }
     if metrics {

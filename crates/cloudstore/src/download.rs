@@ -103,8 +103,8 @@ impl DownloadSession {
 
     fn finish_exhausted(&mut self, ctx: &mut Ctx<'_>, e: NetError) {
         let counter = match e {
-            NetError::DeadlineExceeded { .. } => "cloudstore.deadline_exceeded",
-            _ => "cloudstore.budget_exhausted",
+            NetError::DeadlineExceeded { .. } => "cloudstore.retry.deadline_exceeded",
+            _ => "cloudstore.retry.budget_exhausted",
         };
         ctx.telemetry().counter_add(counter, 1);
         ctx.finish(Value::Error(e));

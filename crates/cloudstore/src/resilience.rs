@@ -163,6 +163,19 @@ impl RetryState {
     }
 }
 
+/// What a success/failure record did to a breaker's state — returned so
+/// instrumentation can emit trip/close events exactly at the transition
+/// (the health plane's breaker timeline is built from these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// State unchanged.
+    None,
+    /// The breaker just opened (closed/half-open → open).
+    Tripped,
+    /// The breaker just closed (open/half-open → closed).
+    Closed,
+}
+
 /// Circuit-breaker states: the classic three-state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BreakerState {
@@ -212,23 +225,37 @@ impl CircuitBreaker {
 
     /// Record a successful exchange: the breaker closes and the failure
     /// streak resets (a half-open probe that succeeds heals the endpoint).
-    pub fn record_success(&mut self) {
+    /// Returns [`BreakerTransition::Closed`] when this actually closed an
+    /// open or half-open breaker.
+    pub fn record_success(&mut self) -> BreakerTransition {
         self.consecutive_failures = 0;
+        let was_closed = matches!(self.state, BreakerState::Closed);
         self.state = BreakerState::Closed;
+        if was_closed {
+            BreakerTransition::None
+        } else {
+            BreakerTransition::Closed
+        }
     }
 
     /// Record a failed exchange at `now`: a half-open probe failure re-opens
     /// immediately; a closed breaker opens once the streak hits the
-    /// threshold.
-    pub fn record_failure(&mut self, now: SimTime) {
+    /// threshold. Returns [`BreakerTransition::Tripped`] when this call
+    /// transitioned the breaker from admitting requests to open.
+    pub fn record_failure(&mut self, now: SimTime) -> BreakerTransition {
         self.consecutive_failures += 1;
         let trip = matches!(self.state, BreakerState::HalfOpen)
             || self.consecutive_failures >= self.threshold;
         if trip {
+            let was_admitting = !matches!(self.state, BreakerState::Open { .. });
             self.state = BreakerState::Open {
                 until: now.saturating_add(self.cooldown),
             };
+            if was_admitting {
+                return BreakerTransition::Tripped;
+            }
         }
+        BreakerTransition::None
     }
 
     /// Is the breaker currently rejecting requests (open, cooldown not
@@ -285,20 +312,23 @@ impl BreakerRegistry {
             .allow(now)
     }
 
-    /// Record a successful exchange with `node`.
-    pub fn record_success(&self, node: NodeId) {
-        if let Some(b) = self.inner.borrow_mut().get_mut(&node) {
-            b.record_success();
+    /// Record a successful exchange with `node`, reporting any state
+    /// transition it caused.
+    pub fn record_success(&self, node: NodeId) -> BreakerTransition {
+        match self.inner.borrow_mut().get_mut(&node) {
+            Some(b) => b.record_success(),
+            None => BreakerTransition::None,
         }
     }
 
-    /// Record a failed exchange with `node` at `now`.
-    pub fn record_failure(&self, node: NodeId, now: SimTime) {
+    /// Record a failed exchange with `node` at `now`, reporting any state
+    /// transition it caused.
+    pub fn record_failure(&self, node: NodeId, now: SimTime) -> BreakerTransition {
         self.inner
             .borrow_mut()
             .entry(node)
             .or_insert_with(|| CircuitBreaker::new(self.threshold, self.cooldown))
-            .record_failure(now);
+            .record_failure(now)
     }
 
     /// Is `node`'s breaker open at `now`? Nodes never seen are closed.
@@ -434,6 +464,35 @@ mod tests {
         b.record_failure(t);
         b.record_failure(t);
         assert!(b.allow(t), "streak was reset; breaker must stay closed");
+    }
+
+    #[test]
+    fn breaker_transitions_fire_exactly_at_state_changes() {
+        let mut b = CircuitBreaker::new(2, SimTime::from_secs(10));
+        let t = SimTime::from_secs(1);
+        assert_eq!(b.record_success(), BreakerTransition::None);
+        assert_eq!(b.record_failure(t), BreakerTransition::None);
+        assert_eq!(b.record_failure(t), BreakerTransition::Tripped);
+        // Already open: further failures are not new trips.
+        assert_eq!(b.record_failure(t), BreakerTransition::None);
+        assert_eq!(b.record_success(), BreakerTransition::Closed);
+        assert_eq!(b.record_success(), BreakerTransition::None);
+        // Half-open probe failure is a (re-)trip; its success is a close.
+        b.record_failure(t);
+        b.record_failure(t);
+        assert!(b.allow(SimTime::from_secs(20)));
+        assert_eq!(
+            b.record_failure(SimTime::from_secs(20)),
+            BreakerTransition::Tripped
+        );
+        assert!(b.allow(SimTime::from_secs(40)));
+        assert_eq!(b.record_success(), BreakerTransition::Closed);
+
+        let reg = BreakerRegistry::new(1, SimTime::from_secs(5));
+        let n = NodeId(3);
+        assert_eq!(reg.record_success(n), BreakerTransition::None);
+        assert_eq!(reg.record_failure(n, t), BreakerTransition::Tripped);
+        assert_eq!(reg.record_success(n), BreakerTransition::Closed);
     }
 
     #[test]

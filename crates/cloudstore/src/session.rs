@@ -375,8 +375,10 @@ impl UploadSession {
         };
         let provider = self.provider.kind.display_name();
         let bytes = self.bytes;
-        ctx.telemetry()
-            .counter_add_dyn(|| format!("cloudstore.bytes.{provider}"), bytes);
+        ctx.telemetry().counter_add_dyn(
+            || format!("cloudstore.bytes.{}", obs::metric_segment(provider)),
+            bytes,
+        );
         let (t, span) = (ctx.now().as_nanos(), self.span);
         ctx.telemetry().span_end(t, span);
         ctx.finish(stats.to_value());
@@ -404,8 +406,8 @@ impl UploadSession {
     /// Abort because the retry budget or deadline ran out.
     fn finish_exhausted(&mut self, ctx: &mut Ctx<'_>, e: NetError) {
         let counter = match e {
-            NetError::DeadlineExceeded { .. } => "cloudstore.deadline_exceeded",
-            _ => "cloudstore.budget_exhausted",
+            NetError::DeadlineExceeded { .. } => "cloudstore.retry.deadline_exceeded",
+            _ => "cloudstore.retry.budget_exhausted",
         };
         ctx.telemetry().counter_add(counter, 1);
         self.finish_err(ctx, e);
@@ -495,6 +497,7 @@ impl Process for UploadSession {
                     self.parts.len(),
                     self.opts.parallelism,
                 );
+                let vantage = ctx.topology().node(self.client).name.clone();
                 self.span = ctx.telemetry().span_begin_with(
                     t,
                     Category::Session,
@@ -504,7 +507,8 @@ impl Process for UploadSession {
                         a.set("provider", provider)
                             .set("bytes", bytes)
                             .set("parts", parts)
-                            .set("parallelism", parallelism);
+                            .set("parallelism", parallelism)
+                            .set("vantage", vantage);
                     },
                 );
                 if self.parts.is_empty() {

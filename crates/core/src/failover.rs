@@ -7,11 +7,62 @@
 
 use crate::job::{run_job, JobReport};
 use crate::route::Route;
-use cloudstore::{BreakerRegistry, Provider, UploadOptions};
+use cloudstore::{BreakerRegistry, BreakerTransition, Provider, UploadOptions};
 use netsim::engine::Sim;
 use netsim::error::NetError;
 use netsim::flow::FlowClass;
 use netsim::topology::NodeId;
+
+/// Shared identity of the attempt: who is uploading what to whom. Stamped
+/// onto every root-parented failover/breaker event so the health plane can
+/// attribute them to a (vantage, provider, size-class) cell without a
+/// surrounding job span.
+#[derive(Clone)]
+struct AttemptTag {
+    vantage: String,
+    provider: &'static str,
+    bytes: u64,
+}
+
+impl AttemptTag {
+    fn new(sim: &mut Sim, client: NodeId, provider: &Provider, bytes: u64) -> Self {
+        AttemptTag {
+            vantage: sim.core().topology().node(client).name.clone(),
+            provider: provider.kind.display_name(),
+            bytes,
+        }
+    }
+
+    fn stamp(&self, a: &mut obs::Args) {
+        a.set("vantage", self.vantage.clone())
+            .set("provider", self.provider)
+            .set("bytes", self.bytes);
+    }
+}
+
+/// Emit the breaker state-change event (and counter) for a transition
+/// reported by the registry, if any.
+fn note_breaker_transition(
+    sim: &mut Sim,
+    transition: BreakerTransition,
+    key: NodeId,
+    tag: &AttemptTag,
+) {
+    let (name, counter) = match transition {
+        BreakerTransition::None => return,
+        BreakerTransition::Tripped => ("breaker.trip", "core.breaker.trips"),
+        BreakerTransition::Closed => ("breaker.close", "core.breaker.closes"),
+    };
+    let t = sim.now_ns();
+    let target = key.to_string();
+    let tag = tag.clone();
+    sim.telemetry()
+        .event(t, obs::Category::Control, name, obs::SpanId::NONE, |a| {
+            a.set("target", target);
+            tag.stamp(a);
+        });
+    sim.telemetry().counter_add(counter, 1);
+}
 
 /// Outcome of a fallback upload.
 #[derive(Debug, Clone)]
@@ -39,6 +90,7 @@ pub fn upload_with_fallback(
     opts: UploadOptions,
 ) -> Result<FallbackReport, NetError> {
     assert!(!routes.is_empty(), "no candidate routes");
+    let tag = AttemptTag::new(sim, client, provider, bytes);
     let mut failures = Vec::new();
     for (idx, route) in routes.iter().enumerate() {
         match run_job(sim, client, client_class, provider, bytes, route, opts) {
@@ -47,6 +99,7 @@ pub fn upload_with_fallback(
                     let t = sim.now_ns();
                     let label = route.label();
                     let attempts = failures.len();
+                    let tag = tag.clone();
                     sim.telemetry().event(
                         t,
                         obs::Category::Control,
@@ -54,9 +107,10 @@ pub fn upload_with_fallback(
                         obs::SpanId::NONE,
                         |a| {
                             a.set("route", label).set("failed_attempts", attempts);
+                            tag.stamp(a);
                         },
                     );
-                    sim.telemetry().counter_add("core.failovers", 1);
+                    sim.telemetry().counter_add("core.failover.switches", 1);
                 }
                 return Ok(FallbackReport {
                     report,
@@ -68,6 +122,7 @@ pub fn upload_with_fallback(
                 let t = sim.now_ns();
                 let label = route.label();
                 let msg = e.to_string();
+                let tag = tag.clone();
                 sim.telemetry().event(
                     t,
                     obs::Category::Control,
@@ -75,6 +130,7 @@ pub fn upload_with_fallback(
                     obs::SpanId::NONE,
                     |a| {
                         a.set("route", label).set("error", msg);
+                        tag.stamp(a);
                     },
                 );
                 failures.push(e)
@@ -117,12 +173,14 @@ pub fn upload_with_fallback_breakers(
     breakers: &BreakerRegistry,
 ) -> Result<FallbackReport, NetError> {
     assert!(!routes.is_empty(), "no candidate routes");
+    let tag = AttemptTag::new(sim, client, provider, bytes);
     let mut failures = Vec::new();
     for (idx, route) in routes.iter().enumerate() {
         let key = breaker_key(route, sim, client, provider);
         if !breakers.allow(key, sim.now()) {
             let t = sim.now_ns();
             let label = route.label();
+            let tag_ev = tag.clone();
             sim.telemetry().event(
                 t,
                 obs::Category::Control,
@@ -130,9 +188,11 @@ pub fn upload_with_fallback_breakers(
                 obs::SpanId::NONE,
                 |a| {
                     a.set("route", label).set("target", key.to_string());
+                    tag_ev.stamp(a);
                 },
             );
-            sim.telemetry().counter_add("core.breaker_skips", 1);
+            sim.telemetry()
+                .counter_add("core.failover.breaker_skips", 1);
             failures.push(NetError::Blocked {
                 at: key,
                 reason: "circuit breaker open",
@@ -141,11 +201,13 @@ pub fn upload_with_fallback_breakers(
         }
         match run_job(sim, client, client_class, provider, bytes, route, opts) {
             Ok(report) => {
-                breakers.record_success(key);
+                let transition = breakers.record_success(key);
+                note_breaker_transition(sim, transition, key, &tag);
                 if !failures.is_empty() {
                     let t = sim.now_ns();
                     let label = route.label();
                     let attempts = failures.len();
+                    let tag_ev = tag.clone();
                     sim.telemetry().event(
                         t,
                         obs::Category::Control,
@@ -153,9 +215,10 @@ pub fn upload_with_fallback_breakers(
                         obs::SpanId::NONE,
                         |a| {
                             a.set("route", label).set("failed_attempts", attempts);
+                            tag_ev.stamp(a);
                         },
                     );
-                    sim.telemetry().counter_add("core.failovers", 1);
+                    sim.telemetry().counter_add("core.failover.switches", 1);
                 }
                 return Ok(FallbackReport {
                     report,
@@ -164,10 +227,12 @@ pub fn upload_with_fallback_breakers(
                 });
             }
             Err(e) => {
-                breakers.record_failure(key, sim.now());
+                let transition = breakers.record_failure(key, sim.now());
+                note_breaker_transition(sim, transition, key, &tag);
                 let t = sim.now_ns();
                 let label = route.label();
                 let msg = e.to_string();
+                let tag_ev = tag.clone();
                 sim.telemetry().event(
                     t,
                     obs::Category::Control,
@@ -175,6 +240,7 @@ pub fn upload_with_fallback_breakers(
                     obs::SpanId::NONE,
                     |a| {
                         a.set("route", label).set("error", msg);
+                        tag_ev.stamp(a);
                     },
                 );
                 failures.push(e)

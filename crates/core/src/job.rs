@@ -54,9 +54,14 @@ pub fn run_job(
     let t = sim.now_ns();
     let span = if sim.telemetry().is_enabled() {
         let label = route.label();
+        let vantage = sim.core().topology().node(client).name.clone();
+        let provider_name = provider.kind.display_name();
         sim.telemetry()
             .span_begin_with(t, obs::Category::Control, "job", obs::SpanId::NONE, |a| {
-                a.set("route", label).set("bytes", bytes);
+                a.set("route", label)
+                    .set("bytes", bytes)
+                    .set("vantage", vantage)
+                    .set("provider", provider_name);
             })
     } else {
         obs::SpanId::NONE
@@ -98,8 +103,10 @@ pub fn run_job(
         match &result {
             Ok(_) => {
                 let label = route.label();
-                sim.telemetry()
-                    .counter_add_dyn(|| format!("core.bytes.route.{label}"), bytes);
+                sim.telemetry().counter_add_dyn(
+                    || format!("core.bytes.route.{}", obs::metric_segment(&label)),
+                    bytes,
+                );
             }
             Err(e) => {
                 let msg = e.to_string();

@@ -10,7 +10,7 @@
 //! shows the monitor switching routes as bottlenecks move — the behaviour a
 //! deployed detour service would need.
 
-use cloudstore::BreakerRegistry;
+use cloudstore::{BreakerRegistry, BreakerTransition};
 use netsim::engine::{Ctx, Event, Process, Value};
 use netsim::flow::{FlowClass, FlowSpec};
 use netsim::time::SimTime;
@@ -136,16 +136,52 @@ impl RouteMonitor {
             self.probe_current_leg(ctx);
             return;
         }
-        // Route finished: feed the outcome into the breaker (skips don't
-        // count — an open breaker must not extend its own cooldown).
-        if let Some((reg, targets)) = &self.breakers {
+        // Route finished: publish the observation so the health plane sees
+        // probing activity even when no transfer is in flight.
+        if !self.skipped_by_breaker {
+            let t = ctx.now().as_nanos();
+            let route = self.route_idx;
+            let predicted = self.epoch_pred;
+            ctx.telemetry().event(
+                t,
+                obs::Category::Control,
+                "monitor.probe",
+                obs::SpanId::NONE,
+                |a| {
+                    a.set("route", route).set("predicted_secs", predicted);
+                },
+            );
+            ctx.telemetry().counter_add("core.monitor.probes", 1);
+        }
+        // Feed the outcome into the breaker (skips don't count — an open
+        // breaker must not extend its own cooldown) and surface any state
+        // change as a breaker.trip/close event.
+        if let Some((reg, targets)) = self.breakers.clone() {
             let target = targets[self.route_idx];
-            if self.skipped_by_breaker {
-                // No observation made.
-            } else if self.epoch_pred.is_finite() {
-                reg.record_success(target);
-            } else {
-                reg.record_failure(target, ctx.now());
+            if !self.skipped_by_breaker {
+                let transition = if self.epoch_pred.is_finite() {
+                    reg.record_success(target)
+                } else {
+                    reg.record_failure(target, ctx.now())
+                };
+                let named = match transition {
+                    BreakerTransition::None => None,
+                    BreakerTransition::Tripped => Some(("breaker.trip", "core.breaker.trips")),
+                    BreakerTransition::Closed => Some(("breaker.close", "core.breaker.closes")),
+                };
+                if let Some((event, counter)) = named {
+                    let t = ctx.now().as_nanos();
+                    ctx.telemetry().event(
+                        t,
+                        obs::Category::Control,
+                        event,
+                        obs::SpanId::NONE,
+                        |a| {
+                            a.set("target", target.to_string());
+                        },
+                    );
+                    ctx.telemetry().counter_add(counter, 1);
+                }
             }
         }
         self.skipped_by_breaker = false;

@@ -810,6 +810,10 @@ impl Core {
             self.eager_sweep(t);
         }
         self.now = t;
+        // The engine clock is the watermark of the streaming-aggregation
+        // plane: windowed series whose tumbling window now lies entirely
+        // in the past flush here, even if the series has gone idle.
+        self.tele.advance_watermark(t.as_nanos());
     }
 
     /// The legacy per-event progress sweep ([`ProgressMode::Eager`]): step
@@ -1743,6 +1747,17 @@ impl Sim {
                     self.core
                         .tele
                         .counter_add("netsim.bytes_delivered", f.total_bytes);
+                    // Feed the streaming-aggregation plane: per-window
+                    // flow-duration sketches and delivered-byte counts.
+                    let dur_ns = self.core.now.saturating_sub(f.started_at).as_nanos();
+                    self.core
+                        .tele
+                        .window_record(now_ns, "netsim.flow.duration_ns", dur_ns);
+                    self.core.tele.window_count(
+                        now_ns,
+                        "netsim.flow.delivered_bytes",
+                        f.total_bytes,
+                    );
                     if let Some(owner) = f.owner {
                         let ev = Event::FlowCompleted {
                             flow: FlowId(flow),

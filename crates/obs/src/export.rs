@@ -9,7 +9,7 @@
 use crate::telemetry::{ArgValue, Recording, SpanId};
 use std::fmt::Write as _;
 
-fn json_escape(s: &str, out: &mut String) {
+pub(crate) fn json_escape(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -27,7 +27,7 @@ fn json_escape(s: &str, out: &mut String) {
     out.push('"');
 }
 
-fn json_value(v: &ArgValue, out: &mut String) {
+pub(crate) fn json_value(v: &ArgValue, out: &mut String) {
     match v {
         ArgValue::U64(n) => {
             let _ = write!(out, "{n}");

@@ -16,16 +16,38 @@
 //!   deterministic JSONL event log, a Chrome trace-event JSON file
 //!   loadable in Perfetto (spans nested session → chunk → RPC → flow),
 //!   and text/CSV metrics snapshots.
+//! * **Streaming aggregation** ([`sketch`], [`window`]) provides
+//!   mergeable log-linear quantile sketches (merge-order-independent,
+//!   bit-identical reduction for sharded workers) and sim-time tumbling
+//!   windows with watermark-driven flush.
+//! * **The health plane** ([`trace`], [`health`], [`analyze`]) parses
+//!   recorded JSONL traces back (with typed, actionable errors), folds
+//!   them into a per-(vantage, provider, size-class) route-health
+//!   scoreboard with multi-window SLO burn rates, and extracts critical
+//!   paths / retry waterfalls / breaker timelines (`detour health`,
+//!   `detour analyze`).
 //!
 //! The crate is dependency-free and knows nothing about the simulator; the
 //! simulator passes plain nanosecond timestamps.
 
+pub mod analyze;
 pub mod export;
+pub mod health;
 pub mod metrics;
+pub mod sketch;
 pub mod telemetry;
+pub mod trace;
+pub mod window;
 
+pub use analyze::{analyze, AnalyzeReport};
 pub use export::{chrome_trace_json, jsonl_log, span_tree_text};
-pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use health::{size_class, HealthBoard, HealthReport, SloPolicy, Verdict};
+pub use metrics::{
+    is_valid_metric_name, metric_segment, Histogram, MetricsRegistry, MetricsSnapshot,
+};
+pub use sketch::QuantileSketch;
 pub use telemetry::{
     ArgValue, Args, Category, EventRecord, Recording, SpanId, SpanRecord, Telemetry,
 };
+pub use trace::{load_trace, parse_jsonl, Trace, TraceError, TraceErrorKind};
+pub use window::{WindowFlush, WindowSet, WindowValue, DEFAULT_WINDOW_NS};

@@ -115,6 +115,51 @@ impl Histogram {
     }
 }
 
+/// Is `name` a conforming metric name? The scheme is dotted lowercase:
+/// at least two non-empty `.`-separated segments, each built only from
+/// ASCII lowercase letters, digits, and underscores (e.g.
+/// `cloudstore.throttles`, `core.breaker.trips`). Dynamic parts must be
+/// sanitized through [`metric_segment`] first.
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut segments = 0usize;
+    for seg in name.split('.') {
+        if seg.is_empty()
+            || !seg
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
+}
+
+/// Sanitize a dynamic string (route label, provider display name, node
+/// name, ...) into one conforming metric-name segment: lowercase, with
+/// every run of non-alphanumeric characters collapsed to a single `_`,
+/// trimmed at both ends. Empty input becomes `"unknown"`.
+pub fn metric_segment(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut pending_sep = false;
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            if pending_sep && !out.is_empty() {
+                out.push('_');
+            }
+            pending_sep = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            pending_sep = true;
+        }
+    }
+    if out.is_empty() {
+        "unknown".to_string()
+    } else {
+        out
+    }
+}
+
 /// A last-value gauge that also remembers its range and sample count.
 #[derive(Debug, Clone, Copy)]
 pub struct Gauge {
@@ -139,6 +184,7 @@ pub struct MetricsRegistry {
 impl MetricsRegistry {
     /// Add to a counter.
     pub fn counter_add(&mut self, name: &str, delta: u64) {
+        debug_assert!(is_valid_metric_name(name), "bad metric name: {name:?}");
         if let Some(c) = self.counters.get_mut(name) {
             *c += delta;
         } else {
@@ -146,13 +192,16 @@ impl MetricsRegistry {
         }
     }
 
-    /// Add to a counter, taking ownership of a prebuilt name.
+    /// Add to a counter, taking ownership of a prebuilt name. Dynamic
+    /// name parts must go through [`metric_segment`].
     pub fn counter_add_owned(&mut self, name: String, delta: u64) {
+        debug_assert!(is_valid_metric_name(&name), "bad metric name: {name:?}");
         *self.counters.entry(name).or_insert(0) += delta;
     }
 
     /// Set a gauge.
     pub fn gauge_set(&mut self, name: &str, value: f64) {
+        debug_assert!(is_valid_metric_name(name), "bad metric name: {name:?}");
         if let Some(g) = self.gauges.get_mut(name) {
             g.last = value;
             g.min = g.min.min(value);
@@ -173,6 +222,7 @@ impl MetricsRegistry {
 
     /// Record a histogram sample.
     pub fn hist_record(&mut self, name: &str, value: u64) {
+        debug_assert!(is_valid_metric_name(name), "bad metric name: {name:?}");
         if let Some(h) = self.hists.get_mut(name) {
             h.record(value);
         } else {
@@ -446,7 +496,10 @@ mod tests {
         let mut m = MetricsRegistry::default();
         m.counter_add("z.total", 2);
         m.counter_add("z.total", 3);
-        m.counter_add_owned("bytes.provider.GoogleDrive".into(), 100);
+        m.counter_add_owned(
+            format!("bytes.provider.{}", metric_segment("Google Drive")),
+            100,
+        );
         m.gauge_set("a.occupancy", 5.0);
         m.gauge_set("a.occupancy", 2.0);
         m.hist_record("m.latency", 10);
@@ -464,5 +517,44 @@ mod tests {
         assert!(csv.starts_with("name,kind,"));
         assert!(csv.contains("m.latency,histogram"));
         assert!(snap.to_text().contains("a.occupancy"));
+        assert!(csv.contains("bytes.provider.google_drive"));
+    }
+
+    #[test]
+    fn metric_name_scheme_is_enforced() {
+        for good in [
+            "cloudstore.throttles",
+            "core.breaker.trips",
+            "netsim.flow.delivered_bytes",
+            "a.b_c.d9",
+        ] {
+            assert!(is_valid_metric_name(good), "{good} should be valid");
+        }
+        for bad in [
+            "single",
+            "",
+            "a..b",
+            ".a.b",
+            "a.b.",
+            "bytes.provider.GoogleDrive",
+            "core.via UAlberta",
+            "core.bytes-route",
+        ] {
+            assert!(!is_valid_metric_name(bad), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn metric_segment_sanitizes_display_names() {
+        assert_eq!(metric_segment("Google Drive"), "google_drive");
+        assert_eq!(metric_segment("via UAlberta"), "via_ualberta");
+        assert_eq!(metric_segment("via UAlberta+UMich"), "via_ualberta_umich");
+        assert_eq!(metric_segment("Direct"), "direct");
+        assert_eq!(metric_segment("  --  "), "unknown");
+        assert_eq!(metric_segment(""), "unknown");
+        assert!(is_valid_metric_name(&format!(
+            "core.bytes.route.{}",
+            metric_segment("via UAlberta")
+        )));
     }
 }

@@ -12,6 +12,7 @@
 //! exports for byte-identical runs.
 
 use crate::metrics::MetricsRegistry;
+use crate::window::{WindowFlush, WindowSet};
 
 /// Identifies a live or finished span. `SpanId::NONE` (0) means "no span":
 /// it is what the disabled sink returns and the root parent marker.
@@ -187,6 +188,9 @@ pub struct Recording {
     pub events: Vec<EventRecord>,
     /// Metrics accumulated during the run.
     pub metrics: MetricsRegistry,
+    /// Closed sim-time windows, in flush order (watermark-driven; the
+    /// final open windows are flushed by [`Telemetry::take`]).
+    pub window_flushes: Vec<WindowFlush>,
 }
 
 impl Recording {
@@ -216,6 +220,7 @@ impl Recording {
 struct Recorder {
     recording: Recording,
     seq: u64,
+    windows: WindowSet,
 }
 
 /// The instrumentation handle. Cheap to embed (one pointer); disabled by
@@ -366,10 +371,48 @@ impl Telemetry {
         }
     }
 
+    /// Add `delta` to the windowed counter series `name` at sim time `t_ns`.
+    /// Windows are tumbling sim-time buckets; see [`crate::window`].
+    #[inline]
+    pub fn window_count(&mut self, t_ns: u64, name: &'static str, delta: u64) {
+        if let Some(rec) = self.inner.as_deref_mut() {
+            rec.windows.count(t_ns, name, delta);
+        }
+    }
+
+    /// Record a sample into the windowed sketch series `name` at `t_ns`.
+    #[inline]
+    pub fn window_record(&mut self, t_ns: u64, name: &'static str, value: u64) {
+        if let Some(rec) = self.inner.as_deref_mut() {
+            rec.windows.record(t_ns, name, value);
+        }
+    }
+
+    /// Advance the window watermark to sim time `t_ns`, flushing idle
+    /// series whose open windows now lie entirely in the past. The engine
+    /// calls this from its clock advance.
+    #[inline]
+    pub fn advance_watermark(&mut self, t_ns: u64) {
+        if let Some(rec) = self.inner.as_deref_mut() {
+            rec.windows.advance_watermark(t_ns);
+        }
+    }
+
+    /// Change the tumbling-window width (flushes all open windows first).
+    pub fn set_window_width(&mut self, width_ns: u64) {
+        if let Some(rec) = self.inner.as_deref_mut() {
+            rec.windows.set_width_ns(width_ns);
+        }
+    }
+
     /// Take the recording out, leaving the handle disabled.
     /// Returns `None` when telemetry was never enabled.
     pub fn take(&mut self) -> Option<Recording> {
-        self.inner.take().map(|r| r.recording)
+        self.inner.take().map(|mut r| {
+            r.windows.flush_all();
+            r.recording.window_flushes = r.windows.take_flushes();
+            r.recording
+        })
     }
 
     /// Read-only view of the recording while the run is still in progress.
@@ -419,6 +462,32 @@ mod tests {
         assert_eq!(rec.ancestors(child).len(), 1);
         assert_eq!(rec.children(root).len(), 1);
         assert_eq!(child_rec.args[0], ("index", ArgValue::U64(0)));
+    }
+
+    #[test]
+    fn take_drains_open_windows() {
+        let mut tele = Telemetry::enabled();
+        tele.set_window_width(1_000);
+        tele.window_count(10, "a.count", 2);
+        tele.window_record(20, "a.lat", 500);
+        tele.window_count(1_500, "a.count", 1); // flushes window [0,1000)
+        let rec = tele.take().unwrap();
+        // First flush from the boundary crossing, then the two open
+        // windows drained by take() in name order.
+        assert_eq!(rec.window_flushes.len(), 3);
+        assert_eq!(rec.window_flushes[0].name, "a.count");
+        assert_eq!(rec.window_flushes[0].end_ns, 1_000);
+        assert_eq!(rec.window_flushes[1].name, "a.count");
+        assert_eq!(rec.window_flushes[2].name, "a.lat");
+    }
+
+    #[test]
+    fn windows_are_inert_while_disabled() {
+        let mut tele = Telemetry::disabled();
+        tele.window_count(10, "a", 1);
+        tele.window_record(10, "b", 1);
+        tele.advance_watermark(1 << 40);
+        assert!(tele.take().is_none());
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Property tests for the aggregation plane: sketch merge is a
+//! commutative monoid bit-identical to single-stream ingestion, and
+//! window flushing is a pure function of its input sequence.
+
+use obs::window::{WindowSet, WindowValue};
+use obs::QuantileSketch;
+use proptest::prelude::*;
+
+fn ingest(values: &[u64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any partitioning of a stream into shards, merged in any rotation,
+    /// equals ingesting the whole stream into one sketch — including
+    /// every bucket count, min/max, and exact sum (full `Eq`).
+    #[test]
+    fn merge_equals_single_stream_for_any_partition(
+        values in prop::collection::vec(0u64..u64::MAX, 0..400),
+        chunk in 1usize..97,
+        rotate in 0usize..8,
+    ) {
+        let single = ingest(&values);
+        let shards: Vec<QuantileSketch> =
+            values.chunks(chunk).map(ingest).collect();
+        let mut merged = QuantileSketch::new();
+        let n = shards.len().max(1);
+        for i in 0..shards.len() {
+            merged.merge(&shards[(i + rotate) % n]);
+        }
+        prop_assert_eq!(&merged, &single);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+    }
+
+    /// Merge is associative and commutative under full structural
+    /// equality: (a ∪ b) ∪ c == a ∪ (b ∪ c) and a ∪ b == b ∪ a.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(0u64..1 << 48, 0..120),
+        b in prop::collection::vec(0u64..1 << 48, 0..120),
+        c in prop::collection::vec(0u64..1 << 48, 0..120),
+    ) {
+        let (sa, sb, sc) = (ingest(&a), ingest(&b), ingest(&c));
+
+        let mut ab_c = sa.clone();
+        ab_c.merge(&sb);
+        ab_c.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+    }
+
+    /// Quantile estimates stay within the advertised relative error
+    /// bound (1/128 above 64, exact below) against the true order
+    /// statistic of the ingested stream.
+    #[test]
+    fn quantile_error_bound_holds(
+        mut values in prop::collection::vec(1u64..1 << 40, 1..300),
+        qi in 0usize..5,
+    ) {
+        let q = [0.01, 0.25, 0.5, 0.9, 0.99][qi];
+        let s = ingest(&values);
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let est = s.quantile(q).unwrap();
+        if exact < 64 {
+            prop_assert_eq!(est, exact);
+        } else {
+            let err = (est as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(err <= 1.0 / 128.0 + 1e-12, "q={} est={} exact={}", q, est, exact);
+        }
+    }
+
+    /// The same (time, series, value, watermark) input sequence always
+    /// yields the same flush sequence, and every record lands in the
+    /// window containing its timestamp.
+    #[test]
+    fn window_flushes_are_deterministic(
+        ops in prop::collection::vec(
+            (0u64..4_000, 0usize..3, 1u64..1_000, any::<bool>()),
+            1..120,
+        ),
+        width in 100u64..1_500,
+    ) {
+        const NAMES: [&str; 3] = ["w.alpha", "w.beta", "w.gamma"];
+        let run = || {
+            let mut ws = WindowSet::new(width);
+            let mut clock = 0u64;
+            for &(dt, series, value, watermark) in &ops {
+                clock += dt; // sim time is monotone
+                if series == 0 {
+                    ws.count(clock, NAMES[0], value);
+                } else {
+                    ws.record(clock, NAMES[series], value);
+                }
+                if watermark {
+                    ws.advance_watermark(clock);
+                }
+            }
+            ws.flush_all();
+            ws.take_flushes()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(&a, &b);
+        for f in &a {
+            prop_assert_eq!(f.end_ns - f.start_ns, width);
+            prop_assert_eq!(f.start_ns % width, 0);
+            match &f.value {
+                WindowValue::Count(c) => prop_assert!(*c > 0),
+                WindowValue::Sketch(s) => prop_assert!(!s.is_empty()),
+            }
+        }
+    }
+}

@@ -201,8 +201,8 @@ impl PipelinedRelay {
 
     fn finish_exhausted(&mut self, ctx: &mut Ctx<'_>, e: NetError) {
         let counter = match e {
-            NetError::DeadlineExceeded { .. } => "relay.deadline_exceeded",
-            _ => "relay.budget_exhausted",
+            NetError::DeadlineExceeded { .. } => "relay.retry.deadline_exceeded",
+            _ => "relay.retry.budget_exhausted",
         };
         ctx.telemetry().counter_add(counter, 1);
         ctx.finish(Value::Error(e));

@@ -105,14 +105,17 @@ impl RsyncLeg {
 
     fn finish_traced(&mut self, ctx: &mut Ctx<'_>, v: Value) {
         let t = ctx.now().as_nanos();
+        let dur = ctx.now().saturating_sub(self.started).as_nanos();
+        ctx.telemetry()
+            .window_record(t, "relay.leg.duration_ns", dur);
         ctx.telemetry().span_end(t, self.span);
         ctx.finish(v);
     }
 
     fn finish_exhausted(&mut self, ctx: &mut Ctx<'_>, e: NetError) {
         let counter = match e {
-            NetError::DeadlineExceeded { .. } => "relay.deadline_exceeded",
-            _ => "relay.budget_exhausted",
+            NetError::DeadlineExceeded { .. } => "relay.retry.deadline_exceeded",
+            _ => "relay.retry.budget_exhausted",
         };
         ctx.telemetry().counter_add(counter, 1);
         self.finish_traced(ctx, Value::Error(e));

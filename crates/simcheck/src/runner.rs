@@ -41,6 +41,11 @@ pub struct RunOptions {
     /// uses this for a further differential execution; both modes must
     /// produce identical chained digests.
     pub eager_progress: bool,
+    /// Record telemetry and fold the derived health-plane state (route
+    /// scoreboard, window flushes) into the chained digest, extending the
+    /// determinism and differential oracles over the aggregation layer.
+    /// [`check_case`] forces this on for every execution.
+    pub health: bool,
 }
 
 /// What one execution of a scenario produced.
@@ -56,6 +61,9 @@ pub struct RunOutcome {
     pub jobs_completed: u64,
     /// Payload bytes the engine reported delivered (includes background).
     pub bytes_delivered: u64,
+    /// Digest of the health-plane state (scoreboard + window flushes) when
+    /// [`RunOptions::health`] was set; folded into `chain_digest`.
+    pub health_digest: Option<u64>,
 }
 
 /// Result of checking one scenario (two same-seed executions plus a
@@ -392,6 +400,9 @@ impl ChurnGen {
 pub fn run_once(spec: &ScenarioSpec, opts: RunOptions) -> RunOutcome {
     let world = build_world(&spec.topo);
     let mut sim = Sim::new(world.topo.clone(), spec.seed);
+    if opts.health {
+        sim.enable_telemetry();
+    }
     if opts.reference_allocator {
         sim.set_allocator_mode(netsim::flow::AllocMode::Reference);
     }
@@ -473,23 +484,59 @@ pub fn run_once(spec: &ScenarioSpec, opts: RunOptions) -> RunOutcome {
             0
         }
     };
-    finish_outcome(&sim, &handle, jobs_completed)
+    let health_digest = opts.health.then(|| health_plane_digest(&mut sim));
+    finish_outcome(&sim, &handle, jobs_completed, health_digest)
 }
 
-fn finish_outcome(sim: &Sim, handle: &OracleHandle, jobs_completed: u64) -> RunOutcome {
+/// Digest the run's derived health-plane state: the route scoreboard built
+/// from the recorded trace, plus every sim-time window flush (name, bounds,
+/// counter value or full sketch state). Purely sim-time-derived, so it is
+/// identical across same-seed and differential executions.
+fn health_plane_digest(sim: &mut Sim) -> u64 {
+    let rec = sim.take_telemetry().expect("telemetry was enabled");
+    let trace = obs::Trace::from_recording(&rec);
+    let mut board = obs::HealthBoard::new(obs::SloPolicy::default());
+    board.ingest(&trace);
+    let mut d = netsim::audit::Digest::new();
+    board.fold_into(&mut |v| d.write_u64(v));
+    for f in &rec.window_flushes {
+        for b in f.name.bytes() {
+            d.write_u64(b as u64);
+        }
+        d.write_u64(f.start_ns);
+        d.write_u64(f.end_ns);
+        match &f.value {
+            obs::WindowValue::Count(c) => d.write_u64(*c),
+            obs::WindowValue::Sketch(s) => s.fold_into(&mut |v| d.write_u64(v)),
+        }
+    }
+    d.finish()
+}
+
+fn finish_outcome(
+    sim: &Sim,
+    handle: &OracleHandle,
+    jobs_completed: u64,
+    health_digest: Option<u64>,
+) -> RunOutcome {
     RunOutcome {
         violations: handle.violations(),
         chain_digest: {
             // Fold the final full-engine digest (which includes process
-            // state the per-event core digest does not) into the chain.
+            // state the per-event core digest does not) into the chain,
+            // plus the health-plane digest when one was recorded.
             let mut d = netsim::audit::Digest::new();
             d.write_u64(handle.chain_digest());
             d.write_u64(sim.state_digest());
+            if let Some(h) = health_digest {
+                d.write_u64(h);
+            }
             d.finish()
         },
         events: sim.stats().events,
         jobs_completed,
         bytes_delivered: sim.stats().bytes_delivered,
+        health_digest,
     }
 }
 
@@ -499,6 +546,12 @@ fn finish_outcome(sim: &Sim, handle: &OracleHandle, jobs_completed: u64) -> RunO
 /// differential executions' chained digests must be identical to the
 /// incremental/lazy execution's (same seed ⇒ bit-identical).
 pub fn check_case(spec: &ScenarioSpec, opts: RunOptions) -> CaseResult {
+    // Health folding is forced on so every determinism and differential
+    // comparison also covers the aggregation/health plane.
+    let opts = RunOptions {
+        health: true,
+        ..opts
+    };
     let first = run_once(spec, opts);
     let second = run_once(spec, opts);
     let mut violations = first.violations.clone();
@@ -595,6 +648,25 @@ mod tests {
             assert_eq!(inc.events, refr.events, "case {i}");
             assert_eq!(inc.bytes_delivered, refr.bytes_delivered, "case {i}");
         }
+    }
+
+    #[test]
+    fn health_plane_digest_is_deterministic_and_folded() {
+        let opts = RunOptions {
+            health: true,
+            ..Default::default()
+        };
+        let spec = ScenarioSpec::generate_chaos(case_seed(23, 1));
+        let a = run_once(&spec, opts);
+        let b = run_once(&spec, opts);
+        assert!(a.health_digest.is_some());
+        assert_eq!(a.health_digest, b.health_digest);
+        assert_eq!(a.chain_digest, b.chain_digest);
+        // The health fold really changes the chained digest: a run without
+        // it must not produce the same chain.
+        let plain = run_once(&spec, RunOptions::default());
+        assert_eq!(plain.health_digest, None);
+        assert_ne!(plain.chain_digest, a.chain_digest);
     }
 
     #[test]

@@ -8,8 +8,20 @@
 //! detour tiv        --client ubc --provider gdrive
 //! detour trace      --client ubc --provider gdrive --size 100 [--route ualberta] [--seed 1]
 //!                   [--format tree|jsonl|chrome|metrics] [--out FILE]
+//! detour trace      --from FILE          # summarize a recorded JSONL trace
+//! detour health     --client ubc --provider gdrive --size 100 [--route ualberta] [--runs 3]
+//!                   [--seed 1] [--record FILE] [--slo-p99-secs N] [--format table|json] [--out FILE]
+//! detour health     --trace FILE [--slo-p99-secs N] [--format table|json] [--out FILE]
+//! detour analyze    (same inputs as health) [--top N]
 //! detour check      [--cases 64] [--seed 7] [--class std|chaos] [--replay FILE] [--out FILE]
 //! ```
+//!
+//! `health` renders the SLO scoreboard (per vantage/provider/size-class
+//! attempts, error and latency verdicts, burn rates); `analyze` renders
+//! critical paths, retry waterfalls, breaker timelines and slowest spans.
+//! Both read either a live campaign (replayed deterministically from
+//! `--seed`) or a recorded JSONL trace; `--record` saves the live campaign
+//! so the two inputs are byte-identical.
 //!
 //! Clients: `ubc`, `purdue`, `ucla`. Providers: `gdrive`, `dropbox`,
 //! `onedrive`. Routes: `direct`, `ualberta`, `umich`.
@@ -28,7 +40,11 @@ fn usage() -> ! {
          --client <c> --provider <p> --size <MB> [--rule <overlap|mean>]\n  detour traceroute \
          --client <c> --provider <p>\n  detour probe      --client <c>\n  detour trace      \
          --client <c> --provider <p> --size <MB> [--route <r>] [--seed N] \
-         [--format <tree|jsonl|chrome|metrics>] [--out FILE]\n  detour check      \
+         [--format <tree|jsonl|chrome|metrics>] [--out FILE]\n  detour trace      \
+         --from FILE\n  detour health     --client <c> --provider <p> --size <MB> [--route <r>] \
+         [--runs N] [--seed N] [--record FILE] [--slo-p99-secs N] [--format <table|json>] \
+         [--out FILE]\n  detour health     --trace FILE [--slo-p99-secs N] [--format <table|json>] \
+         [--out FILE]\n  detour analyze    (same inputs as health) [--top N]\n  detour check      \
          [--cases N] [--seed N] [--class <std|chaos>] [--replay FILE] [--out FILE]"
     );
     std::process::exit(2);
@@ -110,9 +126,113 @@ fn main() {
         "probe" => probe(&args, &world),
         "tiv" => tiv(&args, &world),
         "trace" => trace(&args, &world),
+        "health" => health(&args, &world),
+        "analyze" => analyze(&args, &world),
         "check" => check(&args),
         _ => usage(),
     }
+}
+
+/// Obtain the trace both report commands work from: a recorded JSONL file
+/// when `--trace FILE` is given (typed errors with remediation hints on
+/// missing/truncated files), otherwise a live campaign — `--runs`
+/// deterministic uploads whose telemetry segments are concatenated exactly
+/// as `--record` would write them, so live and recorded scoreboards are
+/// computed from identical bytes.
+fn report_input(args: &Args, world: &NorthAmerica) -> routing_detours::obs::Trace {
+    use routing_detours::obs;
+    if let Some(path) = args.flags.get("trace") {
+        return obs::load_trace(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+    }
+    let client = world.client(args.client());
+    let provider = world.provider(args.provider());
+    let size = args.size_bytes();
+    let runs = args.u64_flag("runs", 3) as usize;
+    let seed = args.u64_flag("seed", 1);
+    let route_name = args
+        .flags
+        .get("route")
+        .cloned()
+        .unwrap_or_else(|| "direct".into());
+    let route = route_by_name(world, &route_name);
+    let mut jsonl = String::new();
+    for r in 0..runs {
+        let mut sim = world.build_sim(seed + r as u64);
+        sim.enable_telemetry();
+        // Failures still record job.error events — exactly what the
+        // scoreboard is for — so errors are folded in, not fatal.
+        let _ = run_job(
+            &mut sim,
+            client.node,
+            client.class,
+            &provider,
+            size,
+            &route,
+            UploadOptions::warm(client.class),
+        );
+        let rec = sim.take_telemetry().expect("telemetry was enabled");
+        jsonl.push_str(&routing_detours::obs::jsonl_log(&rec));
+    }
+    if let Some(path) = args.flags.get("record") {
+        std::fs::write(path, &jsonl).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("recorded {path} ({} bytes)", jsonl.len());
+    }
+    obs::parse_jsonl(&jsonl, "<live>").expect("live recordings always parse")
+}
+
+fn write_or_print(args: &Args, rendered: &str) {
+    match args.flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, rendered).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path} ({} bytes)", rendered.len());
+        }
+        None => print!("{rendered}"),
+    }
+}
+
+/// Route-health scoreboard: per (vantage, provider, size-class) attempts,
+/// quantiles, retry/failover pressure and multi-window SLO burn rates.
+fn health(args: &Args, world: &NorthAmerica) {
+    use routing_detours::obs;
+    let trace = report_input(args, world);
+    let mut slo = obs::SloPolicy::default();
+    if let Some(secs) = args.flags.get("slo-p99-secs") {
+        let secs: u64 = secs.parse().unwrap_or_else(|_| usage());
+        slo.p99_ns = secs.saturating_mul(1_000_000_000);
+    }
+    let mut board = obs::HealthBoard::new(slo);
+    board.ingest(&trace);
+    let report = board.report();
+    let rendered = match args.flags.get("format").map(String::as_str) {
+        None | Some("table") => report.to_text(),
+        Some("json") => report.to_json(),
+        _ => usage(),
+    };
+    write_or_print(args, &rendered);
+}
+
+/// Trace analytics: per-session critical paths, retry waterfalls, breaker
+/// timelines and the top-k slowest spans.
+fn analyze(args: &Args, world: &NorthAmerica) {
+    use routing_detours::obs;
+    let trace = report_input(args, world);
+    let top = args.u64_flag("top", 10) as usize;
+    let report = obs::analyze(&trace, top);
+    let rendered = match args.flags.get("format").map(String::as_str) {
+        None | Some("table") => report.to_text(),
+        Some("json") => report.to_json(),
+        _ => usage(),
+    };
+    write_or_print(args, &rendered);
 }
 
 /// Deterministic simulation checking: run randomized scenarios through the
@@ -189,6 +309,22 @@ fn check(args: &Args) {
 /// or the metrics snapshot as a table.
 fn trace(args: &Args, world: &NorthAmerica) {
     use routing_detours::obs;
+    if let Some(path) = args.flags.get("from") {
+        // Summarize an existing recording instead of running a simulation.
+        // Broken files get the trace loader's typed, line-numbered error.
+        let t = obs::load_trace(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+        let unclosed = t.spans.iter().filter(|s| s.end_ns.is_none()).count();
+        println!(
+            "{path}: {} span(s) ({unclosed} unclosed), {} event(s), {:.2} s of sim time",
+            t.spans.len(),
+            t.events.len(),
+            t.end_ns() as f64 / 1e9
+        );
+        return;
+    }
     let client = world.client(args.client());
     let provider = world.provider(args.provider());
     let size = args.size_bytes();

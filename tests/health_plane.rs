@@ -1,0 +1,173 @@
+//! End-to-end tests of the streaming aggregation & route-health plane:
+//! live-vs-recorded scoreboard identity, golden snapshots of the health
+//! and analyze reports, and window flushes driven by the engine clock.
+//!
+//! Regenerate the snapshots after an intentional change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test health_plane
+//! ```
+
+use routing_detours::cloudstore::UploadOptions;
+use routing_detours::detour_core::{run_job, Route};
+use routing_detours::obs;
+use routing_detours::scenarios::{Client, NorthAmerica};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\n(run `UPDATE_GOLDEN=1 cargo test --test health_plane` to create it)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        want,
+        "rendered output diverged from {}; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff",
+        path.display()
+    );
+}
+
+/// One deterministic three-run campaign (UBC → Google Drive via UAlberta),
+/// returning the concatenated JSONL recording exactly as
+/// `detour health --record` writes it.
+fn campaign_jsonl(seed: u64, runs: u64) -> String {
+    let world = NorthAmerica::new();
+    let client = world.client(Client::Ubc);
+    let provider = world.provider(routing_detours::cloudstore::ProviderKind::GoogleDrive);
+    let route = Route::via(world.hop_ualberta());
+    let mut jsonl = String::new();
+    for r in 0..runs {
+        let mut sim = world.build_sim(seed + r);
+        sim.enable_telemetry();
+        run_job(
+            &mut sim,
+            client.node,
+            client.class,
+            &provider,
+            60 * routing_detours::netsim::units::MB,
+            &route,
+            UploadOptions::warm(client.class),
+        )
+        .expect("campaign run succeeds");
+        let rec = sim.take_telemetry().expect("telemetry was enabled");
+        jsonl.push_str(&obs::jsonl_log(&rec));
+    }
+    jsonl
+}
+
+fn board_for(trace: &obs::Trace) -> obs::HealthReport {
+    let mut board = obs::HealthBoard::new(obs::SloPolicy::default());
+    board.ingest(trace);
+    board.report()
+}
+
+/// The issue's acceptance criterion: `detour health` must produce the same
+/// scoreboard from a live campaign and from its recorded trace for the
+/// same seed. The live path parses the in-memory JSONL; the recorded path
+/// round-trips the same bytes through a file.
+#[test]
+fn live_and_recorded_scoreboards_are_identical() {
+    let jsonl = campaign_jsonl(7, 3);
+    let live = obs::parse_jsonl(&jsonl, "<live>").expect("live parse");
+
+    let dir = std::env::temp_dir().join("detour-health-plane-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("campaign.jsonl");
+    std::fs::write(&path, &jsonl).unwrap();
+    let recorded = obs::load_trace(&path).expect("recorded parse");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(live.spans.len(), recorded.spans.len());
+    assert_eq!(live.events.len(), recorded.events.len());
+    assert_eq!(board_for(&live).to_json(), board_for(&recorded).to_json());
+    assert_eq!(board_for(&live).to_text(), board_for(&recorded).to_text());
+}
+
+/// Same seed ⇒ byte-identical recording ⇒ byte-identical scoreboard; a
+/// different seed still produces the same cell keys (the campaign shape is
+/// fixed) but is allowed to differ in timings.
+#[test]
+fn scoreboard_is_deterministic_per_seed() {
+    let a = campaign_jsonl(7, 2);
+    let b = campaign_jsonl(7, 2);
+    assert_eq!(a, b, "same-seed campaigns must record identical bytes");
+}
+
+#[test]
+fn health_report_snapshot() {
+    let jsonl = campaign_jsonl(7, 3);
+    let trace = obs::parse_jsonl(&jsonl, "<live>").expect("parse");
+    let report = board_for(&trace);
+    assert_golden("health_report.txt", &report.to_text());
+    // The JSON rendering is canonical too (CI uploads it as an artifact).
+    assert_golden("health_report.json", &report.to_json());
+}
+
+#[test]
+fn analyze_report_snapshot() {
+    let jsonl = campaign_jsonl(7, 1);
+    let trace = obs::parse_jsonl(&jsonl, "<live>").expect("parse");
+    let report = obs::analyze(&trace, 5);
+    assert_golden("analyze_report.txt", &report.to_text());
+}
+
+/// The engine clock drives window flushes: a recorded run emits sim-time
+/// tumbling windows for flow durations and delivered bytes, aligned to the
+/// window width and flushed without any wall-clock involvement.
+#[test]
+fn engine_emits_watermarked_window_flushes() {
+    let world = NorthAmerica::new();
+    let client = world.client(Client::Ubc);
+    let provider = world.provider(routing_detours::cloudstore::ProviderKind::GoogleDrive);
+    let mut sim = world.build_sim(5);
+    sim.enable_telemetry();
+    run_job(
+        &mut sim,
+        client.node,
+        client.class,
+        &provider,
+        60 * routing_detours::netsim::units::MB,
+        &Route::Direct,
+        UploadOptions::warm(client.class),
+    )
+    .expect("upload succeeds");
+    let rec = sim.take_telemetry().expect("telemetry was enabled");
+    assert!(
+        !rec.window_flushes.is_empty(),
+        "a multi-second upload must flush at least one window"
+    );
+    let width = obs::DEFAULT_WINDOW_NS;
+    let mut saw_sketch = false;
+    let mut saw_count = false;
+    for f in &rec.window_flushes {
+        assert_eq!(f.end_ns - f.start_ns, width, "window width for {}", f.name);
+        assert_eq!(f.start_ns % width, 0, "window alignment for {}", f.name);
+        match &f.value {
+            obs::WindowValue::Sketch(s) => {
+                assert!(!s.is_empty());
+                saw_sketch = true;
+            }
+            obs::WindowValue::Count(c) => {
+                assert!(*c > 0);
+                saw_count = true;
+            }
+        }
+    }
+    assert!(saw_sketch, "flow-duration sketch windows expected");
+    assert!(saw_count, "delivered-bytes count windows expected");
+}

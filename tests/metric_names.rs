@@ -1,0 +1,66 @@
+//! Every metric the stack emits must follow the dotted naming scheme
+//! (`crate.subsystem.metric`, lowercase `[a-z0-9_]` segments) that
+//! `obs::is_valid_metric_name` enforces. The registry debug-asserts at
+//! record time; this test sweeps a real recorded campaign so CI catches a
+//! non-conforming name even in release builds.
+
+use routing_detours::cloudstore::{BreakerRegistry, ProviderKind, UploadOptions};
+use routing_detours::detour_core::{upload_with_fallback_breakers, Route};
+use routing_detours::obs;
+use routing_detours::scenarios::{Client, NorthAmerica};
+
+#[test]
+fn every_recorded_metric_follows_the_naming_scheme() {
+    let world = NorthAmerica::new();
+    // Exercise as many emitting layers as one campaign can: a detour job
+    // (relay + cloudstore + netsim counters) with breaker-guarded failover
+    // (core failover counters) across providers with spaces in their
+    // display names (sanitization).
+    let breakers = BreakerRegistry::default();
+    let mut names: Vec<String> = Vec::new();
+    for (client, provider) in [
+        (Client::Ubc, ProviderKind::GoogleDrive),
+        (Client::Purdue, ProviderKind::Dropbox),
+    ] {
+        let client = world.client(client);
+        let provider = world.provider(provider);
+        let mut sim = world.build_sim(3);
+        sim.enable_telemetry();
+        let routes = vec![Route::via(world.hop_ualberta()), Route::Direct];
+        upload_with_fallback_breakers(
+            &mut sim,
+            client.node,
+            client.class,
+            &provider,
+            20 * routing_detours::netsim::units::MB,
+            &routes,
+            UploadOptions::warm(client.class),
+            &breakers,
+        )
+        .expect("some route works");
+        let rec = sim.take_telemetry().expect("telemetry was enabled");
+        for row in rec.metrics.snapshot().rows {
+            names.push(row.name);
+        }
+    }
+    assert!(!names.is_empty(), "the campaign must emit metrics");
+    let bad: Vec<&String> = names
+        .iter()
+        .filter(|n| !obs::is_valid_metric_name(n))
+        .collect();
+    assert!(
+        bad.is_empty(),
+        "metrics violating the dotted naming scheme: {bad:?}"
+    );
+}
+
+#[test]
+fn sanitizer_makes_display_names_conform() {
+    for raw in ["Google Drive", "via UAlberta+UMich", "OneDrive", ""] {
+        let name = format!("cloudstore.bytes.{}", obs::metric_segment(raw));
+        assert!(
+            obs::is_valid_metric_name(&name),
+            "segment for {raw:?} produced invalid name {name}"
+        );
+    }
+}

@@ -63,7 +63,7 @@ fn direct_upload_nests_session_chunk_rpc_flow() {
         );
     }
     // Metrics saw the transfer.
-    assert_eq!(rec.metrics.counter("core.bytes.route.Direct"), 10 * MB);
+    assert_eq!(rec.metrics.counter("core.bytes.route.direct"), 10 * MB);
     assert!(rec.metrics.counter("netsim.flows_started") > 0);
     assert!(rec
         .metrics

@@ -1556,6 +1556,15 @@ impl Sim {
         self.core.queue.len()
     }
 
+    /// Connected components of the allocator-active flow set, in canonical
+    /// order (see [`crate::flow::FlowCore::components`]) — the partition
+    /// the sharded executor ([`crate::shard`]) distributes over. Flows that
+    /// have drained but not yet delivered no longer couple resources and
+    /// are absent.
+    pub fn flow_components(&self) -> Vec<Vec<u64>> {
+        self.core.alloc.components()
+    }
+
     /// Spawn a detached (parentless, result-discarded) process — used for
     /// background traffic generators that run for the whole simulation.
     pub fn spawn_detached(&mut self, p: Box<dyn Process>) -> ProcessId {

@@ -56,6 +56,7 @@ pub mod geo;
 pub mod middlebox;
 pub mod routing;
 pub mod rpc;
+pub mod shard;
 pub mod synth;
 pub mod tcp;
 pub mod time;

@@ -120,6 +120,21 @@ impl QuantileSketch {
         self.sum += other.sum;
     }
 
+    /// Merge any number of sketches into one.
+    ///
+    /// Because [`QuantileSketch::merge`] is a commutative monoid (integer
+    /// bucket-count addition with an empty identity), the result is
+    /// bit-identical for any ordering or grouping of the parts. The
+    /// sharded executor relies on exactly this to reduce per-shard
+    /// telemetry deterministically regardless of worker completion order.
+    pub fn merge_all<'a>(parts: impl IntoIterator<Item = &'a QuantileSketch>) -> QuantileSketch {
+        let mut out = QuantileSketch::new();
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count

@@ -40,6 +40,30 @@ proptest! {
         }
     }
 
+    /// `merge_all` over any permutation of per-shard sketches equals the
+    /// single-stream sketch — the completion-order-independence guarantee
+    /// the sharded executor's telemetry reduction leans on.
+    #[test]
+    fn merge_all_is_permutation_invariant(
+        values in prop::collection::vec(0u64..u64::MAX, 0..300),
+        chunk in 1usize..61,
+        swap in (0usize..16, 0usize..16),
+    ) {
+        let single = ingest(&values);
+        let mut shards: Vec<QuantileSketch> =
+            values.chunks(chunk).map(ingest).collect();
+        let in_order = QuantileSketch::merge_all(shards.iter());
+        prop_assert_eq!(&in_order, &single);
+        // Permute "completion order" and merge again: identical bytes.
+        if shards.len() >= 2 {
+            let (i, j) = (swap.0 % shards.len(), swap.1 % shards.len());
+            shards.swap(i, j);
+            shards.reverse();
+        }
+        let permuted = QuantileSketch::merge_all(shards.iter());
+        prop_assert_eq!(&permuted, &single);
+    }
+
     /// Merge is associative and commutative under full structural
     /// equality: (a ∪ b) ∪ c == a ∪ (b ∪ c) and a ∪ b == b ∪ a.
     #[test]

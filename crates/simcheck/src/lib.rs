@@ -19,8 +19,11 @@
 //!   no link above capacity, max-min fairness, clock monotonicity — and
 //!   chains per-event state digests so two same-seed executions can be
 //!   compared bit-for-bit.
-//! * [`runner`] builds the world a spec describes and executes it (twice,
-//!   for the determinism check).
+//! * [`runner`] builds the world a spec describes and executes it — twice
+//!   for the determinism check, under differential allocator/progress
+//!   modes, and under the sharded executor at several worker counts
+//!   ([`Violation::ShardDivergence`] fires if parallel execution is not
+//!   bit-identical to sequential).
 //! * [`shrink`] reduces a failing scenario to a minimal reproducer.
 //!
 //! The `detour check` CLI subcommand and the `tests/simcheck_invariants.rs`
@@ -37,7 +40,10 @@ pub mod shrink;
 
 pub use json::Json;
 pub use oracle::{OracleHandle, Violation};
-pub use runner::{check_case, run_once, CaseResult, RunOptions, RunOutcome};
+pub use runner::{
+    check_case, check_case_at, run_once, run_sharded, CaseResult, RunOptions, RunOutcome,
+    SHARD_WORKER_COUNTS,
+};
 pub use scenario::{
     case_seed, BgSpec, ChaosSpec, ChurnSpec, FaultSpec, JobSpec, ScenarioSpec, TopoSpec,
 };
@@ -70,6 +76,10 @@ pub struct CheckConfig {
     pub rate_inflation: Option<f64>,
     /// Max candidate evaluations when shrinking a failure.
     pub shrink_budget: u32,
+    /// Extra worker count for the sharded differential executions, on top
+    /// of the standard [`SHARD_WORKER_COUNTS`] (1, 2 and 4). `0` adds
+    /// nothing; the CLI wires `--threads` / `DETOUR_THREADS` here.
+    pub threads: u32,
 }
 
 impl Default for CheckConfig {
@@ -80,6 +90,7 @@ impl Default for CheckConfig {
             class: ScenarioClass::Standard,
             rate_inflation: None,
             shrink_budget: 200,
+            threads: 0,
         }
     }
 }
@@ -159,6 +170,14 @@ pub fn run_check(config: CheckConfig) -> CheckReport {
         rate_inflation: config.rate_inflation,
         ..Default::default()
     };
+    // The sharded differential always covers 1/2/4 workers; an explicit
+    // --threads request joins the set (deduplicated, ascending).
+    let mut workers: Vec<usize> = SHARD_WORKER_COUNTS.to_vec();
+    if config.threads > 0 {
+        workers.push(config.threads as usize);
+        workers.sort_unstable();
+        workers.dedup();
+    }
     let mut report = CheckReport::default();
     for i in 0..config.cases {
         let seed = case_seed(config.seed, i);
@@ -166,7 +185,7 @@ pub fn run_check(config: CheckConfig) -> CheckReport {
             ScenarioClass::Standard => ScenarioSpec::generate(seed),
             ScenarioClass::Chaos => ScenarioSpec::generate_chaos(seed),
         };
-        let res = check_case(&spec, opts);
+        let res = check_case_at(&spec, opts, &workers);
         report.events += res.events;
         if res.ok() {
             report.passed += 1;

@@ -103,6 +103,19 @@ pub enum Violation {
         /// Chain digest under the eager per-event sweep.
         eager: u64,
     },
+    /// The sharded executor produced a different execution from the
+    /// sequential fold over the same cells. Both paths run identical cell
+    /// simulations and reduce them in cell-id order, so any divergence
+    /// means a nondeterministic order (thread scheduling, completion
+    /// order, slot assignment) leaked into the merge.
+    ShardDivergence {
+        /// Worker-thread count of the sharded run.
+        workers: u32,
+        /// Chain digest of the sequential execution.
+        sequential: u64,
+        /// Chain digest under the sharded executor.
+        sharded: u64,
+    },
     /// The engine returned an error running the scenario.
     EngineError {
         /// The error's display form.
@@ -132,6 +145,7 @@ impl Violation {
             Violation::Determinism { .. } => "determinism",
             Violation::AllocatorDivergence { .. } => "allocator_divergence",
             Violation::ProgressDivergence { .. } => "progress_divergence",
+            Violation::ShardDivergence { .. } => "shard_divergence",
             Violation::EngineError { .. } => "engine_error",
             Violation::DeadlineOverrun { .. } => "deadline_overrun",
         }
@@ -185,6 +199,14 @@ impl std::fmt::Display for Violation {
             Violation::ProgressDivergence { lazy, eager } => write!(
                 f,
                 "lazy vs eager progress accounting diverged: {lazy:#018x} vs {eager:#018x}"
+            ),
+            Violation::ShardDivergence {
+                workers,
+                sequential,
+                sharded,
+            } => write!(
+                f,
+                "sharded executor ({workers} workers) diverged from sequential: {sequential:#018x} vs {sharded:#018x}"
             ),
             Violation::EngineError { message } => write!(f, "engine error: {message}"),
             Violation::DeadlineOverrun {

@@ -1,8 +1,16 @@
 //! Scenario execution: build the world a [`ScenarioSpec`] describes, run it
-//! under the invariant oracle, and (for checking) run it four times: twice
+//! under the invariant oracle, and (for checking) run it repeatedly: twice
 //! with the same seed to compare determinism digests, once under the
-//! reference (full-recompute) allocator, and once under the eager progress
-//! sweep — both differential executions must be bit-identical to the first.
+//! reference (full-recompute) allocator, once under the eager progress
+//! sweep, and once per worker count under the sharded executor — every
+//! differential execution must be bit-identical to the first.
+//!
+//! A scenario is a list of independent *cells* ([`ScenarioSpec::cells`]):
+//! single-replica scenarios are one cell, replicated ones are several.
+//! [`run_once`] folds the cells sequentially; [`run_sharded`] runs the same
+//! cells on worker threads via [`netsim::shard::run_shards`] and reduces
+//! them in cell-id order. The two must agree bit for bit — that is the
+//! shard-divergence oracle.
 
 use crate::oracle::{InvariantOracle, OracleHandle, Violation};
 use crate::scenario::{ScenarioSpec, TopoSpec};
@@ -64,6 +72,11 @@ pub struct RunOutcome {
     /// Digest of the health-plane state (scoreboard + window flushes) when
     /// [`RunOptions::health`] was set; folded into `chain_digest`.
     pub health_digest: Option<u64>,
+    /// Merged flow-delivery duration sketch (the engine's
+    /// `netsim.flow.duration_ns` window series) when [`RunOptions::health`]
+    /// was set. Cross-cell reduction uses the sketch's commutative-monoid
+    /// merge, so sequential and sharded runs produce identical bytes.
+    pub delivery: Option<obs::QuantileSketch>,
 }
 
 /// Result of checking one scenario (two same-seed executions plus a
@@ -396,8 +409,60 @@ impl ChurnGen {
     }
 }
 
-/// Execute a scenario once under the oracle.
+/// Execute a scenario once under the oracle: its cells run sequentially
+/// in cell order and fold via [`merge_outcomes`]. For the overwhelmingly
+/// common single-cell scenario the fold is the identity, so this is
+/// byte-for-byte the pre-sharding behavior.
 pub fn run_once(spec: &ScenarioSpec, opts: RunOptions) -> RunOutcome {
+    let outs = spec.cells().iter().map(|c| run_cell(c, opts)).collect();
+    merge_outcomes(outs)
+}
+
+/// Execute a scenario under the sharded executor: its cells run on up to
+/// `workers` scoped worker threads ([`netsim::shard::run_shards`]) and are
+/// reduced in cell-id order regardless of completion order. Bit-identical
+/// to [`run_once`] for every scenario and worker count — [`check_case`]
+/// proves it per case and flags [`Violation::ShardDivergence`] otherwise.
+pub fn run_sharded(spec: &ScenarioSpec, opts: RunOptions, workers: usize) -> RunOutcome {
+    let outs = netsim::shard::run_shards(spec.cells(), workers, |_, cell| run_cell(&cell, opts));
+    merge_outcomes(outs)
+}
+
+/// Fold per-cell outcomes in cell-id order. A single cell passes through
+/// untouched (digest identity); multiple cells fold their chain and health
+/// digests via [`netsim::shard::fold_digests`], sum their counters,
+/// concatenate their violations, and merge their delivery sketches through
+/// the commutative monoid. Every input order dependence is canonical by
+/// construction: callers hand cells over in cell-id order.
+fn merge_outcomes(outs: Vec<RunOutcome>) -> RunOutcome {
+    if outs.len() == 1 {
+        return outs.into_iter().next().expect("one outcome");
+    }
+    let chain =
+        netsim::shard::fold_digests(&outs.iter().map(|o| o.chain_digest).collect::<Vec<_>>());
+    let health_digest = outs
+        .iter()
+        .map(|o| o.health_digest)
+        .collect::<Option<Vec<_>>>()
+        .map(|ds| netsim::shard::fold_digests(&ds));
+    let delivery = outs
+        .iter()
+        .map(|o| o.delivery.as_ref())
+        .collect::<Option<Vec<_>>>()
+        .map(obs::QuantileSketch::merge_all);
+    RunOutcome {
+        violations: outs.iter().flat_map(|o| o.violations.clone()).collect(),
+        chain_digest: chain,
+        events: outs.iter().map(|o| o.events).sum(),
+        jobs_completed: outs.iter().map(|o| o.jobs_completed).sum(),
+        bytes_delivered: outs.iter().map(|o| o.bytes_delivered).sum(),
+        health_digest,
+        delivery,
+    }
+}
+
+/// Execute one cell (a single-replica world) under the oracle.
+fn run_cell(spec: &ScenarioSpec, opts: RunOptions) -> RunOutcome {
     let world = build_world(&spec.topo);
     let mut sim = Sim::new(world.topo.clone(), spec.seed);
     if opts.health {
@@ -484,15 +549,17 @@ pub fn run_once(spec: &ScenarioSpec, opts: RunOptions) -> RunOutcome {
             0
         }
     };
-    let health_digest = opts.health.then(|| health_plane_digest(&mut sim));
-    finish_outcome(&sim, &handle, jobs_completed, health_digest)
+    let health = opts.health.then(|| health_plane_digest(&mut sim));
+    finish_outcome(&sim, &handle, jobs_completed, health)
 }
 
 /// Digest the run's derived health-plane state: the route scoreboard built
 /// from the recorded trace, plus every sim-time window flush (name, bounds,
 /// counter value or full sketch state). Purely sim-time-derived, so it is
-/// identical across same-seed and differential executions.
-fn health_plane_digest(sim: &mut Sim) -> u64 {
+/// identical across same-seed and differential executions. Also returns the
+/// merged flow-delivery duration sketch, the per-cell telemetry summary the
+/// sharded reduction combines via the commutative monoid.
+fn health_plane_digest(sim: &mut Sim) -> (u64, obs::QuantileSketch) {
     let rec = sim.take_telemetry().expect("telemetry was enabled");
     let trace = obs::Trace::from_recording(&rec);
     let mut board = obs::HealthBoard::new(obs::SloPolicy::default());
@@ -510,15 +577,24 @@ fn health_plane_digest(sim: &mut Sim) -> u64 {
             obs::WindowValue::Sketch(s) => s.fold_into(&mut |v| d.write_u64(v)),
         }
     }
-    d.finish()
+    let delivery =
+        obs::QuantileSketch::merge_all(rec.window_flushes.iter().filter_map(|f| match &f.value {
+            obs::WindowValue::Sketch(s) if f.name == "netsim.flow.duration_ns" => Some(s),
+            _ => None,
+        }));
+    (d.finish(), delivery)
 }
 
 fn finish_outcome(
     sim: &Sim,
     handle: &OracleHandle,
     jobs_completed: u64,
-    health_digest: Option<u64>,
+    health: Option<(u64, obs::QuantileSketch)>,
 ) -> RunOutcome {
+    let (health_digest, delivery) = match health {
+        Some((h, s)) => (Some(h), Some(s)),
+        None => (None, None),
+    };
     RunOutcome {
         violations: handle.violations(),
         chain_digest: {
@@ -537,15 +613,28 @@ fn finish_outcome(
         jobs_completed,
         bytes_delivered: sim.stats().bytes_delivered,
         health_digest,
+        delivery,
     }
 }
 
-/// Check one scenario: run it twice with the same seed and flag invariant
-/// violations plus any determinism divergence, then once more under the
-/// reference allocator and once more under the eager progress sweep — both
-/// differential executions' chained digests must be identical to the
-/// incremental/lazy execution's (same seed ⇒ bit-identical).
+/// Worker counts every checked case is re-executed with under the sharded
+/// executor: sequential-through-the-executor (1), plus genuinely parallel
+/// 2 and 4.
+pub const SHARD_WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Check one scenario at the default shard worker counts
+/// ([`SHARD_WORKER_COUNTS`]); see [`check_case_at`].
 pub fn check_case(spec: &ScenarioSpec, opts: RunOptions) -> CaseResult {
+    check_case_at(spec, opts, &SHARD_WORKER_COUNTS)
+}
+
+/// Check one scenario: run it twice with the same seed and flag invariant
+/// violations plus any determinism divergence; once more under the
+/// reference allocator and once more under the eager progress sweep; then
+/// once per entry of `shard_workers` under the sharded executor. Every
+/// differential execution's chained digest must be identical to the
+/// incremental/lazy/sequential execution's (same seed ⇒ bit-identical).
+pub fn check_case_at(spec: &ScenarioSpec, opts: RunOptions, shard_workers: &[usize]) -> CaseResult {
     // Health folding is forced on so every determinism and differential
     // comparison also covers the aggregation/health plane.
     let opts = RunOptions {
@@ -588,6 +677,16 @@ pub fn check_case(spec: &ScenarioSpec, opts: RunOptions) -> CaseResult {
             violations.push(Violation::ProgressDivergence {
                 lazy: first.chain_digest,
                 eager: eager.chain_digest,
+            });
+        }
+    }
+    for &workers in shard_workers {
+        let sharded = run_sharded(spec, opts, workers);
+        if first.chain_digest != sharded.chain_digest {
+            violations.push(Violation::ShardDivergence {
+                workers: workers as u32,
+                sequential: first.chain_digest,
+                sharded: sharded.chain_digest,
             });
         }
     }
@@ -691,6 +790,7 @@ mod tests {
             faults: vec![],
             churn: vec![],
             chaos: vec![],
+            replicas: 1,
         };
         let res = check_case(&spec, RunOptions::default());
         assert!(res.ok(), "violations: {:?}", res.violations);
@@ -752,6 +852,7 @@ mod tests {
                 },
             ],
             chaos: vec![],
+            replicas: 1,
         };
         let res = check_case(&spec, RunOptions::default());
         assert!(res.ok(), "violations: {:?}", res.violations);
@@ -810,6 +911,7 @@ mod tests {
                 deadline_ms: 0,
                 start_ms: 0,
             }],
+            replicas: 1,
         };
         let out = run_once(&spec, RunOptions::default());
         assert_eq!(out.violations, vec![], "violations: {:?}", out.violations);
@@ -843,9 +945,83 @@ mod tests {
                 deadline_ms: 5000,
                 start_ms: 100,
             }],
+            replicas: 1,
         };
         let out = run_once(&spec, RunOptions::default());
         assert_eq!(out.violations, vec![], "violations: {:?}", out.violations);
+    }
+
+    #[test]
+    fn sharded_execution_is_bit_identical_for_single_cell_specs() {
+        // A single-replica spec is one cell: the sharded fold is the
+        // identity, so every worker count must reproduce the sequential
+        // chain digest exactly.
+        let opts = RunOptions {
+            health: true,
+            ..Default::default()
+        };
+        for i in 0..3 {
+            let mut spec = ScenarioSpec::generate(case_seed(29, i));
+            spec.replicas = 1;
+            let seq = run_once(&spec, opts);
+            for workers in [1, 2, 4] {
+                let sharded = run_sharded(&spec, opts, workers);
+                assert_eq!(
+                    seq.chain_digest, sharded.chain_digest,
+                    "case {i}, {workers} workers"
+                );
+                assert_eq!(seq.health_digest, sharded.health_digest, "case {i}");
+                assert_eq!(seq.delivery, sharded.delivery, "case {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_execution_is_bit_identical_for_replicated_specs() {
+        let opts = RunOptions {
+            health: true,
+            ..Default::default()
+        };
+        for (i, replicas) in [(0u32, 2u32), (1, 3), (2, 4)] {
+            let mut spec = ScenarioSpec::generate(case_seed(31, i));
+            spec.replicas = replicas;
+            let seq = run_once(&spec, opts);
+            for workers in [1, 2, 4] {
+                let sharded = run_sharded(&spec, opts, workers);
+                assert_eq!(
+                    seq.chain_digest, sharded.chain_digest,
+                    "case {i} x{replicas}, {workers} workers"
+                );
+                assert_eq!(seq.events, sharded.events, "case {i}");
+                assert_eq!(seq.bytes_delivered, sharded.bytes_delivered, "case {i}");
+                assert_eq!(seq.health_digest, sharded.health_digest, "case {i}");
+                assert_eq!(seq.delivery, sharded.delivery, "case {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_cells_really_multiply_the_work() {
+        let mut spec = ScenarioSpec::generate(case_seed(37, 0));
+        spec.replicas = 1;
+        let one = run_once(&spec, RunOptions::default());
+        spec.replicas = 3;
+        let three = run_once(&spec, RunOptions::default());
+        assert!(
+            three.events > one.events * 2,
+            "3 cells ran {} events vs {} for 1 cell",
+            three.events,
+            one.events
+        );
+        assert_ne!(one.chain_digest, three.chain_digest);
+    }
+
+    #[test]
+    fn replicated_chaos_case_checks_clean() {
+        let mut spec = ScenarioSpec::generate_chaos(case_seed(41, 2));
+        spec.replicas = 2;
+        let res = check_case(&spec, RunOptions::default());
+        assert!(res.ok(), "violations: {:?}", res.violations);
     }
 
     #[cfg(feature = "failpoints")]

@@ -186,6 +186,12 @@ pub struct ScenarioSpec {
     pub churn: Vec<ChurnSpec>,
     /// Chaotic cloud-upload sessions (empty outside the chaos class).
     pub chaos: Vec<ChaosSpec>,
+    /// Independent replicas of this world (1 = a single cell). A scenario
+    /// with `replicas = k > 1` is `k` disconnected copies, each reseeded
+    /// via [`case_seed`] — the connected components the sharded executor
+    /// distributes across workers. Sequential execution folds them in
+    /// cell order, so the spec stays a single replayable unit.
+    pub replicas: u32,
 }
 
 impl ScenarioSpec {
@@ -270,8 +276,19 @@ impl ScenarioSpec {
             })
             .collect();
 
+        let seed = rng.gen::<u32>() as u64;
+        // ~20% of cases replicate the world into 2-3 disconnected cells so
+        // the sharded executor gets genuine multi-worker coverage. Drawn
+        // after `seed` so pre-existing case seeds generate byte-identical
+        // specs apart from the new field.
+        let replicas = if rng.gen_bool(0.2) {
+            rng.gen_range(2..=3)
+        } else {
+            1
+        };
+
         ScenarioSpec {
-            seed: rng.gen::<u32>() as u64,
+            seed,
             topo,
             jitter_pct,
             jobs,
@@ -279,6 +296,7 @@ impl ScenarioSpec {
             faults,
             churn,
             chaos: vec![],
+            replicas,
         }
     }
 
@@ -369,8 +387,12 @@ impl ScenarioSpec {
             })
             .collect();
 
+        let seed = rng.gen::<u32>() as u64;
+        // Chaos worlds are heavier per cell; replicate a bit more rarely.
+        let replicas = if rng.gen_bool(0.15) { 2 } else { 1 };
+
         ScenarioSpec {
-            seed: rng.gen::<u32>() as u64,
+            seed,
             topo,
             jitter_pct,
             jobs,
@@ -378,7 +400,27 @@ impl ScenarioSpec {
             faults,
             churn: vec![],
             chaos,
+            replicas,
         }
+    }
+
+    /// The independent cells of this scenario: `replicas` copies of the
+    /// world, cell `k` reseeded with [`case_seed`]`(seed, k)` so replicas
+    /// diverge in jitter, background and chaos draws. A single-replica
+    /// scenario is its own (only) cell with its seed untouched, which is
+    /// what makes the sharded fold collapse to the plain sequential run
+    /// for every pre-existing spec.
+    pub fn cells(&self) -> Vec<ScenarioSpec> {
+        if self.replicas <= 1 {
+            return vec![self.clone()];
+        }
+        (0..self.replicas)
+            .map(|k| ScenarioSpec {
+                seed: case_seed(self.seed, k),
+                replicas: 1,
+                ..self.clone()
+            })
+            .collect()
     }
 
     /// Serialize to compact JSON (exact round trip via [`Self::from_json`]).
@@ -502,6 +544,11 @@ impl ScenarioSpec {
                 })
                 .collect();
             fields.push(("chaos".into(), Json::Arr(chaos)));
+        }
+        // Omitted when 1 (the overwhelming default) so single-cell replay
+        // files round trip verbatim.
+        if self.replicas > 1 {
+            fields.push(("replicas".into(), Json::Int(self.replicas as u64)));
         }
         Json::Obj(fields)
     }
@@ -673,6 +720,15 @@ impl ScenarioSpec {
             return Err("scenario needs at least one job or chaos session".into());
         }
 
+        let replicas = match v.get("replicas") {
+            None => 1,
+            Some(r) => u32::try_from(r.as_u64().ok_or("non-integer \"replicas\"")?)
+                .map_err(|_| "replicas out of range".to_string())?,
+        };
+        if replicas == 0 || replicas > 8 {
+            return Err(format!("replicas must be in 1..=8, got {replicas}"));
+        }
+
         Ok(ScenarioSpec {
             seed: req_u64(v, "seed")?,
             topo,
@@ -682,6 +738,7 @@ impl ScenarioSpec {
             faults,
             churn,
             chaos,
+            replicas,
         })
     }
 }
@@ -742,6 +799,7 @@ mod tests {
             faults: vec![],
             churn: vec![],
             chaos: vec![],
+            replicas: 1,
         };
         assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
         // One-host star.
@@ -777,6 +835,7 @@ mod tests {
                 gap_ms: 5,
             }],
             chaos: vec![],
+            replicas: 1,
         };
         let back = ScenarioSpec::from_json(&spec.to_json()).expect("parses");
         assert_eq!(back, spec);
@@ -842,6 +901,60 @@ mod tests {
         spec.chaos[0].transient_pct = 0;
         spec.chaos[0].bytes = 0;
         assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
+    }
+
+    #[test]
+    fn replicas_round_trip_and_reject_degenerates() {
+        let mut spec = ScenarioSpec::generate(3);
+        spec.replicas = 3;
+        let text = spec.to_json();
+        assert!(text.contains("\"replicas\":3"));
+        assert_eq!(ScenarioSpec::from_json(&text).expect("parses"), spec);
+
+        // Single-replica specs omit the field entirely, so pre-sharding
+        // replay files stay byte-compatible.
+        spec.replicas = 1;
+        let text = spec.to_json();
+        assert!(!text.contains("replicas"));
+        assert_eq!(ScenarioSpec::from_json(&text).expect("parses"), spec);
+
+        for bad in ["\"replicas\":0", "\"replicas\":9"] {
+            let mut broken = ScenarioSpec::from_json(&text).expect("parses");
+            broken.replicas = 2;
+            let t = broken.to_json().replace("\"replicas\":2", bad);
+            assert!(ScenarioSpec::from_json(&t).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn cells_reseed_replicas_and_keep_singletons_intact() {
+        let mut spec = ScenarioSpec::generate(11);
+        spec.replicas = 1;
+        assert_eq!(spec.cells(), vec![spec.clone()], "one cell, seed untouched");
+
+        spec.replicas = 3;
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 3);
+        let seeds: std::collections::HashSet<u64> = cells.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), 3, "each cell gets its own seed");
+        for (k, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.replicas, 1, "cells are not themselves replicated");
+            assert_eq!(cell.seed, case_seed(spec.seed, k as u32));
+            assert_eq!(cell.topo, spec.topo, "cells share the world shape");
+            assert_eq!(cell.jobs, spec.jobs);
+        }
+    }
+
+    #[test]
+    fn generation_draws_replicated_cases() {
+        let replicated = (0..200)
+            .filter(|&i| ScenarioSpec::generate(case_seed(5, i)).replicas > 1)
+            .count();
+        assert!(
+            (10..=80).contains(&replicated),
+            "expected ~20% replicated standard cases, got {replicated}/200"
+        );
+        assert!((0..200).any(|i| ScenarioSpec::generate_chaos(case_seed(5, i)).replicas > 1));
     }
 
     #[test]

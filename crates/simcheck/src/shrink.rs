@@ -56,6 +56,14 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
         }
         out.push(s);
     }
+    // Collapse a replicated world to a single cell: most shard-divergence
+    // reproducers don't need more than one, and a single cell removes the
+    // cross-cell fold from the picture entirely.
+    if spec.replicas > 1 {
+        let mut s = spec.clone();
+        s.replicas = 1;
+        out.push(s);
+    }
     if !spec.background.is_empty() {
         let mut s = spec.clone();
         s.background.clear();

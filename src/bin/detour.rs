@@ -13,7 +13,8 @@
 //!                   [--seed 1] [--record FILE] [--slo-p99-secs N] [--format table|json] [--out FILE]
 //! detour health     --trace FILE [--slo-p99-secs N] [--format table|json] [--out FILE]
 //! detour analyze    (same inputs as health) [--top N]
-//! detour check      [--cases 64] [--seed 7] [--class std|chaos] [--replay FILE] [--out FILE]
+//! detour check      [--cases 64] [--seed 7] [--class std|chaos] [--threads N] [--replay FILE]
+//!                   [--out FILE]
 //! ```
 //!
 //! `health` renders the SLO scoreboard (per vantage/provider/size-class
@@ -45,7 +46,8 @@ fn usage() -> ! {
          [--runs N] [--seed N] [--record FILE] [--slo-p99-secs N] [--format <table|json>] \
          [--out FILE]\n  detour health     --trace FILE [--slo-p99-secs N] [--format <table|json>] \
          [--out FILE]\n  detour analyze    (same inputs as health) [--top N]\n  detour check      \
-         [--cases N] [--seed N] [--class <std|chaos>] [--replay FILE] [--out FILE]"
+         [--cases N] [--seed N] [--class <std|chaos>] [--threads N] [--replay FILE] [--out FILE]\n\
+         \nDETOUR_THREADS sets the default worker count for sharded check executions."
     );
     std::process::exit(2);
 }
@@ -261,6 +263,19 @@ fn check(args: &Args) {
                 None | Some("std") => simcheck::ScenarioClass::Standard,
                 Some("chaos") => simcheck::ScenarioClass::Chaos,
                 _ => usage(),
+            },
+            // Extra sharded-executor worker count on top of the standard
+            // 1/2/4 set: --threads flag, else DETOUR_THREADS, else the
+            // host's parallelism (netsim::shard::resolve_threads).
+            threads: match args.flags.get("threads") {
+                Some(s) => {
+                    let n: usize = s.parse().unwrap_or_else(|_| usage());
+                    routing_detours::netsim::shard::resolve_threads(Some(n)) as u32
+                }
+                None if std::env::var("DETOUR_THREADS").is_ok() => {
+                    routing_detours::netsim::shard::resolve_threads(None) as u32
+                }
+                None => 0,
             },
             ..simcheck::CheckConfig::default()
         }),

@@ -21,6 +21,7 @@ fn fixed_seed_budget_is_clean() {
         rate_inflation: None,
         shrink_budget: 50,
         class: ScenarioClass::Standard,
+        threads: 0,
     });
     assert!(
         report.ok(),
@@ -40,6 +41,7 @@ fn fixed_seed_chaos_budget_is_clean() {
         rate_inflation: None,
         shrink_budget: 50,
         class: ScenarioClass::Chaos,
+        threads: 0,
     });
     assert!(
         report.ok(),

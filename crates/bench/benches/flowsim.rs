@@ -6,8 +6,10 @@
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use netsim::background::{BackgroundProfile, BackgroundTraffic};
 use netsim::flow::{max_min_allocate, AllocEntry, FlowClass, FlowCore, FlowSpec};
+use netsim::oracle::RouteOracle;
 use netsim::prelude::*;
 use netsim::shard::{fold_digests, run_shards};
+use netsim::synth::SynthGlobe;
 use netsim::units::{GB, KB, MB};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -527,6 +529,133 @@ fn threads_point(n: usize, cycles: u64, reps: usize, counts: &[usize]) -> Vec<Js
     out
 }
 
+// ---------------------------------------------------------------------------
+// Route-oracle scaling study.
+//
+// Measures the routing rebuild end to end on generated multi-cloud globes:
+// cold tree construction (one Dijkstra over the CSR per source), warm
+// `path_into` queries (prev-chain walks, zero allocation), `k_detours`
+// enumeration, and — for comparison — the legacy per-query Dijkstra the
+// oracle replaced. Sizes run 1k → 100k nodes; the 100k point uses the
+// acceptance-scale `SynthGlobe::stress` knobs (~1M host links).
+// ---------------------------------------------------------------------------
+
+/// Warm-query speedup (legacy Dijkstra ns / oracle ns) demanded at the
+/// largest routing point — enforced only when the host has ≥ 4 hardware
+/// threads; smaller boxes record their real measurements and print a
+/// waiver instead (numbers are never fabricated).
+const ROUTING_SPEEDUP_FLOOR: f64 = 25.0;
+
+/// One routing scaling point on `globe`; `quick` trims sample counts.
+fn routing_point(globe: SynthGlobe, quick: bool) -> Json {
+    let world = globe.build();
+    let topo = &world.topo;
+    let nodes = topo.nodes().len();
+    let arcs = topo.csr().arc_count();
+    let hosts = &world.hosts;
+    // A handful of spread-out sources keeps the tree cache small while the
+    // destinations fan out across every region.
+    let sources: Vec<NodeId> = hosts.iter().step_by(hosts.len() / 4 + 1).copied().collect();
+    let mut state = 0x2545f4914f6cdd1du64;
+    let mut next = move |m: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize % m
+    };
+    let far = hosts[hosts.len() - 1];
+    let mut oracle = RouteOracle::new();
+    let mut path_buf: Vec<NodeId> = Vec::with_capacity(nodes);
+
+    // Cold build: clear the cache and pay for one full source tree.
+    let build_reps = if quick { 3 } else { 5 };
+    let build_ms = (0..build_reps)
+        .map(|_| {
+            oracle.clear_trees();
+            let t = Instant::now();
+            oracle.path_into(topo, sources[0], far, &mut path_buf).unwrap();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    // Warm queries: every source tree built, then batched prev-chain walks.
+    for &s in &sources {
+        oracle.path_into(topo, s, far, &mut path_buf).unwrap();
+    }
+    let (warmup, samples) = if quick { (3, 21) } else { (10, 51) };
+    const BATCH: usize = 256;
+    let mut pairs: Vec<(NodeId, NodeId)> = (0..BATCH)
+        .map(|_| (sources[next(sources.len())], hosts[next(hosts.len())]))
+        .collect();
+    let query_ns = median_ns(warmup, samples, || {
+        for &(src, dst) in &pairs {
+            oracle.path_into(topo, src, dst, &mut path_buf).unwrap();
+        }
+    }) / BATCH as f64;
+
+    // The legacy comparison: one full Dijkstra per query, rotating pairs.
+    // Sub-linear sample counts — at 100k nodes a single query is ~a tree
+    // build, and the point is the orders-of-magnitude gap, not precision.
+    let mut i = 0usize;
+    let dijkstra_ns = median_ns(1, if quick { 3 } else { 7 }, || {
+        let (src, dst) = pairs[i % pairs.len()];
+        std::hint::black_box(netsim::routing::dijkstra(topo, src, dst));
+        i += 1;
+    });
+    let speedup = dijkstra_ns / query_ns;
+
+    // Detour enumeration: k=4 candidates per query, warm reverse trees.
+    pairs.truncate(8);
+    for &(src, dst) in &pairs {
+        oracle.k_detours(topo, src, dst, 4).unwrap();
+    }
+    let mut j = 0usize;
+    let detour_ns = median_ns(warmup, if quick { 11 } else { 31 }, || {
+        let (src, dst) = pairs[j % pairs.len()];
+        std::hint::black_box(oracle.k_detours(topo, src, dst, 4).unwrap());
+        j += 1;
+    });
+
+    println!(
+        "flowsim-routing/{nodes}: build {build_ms:.2} ms, warm query {query_ns:.0} ns, \
+         legacy dijkstra {dijkstra_ns:.0} ns (speedup {speedup:.0}x), \
+         k=4 detours {detour_ns:.0} ns/call ({:.0} enum/s)",
+        1e9 / detour_ns
+    );
+    Json::Obj(vec![
+        ("nodes".into(), Json::Int(nodes as u64)),
+        ("arcs".into(), Json::Int(arcs as u64)),
+        ("build_ms".into(), Json::Num(build_ms)),
+        ("query_ns".into(), Json::Num(query_ns)),
+        ("dijkstra_ns".into(), Json::Num(dijkstra_ns)),
+        ("speedup".into(), Json::Num(speedup)),
+        ("detour_ns".into(), Json::Num(detour_ns)),
+    ])
+}
+
+/// The routing speedup floor at the largest measured point. Same waiver
+/// policy as the parallel gate: sub-4-thread hosts record and print.
+fn check_routing_speedup(routing: &[Json], host_threads: usize) -> Option<String> {
+    let row = routing
+        .iter()
+        .max_by_key(|p| p.get("nodes").and_then(Json::as_u64).unwrap_or(0))?;
+    let nodes = row.get("nodes").and_then(Json::as_u64).unwrap_or(0);
+    let speedup = row.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+    if host_threads < 4 {
+        println!(
+            "flowsim-routing: speedup gate waived — host has {host_threads} hardware \
+             thread(s); measured {speedup:.0}x at {nodes} nodes"
+        );
+        return None;
+    }
+    (speedup < ROUTING_SPEEDUP_FLOOR).then(|| {
+        format!(
+            "flowsim-routing/{nodes}: warm-query speedup {speedup:.1}x < required \
+             {ROUTING_SPEEDUP_FLOOR}x vs legacy dijkstra"
+        )
+    })
+}
+
 /// Allowed slowdown vs the checked-in baseline before CI fails the run.
 const REGRESSION_TOLERANCE: f64 = 1.25;
 
@@ -536,12 +665,15 @@ const REGRESSION_TOLERANCE: f64 = 1.25;
 /// never fabricated).
 const PARALLEL_SPEEDUP_FLOOR: f64 = 1.8;
 
-/// Compare one per-flow-count metric series of `report` against `baseline`,
-/// appending an error line per point slower than the tolerance allows.
+/// Compare one metric series of `report` against `baseline`, matching
+/// points on the `key` field ("flows" for the allocator/engine series,
+/// "nodes" for routing), appending an error line per point slower than
+/// the tolerance allows.
 fn check_series(
     report: &Json,
     baseline: &Json,
     series: &str,
+    key: &str,
     metric: &str,
     errors: &mut Vec<String>,
 ) {
@@ -551,11 +683,11 @@ fn check_series(
         .and_then(Json::as_arr)
         .unwrap_or(&empty);
     for point in report.get(series).and_then(Json::as_arr).unwrap_or(&empty) {
-        let flows = point.get("flows").and_then(Json::as_u64).unwrap_or(0);
+        let at = point.get(key).and_then(Json::as_u64).unwrap_or(0);
         let now = point.get(metric).and_then(Json::as_f64).unwrap_or(f64::NAN);
         let Some(was) = base_points
             .iter()
-            .find(|b| b.get("flows").and_then(Json::as_u64) == Some(flows))
+            .find(|b| b.get(key).and_then(Json::as_u64) == Some(at))
             .and_then(|b| b.get(metric))
             .and_then(Json::as_f64)
         else {
@@ -563,8 +695,8 @@ fn check_series(
         };
         if now > was * REGRESSION_TOLERANCE {
             errors.push(format!(
-                "flowsim-{series}/{flows}: {metric} {now:.0} ns/event vs \
-                 baseline {was:.0} ns/event (> {REGRESSION_TOLERANCE}x)"
+                "flowsim-{series}/{at}: {metric} {now:.0} vs \
+                 baseline {was:.0} (> {REGRESSION_TOLERANCE}x)"
             ));
         }
     }
@@ -637,10 +769,28 @@ fn check_parallel_speedup(threads: &[Json], host_threads: usize) -> Option<Strin
 /// Compare against a baseline `BENCH_flowsim.json`; returns error lines.
 fn check_baseline(report: &Json, baseline: &Json) -> Vec<String> {
     let mut errors = Vec::new();
-    check_series(report, baseline, "sizes", "incremental_ns", &mut errors);
-    check_series(report, baseline, "engine", "lazy_ns", &mut errors);
+    check_series(report, baseline, "sizes", "flows", "incremental_ns", &mut errors);
+    check_series(report, baseline, "engine", "flows", "lazy_ns", &mut errors);
+    check_series(report, baseline, "routing", "nodes", "query_ns", &mut errors);
+    check_series(report, baseline, "routing", "nodes", "detour_ns", &mut errors);
+    check_series(report, baseline, "routing", "nodes", "build_ms", &mut errors);
     check_threads_series(report, baseline, &mut errors);
     errors
+}
+
+/// Resolve a bench-file path against the workspace root. Cargo runs bench
+/// binaries with cwd = `crates/bench`, so a bare relative `BENCH_OUT` (or
+/// baseline path) used to land the report inside the crate directory
+/// instead of next to the checked-in `BENCH_flowsim.json`.
+fn workspace_path(p: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(p);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
 }
 
 fn main() {
@@ -657,6 +807,10 @@ fn main() {
         scaling_point(100, 0, 2);
         engine_point(100, 200, 1, true);
         threads_point(100, 100, 1, &[1, 2]);
+        routing_point(SynthGlobe::default().with_target_nodes(600), true);
+        // The workspace-root anchor the report/baseline paths rely on.
+        assert!(workspace_path("Cargo.toml").is_file());
+        assert!(workspace_path("crates/bench").is_dir());
         return;
     }
     let (warmup, samples) = if quick { (5, 21) } else { (50, 101) };
@@ -716,6 +870,18 @@ fn main() {
     }
     let speedup_err = check_parallel_speedup(&threads, host_threads);
 
+    // Route-oracle scaling: cold build, warm query, detour enumeration and
+    // the legacy Dijkstra gap at 1k/10k/100k nodes (100k = stress knobs).
+    let mut globes = vec![
+        SynthGlobe { seed: 11, ..SynthGlobe::default() }.with_target_nodes(1_000),
+        SynthGlobe { seed: 11, ..SynthGlobe::default() }.with_target_nodes(10_000),
+    ];
+    if !quick {
+        globes.push(SynthGlobe::stress(11));
+    }
+    let routing: Vec<Json> = globes.into_iter().map(|g| routing_point(g, quick)).collect();
+    let routing_err = check_routing_speedup(&routing, host_threads);
+
     let report = Json::Obj(vec![
         ("bench".into(), Json::Str("flowsim-scaling".into())),
         ("flows_per_site".into(), Json::Int(FLOWS_PER_SITE as u64)),
@@ -724,16 +890,18 @@ fn main() {
         ("sizes".into(), Json::Arr(sizes)),
         ("engine".into(), Json::Arr(engine)),
         ("threads".into(), Json::Arr(threads)),
+        ("routing".into(), Json::Arr(routing)),
     ]);
 
     // Regression gate: compare BEFORE overwriting any baseline the output
     // path might point at.
     let mut failed = false;
-    if let Some(err) = speedup_err {
+    for err in [speedup_err, routing_err].into_iter().flatten() {
         eprintln!("REGRESSION: {err}");
         failed = true;
     }
-    if let Some(path) = std::env::var_os("BENCH_BASELINE") {
+    if let Ok(path) = std::env::var("BENCH_BASELINE") {
+        let path = workspace_path(&path);
         match std::fs::read_to_string(&path)
             .map_err(|e| e.to_string())
             .and_then(|s| Json::parse(&s))
@@ -745,15 +913,16 @@ fn main() {
                 }
             }
             Err(e) => {
-                eprintln!("cannot read baseline {path:?}: {e}");
+                eprintln!("cannot read baseline {}: {e}", path.display());
                 failed = true;
             }
         }
     }
 
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_flowsim.json".into());
+    let out = workspace_path(&out);
     std::fs::write(&out, report.render()).expect("write bench report");
-    println!("wrote {out}");
+    println!("wrote {}", out.display());
     if failed {
         std::process::exit(1);
     }

@@ -435,6 +435,18 @@ impl Core {
         self.routing.path(&self.topo, src, dst)
     }
 
+    /// Up to `k` distinct loop-free alternatives to the routed shortest
+    /// path, cheapest first (see [`crate::oracle::RouteOracle::k_detours`]).
+    /// The raw material for detour/relay candidate enumeration.
+    pub fn k_detours(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        k: usize,
+    ) -> NetResult<Vec<crate::oracle::DetourPath>> {
+        self.routing.k_detours(&self.topo, src, dst, k)
+    }
+
     /// Round-trip time along the routed path between two nodes.
     pub fn rtt(&mut self, src: NodeId, dst: NodeId) -> NetResult<SimTime> {
         let fwd = self.resolve_path(src, dst)?;
@@ -1445,6 +1457,14 @@ impl Sim {
     /// scenario under both and compares chained state digests.
     pub fn set_allocator_mode(&mut self, mode: AllocMode) {
         self.core.alloc.set_mode(mode);
+    }
+
+    /// Select the routing backend: the precomputed route oracle (default)
+    /// or the per-query reference Dijkstra. Both produce bit-identical
+    /// executions (see [`crate::routing::RoutingTable`]); simcheck runs
+    /// every scenario under both and compares chained state digests.
+    pub fn set_routing_mode(&mut self, mode: crate::routing::RoutingMode) {
+        self.core.routing.set_mode(mode);
     }
 
     /// Select the progress-accounting mode (see [`ProgressMode`]). Call

@@ -12,6 +12,10 @@
 //! * **Policy routing** ([`routing`]): per-source shortest paths over link
 //!   costs, plus explicit route overrides that pin idiosyncratic paths (the
 //!   paper's PlanetLab-to-Google egress through the `pacificwave` policer).
+//! * **Route oracle** ([`oracle`]): precomputed per-source shortest-path
+//!   trees over the flat CSR adjacency, giving zero-allocation warm path
+//!   queries and k-detour enumeration at 100k-node scale; the per-query
+//!   Dijkstra survives as a bit-identical differential reference.
 //! * **Fluid flows** ([`flow`]): active transfers share links max-min fairly;
 //!   each flow is additionally capped by a TCP (Mathis) ceiling derived from
 //!   path RTT and loss ([`tcp`]), by per-flow policers ([`middlebox`]) and by
@@ -54,6 +58,7 @@ pub mod error;
 pub mod flow;
 pub mod geo;
 pub mod middlebox;
+pub mod oracle;
 pub mod routing;
 pub mod rpc;
 pub mod shard;
@@ -75,7 +80,8 @@ pub mod prelude {
     pub use crate::flow::{AllocMode, FlowClass, FlowSpec};
     pub use crate::geo::GeoPoint;
     pub use crate::middlebox::{Policer, PolicerScope};
-    pub use crate::routing::RouteOverride;
+    pub use crate::oracle::{DetourPath, RouteOracle};
+    pub use crate::routing::{RouteOverride, RoutingMode};
     pub use crate::rpc::{Rpc, RpcSpec};
     pub use crate::tcp::TcpParams;
     pub use crate::time::SimTime;

@@ -1,0 +1,593 @@
+//! Precomputed route oracle over the CSR topology.
+//!
+//! [`crate::routing::RoutingTable`] answers every query by running Dijkstra
+//! from scratch — fine at the paper's ~40-node North America map, wrong at
+//! the 100k-node multi-region scale the synthetic globe reaches. The oracle
+//! instead precomputes one **shortest-path tree per queried source** (and,
+//! for detour enumeration, one reverse tree per queried destination), so:
+//!
+//! * `path` / `links` are near-O(path length): walk the tree's predecessor
+//!   chain. With a caller-provided buffer ([`RouteOracle::path_into`] /
+//!   [`RouteOracle::links_into`]) a warm query performs **zero heap
+//!   allocations**.
+//! * [`RouteOracle::k_detours`] ranks every node `v` by
+//!   `dist(src→v) + dist(v→dst)` using one forward and one reverse tree —
+//!   the Pied-Piper-style relay enumeration — in O(n log n) for the ranking
+//!   plus O(k · path length) for materialisation, instead of one Dijkstra
+//!   per candidate via.
+//!
+//! Trees are built lazily on first use of a source (or destination, for the
+//! reverse direction) and cached; the cache is a pure function of the
+//! topology, never of query history, so it is **excluded from the audit
+//! digest** — only the override map (actual routing policy) is folded in.
+//!
+//! Route overrides layer on top exactly as in [`crate::routing`]: an
+//! override pins the (src, dst) pair before any tree is consulted, and is
+//! validated lazily so a broken override fails loudly at use.
+//!
+//! Tie-breaking is canonical and identical to the reference Dijkstra in
+//! [`crate::routing::dijkstra`]: nodes settle in `(dist, node id)` order and
+//! a node's predecessor is the smallest-id settled neighbour that achieves
+//! its final distance. The simcheck differential plane re-runs whole
+//! scenarios under the reference and flags any digest divergence.
+
+use crate::error::{NetError, NetResult};
+use crate::routing::RouteOverride;
+use crate::topology::{Csr, LinkId, NodeId, Topology};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A shortest-path tree rooted at one node.
+///
+/// For a forward tree rooted at `src`, `prev_node[v]` is the predecessor of
+/// `v` on the canonical shortest path `src → v` and `prev_link[v]` the link
+/// entering `v`. For a reverse tree rooted at `dst` (built over the reverse
+/// CSR), `prev_node[v]` is the **successor** of `v` on the canonical path
+/// `v → dst` and `prev_link[v]` the link leaving `v`. `u32::MAX` means none.
+#[derive(Debug, Clone)]
+struct Spt {
+    dist: Vec<u64>,
+    prev_node: Vec<u32>,
+    prev_link: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+const UNREACHABLE: u64 = u64::MAX;
+
+/// Reusable scratch so warm queries and tree builds allocate nothing.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    settled: Vec<bool>,
+    /// `(combined cost, via)` candidates for `k_detours`.
+    ranked: Vec<(u64, u32)>,
+    /// Stamped visited marks for loop-freedom checks.
+    mark: Vec<u32>,
+    mark_stamp: u32,
+    /// Joined candidate path under construction.
+    joined: Vec<NodeId>,
+}
+
+/// One enumerated detour: the canonical shortest path `src → via → dst`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetourPath {
+    /// The pivot node the detour was enumerated through.
+    pub via: NodeId,
+    /// Total link cost of the joined path.
+    pub cost: u64,
+    /// Full node path from `src` to `dst` through `via`.
+    pub path: Vec<NodeId>,
+}
+
+/// Precomputed shortest-path oracle with override layering.
+#[derive(Debug, Clone, Default)]
+pub struct RouteOracle {
+    overrides: HashMap<(NodeId, NodeId), Vec<NodeId>>,
+    forward: HashMap<u32, Spt>,
+    reverse: HashMap<u32, Spt>,
+    scratch: Scratch,
+}
+
+impl RouteOracle {
+    /// Empty oracle (pure shortest-path routing, no trees built yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install an override; replaces any previous override for the pair.
+    pub fn add_override(&mut self, ov: RouteOverride) {
+        self.overrides.insert((ov.src, ov.dst), ov.path);
+    }
+
+    /// Number of installed overrides.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// The pinned path for a pair, if any (unvalidated).
+    pub fn override_for(&self, src: NodeId, dst: NodeId) -> Option<&[NodeId]> {
+        self.overrides.get(&(src, dst)).map(|p| p.as_slice())
+    }
+
+    /// Number of cached trees (forward + reverse); test introspection.
+    pub fn tree_count(&self) -> usize {
+        self.forward.len() + self.reverse.len()
+    }
+
+    /// Drop all cached trees (call after the topology they were built over
+    /// is replaced). Overrides are kept: they are policy, not cache.
+    pub fn clear_trees(&mut self) {
+        self.forward.clear();
+        self.reverse.clear();
+    }
+
+    /// The path from `src` to `dst` into a caller-owned buffer: the
+    /// installed override if present, otherwise the canonical minimum-cost
+    /// path. Warm queries (tree already built) perform no heap allocation
+    /// beyond what `out` needs.
+    pub fn path_into(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<NodeId>,
+    ) -> NetResult<()> {
+        out.clear();
+        if !topo.contains(src) {
+            return Err(NetError::UnknownNode(src));
+        }
+        if !topo.contains(dst) {
+            return Err(NetError::UnknownNode(dst));
+        }
+        if src == dst {
+            out.push(src);
+            return Ok(());
+        }
+        if let Some(p) = self.overrides.get(&(src, dst)) {
+            // Validate lazily so a bad override fails loudly at use.
+            validate_path(topo, p)?;
+            out.extend_from_slice(p);
+            return Ok(());
+        }
+        let tree = ensure_tree(&mut self.forward, &mut self.scratch, topo.csr(), src.0);
+        if tree.dist[dst.0 as usize] == UNREACHABLE {
+            return Err(NetError::NoRoute { src, dst });
+        }
+        let mut cur = dst.0;
+        while cur != NONE {
+            out.push(NodeId(cur));
+            cur = tree.prev_node[cur as usize];
+        }
+        debug_assert_eq!(out.last(), Some(&src));
+        out.reverse();
+        Ok(())
+    }
+
+    /// Allocating convenience around [`RouteOracle::path_into`].
+    pub fn path(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> NetResult<Vec<NodeId>> {
+        let mut out = Vec::new();
+        self.path_into(topo, src, dst, &mut out)?;
+        Ok(out)
+    }
+
+    /// The links of the `src → dst` path into a caller-owned buffer. On the
+    /// tree path this reads `prev_link` directly — no adjacency revalidation
+    /// and no allocation; override paths are validated as usual.
+    pub fn links_into(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<LinkId>,
+    ) -> NetResult<()> {
+        out.clear();
+        if !topo.contains(src) {
+            return Err(NetError::UnknownNode(src));
+        }
+        if !topo.contains(dst) {
+            return Err(NetError::UnknownNode(dst));
+        }
+        if src == dst {
+            return Ok(());
+        }
+        if let Some(p) = self.overrides.get(&(src, dst)) {
+            for w in p.windows(2) {
+                match topo.link_between(w[0], w[1]) {
+                    Some(l) => out.push(l),
+                    None => {
+                        return Err(NetError::BrokenPath {
+                            from: w[0],
+                            to: w[1],
+                        })
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let tree = ensure_tree(&mut self.forward, &mut self.scratch, topo.csr(), src.0);
+        if tree.dist[dst.0 as usize] == UNREACHABLE {
+            return Err(NetError::NoRoute { src, dst });
+        }
+        let mut cur = dst.0;
+        while tree.prev_link[cur as usize] != NONE {
+            out.push(LinkId(tree.prev_link[cur as usize]));
+            cur = tree.prev_node[cur as usize];
+        }
+        out.reverse();
+        Ok(())
+    }
+
+    /// Allocating convenience around [`RouteOracle::links_into`].
+    pub fn links(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> NetResult<Vec<LinkId>> {
+        let mut out = Vec::new();
+        self.links_into(topo, src, dst, &mut out)?;
+        Ok(out)
+    }
+
+    /// Cost of the canonical shortest path (ignoring overrides), or `None`
+    /// if unreachable.
+    pub fn cost(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<u64> {
+        if !topo.contains(src) || !topo.contains(dst) {
+            return None;
+        }
+        let tree = ensure_tree(&mut self.forward, &mut self.scratch, topo.csr(), src.0);
+        match tree.dist[dst.0 as usize] {
+            UNREACHABLE => None,
+            d => Some(d),
+        }
+    }
+
+    /// Enumerate up to `k` distinct loop-free detour paths `src → via → dst`
+    /// in deterministic order: nondecreasing joined cost, ties by via id.
+    ///
+    /// Every node `v` with finite `dist(src→v)` and `dist(v→dst)` is a
+    /// candidate pivot; each joins the canonical forward path to `v` with
+    /// the canonical path `v → dst` from the reverse tree. Candidates whose
+    /// joined path repeats a node (a loop) or duplicates the direct
+    /// shortest path — or an already-accepted detour — are skipped, so the
+    /// result is a set of genuine alternatives to the primary route.
+    ///
+    /// This is a pure topology query: route overrides pin *primary* paths
+    /// and are deliberately not consulted here.
+    pub fn k_detours(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        k: usize,
+    ) -> NetResult<Vec<DetourPath>> {
+        if !topo.contains(src) {
+            return Err(NetError::UnknownNode(src));
+        }
+        if !topo.contains(dst) {
+            return Err(NetError::UnknownNode(dst));
+        }
+        if src == dst || k == 0 {
+            return Ok(Vec::new());
+        }
+        let n = topo.nodes().len();
+        ensure_tree(&mut self.forward, &mut self.scratch, topo.csr(), src.0);
+        ensure_tree(
+            &mut self.reverse,
+            &mut self.scratch,
+            topo.reverse_csr(),
+            dst.0,
+        );
+        let fwd = &self.forward[&src.0];
+        let rev = &self.reverse[&dst.0];
+        if fwd.dist[dst.0 as usize] == UNREACHABLE {
+            return Err(NetError::NoRoute { src, dst });
+        }
+
+        // The direct shortest path, for exclusion.
+        let mut primary = Vec::new();
+        let mut cur = dst.0;
+        while cur != NONE {
+            primary.push(NodeId(cur));
+            cur = fwd.prev_node[cur as usize];
+        }
+        primary.reverse();
+
+        let ranked = &mut self.scratch.ranked;
+        ranked.clear();
+        for v in 0..n as u32 {
+            if v == src.0 || v == dst.0 {
+                continue;
+            }
+            let df = fwd.dist[v as usize];
+            let dr = rev.dist[v as usize];
+            if df != UNREACHABLE && dr != UNREACHABLE {
+                ranked.push((df + dr, v));
+            }
+        }
+        ranked.sort_unstable();
+
+        if self.scratch.mark.len() < n {
+            self.scratch.mark.resize(n, 0);
+        }
+        let mut accepted: Vec<DetourPath> = Vec::new();
+        for &(cost, via) in self.scratch.ranked.iter() {
+            if accepted.len() >= k {
+                break;
+            }
+            self.scratch.mark_stamp = self.scratch.mark_stamp.wrapping_add(1);
+            let stamp = self.scratch.mark_stamp;
+            let joined = &mut self.scratch.joined;
+            joined.clear();
+            // Forward half: src → via (walk prev chain backwards, reverse).
+            let mut cur = via;
+            while cur != NONE {
+                joined.push(NodeId(cur));
+                cur = fwd.prev_node[cur as usize];
+            }
+            joined.reverse();
+            for node in joined.iter() {
+                self.scratch.mark[node.0 as usize] = stamp;
+            }
+            // Reverse half: via → dst (successor chain), checking for loops
+            // against the forward half as we go.
+            let mut loop_free = true;
+            let mut cur = rev.prev_node[via as usize];
+            while cur != NONE {
+                if self.scratch.mark[cur as usize] == stamp {
+                    loop_free = false;
+                    break;
+                }
+                self.scratch.mark[cur as usize] = stamp;
+                joined.push(NodeId(cur));
+                cur = rev.prev_node[cur as usize];
+            }
+            if !loop_free {
+                continue;
+            }
+            debug_assert_eq!(joined.first(), Some(&src));
+            debug_assert_eq!(joined.last(), Some(&dst));
+            if *joined == primary || accepted.iter().any(|d| d.path == *joined) {
+                continue;
+            }
+            accepted.push(DetourPath {
+                via: NodeId(via),
+                cost,
+                path: joined.clone(),
+            });
+        }
+        Ok(accepted)
+    }
+
+    /// Fold the oracle's canonical routing state — the override map, sorted
+    /// — into an audit digest. Cached trees are deliberately excluded: they
+    /// are a pure function of the topology populated by query history, and
+    /// two state-identical sims must digest identically no matter which
+    /// diagnostic lookups each happened to run.
+    pub fn digest_into(&self, d: &mut crate::audit::Digest) {
+        let mut entries: Vec<_> = self.overrides.iter().collect();
+        entries.sort_unstable_by_key(|((s, t), _)| (s.0, t.0));
+        d.write_u64(entries.len() as u64);
+        for ((s, t), path) in entries {
+            d.write_u64(s.0 as u64);
+            d.write_u64(t.0 as u64);
+            d.write_u64(path.len() as u64);
+            for n in path {
+                d.write_u64(n.0 as u64);
+            }
+        }
+    }
+}
+
+/// Validate that consecutive path nodes are joined by links, without
+/// materialising the link list.
+fn validate_path(topo: &Topology, path: &[NodeId]) -> NetResult<()> {
+    for w in path.windows(2) {
+        if topo.link_between(w[0], w[1]).is_none() {
+            return Err(NetError::BrokenPath {
+                from: w[0],
+                to: w[1],
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Get or build the tree rooted at `root` over `csr`.
+fn ensure_tree<'a>(
+    trees: &'a mut HashMap<u32, Spt>,
+    scratch: &mut Scratch,
+    csr: &Csr,
+    root: u32,
+) -> &'a Spt {
+    trees
+        .entry(root)
+        .or_insert_with(|| build_tree(scratch, csr, root))
+}
+
+/// Canonical Dijkstra over a CSR, producing a full shortest-path tree.
+///
+/// Determinism contract (shared bit-for-bit with the reference
+/// [`crate::routing::dijkstra`]): nodes settle in `(dist, node id)` heap
+/// order; `prev_node[v]` is the smallest-id node `u` that (a) settled before
+/// `v` and (b) achieves `dist[v] = dist[u] + cost(u→v)`. Once a node is
+/// settled its predecessor is frozen — equal-cost relaxations arriving later
+/// may not rewrite it (the historical bug class: a post-settlement rewrite
+/// made answers depend on which destination was queried first, and with
+/// zero-cost edges could even knot the predecessor chain into a cycle).
+fn build_tree(scratch: &mut Scratch, csr: &Csr, root: u32) -> Spt {
+    let n = csr.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut prev_node = vec![NONE; n];
+    let mut prev_link = vec![NONE; n];
+    scratch.settled.clear();
+    scratch.settled.resize(n, false);
+    scratch.heap.clear();
+
+    dist[root as usize] = 0;
+    scratch.heap.push(Reverse((0, root)));
+    while let Some(Reverse((d, u))) = scratch.heap.pop() {
+        if scratch.settled[u as usize] {
+            continue;
+        }
+        scratch.settled[u as usize] = true;
+        for (v, cost, lid) in csr.arcs(u) {
+            let nd = d + cost as u64;
+            let vi = v as usize;
+            if nd < dist[vi] {
+                dist[vi] = nd;
+                prev_node[vi] = u;
+                prev_link[vi] = lid.0;
+                scratch.heap.push(Reverse((nd, v)));
+            } else if nd == dist[vi] && !scratch.settled[vi] && u < prev_node[vi] {
+                // Same distance via a smaller settled predecessor: adopt it.
+                // No re-push needed — an equal-key heap entry already exists.
+                prev_node[vi] = u;
+                prev_link[vi] = lid.0;
+            }
+        }
+    }
+    Spt {
+        dist,
+        prev_node,
+        prev_link,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoPoint;
+    use crate::time::SimTime;
+    use crate::topology::{LinkParams, TopologyBuilder};
+    use crate::units::Bandwidth;
+
+    fn p(cost: u32) -> LinkParams {
+        LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(1)).with_cost(cost)
+    }
+
+    /// a → {x (5+5), y (50+50)} → d, plus a spur s reachable only from d.
+    fn diamond() -> (Topology, NodeId, NodeId, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a", GeoPoint::new(0.0, 0.0));
+        let x = b.router("x", GeoPoint::new(1.0, 0.0));
+        let y = b.router("y", GeoPoint::new(-1.0, 0.0));
+        let d = b.host("d", GeoPoint::new(0.0, 1.0));
+        b.duplex(a, x, p(5));
+        b.duplex(x, d, p(5));
+        b.duplex(a, y, p(50));
+        b.duplex(y, d, p(50));
+        (b.build(), a, x, y, d)
+    }
+
+    #[test]
+    fn path_and_links_match_topology() {
+        let (t, a, x, _y, d) = diamond();
+        let mut o = RouteOracle::new();
+        assert_eq!(o.path(&t, a, d).unwrap(), vec![a, x, d]);
+        let links = o.links(&t, a, d).unwrap();
+        assert_eq!(links, t.links_on_path(&[a, x, d]).unwrap());
+        assert_eq!(o.cost(&t, a, d), Some(10));
+        assert_eq!(o.cost(&t, a, NodeId(99)), None);
+    }
+
+    #[test]
+    fn self_path_and_errors() {
+        let (t, a, _x, _y, d) = diamond();
+        let mut o = RouteOracle::new();
+        assert_eq!(o.path(&t, a, a).unwrap(), vec![a]);
+        assert!(o.links(&t, a, a).unwrap().is_empty());
+        let ghost = NodeId(99);
+        assert_eq!(o.path(&t, a, ghost), Err(NetError::UnknownNode(ghost)));
+        assert_eq!(o.path(&t, ghost, d), Err(NetError::UnknownNode(ghost)));
+    }
+
+    #[test]
+    fn override_layering() {
+        let (t, a, _x, y, d) = diamond();
+        let mut o = RouteOracle::new();
+        o.add_override(RouteOverride::new(a, d, vec![a, y, d]));
+        assert_eq!(o.path(&t, a, d).unwrap(), vec![a, y, d]);
+        assert_eq!(
+            o.links(&t, a, d).unwrap(),
+            t.links_on_path(&[a, y, d]).unwrap()
+        );
+        // Reverse direction unaffected.
+        assert_eq!(o.path(&t, d, a).unwrap().len(), 3);
+        // Broken override errors at use.
+        o.add_override(RouteOverride::new(d, a, vec![d, a]));
+        assert!(matches!(o.path(&t, d, a), Err(NetError::BrokenPath { .. })));
+    }
+
+    #[test]
+    fn warm_queries_reuse_one_tree() {
+        let (t, a, _x, y, d) = diamond();
+        let mut o = RouteOracle::new();
+        o.path(&t, a, d).unwrap();
+        o.path(&t, a, y).unwrap();
+        o.path(&t, a, d).unwrap();
+        assert_eq!(o.tree_count(), 1);
+        o.clear_trees();
+        assert_eq!(o.tree_count(), 0);
+    }
+
+    #[test]
+    fn k_detours_diamond() {
+        let (t, a, x, y, d) = diamond();
+        let mut o = RouteOracle::new();
+        let detours = o.k_detours(&t, a, d, 4).unwrap();
+        // Primary path a-x-d is excluded; the only alternative is a-y-d.
+        assert_eq!(detours.len(), 1);
+        assert_eq!(detours[0].via, y);
+        assert_eq!(detours[0].path, vec![a, y, d]);
+        assert_eq!(detours[0].cost, 100);
+        // x pivots onto the primary path and must not reappear.
+        assert!(detours.iter().all(|dt| dt.via != x));
+    }
+
+    #[test]
+    fn k_detours_order_and_limits() {
+        // Three parallel two-hop routes of distinct costs.
+        let mut b = TopologyBuilder::new();
+        let s = b.host("s", GeoPoint::new(0.0, 0.0));
+        let m1 = b.router("m1", GeoPoint::new(1.0, 0.0));
+        let m2 = b.router("m2", GeoPoint::new(2.0, 0.0));
+        let m3 = b.router("m3", GeoPoint::new(3.0, 0.0));
+        let d = b.host("d", GeoPoint::new(0.0, 1.0));
+        b.duplex(s, m1, p(1));
+        b.duplex(m1, d, p(1));
+        b.duplex(s, m2, p(2));
+        b.duplex(m2, d, p(2));
+        b.duplex(s, m3, p(3));
+        b.duplex(m3, d, p(3));
+        let t = b.build();
+        let mut o = RouteOracle::new();
+        let detours = o.k_detours(&t, s, d, 10).unwrap();
+        // Primary is s-m1-d (cost 2); detours are the other two, cheap first.
+        assert_eq!(detours.len(), 2);
+        assert_eq!(detours[0].path, vec![s, m2, d]);
+        assert_eq!(detours[1].path, vec![s, m3, d]);
+        assert!(detours[0].cost < detours[1].cost);
+        assert_eq!(o.k_detours(&t, s, d, 1).unwrap().len(), 1);
+        assert!(o.k_detours(&t, s, s, 4).unwrap().is_empty());
+        assert!(o.k_detours(&t, s, d, 0).unwrap().is_empty());
+        // Each detour is loop-free.
+        for dt in &detours {
+            let mut seen = std::collections::HashSet::new();
+            assert!(dt.path.iter().all(|n| seen.insert(*n)), "{:?}", dt.path);
+        }
+    }
+
+    #[test]
+    fn digest_ignores_tree_cache() {
+        let (t, a, _x, y, d) = diamond();
+        let mut warm = RouteOracle::new();
+        let mut cold = RouteOracle::new();
+        for o in [&mut warm, &mut cold] {
+            o.add_override(RouteOverride::new(a, d, vec![a, y, d]));
+        }
+        warm.path(&t, a, d).unwrap();
+        warm.path(&t, d, a).unwrap();
+        warm.k_detours(&t, a, d, 2).unwrap();
+        let mut d1 = crate::audit::Digest::new();
+        let mut d2 = crate::audit::Digest::new();
+        warm.digest_into(&mut d1);
+        cold.digest_into(&mut d2);
+        assert_eq!(d1.finish(), d2.finish());
+    }
+}

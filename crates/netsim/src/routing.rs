@@ -15,6 +15,7 @@
 //! BGP policy invisible to the authors.
 
 use crate::error::{NetError, NetResult};
+use crate::oracle::{DetourPath, RouteOracle};
 use crate::topology::{LinkId, NodeId, Topology};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -39,33 +40,142 @@ impl RouteOverride {
     }
 }
 
-/// Computes and caches paths over a topology.
+/// Which backend answers shortest-path queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// The precomputed [`RouteOracle`]: per-source shortest-path trees over
+    /// the CSR topology, near-O(path length) per query. The default.
+    #[default]
+    Oracle,
+    /// Per-query [`dijkstra`], kept as a bit-identical differential
+    /// reference (the routing analogue of `AllocMode::Reference`). The
+    /// simcheck plane re-runs scenarios in this mode and flags any digest
+    /// divergence from the oracle.
+    Reference,
+}
+
+/// Computes paths over a topology: a façade over the [`RouteOracle`] (the
+/// default backend) and the per-query reference Dijkstra, with route
+/// overrides shared by both.
 #[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
-    overrides: HashMap<(NodeId, NodeId), Vec<NodeId>>,
-    cache: HashMap<(NodeId, NodeId), Vec<NodeId>>,
+    mode: RoutingMode,
+    oracle: RouteOracle,
+    /// Reference-mode per-pair memo. Like the oracle's trees this is query
+    /// history, not state, and is excluded from the audit digest.
+    ref_cache: HashMap<(NodeId, NodeId), Vec<NodeId>>,
 }
 
 impl RoutingTable {
-    /// Empty table (pure shortest-path routing).
+    /// Empty table (pure shortest-path routing, oracle backend).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Select the backend. Both modes return bit-identical paths; the
+    /// reference exists so differential checks can prove that.
+    pub fn set_mode(&mut self, mode: RoutingMode) {
+        self.mode = mode;
+    }
+
+    /// The active backend.
+    pub fn mode(&self) -> RoutingMode {
+        self.mode
+    }
+
     /// Install an override; replaces any previous override for the pair.
     pub fn add_override(&mut self, ov: RouteOverride) {
-        self.overrides.insert((ov.src, ov.dst), ov.path);
+        self.oracle.add_override(ov);
     }
 
     /// Number of installed overrides.
     pub fn override_count(&self) -> usize {
-        self.overrides.len()
+        self.oracle.override_count()
     }
 
     /// The path from `src` to `dst`: the installed override if present,
-    /// otherwise the minimum-cost path (ties broken deterministically by
-    /// node id). Results are cached.
+    /// otherwise the canonical minimum-cost path (ties broken
+    /// deterministically by smaller predecessor id at settlement).
     pub fn path(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> NetResult<Vec<NodeId>> {
+        match self.mode {
+            RoutingMode::Oracle => self.oracle.path(topo, src, dst),
+            RoutingMode::Reference => self.reference_path(topo, src, dst),
+        }
+    }
+
+    /// Non-allocating variant of [`RoutingTable::path`] on the oracle
+    /// backend; the reference backend simply clones into `out`.
+    pub fn path_into(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<NodeId>,
+    ) -> NetResult<()> {
+        match self.mode {
+            RoutingMode::Oracle => self.oracle.path_into(topo, src, dst, out),
+            RoutingMode::Reference => {
+                let p = self.reference_path(topo, src, dst)?;
+                out.clear();
+                out.extend_from_slice(&p);
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolve a path into its links.
+    pub fn links(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> NetResult<Vec<LinkId>> {
+        match self.mode {
+            RoutingMode::Oracle => self.oracle.links(topo, src, dst),
+            RoutingMode::Reference => {
+                let p = self.reference_path(topo, src, dst)?;
+                topo.links_on_path(&p)
+            }
+        }
+    }
+
+    /// Up to `k` distinct loop-free alternatives to the shortest path, in
+    /// deterministic (cost, via id) order. Always answered by the oracle —
+    /// detour enumeration needs its forward/reverse trees either way.
+    pub fn k_detours(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        k: usize,
+    ) -> NetResult<Vec<DetourPath>> {
+        self.oracle.k_detours(topo, src, dst, k)
+    }
+
+    /// Direct access to the oracle backend.
+    pub fn oracle_mut(&mut self) -> &mut RouteOracle {
+        &mut self.oracle
+    }
+
+    /// Drop cached trees and memoised paths (call after mutating costs in
+    /// tests). Overrides are kept.
+    pub fn clear_cache(&mut self) {
+        self.oracle.clear_trees();
+        self.ref_cache.clear();
+    }
+
+    /// Fold the canonical routing state — overrides only, in sorted order —
+    /// into an audit digest. Query caches (oracle trees, the reference
+    /// memo) are deliberately excluded: they record which pairs happened to
+    /// be looked up, not what the simulation state is, and folding them
+    /// made two state-identical sims digest differently after a diagnostic
+    /// path query. The backend mode is likewise excluded so oracle and
+    /// reference executions can be compared digest-for-digest.
+    pub fn digest_into(&self, d: &mut crate::audit::Digest) {
+        self.oracle.digest_into(d);
+    }
+
+    fn reference_path(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+    ) -> NetResult<Vec<NodeId>> {
         if !topo.contains(src) {
             return Err(NetError::UnknownNode(src));
         }
@@ -75,79 +185,64 @@ impl RoutingTable {
         if src == dst {
             return Ok(vec![src]);
         }
-        if let Some(p) = self.overrides.get(&(src, dst)) {
+        if let Some(p) = self.oracle.override_for(src, dst) {
             // Validate lazily so a bad override fails loudly at use.
             topo.links_on_path(p)?;
-            return Ok(p.clone());
+            return Ok(p.to_vec());
         }
-        if let Some(p) = self.cache.get(&(src, dst)) {
+        if let Some(p) = self.ref_cache.get(&(src, dst)) {
             return Ok(p.clone());
         }
         let p = dijkstra(topo, src, dst).ok_or(NetError::NoRoute { src, dst })?;
-        self.cache.insert((src, dst), p.clone());
+        self.ref_cache.insert((src, dst), p.clone());
         Ok(p)
-    }
-
-    /// Resolve a path into its links.
-    pub fn links(&mut self, topo: &Topology, src: NodeId, dst: NodeId) -> NetResult<Vec<LinkId>> {
-        let p = self.path(topo, src, dst)?;
-        topo.links_on_path(&p)
-    }
-
-    /// Drop the shortest-path cache (call after mutating costs in tests).
-    pub fn clear_cache(&mut self) {
-        self.cache.clear();
-    }
-
-    /// Fold overrides and the path cache into an audit digest, in sorted
-    /// order (hash-map iteration order is not deterministic).
-    pub fn digest_into(&self, d: &mut crate::audit::Digest) {
-        let mut fold = |map: &HashMap<(NodeId, NodeId), Vec<NodeId>>| {
-            let mut entries: Vec<_> = map.iter().collect();
-            entries.sort_unstable_by_key(|((s, t), _)| (s.0, t.0));
-            d.write_u64(entries.len() as u64);
-            for ((s, t), path) in entries {
-                d.write_u64(s.0 as u64);
-                d.write_u64(t.0 as u64);
-                d.write_u64(path.len() as u64);
-                for n in path {
-                    d.write_u64(n.0 as u64);
-                }
-            }
-        };
-        fold(&self.overrides);
-        fold(&self.cache);
     }
 }
 
-/// Deterministic Dijkstra over link costs. Ties are broken by preferring the
-/// lexicographically smaller predecessor node id so that repeated runs (and
-/// runs on different platforms) yield identical paths.
-fn dijkstra(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+/// Deterministic single-pair Dijkstra over link costs, kept as the
+/// differential reference for the [`RouteOracle`].
+///
+/// Canonical tie-break, shared bit-for-bit with the oracle's tree builds:
+/// nodes settle in `(dist, node id)` heap order, and a node's predecessor is
+/// the smallest-id node that settled before it and achieves its final
+/// distance. Two historical bugs are worth remembering here:
+///
+/// * the loop used to `break` as soon as `dst` was *popped*, skipping
+///   equal-cost relaxations into `dst` from nodes still in the heap, so the
+///   documented smaller-predecessor rule was not fully honoured;
+/// * the tie-break update was unguarded and could rewrite `prev[v]` after
+///   `v` had settled, which made answers depend on query order and — with
+///   zero-cost edges — could knot the predecessor chain into a cycle.
+///
+/// The settled-node guard fixes both: predecessors freeze at settlement,
+/// and the full sweep keeps this function's answers identical to a path
+/// read out of the oracle's shortest-path tree.
+pub fn dijkstra(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
     let n = topo.nodes().len();
     let mut dist = vec![u64::MAX; n];
     let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut settled = vec![false; n];
     let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
     dist[src.0 as usize] = 0;
     heap.push(Reverse((0, src.0)));
 
     while let Some(Reverse((d, u))) = heap.pop() {
-        if d > dist[u as usize] {
+        if settled[u as usize] {
             continue;
         }
-        if u == dst.0 {
-            break;
-        }
+        settled[u as usize] = true;
         for &lid in topo.outgoing(NodeId(u)) {
             let link = topo.link(lid);
             let v = link.to.0 as usize;
             let nd = d + link.cost as u64;
-            let better =
-                nd < dist[v] || (nd == dist[v] && prev[v].map(|p| u < p.0).unwrap_or(false));
-            if better {
+            if nd < dist[v] {
                 dist[v] = nd;
                 prev[v] = Some(NodeId(u));
                 heap.push(Reverse((nd, v as u32)));
+            } else if nd == dist[v] && !settled[v] && prev[v].map(|p| u < p.0).unwrap_or(false) {
+                // Equal cost via a smaller predecessor; an equal-key heap
+                // entry already exists, so no re-push.
+                prev[v] = Some(NodeId(u));
             }
         }
     }
@@ -210,14 +305,17 @@ mod tests {
 
     #[test]
     fn broken_override_errors() {
-        let (t, a, _x, _y, d) = diamond();
-        let mut rt = RoutingTable::new();
-        // a and d are not adjacent.
-        rt.overrides.insert((a, d), vec![a, d]);
-        assert!(matches!(
-            rt.path(&t, a, d),
-            Err(NetError::BrokenPath { .. })
-        ));
+        // a and d are not adjacent; both backends must fail loudly at use.
+        for mode in [RoutingMode::Oracle, RoutingMode::Reference] {
+            let (t, a, _x, _y, d) = diamond();
+            let mut rt = RoutingTable::new();
+            rt.set_mode(mode);
+            rt.add_override(RouteOverride::new(a, d, vec![a, d]));
+            assert!(matches!(
+                rt.path(&t, a, d),
+                Err(NetError::BrokenPath { .. })
+            ));
+        }
     }
 
     #[test]
@@ -292,5 +390,110 @@ mod tests {
         let (_, a, x, _y, d) = diamond();
         let result = std::panic::catch_unwind(|| RouteOverride::new(a, d, vec![a, x]));
         assert!(result.is_err());
+    }
+
+    /// Regression (digest bug): the audit digest used to fold the lazily
+    /// populated query cache, so two state-identical tables that had looked
+    /// up different pairs digested differently. Warming any number of
+    /// queries must leave the digest unchanged, in both backends.
+    #[test]
+    fn warming_the_cache_leaves_the_digest_unchanged() {
+        for mode in [RoutingMode::Oracle, RoutingMode::Reference] {
+            let (t, a, _x, y, d) = diamond();
+            let mut cold = RoutingTable::new();
+            let mut warm = RoutingTable::new();
+            for rt in [&mut cold, &mut warm] {
+                rt.set_mode(mode);
+                rt.add_override(RouteOverride::new(a, d, vec![a, y, d]));
+            }
+            warm.path(&t, a, d).unwrap();
+            warm.path(&t, d, a).unwrap();
+            warm.path(&t, y, a).unwrap();
+            warm.links(&t, a, y).unwrap();
+            warm.k_detours(&t, a, d, 2).unwrap();
+            let digest_of = |rt: &RoutingTable| {
+                let mut d = crate::audit::Digest::new();
+                rt.digest_into(&mut d);
+                d.finish()
+            };
+            assert_eq!(digest_of(&cold), digest_of(&warm), "mode {mode:?}");
+        }
+    }
+
+    /// The digest must also be independent of the backend mode, or the
+    /// differential oracle-vs-reference executions could never agree.
+    #[test]
+    fn digest_is_mode_independent() {
+        let (t, a, _x, y, d) = diamond();
+        let mut oracle = RoutingTable::new();
+        let mut reference = RoutingTable::new();
+        reference.set_mode(RoutingMode::Reference);
+        for rt in [&mut oracle, &mut reference] {
+            rt.add_override(RouteOverride::new(a, d, vec![a, y, d]));
+            rt.path(&t, a, d).unwrap();
+        }
+        let digest_of = |rt: &RoutingTable| {
+            let mut d = crate::audit::Digest::new();
+            rt.digest_into(&mut d);
+            d.finish()
+        };
+        assert_eq!(digest_of(&oracle), digest_of(&reference));
+    }
+
+    /// Regression (tie-break bug): an equal-cost diamond whose heap order
+    /// used to flip the answer. Node ids by creation order: a=0, x=1, u=2,
+    /// q=3, d=4; a→q→x costs 5+5, a→u→x costs 10+0, then x→d. Both routes
+    /// into x cost 10. The buggy Dijkstra settled x via q (the only
+    /// predecessor at settlement — the canonical answer), then later popped
+    /// u and *rewrote* `prev[x] = u` because 2 < 3, returning a-u-x-d; and
+    /// its early `break` on popping d meant equal-cost relaxations into d
+    /// still in the heap were silently skipped. With predecessors frozen at
+    /// settlement the answer is a-q-x-d in every mode, matching the
+    /// documented smaller-predecessor-at-settlement rule.
+    #[test]
+    fn equal_cost_diamond_is_not_flipped_by_heap_order() {
+        let mut b = TopologyBuilder::new();
+        let p = |cost| {
+            LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(1)).with_cost(cost)
+        };
+        let a = b.host("a", GeoPoint::new(0.0, 0.0));
+        let x = b.router("x", GeoPoint::new(1.0, 0.0));
+        let u = b.router("u", GeoPoint::new(2.0, 0.0));
+        let q = b.router("q", GeoPoint::new(3.0, 0.0));
+        let d = b.host("d", GeoPoint::new(0.0, 1.0));
+        b.simplex(a, q, p(5));
+        b.simplex(q, x, p(5));
+        b.simplex(a, u, p(10));
+        b.simplex(u, x, p(0));
+        b.simplex(x, d, p(7));
+        let t = b.build();
+        let want = vec![a, q, x, d];
+        assert_eq!(dijkstra(&t, a, d).unwrap(), want);
+        for mode in [RoutingMode::Oracle, RoutingMode::Reference] {
+            let mut rt = RoutingTable::new();
+            rt.set_mode(mode);
+            assert_eq!(rt.path(&t, a, d).unwrap(), want, "mode {mode:?}");
+        }
+        // Query order must not matter either: resolving a→x first used to
+        // poison later answers via the rewritten predecessor.
+        let mut rt = RoutingTable::new();
+        assert_eq!(rt.path(&t, a, x).unwrap(), vec![a, q, x]);
+        assert_eq!(rt.path(&t, a, d).unwrap(), want);
+    }
+
+    /// Oracle and reference backends agree pairwise on the whole diamond.
+    #[test]
+    fn backends_agree_on_every_pair() {
+        let (t, ..) = diamond();
+        let mut oracle = RoutingTable::new();
+        let mut reference = RoutingTable::new();
+        reference.set_mode(RoutingMode::Reference);
+        for s in 0..t.nodes().len() as u32 {
+            for e in 0..t.nodes().len() as u32 {
+                let (s, e) = (NodeId(s), NodeId(e));
+                assert_eq!(oracle.path(&t, s, e), reference.path(&t, s, e));
+                assert_eq!(oracle.links(&t, s, e), reference.links(&t, s, e));
+            }
+        }
     }
 }

@@ -138,13 +138,109 @@ pub struct Link {
     pub cost: u32,
 }
 
+/// Flat compressed-sparse-row adjacency: one `offsets` array of length
+/// `nodes + 1` and three parallel arc arrays of length `links`. The arcs of
+/// node `u` occupy `offsets[u]..offsets[u+1]`, in link-id order — the same
+/// order the old nested `Vec<Vec<LinkId>>` adjacency produced, so iteration
+/// order (and therefore every tie-broken route) is unchanged. The payoff is
+/// locality: a shortest-path sweep touches three dense arrays instead of
+/// chasing one heap-allocated `Vec` per node, and `cost` rides alongside the
+/// target so the relaxation loop never dereferences a `Link`.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    costs: Vec<u32>,
+    link_ids: Vec<LinkId>,
+}
+
+impl Csr {
+    /// Counting-sort `(bucket, target, cost, link)` arcs into CSR form.
+    /// Arcs must arrive in link-id order so each bucket stays link-sorted.
+    fn build(n: usize, arcs: impl Iterator<Item = (u32, u32, u32, LinkId)> + Clone) -> Csr {
+        let mut offsets = vec![0u32; n + 1];
+        for (bucket, ..) in arcs.clone() {
+            offsets[bucket as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let m = *offsets.last().unwrap_or(&0) as usize;
+        let mut targets = vec![0u32; m];
+        let mut costs = vec![0u32; m];
+        let mut link_ids = vec![LinkId(0); m];
+        let mut cursor = offsets.clone();
+        for (bucket, target, cost, link) in arcs {
+            let at = cursor[bucket as usize] as usize;
+            targets[at] = target;
+            costs[at] = cost;
+            link_ids[at] = link;
+            cursor[bucket as usize] += 1;
+        }
+        Csr {
+            offsets,
+            targets,
+            costs,
+            link_ids,
+        }
+    }
+
+    /// Number of nodes this CSR was built over.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The arc index range of node `u`.
+    #[inline]
+    pub fn range(&self, u: u32) -> std::ops::Range<usize> {
+        self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize
+    }
+
+    /// Target node ids of `u`'s arcs.
+    #[inline]
+    pub fn targets(&self, u: u32) -> &[u32] {
+        &self.targets[self.range(u)]
+    }
+
+    /// Costs parallel to [`Csr::targets`].
+    #[inline]
+    pub fn costs(&self, u: u32) -> &[u32] {
+        &self.costs[self.range(u)]
+    }
+
+    /// Link ids parallel to [`Csr::targets`].
+    #[inline]
+    pub fn link_ids(&self, u: u32) -> &[LinkId] {
+        &self.link_ids[self.range(u)]
+    }
+
+    /// Iterate `(target, cost, link)` arcs of `u` in link-id order.
+    #[inline]
+    pub fn arcs(&self, u: u32) -> impl Iterator<Item = (u32, u32, LinkId)> + '_ {
+        let r = self.range(u);
+        self.targets[r.clone()]
+            .iter()
+            .zip(&self.costs[r.clone()])
+            .zip(&self.link_ids[r])
+            .map(|((&t, &c), &l)| (t, c, l))
+    }
+}
+
 /// An immutable network topology.
 #[derive(Debug, Clone)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
-    /// adjacency[from] = list of outgoing link ids.
-    adjacency: Vec<Vec<LinkId>>,
+    /// Forward CSR: arcs bucketed by `from`, link-id order within a node.
+    csr: Csr,
+    /// Reverse CSR: the same links bucketed by `to` (targets are the `from`
+    /// endpoints), used for reverse shortest-path trees in detour queries.
+    rcsr: Csr,
     /// (from, to) -> link id for O(1) lookup when validating explicit paths.
     edge_index: HashMap<(NodeId, NodeId), LinkId>,
     name_index: HashMap<String, NodeId>,
@@ -181,9 +277,20 @@ impl Topology {
         self.name_index.get(name).copied()
     }
 
-    /// Outgoing links of a node.
+    /// Outgoing links of a node, in link-id order.
     pub fn outgoing(&self, id: NodeId) -> &[LinkId] {
-        &self.adjacency[id.0 as usize]
+        self.csr.link_ids(id.0)
+    }
+
+    /// The forward CSR adjacency (arcs bucketed by source).
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// The reverse CSR adjacency (arcs bucketed by destination; a reverse
+    /// arc's target is the link's `from` endpoint).
+    pub fn reverse_csr(&self) -> &Csr {
+        &self.rcsr
     }
 
     /// The directed link between two adjacent nodes, if any.
@@ -358,10 +465,8 @@ impl TopologyBuilder {
 
     /// Finalize into an immutable topology.
     pub fn build(self) -> Topology {
-        let mut adjacency = vec![Vec::new(); self.nodes.len()];
         let mut edge_index = HashMap::with_capacity(self.links.len());
         for link in &self.links {
-            adjacency[link.from.0 as usize].push(link.id);
             let prev = edge_index.insert((link.from, link.to), link.id);
             assert!(
                 prev.is_none(),
@@ -370,11 +475,20 @@ impl TopologyBuilder {
                 link.to
             );
         }
+        let csr = Csr::build(
+            self.nodes.len(),
+            self.links.iter().map(|l| (l.from.0, l.to.0, l.cost, l.id)),
+        );
+        let rcsr = Csr::build(
+            self.nodes.len(),
+            self.links.iter().map(|l| (l.to.0, l.from.0, l.cost, l.id)),
+        );
         let name_index = self.nodes.iter().map(|n| (n.name.clone(), n.id)).collect();
         Topology {
             nodes: self.nodes,
             links: self.links,
-            adjacency,
+            csr,
+            rcsr,
             edge_index,
             name_index,
         }
@@ -413,6 +527,35 @@ mod tests {
         assert!(t.link_between(a, r).is_some());
         assert!(t.link_between(a, c).is_none());
         assert_eq!(t.outgoing(r).len(), 2);
+    }
+
+    #[test]
+    fn csr_mirrors_links_and_reverse() {
+        let (t, a, r, c) = three_node();
+        assert_eq!(t.csr().node_count(), t.nodes().len());
+        assert_eq!(t.csr().arc_count(), t.links().len());
+        assert_eq!(t.reverse_csr().arc_count(), t.links().len());
+        // Forward arcs of r are its outgoing links, in link-id order.
+        let out = t.outgoing(r);
+        assert_eq!(out.len(), 2);
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+        for (target, cost, lid) in t.csr().arcs(r.0) {
+            let l = t.link(lid);
+            assert_eq!(l.from, r);
+            assert_eq!(l.to.0, target);
+            assert_eq!(l.cost, cost);
+        }
+        // Reverse arcs of r point back at the links' sources: a and c.
+        let ins: Vec<_> = t.reverse_csr().arcs(r.0).collect();
+        assert_eq!(ins.len(), 2);
+        for &(source, cost, lid) in &ins {
+            let l = t.link(lid);
+            assert_eq!(l.to, r);
+            assert_eq!(l.from.0, source);
+            assert_eq!(l.cost, cost);
+        }
+        let sources: Vec<u32> = ins.iter().map(|&(s, ..)| s).collect();
+        assert!(sources.contains(&a.0) && sources.contains(&c.0));
     }
 
     #[test]

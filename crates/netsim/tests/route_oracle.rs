@@ -1,0 +1,179 @@
+//! Differential property tests for the precomputed route oracle: on
+//! randomized WAN and globe topologies every oracle answer must be
+//! bit-identical to the legacy per-query Dijkstra (`netsim::routing::dijkstra`),
+//! overrides must layer the same way, and detour enumeration must be
+//! deterministic, distinct, and loop-free.
+
+use netsim::oracle::RouteOracle;
+use netsim::routing::{dijkstra, RouteOverride};
+use netsim::synth::{SynthGlobe, SynthWan};
+use netsim::topology::{NodeId, Topology};
+use proptest::prelude::*;
+
+/// Cheap deterministic pair sampler over the node set.
+fn pairs(topo: &Topology, seed: u64, count: usize) -> Vec<(NodeId, NodeId)> {
+    let n = topo.nodes().len() as u64;
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) % n
+    };
+    (0..count)
+        .map(|_| (NodeId(next() as u32), NodeId(next() as u32)))
+        .collect()
+}
+
+/// The core differential property: for every sampled pair the oracle and
+/// the reference Dijkstra agree exactly — same path when one exists, and
+/// a `NoRoute` error exactly when the reference finds none. Link
+/// expansions must match the topology's own adjacency walk.
+fn assert_backends_agree(topo: &Topology, seed: u64, samples: usize) {
+    let mut oracle = RouteOracle::new();
+    for (src, dst) in pairs(topo, seed, samples) {
+        let reference = dijkstra(topo, src, dst);
+        match oracle.path(topo, src, dst) {
+            Ok(path) => {
+                assert_eq!(Some(&path), reference.as_ref(), "{src}->{dst}");
+                if src == dst {
+                    assert_eq!(path, vec![src]);
+                }
+                let links = oracle.links(topo, src, dst).unwrap();
+                assert_eq!(links, topo.links_on_path(&path).unwrap());
+                let walked: u64 = links.iter().map(|&l| topo.link(l).cost as u64).sum();
+                assert_eq!(oracle.cost(topo, src, dst), Some(walked));
+            }
+            Err(e) => {
+                assert!(reference.is_none(), "{src}->{dst}: oracle errs {e} but reference routes");
+                assert_eq!(oracle.cost(topo, src, dst), None);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Oracle ≡ reference Dijkstra on randomized transit–stub WANs.
+    #[test]
+    fn wan_oracle_matches_reference(seed in 0u64..1000) {
+        let world = SynthWan { seed, ..SynthWan::default() }.build();
+        assert_backends_agree(&world.topo, seed, 64);
+    }
+
+    /// Oracle ≡ reference Dijkstra on randomized multi-cloud globes.
+    #[test]
+    fn globe_oracle_matches_reference(seed in 0u64..1000) {
+        let world = SynthGlobe { seed, ..SynthGlobe::default() }.build();
+        assert_backends_agree(&world.topo, seed, 64);
+    }
+
+    /// Overrides shadow exactly one pair and leave every other pair on the
+    /// canonical tree path; the override itself is returned verbatim.
+    #[test]
+    fn overrides_layer_over_tree_paths(seed in 0u64..1000) {
+        let world = SynthWan { seed, ..SynthWan::default() }.build();
+        let topo = &world.topo;
+        let mut oracle = RouteOracle::new();
+        let src = world.hosts[0];
+        let dst = world.hosts[world.hosts.len() / 2];
+        assert_ne!(src, dst, "SynthWan always places at least two hosts");
+
+        // An alternate (non-primary) valid route makes a realistic override;
+        // fall back to the primary when the map offers no detour.
+        let primary = oracle.path(topo, src, dst).unwrap();
+        let alt = oracle
+            .k_detours(topo, src, dst, 3)
+            .unwrap()
+            .into_iter()
+            .map(|d| d.path)
+            .find(|p| *p != primary)
+            .unwrap_or_else(|| primary.clone());
+        oracle.add_override(RouteOverride::new(src, dst, alt.clone()));
+
+        assert_eq!(oracle.path(topo, src, dst).unwrap(), alt);
+        // The reverse pair and unrelated pairs still ride the trees.
+        assert_eq!(oracle.path(topo, dst, src).unwrap(), dijkstra(topo, dst, src).unwrap());
+        for (a, b) in pairs(topo, seed ^ 0xabcd, 24) {
+            if (a, b) == (src, dst) {
+                continue;
+            }
+            assert_eq!(oracle.path(topo, a, b).ok(), dijkstra(topo, a, b), "{a}->{b}");
+        }
+    }
+
+    /// Detour enumeration is deterministic, returns at most `k` pairwise
+    /// distinct loop-free paths with nondecreasing costs, and never
+    /// re-proposes the primary path.
+    #[test]
+    fn k_detours_are_distinct_loop_free_deterministic(
+        seed in 0u64..1000,
+        k in 1usize..6,
+    ) {
+        let world = SynthGlobe { seed, ..SynthGlobe::default() }.build();
+        let topo = &world.topo;
+        let mut oracle = RouteOracle::new();
+        for (src, dst) in pairs(topo, seed ^ 0x5eed, 16) {
+            if src == dst || dijkstra(topo, src, dst).is_none() {
+                continue;
+            }
+            let primary = oracle.path(topo, src, dst).unwrap();
+            let detours = oracle.k_detours(topo, src, dst, k).unwrap();
+            assert!(detours.len() <= k);
+            // Deterministic: a second enumeration is bit-identical.
+            assert_eq!(detours, oracle.k_detours(topo, src, dst, k).unwrap());
+            for (i, d) in detours.iter().enumerate() {
+                assert_eq!(d.path.first(), Some(&src));
+                assert_eq!(d.path.last(), Some(&dst));
+                assert!(d.path.contains(&d.via));
+                assert_ne!(d.path, primary);
+                // Loop-free: no node repeats.
+                let mut seen = std::collections::HashSet::new();
+                assert!(d.path.iter().all(|x| seen.insert(*x)), "{:?}", d.path);
+                // Valid walk whose links sum to the reported cost.
+                let links = topo.links_on_path(&d.path).unwrap();
+                let cost: u64 = links.iter().map(|&l| topo.link(l).cost as u64).sum();
+                assert_eq!(cost, d.cost);
+                for other in &detours[i + 1..] {
+                    assert_ne!(d.path, other.path);
+                }
+            }
+            assert!(detours.windows(2).all(|w| w[0].cost <= w[1].cost));
+        }
+    }
+}
+
+/// Two disconnected islands: both backends must report "no route" the
+/// same way, in both directions, without poisoning later queries.
+#[test]
+fn disconnected_islands_err_identically() {
+    use netsim::geo::GeoPoint;
+    use netsim::time::SimTime;
+    use netsim::topology::{LinkParams, TopologyBuilder};
+    use netsim::units::Bandwidth;
+
+    let p = LinkParams::new(Bandwidth::from_mbps(10.0), SimTime::from_millis(1)).with_cost(1);
+    let mut b = TopologyBuilder::new();
+    let a1 = b.host("a1", GeoPoint::new(0.0, 0.0));
+    let a2 = b.host("a2", GeoPoint::new(0.0, 1.0));
+    let b1 = b.host("b1", GeoPoint::new(10.0, 0.0));
+    let b2 = b.host("b2", GeoPoint::new(10.0, 1.0));
+    b.duplex(a1, a2, p);
+    b.duplex(b1, b2, p);
+    let topo = b.build();
+
+    let mut oracle = RouteOracle::new();
+    for (src, dst) in [(a1, b1), (b2, a2), (a2, b2)] {
+        assert!(dijkstra(&topo, src, dst).is_none());
+        assert!(matches!(
+            oracle.path(&topo, src, dst),
+            Err(netsim::error::NetError::NoRoute { .. })
+        ));
+        assert!(matches!(
+            oracle.k_detours(&topo, src, dst, 3),
+            Err(netsim::error::NetError::NoRoute { .. })
+        ));
+    }
+    // Intra-island queries still work after the failures above.
+    assert_eq!(oracle.path(&topo, a1, a2).unwrap(), vec![a1, a2]);
+    assert_eq!(oracle.path(&topo, b1, b2).unwrap(), dijkstra(&topo, b1, b2).unwrap());
+}

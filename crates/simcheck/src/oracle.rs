@@ -103,6 +103,17 @@ pub enum Violation {
         /// Chain digest under the eager per-event sweep.
         eager: u64,
     },
+    /// The precomputed route oracle and the per-query reference Dijkstra
+    /// produced different executions for the same seed. Both backends
+    /// implement the same canonical smaller-predecessor-at-settlement
+    /// tie-break (see `netsim::oracle`), so any divergence in the chained
+    /// state digests is a routing bug.
+    RoutingDivergence {
+        /// Chain digest under the precomputed route oracle.
+        oracle: u64,
+        /// Chain digest under the per-query reference Dijkstra.
+        reference: u64,
+    },
     /// The sharded executor produced a different execution from the
     /// sequential fold over the same cells. Both paths run identical cell
     /// simulations and reduce them in cell-id order, so any divergence
@@ -145,6 +156,7 @@ impl Violation {
             Violation::Determinism { .. } => "determinism",
             Violation::AllocatorDivergence { .. } => "allocator_divergence",
             Violation::ProgressDivergence { .. } => "progress_divergence",
+            Violation::RoutingDivergence { .. } => "routing_divergence",
             Violation::ShardDivergence { .. } => "shard_divergence",
             Violation::EngineError { .. } => "engine_error",
             Violation::DeadlineOverrun { .. } => "deadline_overrun",
@@ -199,6 +211,10 @@ impl std::fmt::Display for Violation {
             Violation::ProgressDivergence { lazy, eager } => write!(
                 f,
                 "lazy vs eager progress accounting diverged: {lazy:#018x} vs {eager:#018x}"
+            ),
+            Violation::RoutingDivergence { oracle, reference } => write!(
+                f,
+                "route oracle vs reference Dijkstra diverged: {oracle:#018x} vs {reference:#018x}"
             ),
             Violation::ShardDivergence {
                 workers,

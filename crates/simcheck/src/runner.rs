@@ -49,6 +49,11 @@ pub struct RunOptions {
     /// uses this for a further differential execution; both modes must
     /// produce identical chained digests.
     pub eager_progress: bool,
+    /// Route with the per-query reference Dijkstra instead of the
+    /// precomputed route oracle. [`check_case`] uses this for a further
+    /// differential execution; both backends must produce identical
+    /// chained digests.
+    pub reference_routing: bool,
     /// Record telemetry and fold the derived health-plane state (route
     /// scoreboard, window flushes) into the chained digest, extending the
     /// determinism and differential oracles over the aggregation layer.
@@ -474,6 +479,9 @@ fn run_cell(spec: &ScenarioSpec, opts: RunOptions) -> RunOutcome {
     if opts.eager_progress {
         sim.set_progress_mode(ProgressMode::Eager);
     }
+    if opts.reference_routing {
+        sim.set_routing_mode(netsim::routing::RoutingMode::Reference);
+    }
     sim.set_event_budget(EVENT_BUDGET);
     if spec.jitter_pct > 0 {
         sim.set_capacity_jitter(spec.jitter_pct as f64 / 100.0);
@@ -630,7 +638,8 @@ pub fn check_case(spec: &ScenarioSpec, opts: RunOptions) -> CaseResult {
 
 /// Check one scenario: run it twice with the same seed and flag invariant
 /// violations plus any determinism divergence; once more under the
-/// reference allocator and once more under the eager progress sweep; then
+/// reference allocator, once more under the eager progress sweep, and once
+/// more under the per-query reference Dijkstra routing backend; then
 /// once per entry of `shard_workers` under the sharded executor. Every
 /// differential execution's chained digest must be identical to the
 /// incremental/lazy/sequential execution's (same seed ⇒ bit-identical).
@@ -677,6 +686,21 @@ pub fn check_case_at(spec: &ScenarioSpec, opts: RunOptions, shard_workers: &[usi
             violations.push(Violation::ProgressDivergence {
                 lazy: first.chain_digest,
                 eager: eager.chain_digest,
+            });
+        }
+    }
+    if !opts.reference_routing {
+        let reference = run_once(
+            spec,
+            RunOptions {
+                reference_routing: true,
+                ..opts
+            },
+        );
+        if first.chain_digest != reference.chain_digest {
+            violations.push(Violation::RoutingDivergence {
+                oracle: first.chain_digest,
+                reference: reference.chain_digest,
             });
         }
     }
@@ -746,6 +770,27 @@ mod tests {
             assert_eq!(inc.chain_digest, refr.chain_digest, "case {i}: {spec:?}");
             assert_eq!(inc.events, refr.events, "case {i}");
             assert_eq!(inc.bytes_delivered, refr.bytes_delivered, "case {i}");
+        }
+    }
+
+    #[test]
+    fn reference_routing_execution_is_bit_identical() {
+        // The precomputed route oracle must produce the exact execution the
+        // per-query reference Dijkstra does — identical event sequences,
+        // digests and byte counts.
+        for i in 0..4 {
+            let spec = ScenarioSpec::generate(case_seed(31, i));
+            let oracle = run_once(&spec, RunOptions::default());
+            let refr = run_once(
+                &spec,
+                RunOptions {
+                    reference_routing: true,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(oracle.chain_digest, refr.chain_digest, "case {i}: {spec:?}");
+            assert_eq!(oracle.events, refr.events, "case {i}");
+            assert_eq!(oracle.bytes_delivered, refr.bytes_delivered, "case {i}");
         }
     }
 

@@ -573,7 +573,9 @@ fn routing_point(globe: SynthGlobe, quick: bool) -> Json {
         .map(|_| {
             oracle.clear_trees();
             let t = Instant::now();
-            oracle.path_into(topo, sources[0], far, &mut path_buf).unwrap();
+            oracle
+                .path_into(topo, sources[0], far, &mut path_buf)
+                .unwrap();
             t.elapsed().as_secs_f64() * 1e3
         })
         .fold(f64::INFINITY, f64::min);
@@ -652,6 +654,228 @@ fn check_routing_speedup(routing: &[Json], host_threads: usize) -> Option<String
         format!(
             "flowsim-routing/{nodes}: warm-query speedup {speedup:.1}x < required \
              {ROUTING_SPEEDUP_FLOOR}x vs legacy dijkstra"
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Route-plane decision study.
+//
+// The plane exists to amortize selector passes: a warm cache lookup must
+// be far cheaper than the probe-selector decision it replaces. Two
+// measurements make that a checkable claim on any host:
+//
+//   * warm-hit ns — fastest-of-5 batched lookups against a fully
+//     populated `RoutePlane` (the allocation-free path the counting-
+//     allocator test pins), and
+//   * uncached ns — `ProbeSource::compute` called directly, i.e. one real
+//     `ProbeSelector` pass per candidate route over the NorthAmerica sim.
+//
+// Both run on the same box in the same process, so the ≥10x floor is
+// host-relative and enforced unconditionally (no hardware waiver). The
+// fleet rows then measure served QPS at 1/2/4 worker threads and check
+// the churn-sweep staleness bound end to end.
+// ---------------------------------------------------------------------------
+
+use netsim::flow::FlowClass as PlaneFlowClass;
+use routeplane::{
+    run_fleet, AdmissionConfig, DecisionKey, DecisionSource, FleetConfig, PlaneConfig, ProbeSource,
+    RoutePlane,
+};
+
+/// Warm cache hit vs uncached selector decision: the minimum amortization
+/// the plane must deliver. Host-relative (both sides measured here), so
+/// never waived.
+const PLANE_WARM_SPEEDUP_FLOOR: f64 = 10.0;
+
+/// Served decisions per second demanded of the 4-thread fleet row —
+/// enforced only on hosts with ≥ 4 hardware threads; smaller boxes record
+/// their real measurement and print a waiver (numbers are never fabricated).
+const PLANE_QPS_FLOOR: f64 = 1_000_000.0;
+
+/// A probe-selector-backed source over the NorthAmerica world: 3 vantage
+/// clients × 3 providers × (direct + 2 detour hops), the exact decision
+/// the paper's tables are built from.
+fn plane_probe_source() -> ProbeSource {
+    let world = scenarios::NorthAmerica::new();
+    let clients: Vec<(NodeId, PlaneFlowClass)> = scenarios::Client::all()
+        .iter()
+        .map(|&c| {
+            let s = world.client(c);
+            (s.node, s.class)
+        })
+        .collect();
+    let providers = vec![
+        world.provider(cloudstore::ProviderKind::GoogleDrive),
+        world.provider(cloudstore::ProviderKind::Dropbox),
+        world.provider(cloudstore::ProviderKind::OneDrive),
+    ];
+    let routes = vec![
+        detour_core::Route::Direct,
+        detour_core::Route::via(world.hop_ualberta()),
+        detour_core::Route::via(world.hop_umich()),
+    ];
+    ProbeSource::new(
+        world.build_sim(3),
+        clients,
+        providers,
+        routes,
+        [4 * MB, 64 * MB, 512 * MB],
+    )
+}
+
+/// Warm-hit vs uncached-selector point. `keys` distinct cells are
+/// populated cold, then timed warm in batches of `batch`.
+fn plane_decision_point(keys: u32, batch: usize, reps: usize) -> Json {
+    let source = plane_probe_source();
+    let plane = RoutePlane::new(PlaneConfig {
+        vantages: keys,
+        // The whole timing loop runs at one virtual instant: quota must
+        // come from burst depth, not refill.
+        admission: AdmissionConfig {
+            tokens_per_sec: 1_000_000,
+            burst: 100_000_000,
+        },
+        ..PlaneConfig::default()
+    });
+    let cells: Vec<DecisionKey> = (0..keys)
+        .map(|v| DecisionKey {
+            vantage: v,
+            provider: (v % 3) as u16,
+            size_class: (v % 3) as u8,
+        })
+        .collect();
+    for &k in &cells {
+        plane.lookup(0, k, 0, &source);
+    }
+
+    // Fastest-of-`reps` batched warm lookups (scheduling noise is strictly
+    // additive, so the minimum is the stable estimator).
+    let mut j = 0usize;
+    let mut warm_batch = || {
+        let t = Instant::now();
+        for _ in 0..batch {
+            let k = cells[j % cells.len()];
+            std::hint::black_box(plane.lookup((j % 4) as u32, k, 0, &source));
+            j += 1;
+        }
+        t.elapsed().as_nanos() as f64 / batch as f64
+    };
+    warm_batch(); // warm-up rep
+    let warm_ns = (0..reps)
+        .map(|_| warm_batch())
+        .fold(f64::INFINITY, f64::min);
+
+    // The uncached comparison: one full selector pass per decision. A
+    // handful of calls suffices — the point is the orders-of-magnitude
+    // gap, not precision.
+    let probe_keys: Vec<DecisionKey> = cells.iter().copied().take(4).collect();
+    let mut i = 0usize;
+    let uncached_ns = median_ns(1, reps.max(3), || {
+        std::hint::black_box(source.compute(probe_keys[i % probe_keys.len()], 0));
+        i += 1;
+    });
+
+    let speedup = uncached_ns / warm_ns;
+    println!(
+        "flowsim-plane-decision/{keys}: warm hit {warm_ns:.0} ns, uncached selector \
+         {uncached_ns:.0} ns, speedup {speedup:.0}x"
+    );
+    Json::Obj(vec![
+        ("keys".into(), Json::Int(keys as u64)),
+        ("warm_ns".into(), Json::Num(warm_ns)),
+        ("uncached_ns".into(), Json::Num(uncached_ns)),
+        ("speedup".into(), Json::Num(speedup)),
+    ])
+}
+
+/// Fleet QPS rows at each worker count: fastest-of-`reps` full fleet runs
+/// (zipf clients, churn sweep, breaker trips — the whole service loop).
+/// Every row checks the hard staleness invariant: no served decision older
+/// than one churn-sweep period.
+fn plane_fleet_rows(lookups: u64, reps: usize, counts: &[usize]) -> Vec<Json> {
+    let mut out = Vec::new();
+    for &threads in counts {
+        let cfg = FleetConfig {
+            lookups,
+            threads,
+            ..FleetConfig::default()
+        };
+        let bound = cfg.churn_period_ns().expect("default config churns");
+        let best = (0..reps)
+            .map(|_| run_fleet(&cfg))
+            .max_by(|a, b| f64::total_cmp(&a.qps, &b.qps))
+            .expect("at least one rep");
+        let max_stale = best.staleness.max().unwrap_or(0);
+        assert!(
+            max_stale <= bound,
+            "plane served a decision {max_stale}ns stale, past the \
+             {bound}ns churn-sweep bound"
+        );
+        let p99 = best.staleness_ns(0.99);
+        let ns_per_lookup = 1e9 / best.qps;
+        println!(
+            "flowsim-plane/{threads}t: {:.0} lookups/s ({ns_per_lookup:.0} ns/lookup), \
+             hit {} stale {} demote {} shed {}, staleness p99 {p99} ns (bound {bound} ns)",
+            best.qps,
+            best.stats.hits,
+            best.stats.stale_refreshes,
+            best.stats.demotions,
+            best.stats.sheds,
+        );
+        out.push(Json::Obj(vec![
+            ("threads".into(), Json::Int(threads as u64)),
+            ("lookups".into(), Json::Int(lookups)),
+            ("qps".into(), Json::Num(best.qps)),
+            ("ns_per_lookup".into(), Json::Num(ns_per_lookup)),
+            ("hits".into(), Json::Int(best.stats.hits)),
+            ("misses".into(), Json::Int(best.stats.misses)),
+            (
+                "stale_refreshes".into(),
+                Json::Int(best.stats.stale_refreshes),
+            ),
+            ("demotions".into(), Json::Int(best.stats.demotions)),
+            ("sheds".into(), Json::Int(best.stats.sheds)),
+            ("staleness_p99_ns".into(), Json::Int(p99)),
+            ("staleness_max_ns".into(), Json::Int(max_stale)),
+            ("staleness_bound_ns".into(), Json::Int(bound)),
+        ]));
+    }
+    out
+}
+
+/// The warm-hit amortization floor. Host-relative, so always enforced.
+fn check_plane_speedup(decision: &Json) -> Option<String> {
+    let speedup = decision
+        .get("speedup")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    (speedup < PLANE_WARM_SPEEDUP_FLOOR).then(|| {
+        format!(
+            "flowsim-plane-decision: warm-hit speedup {speedup:.1}x < required \
+             {PLANE_WARM_SPEEDUP_FLOOR}x vs uncached selector"
+        )
+    })
+}
+
+/// The absolute QPS floor at 4 fleet threads. Same waiver policy as the
+/// parallel gate: sub-4-thread hosts record and print.
+fn check_plane_qps(rows: &[Json], host_threads: usize) -> Option<String> {
+    let row = rows
+        .iter()
+        .find(|p| p.get("threads").and_then(Json::as_u64) == Some(4))?;
+    let qps = row.get("qps").and_then(Json::as_f64).unwrap_or(0.0);
+    if host_threads < 4 {
+        println!(
+            "flowsim-plane: QPS gate waived — host has {host_threads} hardware \
+             thread(s); measured {qps:.0} lookups/s at 4 threads"
+        );
+        return None;
+    }
+    (qps < PLANE_QPS_FLOOR).then(|| {
+        format!(
+            "flowsim-plane/4t: {qps:.0} lookups/s < required {PLANE_QPS_FLOOR:.0} \
+             (host has {host_threads} hardware threads)"
         )
     })
 }
@@ -769,11 +993,55 @@ fn check_parallel_speedup(threads: &[Json], host_threads: usize) -> Option<Strin
 /// Compare against a baseline `BENCH_flowsim.json`; returns error lines.
 fn check_baseline(report: &Json, baseline: &Json) -> Vec<String> {
     let mut errors = Vec::new();
-    check_series(report, baseline, "sizes", "flows", "incremental_ns", &mut errors);
+    check_series(
+        report,
+        baseline,
+        "sizes",
+        "flows",
+        "incremental_ns",
+        &mut errors,
+    );
     check_series(report, baseline, "engine", "flows", "lazy_ns", &mut errors);
-    check_series(report, baseline, "routing", "nodes", "query_ns", &mut errors);
-    check_series(report, baseline, "routing", "nodes", "detour_ns", &mut errors);
-    check_series(report, baseline, "routing", "nodes", "build_ms", &mut errors);
+    check_series(
+        report,
+        baseline,
+        "routing",
+        "nodes",
+        "query_ns",
+        &mut errors,
+    );
+    check_series(
+        report,
+        baseline,
+        "routing",
+        "nodes",
+        "detour_ns",
+        &mut errors,
+    );
+    check_series(
+        report,
+        baseline,
+        "routing",
+        "nodes",
+        "build_ms",
+        &mut errors,
+    );
+    check_series(
+        report,
+        baseline,
+        "plane_decision",
+        "keys",
+        "warm_ns",
+        &mut errors,
+    );
+    check_series(
+        report,
+        baseline,
+        "plane_fleet",
+        "threads",
+        "ns_per_lookup",
+        &mut errors,
+    );
     check_threads_series(report, baseline, &mut errors);
     errors
 }
@@ -808,6 +1076,8 @@ fn main() {
         engine_point(100, 200, 1, true);
         threads_point(100, 100, 1, &[1, 2]);
         routing_point(SynthGlobe::default().with_target_nodes(600), true);
+        plane_decision_point(8, 64, 1);
+        plane_fleet_rows(20_000, 1, &[1]);
         // The workspace-root anchor the report/baseline paths rely on.
         assert!(workspace_path("Cargo.toml").is_file());
         assert!(workspace_path("crates/bench").is_dir());
@@ -873,14 +1143,34 @@ fn main() {
     // Route-oracle scaling: cold build, warm query, detour enumeration and
     // the legacy Dijkstra gap at 1k/10k/100k nodes (100k = stress knobs).
     let mut globes = vec![
-        SynthGlobe { seed: 11, ..SynthGlobe::default() }.with_target_nodes(1_000),
-        SynthGlobe { seed: 11, ..SynthGlobe::default() }.with_target_nodes(10_000),
+        SynthGlobe {
+            seed: 11,
+            ..SynthGlobe::default()
+        }
+        .with_target_nodes(1_000),
+        SynthGlobe {
+            seed: 11,
+            ..SynthGlobe::default()
+        }
+        .with_target_nodes(10_000),
     ];
     if !quick {
         globes.push(SynthGlobe::stress(11));
     }
-    let routing: Vec<Json> = globes.into_iter().map(|g| routing_point(g, quick)).collect();
+    let routing: Vec<Json> = globes
+        .into_iter()
+        .map(|g| routing_point(g, quick))
+        .collect();
     let routing_err = check_routing_speedup(&routing, host_threads);
+
+    // Route-plane series: the warm-hit amortization point and fleet QPS
+    // rows at 1/2/4 worker threads (fastest-of-5 — multi-worker runs on an
+    // oversubscribed host pick up scheduling noise that more reps damp).
+    let decision = plane_decision_point(256, if quick { 1024 } else { 4096 }, 5);
+    let plane_err = check_plane_speedup(&decision);
+    let fleet_lookups = if quick { 400_000 } else { 2_000_000 };
+    let plane_fleet = plane_fleet_rows(fleet_lookups, 5, &[1, 2, 4]);
+    let qps_err = check_plane_qps(&plane_fleet, host_threads);
 
     let report = Json::Obj(vec![
         ("bench".into(), Json::Str("flowsim-scaling".into())),
@@ -891,12 +1181,17 @@ fn main() {
         ("engine".into(), Json::Arr(engine)),
         ("threads".into(), Json::Arr(threads)),
         ("routing".into(), Json::Arr(routing)),
+        ("plane_decision".into(), Json::Arr(vec![decision])),
+        ("plane_fleet".into(), Json::Arr(plane_fleet)),
     ]);
 
     // Regression gate: compare BEFORE overwriting any baseline the output
     // path might point at.
     let mut failed = false;
-    for err in [speedup_err, routing_err].into_iter().flatten() {
+    for err in [speedup_err, routing_err, plane_err, qps_err]
+        .into_iter()
+        .flatten()
+    {
         eprintln!("REGRESSION: {err}");
         failed = true;
     }

@@ -7,6 +7,7 @@ use netsim::error::NetError;
 use netsim::units::MB;
 use relay::pipeline::pipelined_upload;
 use scenarios::{Client, NorthAmerica, ScenarioOptions};
+use std::borrow::Cow;
 
 /// A1 — store-and-forward vs pipelined relaying on the paper's winning
 /// detour (UBC→UAlberta→Google Drive).
@@ -96,9 +97,9 @@ pub fn selector_ablation(protocol: RunProtocol, size: u64) -> Result<Table, NetE
             // Oracle: run the full campaign at this size.
             let campaign = Campaign {
                 factory: &world,
-                client: client_spec.clone(),
-                provider: provider.clone(),
-                routes: routes.clone(),
+                client: Cow::Borrowed(&client_spec),
+                provider: Cow::Borrowed(&provider),
+                routes: Cow::Borrowed(&routes),
                 sizes: vec![size],
                 protocol,
                 label: format!("a2/{}/{}", client.name(), provider_kind),
@@ -158,13 +159,13 @@ pub fn congestion_ablation(protocol: RunProtocol, size: u64) -> Result<Table, Ne
         });
         let campaign = Campaign {
             factory: &world,
-            client: world.client(Client::Purdue),
-            provider: world.provider(ProviderKind::GoogleDrive),
-            routes: vec![
+            client: Cow::Owned(world.client(Client::Purdue)),
+            provider: Cow::Owned(world.provider(ProviderKind::GoogleDrive)),
+            routes: Cow::Owned(vec![
                 Route::Direct,
                 Route::via(world.hop_ualberta()),
                 Route::via(world.hop_umich()),
-            ],
+            ]),
             sizes: vec![size],
             protocol,
             label: format!("a3/{scale}"),
@@ -198,9 +199,9 @@ pub fn second_pop_ablation(protocol: RunProtocol, size: u64) -> Result<Table, Ne
         });
         let campaign = Campaign {
             factory: &world,
-            client: world.client(Client::Ubc),
-            provider: world.provider(ProviderKind::GoogleDrive),
-            routes: vec![Route::Direct, Route::via(world.hop_ualberta())],
+            client: Cow::Owned(world.client(Client::Ubc)),
+            provider: Cow::Owned(world.provider(ProviderKind::GoogleDrive)),
+            routes: Cow::Owned(vec![Route::Direct, Route::via(world.hop_ualberta())]),
             sizes: vec![size],
             protocol,
             label: format!("a4/{enabled}"),
@@ -436,13 +437,13 @@ pub fn multihop_ablation(protocol: RunProtocol, size: u64) -> Result<Table, NetE
     let world = NorthAmerica::new();
     let campaign = Campaign {
         factory: &world,
-        client: world.client(Client::Ubc),
-        provider: world.provider(ProviderKind::GoogleDrive),
-        routes: vec![
+        client: Cow::Owned(world.client(Client::Ubc)),
+        provider: Cow::Owned(world.provider(ProviderKind::GoogleDrive)),
+        routes: Cow::Owned(vec![
             Route::Direct,
             Route::via(world.hop_ualberta()),
             Route::Via(vec![world.hop_ualberta(), world.hop_umich()]),
-        ],
+        ]),
         sizes: vec![size],
         protocol,
         label: "multihop".into(),

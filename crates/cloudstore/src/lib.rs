@@ -43,5 +43,7 @@ pub use oauth::{AuthConfig, TokenPolicy};
 pub use protocol::{ChunkProtocol, ProviderKind};
 pub use provider::Provider;
 pub use report::TransferStats;
-pub use resilience::{BreakerRegistry, BreakerTransition, CircuitBreaker, RetryPolicy, RetryState};
+pub use resilience::{
+    BreakerRegistry, BreakerTransition, CircuitBreaker, RetryPolicy, RetryState, TripBoard,
+};
 pub use session::{upload, upload_traced, UploadOptions, UploadSession};

@@ -29,6 +29,8 @@ use rand::Rng;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Jitter applied to backoff waits, in percent of the nominal wait. The
 /// default spreads retries over ±25% so synchronized clients don't
@@ -274,6 +276,74 @@ impl CircuitBreaker {
     }
 }
 
+/// A `Sync` publication of breaker open-state, readable lock-free from
+/// worker threads.
+///
+/// [`BreakerRegistry`] lives on the single-threaded simulation side
+/// (`Rc<RefCell<…>>`); the route-intelligence plane serves lookups from
+/// many threads and must demote detours through a tripped target within
+/// one lookup. The board bridges the two: the registry publishes every
+/// trip/close transition into per-node `open-until` atomics, and readers
+/// ask `is_open(node, now)` with a single relaxed load. A node whose
+/// cooldown deadline has passed reads as closed without any writer action,
+/// mirroring [`CircuitBreaker::is_open`].
+#[derive(Debug)]
+pub struct TripBoard {
+    /// Nanosecond deadline until which each node's breaker is open;
+    /// 0 = closed. Indexed by `NodeId.0`.
+    open_until_ns: Box<[AtomicU64]>,
+}
+
+impl TripBoard {
+    /// A board covering nodes `0..n_nodes`, all closed.
+    pub fn new(n_nodes: usize) -> Self {
+        TripBoard {
+            open_until_ns: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of node slots.
+    pub fn len(&self) -> usize {
+        self.open_until_ns.len()
+    }
+
+    /// True when the board covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.open_until_ns.is_empty()
+    }
+
+    /// Publish a trip: `node` rejects requests until `until`. Out-of-range
+    /// nodes are ignored (the board only covers the fleet's target set).
+    pub fn trip(&self, node: NodeId, until: SimTime) {
+        if let Some(slot) = self.open_until_ns.get(node.0 as usize) {
+            slot.store(until.as_nanos().max(1), Ordering::Release);
+        }
+    }
+
+    /// Publish a close: `node` admits requests again.
+    pub fn close(&self, node: NodeId) {
+        if let Some(slot) = self.open_until_ns.get(node.0 as usize) {
+            slot.store(0, Ordering::Release);
+        }
+    }
+
+    /// Is `node` rejecting requests at `now_ns`? Unknown nodes are closed.
+    pub fn is_open(&self, node: NodeId, now_ns: u64) -> bool {
+        self.open_until_ns
+            .get(node.0 as usize)
+            .map(|slot| now_ns < slot.load(Ordering::Acquire))
+            .unwrap_or(false)
+    }
+
+    /// Nodes currently open at `now_ns`.
+    pub fn open_count(&self, now_ns: u64) -> usize {
+        self.open_until_ns
+            .iter()
+            .filter(|slot| now_ns < slot.load(Ordering::Acquire))
+            .count()
+    }
+}
+
 /// Default consecutive-failure threshold for registry breakers.
 pub const DEFAULT_BREAKER_THRESHOLD: u32 = 3;
 /// Default open-state cooldown for registry breakers.
@@ -289,6 +359,7 @@ pub struct BreakerRegistry {
     inner: Rc<RefCell<HashMap<NodeId, CircuitBreaker>>>,
     threshold: u32,
     cooldown: SimTime,
+    board: Option<Arc<TripBoard>>,
 }
 
 impl BreakerRegistry {
@@ -300,6 +371,35 @@ impl BreakerRegistry {
             inner: Rc::new(RefCell::new(HashMap::new())),
             threshold,
             cooldown,
+            board: None,
+        }
+    }
+
+    /// Publish every trip/close transition into `board`, making breaker
+    /// state visible to `Sync` readers (the route plane's demotion path).
+    pub fn with_board(mut self, board: Arc<TripBoard>) -> Self {
+        self.board = Some(board);
+        self
+    }
+
+    fn publish(&self, node: NodeId, transition: BreakerTransition) {
+        if let Some(board) = &self.board {
+            match transition {
+                BreakerTransition::Tripped => {
+                    let until = self
+                        .inner
+                        .borrow()
+                        .get(&node)
+                        .and_then(|b| match b.state {
+                            BreakerState::Open { until } => Some(until),
+                            _ => None,
+                        })
+                        .unwrap_or(SimTime::ZERO);
+                    board.trip(node, until);
+                }
+                BreakerTransition::Closed => board.close(node),
+                BreakerTransition::None => {}
+            }
         }
     }
 
@@ -315,20 +415,25 @@ impl BreakerRegistry {
     /// Record a successful exchange with `node`, reporting any state
     /// transition it caused.
     pub fn record_success(&self, node: NodeId) -> BreakerTransition {
-        match self.inner.borrow_mut().get_mut(&node) {
+        let transition = match self.inner.borrow_mut().get_mut(&node) {
             Some(b) => b.record_success(),
             None => BreakerTransition::None,
-        }
+        };
+        self.publish(node, transition);
+        transition
     }
 
     /// Record a failed exchange with `node` at `now`, reporting any state
     /// transition it caused.
     pub fn record_failure(&self, node: NodeId, now: SimTime) -> BreakerTransition {
-        self.inner
+        let transition = self
+            .inner
             .borrow_mut()
             .entry(node)
             .or_insert_with(|| CircuitBreaker::new(self.threshold, self.cooldown))
-            .record_failure(now)
+            .record_failure(now);
+        self.publish(node, transition);
+        transition
     }
 
     /// Is `node`'s breaker open at `now`? Nodes never seen are closed.
@@ -493,6 +598,32 @@ mod tests {
         assert_eq!(reg.record_success(n), BreakerTransition::None);
         assert_eq!(reg.record_failure(n, t), BreakerTransition::Tripped);
         assert_eq!(reg.record_success(n), BreakerTransition::Closed);
+    }
+
+    #[test]
+    fn trip_board_publishes_registry_transitions() {
+        let board = Arc::new(TripBoard::new(8));
+        let reg = BreakerRegistry::new(2, SimTime::from_secs(30)).with_board(Arc::clone(&board));
+        let n = NodeId(5);
+        let t = SimTime::from_secs(1);
+        assert!(!board.is_open(n, t.as_nanos()));
+        reg.record_failure(n, t);
+        assert!(!board.is_open(n, t.as_nanos()), "below threshold");
+        reg.record_failure(n, t);
+        // Tripped: open until t + 30 s on both sides.
+        assert!(board.is_open(n, t.as_nanos()));
+        assert!(board.is_open(n, SimTime::from_secs(30).as_nanos()));
+        // Cooldown deadline passes: reads closed with no writer action.
+        assert!(!board.is_open(n, SimTime::from_secs(32).as_nanos()));
+        assert_eq!(board.open_count(t.as_nanos()), 1);
+        // An explicit close (half-open probe succeeded) clears it.
+        reg.record_failure(n, t);
+        assert!(board.is_open(n, SimTime::from_secs(10).as_nanos()));
+        reg.record_success(n);
+        assert!(!board.is_open(n, SimTime::from_secs(10).as_nanos()));
+        // Out-of-range nodes are ignored, not a panic.
+        board.trip(NodeId(100), SimTime::from_secs(5));
+        assert!(!board.is_open(NodeId(100), 0));
     }
 
     #[test]

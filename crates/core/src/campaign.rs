@@ -15,6 +15,7 @@ use netsim::engine::Sim;
 use netsim::error::NetError;
 use netsim::flow::FlowClass;
 use netsim::topology::NodeId;
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -57,15 +58,20 @@ impl ClientSpec {
 }
 
 /// One campaign: a client, a provider, candidate routes, file sizes.
+///
+/// Client, provider and routes are [`Cow`]s so repeated-selection paths
+/// (the oracle selector, the route plane's cold path) can borrow their
+/// caller's values instead of deep-cloning `String`s and `Vec`s per call,
+/// while scenario builders keep handing over owned temporaries.
 pub struct Campaign<'a> {
     /// Simulator factory (one fresh sim per run).
     pub factory: &'a dyn SimFactory,
     /// The measuring client.
-    pub client: ClientSpec,
+    pub client: Cow<'a, ClientSpec>,
     /// Target provider.
-    pub provider: Provider,
+    pub provider: Cow<'a, Provider>,
     /// Candidate routes; by convention index 0 is [`Route::Direct`].
-    pub routes: Vec<Route>,
+    pub routes: Cow<'a, [Route]>,
     /// File sizes in bytes (the paper: 10–100 MB).
     pub sizes: Vec<u64>,
     /// Run protocol (the paper: 7 runs, keep 5).
@@ -135,7 +141,7 @@ impl<'a> Campaign<'a> {
         Ok(CampaignResult {
             client_name: self.client.name.clone(),
             provider_name: self.provider.kind.display_name().to_string(),
-            routes: self.routes.clone(),
+            routes: self.routes.to_vec(),
             sizes: self.sizes.clone(),
             cells,
         })
@@ -414,12 +420,12 @@ mod tests {
         let (_, user, dtn, pop) = TinyWorld::topo();
         Campaign {
             factory: world,
-            client: ClientSpec::new(user, FlowClass::PlanetLab, "UBC"),
-            provider: Provider::new(ProviderKind::GoogleDrive, pop),
-            routes: vec![
+            client: Cow::Owned(ClientSpec::new(user, FlowClass::PlanetLab, "UBC")),
+            provider: Cow::Owned(Provider::new(ProviderKind::GoogleDrive, pop)),
+            routes: Cow::Owned(vec![
                 Route::Direct,
                 Route::via(Hop::new(dtn, FlowClass::Research, "DTN")),
-            ],
+            ]),
             sizes: vec![10 * MB, 30 * MB],
             protocol: RunProtocol::quick(),
             label: "test".into(),
@@ -494,9 +500,9 @@ mod tests {
         let (_, user, _, pop) = TinyWorld::topo();
         let c = Campaign {
             factory: &factory,
-            client: ClientSpec::new(user, FlowClass::Commodity, "X"),
-            provider: Provider::new(ProviderKind::Dropbox, pop),
-            routes: vec![Route::Direct],
+            client: Cow::Owned(ClientSpec::new(user, FlowClass::Commodity, "X")),
+            provider: Cow::Owned(Provider::new(ProviderKind::Dropbox, pop)),
+            routes: Cow::Owned(vec![Route::Direct]),
             sizes: vec![MB],
             protocol: RunProtocol::quick(),
             label: "closure".into(),

@@ -38,6 +38,6 @@ pub use campaign::{Campaign, CampaignResult, ClientSpec, SimFactory};
 pub use diagnose::{compare_traceroutes, find_bandwidth_tivs, PathComparison, TivRecord};
 pub use failover::{upload_with_fallback, upload_with_fallback_breakers, FallbackReport};
 pub use job::{run_job, JobDetail, JobReport};
-pub use monitor::{MonitorConfig, RouteMonitor};
+pub use monitor::{EpochObservation, EpochObserver, MonitorConfig, ProbeLeg, RouteMonitor};
 pub use route::{Hop, Route};
 pub use select::{AdaptiveSelector, DecisionRule, OracleSelector, ProbeSelector, RouteChoice};

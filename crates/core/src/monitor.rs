@@ -45,6 +45,28 @@ pub struct MonitorConfig {
     pub alpha: f64,
 }
 
+/// What the monitor saw at the end of one probing epoch, handed to an
+/// [`EpochObserver`]. This is the invalidation feed for decision caches:
+/// `changed` flags the epochs where serving yesterday's route would now be
+/// wrong, which is exactly when a cache generation should be bumped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochObservation {
+    /// Epoch index, `0..cfg.epochs`.
+    pub epoch: usize,
+    /// Winning route index this epoch.
+    pub winner: usize,
+    /// Whether the winner differs from the previous epoch's (the first
+    /// epoch counts as changed: there was no prior winner to serve).
+    pub changed: bool,
+    /// The winner's EWMA-predicted seconds for the reference transfer.
+    pub predicted_secs: f64,
+    /// Simulation time the epoch completed.
+    pub at: SimTime,
+}
+
+/// Callback invoked once per completed epoch.
+pub type EpochObserver = Box<dyn FnMut(EpochObservation)>;
+
 /// The monitoring process. Finishes with `Value::List` of the chosen route
 /// index per epoch.
 pub struct RouteMonitor {
@@ -58,6 +80,7 @@ pub struct RouteMonitor {
     /// for a detour, the provider frontend for a direct route).
     breakers: Option<(BreakerRegistry, Vec<NodeId>)>,
     skipped_by_breaker: bool,
+    observer: Option<EpochObserver>,
 }
 
 const EPOCH_TIMER: u64 = 0x4d4f4e; // "MON"
@@ -82,7 +105,15 @@ impl RouteMonitor {
             epoch_pred: 0.0,
             breakers: None,
             skipped_by_breaker: false,
+            observer: None,
         }
+    }
+
+    /// Attach a per-epoch observer. Route caches hang their invalidation
+    /// off this: bump the affected key range when `changed` is set.
+    pub fn with_observer(mut self, f: impl FnMut(EpochObservation) + 'static) -> Self {
+        self.observer = Some(Box::new(f));
+        self
     }
 
     /// Share circuit breakers with the transfer plane: routes whose
@@ -212,7 +243,21 @@ impl RouteMonitor {
             })
             .map(|(i, _)| i as u64)
             .expect("nonempty");
+        let changed = self
+            .choices
+            .last()
+            .map(|&prev| prev != best)
+            .unwrap_or(true);
         self.choices.push(best);
+        if let Some(observer) = &mut self.observer {
+            observer(EpochObservation {
+                epoch: self.choices.len() - 1,
+                winner: best as usize,
+                changed,
+                predicted_secs: self.estimates[best as usize].unwrap_or(f64::INFINITY),
+                at: ctx.now(),
+            });
+        }
         if self.choices.len() >= self.cfg.epochs {
             ctx.finish(Value::List(
                 self.choices.iter().map(|&c| Value::U64(c)).collect(),
@@ -475,6 +520,29 @@ mod tests {
         // By the later epochs (t ≥ 40 s > 30 s cooldown) the monitor probed
         // the half-open breaker successfully and closed it.
         assert!(!breakers.is_open(pop, sim.now()));
+    }
+
+    #[test]
+    fn observer_sees_every_epoch_and_flags_changes() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let (mut sim, cfg) = world(3);
+        let epochs = cfg.epochs;
+        let seen: Rc<RefCell<Vec<EpochObservation>>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        let monitor = RouteMonitor::new(cfg).with_observer(move |obs| sink.borrow_mut().push(obs));
+        let v = sim.run_process(Box::new(monitor)).unwrap();
+        let choices = RouteMonitor::decode_choices(&v);
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), epochs);
+        for (i, obs) in seen.iter().enumerate() {
+            assert_eq!(obs.epoch, i);
+            assert_eq!(obs.winner, choices[i], "observer winner matches choices");
+            let expect_changed = i == 0 || choices[i] != choices[i - 1];
+            assert_eq!(obs.changed, expect_changed, "epoch {i}");
+            assert!(obs.predicted_secs.is_finite() && obs.predicted_secs > 0.0);
+            assert!(i == 0 || seen[i - 1].at < obs.at, "epochs advance in time");
+        }
     }
 
     #[test]

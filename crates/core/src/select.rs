@@ -25,6 +25,7 @@ use netsim::flow::FlowClass;
 use netsim::topology::NodeId;
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::borrow::Cow;
 
 /// A selector's verdict.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +45,10 @@ pub struct OracleSelector {
 impl OracleSelector {
     /// Measure all `routes` for `bytes` and choose the lowest mean.
     /// Returns the choice and the per-route stats (for reporting).
+    ///
+    /// Client, provider and routes are borrowed into the campaign and the
+    /// winning cell is moved out of the result, so repeated selection
+    /// never deep-clones the caller's specs.
     #[allow(clippy::too_many_arguments)]
     pub fn choose(
         &self,
@@ -57,17 +62,17 @@ impl OracleSelector {
     ) -> Result<(RouteChoice, Vec<Stats>), NetError> {
         let campaign = Campaign {
             factory,
-            client: client.clone(),
-            provider: provider.clone(),
-            routes: routes.to_vec(),
+            client: Cow::Borrowed(client),
+            provider: Cow::Borrowed(provider),
+            routes: Cow::Borrowed(routes),
             sizes: vec![bytes],
             protocol: self.protocol,
             label: format!("oracle/{label}"),
             threads,
         };
-        let result = campaign.run()?;
+        let mut result = campaign.run()?;
         let best = result.best_route_for(0);
-        let stats: Vec<Stats> = result.cells[0].clone();
+        let stats: Vec<Stats> = result.cells.swap_remove(0);
         Ok((
             RouteChoice {
                 route_idx: best,

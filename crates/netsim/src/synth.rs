@@ -234,6 +234,11 @@ pub struct GlobeWorld {
 
 impl SynthGlobe {
     /// Generate the globe.
+    // Index loops are deliberate: every `rng` draw is ordered by (region,
+    // cloud, host) index, and that order is the generated world's
+    // determinism contract — iterator rewrites that reorder or skip draws
+    // would shift every seeded topology.
+    #[allow(clippy::needless_range_loop)]
     pub fn build(&self) -> GlobeWorld {
         assert!(self.regions >= 2, "need at least two regions");
         assert!(self.clouds >= 1, "need at least one cloud");
@@ -267,7 +272,10 @@ impl SynthGlobe {
             } else if lon < -180.0 {
                 lon += 360.0;
             }
-            GeoPoint::new((c.lat + rng.gen_range(-6.0f64..6.0)).clamp(-80.0, 80.0), lon)
+            GeoPoint::new(
+                (c.lat + rng.gen_range(-6.0f64..6.0)).clamp(-80.0, 80.0),
+                lon,
+            )
         };
 
         // Peering-quality matrices, symmetric, 1 (good) ..= 3 (poor).
@@ -286,16 +294,15 @@ impl SynthGlobe {
         let cloud_quality = symmetric(self.clouds, &mut rng);
 
         let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
-        let dedup_duplex =
-            |b: &mut TopologyBuilder,
-             seen: &mut HashSet<(NodeId, NodeId)>,
-             x: NodeId,
-             y: NodeId,
-             p: LinkParams| {
-                if x != y && seen.insert((x.min(y), x.max(y))) {
-                    b.duplex(x, y, p);
-                }
-            };
+        let dedup_duplex = |b: &mut TopologyBuilder,
+                            seen: &mut HashSet<(NodeId, NodeId)>,
+                            x: NodeId,
+                            y: NodeId,
+                            p: LinkParams| {
+            if x != y && seen.insert((x.min(y), x.max(y))) {
+                b.duplex(x, y, p);
+            }
+        };
 
         // Regional router backbones: ring + one chord per router.
         let mut routers: Vec<Vec<NodeId>> = Vec::with_capacity(self.regions);
@@ -344,8 +351,7 @@ impl SynthGlobe {
                 let loc = jitter(&mut rng, centres[r]);
                 let host = b.host(&format!("r{r}-host{h}"), loc);
                 let mbps = rng.gen_range(self.access_mbps.0..=self.access_mbps.1);
-                let access =
-                    LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(1));
+                let access = LinkParams::new(Bandwidth::from_mbps(mbps), SimTime::from_millis(1));
                 for j in 0..self.host_degree {
                     let k = rng.gen_range(j..idx.len());
                     idx.swap(j, k);
@@ -384,7 +390,13 @@ impl SynthGlobe {
         let private = LinkParams::geo(backbone).with_cost(4);
         for fs in &frontends {
             for r in 0..self.regions {
-                dedup_duplex(&mut b, &mut seen, fs[r], fs[(r + 1) % self.regions], private);
+                dedup_duplex(
+                    &mut b,
+                    &mut seen,
+                    fs[r],
+                    fs[(r + 1) % self.regions],
+                    private,
+                );
             }
         }
         for r in 0..self.regions {
@@ -396,8 +408,7 @@ impl SynthGlobe {
                             &mut seen,
                             frontends[c1][r],
                             frontends[c2][r],
-                            LinkParams::geo(backbone)
-                                .with_cost(8 * cloud_quality[c1][c2] as u32),
+                            LinkParams::geo(backbone).with_cost(8 * cloud_quality[c1][c2] as u32),
                         );
                     }
                 }
@@ -514,6 +525,8 @@ mod tests {
     }
 
     #[test]
+    // Symmetry needs both q[i][j] and q[j][i]; index loops read clearer here.
+    #[allow(clippy::needless_range_loop)]
     fn globe_quality_matrices_are_symmetric_and_bounded() {
         let world = SynthGlobe::default().build();
         for q in [&world.region_quality, &world.cloud_quality] {
@@ -528,9 +541,8 @@ mod tests {
 
     #[test]
     fn globe_deterministic_per_seed() {
-        let costs = |w: &GlobeWorld| -> Vec<u32> {
-            w.topo.links().iter().map(|l| l.cost).collect()
-        };
+        let costs =
+            |w: &GlobeWorld| -> Vec<u32> { w.topo.links().iter().map(|l| l.cost).collect() };
         let w1 = SynthGlobe::default().build();
         let w2 = SynthGlobe::default().build();
         assert_eq!(costs(&w1), costs(&w2));

@@ -46,7 +46,9 @@ fn assert_warm_queries_allocate_nothing(globe: SynthGlobe, queries: usize) {
     let sources: Vec<NodeId> = hosts.iter().step_by(hosts.len() / 4 + 1).copied().collect();
     let mut state = 0x9e3779b97f4a7c15u64;
     let mut next = move |m: usize| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize % m
     };
 

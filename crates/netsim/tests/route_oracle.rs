@@ -15,7 +15,9 @@ fn pairs(topo: &Topology, seed: u64, count: usize) -> Vec<(NodeId, NodeId)> {
     let n = topo.nodes().len() as u64;
     let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) % n
     };
     (0..count)
@@ -43,7 +45,10 @@ fn assert_backends_agree(topo: &Topology, seed: u64, samples: usize) {
                 assert_eq!(oracle.cost(topo, src, dst), Some(walked));
             }
             Err(e) => {
-                assert!(reference.is_none(), "{src}->{dst}: oracle errs {e} but reference routes");
+                assert!(
+                    reference.is_none(),
+                    "{src}->{dst}: oracle errs {e} but reference routes"
+                );
                 assert_eq!(oracle.cost(topo, src, dst), None);
             }
         }
@@ -175,5 +180,8 @@ fn disconnected_islands_err_identically() {
     }
     // Intra-island queries still work after the failures above.
     assert_eq!(oracle.path(&topo, a1, a2).unwrap(), vec![a1, a2]);
-    assert_eq!(oracle.path(&topo, b1, b2).unwrap(), dijkstra(&topo, b1, b2).unwrap());
+    assert_eq!(
+        oracle.path(&topo, b1, b2).unwrap(),
+        dijkstra(&topo, b1, b2).unwrap()
+    );
 }

@@ -113,6 +113,12 @@ pub struct CellHealth {
     pub budget_exhausted: u64,
     /// Deadline exceeded terminations.
     pub deadline_exceeded: u64,
+    /// Route-plane lookups shed by admission control for this cell.
+    pub plane_sheds: u64,
+    /// Route-plane decisions demoted to direct by an open breaker.
+    pub plane_demotions: u64,
+    /// Route-plane stale-generation refreshes (invalidation pressure).
+    pub plane_stale: u64,
 }
 
 impl CellHealth {
@@ -339,6 +345,13 @@ impl HealthBoard {
                     self.breakers.entry(target()).or_default().closes += 1;
                 }
                 "monitor.probe" => self.probes += 1,
+                // Route-plane pressure: self-describing events (vantage /
+                // provider / bytes args) emitted by fleet drivers and the
+                // plane CLI, so cache overload shows up on the same
+                // scoreboard as transfer health.
+                "plane.shed" => bump(|c| c.plane_sheds += 1),
+                "plane.demote" => bump(|c| c.plane_demotions += 1),
+                "plane.stale" => bump(|c| c.plane_stale += 1),
                 "session.error" => {
                     let text = e.arg("error").and_then(|v| v.as_str()).unwrap_or("");
                     if text.contains("deadline") {
@@ -431,6 +444,9 @@ impl HealthBoard {
                 cell.breaker_skips,
                 cell.budget_exhausted,
                 cell.deadline_exceeded,
+                cell.plane_sheds,
+                cell.plane_demotions,
+                cell.plane_stale,
             ] {
                 f(v);
             }
@@ -561,7 +577,8 @@ impl HealthReport {
                 ",\"size\":\"{}\",\"attempts\":{},\"errors\":{},\"p50_ns\":{},\"p99_ns\":{},\
                  \"throttles\":{},\"retries\":{},\"route_failures\":{},\"failovers\":{},\
                  \"breaker_trips\":{},\"breaker_skips\":{},\"budget_exhausted\":{},\
-                 \"deadline_exceeded\":{},\"burn_short\":{},\"burn_long\":{},\
+                 \"deadline_exceeded\":{},\"plane_sheds\":{},\"plane_demotions\":{},\
+                 \"plane_stale\":{},\"burn_short\":{},\"burn_long\":{},\
                  \"latency\":\"{}\",\"error_verdict\":\"{}\",\"verdict\":\"{}\"}}",
                 r.size,
                 r.cell.attempts(),
@@ -580,6 +597,9 @@ impl HealthReport {
                 r.cell.breaker_skips,
                 r.cell.budget_exhausted,
                 r.cell.deadline_exceeded,
+                r.cell.plane_sheds,
+                r.cell.plane_demotions,
+                r.cell.plane_stale,
                 r.burn_short,
                 r.burn_long,
                 r.latency.label(),
@@ -745,6 +765,35 @@ mod tests {
         let cell = &rep.rows[0].cell;
         assert_eq!(cell.failovers, 1);
         assert_eq!(cell.breaker_trips, 1);
+    }
+
+    #[test]
+    fn plane_pressure_events_land_in_their_cell() {
+        let mut tele = Telemetry::enabled();
+        for (i, name) in ["plane.shed", "plane.shed", "plane.demote", "plane.stale"]
+            .iter()
+            .enumerate()
+        {
+            tele.event(10 + i as u64, Category::Control, name, SpanId::NONE, |a| {
+                a.set("vantage", "UBC")
+                    .set("provider", "Dropbox")
+                    .set("bytes", 1u64 << 20);
+            });
+        }
+        // No vantage arg and no parent span: nowhere to attribute, dropped.
+        tele.event(99, Category::Control, "plane.shed", SpanId::NONE, |a| {
+            a.set("tenant", 3u64);
+        });
+        let rep = board_from(&mut tele).report();
+        assert_eq!(rep.rows.len(), 1);
+        let cell = &rep.rows[0].cell;
+        assert_eq!(cell.plane_sheds, 2);
+        assert_eq!(cell.plane_demotions, 1);
+        assert_eq!(cell.plane_stale, 1);
+        let json = rep.to_json();
+        assert!(json.contains("\"plane_sheds\":2"));
+        assert!(json.contains("\"plane_demotions\":1"));
+        assert!(json.contains("\"plane_stale\":1"));
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! The route-intelligence plane: detour-as-a-service at fleet scale.
+//!
+//! The paper identifies the best detour per (vantage, provider, file size)
+//! by measuring; `core::select` automates that decision per campaign cell.
+//! This crate is the *service* version of the decision path: millions of
+//! simulated clients ask "which route should I use right now?" and must get
+//! an answer in nanoseconds, not the milliseconds a fresh selector pass
+//! costs. The design:
+//!
+//! * **Sharded decision cache** ([`RoutePlane`]) — scored decisions keyed
+//!   by [`DecisionKey`] `(vantage, provider, size_class)` live in
+//!   power-of-two mutex shards. Warm lookups are allocation-free and touch
+//!   one shard lock plus two atomics; there is no global lock anywhere.
+//! * **Generation-stamped freshness** ([`GenTable`]) — monitors invalidate
+//!   by bumping a per-(provider, vantage-bucket) generation atomic. Stale
+//!   entries are recomputed lazily on their next lookup and *never* swept:
+//!   invalidation is O(buckets touched), independent of cache population.
+//! * **Breaker demotion** ([`cloudstore::TripBoard`]) — every cache entry
+//!   stores the best decision *and* its direct-route fallback, computed
+//!   together on the cold path. A breaker trip published to the trip board
+//!   therefore demotes affected detours to direct within one lookup, with
+//!   no recompute and no allocation.
+//! * **Token-bucket admission** ([`Admission`]) — per-tenant quotas refill
+//!   in virtual (sim) time, so overload sheds deterministically: the same
+//!   seed produces the same shed set.
+//! * **Fleet driver** ([`fleet::run_fleet`]) — 1M+ zipf-skewed clients,
+//!   churning monitor invalidations and breaker trips, on one thread
+//!   (deterministic) or several (throughput), reporting QPS, hit/stale/
+//!   shed/demotion counts and a p99 decision-staleness sketch.
+//!
+//! Decisions are bit-identity-checkable: a cached decision at generation
+//! `g` must equal a fresh [`DecisionSource::compute`] at `g` exactly —
+//! `simcheck` runs that coherence oracle as a differential execution per
+//! case (`Violation::PlaneDivergence`).
+
+pub mod admission;
+pub mod cache;
+pub mod fleet;
+pub mod gen;
+pub mod key;
+pub mod source;
+
+pub use admission::{Admission, AdmissionConfig};
+pub use cache::{
+    Decision, DecisionSource, Lookup, PlaneConfig, PlaneCounters, PlaneStats, RoutePlane,
+    RouteScore, ScoredEntry, ServeStatus, DIRECT_ROUTE,
+};
+pub use fleet::{run_fleet, FleetConfig, FleetReport};
+pub use gen::GenTable;
+pub use key::DecisionKey;
+pub use source::{splitmix64, ProbeSource, SyntheticSource};

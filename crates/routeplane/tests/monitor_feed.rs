@@ -1,0 +1,109 @@
+//! Monitors feed plane invalidation: a `RouteMonitor` epoch observer bumps
+//! the generation range its probes cover, and exactly the cached decisions
+//! in that range recompute on their next lookup.
+
+use detour_core::{MonitorConfig, ProbeLeg, RouteMonitor};
+use netsim::flow::FlowClass;
+use netsim::geo::GeoPoint;
+use netsim::prelude::*;
+use netsim::units::MB;
+use routeplane::{DecisionKey, Lookup, PlaneConfig, RoutePlane, ServeStatus, SyntheticSource};
+use std::sync::Arc;
+
+#[test]
+fn epoch_changes_invalidate_the_monitored_range() {
+    // A two-route world where congestion makes the winner flip across
+    // epochs, so the observer sees at least one `changed` epoch.
+    let mut b = TopologyBuilder::new();
+    let user = b.host("user", GeoPoint::new(49.0, -123.0));
+    let ra = b.router("ra", GeoPoint::new(50.0, -120.0));
+    let rb = b.host("dtn-b", GeoPoint::new(53.5, -113.5));
+    let pop = b.datacenter("pop", GeoPoint::new(37.4, -122.1));
+    let fat = LinkParams::new(Bandwidth::from_mbps(400.0), SimTime::from_millis(3));
+    let thin = LinkParams::new(Bandwidth::from_mbps(30.0), SimTime::from_millis(8));
+    b.duplex(user, ra, fat);
+    b.duplex(ra, pop, thin);
+    b.duplex(user, rb, thin);
+    b.duplex(rb, pop, thin);
+    let mut sim = Sim::new(b.build(), 5);
+    let cfg = MonitorConfig {
+        routes: vec![
+            vec![ProbeLeg {
+                src: user,
+                dst: pop,
+                class: FlowClass::Commodity,
+            }],
+            vec![
+                ProbeLeg {
+                    src: user,
+                    dst: rb,
+                    class: FlowClass::Commodity,
+                },
+                ProbeLeg {
+                    src: rb,
+                    dst: pop,
+                    class: FlowClass::Commodity,
+                },
+            ],
+        ],
+        probe_bytes: MB,
+        reference_bytes: 50 * MB,
+        interval: SimTime::from_secs(20),
+        epochs: 5,
+        alpha: 0.6,
+    };
+
+    // This monitor watches provider 0 for vantages [8, 15]; the plane has
+    // other providers and vantages that must stay warm through the churn.
+    let plane = Arc::new(RoutePlane::new(PlaneConfig {
+        vantage_bucket_shift: 0,
+        ..PlaneConfig::default()
+    }));
+    let source = SyntheticSource::new(9, 4, 64);
+    let covered = DecisionKey {
+        vantage: 12,
+        provider: 0,
+        size_class: 1,
+    };
+    let outside = DecisionKey {
+        vantage: 200,
+        provider: 0,
+        size_class: 1,
+    };
+    let other_provider = DecisionKey {
+        vantage: 12,
+        provider: 1,
+        size_class: 1,
+    };
+    for k in [covered, outside, other_provider] {
+        plane.lookup(0, k, 0, &source);
+    }
+
+    let feed = Arc::clone(&plane);
+    let mut changes = 0u64;
+    let monitor = RouteMonitor::new(cfg).with_observer(move |obs| {
+        if obs.changed {
+            feed.invalidate_vantage_range(0, 8, 15);
+        }
+    });
+    // Count changed epochs independently to know how many bumps happened.
+    let v = sim.run_process(Box::new(monitor)).unwrap();
+    let choices = RouteMonitor::decode_choices(&v);
+    for (i, &c) in choices.iter().enumerate() {
+        if i == 0 || c != choices[i - 1] {
+            changes += 1;
+        }
+    }
+    assert!(changes >= 1, "epoch 0 always counts as a change");
+
+    let serve = |k| match plane.lookup(0, k, 1, &source) {
+        Lookup::Served { decision, status } => (decision, status),
+        Lookup::Shed => panic!("unexpected shed"),
+    };
+    let (d, status) = serve(covered);
+    assert_eq!(status, ServeStatus::Refreshed, "covered key must recompute");
+    assert_eq!(d.generation, changes, "one generation per changed epoch");
+    assert_eq!(serve(outside).1, ServeStatus::Warm);
+    assert_eq!(serve(other_provider).1, ServeStatus::Warm);
+    assert_eq!(plane.stats().stale_refreshes, 1);
+}

@@ -11,6 +11,7 @@ use detour_core::{Campaign, CampaignResult, Route};
 use measure::{RunProtocol, Table};
 use netsim::error::NetError;
 use netsim::trace::Traceroute;
+use std::borrow::Cow;
 
 /// Identifiers for the paper's artifacts (used by the `repro` harness CLI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,9 +96,9 @@ impl<'a> ExperimentSet<'a> {
     pub fn campaign_spec(&self, client: Client, provider: ProviderKind) -> Campaign<'a> {
         Campaign {
             factory: self.world,
-            client: self.world.client(client),
-            provider: self.world.provider(provider),
-            routes: self.routes(),
+            client: Cow::Owned(self.world.client(client)),
+            provider: Cow::Owned(self.world.provider(provider)),
+            routes: Cow::Owned(self.routes()),
             sizes: self.sizes.clone(),
             protocol: self.protocol,
             label: format!("{}-{}", client.name(), provider.display_name()),

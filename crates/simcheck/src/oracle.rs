@@ -127,6 +127,21 @@ pub enum Violation {
         /// Chain digest under the sharded executor.
         sharded: u64,
     },
+    /// The route plane served a decision whose bits differ from a fresh
+    /// source computation at the current generation (with breaker demotion
+    /// applied). The cache guarantees warm, refreshed and demoted serves
+    /// are all bit-identical to computing from scratch, so any divergence
+    /// is a staleness, publication or demotion bug in `routeplane`.
+    PlaneDivergence {
+        /// Packed decision key (`routeplane::DecisionKey::pack`).
+        key: u64,
+        /// Current generation the fresh decision was computed at.
+        generation: u64,
+        /// Bits of the decision the plane served.
+        served: u64,
+        /// Bits of the freshly computed decision.
+        fresh: u64,
+    },
     /// The engine returned an error running the scenario.
     EngineError {
         /// The error's display form.
@@ -158,6 +173,7 @@ impl Violation {
             Violation::ProgressDivergence { .. } => "progress_divergence",
             Violation::RoutingDivergence { .. } => "routing_divergence",
             Violation::ShardDivergence { .. } => "shard_divergence",
+            Violation::PlaneDivergence { .. } => "plane_divergence",
             Violation::EngineError { .. } => "engine_error",
             Violation::DeadlineOverrun { .. } => "deadline_overrun",
         }
@@ -223,6 +239,15 @@ impl std::fmt::Display for Violation {
             } => write!(
                 f,
                 "sharded executor ({workers} workers) diverged from sequential: {sequential:#018x} vs {sharded:#018x}"
+            ),
+            Violation::PlaneDivergence {
+                key,
+                generation,
+                served,
+                fresh,
+            } => write!(
+                f,
+                "route plane served key {key:#x} at generation {generation} with bits {served:#018x}, fresh compute says {fresh:#018x}"
             ),
             Violation::EngineError { message } => write!(f, "engine error: {message}"),
             Violation::DeadlineOverrun {

@@ -630,6 +630,105 @@ fn finish_outcome(
 /// 2 and 4.
 pub const SHARD_WORKER_COUNTS: [usize; 3] = [1, 2, 4];
 
+/// Operations per plane-coherence differential (see
+/// [`check_plane_coherence`]).
+const PLANE_COHERENCE_OPS: u64 = 1_500;
+
+/// The route-plane coherence differential: replay a deterministic schedule
+/// of lookups, generation bumps and breaker trips (derived from the spec's
+/// seed) against a [`routeplane::RoutePlane`], and after every served
+/// decision recompute it from scratch at the current generation with the
+/// same demotion rule. Cache and fresh computation must agree bit for bit
+/// — a [`Violation::PlaneDivergence`] otherwise. This is the cached-path
+/// analogue of the allocator/routing differentials: same inputs, two
+/// implementations (memoized vs direct), identical bits required.
+pub fn check_plane_coherence(spec: &ScenarioSpec) -> Vec<Violation> {
+    plane_coherence_with(spec.seed, 0)
+}
+
+/// Core of the coherence check, with a verification-generation skew used
+/// by tests to prove the detector actually fires: `gen_skew > 0` verifies
+/// against the wrong generation, which a generation-sensitive source must
+/// expose.
+fn plane_coherence_with(seed: u64, gen_skew: u64) -> Vec<Violation> {
+    use routeplane::{
+        splitmix64, DecisionKey, DecisionSource, Lookup, PlaneConfig, RoutePlane, ServeStatus,
+        SyntheticSource, DIRECT_ROUTE,
+    };
+    const NODES: u32 = 256;
+    let board = std::sync::Arc::new(cloudstore::TripBoard::new(NODES as usize));
+    let plane = RoutePlane::new(PlaneConfig {
+        shards: 8,
+        providers: 3,
+        vantages: 64,
+        vantage_bucket_shift: 2,
+        tenants: 4,
+        ..PlaneConfig::default()
+    })
+    .with_trip_board(std::sync::Arc::clone(&board));
+    let source = SyntheticSource::new(seed, 4, NODES);
+    let mut violations = Vec::new();
+    for i in 0..PLANE_COHERENCE_OPS {
+        let h = splitmix64(seed ^ i.wrapping_mul(0x9E37_79B9));
+        let now_ns = i * 1_000;
+        match h % 16 {
+            0 => {
+                let provider = ((h >> 8) % 3) as u16;
+                let lo = ((h >> 16) % 64) as u32;
+                plane.invalidate_vantage_range(provider, lo, (lo + 7).min(63));
+            }
+            1 => {
+                let node = netsim::topology::NodeId(((h >> 8) % NODES as u64) as u32);
+                board.trip(node, SimTime::from_nanos(now_ns + 50_000));
+            }
+            2 => {
+                let node = netsim::topology::NodeId(((h >> 8) % NODES as u64) as u32);
+                board.close(node);
+            }
+            _ => {
+                let key = DecisionKey {
+                    vantage: ((h >> 8) % 64) as u32,
+                    provider: ((h >> 24) % 3) as u16,
+                    size_class: ((h >> 32) % 3) as u8,
+                };
+                let tenant = ((h >> 40) % 4) as u32;
+                let (decision, status) = match plane.lookup(tenant, key, now_ns, &source) {
+                    Lookup::Shed => continue,
+                    Lookup::Served { decision, status } => (decision, status),
+                };
+                // Recompute from scratch at the current generation and
+                // apply the demotion rule the plane claims to implement.
+                let generation = plane.generations().current(key) + gen_skew;
+                let entry = source.compute(key, generation);
+                let fresh = if entry.best.route_idx != DIRECT_ROUTE
+                    && board.is_open(entry.best.target, now_ns)
+                {
+                    entry.direct
+                } else {
+                    entry.best
+                };
+                let demote_expected =
+                    fresh.route_idx == DIRECT_ROUTE && entry.best.route_idx != DIRECT_ROUTE;
+                if decision.score.bits() != fresh.bits()
+                    || decision.generation != generation
+                    || (status == ServeStatus::Demoted) != demote_expected
+                {
+                    violations.push(Violation::PlaneDivergence {
+                        key: key.pack(),
+                        generation,
+                        served: decision.score.bits(),
+                        fresh: fresh.bits(),
+                    });
+                    if violations.len() >= 8 {
+                        return violations;
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
 /// Check one scenario at the default shard worker counts
 /// ([`SHARD_WORKER_COUNTS`]); see [`check_case_at`].
 pub fn check_case(spec: &ScenarioSpec, opts: RunOptions) -> CaseResult {
@@ -714,6 +813,7 @@ pub fn check_case_at(spec: &ScenarioSpec, opts: RunOptions, shard_workers: &[usi
             });
         }
     }
+    violations.extend(check_plane_coherence(spec));
     CaseResult {
         spec: spec.clone(),
         violations,
@@ -1067,6 +1167,27 @@ mod tests {
         spec.replicas = 2;
         let res = check_case(&spec, RunOptions::default());
         assert!(res.ok(), "violations: {:?}", res.violations);
+    }
+
+    #[test]
+    fn plane_coherence_holds_across_seeds() {
+        for seed in 0..24u64 {
+            let vs = plane_coherence_with(seed, 0);
+            assert_eq!(vs, vec![], "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn plane_coherence_detector_fires_on_generation_skew() {
+        // Verifying against the wrong generation must trip the oracle on
+        // effectively every seed — proof the differential has teeth and
+        // that a cache serving stale generations could not pass.
+        let vs = plane_coherence_with(5, 1);
+        assert!(
+            vs.iter()
+                .any(|v| matches!(v, Violation::PlaneDivergence { .. })),
+            "skewed verification produced no divergence"
+        );
     }
 
     #[cfg(feature = "failpoints")]

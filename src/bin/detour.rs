@@ -15,6 +15,8 @@
 //! detour analyze    (same inputs as health) [--top N]
 //! detour check      [--cases 64] [--seed 7] [--class std|chaos] [--threads N] [--replay FILE]
 //!                   [--out FILE]
+//! detour plane      [--lookups N] [--clients N] [--threads N] [--seed N] [--tenants N]
+//!                   [--churn-every N] [--trip-every N]
 //! ```
 //!
 //! `health` renders the SLO scoreboard (per vantage/provider/size-class
@@ -46,7 +48,9 @@ fn usage() -> ! {
          [--runs N] [--seed N] [--record FILE] [--slo-p99-secs N] [--format <table|json>] \
          [--out FILE]\n  detour health     --trace FILE [--slo-p99-secs N] [--format <table|json>] \
          [--out FILE]\n  detour analyze    (same inputs as health) [--top N]\n  detour check      \
-         [--cases N] [--seed N] [--class <std|chaos>] [--threads N] [--replay FILE] [--out FILE]\n\
+         [--cases N] [--seed N] [--class <std|chaos>] [--threads N] [--replay FILE] [--out FILE]\n  \
+         detour plane      [--lookups N] [--clients N] [--threads N] [--seed N] [--tenants N] \
+         [--churn-every N] [--trip-every N]\n\
          \nDETOUR_THREADS sets the default worker count for sharded check executions."
     );
     std::process::exit(2);
@@ -131,6 +135,7 @@ fn main() {
         "health" => health(&args, &world),
         "analyze" => analyze(&args, &world),
         "check" => check(&args),
+        "plane" => plane(&args),
         _ => usage(),
     }
 }
@@ -316,6 +321,45 @@ fn check(args: &Args) {
     }
     if !report.ok() {
         std::process::exit(1);
+    }
+}
+
+/// Drive the route-intelligence plane with a zipf-skewed client fleet:
+/// millions of simulated clients asking "which route now?", with monitor
+/// churn invalidating generations and breaker trips demoting detours.
+/// Prints the one-line fleet report (QPS, hit/stale/demote/shed counts,
+/// staleness quantiles, determinism digest) plus the churn-sweep staleness
+/// bound the run is held to.
+fn plane(args: &Args) {
+    use routing_detours::routeplane::{run_fleet, FleetConfig, PlaneConfig};
+    let plane_cfg = PlaneConfig {
+        tenants: args.u64_flag("tenants", PlaneConfig::default().tenants as u64) as u32,
+        ..PlaneConfig::default()
+    };
+    let cfg = FleetConfig {
+        clients: args.u64_flag("clients", 1_000_000),
+        lookups: args.u64_flag("lookups", 2_000_000),
+        threads: args.u64_flag("threads", 1).max(1) as usize,
+        seed: args.u64_flag("seed", 7),
+        churn_every: args.u64_flag("churn-every", 10_000),
+        trip_every: args.u64_flag("trip-every", 50_000),
+        plane: plane_cfg,
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(&cfg);
+    println!("{}", report.to_line());
+    match cfg.churn_period_ns() {
+        Some(bound) => {
+            let max = report.staleness.max().unwrap_or(0);
+            println!(
+                "staleness max {max} ns within the {bound} ns churn-sweep bound: {}",
+                if max <= bound { "ok" } else { "VIOLATED" }
+            );
+            if max > bound {
+                std::process::exit(1);
+            }
+        }
+        None => println!("churn disabled: staleness unbounded by construction"),
     }
 }
 

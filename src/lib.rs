@@ -14,6 +14,7 @@
 //! | [`measure`] | the 7-run/keep-5 protocol, statistics, overlap analysis, tables |
 //! | [`detour_core`] | routes, measurement campaigns, automatic detour selection, route monitoring, path diagnosis |
 //! | [`scenarios`] | the calibrated North-America world and one constructor per paper artifact |
+//! | [`routeplane`] | the route-intelligence plane: sharded scored-route cache, generation invalidation, admission control, fleet driver |
 //! | [`simcheck`] | deterministic simulation checking: randomized scenarios, invariant oracles, shrinking, seed replay |
 //!
 //! Start with `examples/quickstart.rs`; regenerate the paper with
@@ -25,6 +26,7 @@ pub use measure;
 pub use netsim;
 pub use obs;
 pub use relay;
+pub use routeplane;
 pub use scenarios;
 pub use simcheck;
 pub use transfer;

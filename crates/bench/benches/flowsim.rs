@@ -880,6 +880,122 @@ fn check_plane_qps(rows: &[Json], host_threads: usize) -> Option<String> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Delta-sync chunk-store study.
+//
+// The sync workload plane's hot loop is `ChunkStore::plan` — one content-
+// addressed probe per manifest chunk on every rsync leg through a DTN.
+// Each point replays a deterministic `SyncPopulation` edit history (the
+// same fixed-seed workload `detour sync` runs) through one shared store
+// and records
+//
+//   * the byte outcome: full bytes vs deduplicated wire bytes and the
+//     store's cumulative hit rate — fixed-seed deterministic, so gated by
+//     absolute floors (a dip means the dedup logic changed, not the host),
+//   * ns/probe: fastest-of-5 batched `plan` passes over a frozen clone of
+//     the warm store, regression-gated vs the checked-in baseline.
+// ---------------------------------------------------------------------------
+
+use relay::ChunkStore;
+use transfer::{ChunkManifest, MutationMix, SyncPopulation, SyncPopulationConfig};
+
+/// Deterministic floors on the recorded byte outcome. The workload is
+/// fixed-seed, so these are exact reproducibility checks, not hardware
+/// gates — never waived.
+const SYNC_SAVINGS_FLOOR_PCT: f64 = 50.0;
+const SYNC_HIT_RATE_FLOOR: f64 = 0.5;
+
+/// One sync point: `files` files of `file_kb` KB mutated through `rounds`
+/// edit rounds against a shared chunk store.
+fn sync_point(files: usize, file_kb: usize, rounds: usize, reps: usize) -> Json {
+    let mut pop = SyncPopulation::new(
+        42,
+        SyncPopulationConfig {
+            files,
+            file_len: file_kb * KB as usize,
+            mix: MutationMix::desktop(),
+            max_edits: 16,
+            max_append: 4096,
+            max_rewrite: 16 * 1024,
+        },
+    );
+    let mut store = ChunkStore::new(64 * MB);
+    let mut full_bytes = 0u64;
+    let mut wire_bytes = 0u64;
+    for round in 0..=rounds {
+        if round > 0 {
+            pop.advance();
+        }
+        for i in 0..files {
+            let m = ChunkManifest::of(pop.file(i), transfer::DEFAULT_CHUNK_SIZE);
+            let p = store.plan(&m);
+            store.admit(&m);
+            full_bytes += pop.file(i).len() as u64;
+            wire_bytes += p.wire_bytes;
+        }
+    }
+    let stats = store.stats();
+    let saved_pct = 100.0 * (full_bytes - wire_bytes) as f64 / full_bytes as f64;
+
+    // ns/probe: batched plans against a frozen clone of the warm store.
+    // `plan` mutates counters only, never residency, so every pass probes
+    // the identical resident set.
+    let manifests: Vec<ChunkManifest> = (0..files)
+        .map(|i| ChunkManifest::of(pop.file(i), transfer::DEFAULT_CHUNK_SIZE))
+        .collect();
+    let probes_per_pass: u64 = manifests.iter().map(|m| m.chunks.len() as u64).sum();
+    let mut timing = store.clone();
+    let mut pass = || {
+        let t = Instant::now();
+        for m in &manifests {
+            std::hint::black_box(timing.plan(m));
+        }
+        t.elapsed().as_nanos() as f64 / probes_per_pass as f64
+    };
+    pass(); // warm-up
+    let ns_per_probe = (0..reps).map(|_| pass()).fold(f64::INFINITY, f64::min);
+
+    println!(
+        "flowsim-sync/{probes_per_pass}: {files} files x {file_kb} KB x {rounds} rounds, \
+         {saved_pct:.1}% bytes saved, hit rate {:.2}, probe {ns_per_probe:.0} ns",
+        stats.hit_rate()
+    );
+    Json::Obj(vec![
+        ("chunks".into(), Json::Int(probes_per_pass)),
+        ("files".into(), Json::Int(files as u64)),
+        ("file_kb".into(), Json::Int(file_kb as u64)),
+        ("rounds".into(), Json::Int(rounds as u64)),
+        ("full_bytes".into(), Json::Int(full_bytes)),
+        ("wire_bytes".into(), Json::Int(wire_bytes)),
+        ("saved_pct".into(), Json::Num(saved_pct)),
+        ("hit_rate".into(), Json::Num(stats.hit_rate())),
+        ("ns_per_probe".into(), Json::Num(ns_per_probe)),
+    ])
+}
+
+/// The deterministic byte-outcome floors for every sync point.
+fn check_sync_floors(sync: &[Json]) -> Vec<String> {
+    let mut errors = Vec::new();
+    for point in sync {
+        let chunks = point.get("chunks").and_then(Json::as_u64).unwrap_or(0);
+        let saved = point.get("saved_pct").and_then(Json::as_f64).unwrap_or(0.0);
+        let hit = point.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0);
+        if saved < SYNC_SAVINGS_FLOOR_PCT {
+            errors.push(format!(
+                "flowsim-sync/{chunks}: bytes saved {saved:.1}% < required \
+                 {SYNC_SAVINGS_FLOOR_PCT}% (deterministic workload)"
+            ));
+        }
+        if hit < SYNC_HIT_RATE_FLOOR {
+            errors.push(format!(
+                "flowsim-sync/{chunks}: hit rate {hit:.2} < required \
+                 {SYNC_HIT_RATE_FLOOR} (deterministic workload)"
+            ));
+        }
+    }
+    errors
+}
+
 /// Allowed slowdown vs the checked-in baseline before CI fails the run.
 const REGRESSION_TOLERANCE: f64 = 1.25;
 
@@ -1042,6 +1158,14 @@ fn check_baseline(report: &Json, baseline: &Json) -> Vec<String> {
         "ns_per_lookup",
         &mut errors,
     );
+    check_series(
+        report,
+        baseline,
+        "sync",
+        "chunks",
+        "ns_per_probe",
+        &mut errors,
+    );
     check_threads_series(report, baseline, &mut errors);
     errors
 }
@@ -1078,6 +1202,10 @@ fn main() {
         routing_point(SynthGlobe::default().with_target_nodes(600), true);
         plane_decision_point(8, 64, 1);
         plane_fleet_rows(20_000, 1, &[1]);
+        // The real smallest series point: the byte outcome is a pure
+        // function of (seed, config), so the floors hold here exactly as
+        // they do in bench mode.
+        assert!(check_sync_floors(&[sync_point(8, 128, 4, 1)]).is_empty());
         // The workspace-root anchor the report/baseline paths rely on.
         assert!(workspace_path("Cargo.toml").is_file());
         assert!(workspace_path("crates/bench").is_dir());
@@ -1172,6 +1300,15 @@ fn main() {
     let plane_fleet = plane_fleet_rows(fleet_lookups, 5, &[1, 2, 4]);
     let qps_err = check_plane_qps(&plane_fleet, host_threads);
 
+    // Delta-sync series: the same two points in quick and full mode (the
+    // workload is cheap and the byte floors are deterministic, so there is
+    // nothing to trim).
+    let sync: Vec<Json> = [(8usize, 128usize), (32, 256)]
+        .iter()
+        .map(|&(files, file_kb)| sync_point(files, file_kb, 4, 5))
+        .collect();
+    let sync_errs = check_sync_floors(&sync);
+
     let report = Json::Obj(vec![
         ("bench".into(), Json::Str("flowsim-scaling".into())),
         ("flows_per_site".into(), Json::Int(FLOWS_PER_SITE as u64)),
@@ -1183,6 +1320,7 @@ fn main() {
         ("routing".into(), Json::Arr(routing)),
         ("plane_decision".into(), Json::Arr(vec![decision])),
         ("plane_fleet".into(), Json::Arr(plane_fleet)),
+        ("sync".into(), Json::Arr(sync)),
     ]);
 
     // Regression gate: compare BEFORE overwriting any baseline the output
@@ -1191,6 +1329,7 @@ fn main() {
     for err in [speedup_err, routing_err, plane_err, qps_err]
         .into_iter()
         .flatten()
+        .chain(sync_errs)
     {
         eprintln!("REGRESSION: {err}");
         failed = true;

@@ -15,15 +15,22 @@
 //!   cut-through relaying that overlaps the two legs chunk by chunk,
 //!   turning `t1 + t2` into roughly `max(t1, t2)`.
 //! * [`report`] — per-leg timing breakdowns.
+//! * [`chunkstore`] — a content-addressed chunk cache at the DTN: chunks
+//!   seen from *any* user are never re-fetched, so forward legs shrink to
+//!   the chunks the relay is missing.
 
+pub mod chunkstore;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;
 pub mod rsync_leg;
 pub mod store_forward;
 
+pub use chunkstore::{ChunkStats, ChunkStore, DedupPlan};
 pub use parallel::{parallel_transfer, ParallelStreams};
 pub use pipeline::PipelinedRelay;
 pub use report::RelayReport;
 pub use rsync_leg::RsyncLeg;
-pub use store_forward::{detour_upload, detour_upload_traced, StoreForwardRelay};
+pub use store_forward::{
+    detour_upload, detour_upload_sync, detour_upload_traced, StoreForwardRelay, SyncAttachment,
+};

@@ -13,6 +13,7 @@
 //! are gated on [`FaultPlan::is_active`] so fault-free legs draw nothing
 //! from the shared simulation PRNG.
 
+use crate::chunkstore::ChunkStore;
 use cloudstore::faults::{FaultOutcome, FaultPlan};
 use cloudstore::resilience::{RetryPolicy, RetryState};
 use netsim::engine::{Ctx, Event, Process, ProcessId, Value};
@@ -22,7 +23,9 @@ use netsim::rpc::{Rpc, RpcSpec};
 use netsim::time::SimTime;
 use netsim::topology::NodeId;
 use obs::{Category, SpanId};
-use transfer::RsyncWirePlan;
+use std::cell::RefCell;
+use std::rc::Rc;
+use transfer::{ChunkManifest, RsyncWirePlan};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum State {
@@ -51,6 +54,13 @@ pub struct RsyncLeg {
     retry: RetryState,
     span: SpanId,
     parent_span: SpanId,
+    /// Receiver-side chunk cache plus the manifest of the content this leg
+    /// carries: when the deduplicated forward cost beats the delta, the
+    /// forward flow shrinks to it.
+    cache: Option<(Rc<RefCell<ChunkStore>>, ChunkManifest)>,
+    /// Forward-leg bytes after consulting the cache (priced once, on the
+    /// first delta attempt, so retries re-ship the same bytes).
+    deduped_delta_bytes: Option<u64>,
 }
 
 impl RsyncLeg {
@@ -73,6 +83,8 @@ impl RsyncLeg {
             retry: RetryState::start(policy, SimTime::ZERO),
             span: SpanId::NONE,
             parent_span: SpanId::NONE,
+            cache: None,
+            deduped_delta_bytes: None,
         }
     }
 
@@ -101,6 +113,43 @@ impl RsyncLeg {
     pub fn with_parent_span(mut self, parent: SpanId) -> Self {
         self.parent_span = parent;
         self
+    }
+
+    /// Consult the receiver's content-addressed chunk store: the forward
+    /// leg ships `min(delta, manifest + missing chunks)` bytes, and the
+    /// manifest's chunks are admitted to the store once the leg completes.
+    pub fn with_chunk_cache(mut self, store: Rc<RefCell<ChunkStore>>, m: ChunkManifest) -> Self {
+        self.cache = Some((store, m));
+        self
+    }
+
+    /// Price the forward leg, consulting the chunk cache at most once per
+    /// leg (retries re-ship the same bytes).
+    fn forward_delta_bytes(&mut self, ctx: &mut Ctx<'_>) -> u64 {
+        if let Some(done) = self.deduped_delta_bytes {
+            return done;
+        }
+        let bytes = match &self.cache {
+            None => self.plan.delta_bytes,
+            Some((store, manifest)) => {
+                let dedup = store.borrow_mut().plan(manifest);
+                ctx.telemetry()
+                    .counter_add("relay.chunk.hits", dedup.hit_chunks);
+                ctx.telemetry()
+                    .counter_add("relay.chunk.misses", dedup.miss_chunks());
+                if dedup.wire_bytes < self.plan.delta_bytes {
+                    ctx.telemetry().counter_add(
+                        "relay.chunk.saved_bytes",
+                        self.plan.delta_bytes - dedup.wire_bytes,
+                    );
+                    dedup.wire_bytes
+                } else {
+                    self.plan.delta_bytes
+                }
+            }
+        };
+        self.deduped_delta_bytes = Some(bytes);
+        bytes
     }
 
     fn finish_traced(&mut self, ctx: &mut Ctx<'_>, v: Value) {
@@ -197,7 +246,8 @@ impl RsyncLeg {
         if self.stage_gated(ctx) {
             return;
         }
-        let spec = FlowSpec::new(self.src, self.dst, self.plan.delta_bytes, self.class)
+        let delta_bytes = self.forward_delta_bytes(ctx);
+        let spec = FlowSpec::new(self.src, self.dst, delta_bytes, self.class)
             .reuse_connection()
             .with_parent_span(self.span);
         if let Err(e) = ctx.start_flow(spec) {
@@ -268,6 +318,11 @@ impl Process for RsyncLeg {
                 }
                 if !self.stage_done(ctx) {
                     return;
+                }
+                // The content has fully arrived: the relay now owns these
+                // chunks and will dedup them for every future sender.
+                if let Some((store, manifest)) = &self.cache {
+                    store.borrow_mut().admit(manifest);
                 }
                 let elapsed = ctx.now().saturating_sub(self.started);
                 self.finish_traced(ctx, Value::Time(elapsed));
@@ -360,6 +415,44 @@ mod tests {
             with_delta < fresh / 2,
             "delta {with_delta} should be far below fresh {fresh}"
         );
+    }
+
+    #[test]
+    fn chunk_cache_shrinks_second_identical_leg() {
+        use crate::chunkstore::ChunkStore;
+        use transfer::{ChunkManifest, DEFAULT_CHUNK_SIZE};
+        let data = FileGen::new(9).random_file(4 * MB as usize);
+        let manifest = ChunkManifest::of(&data, DEFAULT_CHUNK_SIZE);
+        let plan = RsyncWirePlan::fresh(data.len() as u64);
+        let store = Rc::new(RefCell::new(ChunkStore::new(64 * MB)));
+
+        // Cold: nothing resident, the whole file ships (and is admitted).
+        let (mut sim, a, d) = pair(8.0);
+        let cold = sim
+            .run_process(Box::new(
+                RsyncLeg::new(a, d, plan, FlowClass::Research)
+                    .with_chunk_cache(Rc::clone(&store), manifest.clone()),
+            ))
+            .unwrap()
+            .expect_time();
+
+        // Warm: a different user uploads identical content through the same
+        // relay — only the manifest crosses the forward leg.
+        let (mut sim2, a2, d2) = pair(8.0);
+        let warm = sim2
+            .run_process(Box::new(
+                RsyncLeg::new(a2, d2, plan, FlowClass::Research)
+                    .with_chunk_cache(Rc::clone(&store), manifest.clone()),
+            ))
+            .unwrap()
+            .expect_time();
+        assert!(
+            warm.as_nanos() * 10 < cold.as_nanos(),
+            "warm {warm} should crush cold {cold}"
+        );
+        let st = store.borrow().stats();
+        assert_eq!(st.admitted, manifest.chunk_count() as u64);
+        assert_eq!(st.hits, manifest.chunk_count() as u64);
     }
 
     #[test]

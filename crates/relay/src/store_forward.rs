@@ -7,6 +7,7 @@
 //! arithmetic: UBC→UAlberta 19 s + UAlberta→Drive 17 s = 36 s < 87 s
 //! direct).
 
+use crate::chunkstore::ChunkStore;
 use crate::report::RelayReport;
 use crate::rsync_leg::RsyncLeg;
 use cloudstore::{FaultPlan, Provider, TransferStats, UploadOptions, UploadSession};
@@ -16,6 +17,26 @@ use netsim::flow::FlowClass;
 use netsim::time::SimTime;
 use netsim::topology::NodeId;
 use obs::{Category, SpanId};
+use std::cell::RefCell;
+use std::rc::Rc;
+use transfer::{ChunkManifest, RsyncWirePlan};
+
+/// Delta-sync context for a relay: the rsync wire plan for the content
+/// (basis-aware, computed by the caller from real bytes), the target's chunk
+/// manifest, and one chunk store per DTN hop. Every rsync leg then ships
+/// `min(delta, manifest + missing chunks)` instead of the full file; the
+/// upload leg still carries the full content — provider APIs accept neither
+/// deltas nor manifests.
+#[derive(Clone)]
+pub struct SyncAttachment {
+    /// Exact rsync plan for this (basis, target) pair. Each DTN kept the
+    /// previous round's copy, so the same plan applies on every hop.
+    pub plan: RsyncWirePlan,
+    /// Chunk manifest of the target content.
+    pub manifest: ChunkManifest,
+    /// One store per intermediate hop (`hops.len() - 1` of them).
+    pub stores: Vec<Rc<RefCell<ChunkStore>>>,
+}
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum State {
@@ -36,6 +57,8 @@ pub struct StoreForwardRelay {
     /// Fault plan injected on every rsync leg (the upload leg keeps the
     /// provider's own plan).
     leg_faults: Option<FaultPlan>,
+    /// Delta-sync context: basis-aware wire plan plus per-DTN chunk stores.
+    sync: Option<SyncAttachment>,
 
     state: State,
     started: SimTime,
@@ -69,6 +92,7 @@ impl StoreForwardRelay {
             opts,
             leg_classes: classes,
             leg_faults: None,
+            sync: None,
             state: State::Idle,
             started: SimTime::ZERO,
             leg_times: Vec::new(),
@@ -91,13 +115,34 @@ impl StoreForwardRelay {
         self
     }
 
+    /// Attach a delta-sync context: every rsync leg uses the attachment's
+    /// exact wire plan and consults that hop's chunk store.
+    pub fn with_sync(mut self, sync: SyncAttachment) -> Self {
+        assert_eq!(
+            sync.stores.len(),
+            self.hops.len() - 1,
+            "one chunk store per DTN hop"
+        );
+        self.sync = Some(sync);
+        self
+    }
+
     fn begin_leg(&mut self, ctx: &mut Ctx<'_>, i: usize) {
-        let mut leg = RsyncLeg::fresh(
-            self.hops[i],
-            self.hops[i + 1],
-            self.bytes,
-            self.leg_classes[i],
-        )
+        let mut leg = match &self.sync {
+            None => RsyncLeg::fresh(
+                self.hops[i],
+                self.hops[i + 1],
+                self.bytes,
+                self.leg_classes[i],
+            ),
+            Some(sync) => RsyncLeg::new(
+                self.hops[i],
+                self.hops[i + 1],
+                sync.plan,
+                self.leg_classes[i],
+            )
+            .with_chunk_cache(Rc::clone(&sync.stores[i]), sync.manifest.clone()),
+        }
         .with_parent_span(self.span);
         if let Some(faults) = self.leg_faults {
             leg = leg.with_faults(faults);
@@ -206,6 +251,26 @@ pub fn detour_upload(
     opts: UploadOptions,
 ) -> Result<RelayReport, NetError> {
     detour_upload_traced(sim, hops, classes, provider, bytes, opts, SpanId::NONE)
+}
+
+/// Like [`detour_upload`], with a delta-sync attachment: every rsync leg
+/// ships the attachment's exact wire plan deduplicated against that hop's
+/// chunk store, and admits the manifest's chunks once the leg lands.
+pub fn detour_upload_sync(
+    sim: &mut netsim::engine::Sim,
+    hops: Vec<NodeId>,
+    classes: Vec<FlowClass>,
+    provider: &Provider,
+    bytes: u64,
+    opts: UploadOptions,
+    sync: SyncAttachment,
+) -> Result<RelayReport, NetError> {
+    let relay =
+        StoreForwardRelay::new(hops, classes, provider.clone(), bytes, opts).with_sync(sync);
+    match sim.run_process(Box::new(relay))? {
+        Value::Error(e) => Err(e),
+        v => Ok(RelayReport::from_value(&v)),
+    }
 }
 
 /// Like [`detour_upload`], nesting the relay's telemetry span under `parent`.
@@ -334,6 +399,67 @@ mod tests {
         .unwrap();
         assert_eq!(r.leg_times.len(), 2);
         assert_eq!(r.total, r.leg_times[0] + r.leg_times[1] + r.upload.elapsed);
+    }
+
+    #[test]
+    fn sync_attachment_dedups_repeat_relay() {
+        use crate::chunkstore::ChunkStore;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use transfer::{ChunkManifest, FileGen, DEFAULT_CHUNK_SIZE};
+
+        let data = FileGen::new(21).random_file(4 * MB as usize);
+        let sync = SyncAttachment {
+            plan: transfer::RsyncWirePlan::fresh(data.len() as u64),
+            manifest: ChunkManifest::of(&data, DEFAULT_CHUNK_SIZE),
+            stores: vec![Rc::new(RefCell::new(ChunkStore::new(64 * MB)))],
+        };
+        let run = |sync: SyncAttachment| {
+            let (mut sim, user, dtn, provider) = detour_wins_topo();
+            let relay = StoreForwardRelay::new(
+                vec![user, dtn],
+                vec![FlowClass::PlanetLab, FlowClass::Research],
+                provider,
+                4 * MB,
+                UploadOptions::warm(FlowClass::Research),
+            )
+            .with_sync(sync);
+            let v = sim.run_process(Box::new(relay)).unwrap();
+            RelayReport::from_value(&v)
+        };
+        let cold = run(sync.clone());
+        // A second tenant relays identical content through the same DTN:
+        // the rsync leg shrinks to the manifest, only the upload leg pays.
+        let warm = run(sync.clone());
+        assert!(
+            warm.leg_times[0].as_nanos() * 5 < cold.leg_times[0].as_nanos(),
+            "warm leg {} vs cold leg {}",
+            warm.leg_times[0],
+            cold.leg_times[0]
+        );
+        // The upload leg is NOT deduplicated: providers take full bytes.
+        assert_eq!(warm.upload.bytes, cold.upload.bytes);
+        let st = sync.stores[0].borrow().stats();
+        assert!(st.hits > 0 && st.admitted > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one chunk store per DTN hop")]
+    fn sync_attachment_store_count_checked() {
+        let (_, user, dtn, provider) = detour_wins_topo();
+        let sync = SyncAttachment {
+            plan: transfer::RsyncWirePlan::fresh(MB),
+            manifest: transfer::ChunkManifest::of(&[], 1024),
+            stores: vec![],
+        };
+        StoreForwardRelay::new(
+            vec![user, dtn],
+            vec![FlowClass::Research; 2],
+            provider,
+            MB,
+            UploadOptions::default(),
+        )
+        .with_sync(sync);
     }
 
     #[test]

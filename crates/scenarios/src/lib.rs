@@ -13,12 +13,17 @@
 //! * [`experiments`] — one constructor per paper artifact (Fig 2 → Table V),
 //!   returning ready-to-run campaigns.
 //! * [`summary`] — Table I / Table V renderers built on campaign results.
+//! * [`sync`] — the delta-sync study: three arms (direct, store-and-forward,
+//!   delta-sync detour through a shared DTN chunk store) per tenant and
+//!   round, reporting byte savings, cache hit rate and win/loss flips.
 
 pub mod experiments;
 pub mod northamerica;
 pub mod summary;
+pub mod sync;
 pub mod workload;
 
 pub use experiments::{Experiment, ExperimentSet};
 pub use northamerica::{Client, NorthAmerica, ScenarioOptions};
+pub use sync::{run_sync_study, SyncRow, SyncStudyConfig, SyncStudyReport};
 pub use workload::{run_session, SessionPolicy, SessionReport, SyncWorkload};

@@ -45,7 +45,7 @@ pub use runner::{
     SHARD_WORKER_COUNTS,
 };
 pub use scenario::{
-    case_seed, BgSpec, ChaosSpec, ChurnSpec, FaultSpec, JobSpec, ScenarioSpec, TopoSpec,
+    case_seed, BgSpec, ChaosSpec, ChurnSpec, FaultSpec, JobSpec, ScenarioSpec, SyncSpec, TopoSpec,
 };
 pub use shrink::{shrink, ShrinkResult};
 
@@ -61,6 +61,12 @@ pub enum ScenarioClass {
     /// against per-session termination bounds
     /// ([`ScenarioSpec::generate_chaos`]).
     Chaos,
+    /// Delta-sync stress: deterministically mutating file populations
+    /// rsynced to relay chunk stores round by round, with every applied
+    /// delta verified byte-for-byte and a cache-bypass differential
+    /// proving the chunk store never changes delivered content
+    /// ([`ScenarioSpec::generate_sync`]).
+    Sync,
 }
 
 /// Configuration for a batch check run.
@@ -184,6 +190,7 @@ pub fn run_check(config: CheckConfig) -> CheckReport {
         let spec = match config.class {
             ScenarioClass::Standard => ScenarioSpec::generate(seed),
             ScenarioClass::Chaos => ScenarioSpec::generate_chaos(seed),
+            ScenarioClass::Sync => ScenarioSpec::generate_sync(seed),
         };
         let res = check_case_at(&spec, opts, &workers);
         report.events += res.events;
@@ -258,6 +265,19 @@ mod tests {
             cases: 3,
             seed: 11,
             class: ScenarioClass::Chaos,
+            shrink_budget: 10,
+            ..Default::default()
+        });
+        assert!(report.ok(), "failures: {:?}", report.failures);
+        assert_eq!(report.passed, 3);
+    }
+
+    #[test]
+    fn sync_batch_is_clean() {
+        let report = run_check(CheckConfig {
+            cases: 3,
+            seed: 13,
+            class: ScenarioClass::Sync,
             shrink_budget: 10,
             ..Default::default()
         });

@@ -158,6 +158,27 @@ pub enum Violation {
         /// When it actually settled, ms after its start.
         settled_ms: u64,
     },
+    /// A delta applied at the sync relay did not reconstruct the client's
+    /// file byte-for-byte (MD5 whole-file check after patching): the
+    /// signature/delta/patch pipeline corrupted data in flight.
+    SyncIntegrity {
+        /// Index of the sync session within the spec.
+        session: u32,
+        /// File index within the session's population.
+        file: u32,
+        /// Sync pass (0 = initial replication, then mutation rounds).
+        round: u32,
+    },
+    /// The cache-enabled and cache-bypass executions of a sync scenario
+    /// delivered different final file bytes at the relay. The chunk store
+    /// only re-prices the forward leg — it must never change *what* is
+    /// delivered — so any content divergence is a dedup bug.
+    ChunkDivergence {
+        /// Content digest of the cache-enabled execution's delivered files.
+        cached: u64,
+        /// Content digest of the cache-bypass execution's delivered files.
+        bypass: u64,
+    },
 }
 
 impl Violation {
@@ -176,6 +197,8 @@ impl Violation {
             Violation::PlaneDivergence { .. } => "plane_divergence",
             Violation::EngineError { .. } => "engine_error",
             Violation::DeadlineOverrun { .. } => "deadline_overrun",
+            Violation::SyncIntegrity { .. } => "sync_integrity",
+            Violation::ChunkDivergence { .. } => "chunk_divergence",
         }
     }
 }
@@ -257,6 +280,18 @@ impl std::fmt::Display for Violation {
             } => write!(
                 f,
                 "chaos session {session} settled {settled_ms}ms after start, past its {bound_ms}ms termination bound"
+            ),
+            Violation::SyncIntegrity {
+                session,
+                file,
+                round,
+            } => write!(
+                f,
+                "sync session {session} file {file} round {round}: applied delta does not reconstruct the source bytes"
+            ),
+            Violation::ChunkDivergence { cached, bypass } => write!(
+                f,
+                "cache-enabled vs cache-bypass sync delivered different bytes: {cached:#018x} vs {bypass:#018x}"
             ),
         }
     }

@@ -23,7 +23,16 @@ use netsim::synth::SynthWan;
 use netsim::time::SimTime;
 use netsim::topology::{LinkId, LinkParams, NodeId, Topology, TopologyBuilder};
 use netsim::units::Bandwidth;
+use relay::ChunkStore;
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
+use transfer::chunk::ChunkManifest;
+use transfer::delta::compute_delta;
+use transfer::patch::apply_delta;
+use transfer::signature::Signature;
+use transfer::syncpop::{MutationMix, SyncPopulation, SyncPopulationConfig};
+use transfer::wire::RsyncWirePlan;
 
 /// Livelock guard: no generated scenario comes near this many events.
 const EVENT_BUDGET: u64 = 2_000_000;
@@ -59,6 +68,12 @@ pub struct RunOptions {
     /// determinism and differential oracles over the aggregation layer.
     /// [`check_case`] forces this on for every execution.
     pub health: bool,
+    /// Run sync sessions with the relay chunk store bypassed: every leg is
+    /// priced as if the cache were cold and nothing is ever admitted.
+    /// [`check_case`] uses this for the chunk differential — cached and
+    /// bypass executions take different wire paths but must deliver
+    /// byte-identical final files ([`RunOutcome::sync_digest`]).
+    pub chunk_bypass: bool,
 }
 
 /// What one execution of a scenario produced.
@@ -82,6 +97,12 @@ pub struct RunOutcome {
     /// was set. Cross-cell reduction uses the sketch's commutative-monoid
     /// merge, so sequential and sharded runs produce identical bytes.
     pub delivery: Option<obs::QuantileSketch>,
+    /// Digest of the final file bytes every sync session delivered at its
+    /// relay, folded in session-index order (`Some` iff the spec has sync
+    /// sessions). Depends only on the mutation seeds, never on wire timing,
+    /// so cache-enabled and cache-bypass executions must agree — that is
+    /// the [`Violation::ChunkDivergence`] differential.
+    pub sync_digest: Option<u64>,
 }
 
 /// Result of checking one scenario (two same-seed executions plus a
@@ -261,13 +282,262 @@ fn resolve_chaos(spec: &ScenarioSpec, hosts: &[NodeId]) -> Vec<ResolvedChaos> {
         .collect()
 }
 
-/// Root process: starts every job and chaos session at its scheduled time,
-/// finishes when all have completed or failed. Chaos sessions are watched
-/// against their termination bounds; an overrun is pushed straight into
-/// the oracle as a [`Violation::DeadlineOverrun`].
+/// rsync block size every sync session uses. Small relative to the 4-32 KiB
+/// generated files so deltas have real structure.
+const SYNC_BLOCK_SIZE: usize = 1024;
+
+/// Chunk size the relay store chunks manifests at. Smaller than the block
+/// size would be pointless; 2 KiB gives a handful of chunks per file.
+const SYNC_CHUNK_SIZE: usize = 2048;
+
+/// Per-cell ledger the sync sessions deposit their final content digests
+/// into: (session index, digest of delivered file bytes). Sorted by session
+/// index before folding so completion order — which legitimately differs
+/// between cached and bypass executions — cannot leak into the digest.
+type SyncLedger = Rc<RefCell<Vec<(u32, u64)>>>;
+
+/// A sync session ready to spawn: spec indices resolved to nodes, the
+/// shared per-relay chunk store attached (`None` under
+/// [`RunOptions::chunk_bypass`]).
+struct ResolvedSync {
+    session: u32,
+    client: NodeId,
+    relay: NodeId,
+    files: usize,
+    file_len: usize,
+    rounds: u32,
+    churny: bool,
+    pop_seed: u64,
+    start: SimTime,
+    store: Option<Rc<RefCell<ChunkStore>>>,
+}
+
+impl ResolvedSync {
+    fn build(&self, oracle: OracleHandle, ledger: SyncLedger) -> SyncSession {
+        let cfg = SyncPopulationConfig {
+            files: self.files,
+            file_len: self.file_len,
+            mix: if self.churny {
+                MutationMix::churny()
+            } else {
+                MutationMix::desktop()
+            },
+            max_edits: 16,
+            max_append: 2048,
+            max_rewrite: 4096,
+        };
+        SyncSession {
+            session: self.session,
+            client: self.client,
+            relay: self.relay,
+            rounds: self.rounds,
+            pop: SyncPopulation::new(self.pop_seed, cfg),
+            remote: vec![Vec::new(); self.files],
+            store: self.store.clone(),
+            ledger,
+            oracle,
+            pass: 0,
+            file_idx: 0,
+            pending: None,
+            pending_manifest: None,
+        }
+    }
+}
+
+/// Resolve the spec's sync sessions against the built host list and wire up
+/// one shared chunk store per distinct relay host (sessions landing on the
+/// same relay deduplicate against each other — the store's whole point).
+/// Returns the sessions plus the stores in first-use order, the canonical
+/// order their digests fold into the chain digest in.
+fn resolve_sync(
+    spec: &ScenarioSpec,
+    hosts: &[NodeId],
+    bypass: bool,
+) -> (Vec<ResolvedSync>, Vec<Rc<RefCell<ChunkStore>>>) {
+    let n = hosts.len() as u32;
+    let mut by_relay: HashMap<u32, Rc<RefCell<ChunkStore>>> = HashMap::new();
+    let mut store_order = Vec::new();
+    let sync = spec
+        .sync
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let client = s.client % n;
+            let mut relay = s.relay % n;
+            if relay == client {
+                relay = (relay + 1) % n;
+            }
+            let store = if bypass {
+                None
+            } else {
+                Some(Rc::clone(by_relay.entry(relay).or_insert_with(|| {
+                    // The first session landing on a relay sizes its store.
+                    let st = Rc::new(RefCell::new(ChunkStore::new(s.cache_kb as u64 * 1024)));
+                    store_order.push(Rc::clone(&st));
+                    st
+                })))
+            };
+            ResolvedSync {
+                session: i as u32,
+                client: hosts[client as usize],
+                relay: hosts[relay as usize],
+                files: s.files as usize,
+                file_len: s.file_kb as usize * 1024,
+                rounds: s.rounds,
+                churny: s.churny,
+                // Keyed by dataset id (shared ids seed identical content —
+                // the cross-tenant dedup case) and namespaced well away
+                // from the 0..replicas cell reseeds.
+                pop_seed: crate::scenario::case_seed(spec.seed, 0x5e5e + s.dataset),
+                start: SimTime::from_millis(s.start_ms),
+                store,
+            }
+        })
+        .collect();
+    (sync, store_order)
+}
+
+/// One delta-sync session: replicate the population to the relay (pass 0),
+/// then advance it one mutation round per pass and rsync every file. Each
+/// file transfer moves exactly the bytes the real exchange would — the
+/// exact [`RsyncWirePlan`] with the delta leg re-priced through the chunk
+/// store when one is attached — and on completion the delta is *actually
+/// applied* to the relay's copy and verified byte-for-byte
+/// ([`Violation::SyncIntegrity`] on mismatch). Finishes with the digest of
+/// the delivered files.
+struct SyncSession {
+    session: u32,
+    client: NodeId,
+    relay: NodeId,
+    rounds: u32,
+    pop: SyncPopulation,
+    /// Relay-side copies, updated as legs land.
+    remote: Vec<Vec<u8>>,
+    store: Option<Rc<RefCell<ChunkStore>>>,
+    ledger: SyncLedger,
+    oracle: OracleHandle,
+    /// 0 = initial replication, then one mutation round per pass.
+    pass: u32,
+    file_idx: usize,
+    /// Client content in flight (installed when the flow completes).
+    pending: Option<Vec<u8>>,
+    /// Manifest to admit to the store once the bytes arrive.
+    pending_manifest: Option<ChunkManifest>,
+}
+
+impl SyncSession {
+    /// Start the next file leg, or advance a round / finish when the pass
+    /// is exhausted.
+    fn kick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.file_idx >= self.pop.len() {
+            self.file_idx = 0;
+            self.pass += 1;
+            if self.pass > self.rounds {
+                let digest = content_digest(&self.remote);
+                self.ledger.borrow_mut().push((self.session, digest));
+                ctx.finish(Value::U64(digest));
+                return;
+            }
+            self.pop.advance();
+        }
+        let f = self.file_idx;
+        let local = self.pop.file(f).to_vec();
+        let plan = RsyncWirePlan::exact(&self.remote[f], &local, SYNC_BLOCK_SIZE);
+        let mut wire = plan.total_bytes();
+        if let Some(store) = &self.store {
+            let manifest = ChunkManifest::of(&local, SYNC_CHUNK_SIZE);
+            let dedup = store.borrow_mut().plan(&manifest);
+            if dedup.wire_bytes < plan.delta_bytes {
+                wire = wire - plan.delta_bytes + dedup.wire_bytes;
+            }
+            self.pending_manifest = Some(manifest);
+        }
+        self.pending = Some(local);
+        let spec = FlowSpec::new(self.client, self.relay, wire.max(1), FlowClass::Commodity);
+        if ctx.start_flow(spec).is_err() {
+            self.oracle.push(Violation::EngineError {
+                message: format!("sync session {} leg unroutable", self.session),
+            });
+            ctx.finish(Value::U64(0));
+        }
+    }
+
+    /// A leg landed: run the real signature/delta/patch pipeline against
+    /// the relay's basis and verify it reconstructs the client's bytes.
+    fn land(&mut self, ctx: &mut Ctx<'_>) {
+        let local = self
+            .pending
+            .take()
+            .expect("flow landed without a pending sync leg");
+        let f = self.file_idx;
+        let sig = Signature::compute(&self.remote[f], SYNC_BLOCK_SIZE);
+        let delta = compute_delta(&sig, &local);
+        let ok = matches!(
+            apply_delta(&self.remote[f], SYNC_BLOCK_SIZE, &delta), Ok(p) if p == local
+        );
+        if !ok {
+            self.oracle.push(Violation::SyncIntegrity {
+                session: self.session,
+                file: f as u32,
+                round: self.pass,
+            });
+        }
+        if let (Some(store), Some(m)) = (&self.store, self.pending_manifest.take()) {
+            store.borrow_mut().admit(&m);
+        }
+        self.remote[f] = local;
+        self.file_idx += 1;
+        self.kick(ctx);
+    }
+}
+
+impl Process for SyncSession {
+    fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        match ev {
+            Event::Started => self.kick(ctx),
+            Event::FlowCompleted { .. } => self.land(ctx),
+            Event::FlowFailed { .. } => {
+                self.oracle.push(Violation::EngineError {
+                    message: format!("sync session {} leg failed", self.session),
+                });
+                ctx.finish(Value::U64(0));
+            }
+            Event::Timer { .. } | Event::ChildDone { .. } => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "simcheck-sync"
+    }
+
+    fn digest_into(&self, d: &mut netsim::audit::Digest) {
+        d.write_u64(self.pass as u64);
+        d.write_u64(self.file_idx as u64);
+        d.write_u64(self.remote.iter().map(|f| f.len() as u64).sum());
+        d.write_u64(self.pending.as_ref().map_or(0, |p| p.len() as u64));
+    }
+}
+
+/// Digest of the relay-side file bytes a session delivered.
+fn content_digest(remote: &[Vec<u8>]) -> u64 {
+    let mut d = netsim::audit::Digest::new();
+    d.write_u64(remote.len() as u64);
+    for f in remote {
+        d.write_u64(f.len() as u64);
+        d.write_bytes(f);
+    }
+    d.finish()
+}
+
+/// Root process: starts every job, chaos session and sync session at its
+/// scheduled time, finishes when all have completed or failed. Chaos
+/// sessions are watched against their termination bounds; an overrun is
+/// pushed straight into the oracle as a [`Violation::DeadlineOverrun`].
 struct Driver {
     jobs: Vec<ResolvedJob>,
     chaos: Vec<ResolvedChaos>,
+    sync: Vec<ResolvedSync>,
+    ledger: SyncLedger,
     oracle: OracleHandle,
     /// Live chaos sessions: child pid → (index, started, bound).
     chaos_watch: HashMap<ProcessId, (u32, SimTime, SimTime)>,
@@ -279,7 +549,7 @@ impl Process for Driver {
     fn poll(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
         match ev {
             Event::Started => {
-                self.outstanding = (self.jobs.len() + self.chaos.len()) as u64;
+                self.outstanding = (self.jobs.len() + self.chaos.len() + self.sync.len()) as u64;
                 if self.outstanding == 0 {
                     ctx.finish(Value::U64(0));
                     return;
@@ -289,6 +559,9 @@ impl Process for Driver {
                 }
                 for (k, c) in self.chaos.iter().enumerate() {
                     ctx.set_timer(c.start, (self.jobs.len() + k) as u64);
+                }
+                for (k, s) in self.sync.iter().enumerate() {
+                    ctx.set_timer(s.start, (self.jobs.len() + self.chaos.len() + k) as u64);
                 }
             }
             Event::Timer { tag } if (tag as usize) < self.jobs.len() => {
@@ -311,7 +584,7 @@ impl Process for Driver {
                     self.settle_one(ctx, false);
                 }
             }
-            Event::Timer { tag } => {
+            Event::Timer { tag } if (tag as usize) < self.jobs.len() + self.chaos.len() => {
                 let k = tag as usize - self.jobs.len();
                 let c = &self.chaos[k];
                 let mut opts = UploadOptions::warm(FlowClass::Commodity);
@@ -319,6 +592,11 @@ impl Process for Driver {
                 let session = UploadSession::new(c.client, c.provider.clone(), c.bytes, opts);
                 let pid = ctx.spawn(Box::new(session));
                 self.chaos_watch.insert(pid, (k as u32, ctx.now(), c.bound));
+            }
+            Event::Timer { tag } => {
+                let k = tag as usize - self.jobs.len() - self.chaos.len();
+                let session = self.sync[k].build(self.oracle.clone(), Rc::clone(&self.ledger));
+                ctx.spawn(Box::new(session));
             }
             Event::FlowCompleted { .. } => self.settle_one(ctx, true),
             Event::FlowFailed { .. } => self.settle_one(ctx, false),
@@ -334,6 +612,10 @@ impl Process for Driver {
                     }
                     let ok = !matches!(value, Value::Error(_));
                     self.settle_one(ctx, ok);
+                } else {
+                    // A sync session: integrity problems were already pushed
+                    // into the oracle by the session itself.
+                    self.settle_one(ctx, !matches!(value, Value::Error(_)));
                 }
             }
         }
@@ -455,6 +737,11 @@ fn merge_outcomes(outs: Vec<RunOutcome>) -> RunOutcome {
         .map(|o| o.delivery.as_ref())
         .collect::<Option<Vec<_>>>()
         .map(obs::QuantileSketch::merge_all);
+    let sync_digest = outs
+        .iter()
+        .map(|o| o.sync_digest)
+        .collect::<Option<Vec<_>>>()
+        .map(|ds| netsim::shard::fold_digests(&ds));
     RunOutcome {
         violations: outs.iter().flat_map(|o| o.violations.clone()).collect(),
         chain_digest: chain,
@@ -463,6 +750,7 @@ fn merge_outcomes(outs: Vec<RunOutcome>) -> RunOutcome {
         bytes_delivered: outs.iter().map(|o| o.bytes_delivered).sum(),
         health_digest,
         delivery,
+        sync_digest,
     }
 }
 
@@ -539,9 +827,14 @@ fn run_cell(spec: &ScenarioSpec, opts: RunOptions) -> RunOutcome {
 
     let jobs = resolve_hosts(spec, &world.hosts);
     let chaos = resolve_chaos(spec, &world.hosts);
+    let (sync, stores) = resolve_sync(spec, &world.hosts, opts.chunk_bypass);
+    let has_sync = !sync.is_empty();
+    let ledger: SyncLedger = Rc::new(RefCell::new(Vec::new()));
     let result = sim.run_process(Box::new(Driver {
         jobs,
         chaos,
+        sync,
+        ledger: Rc::clone(&ledger),
         oracle: handle.clone(),
         chaos_watch: HashMap::new(),
         outstanding: 0,
@@ -558,7 +851,40 @@ fn run_cell(spec: &ScenarioSpec, opts: RunOptions) -> RunOutcome {
         }
     };
     let health = opts.health.then(|| health_plane_digest(&mut sim));
-    finish_outcome(&sim, &handle, jobs_completed, health)
+    // Content digest of everything the sync sessions delivered, folded in
+    // session-index order (sessions may *complete* in any order — cached
+    // and bypass executions pace their legs differently).
+    let sync_digest = has_sync.then(|| {
+        let mut entries = ledger.borrow().clone();
+        entries.sort_unstable_by_key(|&(idx, _)| idx);
+        let mut d = netsim::audit::Digest::new();
+        d.write_u64(entries.len() as u64);
+        for (idx, dg) in entries {
+            d.write_u64(idx as u64);
+            d.write_u64(dg);
+        }
+        d.finish()
+    });
+    // Chunk-store state, folded into the chain digest below: residency in
+    // admission order plus counters, per store in first-use order. Every
+    // differential execution (same-seed, reference allocator/routing, eager
+    // progress, sharded) must agree on it bit for bit.
+    let store_digest = has_sync.then(|| {
+        let mut d = netsim::audit::Digest::new();
+        d.write_u64(stores.len() as u64);
+        for s in &stores {
+            d.write_u64(s.borrow().digest());
+        }
+        d.finish()
+    });
+    finish_outcome(
+        &sim,
+        &handle,
+        jobs_completed,
+        health,
+        store_digest,
+        sync_digest,
+    )
 }
 
 /// Digest the run's derived health-plane state: the route scoreboard built
@@ -598,6 +924,8 @@ fn finish_outcome(
     handle: &OracleHandle,
     jobs_completed: u64,
     health: Option<(u64, obs::QuantileSketch)>,
+    store_digest: Option<u64>,
+    sync_digest: Option<u64>,
 ) -> RunOutcome {
     let (health_digest, delivery) = match health {
         Some((h, s)) => (Some(h), Some(s)),
@@ -608,12 +936,16 @@ fn finish_outcome(
         chain_digest: {
             // Fold the final full-engine digest (which includes process
             // state the per-event core digest does not) into the chain,
-            // plus the health-plane digest when one was recorded.
+            // plus the health-plane digest when one was recorded, plus the
+            // relay chunk-store state when sync sessions ran.
             let mut d = netsim::audit::Digest::new();
             d.write_u64(handle.chain_digest());
             d.write_u64(sim.state_digest());
             if let Some(h) = health_digest {
                 d.write_u64(h);
+            }
+            if let Some(s) = store_digest {
+                d.write_u64(s);
             }
             d.finish()
         },
@@ -622,6 +954,7 @@ fn finish_outcome(
         bytes_delivered: sim.stats().bytes_delivered,
         health_digest,
         delivery,
+        sync_digest,
     }
 }
 
@@ -813,6 +1146,25 @@ pub fn check_case_at(spec: &ScenarioSpec, opts: RunOptions, shard_workers: &[usi
             });
         }
     }
+    // The chunk differential: re-run with the relay chunk store bypassed.
+    // Wire bytes (and therefore timing and chain digests) legitimately
+    // differ, but the delivered file bytes must be identical — the cache
+    // only re-prices the forward leg, it never changes content.
+    if !spec.sync.is_empty() && !opts.chunk_bypass {
+        let bypass = run_once(
+            spec,
+            RunOptions {
+                chunk_bypass: true,
+                ..opts
+            },
+        );
+        if first.sync_digest != bypass.sync_digest {
+            violations.push(Violation::ChunkDivergence {
+                cached: first.sync_digest.unwrap_or(0),
+                bypass: bypass.sync_digest.unwrap_or(0),
+            });
+        }
+    }
     violations.extend(check_plane_coherence(spec));
     CaseResult {
         spec: spec.clone(),
@@ -935,6 +1287,7 @@ mod tests {
             faults: vec![],
             churn: vec![],
             chaos: vec![],
+            sync: vec![],
             replicas: 1,
         };
         let res = check_case(&spec, RunOptions::default());
@@ -997,6 +1350,7 @@ mod tests {
                 },
             ],
             chaos: vec![],
+            sync: vec![],
             replicas: 1,
         };
         let res = check_case(&spec, RunOptions::default());
@@ -1056,6 +1410,7 @@ mod tests {
                 deadline_ms: 0,
                 start_ms: 0,
             }],
+            sync: vec![],
             replicas: 1,
         };
         let out = run_once(&spec, RunOptions::default());
@@ -1090,6 +1445,7 @@ mod tests {
                 deadline_ms: 5000,
                 start_ms: 100,
             }],
+            sync: vec![],
             replicas: 1,
         };
         let out = run_once(&spec, RunOptions::default());
@@ -1167,6 +1523,152 @@ mod tests {
         spec.replicas = 2;
         let res = check_case(&spec, RunOptions::default());
         assert!(res.ok(), "violations: {:?}", res.violations);
+    }
+
+    #[test]
+    fn sync_cases_run_clean() {
+        for i in 0..4 {
+            let spec = ScenarioSpec::generate_sync(case_seed(43, i));
+            let out = run_once(&spec, RunOptions::default());
+            assert_eq!(
+                out.violations,
+                vec![],
+                "sync case {i} violated invariants: {:?}",
+                spec
+            );
+            assert!(out.sync_digest.is_some());
+            assert!(out.events > 0);
+        }
+    }
+
+    #[test]
+    fn sync_case_checks_clean_including_chunk_differential() {
+        let spec = ScenarioSpec::generate_sync(case_seed(47, 0));
+        let res = check_case(&spec, RunOptions::default());
+        assert!(res.ok(), "violations: {:?}", res.violations);
+    }
+
+    #[test]
+    fn chunk_bypass_delivers_identical_bytes_on_different_wire() {
+        // The cache changes how many bytes cross the wire (and therefore
+        // the chain digest) but never what is delivered.
+        for i in 0..3 {
+            let spec = ScenarioSpec::generate_sync(case_seed(53, i));
+            let cached = run_once(&spec, RunOptions::default());
+            let bypass = run_once(
+                &spec,
+                RunOptions {
+                    chunk_bypass: true,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(cached.sync_digest, bypass.sync_digest, "case {i}");
+            assert!(cached.sync_digest.is_some());
+        }
+    }
+
+    #[test]
+    fn chunk_store_state_is_folded_into_the_chain_digest() {
+        // A warm-cache repeat round means the store's state really differs
+        // between cached and bypass executions; since that state folds into
+        // the chain digest, the two chains must differ while the delivered
+        // bytes agree (previous test). Sessions with multiple rounds always
+        // admit chunks, so the cached store is non-trivially populated.
+        let mut spec = ScenarioSpec::generate_sync(case_seed(59, 1));
+        spec.sync.truncate(1);
+        spec.sync[0].rounds = 2;
+        spec.sync[0].cache_kb = 256;
+        let cached = run_once(&spec, RunOptions::default());
+        let bypass = run_once(
+            &spec,
+            RunOptions {
+                chunk_bypass: true,
+                ..Default::default()
+            },
+        );
+        assert_ne!(cached.chain_digest, bypass.chain_digest);
+        assert_eq!(cached.sync_digest, bypass.sync_digest);
+    }
+
+    #[test]
+    fn sync_sessions_sharing_a_relay_share_the_store() {
+        // Two sessions, same client->relay pair, identical populations:
+        // determinism of the shared store across all differential
+        // executions is what check_case proves.
+        let spec = ScenarioSpec {
+            seed: 21,
+            topo: TopoSpec::Star {
+                hosts: 3,
+                access_mbps: 20,
+            },
+            jitter_pct: 0,
+            jobs: vec![],
+            background: vec![],
+            faults: vec![],
+            churn: vec![],
+            chaos: vec![],
+            sync: vec![
+                crate::scenario::SyncSpec {
+                    client: 0,
+                    relay: 2,
+                    files: 2,
+                    file_kb: 8,
+                    rounds: 2,
+                    cache_kb: 64,
+                    dataset: 0,
+                    churny: false,
+                    start_ms: 0,
+                },
+                crate::scenario::SyncSpec {
+                    client: 1,
+                    relay: 2,
+                    files: 1,
+                    file_kb: 8,
+                    rounds: 1,
+                    cache_kb: 64,
+                    dataset: 0,
+                    churny: true,
+                    start_ms: 50,
+                },
+            ],
+            replicas: 1,
+        };
+        let res = check_case(&spec, RunOptions::default());
+        assert!(res.ok(), "violations: {:?}", res.violations);
+        // Both sessions replicate dataset 0, so the second tenant's initial
+        // replication is served from the shared store: fewer bytes cross
+        // the wire than under bypass, yet the delivered files are identical.
+        let cached = run_once(&spec, RunOptions::default());
+        let bypass = run_once(
+            &spec,
+            RunOptions {
+                chunk_bypass: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            cached.bytes_delivered < bypass.bytes_delivered,
+            "cache saved nothing: {} vs {}",
+            cached.bytes_delivered,
+            bypass.bytes_delivered
+        );
+        assert_eq!(cached.sync_digest, bypass.sync_digest);
+    }
+
+    #[test]
+    fn replicated_sync_case_is_bit_identical_under_sharding() {
+        let mut spec = ScenarioSpec::generate_sync(case_seed(61, 0));
+        spec.replicas = 2;
+        let opts = RunOptions {
+            health: true,
+            ..Default::default()
+        };
+        let seq = run_once(&spec, opts);
+        for workers in [1, 2, 4] {
+            let sharded = run_sharded(&spec, opts, workers);
+            assert_eq!(seq.chain_digest, sharded.chain_digest, "{workers} workers");
+            assert_eq!(seq.sync_digest, sharded.sync_digest, "{workers} workers");
+        }
     }
 
     #[test]

@@ -155,6 +155,43 @@ pub struct ChaosSpec {
     pub start_ms: u64,
 }
 
+/// One delta-sync session: a [`transfer::SyncPopulation`] of deterministic
+/// per-round mutations on the client, rsynced to a relay host round by
+/// round. The relay keeps a content-addressed chunk store
+/// ([`relay::ChunkStore`]), so repeat content shrinks the forward leg. The
+/// sync scenario class ([`ScenarioSpec::generate_sync`]) checks two things:
+/// every applied delta reconstructs the client's bytes exactly
+/// ([`crate::oracle::Violation::SyncIntegrity`]), and a cache-bypass
+/// re-execution delivers byte-identical final files
+/// ([`crate::oracle::Violation::ChunkDivergence`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncSpec {
+    /// Client host index (mod host count).
+    pub client: u32,
+    /// Relay host index (mod host count; bumped if it collides with
+    /// `client`). Sessions resolving to the same relay share one chunk
+    /// store — the cross-tenant dedup the chunk store exists for.
+    pub relay: u32,
+    /// Files in the client's sync set.
+    pub files: u32,
+    /// Initial length of each file, KiB (small: every check case runs the
+    /// real signature/delta/MD5 machinery ~9 times).
+    pub file_kb: u32,
+    /// Mutation rounds after the initial replication.
+    pub rounds: u32,
+    /// Relay chunk-store capacity, KiB. Small values force FIFO eviction.
+    pub cache_kb: u32,
+    /// Dataset identity: sessions with the same id seed identical initial
+    /// populations (think two tenants replicating one shared dataset), so a
+    /// shared relay store serves the second tenant's chunks from cache —
+    /// the cross-tenant dedup case where the cache beats the rsync delta.
+    pub dataset: u32,
+    /// Use the churn-heavy mutation mix instead of the desktop mix.
+    pub churny: bool,
+    /// Session start time, milliseconds.
+    pub start_ms: u64,
+}
+
 /// One scheduled link-capacity change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSpec {
@@ -186,6 +223,8 @@ pub struct ScenarioSpec {
     pub churn: Vec<ChurnSpec>,
     /// Chaotic cloud-upload sessions (empty outside the chaos class).
     pub chaos: Vec<ChaosSpec>,
+    /// Delta-sync sessions (empty outside the sync class).
+    pub sync: Vec<SyncSpec>,
     /// Independent replicas of this world (1 = a single cell). A scenario
     /// with `replicas = k > 1` is `k` disconnected copies, each reseeded
     /// via [`case_seed`] — the connected components the sharded executor
@@ -296,6 +335,7 @@ impl ScenarioSpec {
             faults,
             churn,
             chaos: vec![],
+            sync: vec![],
             replicas,
         }
     }
@@ -400,6 +440,101 @@ impl ScenarioSpec {
             faults,
             churn: vec![],
             chaos,
+            sync: vec![],
+            replicas,
+        }
+    }
+
+    /// Generate one *sync-class* case: a small world where delta-sync
+    /// sessions push deterministically mutating file sets to relay hosts
+    /// through the chunk store, round by round, while light foreground
+    /// traffic contends for the links. File sizes and round counts are kept
+    /// small — every checked case runs the real signature/delta/MD5
+    /// machinery across ~9 differential executions plus a cache-bypass run.
+    pub fn generate_sync(case_seed: u64) -> ScenarioSpec {
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        let topo = if rng.gen_bool(0.6) {
+            TopoSpec::Star {
+                hosts: rng.gen_range(2..=5),
+                access_mbps: rng.gen_range(10..=50),
+            }
+        } else {
+            let lo = rng.gen_range(5..15u32);
+            TopoSpec::Synth {
+                transit: rng.gen_range(2..=3),
+                stubs: rng.gen_range(1..=2),
+                hosts: rng.gen_range(2..=4),
+                core_mbps: [200u32, 500][rng.gen_range(0..2usize)],
+                access_lo_mbps: lo,
+                access_hi_mbps: lo + rng.gen_range(10..=40u32),
+                topo_seed: rng.gen::<u32>() as u64,
+            }
+        };
+        let hosts = topo.n_hosts();
+        let jitter_pct = if rng.gen_bool(0.5) {
+            0
+        } else {
+            rng.gen_range(1..=4)
+        };
+
+        // A light foreground load so sync legs contend with ordinary flows.
+        let n_jobs = rng.gen_range(0..=2);
+        let jobs = (0..n_jobs)
+            .map(|_| JobSpec {
+                src: rng.gen_range(0..hosts),
+                dst: rng.gen_range(0..hosts),
+                via: None,
+                bytes: rng.gen_range(128 * 1024..=1024 * 1024),
+                class: rng.gen_range(0..4),
+                weight_pct: 100,
+                start_ms: rng.gen_range(0..=500),
+            })
+            .collect();
+
+        let n_faults = rng.gen_range(0..=1);
+        let faults = (0..n_faults)
+            .map(|_| FaultSpec {
+                link: rng.gen::<u32>(),
+                at_ms: rng.gen_range(100..=3000),
+                factor_pct: rng.gen_range(20..=150),
+            })
+            .collect();
+
+        let n_sync = rng.gen_range(1..=2);
+        let sync = (0..n_sync)
+            .map(|i| SyncSpec {
+                client: rng.gen_range(0..hosts),
+                relay: rng.gen_range(0..hosts),
+                files: rng.gen_range(1..=3),
+                file_kb: rng.gen_range(4..=32),
+                rounds: rng.gen_range(1..=3),
+                // ~30% of stores are tiny enough to evict mid-run.
+                cache_kb: if rng.gen_bool(0.3) {
+                    rng.gen_range(2..=8)
+                } else {
+                    rng.gen_range(16..=128)
+                },
+                // ~40% of second sessions replicate the first's dataset:
+                // the cross-tenant dedup case.
+                dataset: if i > 0 && rng.gen_bool(0.4) { 0 } else { i },
+                churny: rng.gen_bool(0.3),
+                start_ms: rng.gen_range(0..=400),
+            })
+            .collect();
+
+        let seed = rng.gen::<u32>() as u64;
+        let replicas = if rng.gen_bool(0.15) { 2 } else { 1 };
+
+        ScenarioSpec {
+            seed,
+            topo,
+            jitter_pct,
+            jobs,
+            background: vec![],
+            faults,
+            churn: vec![],
+            chaos: vec![],
+            sync,
             replicas,
         }
     }
@@ -544,6 +679,27 @@ impl ScenarioSpec {
                 })
                 .collect();
             fields.push(("chaos".into(), Json::Arr(chaos)));
+        }
+        // Same convention again: pre-sync replay files never mention sync.
+        if !self.sync.is_empty() {
+            let sync = self
+                .sync
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("client".into(), Json::Int(s.client as u64)),
+                        ("relay".into(), Json::Int(s.relay as u64)),
+                        ("files".into(), Json::Int(s.files as u64)),
+                        ("file_kb".into(), Json::Int(s.file_kb as u64)),
+                        ("rounds".into(), Json::Int(s.rounds as u64)),
+                        ("cache_kb".into(), Json::Int(s.cache_kb as u64)),
+                        ("dataset".into(), Json::Int(s.dataset as u64)),
+                        ("churny".into(), Json::Bool(s.churny)),
+                        ("start_ms".into(), Json::Int(s.start_ms)),
+                    ])
+                })
+                .collect();
+            fields.push(("sync".into(), Json::Arr(sync)));
         }
         // Omitted when 1 (the overwhelming default) so single-cell replay
         // files round trip verbatim.
@@ -716,8 +872,36 @@ impl ScenarioSpec {
         {
             return Err(format!("degenerate chaos session {bad:?}"));
         }
-        if jobs.is_empty() && chaos.is_empty() {
-            return Err("scenario needs at least one job or chaos session".into());
+        let sync = v
+            .get("sync")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|s| {
+                Ok(SyncSpec {
+                    client: req_u32(s, "client")?,
+                    relay: req_u32(s, "relay")?,
+                    files: req_u32(s, "files")?,
+                    file_kb: req_u32(s, "file_kb")?,
+                    rounds: req_u32(s, "rounds")?,
+                    cache_kb: req_u32(s, "cache_kb")?,
+                    dataset: req_u32(s, "dataset")?,
+                    churny: s
+                        .get("churny")
+                        .and_then(Json::as_bool)
+                        .ok_or("missing \"churny\"")?,
+                    start_ms: req_u64(s, "start_ms")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if let Some(bad) = sync
+            .iter()
+            .find(|s| s.files == 0 || s.file_kb == 0 || s.rounds == 0 || s.cache_kb == 0)
+        {
+            return Err(format!("degenerate sync session {bad:?}"));
+        }
+        if jobs.is_empty() && chaos.is_empty() && sync.is_empty() {
+            return Err("scenario needs at least one job, chaos session or sync session".into());
         }
 
         let replicas = match v.get("replicas") {
@@ -738,6 +922,7 @@ impl ScenarioSpec {
             faults,
             churn,
             chaos,
+            sync,
             replicas,
         })
     }
@@ -799,6 +984,7 @@ mod tests {
             faults: vec![],
             churn: vec![],
             chaos: vec![],
+            sync: vec![],
             replicas: 1,
         };
         assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
@@ -835,6 +1021,7 @@ mod tests {
                 gap_ms: 5,
             }],
             chaos: vec![],
+            sync: vec![],
             replicas: 1,
         };
         let back = ScenarioSpec::from_json(&spec.to_json()).expect("parses");
@@ -901,6 +1088,57 @@ mod tests {
         spec.chaos[0].transient_pct = 0;
         spec.chaos[0].bytes = 0;
         assert!(ScenarioSpec::from_json(&spec.to_json()).is_err());
+    }
+
+    #[test]
+    fn sync_generation_is_deterministic_and_round_trips() {
+        let a = ScenarioSpec::generate_sync(42);
+        assert_eq!(a, ScenarioSpec::generate_sync(42));
+        assert!(!a.sync.is_empty(), "sync class always has sessions");
+        for i in 0..50 {
+            let spec = ScenarioSpec::generate_sync(case_seed(13, i));
+            assert!(!spec.sync.is_empty() && spec.sync.len() <= 2);
+            for s in &spec.sync {
+                assert!(s.files >= 1 && s.file_kb >= 4 && s.rounds >= 1);
+                assert!(s.cache_kb >= 2);
+            }
+            let back = ScenarioSpec::from_json(&spec.to_json()).expect("parses");
+            assert_eq!(back, spec, "round trip failed for sync case {i}");
+        }
+        // Some generated stores are small enough to evict mid-run.
+        assert!((0..50).any(|i| {
+            ScenarioSpec::generate_sync(case_seed(13, i))
+                .sync
+                .iter()
+                .any(|s| s.cache_kb <= 8)
+        }));
+    }
+
+    #[test]
+    fn sync_rejects_degenerates_and_is_omitted_when_empty() {
+        // Standard- and chaos-class specs never mention sync in their JSON.
+        assert!(!ScenarioSpec::generate(7).to_json().contains("sync"));
+        assert!(!ScenarioSpec::generate_chaos(7).to_json().contains("sync"));
+        // A sync-only scenario (no jobs, no chaos) is valid.
+        let mut spec = ScenarioSpec::generate_sync(9);
+        spec.jobs.clear();
+        let back = ScenarioSpec::from_json(&spec.to_json()).expect("parses");
+        assert_eq!(back, spec);
+        // Zero files / rounds / cache are rejected.
+        for field in ["files", "rounds", "cache_kb"] {
+            let v = match field {
+                "files" => spec.sync[0].files,
+                "rounds" => spec.sync[0].rounds,
+                _ => spec.sync[0].cache_kb,
+            };
+            let text = spec
+                .to_json()
+                .replace(&format!("\"{field}\":{v}"), &format!("\"{field}\":0"));
+            assert!(
+                ScenarioSpec::from_json(&text).is_err(),
+                "accepted {field}=0"
+            );
+        }
     }
 
     #[test]

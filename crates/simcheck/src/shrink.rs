@@ -54,6 +54,10 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
             c.client = 0;
             c.frontend = 1;
         }
+        for y in &mut s.sync {
+            y.client = 0;
+            y.relay = 1;
+        }
         out.push(s);
     }
     // Collapse a replicated world to a single cell: most shard-divergence
@@ -136,6 +140,36 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
         if c.start_ms != 0 {
             let mut s = spec.clone();
             s.chaos[i].start_ms = 0;
+            out.push(s);
+        }
+    }
+
+    // Per-sync-session reductions: drop a session (keeping the spec
+    // non-empty), shed rounds and files, halve the file size, start at zero.
+    for (i, y) in spec.sync.iter().enumerate() {
+        if spec.sync.len() > 1 || !spec.jobs.is_empty() || !spec.chaos.is_empty() {
+            let mut s = spec.clone();
+            s.sync.remove(i);
+            out.push(s);
+        }
+        if y.rounds > 1 {
+            let mut s = spec.clone();
+            s.sync[i].rounds = y.rounds / 2;
+            out.push(s);
+        }
+        if y.files > 1 {
+            let mut s = spec.clone();
+            s.sync[i].files = y.files / 2;
+            out.push(s);
+        }
+        if y.file_kb > 4 {
+            let mut s = spec.clone();
+            s.sync[i].file_kb = (y.file_kb / 2).max(4);
+            out.push(s);
+        }
+        if y.start_ms != 0 {
+            let mut s = spec.clone();
+            s.sync[i].start_ms = 0;
             out.push(s);
         }
     }
@@ -258,6 +292,15 @@ mod tests {
             assert_ne!(c, spec);
             assert!(
                 !c.jobs.is_empty() || !c.chaos.is_empty(),
+                "shrinking must never empty the scenario"
+            );
+        }
+        // And over the sync class.
+        let spec = ScenarioSpec::generate_sync(case_seed(4, 9));
+        for c in candidates(&spec) {
+            assert_ne!(c, spec);
+            assert!(
+                !c.jobs.is_empty() || !c.chaos.is_empty() || !c.sync.is_empty(),
                 "shrinking must never empty the scenario"
             );
         }

@@ -40,17 +40,24 @@ impl FileGen {
     }
 
     /// Produce a mutated copy of `basis`: `edits` random single-byte changes
-    /// plus an optional appended tail. Used to exercise rsync's delta path
-    /// (which the paper's workload deliberately avoids).
+    /// at *distinct* positions plus an optional appended tail. Used to
+    /// exercise rsync's delta path (which the paper's workload deliberately
+    /// avoids). Sampling without replacement means exactly
+    /// `min(edits, basis.len())` bytes differ — re-editing an index would
+    /// silently revert the earlier change (adding 1..=255 twice can wrap
+    /// back to the original byte).
     pub fn similar_file(&self, basis: &[u8], edits: usize, append: usize) -> Vec<u8> {
         let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x5eed_f00d);
         let mut out = basis.to_vec();
-        for _ in 0..edits {
-            if out.is_empty() {
-                break;
+        if !out.is_empty() {
+            let want = edits.min(out.len());
+            let mut touched = std::collections::HashSet::with_capacity(want);
+            while touched.len() < want {
+                let idx = rng.gen_range(0..out.len());
+                if touched.insert(idx) {
+                    out[idx] = out[idx].wrapping_add(rng.gen_range(1..=255));
+                }
             }
-            let idx = rng.gen_range(0..out.len());
-            out[idx] = out[idx].wrapping_add(rng.gen_range(1..=255));
         }
         if append > 0 {
             let tail = FileGen::new(self.seed ^ 0xdead_beef).random_file(append);
@@ -128,7 +135,29 @@ mod tests {
         let sim = g.similar_file(&basis, 10, 500);
         assert_eq!(sim.len(), 10_500);
         let changed = basis.iter().zip(&sim).filter(|(a, b)| a != b).count();
-        assert!((1..=10).contains(&changed), "changed {changed}");
+        // Distinct-index sampling plus a nonzero additive delta per edit:
+        // the edit count is exact, not an upper bound.
+        assert_eq!(changed, 10, "changed {changed}");
+    }
+
+    #[test]
+    fn similar_file_edit_count_exact_across_seeds() {
+        for seed in 0..32u64 {
+            let g = FileGen::new(seed);
+            let basis = g.random_file(256);
+            let sim = g.similar_file(&basis, 40, 0);
+            let changed = basis.iter().zip(&sim).filter(|(a, b)| a != b).count();
+            assert_eq!(changed, 40, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn similar_file_edits_clamped_to_len() {
+        let g = FileGen::new(9);
+        let basis = g.random_file(8);
+        let sim = g.similar_file(&basis, 100, 0);
+        let changed = basis.iter().zip(&sim).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, 8, "every byte edited exactly once");
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! * [`wire`] — the byte-cost model used by the WAN simulator: exactly how
 //!   many bytes cross the wire for a given (basis, target) pair, and the
 //!   closed-form for the paper's fresh-file case.
+//! * [`syncpop`] — mutating sync populations: seeded file sets that evolve
+//!   round by round (edits/appends/rewrites/truncations/churn), so the delta
+//!   path is exercised by realistic workloads instead of fresh copies.
+//! * [`chunk`] — content-addressed chunk manifests, the unit of cross-user
+//!   deduplication at DTN relays.
 //!
 //! ## The rsync round trip
 //!
@@ -35,18 +40,24 @@
 //! assert!(delta.literal_bytes() < 10_000);
 //! ```
 
+pub mod chunk;
 pub mod delta;
 pub mod filegen;
 pub mod md5;
 pub mod patch;
 pub mod rolling;
 pub mod signature;
+pub mod syncpop;
 pub mod wire;
 
+pub use chunk::{ChunkManifest, ChunkRef, DEFAULT_CHUNK_SIZE};
 pub use delta::{compute_delta, Delta, DeltaOp};
 pub use filegen::FileGen;
 pub use md5::Md5;
 pub use patch::apply_delta;
 pub use rolling::RollingChecksum;
 pub use signature::{BlockSignature, Signature, DEFAULT_BLOCK_SIZE};
+pub use syncpop::{
+    mutate, FileChange, MutationKind, MutationMix, SyncPopulation, SyncPopulationConfig,
+};
 pub use wire::{RsyncWirePlan, StreamWirePlan};

@@ -25,6 +25,12 @@ const K: [u32; 64] = [
     0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
 ];
 
+thread_local! {
+    /// One-shot digest invocations on this thread (see
+    /// [`Md5::digest_invocations`]).
+    static DIGEST_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 /// Streaming MD5 context.
 #[derive(Debug, Clone)]
 pub struct Md5 {
@@ -53,9 +59,18 @@ impl Md5 {
 
     /// Digest a whole message in one call.
     pub fn digest(data: &[u8]) -> [u8; 16] {
+        DIGEST_CALLS.with(|c| c.set(c.get().wrapping_add(1)));
         let mut ctx = Md5::new();
         ctx.update(data);
         ctx.finalize()
+    }
+
+    /// Whole-message digests computed on this thread so far. A strong-hash
+    /// probe counter: callers that care about hashing cost (e.g. the
+    /// signature matcher tests and the chunk-store bench) diff this around a
+    /// region to count exactly how many `digest` calls it performed.
+    pub fn digest_invocations() -> u64 {
+        DIGEST_CALLS.with(|c| c.get())
     }
 
     /// Hex string of a whole-message digest.

@@ -77,10 +77,19 @@ impl Signature {
     /// Look up a block that matches both checksums over `window`.
     /// Only full-size blocks participate in rolling matching (short final
     /// blocks are matched separately by the delta generator).
+    ///
+    /// The strong hash of the window is computed at most once per call —
+    /// lazily, on the first length-compatible candidate — no matter how many
+    /// blocks collide on the rolling checksum.
     pub fn find_match(&self, rolling: u32, window: &[u8]) -> Option<u32> {
+        let mut strong: Option<[u8; 16]> = None;
         for &idx in self.candidates(rolling) {
             let b = &self.blocks[idx as usize];
-            if b.len as usize == window.len() && b.strong == Md5::digest(window) {
+            if b.len as usize != window.len() {
+                continue;
+            }
+            let s = strong.get_or_insert_with(|| Md5::digest(window));
+            if b.strong == *s {
                 return Some(idx);
             }
         }
@@ -138,6 +147,52 @@ mod tests {
         // hash check must reject any content difference when probed with
         // block0's rolling value.
         assert_eq!(sig.find_match(r, &forged), None);
+    }
+
+    #[test]
+    fn duplicate_heavy_basis_hashes_each_window_once() {
+        use crate::rolling;
+        // A basis of 16 identical blocks: every candidate list for that
+        // rolling value has 16 entries. Probing with a *different* window
+        // that collides on the rolling checksum must cost exactly one strong
+        // digest, not one per colliding candidate.
+        //
+        // Collision construction (weights of `b` are linear in position):
+        // zeros with x[1]=2 and zeros with x[0]=1, x[2]=1 share
+        // a = 2 and b = 2*(L-1).
+        const BS: usize = 64;
+        let mut block = vec![0u8; BS];
+        block[1] = 2;
+        let mut forged = vec![0u8; BS];
+        forged[0] = 1;
+        forged[2] = 1;
+        let r = rolling::checksum(&block);
+        assert_eq!(
+            r,
+            rolling::checksum(&forged),
+            "constructed windows must collide on the rolling checksum"
+        );
+        let basis: Vec<u8> = block.iter().copied().cycle().take(16 * BS).collect();
+        let sig = Signature::compute(&basis, BS);
+        assert_eq!(sig.candidates(r).len(), 16);
+
+        let before = Md5::digest_invocations();
+        assert_eq!(sig.find_match(r, &forged), None);
+        assert_eq!(
+            Md5::digest_invocations() - before,
+            1,
+            "one strong digest per probed window, even with 16 colliding candidates"
+        );
+
+        // A genuine match is still found, also at one digest.
+        let before = Md5::digest_invocations();
+        assert_eq!(sig.find_match(r, &block), Some(0));
+        assert_eq!(Md5::digest_invocations() - before, 1);
+
+        // Length-incompatible candidates never trigger a digest at all.
+        let before = Md5::digest_invocations();
+        assert_eq!(sig.find_match(r, &forged[..BS - 1]), None);
+        assert_eq!(Md5::digest_invocations() - before, 0);
     }
 
     #[test]

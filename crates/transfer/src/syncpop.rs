@@ -1,0 +1,457 @@
+//! Mutating sync populations: workloads where delta transfer actually pays.
+//!
+//! The paper's workload deletes the DTN copy before every run, so rsync
+//! always degenerates to a full copy. [`SyncPopulation`] models the opposite
+//! regime — a tenant's file set that *persists* and mutates round by round
+//! under a seeded [`MutationMix`] (scattered edits, appends, block rewrites,
+//! truncations, whole-file churn) — so per-round [`RsyncWirePlan::exact`]
+//! costs exercise the real signature/delta/patch machinery.
+//!
+//! Everything is derived from `(seed, round, file index)` alone: the same
+//! population replayed anywhere produces byte-identical files, which is what
+//! lets the simulation checker compare cache-enabled and cache-bypass runs
+//! for byte-identical delivery.
+//!
+//! [`RsyncWirePlan::exact`]: crate::wire::RsyncWirePlan::exact
+
+use crate::filegen::FileGen;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-round mutation distribution, in percent. The remainder up to 100 is
+/// the idle share (file untouched that round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationMix {
+    /// Scattered single-byte edits.
+    pub edit_pct: u8,
+    /// Append new bytes at the end.
+    pub append_pct: u8,
+    /// Rewrite one contiguous region with fresh random bytes.
+    pub rewrite_pct: u8,
+    /// Truncate to a shorter length.
+    pub truncate_pct: u8,
+    /// Replace the whole file with new content (possibly a new length).
+    pub churn_pct: u8,
+}
+
+impl MutationMix {
+    /// A desktop-sync-style mix: mostly edits and appends, occasional
+    /// rewrites, rare truncation/churn.
+    pub fn desktop() -> Self {
+        MutationMix {
+            edit_pct: 35,
+            append_pct: 25,
+            rewrite_pct: 15,
+            truncate_pct: 5,
+            churn_pct: 5,
+        }
+    }
+
+    /// A churn-heavy mix (log rotation, build artifacts): most mutations
+    /// replace the file outright, so delta transfer rarely helps but the
+    /// chunk cache still can (identical content re-uploaded by peers).
+    pub fn churny() -> Self {
+        MutationMix {
+            edit_pct: 10,
+            append_pct: 10,
+            rewrite_pct: 10,
+            truncate_pct: 5,
+            churn_pct: 50,
+        }
+    }
+
+    fn total(&self) -> u16 {
+        self.edit_pct as u16
+            + self.append_pct as u16
+            + self.rewrite_pct as u16
+            + self.truncate_pct as u16
+            + self.churn_pct as u16
+    }
+}
+
+/// One mutation applied to one file in one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// `edits` single-byte changes at distinct positions.
+    Edit {
+        /// Number of distinct bytes changed.
+        edits: usize,
+    },
+    /// Append `bytes` of fresh random data.
+    Append {
+        /// Bytes appended.
+        bytes: usize,
+    },
+    /// Overwrite `[offset, offset + len)` with fresh random data.
+    Rewrite {
+        /// Region start.
+        offset: usize,
+        /// Region length.
+        len: usize,
+    },
+    /// Truncate the file to `new_len` bytes.
+    Truncate {
+        /// Length after truncation.
+        new_len: usize,
+    },
+    /// Replace the whole file with `new_len` bytes of fresh content.
+    Churn {
+        /// Length of the replacement.
+        new_len: usize,
+    },
+}
+
+/// Apply one mutation to `data`, deterministically from `seed`. Exposed so
+/// property tests can drive arbitrary mutation histories through the same
+/// code the population uses.
+pub fn mutate(data: &[u8], kind: &MutationKind, seed: u64) -> Vec<u8> {
+    match *kind {
+        MutationKind::Edit { edits } => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut out = data.to_vec();
+            if !out.is_empty() {
+                let want = edits.min(out.len());
+                let mut touched = std::collections::HashSet::with_capacity(want);
+                while touched.len() < want {
+                    let idx = rng.gen_range(0..out.len());
+                    if touched.insert(idx) {
+                        out[idx] = out[idx].wrapping_add(rng.gen_range(1..=255));
+                    }
+                }
+            }
+            out
+        }
+        MutationKind::Append { bytes } => {
+            let mut out = data.to_vec();
+            out.extend_from_slice(&FileGen::new(seed ^ 0xa99e_4d00).random_file(bytes));
+            out
+        }
+        MutationKind::Rewrite { offset, len } => {
+            let mut out = data.to_vec();
+            if !out.is_empty() {
+                let offset = offset.min(out.len() - 1);
+                let len = len.min(out.len() - offset);
+                let patch = FileGen::new(seed ^ 0x7e77_12e0).random_file(len);
+                out[offset..offset + len].copy_from_slice(&patch);
+            }
+            out
+        }
+        MutationKind::Truncate { new_len } => data[..new_len.min(data.len())].to_vec(),
+        MutationKind::Churn { new_len } => FileGen::new(seed ^ 0xc402_0000).random_file(new_len),
+    }
+}
+
+/// Record of one file's change in one round: the pre-mutation content (the
+/// receiver's basis) plus what happened. The post-mutation content lives in
+/// the population.
+#[derive(Debug, Clone)]
+pub struct FileChange {
+    /// Index of the mutated file.
+    pub file: usize,
+    /// What was done to it.
+    pub kind: MutationKind,
+    /// The file's bytes *before* this round's mutation.
+    pub basis: Vec<u8>,
+}
+
+/// Shape of a [`SyncPopulation`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyncPopulationConfig {
+    /// Number of files in the set.
+    pub files: usize,
+    /// Initial length of each file, bytes.
+    pub file_len: usize,
+    /// Per-round mutation distribution.
+    pub mix: MutationMix,
+    /// Upper bound on single-byte edits per Edit mutation.
+    pub max_edits: usize,
+    /// Upper bound on appended bytes per Append mutation.
+    pub max_append: usize,
+    /// Upper bound on a Rewrite region length.
+    pub max_rewrite: usize,
+}
+
+impl Default for SyncPopulationConfig {
+    fn default() -> Self {
+        SyncPopulationConfig {
+            files: 8,
+            file_len: 64 * 1024,
+            mix: MutationMix::desktop(),
+            max_edits: 32,
+            max_append: 8 * 1024,
+            max_rewrite: 16 * 1024,
+        }
+    }
+}
+
+/// A seeded, deterministically mutating file set for one tenant.
+#[derive(Debug, Clone)]
+pub struct SyncPopulation {
+    seed: u64,
+    cfg: SyncPopulationConfig,
+    round: u32,
+    files: Vec<Vec<u8>>,
+}
+
+impl SyncPopulation {
+    /// Build round-0 content: `cfg.files` files of `cfg.file_len` random
+    /// bytes each, all derived from `seed`.
+    pub fn new(seed: u64, cfg: SyncPopulationConfig) -> Self {
+        assert!(
+            cfg.mix.total() <= 100,
+            "mutation mix sums to {} > 100",
+            cfg.mix.total()
+        );
+        let files = (0..cfg.files)
+            .map(|i| FileGen::new(mix64(seed, 0, i as u64)).random_file(cfg.file_len))
+            .collect();
+        SyncPopulation {
+            seed,
+            cfg,
+            round: 0,
+            files,
+        }
+    }
+
+    /// Rounds advanced so far.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when the population holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Current content of file `i`.
+    pub fn file(&self, i: usize) -> &[u8] {
+        &self.files[i]
+    }
+
+    /// Total bytes across the current file set.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.len() as u64).sum()
+    }
+
+    /// Advance one round: every file independently draws from the mutation
+    /// mix. Returns the changes (mutated files only, in index order), each
+    /// carrying the pre-mutation basis so callers can compute exact rsync
+    /// wire plans for the round.
+    pub fn advance(&mut self) -> Vec<FileChange> {
+        self.round += 1;
+        let mut changes = Vec::new();
+        for i in 0..self.files.len() {
+            let draw_seed = mix64(self.seed, self.round as u64, i as u64);
+            let mut rng = SmallRng::seed_from_u64(draw_seed);
+            let Some(kind) = self.draw(&mut rng, self.files[i].len()) else {
+                continue;
+            };
+            let basis = std::mem::take(&mut self.files[i]);
+            self.files[i] = mutate(&basis, &kind, draw_seed ^ 0x5eed_5eed);
+            changes.push(FileChange {
+                file: i,
+                kind,
+                basis,
+            });
+        }
+        changes
+    }
+
+    /// Draw a mutation from the mix, sized for a `len`-byte file. `None`
+    /// means idle.
+    fn draw(&self, rng: &mut SmallRng, len: usize) -> Option<MutationKind> {
+        let mix = self.cfg.mix;
+        let roll = rng.gen_range(0..100u16);
+        let mut bound = mix.edit_pct as u16;
+        if roll < bound {
+            return Some(MutationKind::Edit {
+                edits: rng.gen_range(1..=self.cfg.max_edits.max(1)),
+            });
+        }
+        bound += mix.append_pct as u16;
+        if roll < bound {
+            return Some(MutationKind::Append {
+                bytes: rng.gen_range(1..=self.cfg.max_append.max(1)),
+            });
+        }
+        bound += mix.rewrite_pct as u16;
+        if roll < bound {
+            let max = self.cfg.max_rewrite.max(1);
+            return Some(MutationKind::Rewrite {
+                offset: if len > 0 { rng.gen_range(0..len) } else { 0 },
+                len: rng.gen_range(1..=max),
+            });
+        }
+        bound += mix.truncate_pct as u16;
+        if roll < bound {
+            return Some(MutationKind::Truncate {
+                new_len: if len > 0 { rng.gen_range(0..len) } else { 0 },
+            });
+        }
+        bound += mix.churn_pct as u16;
+        if roll < bound {
+            let lo = (self.cfg.file_len / 2).max(1);
+            let hi = self.cfg.file_len.max(lo) * 2;
+            return Some(MutationKind::Churn {
+                new_len: rng.gen_range(lo..=hi),
+            });
+        }
+        None
+    }
+}
+
+/// SplitMix-style 3-input mixer: decorrelates (seed, round, file) tuples.
+fn mix64(seed: u64, round: u64, file: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(round.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(file.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patch::apply_delta;
+    use crate::signature::Signature;
+    use crate::wire::RsyncWirePlan;
+    use crate::{compute_delta, DEFAULT_BLOCK_SIZE};
+
+    fn small_cfg() -> SyncPopulationConfig {
+        SyncPopulationConfig {
+            files: 4,
+            file_len: 8 * 1024,
+            max_edits: 8,
+            max_append: 1024,
+            max_rewrite: 2048,
+            ..SyncPopulationConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = SyncPopulation::new(42, small_cfg());
+        let mut b = SyncPopulation::new(42, small_cfg());
+        for _ in 0..5 {
+            let ca = a.advance();
+            let cb = b.advance();
+            assert_eq!(ca.len(), cb.len());
+            for (x, y) in ca.iter().zip(&cb) {
+                assert_eq!(x.file, y.file);
+                assert_eq!(x.kind, y.kind);
+                assert_eq!(x.basis, y.basis);
+            }
+        }
+        for i in 0..a.len() {
+            assert_eq!(a.file(i), b.file(i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SyncPopulation::new(1, small_cfg());
+        let mut b = SyncPopulation::new(2, small_cfg());
+        a.advance();
+        b.advance();
+        assert_ne!(a.file(0), b.file(0));
+    }
+
+    #[test]
+    fn changes_round_trip_through_rsync() {
+        let mut pop = SyncPopulation::new(7, small_cfg());
+        let mut mutated = 0usize;
+        for _ in 0..6 {
+            for c in pop.advance() {
+                mutated += 1;
+                let target = pop.file(c.file);
+                let sig = Signature::compute(&c.basis, DEFAULT_BLOCK_SIZE);
+                let delta = compute_delta(&sig, target);
+                let rebuilt = apply_delta(&c.basis, DEFAULT_BLOCK_SIZE, &delta).expect("patches");
+                assert_eq!(rebuilt, target);
+            }
+        }
+        assert!(mutated > 0, "mix should mutate something in 6 rounds");
+    }
+
+    #[test]
+    fn edits_pay_on_the_wire() {
+        // An Edit mutation must produce a delta far below a fresh upload.
+        let cfg = SyncPopulationConfig {
+            mix: MutationMix {
+                edit_pct: 100,
+                append_pct: 0,
+                rewrite_pct: 0,
+                truncate_pct: 0,
+                churn_pct: 0,
+            },
+            files: 1,
+            file_len: 64 * 1024,
+            max_edits: 4,
+            ..SyncPopulationConfig::default()
+        };
+        let mut pop = SyncPopulation::new(3, cfg);
+        let changes = pop.advance();
+        assert_eq!(changes.len(), 1);
+        let c = &changes[0];
+        let exact = RsyncWirePlan::exact(&c.basis, pop.file(0), DEFAULT_BLOCK_SIZE);
+        let fresh = RsyncWirePlan::fresh(pop.file(0).len() as u64);
+        assert!(
+            exact.forward_bytes() * 4 < fresh.forward_bytes(),
+            "delta {} vs fresh {}",
+            exact.forward_bytes(),
+            fresh.forward_bytes()
+        );
+    }
+
+    #[test]
+    fn mutate_is_pure() {
+        let data = FileGen::new(5).random_file(4096);
+        let kind = MutationKind::Rewrite {
+            offset: 100,
+            len: 512,
+        };
+        assert_eq!(mutate(&data, &kind, 9), mutate(&data, &kind, 9));
+        assert_ne!(mutate(&data, &kind, 9), mutate(&data, &kind, 10));
+    }
+
+    #[test]
+    fn mutate_edge_cases() {
+        assert_eq!(mutate(&[], &MutationKind::Edit { edits: 5 }, 1), vec![]);
+        assert_eq!(
+            mutate(&[], &MutationKind::Rewrite { offset: 0, len: 9 }, 1),
+            vec![]
+        );
+        assert_eq!(
+            mutate(b"abc", &MutationKind::Truncate { new_len: 99 }, 1),
+            b"abc".to_vec()
+        );
+        assert_eq!(
+            mutate(b"abc", &MutationKind::Truncate { new_len: 0 }, 1),
+            vec![]
+        );
+        let appended = mutate(&[], &MutationKind::Append { bytes: 16 }, 1);
+        assert_eq!(appended.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutation mix")]
+    fn overfull_mix_rejected() {
+        let cfg = SyncPopulationConfig {
+            mix: MutationMix {
+                edit_pct: 50,
+                append_pct: 50,
+                rewrite_pct: 50,
+                truncate_pct: 0,
+                churn_pct: 0,
+            },
+            ..SyncPopulationConfig::default()
+        };
+        SyncPopulation::new(1, cfg);
+    }
+}

@@ -47,12 +47,18 @@ impl RsyncWirePlan {
 
     /// Closed-form plan for the paper's workload: the DTN's copy was deleted
     /// before the run, so the basis is empty and the delta is one literal of
-    /// the full file.
+    /// the full file (or no ops at all when the target is itself empty — an
+    /// empty delta is just the 40-byte trailer, with no literal framing).
     pub fn fresh(target_len: u64) -> Self {
+        let delta_bytes = if target_len == 0 {
+            40
+        } else {
+            target_len + 5 + 40
+        };
         RsyncWirePlan {
             handshake_bytes: HANDSHAKE_BYTES,
             signature_bytes: 32, // empty signature header
-            delta_bytes: target_len + 5 + 40,
+            delta_bytes,
             ack_bytes: ACK_BYTES,
         }
     }
@@ -107,10 +113,18 @@ mod tests {
 
     #[test]
     fn fresh_plan_matches_exact_on_empty_basis() {
-        let target = FileGen::new(1).random_file(100_000);
-        let exact = RsyncWirePlan::exact(&[], &target, 2048);
-        let fresh = RsyncWirePlan::fresh(100_000);
-        assert_eq!(exact, fresh, "closed form diverged from the real algorithm");
+        // Sweep sizes including 0: an empty target yields an op-free delta
+        // (40 trailer bytes, no literal framing) and the closed form must
+        // agree with the real algorithm everywhere.
+        for len in [0usize, 1, 7, 2048, 2049, 100_000] {
+            let target = FileGen::new(1).random_file(len);
+            let exact = RsyncWirePlan::exact(&[], &target, 2048);
+            let fresh = RsyncWirePlan::fresh(len as u64);
+            assert_eq!(
+                exact, fresh,
+                "closed form diverged from the real algorithm at len {len}"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,37 @@
 //! basis/target pairs and block sizes.
 
 use proptest::prelude::*;
-use transfer::{apply_delta, compute_delta, FileGen, Md5, RsyncWirePlan, Signature};
+use transfer::syncpop::{mutate, MutationKind, SyncPopulation, SyncPopulationConfig};
+use transfer::{apply_delta, compute_delta, DeltaOp, FileGen, Md5, RsyncWirePlan, Signature};
+
+/// Arbitrary single mutations for history-driven tests: a kind selector
+/// plus two free parameters, mapped onto the enum's fields.
+fn mutation_strategy() -> impl Strategy<Value = MutationKind> {
+    (0u8..5, 0usize..24_000, 1usize..8192).prop_map(|(kind, a, b)| match kind {
+        0 => MutationKind::Edit { edits: 1 + a % 32 },
+        1 => MutationKind::Append {
+            bytes: 1 + a % 4096,
+        },
+        2 => MutationKind::Rewrite { offset: a, len: b },
+        3 => MutationKind::Truncate { new_len: a },
+        _ => MutationKind::Churn {
+            new_len: a % 12_000,
+        },
+    })
+}
+
+/// The wire cost the plan must report for a concrete delta: 5 bytes framing
+/// per op (+ the payload for literals) plus the 40-byte trailer — recomputed
+/// here from the op list, independently of `Delta::wire_bytes`.
+fn expected_delta_wire_bytes(ops: &[DeltaOp]) -> u64 {
+    ops.iter()
+        .map(|op| match op {
+            DeltaOp::Literal(v) => 5 + v.len() as u64,
+            DeltaOp::Copy { .. } => 5,
+        })
+        .sum::<u64>()
+        + 40
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -126,6 +156,70 @@ proptest! {
         let plan = RsyncWirePlan::exact(&[], &target, block_size);
         prop_assert!(plan.delta_bytes >= delta.literal_bytes());
         prop_assert_eq!(plan, RsyncWirePlan::fresh(len as u64));
+    }
+
+    /// Arbitrary mutation histories (edit/append/rewrite/truncate/churn
+    /// sequences) driven through the same `mutate` the sync populations use:
+    /// every step's signature → delta → patch round trip is the identity,
+    /// `target_md5` matches the reconstruction, and the exact wire plan's
+    /// byte accounting agrees with an independent recount of the op list.
+    #[test]
+    fn round_trip_mutation_history(
+        seed in any::<u64>(),
+        len in 0usize..16_384,
+        history in prop::collection::vec(mutation_strategy(), 1..6),
+        block_size in prop::sample::select(vec![512usize, 2048, 8192]),
+    ) {
+        let mut basis = FileGen::new(seed).random_file(len);
+        for (step, kind) in history.iter().enumerate() {
+            let target = mutate(&basis, kind, seed ^ (step as u64) << 32);
+            let sig = Signature::compute(&basis, block_size);
+            let delta = compute_delta(&sig, &target);
+            let rebuilt = apply_delta(&basis, block_size, &delta).unwrap();
+            prop_assert_eq!(Md5::digest(&rebuilt), delta.target_md5);
+            prop_assert_eq!(&rebuilt, &target);
+            let plan = RsyncWirePlan::exact(&basis, &target, block_size);
+            prop_assert_eq!(plan.delta_bytes, expected_delta_wire_bytes(&delta.ops));
+            prop_assert_eq!(plan.signature_bytes, 32 + sig.block_count() as u64 * 24);
+            prop_assert_eq!(
+                plan.total_bytes(),
+                plan.handshake_bytes + plan.signature_bytes + plan.delta_bytes + plan.ack_bytes
+            );
+            basis = target;
+        }
+    }
+
+    /// `SyncPopulation::advance` histories: every change it reports carries
+    /// a basis that round-trips to the file's new content, with exact wire
+    /// accounting at each round.
+    #[test]
+    fn round_trip_sync_population_rounds(
+        seed in any::<u64>(),
+        rounds in 1u32..4,
+        block_size in prop::sample::select(vec![512usize, 2048]),
+    ) {
+        let cfg = SyncPopulationConfig {
+            files: 3,
+            file_len: 4096,
+            max_edits: 8,
+            max_append: 1024,
+            max_rewrite: 1024,
+            ..SyncPopulationConfig::default()
+        };
+        let mut pop = SyncPopulation::new(seed, cfg);
+        for _ in 0..rounds {
+            for c in pop.advance() {
+                let target = pop.file(c.file);
+                let sig = Signature::compute(&c.basis, block_size);
+                let delta = compute_delta(&sig, target);
+                let rebuilt = apply_delta(&c.basis, block_size, &delta).unwrap();
+                prop_assert_eq!(Md5::digest(&rebuilt), delta.target_md5);
+                prop_assert_eq!(&rebuilt[..], target);
+                let plan = RsyncWirePlan::exact(&c.basis, target, block_size);
+                prop_assert_eq!(plan.delta_bytes, expected_delta_wire_bytes(&delta.ops));
+                prop_assert_eq!(plan.delta_bytes, delta.wire_bytes());
+            }
+        }
     }
 
     /// Streaming MD5 agrees with one-shot MD5 under arbitrary chunking.

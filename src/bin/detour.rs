@@ -13,10 +13,12 @@
 //!                   [--seed 1] [--record FILE] [--slo-p99-secs N] [--format table|json] [--out FILE]
 //! detour health     --trace FILE [--slo-p99-secs N] [--format table|json] [--out FILE]
 //! detour analyze    (same inputs as health) [--top N]
-//! detour check      [--cases 64] [--seed 7] [--class std|chaos] [--threads N] [--replay FILE]
+//! detour check      [--cases 64] [--seed 7] [--class std|chaos|sync] [--threads N] [--replay FILE]
 //!                   [--out FILE]
 //! detour plane      [--lookups N] [--clients N] [--threads N] [--seed N] [--tenants N]
 //!                   [--churn-every N] [--trip-every N]
+//! detour sync       [--tenants N] [--files N] [--rounds N] [--size-kb N] [--cache-mb N]
+//!                   [--seed N] [--out FILE]
 //! ```
 //!
 //! `health` renders the SLO scoreboard (per vantage/provider/size-class
@@ -48,9 +50,11 @@ fn usage() -> ! {
          [--runs N] [--seed N] [--record FILE] [--slo-p99-secs N] [--format <table|json>] \
          [--out FILE]\n  detour health     --trace FILE [--slo-p99-secs N] [--format <table|json>] \
          [--out FILE]\n  detour analyze    (same inputs as health) [--top N]\n  detour check      \
-         [--cases N] [--seed N] [--class <std|chaos>] [--threads N] [--replay FILE] [--out FILE]\n  \
+         [--cases N] [--seed N] [--class <std|chaos|sync>] [--threads N] [--replay FILE] [--out FILE]\n  \
          detour plane      [--lookups N] [--clients N] [--threads N] [--seed N] [--tenants N] \
-         [--churn-every N] [--trip-every N]\n\
+         [--churn-every N] [--trip-every N]\n  \
+         detour sync       [--tenants N] [--files N] [--rounds N] [--size-kb N] [--cache-mb N] \
+         [--seed N] [--out FILE]\n\
          \nDETOUR_THREADS sets the default worker count for sharded check executions."
     );
     std::process::exit(2);
@@ -136,6 +140,7 @@ fn main() {
         "analyze" => analyze(&args, &world),
         "check" => check(&args),
         "plane" => plane(&args),
+        "sync" => sync_study(&args, &world),
         _ => usage(),
     }
 }
@@ -267,6 +272,7 @@ fn check(args: &Args) {
             class: match args.flags.get("class").map(String::as_str) {
                 None | Some("std") => simcheck::ScenarioClass::Standard,
                 Some("chaos") => simcheck::ScenarioClass::Chaos,
+                Some("sync") => simcheck::ScenarioClass::Sync,
                 _ => usage(),
             },
             // Extra sharded-executor worker count on top of the standard
@@ -361,6 +367,27 @@ fn plane(args: &Args) {
         }
         None => println!("churn disabled: staleness unbounded by construction"),
     }
+}
+
+/// The delta-sync study on the calibrated map: tenants replicating one
+/// mutating dataset to Google Drive, timed over three arms per round —
+/// direct full upload, the paper's store-and-forward detour, and a
+/// delta-sync detour through a shared chunk store at the UAlberta DTN.
+/// Prints the per-cell table plus byte savings, cache hit rate and win/loss
+/// flips versus plain store-and-forward.
+fn sync_study(args: &Args, world: &NorthAmerica) {
+    use routing_detours::scenarios::{run_sync_study, SyncStudyConfig};
+    let d = SyncStudyConfig::default();
+    let cfg = SyncStudyConfig {
+        tenants: args.u64_flag("tenants", d.tenants as u64) as u32,
+        files: args.u64_flag("files", d.files as u64) as u32,
+        rounds: args.u64_flag("rounds", d.rounds as u64) as u32,
+        file_kb: args.u64_flag("size-kb", d.file_kb as u64) as u32,
+        cache_mb: args.u64_flag("cache-mb", d.cache_mb as u64) as u32,
+        seed: args.u64_flag("seed", d.seed),
+    };
+    let report = run_sync_study(world, cfg);
+    write_or_print(args, &report.render());
 }
 
 /// Run one upload with telemetry enabled and export the recording: a span
